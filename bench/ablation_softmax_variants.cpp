@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Related-work ablation: softmax recomposition against the other
+ * published softmax accelerations the paper discusses —
+ *
+ *  - the online-normalizer softmax ([21], Milakov & Gimelshein):
+ *    fuses the max and sum passes but stays an unfused kernel;
+ *  - the fully fused MHA kernel (FasterTransformer/TensorRT): removes
+ *    all attention-matrix traffic but only fits short sequences.
+ *
+ * Part 1 compares the softmax-layer cost of the variants at L = 4096;
+ * part 2 sweeps L to locate the crossover where the short-sequence
+ * fused kernel stops being available and recomposition takes over.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/recomposition.hpp"
+#include "kernels/fused_mha.hpp"
+#include "kernels/softmax_kernels.hpp"
+#include "model/library_profiles.hpp"
+#include "sim/gpu.hpp"
+
+using namespace softrec;
+using namespace softrec::bench;
+
+int
+main()
+{
+    const GpuSpec spec = GpuSpec::a100();
+
+    // ------------------------------------------------------------------
+    // Part 1: softmax-layer variants at L = 4096 (BERT-large shapes).
+    // ------------------------------------------------------------------
+    std::printf("Part 1: softmax-layer execution time per attention "
+                "layer on %s (16 heads, L = 4096)\n\n",
+                spec.name.c_str());
+    SoftmaxDesc softmax;
+    softmax.batch = 16;
+    softmax.rows = softmax.cols = 4096;
+
+    SdaConfig sda;
+    sda.heads = 16;
+    sda.seqLen = 4096;
+    sda.dHead = 64;
+
+    TextTable part1("");
+    part1.setHeader({"Variant", "softmax-side time",
+                     "attention-matrix sweeps", "notes"});
+    {
+        Gpu gpu(spec);
+        gpu.launch(rowSoftmaxProfile(spec, softmax));
+        part1.addRow({"3-pass row softmax (TRT-style baseline)",
+                      formatSeconds(gpu.totalSeconds()), "2 of 4",
+                      "serialized max/sum/scale passes"});
+    }
+    {
+        Gpu gpu(spec);
+        gpu.launch(onlineRowSoftmaxProfile(spec, softmax));
+        part1.addRow({"online-normalizer softmax [21]",
+                      formatSeconds(gpu.totalSeconds()), "2 of 4",
+                      "one fused max+sum pass; traffic unchanged"});
+    }
+    {
+        Gpu gpu(spec);
+        const SdaSchedule sd =
+            buildSdaSchedule(spec, sda, Strategy::Decomposed);
+        for (const KernelProfile &prof : sd.kernels)
+            if (isSoftmaxWork(prof.category))
+                gpu.launch(prof);
+        part1.addRow({"SD (LS + IR + GS kernels)",
+                      formatSeconds(gpu.totalSeconds()), "4 of 6",
+                      "pattern matched, not yet fused"});
+    }
+    {
+        Gpu gpu(spec);
+        const SdaSchedule sdf =
+            buildSdaSchedule(spec, sda, Strategy::Fused);
+        for (const KernelProfile &prof : sdf.kernels)
+            if (isSoftmaxWork(prof.category))
+                gpu.launch(prof);
+        part1.addRow({"SDF (this paper): IR kernel only",
+                      formatSeconds(gpu.totalSeconds()), "0 of 2",
+                      "LS/GS live inside the GEMMs"});
+    }
+    part1.print();
+
+    // ------------------------------------------------------------------
+    // Part 2: short-sequence crossover, end-to-end BERT-large.
+    // ------------------------------------------------------------------
+    std::printf("\nPart 2: end-to-end BERT-large latency; "
+                "FasterTransformer's fused-MHA path vs recomposition\n"
+                "(fused MHA available only while K/V fit in shared "
+                "memory)\n\n");
+    TextTable part2("");
+    part2.setHeader({"L", "baseline", "FT fused MHA", "SDF (ours)",
+                     "fused MHA usable?"});
+    const ModelConfig model = ModelConfig::bertLarge();
+    for (int64_t seq_len : {128, 256, 384, 512, 1024, 4096}) {
+        RunConfig run;
+        run.seqLen = seq_len;
+        const auto base = runInference(spec, model, run);
+        const auto ft = runLibraryInference(
+            spec, model, run, Library::FasterTransformer);
+        run.strategy = Strategy::Fused;
+        const auto sdf = runInference(spec, model, run);
+        FusedMhaDesc mha;
+        mha.seqLen = seq_len;
+        mha.dHead = model.dHead();
+        part2.addRow({
+            strprintf("%lld", (long long)seq_len),
+            formatSeconds(base.seconds),
+            formatSeconds(ft.seconds),
+            formatSeconds(sdf.seconds),
+            fusedMhaSupported(spec, mha) ? "yes" : "no",
+        });
+    }
+    part2.print();
+
+    std::printf(
+        "\nReading: at short L the fully fused MHA kernel is "
+        "unbeatable (no attention matrix at all), exactly as the "
+        "paper's related-work section says; past its shared-memory "
+        "limit (between L = 512 and 1024 here) it disappears and "
+        "softmax recomposition is what keeps scaling.\n");
+    return 0;
+}

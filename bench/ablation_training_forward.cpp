@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Section 6 study: applying softmax recomposition to the training
+ * forward pass. The softmax backward (Eq. (3)) depends only on the
+ * layer's *output* Y, so recomposition's refusal to materialize the
+ * softmax input costs nothing at training time. This bench
+ * demonstrates the gradient identity numerically and quantifies the
+ * activation-storage traffic the property saves per training step.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/softmax_math.hpp"
+#include "kernels/kernel_common.hpp"
+
+using namespace softrec;
+using namespace softrec::bench;
+
+int
+main()
+{
+    std::printf("Section 6: softmax recomposition and the training "
+                "forward pass\n\n");
+
+    // 1. Numeric demonstration: gradients from Y alone equal
+    //    finite-difference gradients through the full softmax.
+    Rng rng(11);
+    const size_t n = 64;
+    std::vector<double> x(n), dy(n);
+    for (size_t i = 0; i < n; ++i) {
+        x[i] = rng.normal(0.0, 2.0);
+        dy[i] = rng.normal(0.0, 1.0);
+    }
+    const auto y = safeSoftmax(x);
+    const auto dx = softmaxBackward(y, dy);
+    double worst = 0.0;
+    const double eps = 1e-6;
+    for (size_t k = 0; k < n; ++k) {
+        auto xp = x, xm = x;
+        xp[k] += eps;
+        xm[k] -= eps;
+        const auto yp = safeSoftmax(xp);
+        const auto ym = safeSoftmax(xm);
+        double ep = 0.0, em = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            ep += dy[i] * yp[i];
+            em += dy[i] * ym[i];
+        }
+        worst = std::max(worst,
+                         std::abs(dx[k] - (ep - em) / (2 * eps)));
+    }
+    std::printf("Gradient check (Eq. (3), input-free backward): max "
+                "|analytic - numeric| = %.3e over %zu elements\n\n",
+                worst, n);
+
+    // 2. Storage implication per training step, BERT-large shapes.
+    TextTable table("Softmax activation storage per training step "
+                    "(BERT-large, batch 1)");
+    table.setHeader({"L", "store X too (naive)", "store Y only "
+                     "(recomposition-compatible)", "saved"});
+    for (int64_t seq_len : {1024, 2048, 4096, 8192}) {
+        const uint64_t matrix =
+            uint64_t(24) * 16 * uint64_t(seq_len) * uint64_t(seq_len) *
+            kFp16Bytes;
+        table.addRow({
+            strprintf("%lld", (long long)seq_len),
+            formatBytes(2 * matrix),
+            formatBytes(matrix),
+            formatBytes(matrix),
+        });
+    }
+    table.print();
+
+    std::printf(
+        "\nConclusion (paper Section 6): because dE/dx is expressible "
+        "purely in terms of Y, the fused SDF forward pass, which "
+        "never materializes the softmax input X in off-chip memory, "
+        "remains valid for training; the tables above quantify the "
+        "activation traffic that property avoids.\n");
+    return worst < 1e-6 ? 0 : 1;
+}

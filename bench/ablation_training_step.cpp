@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Extension study (paper Section 6, carried through the backward
+ * pass): one full training step of the SDA block — forward plus
+ * backward — under the baseline and under softmax recomposition, for
+ * BERT-large shapes on the A100. Reports step time, off-chip traffic,
+ * and the activation bytes that must persist between the passes.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/training.hpp"
+#include "sim/gpu.hpp"
+
+using namespace softrec;
+using namespace softrec::bench;
+
+int
+main()
+{
+    const GpuSpec spec = GpuSpec::a100();
+
+    std::printf("Training-step ablation: SDA block forward + backward "
+                "on %s (BERT-large shapes, 16 heads, batch 1)\n\n",
+                spec.name.c_str());
+
+    for (int64_t seq_len : {2048, 4096}) {
+        SdaConfig config;
+        config.heads = 16;
+        config.seqLen = seq_len;
+        config.dHead = 64;
+
+        TextTable table(strprintf("L = %lld", (long long)seq_len));
+        table.setHeader({"Strategy", "forward", "backward", "step",
+                         "speedup", "traffic", "activations"});
+        double base_step = 0.0;
+        for (Strategy strategy : allStrategies()) {
+            const SdaTrainingSchedule sched =
+                buildSdaTrainingSchedule(spec, config, strategy);
+            Gpu fwd(spec), bwd(spec);
+            for (const KernelProfile &prof : sched.forward)
+                fwd.launch(prof);
+            for (const KernelProfile &prof : sched.backward)
+                bwd.launch(prof);
+            const double step =
+                fwd.totalSeconds() + bwd.totalSeconds();
+            if (strategy == Strategy::Baseline)
+                base_step = step;
+            table.addRow({
+                strategyName(strategy),
+                formatSeconds(fwd.totalSeconds()),
+                formatSeconds(bwd.totalSeconds()),
+                formatSeconds(step),
+                ratio(base_step / step),
+                formatBytes(fwd.totalDramBytes() +
+                            bwd.totalDramBytes()),
+                formatBytes(sched.activationBytes),
+            });
+        }
+        table.print();
+        std::printf("\n");
+    }
+
+    std::printf(
+        "Findings: the forward win carries over unchanged (Eq. (3) "
+        "lets the backward work from Y alone, so S is never stored); "
+        "the recomposed backward replaces the serialized softmax-"
+        "backward kernel with GEMM-fused work at roughly equal "
+        "traffic; activation memory for the attention matrices "
+        "roughly halves.\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses: running
+ * all three strategies, formatting ratios, and the paper's published
+ * numbers for side-by-side comparison.
+ */
+
+#ifndef SOFTREC_BENCH_BENCH_COMMON_HPP
+#define SOFTREC_BENCH_BENCH_COMMON_HPP
+
+#include <map>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/engine.hpp"
+#include "model/model_config.hpp"
+
+namespace softrec {
+namespace bench {
+
+/** Baseline / SD / SDF results for one (model, GPU, L, batch). */
+struct StrategySweep
+{
+    InferenceResult baseline;
+    InferenceResult decomposed;
+    InferenceResult fused;
+};
+
+/** Run all three strategies for one configuration. */
+inline StrategySweep
+runStrategies(const GpuSpec &spec, const ModelConfig &model,
+              int64_t seq_len, int64_t batch = 1)
+{
+    RunConfig run;
+    run.seqLen = seq_len;
+    run.batch = batch;
+    StrategySweep sweep;
+    run.strategy = Strategy::Baseline;
+    sweep.baseline = runInference(spec, model, run);
+    run.strategy = Strategy::Decomposed;
+    sweep.decomposed = runInference(spec, model, run);
+    run.strategy = Strategy::Fused;
+    sweep.fused = runInference(spec, model, run);
+    return sweep;
+}
+
+/** "1.25x" style formatting. */
+inline std::string
+ratio(double value)
+{
+    return strprintf("%.2fx", value);
+}
+
+/** "36.2%" style formatting. */
+inline std::string
+percent(double fraction)
+{
+    return strprintf("%.1f%%", fraction * 100.0);
+}
+
+/** Published end-to-end SDF speedups on A100 (Fig. 8a / abstract). */
+inline const std::map<std::string, double> &
+paperSpeedupsA100()
+{
+    static const std::map<std::string, double> values = {
+        {"BERT-large", 1.25},
+        {"GPT-Neo-1.3B", 1.12},
+        {"BigBird-large", 1.57},
+        {"Longformer-large", 1.65},
+    };
+    return values;
+}
+
+/** Published SD-only speedups on A100 (Section 5.1). */
+inline const std::map<std::string, double> &
+paperSdSpeedupsA100()
+{
+    static const std::map<std::string, double> values = {
+        {"BERT-large", 0.94},
+        {"GPT-Neo-1.3B", 0.99},
+        {"BigBird-large", 1.44},
+        {"Longformer-large", 1.49},
+    };
+    return values;
+}
+
+/** Published softmax shares of execution time, A100 L=4096 (Fig. 2). */
+inline const std::map<std::string, double> &
+paperSoftmaxShares()
+{
+    static const std::map<std::string, double> values = {
+        {"BERT-large", 0.36},
+        {"GPT-Neo-1.3B", 0.18},
+        {"BigBird-large", 0.40},
+        {"Longformer-large", 0.42},
+    };
+    return values;
+}
+
+/** Published SDF speedups on RTX 3090 and T4 (Section 5.1). */
+inline const std::map<std::string, std::map<std::string, double>> &
+paperSpeedupsOtherGpus()
+{
+    static const std::map<std::string, std::map<std::string, double>>
+        values = {
+            {"RTX 3090",
+             {{"BERT-large", 1.12},
+              {"GPT-Neo-1.3B", 1.05},
+              {"BigBird-large", 1.32},
+              {"Longformer-large", 1.36}}},
+            {"T4",
+             {{"BERT-large", 1.22},
+              {"GPT-Neo-1.3B", 1.08},
+              {"BigBird-large", 1.77},
+              {"Longformer-large", 1.87}}},
+        };
+    return values;
+}
+
+} // namespace bench
+} // namespace softrec
+
+#endif // SOFTREC_BENCH_BENCH_COMMON_HPP

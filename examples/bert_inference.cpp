@@ -1,0 +1,111 @@
+/**
+ * @file
+ * End-to-end inference study: run any of the paper's four models on
+ * any of the three GPUs at a chosen sequence length and batch size,
+ * and print the per-category report under all three softmax
+ * strategies.
+ *
+ * Usage: bert_inference [model] [seq_len] [batch] [gpu]
+ *   model: bert | gptneo | bigbird | longformer   (default bert)
+ *   seq_len: power-of-two-ish multiple of 64      (default 4096)
+ *   batch: >= 1                                   (default 1)
+ *   gpu: a100 | 3090 | t4                         (default a100)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/engine.hpp"
+
+using namespace softrec;
+
+namespace {
+
+ModelConfig
+pickModel(const std::string &name)
+{
+    if (name == "bert")
+        return ModelConfig::bertLarge();
+    if (name == "gptneo")
+        return ModelConfig::gptNeo13B();
+    if (name == "bigbird")
+        return ModelConfig::bigBirdLarge();
+    if (name == "longformer")
+        return ModelConfig::longformerLarge();
+    fatal("unknown model '%s' (want bert|gptneo|bigbird|longformer)",
+          name.c_str());
+}
+
+GpuSpec
+pickGpu(const std::string &name)
+{
+    if (name == "a100")
+        return GpuSpec::a100();
+    if (name == "3090")
+        return GpuSpec::rtx3090();
+    if (name == "t4")
+        return GpuSpec::t4();
+    fatal("unknown GPU '%s' (want a100|3090|t4)", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const ModelConfig model =
+        pickModel(argc > 1 ? argv[1] : "bert");
+    const int64_t seq_len = argc > 2 ? std::atoll(argv[2]) : 4096;
+    const int64_t batch = argc > 3 ? std::atoll(argv[3]) : 1;
+    const GpuSpec spec = pickGpu(argc > 4 ? argv[4] : "a100");
+
+    std::printf("%s on %s, L = %lld, batch = %lld "
+                "(%s attention, %lld layers, D_m = %lld)\n\n",
+                model.name.c_str(), spec.name.c_str(),
+                (long long)seq_len, (long long)batch,
+                attentionKindName(model.attention),
+                (long long)model.numLayers, (long long)model.dModel);
+
+    TextTable summary("Strategy summary");
+    summary.setHeader({"Strategy", "latency", "speedup", "DRAM traffic",
+                       "off-chip energy", "kernels"});
+    double baseline_seconds = 0.0;
+
+    for (Strategy strategy : allStrategies()) {
+        RunConfig run;
+        run.seqLen = seq_len;
+        run.batch = batch;
+        run.strategy = strategy;
+        const InferenceResult result = runInference(spec, model, run);
+        if (strategy == Strategy::Baseline)
+            baseline_seconds = result.seconds;
+        summary.addRow({
+            strategyName(strategy),
+            formatSeconds(result.seconds),
+            strprintf("%.2fx", baseline_seconds / result.seconds),
+            formatBytes(result.dramBytes()),
+            strprintf("%.2f J", result.offChipEnergyJoules),
+            strprintf("%lld", (long long)result.kernelLaunches),
+        });
+
+        TextTable breakdown(strprintf("Per-category breakdown (%s)",
+                                      strategyName(strategy)));
+        breakdown.setHeader({"Category", "time", "share", "traffic"});
+        for (const auto &[category, totals] : result.categories) {
+            breakdown.addRow({
+                kernelCategoryName(category),
+                formatSeconds(totals.seconds),
+                strprintf("%.1f%%",
+                          100.0 * totals.seconds / result.seconds),
+                formatBytes(totals.dramBytes()),
+            });
+        }
+        breakdown.print();
+        std::printf("\n");
+    }
+    summary.print();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Quickstart: softmax recomposition on a single attention head.
+ *
+ * Demonstrates the two halves of the library in ~100 lines:
+ *
+ *  1. the *functional* side — run one scaled-dot-product-attention
+ *     head under Baseline, SD (decomposed), and SDF (fused) and show
+ *     all three produce the same numbers;
+ *  2. the *performance-model* side — plan the same SDA block at
+ *     BERT-large scale on a simulated A100 and show why SDF wins
+ *     (attention-matrix sweeps 4 -> 2, softmax traffic eliminated).
+ */
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/attention_exec.hpp"
+#include "core/recomposition.hpp"
+#include "sim/gpu.hpp"
+#include "tensor/tensor_ops.hpp"
+
+using namespace softrec;
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // 1. Functional equivalence on a small head.
+    // ------------------------------------------------------------------
+    SdaConfig small;
+    small.seqLen = 128;
+    small.dHead = 32;
+    small.subVector = 32;
+    small.attnTiling.tileM = 32;
+    small.attnTiling.tileN = 32;
+    small.attnTiling.tileK = 16;
+
+    AttentionInputs inputs = makeAttentionInputs(small);
+    Rng rng(2022);
+    fillNormal(inputs.q, rng, 0.0, 0.8);
+    fillNormal(inputs.k, rng, 0.0, 0.8);
+    fillNormal(inputs.v, rng, 0.0, 0.8);
+
+    const Tensor<float> reference =
+        referenceDenseAttention(small, inputs);
+    std::printf("Functional check, one attention head "
+                "(L = %lld, D_head = %lld):\n",
+                (long long)small.seqLen, (long long)small.dHead);
+    for (Strategy strategy : allStrategies()) {
+        const Tensor<Half> out =
+            runDenseAttention(small, inputs, strategy);
+        std::printf("  %-8s max |out - fp64 reference| = %.2e\n",
+                    strategyName(strategy),
+                    maxAbsDiff(toFloat(out), reference));
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Performance model at paper scale (BERT-large SDA block).
+    // ------------------------------------------------------------------
+    SdaConfig big;
+    big.batch = 1;
+    big.heads = 16;
+    big.seqLen = 4096;
+    big.dHead = 64;
+
+    const GpuSpec spec = GpuSpec::a100();
+    std::printf("\nModeled SDA block, BERT-large shapes on %s "
+                "(L = 4096, 16 heads, FP16):\n",
+                spec.name.c_str());
+    double baseline_seconds = 0.0;
+    for (Strategy strategy : allStrategies()) {
+        const SdaSchedule sched =
+            buildSdaSchedule(spec, big, strategy);
+        Gpu gpu(spec);
+        for (const KernelProfile &prof : sched.kernels)
+            gpu.launch(prof);
+        if (strategy == Strategy::Baseline)
+            baseline_seconds = gpu.totalSeconds();
+        std::printf("  %-8s %2zu kernels  %9s  traffic %-10s "
+                    "attention sweeps %d  speedup %.2fx\n",
+                    strategyName(strategy), sched.kernels.size(),
+                    formatSeconds(gpu.totalSeconds()).c_str(),
+                    formatBytes(gpu.totalDramBytes()).c_str(),
+                    sched.attentionSweeps,
+                    baseline_seconds / gpu.totalSeconds());
+    }
+
+    std::printf("\nWhat happened: decomposing softmax into LS/IR/GS "
+                "lets LS fuse into the Q.K^T epilogue and GS into the "
+                "P.V prologue, so the 512 MiB attention matrix "
+                "crosses the off-chip boundary twice instead of four "
+                "times. See DESIGN.md and the bench/ harnesses for "
+                "the full-paper reproduction.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sequence-to-sequence scenario: the vanilla encoder-decoder
+ * transformer of the paper's background section translating long
+ * documents. Shows softmax recomposition applied to all three
+ * attention flavours at once — encoder self-attention, decoder causal
+ * self-attention, and rectangular decoder-to-encoder cross-attention.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "model/seq2seq.hpp"
+
+using namespace softrec;
+
+int
+main()
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const Seq2SeqConfig config = Seq2SeqConfig::vanillaBig();
+
+    std::printf("%s on %s: %lld encoder + %lld decoder layers, "
+                "D_m = %lld, %lld heads\n\n",
+                config.name.c_str(), spec.name.c_str(),
+                (long long)config.encoderLayers,
+                (long long)config.decoderLayers,
+                (long long)config.dModel, (long long)config.numHeads);
+
+    // Long-document translation: a 4096-token source document, and a
+    // summary-length vs document-length target to show the
+    // rectangular cross-attention at two aspect ratios.
+    TextTable table("Translation latency by softmax strategy");
+    table.setHeader({"src -> tgt", "Baseline", "SD", "SDF",
+                     "SDF speedup", "softmax share (baseline)"});
+    struct Case
+    {
+        int64_t src;
+        int64_t tgt;
+    };
+    for (const Case &c : {Case{4096, 4096}, Case{4096, 1024},
+                          Case{1024, 4096}, Case{512, 512}}) {
+        Seq2SeqRun run;
+        run.srcLen = c.src;
+        run.tgtLen = c.tgt;
+        run.strategy = Strategy::Baseline;
+        const Seq2SeqResult base =
+            runSeq2SeqInference(spec, config, run);
+        run.strategy = Strategy::Decomposed;
+        const Seq2SeqResult sd = runSeq2SeqInference(spec, config, run);
+        run.strategy = Strategy::Fused;
+        const Seq2SeqResult sdf =
+            runSeq2SeqInference(spec, config, run);
+        table.addRow({
+            strprintf("%lld -> %lld", (long long)c.src,
+                      (long long)c.tgt),
+            formatSeconds(base.seconds),
+            formatSeconds(sd.seconds),
+            formatSeconds(sdf.seconds),
+            strprintf("%.2fx", base.seconds / sdf.seconds),
+            strprintf("%.0f%%",
+                      100.0 * base.softmaxSeconds / base.seconds),
+        });
+    }
+    table.print();
+
+    std::printf(
+        "\nEvery attention block benefits: the encoder's L_src x "
+        "L_src self-attention, the decoder's causal L_tgt x L_tgt "
+        "self-attention, and the rectangular L_tgt x L_src "
+        "cross-attention all get their softmax recomposed into the "
+        "adjacent GEMMs. At 512 -> 512 the attention matrices are "
+        "small and the technique is neutral, matching Fig. 9(a).\n");
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Long-document scenario (the paper's motivating workload): generate
+ * a synthetic TriviaQA-like corpus, show why long sequence lengths
+ * matter (documents lose content when truncated at small L), compare
+ * BigBird / Longformer block-sparse attention structures, and measure
+ * what softmax recomposition buys on them — including a functional
+ * validation of the sparse pipeline on a small slice.
+ */
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/attention_exec.hpp"
+#include "model/engine.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "workload/corpus.hpp"
+
+using namespace softrec;
+
+int
+main()
+{
+    // ------------------------------------------------------------------
+    // 1. The workload: long documents get truncated at small L.
+    // ------------------------------------------------------------------
+    CorpusConfig corpus_config;
+    corpus_config.numDocuments = 256;
+    const SyntheticCorpus corpus(corpus_config);
+    std::printf("Synthetic long-document corpus: %lld documents, "
+                "mean length %.0f tokens\n",
+                (long long)corpus_config.numDocuments,
+                corpus.averageLength());
+    TextTable trunc("Documents truncated at sequence length L");
+    trunc.setHeader({"L", "documents cut short"});
+    for (int64_t seq_len : {512, 1024, 2048, 4096, 8192}) {
+        trunc.addRow({
+            strprintf("%lld", (long long)seq_len),
+            strprintf("%.0f%%",
+                      100.0 * corpus.fractionLongerThan(seq_len)),
+        });
+    }
+    trunc.print();
+
+    // ------------------------------------------------------------------
+    // 2. The attention structures at L = 4096.
+    // ------------------------------------------------------------------
+    const int64_t seq_len = 4096;
+    std::printf("\nBlock-sparse attention structures at L = %lld:\n",
+                (long long)seq_len);
+    for (const ModelConfig &model :
+         {ModelConfig::bigBirdLarge(), ModelConfig::longformerLarge()}) {
+        const BsrLayout layout = model.buildLayout(seq_len);
+        const SparsityStats stats = analyzeSparsity(layout);
+        std::printf("  %-16s %s; rows carry %lld-%lld blocks "
+                    "(imbalance %.1fx)\n",
+                    model.name.c_str(), layout.toString().c_str(),
+                    (long long)stats.minRowBlocks,
+                    (long long)stats.maxRowBlocks, stats.imbalance);
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Functional validation of the sparse pipeline (small slice).
+    // ------------------------------------------------------------------
+    BigBirdParams small_params;
+    small_params.blockSize = 16;
+    small_params.windowBlocks = 1;
+    small_params.globalBlocks = 1;
+    small_params.randomBlocks = 1;
+    const BsrLayout small_layout = bigBirdPattern(256, small_params);
+    SdaConfig small;
+    small.seqLen = 256;
+    small.dHead = 32;
+    small.layout = &small_layout;
+    small.subVector = 16;
+    AttentionInputs inputs = makeAttentionInputs(small);
+    Rng rng(404);
+    fillNormal(inputs.q, rng, 0.0, 0.8);
+    fillNormal(inputs.k, rng, 0.0, 0.8);
+    fillNormal(inputs.v, rng, 0.0, 0.8);
+    const Tensor<float> reference =
+        referenceSparseAttention(small, inputs);
+    std::printf("\nFunctional sparse-attention check (L = 256, "
+                "BigBird-like layout):\n");
+    for (Strategy strategy : allStrategies()) {
+        const Tensor<Half> out =
+            runSparseAttention(small, inputs, strategy);
+        std::printf("  %-8s max |out - fp64 reference| = %.2e\n",
+                    strategyName(strategy),
+                    maxAbsDiff(toFloat(out), reference));
+    }
+
+    // ------------------------------------------------------------------
+    // 4. What recomposition buys on the sparse models (A100).
+    // ------------------------------------------------------------------
+    const GpuSpec spec = GpuSpec::a100();
+    std::printf("\nModeled end-to-end inference on %s "
+                "(L = %lld, batch 1):\n\n",
+                spec.name.c_str(), (long long)seq_len);
+    TextTable table("");
+    table.setHeader({"Model", "Baseline", "SD", "SDF", "SDF speedup",
+                     "softmax share (baseline)"});
+    for (const ModelConfig &model :
+         {ModelConfig::bigBirdLarge(), ModelConfig::longformerLarge()}) {
+        RunConfig run;
+        run.seqLen = seq_len;
+        run.strategy = Strategy::Baseline;
+        const auto base = runInference(spec, model, run);
+        run.strategy = Strategy::Decomposed;
+        const auto sd = runInference(spec, model, run);
+        run.strategy = Strategy::Fused;
+        const auto sdf = runInference(spec, model, run);
+        table.addRow({
+            model.name,
+            formatSeconds(base.seconds),
+            formatSeconds(sd.seconds),
+            formatSeconds(sdf.seconds),
+            strprintf("%.2fx", base.seconds / sdf.seconds),
+            strprintf("%.0f%%",
+                      100.0 * base.softmaxSeconds() / base.seconds),
+        });
+    }
+    table.print();
+
+    std::printf("\nSparse attention makes decomposition *itself* a "
+                "win (not just fusion): per-sub-vector thread blocks "
+                "replace the baseline's worst-case full-row "
+                "allocation, whose idle lanes waste most of the "
+                "memory bandwidth (paper Section 5.1).\n");
+    return 0;
+}

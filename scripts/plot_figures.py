@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from the CSV artifacts the benches emit.
+
+Run the figure benches first (they write fig*.csv into the working
+directory), then:
+
+    python3 scripts/plot_figures.py [--outdir plots]
+
+Requires matplotlib. Each missing CSV is skipped with a note, so the
+script degrades gracefully if only some benches were run.
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    if not os.path.exists(path):
+        print(f"skip: {path} not found (run the matching bench first)")
+        return None
+    with open(path) as handle:
+        return list(csv.DictReader(handle))
+
+
+def plot_fig2(rows, outdir, plt):
+    models = [r["model"] for r in rows]
+    cats = ["sda_matmul", "softmax", "fc", "feedforward", "other"]
+    labels = ["MatMul(SDA)", "Softmax", "FC", "FeedForward", "Other"]
+    bottoms = [0.0] * len(models)
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for cat, label in zip(cats, labels):
+        vals = [float(r[cat]) * 100 for r in rows]
+        ax.bar(models, vals, bottom=bottoms, label=label)
+        bottoms = [b + v for b, v in zip(bottoms, vals)]
+    ax.set_ylabel("share of execution time (%)")
+    ax.set_title("Fig. 2: execution-time breakdown (A100, L=4096)")
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig2_breakdown.png"), dpi=150)
+    print("wrote fig2_breakdown.png")
+
+
+def plot_fig8(rows, outdir, plt):
+    models = [r["model"] for r in rows]
+    fig, axes = plt.subplots(1, 2, figsize=(10, 4))
+    width = 0.35
+    x = range(len(models))
+    for ax, (sd_key, sdf_key), title in zip(
+        axes,
+        [("sd_norm_time", "sdf_norm_time"),
+         ("sd_norm_bytes", "sdf_norm_bytes")],
+        ["(a) normalized time", "(b) normalized off-chip accesses"],
+    ):
+        ax.bar([i - width / 2 for i in x],
+               [float(r[sd_key]) for r in rows], width, label="SD")
+        ax.bar([i + width / 2 for i in x],
+               [float(r[sdf_key]) for r in rows], width, label="SDF")
+        ax.axhline(1.0, color="k", linewidth=0.8, linestyle="--",
+                   label="baseline")
+        ax.set_xticks(list(x))
+        ax.set_xticklabels(models, rotation=20, fontsize=8)
+        ax.set_title(title)
+        ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, "fig8_recomposition.png"), dpi=150)
+    print("wrote fig8_recomposition.png")
+
+
+def plot_sweep(rows, key, xlabel, name, outdir, plt):
+    series = defaultdict(list)
+    for r in rows:
+        series[r["model"]].append((int(r[key]), float(r["sdf_speedup"])))
+    fig, ax = plt.subplots(figsize=(6, 4))
+    for model, points in series.items():
+        points.sort()
+        ax.plot([p[0] for p in points], [p[1] for p in points],
+                marker="o", label=model)
+    ax.set_xlabel(xlabel)
+    ax.set_ylabel("SDF speedup over baseline")
+    ax.set_xscale("log", base=2)
+    ax.axhline(1.0, color="k", linewidth=0.8, linestyle="--")
+    ax.legend(fontsize=8)
+    ax.set_title(name)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, f"{name}.png"), dpi=150)
+    print(f"wrote {name}.png")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--outdir", default="plots")
+    args = parser.parse_args()
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+    os.makedirs(args.outdir, exist_ok=True)
+
+    rows = read_csv("fig2_breakdown.csv")
+    if rows:
+        plot_fig2(rows, args.outdir, plt)
+    rows = read_csv("fig8_recomposition.csv")
+    if rows:
+        plot_fig8(rows, args.outdir, plt)
+    rows = read_csv("fig9a_seqlen_sweep.csv")
+    if rows:
+        plot_sweep(rows, "seq_len", "sequence length L",
+                   "fig9a_seqlen_sweep", args.outdir, plt)
+    rows = read_csv("fig9b_batch_sweep.csv")
+    if rows:
+        plot_sweep(rows, "batch", "batch size",
+                   "fig9b_batch_sweep", args.outdir, plt)
+
+
+if __name__ == "__main__":
+    main()

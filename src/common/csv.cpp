@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CSV writer implementation.
+ */
+
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+void
+CsvWriter::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    SOFTREC_ASSERT(!header_.empty(), "setHeader must precede addRow");
+    SOFTREC_ASSERT(cells.size() == header_.size(),
+                   "CSV row width %zu != header width %zu",
+                   cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    return out + "\"";
+}
+
+std::string
+CsvWriter::render() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out << ',';
+            out << escape(cells[i]);
+        }
+        out << '\n';
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file) {
+        warn("cannot write CSV to %s", path.c_str());
+        return false;
+    }
+    file << render();
+    return bool(file);
+}
+
+} // namespace softrec

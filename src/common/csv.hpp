@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal CSV writer so every figure harness can leave a
+ * machine-readable copy of its series next to the console table
+ * (plotting-ready reproduction artifacts).
+ */
+
+#ifndef SOFTREC_COMMON_CSV_HPP
+#define SOFTREC_COMMON_CSV_HPP
+
+#include <string>
+#include <vector>
+
+namespace softrec {
+
+/** Row-oriented CSV document with RFC-4180 quoting. */
+class CsvWriter
+{
+  public:
+    /** Set the header row (defines the column count). */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the document to a string. */
+    std::string render() const;
+
+    /**
+     * Write to a file; returns false (with a warn) on I/O failure
+     * rather than aborting a bench run.
+     */
+    bool writeFile(const std::string &path) const;
+
+    /** Number of data rows so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_COMMON_CSV_HPP

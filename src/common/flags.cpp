@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Flag parser implementation.
+ */
+
+#include "common/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+void
+FlagParser::addString(const std::string &name,
+                      const std::string &default_value,
+                      const std::string &help)
+{
+    SOFTREC_ASSERT(!flags_.count(name), "duplicate flag --%s",
+                   name.c_str());
+    flags_[name] = Flag{Kind::String, help, default_value};
+    order_.push_back(name);
+}
+
+void
+FlagParser::addInt(const std::string &name, int64_t default_value,
+                   const std::string &help)
+{
+    SOFTREC_ASSERT(!flags_.count(name), "duplicate flag --%s",
+                   name.c_str());
+    flags_[name] =
+        Flag{Kind::Int, help, std::to_string(default_value)};
+    order_.push_back(name);
+}
+
+void
+FlagParser::addBool(const std::string &name, const std::string &help)
+{
+    SOFTREC_ASSERT(!flags_.count(name), "duplicate flag --%s",
+                   name.c_str());
+    flags_[name] = Flag{Kind::Bool, help, "0"};
+    order_.push_back(name);
+}
+
+bool
+FlagParser::parse(const std::vector<std::string> &args)
+{
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        const size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+        auto it = flags_.find(name);
+        if (it == flags_.end()) {
+            warn("unknown flag --%s", name.c_str());
+            return false;
+        }
+        Flag &flag = it->second;
+        if (flag.kind == Kind::Bool) {
+            if (has_value && value != "true" && value != "false" &&
+                value != "0" && value != "1") {
+                warn("--%s takes no value", name.c_str());
+                return false;
+            }
+            flag.value =
+                (!has_value || value == "true" || value == "1") ? "1"
+                                                                : "0";
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= args.size()) {
+                warn("--%s needs a value", name.c_str());
+                return false;
+            }
+            value = args[++i];
+        }
+        if (flag.kind == Kind::Int) {
+            char *end = nullptr;
+            (void)std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0') {
+                warn("--%s needs an integer, got '%s'", name.c_str(),
+                     value.c_str());
+                return false;
+            }
+        }
+        flag.value = value;
+    }
+    return true;
+}
+
+std::string
+FlagParser::getString(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    SOFTREC_ASSERT(it != flags_.end() &&
+                   it->second.kind == Kind::String,
+                   "unregistered string flag --%s", name.c_str());
+    return it->second.value;
+}
+
+int64_t
+FlagParser::getInt(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    SOFTREC_ASSERT(it != flags_.end() && it->second.kind == Kind::Int,
+                   "unregistered int flag --%s", name.c_str());
+    return std::strtoll(it->second.value.c_str(), nullptr, 10);
+}
+
+bool
+FlagParser::getBool(const std::string &name) const
+{
+    auto it = flags_.find(name);
+    SOFTREC_ASSERT(it != flags_.end() && it->second.kind == Kind::Bool,
+                   "unregistered bool flag --%s", name.c_str());
+    return it->second.value == "1";
+}
+
+std::string
+FlagParser::usage() const
+{
+    std::ostringstream out;
+    for (const std::string &name : order_) {
+        const Flag &flag = flags_.at(name);
+        out << "  --" << name;
+        if (flag.kind == Kind::String)
+            out << " <string, default \"" << flag.value << "\">";
+        else if (flag.kind == Kind::Int)
+            out << " <int, default " << flag.value << ">";
+        out << "\n      " << flag.help << "\n";
+    }
+    return out.str();
+}
+
+} // namespace softrec

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tiny command-line flag parser for the tools: supports
+ * `--name value`, `--name=value`, boolean `--name`, and positional
+ * arguments, with registered descriptions for usage text.
+ */
+
+#ifndef SOFTREC_COMMON_FLAGS_HPP
+#define SOFTREC_COMMON_FLAGS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace softrec {
+
+/** Declarative flag set + parser. */
+class FlagParser
+{
+  public:
+    /** Register a string flag with a default and help text. */
+    void addString(const std::string &name,
+                   const std::string &default_value,
+                   const std::string &help);
+    /** Register an integer flag. */
+    void addInt(const std::string &name, int64_t default_value,
+                const std::string &help);
+    /** Register a boolean flag (present = true). */
+    void addBool(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv-style arguments (excluding argv[0]). Returns false
+     * (with a warn) on an unknown flag or a malformed value.
+     */
+    bool parse(const std::vector<std::string> &args);
+
+    /** Value accessors (registered defaults if unset). */
+    std::string getString(const std::string &name) const;
+    int64_t getInt(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Arguments that were not flags, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render usage text from the registered flags. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Int, Bool };
+    struct Flag
+    {
+        Kind kind;
+        std::string help;
+        std::string value; // string form; bools use "0"/"1"
+    };
+
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> order_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_COMMON_FLAGS_HPP

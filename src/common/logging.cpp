@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Implementation of the SoftRec logging primitives.
+ */
+
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace softrec {
+
+std::string
+vstrprintf(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vstrprintf(fmt, args);
+    va_end(args);
+    return out;
+}
+
+namespace log {
+
+namespace {
+
+const char *
+levelTag(Level level)
+{
+    switch (level) {
+      case Level::Info: return "info";
+      case Level::Warn: return "warn";
+      case Level::Fatal: return "fatal";
+      case Level::Panic: return "panic";
+    }
+    return "?";
+}
+
+void
+defaultSink(Level level, const std::string &msg)
+{
+    std::FILE *stream = level == Level::Info ? stdout : stderr;
+    std::fprintf(stream, "%s: %s\n", levelTag(level), msg.c_str());
+    std::fflush(stream);
+}
+
+Sink currentSink = defaultSink;
+
+} // namespace
+
+Sink
+setSink(Sink sink)
+{
+    Sink prev = currentSink;
+    currentSink = sink ? sink : defaultSink;
+    return prev;
+}
+
+void
+emit(Level level, const std::string &msg)
+{
+    currentSink(level, msg);
+}
+
+} // namespace log
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    log::emit(log::Level::Info, vstrprintf(fmt, args));
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    log::emit(log::Level::Warn, vstrprintf(fmt, args));
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    log::emit(log::Level::Fatal, msg);
+    // Thrown (rather than exit(1)) so that unit tests can observe fatal
+    // conditions; main() wrappers catch FatalError and exit cleanly.
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    log::emit(log::Level::Panic, msg);
+    throw std::logic_error("panic: " + msg);
+}
+
+} // namespace softrec

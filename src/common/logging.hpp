@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Logging and error-reporting primitives for SoftRec.
+ *
+ * Follows the gem5 convention: fatal() reports a condition that is the
+ * user's fault (bad configuration, invalid arguments) and exits cleanly,
+ * while panic() reports an internal invariant violation (a SoftRec bug)
+ * and aborts. inform() and warn() emit status without stopping.
+ */
+
+#ifndef SOFTREC_COMMON_LOGGING_HPP
+#define SOFTREC_COMMON_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace softrec {
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+namespace log {
+
+/** Severity levels for the message sink. */
+enum class Level { Info, Warn, Fatal, Panic };
+
+/** Sink callback type; tests can intercept messages. */
+using Sink = void (*)(Level, const std::string &);
+
+/** Replace the message sink; returns the previous sink. */
+Sink setSink(Sink sink);
+
+/** Emit a message at the given level through the current sink. */
+void emit(Level level, const std::string &msg);
+
+} // namespace log
+
+/** Informative status message; never stops execution. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-caused error (bad config, bad arguments)
+ * and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a SoftRec bug) and abort.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an internal invariant with a formatted explanation.
+ * Unlike assert(3) this is active in all build types.
+ */
+#define SOFTREC_ASSERT(cond, ...)                                         \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::softrec::panic("assertion '%s' failed: %s", #cond,          \
+                             ::softrec::strprintf(__VA_ARGS__).c_str());  \
+        }                                                                 \
+    } while (0)
+
+} // namespace softrec
+
+#endif // SOFTREC_COMMON_LOGGING_HPP

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Implementation of the deterministic RNG.
+ */
+
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+namespace {
+
+/** splitmix64, used only to expand the seed into the xoshiro state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    SOFTREC_ASSERT(n > 0, "uniformInt needs a positive range");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t value;
+    do {
+        value = next();
+    } while (value >= limit);
+    return value % n;
+}
+
+double
+Rng::normal()
+{
+    if (haveSpareNormal_) {
+        haveSpareNormal_ = false;
+        return spareNormal_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spareNormal_ = radius * std::sin(theta);
+    haveSpareNormal_ = true;
+    return radius * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+uint64_t
+Rng::zipf(uint64_t n, double s)
+{
+    SOFTREC_ASSERT(n > 0, "zipf needs a positive support size");
+    if (zipfN_ != n || zipfS_ != s) {
+        zipfCdf_.resize(n);
+        double total = 0.0;
+        for (uint64_t rank = 0; rank < n; ++rank) {
+            total += 1.0 / std::pow(double(rank + 1), s);
+            zipfCdf_[rank] = total;
+        }
+        for (auto &c : zipfCdf_)
+            c /= total;
+        zipfN_ = n;
+        zipfS_ = s;
+    }
+    const double u = uniform();
+    auto it = std::lower_bound(zipfCdf_.begin(), zipfCdf_.end(), u);
+    return uint64_t(it - zipfCdf_.begin());
+}
+
+std::vector<uint64_t>
+Rng::sampleWithoutReplacement(uint64_t n, uint64_t k)
+{
+    SOFTREC_ASSERT(k <= n, "cannot sample %llu of %llu without replacement",
+                   (unsigned long long)k, (unsigned long long)n);
+    // Floyd's algorithm: O(k) memory, no O(n) shuffle.
+    std::vector<uint64_t> chosen;
+    chosen.reserve(k);
+    for (uint64_t j = n - k; j < n; ++j) {
+        uint64_t t = uniformInt(j + 1);
+        if (std::find(chosen.begin(), chosen.end(), t) != chosen.end())
+            t = j;
+        chosen.push_back(t);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+}
+
+} // namespace softrec

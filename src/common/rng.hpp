@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic random-number generation for workloads and tests.
+ *
+ * A small xoshiro256** generator wrapped with the distributions the
+ * workload generators need (uniform, normal, Zipfian). Determinism across
+ * platforms matters more than statistical sophistication here, so we do
+ * not use <random> distributions (their sequences are
+ * implementation-defined).
+ */
+
+#ifndef SOFTREC_COMMON_RNG_HPP
+#define SOFTREC_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace softrec {
+
+/**
+ * Deterministic pseudo-random generator (xoshiro256**) with the
+ * distributions used throughout SoftRec.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; the same seed yields the same sequence. */
+    explicit Rng(uint64_t seed = 0x5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); n must be positive. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal via Box-Muller. */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Zipfian rank in [0, n) with exponent s (s = 0 is uniform).
+     * Uses an inverse-CDF table; cheap for repeated draws with the same
+     * (n, s) because the table is cached.
+     */
+    uint64_t zipf(uint64_t n, double s);
+
+    /** Sample k distinct integers from [0, n) (k <= n). */
+    std::vector<uint64_t> sampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  private:
+    uint64_t state_[4];
+    bool haveSpareNormal_ = false;
+    double spareNormal_ = 0.0;
+
+    // Cached Zipf CDF for the last (n, s) pair.
+    uint64_t zipfN_ = 0;
+    double zipfS_ = -1.0;
+    std::vector<double> zipfCdf_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_COMMON_RNG_HPP

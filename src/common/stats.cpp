@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Implementation of the statistics registry.
+ */
+
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace softrec {
+
+void
+StatGroup::add(const std::string &stat, double delta)
+{
+    auto [it, inserted] = values_.try_emplace(stat, 0.0);
+    if (inserted)
+        order_.push_back(stat);
+    it->second += delta;
+}
+
+void
+StatGroup::set(const std::string &stat, double value)
+{
+    auto [it, inserted] = values_.try_emplace(stat, value);
+    if (inserted)
+        order_.push_back(stat);
+    else
+        it->second = value;
+}
+
+double
+StatGroup::get(const std::string &stat) const
+{
+    auto it = values_.find(stat);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatGroup::has(const std::string &stat) const
+{
+    return values_.count(stat) > 0;
+}
+
+std::vector<std::pair<std::string, double>>
+StatGroup::entries() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(order_.size());
+    for (const auto &name : order_)
+        out.emplace_back(name, values_.at(name));
+    return out;
+}
+
+void
+StatGroup::reset()
+{
+    values_.clear();
+    order_.clear();
+}
+
+void
+RunningStat::sample(double value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    sumSquares_ += value * value;
+}
+
+double
+RunningStat::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSquares_ / double(count_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+} // namespace softrec

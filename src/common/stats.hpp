@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A small named-statistics registry, in the spirit of gem5's stats
+ * package. Kernels and the simulator record scalars into named groups;
+ * benches and reports read them back or dump everything.
+ */
+
+#ifndef SOFTREC_COMMON_STATS_HPP
+#define SOFTREC_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace softrec {
+
+/**
+ * A group of named scalar statistics. Values accumulate; reset() clears.
+ */
+class StatGroup
+{
+  public:
+    /** Create a group with a dotted name, e.g. "gpu.dram". */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Group name. */
+    const std::string &name() const { return name_; }
+
+    /** Add delta to the named scalar (creating it at zero). */
+    void add(const std::string &stat, double delta);
+
+    /** Overwrite the named scalar. */
+    void set(const std::string &stat, double value);
+
+    /** Read a scalar; returns 0 for unknown names. */
+    double get(const std::string &stat) const;
+
+    /** True if the scalar has ever been written. */
+    bool has(const std::string &stat) const;
+
+    /** All (name, value) pairs in insertion order. */
+    std::vector<std::pair<std::string, double>> entries() const;
+
+    /** Clear every scalar back to absent. */
+    void reset();
+
+  private:
+    std::string name_;
+    std::map<std::string, double> values_;
+    std::vector<std::string> order_;
+};
+
+/**
+ * Accumulates a distribution's summary statistics without storing
+ * samples: count, sum, min, max, mean, and (population) stddev.
+ */
+class RunningStat
+{
+  public:
+    /** Record one sample. */
+    void sample(double value);
+
+    /** Number of samples recorded. */
+    uint64_t count() const { return count_; }
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+    /** Smallest sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** Largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    /** Population standard deviation (0 when empty). */
+    double stddev() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSquares_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_COMMON_STATS_HPP

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Implementation of the ASCII table renderer.
+ */
+
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    SOFTREC_ASSERT(!header_.empty(), "setHeader must precede addRow");
+    SOFTREC_ASSERT(cells.size() == header_.size(),
+                   "row width %zu != header width %zu",
+                   cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+        std::string line = "+";
+        for (size_t w : widths)
+            line += std::string(w + 2, '-') + "+";
+        return line + "\n";
+    };
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            line += " " + cells[c];
+            line += std::string(widths[c] - cells[c].size() + 1, ' ');
+            line += "|";
+        }
+        return line + "\n";
+    };
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+    out << rule() << renderRow(header_) << rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out << rule();
+        else
+            out << renderRow(row);
+    }
+    out << rule();
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace softrec

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses. Every figure/table
+ * reproduction prints one of these so the bench output mirrors the
+ * paper's rows and series.
+ */
+
+#ifndef SOFTREC_COMMON_TABLE_HPP
+#define SOFTREC_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace softrec {
+
+/**
+ * A simple column-aligned text table with a title and a header row.
+ */
+class TextTable
+{
+  public:
+    /** Create a table; the title prints above the header. */
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header cells (defines the column count). */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    // A row with no cells renders as a separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_COMMON_TABLE_HPP

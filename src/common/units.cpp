@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of unit-formatting helpers.
+ */
+
+#include "common/units.hpp"
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    if (bytes >= GiB)
+        return strprintf("%.2f GiB", double(bytes) / double(GiB));
+    if (bytes >= MiB)
+        return strprintf("%.2f MiB", double(bytes) / double(MiB));
+    if (bytes >= KiB)
+        return strprintf("%.2f KiB", double(bytes) / double(KiB));
+    return strprintf("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    if (seconds >= 1.0)
+        return strprintf("%.3f s", seconds);
+    if (seconds >= 1e-3)
+        return strprintf("%.3f ms", seconds * 1e3);
+    if (seconds >= 1e-6)
+        return strprintf("%.3f us", seconds * 1e6);
+    return strprintf("%.1f ns", seconds * 1e9);
+}
+
+std::string
+formatFlops(double flops_per_sec)
+{
+    if (flops_per_sec >= Tera)
+        return strprintf("%.1f TFLOPS", flops_per_sec / Tera);
+    return strprintf("%.1f GFLOPS", flops_per_sec / Giga);
+}
+
+std::string
+formatBandwidth(double bytes_per_sec)
+{
+    return strprintf("%.1f GB/s", bytes_per_sec / Giga);
+}
+
+} // namespace softrec

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Physical units and human-readable formatting helpers.
+ *
+ * The simulator internally keeps time in seconds (double), sizes in bytes
+ * (uint64_t), bandwidth in bytes/second and compute rates in FLOP/s.
+ */
+
+#ifndef SOFTREC_COMMON_UNITS_HPP
+#define SOFTREC_COMMON_UNITS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace softrec {
+
+/** Bytes in one kibibyte. */
+inline constexpr uint64_t KiB = 1024ull;
+/** Bytes in one mebibyte. */
+inline constexpr uint64_t MiB = 1024ull * KiB;
+/** Bytes in one gibibyte. */
+inline constexpr uint64_t GiB = 1024ull * MiB;
+
+/** Decimal giga, used for GB/s and GFLOPS. */
+inline constexpr double Giga = 1e9;
+/** Decimal tera, used for TFLOPS. */
+inline constexpr double Tera = 1e12;
+
+/** Format a byte count as e.g. "512.0 MiB". */
+std::string formatBytes(uint64_t bytes);
+
+/** Format a duration in seconds as e.g. "1.25 ms". */
+std::string formatSeconds(double seconds);
+
+/** Format a FLOP/s rate as e.g. "169.0 TFLOPS". */
+std::string formatFlops(double flops_per_sec);
+
+/** Format a bandwidth in B/s as e.g. "1555.0 GB/s". */
+std::string formatBandwidth(double bytes_per_sec);
+
+} // namespace softrec
+
+#endif // SOFTREC_COMMON_UNITS_HPP

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Recomposition planner implementation.
+ */
+
+#include "core/recomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "kernels/bsr_gemm.hpp"
+#include "kernels/bsr_softmax.hpp"
+#include "kernels/kernel_common.hpp"
+#include "kernels/softmax_kernels.hpp"
+
+namespace softrec {
+
+const char *
+strategyName(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::Baseline: return "Baseline";
+      case Strategy::Decomposed: return "SD";
+      case Strategy::Fused: return "SDF";
+    }
+    return "?";
+}
+
+std::vector<Strategy>
+allStrategies()
+{
+    return {Strategy::Baseline, Strategy::Decomposed, Strategy::Fused};
+}
+
+double
+SdaConfig::scale() const
+{
+    return 1.0 / std::sqrt(double(dHead));
+}
+
+GemmShapeClass
+SdaConfig::attentionClass() const
+{
+    if (sparse())
+        return GemmShapeClass::BlockSparse;
+    return dHead >= 128 ? GemmShapeClass::AttentionWide
+                        : GemmShapeClass::Attention;
+}
+
+uint64_t
+SdaConfig::attentionMatrixBytes() const
+{
+    const uint64_t per_problem = sparse()
+        ? uint64_t(layout->nnzElements()) * kFp16Bytes
+        : uint64_t(seqLen) * uint64_t(keyLen()) * kFp16Bytes;
+    return uint64_t(problems()) * per_problem;
+}
+
+namespace {
+
+/** Dense SDA schedules. */
+SdaSchedule
+buildDense(const GpuSpec &spec, const SdaConfig &config,
+           Strategy strategy)
+{
+    SdaSchedule sched;
+    sched.strategy = strategy;
+    sched.attentionMatrixBytes = config.attentionMatrixBytes();
+
+    GemmTiling tiling = config.attnTiling;
+    if (strategy == Strategy::Fused) {
+        // Fusion requires T = output tile width (Section 3.3).
+        tiling.tileN = config.subVector;
+    }
+
+    // QK^T: [L, dHead] x [dHead, L] -> [L, L], scale/mask fused.
+    GemmDesc qk;
+    qk.name = "sda.qk";
+    qk.category = KernelCategory::SdaMatMul;
+    qk.batch = config.problems();
+    qk.m = config.seqLen;
+    qk.n = config.keyLen();
+    qk.k = config.dHead;
+    qk.shapeClass = config.attentionClass();
+    qk.tiling = tiling;
+    qk.epilogue.scale = config.scale();
+    qk.epilogue.causalMask = config.causalMask;
+
+    // P.V: [L, L] x [L, dHead] -> [L, dHead].
+    GemmDesc av;
+    av.name = "sda.av";
+    av.category = KernelCategory::SdaMatMul;
+    av.batch = config.problems();
+    av.m = config.seqLen;
+    av.n = config.dHead;
+    av.k = config.keyLen();
+    av.shapeClass = config.attentionClass();
+    av.tiling = config.attnTiling;
+
+    DecomposedSoftmaxDesc sub;
+    sub.batch = config.problems();
+    sub.rows = config.seqLen;
+    sub.cols = config.keyLen();
+    sub.subVector = strategy == Strategy::Fused ? tiling.tileN
+                                                : config.subVector;
+
+    switch (strategy) {
+      case Strategy::Baseline: {
+        sched.kernels.push_back(gemmProfile(spec, qk));
+        SoftmaxDesc softmax;
+        softmax.name = "sda.softmax";
+        softmax.batch = config.problems();
+        softmax.rows = config.seqLen;
+        softmax.cols = config.keyLen();
+        sched.kernels.push_back(rowSoftmaxProfile(spec, softmax));
+        sched.kernels.push_back(gemmProfile(spec, av));
+        sched.attentionSweeps = 4; // QK write, softmax r/w, AV read
+        break;
+      }
+      case Strategy::Decomposed: {
+        sched.kernels.push_back(gemmProfile(spec, qk));
+        sub.name = "sda.ls";
+        sched.kernels.push_back(lsProfile(spec, sub));
+        sub.name = "sda.ir";
+        sched.kernels.push_back(irProfile(spec, sub));
+        sub.name = "sda.gs";
+        sched.kernels.push_back(gsProfile(spec, sub));
+        sched.kernels.push_back(gemmProfile(spec, av));
+        sched.attentionSweeps = 6; // + LS r/w and GS r/w
+        break;
+      }
+      case Strategy::Fused: {
+        qk.name = "sda.qk+ls";
+        qk.epilogue.localSoftmax = true;
+        sched.kernels.push_back(gemmProfile(spec, qk));
+        sub.name = "sda.ir";
+        sched.kernels.push_back(irProfile(spec, sub));
+        av.name = "sda.av+gs";
+        av.prologue.globalScale = true;
+        av.prologue.gsSubVector = sub.subVector;
+        sched.kernels.push_back(gemmProfile(spec, av));
+        sched.attentionSweeps = 2; // fused QK write + fused AV read
+        break;
+      }
+    }
+
+    // The m'/d'/r' side traffic: everything the decomposed kernels
+    // move that is not the attention matrix or the Q/K/V/O operands.
+    if (strategy != Strategy::Baseline) {
+        const uint64_t per_row =
+            uint64_t(sub.numSubVectors()) * kFp32Bytes;
+        const uint64_t rows = uint64_t(config.problems() * config.seqLen);
+        // m' + d' written once and read once; r' written once, read
+        // once by GS (or the fused AV prologue).
+        sched.intermediateBytes = rows * per_row * 6;
+    }
+    return sched;
+}
+
+/** Block-sparse SDA schedules (Section 3.4). */
+SdaSchedule
+buildSparse(const GpuSpec &spec, const SdaConfig &config,
+            Strategy strategy)
+{
+    const BsrLayout &layout = *config.layout;
+    SOFTREC_ASSERT(layout.rows() == config.seqLen,
+                   "layout rows %lld != L %lld",
+                   (long long)layout.rows(), (long long)config.seqLen);
+    SOFTREC_ASSERT(layout.blockSize() == config.subVector,
+                   "sparse sub-vector width must equal the block size "
+                   "(%lld != %lld)", (long long)config.subVector,
+                   (long long)layout.blockSize());
+
+    SdaSchedule sched;
+    sched.strategy = strategy;
+    sched.attentionMatrixBytes = config.attentionMatrixBytes();
+
+    BsrSddDesc qk;
+    qk.name = "sda.qk";
+    qk.batch = config.problems();
+    qk.layout = &layout;
+    qk.dHead = config.dHead;
+    qk.scale = config.scale();
+
+    BsrDsdDesc av;
+    av.name = "sda.av";
+    av.batch = config.problems();
+    av.layout = &layout;
+    av.dHead = config.dHead;
+
+    BsrSoftmaxDesc sub;
+    sub.batch = config.problems();
+    sub.layout = &layout;
+
+    switch (strategy) {
+      case Strategy::Baseline: {
+        sched.kernels.push_back(bsrSddProfile(spec, qk));
+        sub.name = "sda.softmax";
+        sched.kernels.push_back(bsrRowSoftmaxProfile(spec, sub));
+        sched.kernels.push_back(bsrDsdProfile(spec, av));
+        sched.attentionSweeps = 4;
+        break;
+      }
+      case Strategy::Decomposed: {
+        sched.kernels.push_back(bsrSddProfile(spec, qk));
+        sub.name = "sda.ls";
+        sched.kernels.push_back(bsrLsProfile(spec, sub));
+        sub.name = "sda.ir";
+        sched.kernels.push_back(bsrIrProfile(spec, sub));
+        sub.name = "sda.gs";
+        sched.kernels.push_back(bsrGsProfile(spec, sub));
+        sched.kernels.push_back(bsrDsdProfile(spec, av));
+        sched.attentionSweeps = 6;
+        break;
+      }
+      case Strategy::Fused: {
+        qk.name = "sda.qk+ls";
+        qk.fuseLocalSoftmax = true;
+        sched.kernels.push_back(bsrSddProfile(spec, qk));
+        sub.name = "sda.ir";
+        sched.kernels.push_back(bsrIrProfile(spec, sub));
+        av.name = "sda.av+gs";
+        av.fuseGlobalScale = true;
+        sched.kernels.push_back(bsrDsdProfile(spec, av));
+        sched.attentionSweeps = 2;
+        break;
+      }
+    }
+
+    if (strategy != Strategy::Baseline) {
+        const uint64_t sub_vectors =
+            uint64_t(config.problems()) *
+            uint64_t(layout.nnzBlocks() * layout.blockSize());
+        sched.intermediateBytes = sub_vectors * kFp32Bytes * 6;
+    }
+    return sched;
+}
+
+} // namespace
+
+int64_t
+chooseSubVector(int64_t key_len, int64_t preferred)
+{
+    SOFTREC_ASSERT(key_len > 0 && preferred > 0,
+                   "sub-vector selection needs positive lengths");
+    for (int64_t t = std::min(key_len, preferred); t > 1; --t) {
+        if (key_len % t == 0)
+            return t;
+    }
+    return 1;
+}
+
+SdaSchedule
+buildSdaSchedule(const GpuSpec &spec, const SdaConfig &config,
+                 Strategy strategy)
+{
+    SOFTREC_ASSERT(config.batch > 0 && config.heads > 0 &&
+                   config.seqLen > 0 && config.dHead > 0,
+                   "empty SDA configuration");
+    SOFTREC_ASSERT(config.subVector > 0 &&
+                   config.keyLen() % config.subVector == 0,
+                   "sub-vector width %lld must divide the key length "
+                   "%lld", (long long)config.subVector,
+                   (long long)config.keyLen());
+    SOFTREC_ASSERT(!config.sparse() || config.kvLen == 0 ||
+                   config.kvLen == config.seqLen,
+                   "block-sparse attention layouts are square");
+    return config.sparse() ? buildSparse(spec, config, strategy)
+                           : buildDense(spec, config, strategy);
+}
+
+} // namespace softrec

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Reference softmax mathematics.
+ */
+
+#include "core/softmax_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+} // namespace
+
+std::vector<double>
+safeSoftmax(const std::vector<double> &x)
+{
+    SOFTREC_ASSERT(!x.empty(), "softmax of an empty vector");
+    double m = kNegInf;
+    for (double v : x)
+        m = std::max(m, v);
+    double d = 0.0;
+    for (double v : x) {
+        if (m != kNegInf)
+            d += std::exp(v - m);
+    }
+    std::vector<double> y(x.size(), 0.0);
+    if (d > 0.0) {
+        for (size_t i = 0; i < x.size(); ++i)
+            y[i] = std::exp(x[i] - m) / d;
+    }
+    return y;
+}
+
+DecomposedRow
+localSoftmax(const std::vector<double> &x, int64_t t)
+{
+    SOFTREC_ASSERT(!x.empty() && t > 0, "bad LS arguments");
+    const int64_t len = int64_t(x.size());
+    const int64_t n_sv = (len + t - 1) / t;
+    DecomposedRow out;
+    out.xPrime.resize(x.size());
+    out.localMax.assign(size_t(n_sv), kNegInf);
+    out.localSum.assign(size_t(n_sv), 0.0);
+    for (int64_t sv = 0; sv < n_sv; ++sv) {
+        const int64_t lo = sv * t;
+        const int64_t hi = std::min(len, lo + t);
+        double m_local = kNegInf;
+        for (int64_t i = lo; i < hi; ++i)
+            m_local = std::max(m_local, x[size_t(i)]);
+        double d_local = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+            const double e = m_local == kNegInf
+                ? 0.0
+                : std::exp(x[size_t(i)] - m_local);
+            d_local += e;
+            out.xPrime[size_t(i)] = e;
+        }
+        out.localMax[size_t(sv)] = m_local;
+        out.localSum[size_t(sv)] = d_local;
+    }
+    return out;
+}
+
+std::vector<double>
+interReduction(const std::vector<double> &local_max,
+               const std::vector<double> &local_sum)
+{
+    SOFTREC_ASSERT(local_max.size() == local_sum.size() &&
+                   !local_max.empty(),
+                   "IR inputs inconsistent");
+    double m = kNegInf;
+    for (double v : local_max)
+        m = std::max(m, v);
+    double d = 0.0;
+    for (size_t k = 0; k < local_max.size(); ++k) {
+        if (local_max[k] != kNegInf)
+            d += std::exp(local_max[k] - m) * local_sum[k];
+    }
+    std::vector<double> recon(local_max.size(), 0.0);
+    if (d > 0.0) {
+        for (size_t k = 0; k < local_max.size(); ++k) {
+            if (local_max[k] != kNegInf)
+                recon[k] = std::exp(local_max[k] - m) / d;
+        }
+    }
+    return recon;
+}
+
+std::vector<double>
+globalScaling(const std::vector<double> &x_prime,
+              const std::vector<double> &recon, int64_t t)
+{
+    SOFTREC_ASSERT(t > 0, "bad GS sub-vector width");
+    std::vector<double> y(x_prime.size());
+    for (size_t i = 0; i < x_prime.size(); ++i)
+        y[i] = x_prime[i] * recon[i / size_t(t)];
+    return y;
+}
+
+std::vector<double>
+decomposedSoftmax(const std::vector<double> &x, int64_t t)
+{
+    const DecomposedRow ls = localSoftmax(x, t);
+    const std::vector<double> recon =
+        interReduction(ls.localMax, ls.localSum);
+    return globalScaling(ls.xPrime, recon, t);
+}
+
+OnlineNormalizerState
+onlineNormalizer(const std::vector<double> &x)
+{
+    SOFTREC_ASSERT(!x.empty(), "online normalizer of an empty vector");
+    OnlineNormalizerState state{kNegInf, 0.0};
+    for (double v : x) {
+        const double new_max = std::max(state.runningMax, v);
+        if (new_max == kNegInf)
+            continue; // still only -inf entries seen
+        state.runningSum =
+            state.runningSum *
+                (state.runningMax == kNegInf
+                     ? 0.0
+                     : std::exp(state.runningMax - new_max)) +
+            std::exp(v - new_max);
+        state.runningMax = new_max;
+    }
+    return state;
+}
+
+std::vector<double>
+onlineSoftmax(const std::vector<double> &x)
+{
+    const OnlineNormalizerState state = onlineNormalizer(x);
+    std::vector<double> y(x.size(), 0.0);
+    if (state.runningSum > 0.0) {
+        for (size_t i = 0; i < x.size(); ++i)
+            y[i] = std::exp(x[i] - state.runningMax) /
+                   state.runningSum;
+    }
+    return y;
+}
+
+std::vector<double>
+softmaxBackward(const std::vector<double> &y,
+                const std::vector<double> &dy)
+{
+    SOFTREC_ASSERT(y.size() == dy.size() && !y.empty(),
+                   "softmax backward sizes inconsistent");
+    // dx_k = y_k * (dy_k - sum_i dy_i * y_i), from Eq. (3).
+    double dot = 0.0;
+    for (size_t i = 0; i < y.size(); ++i)
+        dot += dy[i] * y[i];
+    std::vector<double> dx(y.size());
+    for (size_t k = 0; k < y.size(); ++k)
+        dx[k] = y[k] * (dy[k] - dot);
+    return dx;
+}
+
+} // namespace softrec

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reference mathematics of softmax recomposition (paper Sections 3.2
+ * and 6), in double precision. These functions are the ground truth
+ * the kernel implementations are tested against.
+ */
+
+#ifndef SOFTREC_CORE_SOFTMAX_MATH_HPP
+#define SOFTREC_CORE_SOFTMAX_MATH_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace softrec {
+
+/** Safe softmax of one row vector (Eq. (1)). */
+std::vector<double> safeSoftmax(const std::vector<double> &x);
+
+/** Per-sub-vector intermediates of the decomposed softmax. */
+struct DecomposedRow
+{
+    std::vector<double> xPrime;   //!< exp(x - m'_k), full row
+    std::vector<double> localMax; //!< m'_k per sub-vector
+    std::vector<double> localSum; //!< d'_k per sub-vector
+};
+
+/** Local Softmax (LS) reference over sub-vectors of width t. */
+DecomposedRow localSoftmax(const std::vector<double> &x, int64_t t);
+
+/**
+ * Inter-sub-vector Reduction (IR) reference: reconstruction factors
+ * r'_k = e^(m'_k - m) / d from the LS intermediates (Eq. (2)).
+ */
+std::vector<double> interReduction(const std::vector<double> &local_max,
+                                   const std::vector<double> &local_sum);
+
+/** Global Scaling (GS) reference: y_i = x'_i * r'_{i/t}. */
+std::vector<double> globalScaling(const std::vector<double> &x_prime,
+                                  const std::vector<double> &recon,
+                                  int64_t t);
+
+/**
+ * The full recomposed softmax: LS then IR then GS. Mathematically
+ * identical to safeSoftmax for any sub-vector width (Eq. (2)).
+ */
+std::vector<double> decomposedSoftmax(const std::vector<double> &x,
+                                      int64_t t);
+
+/**
+ * Softmax backward pass (Eq. (3)): given the forward output y and the
+ * upstream gradient dy, return dx. Depends only on y — the property
+ * that lets recomposition skip storing the softmax *input* during
+ * training (paper Section 6).
+ */
+std::vector<double> softmaxBackward(const std::vector<double> &y,
+                                    const std::vector<double> &dy);
+
+/**
+ * Online-normalizer softmax (Milakov & Gimelshein 2018, the paper's
+ * related work [21]): computes the running max and normalizer in a
+ * single pass using the rescaling identity
+ * d <- d * e^(m_old - m_new) + e^(x - m_new), then normalizes in a
+ * second pass. Mathematically identical to safe softmax; included as
+ * the strongest *unfused* softmax baseline.
+ */
+std::vector<double> onlineSoftmax(const std::vector<double> &x);
+
+/**
+ * The intermediate (m, d) pair the online pass maintains; exposed so
+ * tests can check the running recurrence against the two-pass values.
+ */
+struct OnlineNormalizerState
+{
+    double runningMax;  //!< m after consuming the prefix
+    double runningSum;  //!< d after consuming the prefix
+};
+
+/** Run the online recurrence over x and return the final (m, d). */
+OnlineNormalizerState onlineNormalizer(const std::vector<double> &x);
+
+} // namespace softrec
+
+#endif // SOFTREC_CORE_SOFTMAX_MATH_HPP

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Training-time recomposition implementation.
+ */
+
+#include "core/training.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "core/softmax_math.hpp"
+#include "kernels/kernel_common.hpp"
+#include "kernels/softmax_kernels.hpp"
+#include "sim/calibration.hpp"
+#include "sim/cost_model.hpp"
+
+namespace softrec {
+
+AttentionGradients
+referenceAttentionBackward(const SdaConfig &config,
+                           const AttentionInputs &inputs,
+                           const Tensor<float> &d_out)
+{
+    SOFTREC_ASSERT(!config.sparse(),
+                   "reference backward covers dense attention");
+    const int64_t L = config.seqLen;
+    const int64_t dh = config.dHead;
+    SOFTREC_ASSERT(d_out.shape() == Shape({L, dh}),
+                   "dO shape must be [L, dHead]");
+    const double scale = config.scale();
+    constexpr double neg_inf =
+        -std::numeric_limits<double>::infinity();
+
+    AttentionGradients grads{Tensor<float>(Shape({L, dh})),
+                             Tensor<float>(Shape({L, dh})),
+                             Tensor<float>(Shape({L, dh}))};
+
+    // Recompute P row by row (double precision), then apply the chain
+    // rule: dV += P^T dO; dP = dO V^T; dS = P (dP - sum(dP P));
+    // dQ = scale dS K; dK = scale dS^T Q.
+    std::vector<double> scores(static_cast<size_t>(L), 0.0);
+    std::vector<double> d_probs(static_cast<size_t>(L), 0.0);
+    for (int64_t i = 0; i < L; ++i) {
+        for (int64_t j = 0; j < L; ++j) {
+            double s = 0.0;
+            for (int64_t d = 0; d < dh; ++d) {
+                s += double(float(inputs.q.at(i, d))) *
+                     double(float(inputs.k.at(j, d)));
+            }
+            s *= scale;
+            if (config.causalMask && j > i)
+                s = neg_inf;
+            scores[size_t(j)] = s;
+        }
+        const std::vector<double> probs = safeSoftmax(scores);
+
+        // dP_ij = sum_d dO_id V_jd.
+        for (int64_t j = 0; j < L; ++j) {
+            double dp = 0.0;
+            for (int64_t d = 0; d < dh; ++d) {
+                dp += double(d_out.at(i, d)) *
+                      double(float(inputs.v.at(j, d)));
+            }
+            d_probs[size_t(j)] = dp;
+        }
+        // dV_jd += P_ij dO_id.
+        for (int64_t j = 0; j < L; ++j) {
+            for (int64_t d = 0; d < dh; ++d) {
+                grads.dV.at(j, d) +=
+                    float(probs[size_t(j)] * double(d_out.at(i, d)));
+            }
+        }
+        const std::vector<double> d_scores =
+            softmaxBackward(probs, d_probs);
+        // dQ_id += scale dS_ij K_jd; dK_jd += scale dS_ij Q_id.
+        for (int64_t j = 0; j < L; ++j) {
+            const double ds = scale * d_scores[size_t(j)];
+            if (ds == 0.0)
+                continue;
+            for (int64_t d = 0; d < dh; ++d) {
+                grads.dQ.at(i, d) +=
+                    float(ds * double(float(inputs.k.at(j, d))));
+                grads.dK.at(j, d) +=
+                    float(ds * double(float(inputs.q.at(i, d))));
+            }
+        }
+    }
+    return grads;
+}
+
+std::vector<KernelProfile>
+SdaTrainingSchedule::all() const
+{
+    std::vector<KernelProfile> out = forward;
+    out.insert(out.end(), backward.begin(), backward.end());
+    return out;
+}
+
+namespace {
+
+/** Attention GEMM descriptor shared by the backward builders. */
+GemmDesc
+attnGemm(const SdaConfig &config, const std::string &name, int64_t m,
+         int64_t n, int64_t k)
+{
+    GemmDesc desc;
+    desc.name = name;
+    desc.category = KernelCategory::SdaMatMul;
+    desc.batch = config.problems();
+    desc.m = m;
+    desc.n = n;
+    desc.k = k;
+    desc.shapeClass = config.attentionClass();
+    desc.tiling = config.attnTiling;
+    return desc;
+}
+
+/** Bytes of one full attention matrix across all problems. */
+uint64_t
+matrixBytes(const SdaConfig &config)
+{
+    return config.attentionMatrixBytes();
+}
+
+/** Bytes of the per-sub-vector fp32 side data (r' or c). */
+uint64_t
+sideBytes(const SdaConfig &config)
+{
+    const int64_t n_sv = ceilDiv(config.seqLen, config.subVector);
+    return uint64_t(config.problems() * config.seqLen * n_sv) *
+           kFp32Bytes;
+}
+
+/** The softmax-backward row kernel: dS = P (dP - rowsum(dP P)). */
+KernelProfile
+softmaxBackwardProfile(const GpuSpec &spec, const SdaConfig &config)
+{
+    (void)spec;
+    KernelProfile prof;
+    prof.name = "bwd.softmax";
+    prof.category = KernelCategory::Softmax;
+    prof.geom.numBlocks = config.problems() * config.seqLen;
+    prof.geom.block.threads = 128;
+    // Two full rows (P and dP) staged per TB.
+    prof.geom.block.smemBytes =
+        uint64_t(2 * config.seqLen) *
+        calib::kRowSoftmaxStagingBytesPerElem;
+    prof.geom.block.regsPerThread = 40;
+    prof.dramReadBytes = 2 * matrixBytes(config); // P and dP
+    prof.dramWriteBytes = matrixBytes(config);    // dS
+    const double elems = double(config.problems()) *
+                         double(config.seqLen) * double(config.seqLen);
+    prof.cudaFlops = 4.0 * elems;
+    prof.serializationFactor = rowSoftmaxSerialization(config.seqLen);
+    return prof;
+}
+
+} // namespace
+
+SdaTrainingSchedule
+buildSdaTrainingSchedule(const GpuSpec &spec, const SdaConfig &config,
+                         Strategy strategy)
+{
+    SOFTREC_ASSERT(!config.sparse(),
+                   "training schedules cover dense attention");
+    const int64_t L = config.seqLen;
+    const int64_t dh = config.dHead;
+
+    SdaTrainingSchedule sched;
+    sched.strategy = strategy;
+    sched.forward = buildSdaSchedule(spec, config, strategy).kernels;
+
+    const double fuse_penalty =
+        calib::kFusedWorkPerElement / double(dh);
+    const uint64_t matrix = matrixBytes(config);
+    const uint64_t side = sideBytes(config);
+
+    if (strategy == Strategy::Baseline) {
+        // Frameworks writing softmax backward against the input keep
+        // both S and P alive between the passes.
+        sched.activations = ActivationPolicy::StoreScoresAndProbs;
+        sched.activationBytes = 2 * matrix;
+
+        // dV = P^T dO.
+        GemmDesc dv = attnGemm(config, "bwd.dv", L, dh, L);
+        sched.backward.push_back(gemmProfile(spec, dv));
+        // dP = dO V^T.
+        GemmDesc dp = attnGemm(config, "bwd.dp", L, L, dh);
+        sched.backward.push_back(gemmProfile(spec, dp));
+        // Standalone softmax backward.
+        sched.backward.push_back(softmaxBackwardProfile(spec, config));
+        // dQ = dS K and dK = dS^T Q.
+        sched.backward.push_back(
+            gemmProfile(spec, attnGemm(config, "bwd.dq", L, dh, L)));
+        sched.backward.push_back(
+            gemmProfile(spec, attnGemm(config, "bwd.dk", L, dh, L)));
+        return sched;
+    }
+
+    // SD and SDF train from X' and r' (P is never materialized, S
+    // never exists off chip). SD keeps a standalone softmax-backward
+    // kernel that reads X'/r' instead of P; SDF fuses its reduction
+    // into the dP GEMM epilogue and its correction into the dQ/dK
+    // prologues, leaving a small IR-like reduction.
+    sched.activations = ActivationPolicy::StoreProbsOnly;
+    sched.activationBytes = matrix + side; // X' plus r'
+
+    // dV = P^T dO with P = X' r' recovered on load.
+    GemmDesc dv = attnGemm(config, "bwd.dv+gs", L, dh, L);
+    KernelProfile dv_prof = gemmProfile(spec, dv);
+    dv_prof.dramReadBytes += side;
+    dv_prof.cudaFlops +=
+        double(config.problems()) * double(L) * double(L);
+    dv_prof.fusedPenalty += fuse_penalty;
+    sched.backward.push_back(dv_prof);
+
+    if (strategy == Strategy::Decomposed) {
+        sched.backward.push_back(
+            gemmProfile(spec, attnGemm(config, "bwd.dp", L, L, dh)));
+        KernelProfile sb = softmaxBackwardProfile(spec, config);
+        sb.name = "bwd.softmax.sd";
+        sb.dramReadBytes += side; // + r' to reconstruct P
+        sched.backward.push_back(sb);
+        sched.backward.push_back(
+            gemmProfile(spec, attnGemm(config, "bwd.dq", L, dh, L)));
+        sched.backward.push_back(
+            gemmProfile(spec, attnGemm(config, "bwd.dk", L, dh, L)));
+        return sched;
+    }
+
+    // SDF backward.
+    // dP GEMM with a fused partial-reduction epilogue: stores dP and
+    // per-tile partial sums c' of dP*P (reads the X' tile for that).
+    GemmDesc dp = attnGemm(config, "bwd.dp+pr", L, L, dh);
+    KernelProfile dp_prof = gemmProfile(spec, dp);
+    dp_prof.dramReadBytes += matrix + side; // X' tiles and r'
+    dp_prof.dramWriteBytes += side;         // partial sums c'
+    dp_prof.cudaFlops +=
+        3.0 * double(config.problems()) * double(L) * double(L);
+    dp_prof.fusedPenalty += fuse_penalty;
+    sched.backward.push_back(dp_prof);
+
+    // IR-analogue: reduce the per-sub-vector partials into the row
+    // constants c.
+    DecomposedSoftmaxDesc reduce;
+    reduce.name = "bwd.ir";
+    reduce.batch = config.problems();
+    reduce.rows = L;
+    reduce.cols = L;
+    reduce.subVector = config.subVector;
+    sched.backward.push_back(irProfile(spec, reduce));
+
+    // dQ and dK consume dS = X' r' (dP - c) materialized on the fly
+    // in their prologues: each reads dP and X' (plus r' and c).
+    for (const char *name : {"bwd.dq+sb", "bwd.dk+sb"}) {
+        GemmDesc desc = attnGemm(config, name, L, dh, L);
+        KernelProfile prof = gemmProfile(spec, desc);
+        prof.dramReadBytes += matrix + 2 * side; // + X', r', c
+        prof.cudaFlops +=
+            3.0 * double(config.problems()) * double(L) * double(L);
+        prof.fusedPenalty += 1.5 * fuse_penalty;
+        sched.backward.push_back(prof);
+    }
+    return sched;
+}
+
+} // namespace softrec

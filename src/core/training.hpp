@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Training-time softmax recomposition (paper Section 6).
+ *
+ * The softmax backward pass (Eq. (3)) is expressible purely in terms
+ * of the forward *output* Y, so a recomposed forward pass — which
+ * never materializes the softmax input S off chip — remains valid for
+ * training. This module provides:
+ *
+ *  - a double-precision reference backward pass through one attention
+ *    head (gradients dQ, dK, dV from dO), used by the gradient tests;
+ *  - kernel schedules for one SDA block's training step (forward +
+ *    backward) under the baseline and under recomposition, extending
+ *    the paper's argument into a concrete backward plan: the softmax
+ *    backward's row reduction fuses into the dP = dO.V^T epilogue the
+ *    same way LS fuses into QK^T, and the elementwise
+ *    dS = P (dP - c) correction fuses into the dQ/dK prologues the
+ *    way GS does;
+ *  - activation-storage accounting (what must persist between the
+ *    passes under each policy).
+ */
+
+#ifndef SOFTREC_CORE_TRAINING_HPP
+#define SOFTREC_CORE_TRAINING_HPP
+
+#include "core/attention_exec.hpp"
+#include "core/recomposition.hpp"
+
+namespace softrec {
+
+/** Gradients of one attention head w.r.t. its inputs (fp32). */
+struct AttentionGradients
+{
+    Tensor<float> dQ;
+    Tensor<float> dK;
+    Tensor<float> dV;
+};
+
+/**
+ * Double-precision reference backward through dense single-head
+ * attention: given the forward inputs and the upstream gradient dO,
+ * return dQ, dK, dV. Recomputes the forward internally.
+ */
+AttentionGradients referenceAttentionBackward(
+    const SdaConfig &config, const AttentionInputs &inputs,
+    const Tensor<float> &d_out);
+
+/** What the forward pass stores for the backward pass. */
+enum class ActivationPolicy {
+    /**
+     * Store the softmax input S *and* output P (what a framework does
+     * when the softmax backward is written against the input).
+     */
+    StoreScoresAndProbs,
+    /**
+     * Store only the output P — legal because of Eq. (3), and the
+     * policy recomposition requires (S never exists off chip).
+     */
+    StoreProbsOnly,
+};
+
+/** A planned training step of one SDA block. */
+struct SdaTrainingSchedule
+{
+    Strategy strategy = Strategy::Baseline;
+    ActivationPolicy activations =
+        ActivationPolicy::StoreScoresAndProbs;
+    std::vector<KernelProfile> forward;  //!< forward-pass kernels
+    std::vector<KernelProfile> backward; //!< backward-pass kernels
+    /** Bytes persisted from forward to backward. */
+    uint64_t activationBytes = 0;
+
+    /** All kernels, forward then backward. */
+    std::vector<KernelProfile> all() const;
+};
+
+/**
+ * Plan one SDA block's training step.
+ *
+ * Baseline: forward as in inference plus activation stores; backward
+ * runs dV, dP, softmax-backward, dQ, dK as separate kernels.
+ * Fused (SDF): recomposed forward; backward fuses the softmax-backward
+ * reduction into the dP GEMM epilogue and the correction into the
+ * dQ/dK prologues, leaving only a small standalone reduction (the
+ * backward analogue of IR). Decomposed (SD) uses the standalone
+ * backward sub-kernels.
+ */
+SdaTrainingSchedule buildSdaTrainingSchedule(const GpuSpec &spec,
+                                             const SdaConfig &config,
+                                             Strategy strategy);
+
+} // namespace softrec
+
+#endif // SOFTREC_CORE_TRAINING_HPP

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bit-exact binary16 <-> binary32 conversions.
+ */
+
+#include "fp16/half.hpp"
+
+#include <cstring>
+
+namespace softrec {
+
+namespace {
+
+uint32_t
+floatBits(float value)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+float
+bitsToFloat(uint32_t bits)
+{
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+} // namespace
+
+uint16_t
+Half::fromFloat(float value)
+{
+    const uint32_t f = floatBits(value);
+    const uint32_t sign = (f >> 16) & 0x8000u;
+    const uint32_t abs = f & 0x7fffffffu;
+
+    if (abs >= 0x7f800000u) {
+        // Inf or NaN; keep a quiet-NaN payload bit for NaNs.
+        const uint32_t mantissa = abs > 0x7f800000u ? 0x0200u : 0;
+        return uint16_t(sign | 0x7c00u | mantissa);
+    }
+    if (abs >= 0x477ff000u) {
+        // Rounds to a value >= 2^16: overflow to infinity.
+        return uint16_t(sign | 0x7c00u);
+    }
+    if (abs < 0x33000001u) {
+        // Rounds to less than half the smallest subnormal: zero.
+        return uint16_t(sign);
+    }
+
+    int32_t exp = int32_t(abs >> 23) - 127;
+    uint32_t mantissa = (abs & 0x007fffffu) | 0x00800000u;
+
+    uint32_t half_bits;
+    if (exp < -14) {
+        // Subnormal half: shift the mantissa so the exponent is -14.
+        const int shift = 13 + (-14 - exp);
+        const uint32_t rounded = mantissa >> shift;
+        const uint32_t remainder = mantissa & ((1u << shift) - 1);
+        const uint32_t halfway = 1u << (shift - 1);
+        half_bits = rounded;
+        if (remainder > halfway ||
+            (remainder == halfway && (rounded & 1u))) {
+            ++half_bits;
+        }
+    } else {
+        // Normal half.
+        const uint32_t rounded = mantissa >> 13;
+        const uint32_t remainder = mantissa & 0x1fffu;
+        uint32_t frac = rounded & 0x3ffu;
+        uint32_t bexp = uint32_t(exp + 15);
+        if (remainder > 0x1000u ||
+            (remainder == 0x1000u && (rounded & 1u))) {
+            ++frac;
+            if (frac == 0x400u) {
+                frac = 0;
+                ++bexp;
+            }
+        }
+        if (bexp >= 31)
+            return uint16_t(sign | 0x7c00u);
+        half_bits = (bexp << 10) | frac;
+    }
+    return uint16_t(sign | half_bits);
+}
+
+float
+Half::toFloat(uint16_t bits)
+{
+    const uint32_t sign = uint32_t(bits & 0x8000u) << 16;
+    const uint32_t exp = (bits >> 10) & 0x1fu;
+    const uint32_t frac = bits & 0x3ffu;
+
+    if (exp == 0x1fu) {
+        // Inf / NaN.
+        return bitsToFloat(sign | 0x7f800000u | (frac << 13));
+    }
+    if (exp == 0) {
+        if (frac == 0)
+            return bitsToFloat(sign);
+        // Subnormal: normalize into float.
+        int e = -1;
+        uint32_t m = frac;
+        do {
+            ++e;
+            m <<= 1;
+        } while ((m & 0x400u) == 0);
+        const uint32_t fexp = uint32_t(127 - 15 - e);
+        const uint32_t ffrac = (m & 0x3ffu) << 13;
+        return bitsToFloat(sign | (fexp << 23) | ffrac);
+    }
+    const uint32_t fexp = exp + (127 - 15);
+    return bitsToFloat(sign | (fexp << 23) | (frac << 13));
+}
+
+bool
+Half::isInf() const
+{
+    return (bits_ & 0x7fffu) == 0x7c00u;
+}
+
+bool
+Half::isNan() const
+{
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x3ffu) != 0;
+}
+
+bool
+Half::isZero() const
+{
+    return (bits_ & 0x7fffu) == 0;
+}
+
+} // namespace softrec

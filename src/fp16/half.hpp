@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 ("half") type.
+ *
+ * The paper's evaluation runs entirely in FP16 storage with FP32
+ * accumulation inside kernels (cuBLAS/CUTLASS convention). This type
+ * reproduces the storage format exactly: float -> half conversion uses
+ * round-to-nearest-even, subnormals are preserved, overflow saturates to
+ * infinity. Arithmetic is performed by converting through float, which
+ * matches GPU behaviour for the element-wise use SoftRec makes of it.
+ */
+
+#ifndef SOFTREC_FP16_HALF_HPP
+#define SOFTREC_FP16_HALF_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace softrec {
+
+/** IEEE-754 binary16 storage type with float-mediated arithmetic. */
+class Half
+{
+  public:
+    /** Zero-initialized half. */
+    constexpr Half() : bits_(0) {}
+
+    /** Convert from float with round-to-nearest-even. */
+    explicit Half(float value) : bits_(fromFloat(value)) {}
+
+    /** Reinterpret raw storage bits as a half. */
+    static constexpr Half
+    fromBits(uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** Raw storage bits. */
+    constexpr uint16_t bits() const { return bits_; }
+
+    /** Widen to float (exact). */
+    float toFloat() const { return toFloat(bits_); }
+
+    /** Implicit widening conversion, mirroring __half on CUDA. */
+    operator float() const { return toFloat(); }
+
+    /** True for +/- infinity. */
+    bool isInf() const;
+    /** True for NaN payloads. */
+    bool isNan() const;
+    /** True for zero of either sign. */
+    bool isZero() const;
+
+    /** Largest finite half value (65504). */
+    static Half max() { return fromBits(0x7bff); }
+    /** Smallest positive normal half (2^-14). */
+    static Half minNormal() { return fromBits(0x0400); }
+    /** Positive infinity. */
+    static Half infinity() { return fromBits(0x7c00); }
+    /** Smallest positive subnormal (2^-24). */
+    static Half denormMin() { return fromBits(0x0001); }
+
+    /** Core conversion: float bits to half bits, round-to-nearest-even. */
+    static uint16_t fromFloat(float value);
+    /** Core conversion: half bits to float value (exact). */
+    static float toFloat(uint16_t bits);
+
+  private:
+    uint16_t bits_;
+};
+
+inline Half operator+(Half a, Half b) { return Half(float(a) + float(b)); }
+inline Half operator-(Half a, Half b) { return Half(float(a) - float(b)); }
+inline Half operator*(Half a, Half b) { return Half(float(a) * float(b)); }
+inline Half operator/(Half a, Half b) { return Half(float(a) / float(b)); }
+inline Half operator-(Half a) { return Half::fromBits(a.bits() ^ 0x8000); }
+
+inline bool operator==(Half a, Half b) { return float(a) == float(b); }
+inline bool operator!=(Half a, Half b) { return float(a) != float(b); }
+inline bool operator<(Half a, Half b) { return float(a) < float(b); }
+inline bool operator<=(Half a, Half b) { return float(a) <= float(b); }
+inline bool operator>(Half a, Half b) { return float(a) > float(b); }
+inline bool operator>=(Half a, Half b) { return float(a) >= float(b); }
+
+} // namespace softrec
+
+#endif // SOFTREC_FP16_HALF_HPP

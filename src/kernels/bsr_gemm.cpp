@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Block-sparse GEMM implementations.
+ */
+
+#include "kernels/bsr_gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/kernel_common.hpp"
+#include "sim/calibration.hpp"
+
+namespace softrec {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+} // namespace
+
+KernelProfile
+bsrSddProfile(const GpuSpec &spec, const BsrSddDesc &desc)
+{
+    SOFTREC_ASSERT(desc.layout != nullptr && desc.batch > 0 &&
+                   desc.dHead > 0,
+                   "bad SDD description %s", desc.name.c_str());
+    const BsrLayout &layout = *desc.layout;
+    const int64_t bs = layout.blockSize();
+
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::SdaMatMul;
+    prof.geom.numBlocks = desc.batch * layout.nnzBlocks();
+    prof.geom.block.threads = 256;
+    prof.geom.block.smemBytes =
+        uint64_t(2 * 2 * bs * 32) * kFp16Bytes; // double-buffered A/B
+    prof.geom.block.regsPerThread = 96;
+
+    const uint64_t q_bytes =
+        uint64_t(layout.rows() * desc.dHead) * kFp16Bytes;
+    const uint64_t k_bytes =
+        uint64_t(layout.cols() * desc.dHead) * kFp16Bytes;
+    const uint64_t s_bytes = uint64_t(layout.nnzElements()) * kFp16Bytes;
+    // Q and K strips are small and L2-resident; each is fetched from
+    // DRAM once per batch item.
+    uint64_t reads =
+        operandDramBytes(q_bytes, layout.blockCols(), spec.l2Bytes) +
+        operandDramBytes(k_bytes, layout.blockRows(), spec.l2Bytes);
+    uint64_t writes = s_bytes;
+    if (desc.fuseLocalSoftmax) {
+        writes += uint64_t(layout.nnzBlocks() * bs) * 2 * kFp32Bytes;
+    }
+    prof.dramReadBytes = uint64_t(desc.batch) * reads;
+    prof.dramWriteBytes = uint64_t(desc.batch) * writes;
+
+    const double nnz_elems =
+        double(desc.batch) * double(layout.nnzElements());
+    prof.tensorFlops = 2.0 * nnz_elems * double(desc.dHead);
+    prof.gemmEfficiency = gemmEfficiencyOf(GemmShapeClass::BlockSparse);
+    double epilogue = 0.0, sfu = 0.0;
+    if (desc.scale != 1.0)
+        epilogue += nnz_elems;
+    if (desc.fuseLocalSoftmax) {
+        epilogue += 3.0 * nnz_elems;
+        sfu += nnz_elems;
+    }
+    prof.cudaFlops = epilogue;
+    prof.sfuOps = sfu;
+    if (desc.fuseLocalSoftmax)
+        prof.fusedPenalty +=
+            calib::kFusedWorkPerElement / double(desc.dHead);
+    // One TB per non-zero block: work is uniform across TBs.
+    prof.workImbalance = 1.0;
+    return prof;
+}
+
+void
+bsrSddRun(const BsrSddDesc &desc, const Tensor<Half> &q,
+          const Tensor<Half> &k_mat, BsrMatrix &s,
+          std::vector<float> *local_max, std::vector<float> *local_sum)
+{
+    SOFTREC_ASSERT(desc.batch == 1, "functional SDD handles one head");
+    const BsrLayout &layout = *desc.layout;
+    const int64_t bs = layout.blockSize();
+    SOFTREC_ASSERT(q.shape() == Shape({layout.rows(), desc.dHead}) &&
+                   k_mat.shape() == Shape({layout.cols(), desc.dHead}),
+                   "SDD operand shapes must be [L, dHead]");
+    if (desc.fuseLocalSoftmax) {
+        SOFTREC_ASSERT(local_max && local_sum,
+                       "fused SDD needs LS outputs");
+        local_max->assign(size_t(layout.nnzBlocks() * bs), kNegInf);
+        local_sum->assign(size_t(layout.nnzBlocks() * bs), 0.0f);
+    }
+
+    std::vector<float> acc(size_t(bs * bs));
+    for (int64_t br = 0; br < layout.blockRows(); ++br) {
+        for (int64_t kk = layout.rowBegin(br); kk < layout.rowEnd(br);
+             ++kk) {
+            const int64_t bc = layout.blockCol(kk);
+            // Dense block GEMM: acc = Q[br] . K[bc]^T, fp32 accumulate.
+            for (int64_t i = 0; i < bs; ++i) {
+                for (int64_t j = 0; j < bs; ++j) {
+                    float sum = 0.0f;
+                    for (int64_t d = 0; d < desc.dHead; ++d) {
+                        sum += float(q.at(br * bs + i, d)) *
+                               float(k_mat.at(bc * bs + j, d));
+                    }
+                    acc[size_t(i * bs + j)] =
+                        sum * float(desc.scale);
+                }
+            }
+            // Epilogue: plain store, or fused LS per block row.
+            for (int64_t i = 0; i < bs; ++i) {
+                float *row = &acc[size_t(i * bs)];
+                if (desc.fuseLocalSoftmax) {
+                    float m_local = kNegInf;
+                    for (int64_t j = 0; j < bs; ++j)
+                        m_local = std::max(m_local, row[j]);
+                    float d_local = 0.0f;
+                    for (int64_t j = 0; j < bs; ++j) {
+                        const float e = m_local == kNegInf
+                            ? 0.0f
+                            : std::exp(row[j] - m_local);
+                        d_local += e;
+                        s.at(kk, i, j) = Half(e);
+                    }
+                    (*local_max)[size_t(kk * bs + i)] = m_local;
+                    (*local_sum)[size_t(kk * bs + i)] = d_local;
+                } else {
+                    for (int64_t j = 0; j < bs; ++j)
+                        s.at(kk, i, j) = Half(row[j]);
+                }
+            }
+        }
+    }
+}
+
+KernelProfile
+bsrDsdProfile(const GpuSpec &spec, const BsrDsdDesc &desc)
+{
+    SOFTREC_ASSERT(desc.layout != nullptr && desc.batch > 0 &&
+                   desc.dHead > 0,
+                   "bad DSD description %s", desc.name.c_str());
+    const BsrLayout &layout = *desc.layout;
+    const int64_t bs = layout.blockSize();
+    const SparsityStats stats = analyzeSparsity(layout);
+
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::SdaMatMul;
+    // One TB per output block row: its work scales with the row's
+    // non-zero count, which is what load-imbalances sparse attention
+    // (Section 5.2).
+    prof.geom.numBlocks = desc.batch * layout.blockRows();
+    prof.geom.block.threads = 256;
+    prof.geom.block.smemBytes =
+        uint64_t(2 * (bs * 32 + 32 * desc.dHead)) * kFp16Bytes;
+    prof.geom.block.regsPerThread = 96;
+
+    const uint64_t p_bytes = uint64_t(layout.nnzElements()) * kFp16Bytes;
+    const uint64_t v_bytes =
+        uint64_t(layout.cols() * desc.dHead) * kFp16Bytes;
+    const uint64_t o_bytes =
+        uint64_t(layout.rows() * desc.dHead) * kFp16Bytes;
+    uint64_t reads =
+        p_bytes +
+        operandDramBytes(v_bytes, layout.blockRows(), spec.l2Bytes);
+    if (desc.fuseGlobalScale)
+        reads += uint64_t(layout.nnzBlocks() * bs) * kFp32Bytes;
+    prof.dramReadBytes = uint64_t(desc.batch) * reads;
+    prof.dramWriteBytes = uint64_t(desc.batch) * o_bytes;
+
+    const double nnz_elems =
+        double(desc.batch) * double(layout.nnzElements());
+    prof.tensorFlops = 2.0 * nnz_elems * double(desc.dHead);
+    prof.gemmEfficiency = gemmEfficiencyOf(GemmShapeClass::BlockSparse);
+    if (desc.fuseGlobalScale) {
+        prof.cudaFlops = nnz_elems;
+        prof.fusedPenalty +=
+            calib::kFusedWorkPerElement / double(desc.dHead);
+    }
+    prof.workImbalance = stats.imbalance;
+    return prof;
+}
+
+void
+bsrDsdRun(const BsrDsdDesc &desc, const BsrMatrix &p,
+          const Tensor<Half> &v, Tensor<Half> &o,
+          const std::vector<float> *recon)
+{
+    SOFTREC_ASSERT(desc.batch == 1, "functional DSD handles one head");
+    const BsrLayout &layout = *desc.layout;
+    const int64_t bs = layout.blockSize();
+    SOFTREC_ASSERT(v.shape() == Shape({layout.cols(), desc.dHead}) &&
+                   o.shape() == Shape({layout.rows(), desc.dHead}),
+                   "DSD operand shapes must be [L, dHead]");
+    if (desc.fuseGlobalScale) {
+        SOFTREC_ASSERT(recon && recon->size() ==
+                           size_t(layout.nnzBlocks() * bs),
+                       "fused DSD needs r'");
+    }
+    o.fill(Half());
+    for (int64_t br = 0; br < layout.blockRows(); ++br) {
+        for (int64_t i = 0; i < bs; ++i) {
+            for (int64_t d = 0; d < desc.dHead; ++d) {
+                float sum = 0.0f;
+                for (int64_t kk = layout.rowBegin(br);
+                     kk < layout.rowEnd(br); ++kk) {
+                    const int64_t bc = layout.blockCol(kk);
+                    const float r = desc.fuseGlobalScale
+                        ? (*recon)[size_t(kk * bs + i)]
+                        : 1.0f;
+                    for (int64_t j = 0; j < bs; ++j) {
+                        sum += float(p.at(kk, i, j)) * r *
+                               float(v.at(bc * bs + j, d));
+                    }
+                }
+                o.at(br * bs + i, d) = Half(sum);
+            }
+        }
+    }
+}
+
+} // namespace softrec

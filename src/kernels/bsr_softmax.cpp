@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Block-sparse softmax kernel implementations.
+ */
+
+#include "kernels/bsr_softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "kernels/kernel_common.hpp"
+#include "sim/calibration.hpp"
+#include "sim/cost_model.hpp"
+
+namespace softrec {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+const BsrLayout &
+checkedLayout(const BsrSoftmaxDesc &desc)
+{
+    SOFTREC_ASSERT(desc.layout != nullptr, "BSR softmax without layout");
+    SOFTREC_ASSERT(desc.batch > 0, "empty batch in %s",
+                   desc.name.c_str());
+    return *desc.layout;
+}
+
+/** Bytes of all non-zero attention values. */
+uint64_t
+nnzBytes(const BsrLayout &layout)
+{
+    return uint64_t(layout.nnzElements()) * kFp16Bytes;
+}
+
+/** Count of per-sub-vector intermediates (one per block row element). */
+uint64_t
+subVectorCount(const BsrLayout &layout)
+{
+    return uint64_t(layout.nnzBlocks() * layout.blockSize());
+}
+
+} // namespace
+
+KernelProfile
+bsrRowSoftmaxProfile(const GpuSpec &spec, const BsrSoftmaxDesc &desc)
+{
+    (void)spec;
+    const BsrLayout &layout = checkedLayout(desc);
+    const SparsityStats stats = analyzeSparsity(layout);
+
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::Softmax;
+    prof.geom.numBlocks = desc.batch * layout.rows();
+    prof.geom.block.threads = 128;
+    // Worst-case allocation: the number and position of non-zeros per
+    // row is not known at launch time, so every TB reserves staging
+    // for a full row (Section 5.1).
+    prof.geom.block.smemBytes =
+        uint64_t(layout.cols()) * calib::kRowSoftmaxStagingBytesPerElem;
+    prof.geom.block.regsPerThread = 40;
+
+    prof.dramReadBytes = uint64_t(desc.batch) * nnzBytes(layout);
+    prof.dramWriteBytes = prof.dramReadBytes;
+
+    const double elems =
+        double(desc.batch) * double(layout.nnzElements());
+    prof.cudaFlops = 4.0 * elems;
+    prof.sfuOps = elems;
+    prof.serializationFactor = rowSoftmaxSerialization(layout.cols());
+    // Most lanes of the worst-case-sized TB have no non-zero to load.
+    prof.laneUtilization = std::max(1e-3, stats.density);
+    prof.workImbalance = stats.imbalance;
+    return prof;
+}
+
+void
+bsrRowSoftmaxRun(const BsrSoftmaxDesc &desc, const BsrMatrix &in,
+                 BsrMatrix &out)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional BSR softmax handles one matrix");
+    const BsrLayout &layout = checkedLayout(desc);
+    SOFTREC_ASSERT(&in.layout() != nullptr, "input matrix missing");
+    const int64_t bs = layout.blockSize();
+    for (int64_t br = 0; br < layout.blockRows(); ++br) {
+        for (int64_t i = 0; i < bs; ++i) {
+            float max_val = kNegInf;
+            for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
+                 ++k) {
+                for (int64_t j = 0; j < bs; ++j)
+                    max_val = std::max(max_val, float(in.at(k, i, j)));
+            }
+            float denom = 0.0f;
+            for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
+                 ++k) {
+                for (int64_t j = 0; j < bs; ++j) {
+                    if (max_val != kNegInf)
+                        denom +=
+                            std::exp(float(in.at(k, i, j)) - max_val);
+                }
+            }
+            for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
+                 ++k) {
+                for (int64_t j = 0; j < bs; ++j) {
+                    const float e = max_val == kNegInf
+                        ? 0.0f
+                        : std::exp(float(in.at(k, i, j)) - max_val);
+                    out.at(k, i, j) =
+                        Half(denom > 0.0f ? e / denom : 0.0f);
+                }
+            }
+        }
+    }
+}
+
+KernelProfile
+bsrLsProfile(const GpuSpec &spec, const BsrSoftmaxDesc &desc)
+{
+    (void)spec;
+    const BsrLayout &layout = checkedLayout(desc);
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::SoftmaxLs;
+    // One TB per non-zero block: allocation matches actual work.
+    prof.geom.numBlocks = desc.batch * layout.nnzBlocks();
+    prof.geom.block.threads = 128;
+    prof.geom.block.smemBytes =
+        uint64_t(layout.blockSize() * layout.blockSize()) * kFp16Bytes;
+    prof.geom.block.regsPerThread = 40;
+
+    prof.dramReadBytes = uint64_t(desc.batch) * nnzBytes(layout);
+    prof.dramWriteBytes =
+        uint64_t(desc.batch) *
+        (nnzBytes(layout) + subVectorCount(layout) * 2 * kFp32Bytes);
+
+    const double elems =
+        double(desc.batch) * double(layout.nnzElements());
+    prof.cudaFlops = 3.0 * elems;
+    prof.sfuOps = elems;
+    return prof;
+}
+
+void
+bsrLsRun(const BsrSoftmaxDesc &desc, const BsrMatrix &in,
+         BsrMatrix &x_prime, std::vector<float> &local_max,
+         std::vector<float> &local_sum)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional BSR LS handles one matrix");
+    const BsrLayout &layout = checkedLayout(desc);
+    const int64_t bs = layout.blockSize();
+    const size_t count = size_t(subVectorCount(layout));
+    local_max.assign(count, kNegInf);
+    local_sum.assign(count, 0.0f);
+    for (int64_t k = 0; k < layout.nnzBlocks(); ++k) {
+        for (int64_t i = 0; i < bs; ++i) {
+            float m_local = kNegInf;
+            for (int64_t j = 0; j < bs; ++j)
+                m_local = std::max(m_local, float(in.at(k, i, j)));
+            float d_local = 0.0f;
+            for (int64_t j = 0; j < bs; ++j) {
+                const float e = m_local == kNegInf
+                    ? 0.0f
+                    : std::exp(float(in.at(k, i, j)) - m_local);
+                d_local += e;
+                x_prime.at(k, i, j) = Half(e);
+            }
+            local_max[size_t(k * bs + i)] = m_local;
+            local_sum[size_t(k * bs + i)] = d_local;
+        }
+    }
+}
+
+KernelProfile
+bsrIrProfile(const GpuSpec &spec, const BsrSoftmaxDesc &desc)
+{
+    (void)spec;
+    const BsrLayout &layout = checkedLayout(desc);
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::SoftmaxIr;
+    prof.geom.numBlocks = std::max<int64_t>(
+        1, ceilDiv(desc.batch * layout.rows(), 256));
+    prof.geom.block.threads = 256;
+    prof.geom.block.regsPerThread = 32;
+
+    const uint64_t md_count =
+        uint64_t(desc.batch) * subVectorCount(layout);
+    prof.dramReadBytes = md_count * 2 * kFp32Bytes;
+    prof.dramWriteBytes = md_count * kFp32Bytes;
+    prof.cudaFlops = 4.0 * double(md_count);
+    prof.sfuOps = double(md_count);
+    const SparsityStats stats = analyzeSparsity(layout);
+    prof.workImbalance = stats.imbalance;
+    return prof;
+}
+
+void
+bsrIrRun(const BsrSoftmaxDesc &desc, const std::vector<float> &local_max,
+         const std::vector<float> &local_sum, std::vector<float> &recon)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional BSR IR handles one matrix");
+    const BsrLayout &layout = checkedLayout(desc);
+    const int64_t bs = layout.blockSize();
+    const size_t count = size_t(subVectorCount(layout));
+    SOFTREC_ASSERT(local_max.size() == count &&
+                   local_sum.size() == count,
+                   "BSR IR input size mismatch");
+    recon.assign(count, 0.0f);
+    for (int64_t br = 0; br < layout.blockRows(); ++br) {
+        for (int64_t i = 0; i < bs; ++i) {
+            float m_global = kNegInf;
+            for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
+                 ++k) {
+                m_global = std::max(m_global,
+                                    local_max[size_t(k * bs + i)]);
+            }
+            float d_global = 0.0f;
+            for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
+                 ++k) {
+                const float m_local = local_max[size_t(k * bs + i)];
+                if (m_local == kNegInf)
+                    continue;
+                d_global += std::exp(m_local - m_global) *
+                            local_sum[size_t(k * bs + i)];
+            }
+            for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
+                 ++k) {
+                const float m_local = local_max[size_t(k * bs + i)];
+                if (m_local == kNegInf || d_global <= 0.0f) {
+                    recon[size_t(k * bs + i)] = 0.0f;
+                } else {
+                    recon[size_t(k * bs + i)] =
+                        std::exp(m_local - m_global) / d_global;
+                }
+            }
+        }
+    }
+}
+
+KernelProfile
+bsrGsProfile(const GpuSpec &spec, const BsrSoftmaxDesc &desc)
+{
+    (void)spec;
+    const BsrLayout &layout = checkedLayout(desc);
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::SoftmaxGs;
+    prof.geom.numBlocks = desc.batch * layout.nnzBlocks();
+    prof.geom.block.threads = 128;
+    prof.geom.block.smemBytes = 0;
+    prof.geom.block.regsPerThread = 32;
+
+    prof.dramReadBytes =
+        uint64_t(desc.batch) *
+        (nnzBytes(layout) + subVectorCount(layout) * kFp32Bytes);
+    prof.dramWriteBytes = uint64_t(desc.batch) * nnzBytes(layout);
+    prof.cudaFlops =
+        double(desc.batch) * double(layout.nnzElements());
+    return prof;
+}
+
+void
+bsrGsRun(const BsrSoftmaxDesc &desc, const BsrMatrix &x_prime,
+         const std::vector<float> &recon, BsrMatrix &y)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional BSR GS handles one matrix");
+    const BsrLayout &layout = checkedLayout(desc);
+    const int64_t bs = layout.blockSize();
+    SOFTREC_ASSERT(recon.size() == size_t(subVectorCount(layout)),
+                   "BSR GS r' size mismatch");
+    for (int64_t k = 0; k < layout.nnzBlocks(); ++k) {
+        for (int64_t i = 0; i < bs; ++i) {
+            const float r = recon[size_t(k * bs + i)];
+            for (int64_t j = 0; j < bs; ++j)
+                y.at(k, i, j) =
+                    Half(float(x_prime.at(k, i, j)) * r);
+        }
+    }
+}
+
+} // namespace softrec

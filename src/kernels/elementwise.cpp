@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Element-wise kernel implementations.
+ */
+
+#include "kernels/elementwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/kernel_common.hpp"
+
+namespace softrec {
+
+namespace {
+
+/** Common streaming-kernel geometry: 256 threads, 4 elems/thread. */
+LaunchGeometry
+streamingGeometry(int64_t elems)
+{
+    LaunchGeometry geom;
+    geom.numBlocks = std::max<int64_t>(1, ceilDiv(elems, 1024));
+    geom.block.threads = 256;
+    geom.block.smemBytes = 0;
+    geom.block.regsPerThread = 32;
+    return geom;
+}
+
+} // namespace
+
+KernelProfile
+layerNormProfile(const GpuSpec &spec, const std::string &name,
+                 int64_t rows, int64_t width)
+{
+    (void)spec;
+    SOFTREC_ASSERT(rows > 0 && width > 0, "empty layernorm %s",
+                   name.c_str());
+    KernelProfile prof;
+    prof.name = name;
+    prof.category = KernelCategory::Other;
+    prof.geom.numBlocks = rows;
+    prof.geom.block.threads = 128;
+    prof.geom.block.smemBytes = uint64_t(width) * kFp32Bytes;
+    prof.geom.block.regsPerThread = 32;
+    const uint64_t bytes = uint64_t(rows * width) * kFp16Bytes;
+    prof.dramReadBytes = bytes + uint64_t(2 * width) * kFp32Bytes;
+    prof.dramWriteBytes = bytes;
+    prof.cudaFlops = 6.0 * double(rows) * double(width);
+    // Two dependent passes (statistics, then normalize).
+    prof.serializationFactor = 0.85;
+    return prof;
+}
+
+void
+layerNormRun(const Tensor<Half> &in, const Tensor<float> &gamma,
+             const Tensor<float> &beta, Tensor<Half> &out, float epsilon)
+{
+    SOFTREC_ASSERT(in.shape().rank() == 2, "layernorm input must be 2-D");
+    const int64_t rows = in.shape().dim(0);
+    const int64_t width = in.shape().dim(1);
+    SOFTREC_ASSERT(out.shape() == in.shape() &&
+                   gamma.shape() == Shape({width}) &&
+                   beta.shape() == Shape({width}),
+                   "layernorm shapes inconsistent");
+    for (int64_t i = 0; i < rows; ++i) {
+        float mean = 0.0f;
+        for (int64_t j = 0; j < width; ++j)
+            mean += float(in.at(i, j));
+        mean /= float(width);
+        float var = 0.0f;
+        for (int64_t j = 0; j < width; ++j) {
+            const float d = float(in.at(i, j)) - mean;
+            var += d * d;
+        }
+        var /= float(width);
+        const float inv_std = 1.0f / std::sqrt(var + epsilon);
+        for (int64_t j = 0; j < width; ++j) {
+            const float norm = (float(in.at(i, j)) - mean) * inv_std;
+            out.at(i, j) = Half(norm * gamma.at(j) + beta.at(j));
+        }
+    }
+}
+
+KernelProfile
+residualAddProfile(const GpuSpec &spec, const std::string &name,
+                   int64_t elems)
+{
+    (void)spec;
+    SOFTREC_ASSERT(elems > 0, "empty residual add %s", name.c_str());
+    KernelProfile prof;
+    prof.name = name;
+    prof.category = KernelCategory::Other;
+    prof.geom = streamingGeometry(elems);
+    prof.dramReadBytes = uint64_t(2 * elems) * kFp16Bytes;
+    prof.dramWriteBytes = uint64_t(elems) * kFp16Bytes;
+    prof.cudaFlops = double(elems);
+    return prof;
+}
+
+void
+residualAddRun(const Tensor<Half> &a, const Tensor<Half> &b,
+               Tensor<Half> &out)
+{
+    SOFTREC_ASSERT(a.shape() == b.shape() && a.shape() == out.shape(),
+                   "residual shapes inconsistent");
+    for (int64_t i = 0; i < a.numel(); ++i)
+        out.at(i) = Half(float(a.at(i)) + float(b.at(i)));
+}
+
+KernelProfile
+biasActProfile(const GpuSpec &spec, const std::string &name,
+               int64_t rows, int64_t width, bool gelu)
+{
+    (void)spec;
+    SOFTREC_ASSERT(rows > 0 && width > 0, "empty bias kernel %s",
+                   name.c_str());
+    KernelProfile prof;
+    prof.name = name;
+    prof.category = KernelCategory::Other;
+    const int64_t elems = rows * width;
+    prof.geom = streamingGeometry(elems);
+    prof.dramReadBytes =
+        uint64_t(elems) * kFp16Bytes + uint64_t(width) * kFp32Bytes;
+    prof.dramWriteBytes = uint64_t(elems) * kFp16Bytes;
+    prof.cudaFlops = (gelu ? 9.0 : 1.0) * double(elems);
+    prof.sfuOps = gelu ? double(elems) : 0.0;
+    return prof;
+}
+
+void
+biasActRun(const Tensor<Half> &in, const Tensor<float> &bias, bool gelu,
+           Tensor<Half> &out)
+{
+    SOFTREC_ASSERT(in.shape().rank() == 2 && in.shape() == out.shape(),
+                   "bias kernel shapes inconsistent");
+    const int64_t rows = in.shape().dim(0);
+    const int64_t width = in.shape().dim(1);
+    SOFTREC_ASSERT(bias.shape() == Shape({width}), "bias misshaped");
+    for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < width; ++j) {
+            float v = float(in.at(i, j)) + bias.at(j);
+            if (gelu)
+                v = geluApprox(v);
+            out.at(i, j) = Half(v);
+        }
+    }
+}
+
+KernelProfile
+scaleMaskProfile(const GpuSpec &spec, const std::string &name,
+                 int64_t batch, int64_t rows, int64_t cols)
+{
+    (void)spec;
+    SOFTREC_ASSERT(batch > 0 && rows > 0 && cols > 0,
+                   "empty scale/mask %s", name.c_str());
+    KernelProfile prof;
+    prof.name = name;
+    prof.category = KernelCategory::Other;
+    const int64_t elems = batch * rows * cols;
+    prof.geom = streamingGeometry(elems);
+    prof.dramReadBytes = uint64_t(elems) * kFp16Bytes;
+    prof.dramWriteBytes = uint64_t(elems) * kFp16Bytes;
+    prof.cudaFlops = 2.0 * double(elems);
+    return prof;
+}
+
+KernelProfile
+reshapeProfile(const GpuSpec &spec, const std::string &name,
+               int64_t elems)
+{
+    (void)spec;
+    SOFTREC_ASSERT(elems > 0, "empty reshape %s", name.c_str());
+    KernelProfile prof;
+    prof.name = name;
+    prof.category = KernelCategory::Other;
+    prof.geom = streamingGeometry(elems);
+    prof.dramReadBytes = uint64_t(elems) * kFp16Bytes;
+    prof.dramWriteBytes = uint64_t(elems) * kFp16Bytes;
+    return prof;
+}
+
+KernelProfile
+embeddingProfile(const GpuSpec &spec, const std::string &name,
+                 int64_t rows, int64_t width)
+{
+    (void)spec;
+    SOFTREC_ASSERT(rows > 0 && width > 0, "empty embedding %s",
+                   name.c_str());
+    KernelProfile prof;
+    prof.name = name;
+    prof.category = KernelCategory::Other;
+    const int64_t elems = rows * width;
+    prof.geom = streamingGeometry(elems);
+    // Token ids plus the gathered embedding rows.
+    prof.dramReadBytes =
+        uint64_t(rows) * 4 + uint64_t(elems) * kFp16Bytes;
+    prof.dramWriteBytes = uint64_t(elems) * kFp16Bytes;
+    return prof;
+}
+
+} // namespace softrec

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Dense GEMM kernel implementation: analytical profile + functional
+ * tiled execution.
+ */
+
+#include "kernels/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "sim/calibration.hpp"
+
+namespace softrec {
+
+double
+gemmEfficiencyOf(GemmShapeClass shape_class)
+{
+    switch (shape_class) {
+      case GemmShapeClass::LargeFc:
+        return calib::kGemmEffLargeFc;
+      case GemmShapeClass::Attention:
+        return calib::kGemmEffAttention;
+      case GemmShapeClass::AttentionWide:
+        return calib::kGemmEffAttentionWide;
+      case GemmShapeClass::BlockSparse:
+        return calib::kGemmEffBlockSparse;
+    }
+    panic("unknown GEMM shape class");
+}
+
+KernelProfile
+gemmProfile(const GpuSpec &spec, const GemmDesc &desc)
+{
+    SOFTREC_ASSERT(desc.m > 0 && desc.n > 0 && desc.k > 0 &&
+                   desc.batch > 0,
+                   "GEMM %s has empty problem", desc.name.c_str());
+    const GemmTiling &t = desc.tiling;
+    const int64_t tiles_m = ceilDiv(desc.m, t.tileM);
+    const int64_t tiles_n = ceilDiv(desc.n, t.tileN);
+
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = desc.category;
+    prof.geom.numBlocks = desc.batch * tiles_m * tiles_n;
+    prof.geom.block.threads = t.threads;
+    prof.geom.block.smemBytes = t.smemBytes();
+    prof.geom.block.regsPerThread = t.regsPerThread;
+
+    // --- DRAM traffic (per batch item, then scaled) ---
+    const uint64_t a_bytes = uint64_t(desc.m * desc.k) * kFp16Bytes;
+    const uint64_t b_bytes = uint64_t(desc.k * desc.n) * kFp16Bytes;
+    const uint64_t c_bytes = uint64_t(desc.m * desc.n) * kFp16Bytes;
+
+    // A-operand reuse works at strip granularity: with row-major tile
+    // rasterization, one TB row's A strip (tileM x k) is re-read for
+    // every tile in that row with nothing but small B strips between
+    // accesses, so a strip that fits in L2 makes A effectively
+    // single-pass from DRAM.
+    const uint64_t a_strip_bytes = uint64_t(t.tileM * desc.k) * kFp16Bytes;
+    const int64_t a_passes =
+        a_strip_bytes <= uint64_t(0.8 * double(spec.l2Bytes)) ? 1
+                                                              : tiles_n;
+    // B is swept once per tile row; its reuse distance is the whole
+    // operand, so the whole-operand residency rule applies.
+    uint64_t reads = operandDramBytes(a_bytes, a_passes, spec.l2Bytes) +
+                     operandDramBytes(b_bytes, tiles_m, spec.l2Bytes);
+    uint64_t writes = c_bytes;
+
+    if (desc.epilogue.bias)
+        reads += uint64_t(desc.n) * kFp32Bytes;
+    if (desc.epilogue.localSoftmax) {
+        // m' and d' per (row, sub-vector), fp32.
+        writes += uint64_t(desc.m * tiles_n) * 2 * kFp32Bytes;
+    }
+    if (desc.prologue.globalScale) {
+        // r' per (row, incoming sub-vector), fp32.
+        reads += uint64_t(desc.m *
+                          ceilDiv(desc.k, desc.prologue.gsSubVector)) *
+                 kFp32Bytes;
+    }
+    prof.dramReadBytes = uint64_t(desc.batch) * reads;
+    prof.dramWriteBytes = uint64_t(desc.batch) * writes;
+
+    // --- Arithmetic ---
+    prof.tensorFlops =
+        2.0 * double(desc.batch) * double(desc.m) * double(desc.n) *
+        double(desc.k);
+    prof.gemmEfficiency = gemmEfficiencyOf(desc.shapeClass);
+
+    const double out_elems =
+        double(desc.batch) * double(desc.m) * double(desc.n);
+    double epilogue_flops = 0.0;
+    double sfu_ops = 0.0;
+    if (desc.epilogue.scale != 1.0)
+        epilogue_flops += out_elems;
+    if (desc.epilogue.causalMask)
+        epilogue_flops += out_elems;
+    if (desc.epilogue.bias)
+        epilogue_flops += out_elems;
+    if (desc.epilogue.gelu) {
+        epilogue_flops += 8.0 * out_elems;
+        sfu_ops += out_elems; // tanh
+    }
+    if (desc.epilogue.localSoftmax) {
+        epilogue_flops += 3.0 * out_elems; // max, subtract, accumulate
+        sfu_ops += out_elems;              // exp
+    }
+    if (desc.prologue.globalScale) {
+        epilogue_flops +=
+            double(desc.batch) * double(desc.m) * double(desc.k);
+    }
+    prof.cudaFlops = epilogue_flops;
+    prof.sfuOps = sfu_ops;
+    // Fused softmax work slows the mainloop in proportion to how
+    // little GEMM depth each fused element amortizes over: K steps
+    // per output element for an LS epilogue, N columns per LHS
+    // element for a GS prologue.
+    if (desc.epilogue.localSoftmax)
+        prof.fusedPenalty +=
+            calib::kFusedWorkPerElement / double(desc.k);
+    if (desc.prologue.globalScale)
+        prof.fusedPenalty +=
+            calib::kFusedWorkPerElement / double(desc.n);
+    prof.workImbalance = desc.workImbalance;
+    return prof;
+}
+
+float
+geluApprox(float x)
+{
+    const float c = 0.7978845608028654f; // sqrt(2/pi)
+    const float inner = c * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+void
+gemmRun(const GemmDesc &desc, const GemmOperands &ops, Tensor<Half> &c,
+        const LsOutputs *ls)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional GEMM handles one batch item; loop "
+                   "outside (%s)", desc.name.c_str());
+    SOFTREC_ASSERT(ops.a && ops.b, "GEMM operands missing");
+    const int64_t m = desc.m, n = desc.n, k = desc.k;
+    SOFTREC_ASSERT(ops.a->shape() == Shape({m, k}),
+                   "A shape %s != [m, k]",
+                   ops.a->shape().toString().c_str());
+    const Shape expect_b =
+        ops.transposeB ? Shape({n, k}) : Shape({k, n});
+    SOFTREC_ASSERT(ops.b->shape() == expect_b, "B shape %s unexpected",
+                   ops.b->shape().toString().c_str());
+    SOFTREC_ASSERT(c.shape() == Shape({m, n}), "C shape %s != [m, n]",
+                   c.shape().toString().c_str());
+    if (desc.epilogue.bias) {
+        SOFTREC_ASSERT(ops.bias && ops.bias->shape() == Shape({n}),
+                       "bias missing or misshaped");
+    }
+    const int64_t gs_sub = desc.prologue.gsSubVector;
+    if (desc.prologue.globalScale) {
+        SOFTREC_ASSERT(ops.gsFactors &&
+                       ops.gsFactors->shape() ==
+                           Shape({m, ceilDiv(k, gs_sub)}),
+                       "GS factors missing or misshaped");
+    }
+    const GemmTiling &t = desc.tiling;
+    const int64_t tiles_n = ceilDiv(n, t.tileN);
+    if (desc.epilogue.localSoftmax) {
+        SOFTREC_ASSERT(ls && ls->localMax && ls->localSum,
+                       "LS outputs missing");
+        SOFTREC_ASSERT(ls->localMax->shape() == Shape({m, tiles_n}) &&
+                       ls->localSum->shape() == Shape({m, tiles_n}),
+                       "LS output shapes must be [m, ceil(n/tileN)]");
+    }
+
+    const float neg_inf = -std::numeric_limits<float>::infinity();
+    std::vector<float> acc(size_t(t.tileM * t.tileN));
+
+    for (int64_t m0 = 0; m0 < m; m0 += t.tileM) {
+        const int64_t mh = std::min(t.tileM, m - m0);
+        for (int64_t n0 = 0; n0 < n; n0 += t.tileN) {
+            const int64_t nw = std::min(t.tileN, n - n0);
+            std::fill(acc.begin(), acc.end(), 0.0f);
+
+            // Mainloop: outer-product accumulation over K steps, with
+            // the GS prologue applied as the A operand is "loaded".
+            for (int64_t k0 = 0; k0 < k; k0 += t.tileK) {
+                const int64_t kw = std::min(t.tileK, k - k0);
+                for (int64_t i = 0; i < mh; ++i) {
+                    for (int64_t kk = 0; kk < kw; ++kk) {
+                        float a_val =
+                            float(ops.a->at(m0 + i, k0 + kk));
+                        if (desc.prologue.globalScale) {
+                            a_val *= ops.gsFactors->at(
+                                m0 + i, (k0 + kk) / gs_sub);
+                        }
+                        if (a_val == 0.0f)
+                            continue;
+                        for (int64_t j = 0; j < nw; ++j) {
+                            const float b_val = ops.transposeB
+                                ? float(ops.b->at(n0 + j, k0 + kk))
+                                : float(ops.b->at(k0 + kk, n0 + j));
+                            acc[size_t(i * t.tileN + j)] +=
+                                a_val * b_val;
+                        }
+                    }
+                }
+            }
+
+            // Epilogue on the fp32 tile.
+            for (int64_t i = 0; i < mh; ++i) {
+                float *row = &acc[size_t(i * t.tileN)];
+                for (int64_t j = 0; j < nw; ++j) {
+                    float v = row[j];
+                    if (desc.epilogue.scale != 1.0)
+                        v *= float(desc.epilogue.scale);
+                    if (desc.epilogue.causalMask &&
+                        (n0 + j) > (m0 + i)) {
+                        v = neg_inf;
+                    }
+                    if (desc.epilogue.bias)
+                        v += ops.bias->at(n0 + j);
+                    if (desc.epilogue.gelu)
+                        v = geluApprox(v);
+                    row[j] = v;
+                }
+
+                if (desc.epilogue.localSoftmax) {
+                    // One sub-vector: this row segment of width nw.
+                    float local_max = neg_inf;
+                    for (int64_t j = 0; j < nw; ++j)
+                        local_max = std::max(local_max, row[j]);
+                    float local_sum = 0.0f;
+                    for (int64_t j = 0; j < nw; ++j) {
+                        const float e = local_max == neg_inf
+                            ? 0.0f
+                            : std::exp(row[j] - local_max);
+                        local_sum += e;
+                        c.at(m0 + i, n0 + j) = Half(e);
+                    }
+                    ls->localMax->at(m0 + i, n0 / t.tileN) = local_max;
+                    ls->localSum->at(m0 + i, n0 / t.tileN) = local_sum;
+                } else {
+                    for (int64_t j = 0; j < nw; ++j)
+                        c.at(m0 + i, n0 + j) = Half(row[j]);
+                }
+            }
+        }
+    }
+}
+
+} // namespace softrec

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared kernel helpers.
+ */
+
+#include "kernels/kernel_common.hpp"
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+uint64_t
+operandDramBytes(uint64_t operand_bytes, int64_t passes,
+                 uint64_t l2_bytes)
+{
+    SOFTREC_ASSERT(passes >= 1, "operand must be swept at least once");
+    // 80% of L2 is usable residency (the rest churns with the other
+    // operands' streams).
+    const double resident = 0.8 * double(l2_bytes);
+    if (double(operand_bytes) <= resident)
+        return operand_bytes;
+    // Partially resident: the resident fraction hits L2 on re-sweeps,
+    // the remainder re-fetches from DRAM every pass.
+    const double hit = resident / double(operand_bytes);
+    const double effective_passes =
+        1.0 + double(passes - 1) * (1.0 - hit);
+    return uint64_t(double(operand_bytes) * effective_passes);
+}
+
+} // namespace softrec

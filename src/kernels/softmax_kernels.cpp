@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Dense softmax kernel implementations.
+ */
+
+#include "kernels/softmax_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "kernels/kernel_common.hpp"
+#include "sim/calibration.hpp"
+#include "sim/cost_model.hpp"
+
+namespace softrec {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+} // namespace
+
+KernelProfile
+rowSoftmaxProfile(const GpuSpec &spec, const SoftmaxDesc &desc)
+{
+    (void)spec;
+    SOFTREC_ASSERT(desc.batch > 0 && desc.rows > 0 && desc.cols > 0,
+                   "empty softmax problem %s", desc.name.c_str());
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::Softmax;
+    prof.geom.numBlocks = desc.batch * desc.rows;
+    prof.geom.block.threads = 128;
+    // The whole row is staged in fp32 in shared memory so the three
+    // dependent passes avoid re-reading DRAM (Section 3.1).
+    prof.geom.block.smemBytes =
+        uint64_t(desc.cols) * calib::kRowSoftmaxStagingBytesPerElem;
+    prof.geom.block.regsPerThread = 40;
+
+    const uint64_t matrix_bytes =
+        uint64_t(desc.batch * desc.rows * desc.cols) * kFp16Bytes;
+    prof.dramReadBytes = matrix_bytes;
+    prof.dramWriteBytes = matrix_bytes;
+
+    const double elems =
+        double(desc.batch) * double(desc.rows) * double(desc.cols);
+    prof.cudaFlops = 4.0 * elems; // max, subtract, accumulate, scale
+    prof.sfuOps = elems;          // exp
+    prof.serializationFactor = rowSoftmaxSerialization(desc.cols);
+    return prof;
+}
+
+void
+rowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
+              Tensor<Half> &out)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional softmax handles one matrix; loop outside");
+    const Shape expect({desc.rows, desc.cols});
+    SOFTREC_ASSERT(in.shape() == expect && out.shape() == expect,
+                   "softmax shapes must be [rows, cols]");
+    for (int64_t i = 0; i < desc.rows; ++i) {
+        float max_val = kNegInf;
+        for (int64_t j = 0; j < desc.cols; ++j)
+            max_val = std::max(max_val, float(in.at(i, j)));
+        float denom = 0.0f;
+        for (int64_t j = 0; j < desc.cols; ++j) {
+            if (max_val != kNegInf)
+                denom += std::exp(float(in.at(i, j)) - max_val);
+        }
+        for (int64_t j = 0; j < desc.cols; ++j) {
+            const float e = max_val == kNegInf
+                ? 0.0f
+                : std::exp(float(in.at(i, j)) - max_val);
+            out.at(i, j) = Half(denom > 0.0f ? e / denom : 0.0f);
+        }
+    }
+}
+
+KernelProfile
+onlineRowSoftmaxProfile(const GpuSpec &spec, const SoftmaxDesc &desc)
+{
+    KernelProfile prof = rowSoftmaxProfile(spec, desc);
+    prof.name = desc.name + ".online";
+    // The fused max+normalizer pass removes one of the three
+    // dependent sweeps, recovering a third of the serialization loss.
+    prof.serializationFactor =
+        1.0 - (1.0 - prof.serializationFactor) * 2.0 / 3.0;
+    // One extra rescale multiply per element in the online recurrence.
+    prof.cudaFlops += double(desc.batch) * double(desc.rows) *
+                      double(desc.cols);
+    return prof;
+}
+
+void
+onlineRowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
+                    Tensor<Half> &out)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional softmax handles one matrix; loop outside");
+    const Shape expect({desc.rows, desc.cols});
+    SOFTREC_ASSERT(in.shape() == expect && out.shape() == expect,
+                   "softmax shapes must be [rows, cols]");
+    for (int64_t i = 0; i < desc.rows; ++i) {
+        // Single online pass: running max and rescaled normalizer.
+        float running_max = kNegInf;
+        float running_sum = 0.0f;
+        for (int64_t j = 0; j < desc.cols; ++j) {
+            const float x = float(in.at(i, j));
+            const float new_max = std::max(running_max, x);
+            if (new_max == kNegInf)
+                continue;
+            running_sum =
+                running_sum * (running_max == kNegInf
+                                   ? 0.0f
+                                   : std::exp(running_max - new_max)) +
+                std::exp(x - new_max);
+            running_max = new_max;
+        }
+        for (int64_t j = 0; j < desc.cols; ++j) {
+            const float e = running_max == kNegInf
+                ? 0.0f
+                : std::exp(float(in.at(i, j)) - running_max);
+            out.at(i, j) =
+                Half(running_sum > 0.0f ? e / running_sum : 0.0f);
+        }
+    }
+}
+
+int64_t
+DecomposedSoftmaxDesc::numSubVectors() const
+{
+    return ceilDiv(cols, subVector);
+}
+
+KernelProfile
+lsProfile(const GpuSpec &spec, const DecomposedSoftmaxDesc &desc)
+{
+    (void)spec;
+    SOFTREC_ASSERT(desc.batch > 0 && desc.rows > 0 && desc.cols > 0 &&
+                   desc.subVector > 0,
+                   "empty LS problem %s", desc.name.c_str());
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::SoftmaxLs;
+    // Square tiles: subVector-wide, subVector-tall blocks of the
+    // attention matrix per TB (Fig. 4, left).
+    const int64_t tile_rows = desc.subVector;
+    prof.geom.numBlocks = desc.batch * ceilDiv(desc.rows, tile_rows) *
+                          desc.numSubVectors();
+    prof.geom.block.threads = 128;
+    prof.geom.block.smemBytes =
+        uint64_t(tile_rows * desc.subVector) * kFp16Bytes;
+    prof.geom.block.regsPerThread = 40;
+
+    const uint64_t matrix_bytes =
+        uint64_t(desc.batch * desc.rows * desc.cols) * kFp16Bytes;
+    const uint64_t md_bytes =
+        uint64_t(desc.batch * desc.rows * desc.numSubVectors()) * 2 *
+        kFp32Bytes;
+    prof.dramReadBytes = matrix_bytes;
+    prof.dramWriteBytes = matrix_bytes + md_bytes;
+
+    const double elems =
+        double(desc.batch) * double(desc.rows) * double(desc.cols);
+    prof.cudaFlops = 3.0 * elems;
+    prof.sfuOps = elems;
+    return prof;
+}
+
+void
+lsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &in,
+      Tensor<Half> &x_prime, Tensor<float> &local_max,
+      Tensor<float> &local_sum)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional LS handles one matrix; loop outside");
+    const Shape expect({desc.rows, desc.cols});
+    const Shape md_shape({desc.rows, desc.numSubVectors()});
+    SOFTREC_ASSERT(in.shape() == expect && x_prime.shape() == expect,
+                   "LS matrix shapes must be [rows, cols]");
+    SOFTREC_ASSERT(local_max.shape() == md_shape &&
+                   local_sum.shape() == md_shape,
+                   "LS m'/d' shapes must be [rows, N_sv]");
+    for (int64_t i = 0; i < desc.rows; ++i) {
+        for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
+            const int64_t j0 = sv * desc.subVector;
+            const int64_t j1 =
+                std::min(desc.cols, j0 + desc.subVector);
+            float m_local = kNegInf;
+            for (int64_t j = j0; j < j1; ++j)
+                m_local = std::max(m_local, float(in.at(i, j)));
+            float d_local = 0.0f;
+            for (int64_t j = j0; j < j1; ++j) {
+                const float e = m_local == kNegInf
+                    ? 0.0f
+                    : std::exp(float(in.at(i, j)) - m_local);
+                d_local += e;
+                x_prime.at(i, j) = Half(e);
+            }
+            local_max.at(i, sv) = m_local;
+            local_sum.at(i, sv) = d_local;
+        }
+    }
+}
+
+KernelProfile
+irProfile(const GpuSpec &spec, const DecomposedSoftmaxDesc &desc)
+{
+    (void)spec;
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::SoftmaxIr;
+    // One row per thread; 256 threads per TB.
+    prof.geom.numBlocks =
+        std::max<int64_t>(1, ceilDiv(desc.batch * desc.rows, 256));
+    prof.geom.block.threads = 256;
+    prof.geom.block.smemBytes = 0;
+    prof.geom.block.regsPerThread = 32;
+
+    const uint64_t md_count =
+        uint64_t(desc.batch * desc.rows * desc.numSubVectors());
+    prof.dramReadBytes = md_count * 2 * kFp32Bytes; // m', d'
+    prof.dramWriteBytes = md_count * kFp32Bytes;    // r'
+    prof.cudaFlops = 4.0 * double(md_count);
+    prof.sfuOps = double(md_count);
+    return prof;
+}
+
+void
+irRun(const DecomposedSoftmaxDesc &desc, const Tensor<float> &local_max,
+      const Tensor<float> &local_sum, Tensor<float> &recon)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional IR handles one matrix; loop outside");
+    const Shape md_shape({desc.rows, desc.numSubVectors()});
+    SOFTREC_ASSERT(local_max.shape() == md_shape &&
+                   local_sum.shape() == md_shape &&
+                   recon.shape() == md_shape,
+                   "IR shapes must be [rows, N_sv]");
+    for (int64_t i = 0; i < desc.rows; ++i) {
+        float m_global = kNegInf;
+        for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv)
+            m_global = std::max(m_global, local_max.at(i, sv));
+        float d_global = 0.0f;
+        for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
+            const float m_local = local_max.at(i, sv);
+            if (m_local == kNegInf)
+                continue; // fully masked sub-vector contributes nothing
+            d_global +=
+                std::exp(m_local - m_global) * local_sum.at(i, sv);
+        }
+        for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
+            const float m_local = local_max.at(i, sv);
+            if (m_local == kNegInf || d_global <= 0.0f) {
+                recon.at(i, sv) = 0.0f;
+            } else {
+                recon.at(i, sv) =
+                    std::exp(m_local - m_global) / d_global;
+            }
+        }
+    }
+}
+
+KernelProfile
+gsProfile(const GpuSpec &spec, const DecomposedSoftmaxDesc &desc)
+{
+    (void)spec;
+    KernelProfile prof;
+    prof.name = desc.name;
+    prof.category = KernelCategory::SoftmaxGs;
+    // Element-wise streaming: 256 threads, 4 elements per thread.
+    const int64_t elems = desc.batch * desc.rows * desc.cols;
+    prof.geom.numBlocks = std::max<int64_t>(1, ceilDiv(elems, 1024));
+    prof.geom.block.threads = 256;
+    prof.geom.block.smemBytes = 0;
+    prof.geom.block.regsPerThread = 32;
+
+    const uint64_t matrix_bytes = uint64_t(elems) * kFp16Bytes;
+    const uint64_t r_bytes =
+        uint64_t(desc.batch * desc.rows * desc.numSubVectors()) *
+        kFp32Bytes;
+    prof.dramReadBytes = matrix_bytes + r_bytes;
+    prof.dramWriteBytes = matrix_bytes;
+    prof.cudaFlops = double(elems);
+    return prof;
+}
+
+void
+gsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &x_prime,
+      const Tensor<float> &recon, Tensor<Half> &y)
+{
+    SOFTREC_ASSERT(desc.batch == 1,
+                   "functional GS handles one matrix; loop outside");
+    const Shape expect({desc.rows, desc.cols});
+    SOFTREC_ASSERT(x_prime.shape() == expect && y.shape() == expect,
+                   "GS matrix shapes must be [rows, cols]");
+    SOFTREC_ASSERT(recon.shape() ==
+                       Shape({desc.rows, desc.numSubVectors()}),
+                   "GS r' shape must be [rows, N_sv]");
+    for (int64_t i = 0; i < desc.rows; ++i) {
+        for (int64_t j = 0; j < desc.cols; ++j) {
+            const float r = recon.at(i, j / desc.subVector);
+            y.at(i, j) = Half(float(x_prime.at(i, j)) * r);
+        }
+    }
+}
+
+} // namespace softrec

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Functional encoder layer implementation.
+ */
+
+#include "model/functional_layer.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "core/attention_exec.hpp"
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace softrec {
+
+EncoderLayerWeights
+EncoderLayerWeights::random(int64_t d_model, int64_t d_ff, Rng &rng)
+{
+    const double proj_std = 1.0 / std::sqrt(double(d_model));
+    const double ff_std = 1.0 / std::sqrt(double(d_ff));
+    EncoderLayerWeights w{
+        Tensor<Half>(Shape({d_model, d_model})),
+        Tensor<Half>(Shape({d_model, d_model})),
+        Tensor<Half>(Shape({d_model, d_model})),
+        Tensor<Half>(Shape({d_model, d_model})),
+        Tensor<float>(Shape({d_model})),
+        Tensor<float>(Shape({d_model})),
+        Tensor<float>(Shape({d_model})),
+        Tensor<float>(Shape({d_model})),
+        Tensor<float>(Shape({d_model}), 1.0f),
+        Tensor<float>(Shape({d_model})),
+        Tensor<Half>(Shape({d_model, d_ff})),
+        Tensor<Half>(Shape({d_ff, d_model})),
+        Tensor<float>(Shape({d_ff})),
+        Tensor<float>(Shape({d_model})),
+        Tensor<float>(Shape({d_model}), 1.0f),
+        Tensor<float>(Shape({d_model})),
+    };
+    fillNormal(w.wq, rng, 0.0, proj_std);
+    fillNormal(w.wk, rng, 0.0, proj_std);
+    fillNormal(w.wv, rng, 0.0, proj_std);
+    fillNormal(w.wo, rng, 0.0, proj_std);
+    fillNormal(w.w1, rng, 0.0, proj_std);
+    fillNormal(w.w2, rng, 0.0, ff_std);
+    for (int64_t i = 0; i < d_model; ++i) {
+        w.bq.at(i) = float(rng.normal(0.0, 0.02));
+        w.bk.at(i) = float(rng.normal(0.0, 0.02));
+        w.bv.at(i) = float(rng.normal(0.0, 0.02));
+        w.bo.at(i) = float(rng.normal(0.0, 0.02));
+        w.b2.at(i) = float(rng.normal(0.0, 0.02));
+    }
+    for (int64_t i = 0; i < d_ff; ++i)
+        w.b1.at(i) = float(rng.normal(0.0, 0.02));
+    return w;
+}
+
+namespace {
+
+/** y = x W + b via the functional GEMM, fp16 storage. */
+Tensor<Half>
+project(const Tensor<Half> &x, const Tensor<Half> &w,
+        const Tensor<float> &bias, bool gelu = false)
+{
+    GemmDesc desc;
+    desc.m = x.shape().dim(0);
+    desc.k = x.shape().dim(1);
+    desc.n = w.shape().dim(1);
+    desc.epilogue.bias = true;
+    desc.epilogue.gelu = gelu;
+    desc.tiling.tileM = 16;
+    desc.tiling.tileN = 16;
+    desc.tiling.tileK = 16;
+    GemmOperands ops;
+    ops.a = &x;
+    ops.b = &w;
+    ops.bias = &bias;
+    Tensor<Half> out(Shape({desc.m, desc.n}));
+    gemmRun(desc, ops, out);
+    return out;
+}
+
+/** Copy head columns [h*dh, (h+1)*dh) into an [L, dh] tensor. */
+Tensor<Half>
+sliceHead(const Tensor<Half> &x, int64_t head, int64_t d_head)
+{
+    const int64_t rows = x.shape().dim(0);
+    Tensor<Half> out(Shape({rows, d_head}));
+    for (int64_t i = 0; i < rows; ++i)
+        for (int64_t j = 0; j < d_head; ++j)
+            out.at(i, j) = x.at(i, head * d_head + j);
+    return out;
+}
+
+} // namespace
+
+Tensor<Half>
+runEncoderLayer(const FunctionalLayerConfig &config,
+                const EncoderLayerWeights &weights,
+                const Tensor<Half> &input)
+{
+    SOFTREC_ASSERT(input.shape().rank() == 2 &&
+                   input.shape().dim(1) == config.dModel,
+                   "input must be [L, dModel]");
+    SOFTREC_ASSERT(config.dModel % config.numHeads == 0,
+                   "heads must divide dModel");
+    const int64_t rows = input.shape().dim(0);
+    const int64_t dh = config.dHead();
+
+    // QKV projections.
+    const Tensor<Half> q = project(input, weights.wq, weights.bq);
+    const Tensor<Half> k = project(input, weights.wk, weights.bk);
+    const Tensor<Half> v = project(input, weights.wv, weights.bv);
+
+    // Multi-head attention under the configured strategy.
+    SdaConfig sda;
+    sda.seqLen = rows;
+    sda.dHead = dh;
+    sda.causalMask = config.causalMask;
+    sda.layout = config.layout;
+    sda.subVector = config.subVector;
+    sda.attnTiling = config.attnTiling;
+
+    Tensor<Half> attention(Shape({rows, config.dModel}));
+    for (int64_t head = 0; head < config.numHeads; ++head) {
+        AttentionInputs head_inputs{sliceHead(q, head, dh),
+                                    sliceHead(k, head, dh),
+                                    sliceHead(v, head, dh)};
+        const Tensor<Half> head_out = config.layout
+            ? runSparseAttention(sda, head_inputs, config.strategy)
+            : runDenseAttention(sda, head_inputs, config.strategy);
+        for (int64_t i = 0; i < rows; ++i)
+            for (int64_t j = 0; j < dh; ++j)
+                attention.at(i, head * dh + j) = head_out.at(i, j);
+    }
+
+    // Output projection, residual, LayerNorm.
+    const Tensor<Half> projected =
+        project(attention, weights.wo, weights.bo);
+    Tensor<Half> post_attn(input.shape());
+    residualAddRun(input, projected, post_attn);
+    Tensor<Half> hidden(input.shape());
+    layerNormRun(post_attn, weights.gamma1, weights.beta1, hidden);
+
+    // FeedForward, residual, LayerNorm.
+    const Tensor<Half> ff1 =
+        project(hidden, weights.w1, weights.b1, /*gelu=*/true);
+    const Tensor<Half> ff2 = project(ff1, weights.w2, weights.b2);
+    Tensor<Half> post_ff(input.shape());
+    residualAddRun(hidden, ff2, post_ff);
+    Tensor<Half> out(input.shape());
+    layerNormRun(post_ff, weights.gamma2, weights.beta2, out);
+    return out;
+}
+
+} // namespace softrec

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Functional (CPU-executed) transformer encoder layer.
+ *
+ * Everything else in src/model plans kernels for the performance
+ * model; this module actually *computes* one full encoder layer —
+ * QKV projections, multi-head attention under any softmax strategy,
+ * output projection, residual/LayerNorm, and the FeedForward block —
+ * through the functional kernel implementations, with fp16 storage
+ * throughout. It exists to demonstrate end to end that softmax
+ * recomposition leaves a real transformer layer's numerics intact,
+ * not just an isolated attention head's.
+ */
+
+#ifndef SOFTREC_MODEL_FUNCTIONAL_LAYER_HPP
+#define SOFTREC_MODEL_FUNCTIONAL_LAYER_HPP
+
+#include "common/rng.hpp"
+#include "core/recomposition.hpp"
+#include "fp16/half.hpp"
+#include "sparse/bsr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace softrec {
+
+/** All parameters of one encoder layer. */
+struct EncoderLayerWeights
+{
+    Tensor<Half> wq, wk, wv, wo;  //!< projections, [dModel, dModel]
+    Tensor<float> bq, bk, bv, bo; //!< projection biases, [dModel]
+    Tensor<float> gamma1, beta1;  //!< post-attention LayerNorm
+    Tensor<Half> w1, w2;          //!< FF weights, [dm, dFf], [dFf, dm]
+    Tensor<float> b1, b2;         //!< FF biases
+    Tensor<float> gamma2, beta2;  //!< post-FF LayerNorm
+
+    /** Random initialization (transformer-standard scales). */
+    static EncoderLayerWeights random(int64_t d_model, int64_t d_ff,
+                                      Rng &rng);
+};
+
+/** Shape and execution options of the functional layer. */
+struct FunctionalLayerConfig
+{
+    int64_t dModel = 64;
+    int64_t numHeads = 4;
+    int64_t dFf = 128;
+    bool causalMask = false;
+    /**
+     * Block-sparse attention structure shared by all heads; nullptr
+     * runs dense attention. The block size must equal subVector.
+     */
+    const BsrLayout *layout = nullptr;
+    Strategy strategy = Strategy::Baseline;
+    int64_t subVector = 16;
+    GemmTiling attnTiling{16, 16, 16, 256, 128};
+
+    int64_t dHead() const { return dModel / numHeads; }
+};
+
+/**
+ * Run one encoder layer: LayerNorm(x + MHA(x)), then
+ * LayerNorm(h + FF(h)).
+ *
+ * @param input [L, dModel] fp16
+ * @return [L, dModel] fp16
+ */
+Tensor<Half> runEncoderLayer(const FunctionalLayerConfig &config,
+                             const EncoderLayerWeights &weights,
+                             const Tensor<Half> &input);
+
+} // namespace softrec
+
+#endif // SOFTREC_MODEL_FUNCTIONAL_LAYER_HPP

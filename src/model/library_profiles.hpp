@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Baseline GPU libraries as fusion/kernel-quality configurations —
+ * the comparison set of the paper's Fig. 7 (HuggingFace,
+ * FasterTransformer, TensorRT, DeepSpeed, and the paper's own
+ * baseline).
+ *
+ * Each library is modeled as the same model schedule with different
+ * conventional fusions applied and different softmax / sparse-GEMM
+ * kernel quality, reflecting how the paper characterizes them:
+ * TensorRT has the best dense softmax, DeepSpeed the best block-sparse
+ * kernels, HuggingFace eager mode fuses almost nothing, and the
+ * paper's baseline matches the best library within a few percent.
+ */
+
+#ifndef SOFTREC_MODEL_LIBRARY_PROFILES_HPP
+#define SOFTREC_MODEL_LIBRARY_PROFILES_HPP
+
+#include "model/engine.hpp"
+
+namespace softrec {
+
+/** The compared implementations of Fig. 7. */
+enum class Library {
+    HuggingFace,       //!< eager PyTorch, no kernel fusion
+    FasterTransformer, //!< fused elementwise, own softmax
+    TensorRT,          //!< best dense library
+    DeepSpeed,         //!< best block-sparse library
+    Ours,              //!< the paper's baseline implementation
+};
+
+/** Display name ("HG", "FT", "TRT", "DS", "Ours"). */
+const char *libraryShortName(Library library);
+
+/** All libraries in Fig. 7 order. */
+std::vector<Library> allLibraries();
+
+/**
+ * Whether the library can execute the model at long sequence lengths
+ * (TensorRT and FasterTransformer have no block-sparse attention
+ * path).
+ */
+bool librarySupports(Library library, const ModelConfig &model);
+
+/** The fusion policy that models a library's kernel behaviour. */
+FusionPolicy libraryFusionPolicy(Library library,
+                                 const ModelConfig &model);
+
+/**
+ * Run baseline (no recomposition) inference the way a library would.
+ */
+InferenceResult runLibraryInference(const GpuSpec &spec,
+                                    const ModelConfig &model,
+                                    RunConfig run, Library library);
+
+} // namespace softrec
+
+#endif // SOFTREC_MODEL_LIBRARY_PROFILES_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Model configuration factories.
+ */
+
+#include "model/model_config.hpp"
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+const char *
+attentionKindName(AttentionKind kind)
+{
+    switch (kind) {
+      case AttentionKind::Dense: return "dense";
+      case AttentionKind::BigBird: return "bigbird";
+      case AttentionKind::Longformer: return "longformer";
+    }
+    return "?";
+}
+
+BsrLayout
+ModelConfig::buildLayout(int64_t seq_len) const
+{
+    switch (attention) {
+      case AttentionKind::BigBird:
+        return bigBirdPattern(seq_len, bigBird);
+      case AttentionKind::Longformer:
+        return longformerPattern(seq_len, longformer);
+      case AttentionKind::Dense:
+        break;
+    }
+    fatal("%s is a dense-attention model; it has no sparse layout",
+          name.c_str());
+}
+
+ModelConfig
+ModelConfig::bertLarge()
+{
+    ModelConfig config;
+    config.name = "BERT-large";
+    config.numLayers = 24;
+    config.dModel = 1024;
+    config.numHeads = 16;
+    config.dFf = 4096;
+    config.vocabSize = 30522;
+    return config;
+}
+
+ModelConfig
+ModelConfig::gptNeo13B()
+{
+    ModelConfig config;
+    config.name = "GPT-Neo-1.3B";
+    config.numLayers = 24;
+    config.dModel = 2048;
+    config.numHeads = 16;
+    config.dFf = 8192;
+    config.causalMask = true;
+    config.vocabSize = 50257;
+    return config;
+}
+
+ModelConfig
+ModelConfig::gptNeo13BLocal()
+{
+    ModelConfig config = gptNeo13B();
+    config.name = "GPT-Neo-1.3B(local)";
+    config.localAttentionWindow = 256;
+    return config;
+}
+
+ModelConfig
+ModelConfig::bigBirdLarge()
+{
+    ModelConfig config = bertLarge();
+    config.name = "BigBird-large";
+    config.attention = AttentionKind::BigBird;
+    config.bigBird = BigBirdParams{};
+    config.vocabSize = 50358;
+    return config;
+}
+
+ModelConfig
+ModelConfig::longformerLarge()
+{
+    ModelConfig config = bertLarge();
+    config.name = "Longformer-large";
+    config.attention = AttentionKind::Longformer;
+    config.longformer = LongformerParams{};
+    config.vocabSize = 50265;
+    return config;
+}
+
+std::vector<ModelConfig>
+ModelConfig::allEvaluated()
+{
+    return {bertLarge(), gptNeo13B(), bigBirdLarge(), longformerLarge()};
+}
+
+} // namespace softrec

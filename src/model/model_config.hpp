@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Architecture hyper-parameters of the four evaluated transformer
+ * models, matching the HuggingFace pre-trained configurations the
+ * paper uses (Section 4): BERT-large, GPT-Neo-1.3B, BigBird-large and
+ * Longformer-large.
+ */
+
+#ifndef SOFTREC_MODEL_MODEL_CONFIG_HPP
+#define SOFTREC_MODEL_MODEL_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/patterns.hpp"
+
+namespace softrec {
+
+/** Which attention structure a model uses. */
+enum class AttentionKind {
+    Dense,      //!< full L x L attention (BERT, GPT-Neo)
+    BigBird,    //!< window + global + random blocks
+    Longformer, //!< sliding window + global tokens
+};
+
+/** Display name of an attention kind. */
+const char *attentionKindName(AttentionKind kind);
+
+/** Static architecture description of one transformer model. */
+struct ModelConfig
+{
+    std::string name;       //!< e.g. "BERT-large"
+    int64_t numLayers = 0;  //!< encoder/decoder blocks
+    int64_t dModel = 0;     //!< hidden size D_m
+    int64_t numHeads = 0;   //!< attention heads H_num
+    int64_t dFf = 0;        //!< FeedForward inner size D_ff
+    bool causalMask = false; //!< autoregressive masking (GPT-Neo)
+    AttentionKind attention = AttentionKind::Dense;
+    BigBirdParams bigBird;          //!< used when attention == BigBird
+    LongformerParams longformer;    //!< used when attention == Longformer
+    int64_t vocabSize = 50000;      //!< embedding table rows
+    /**
+     * GPT-Neo's real configuration alternates dense ("global") and
+     * sliding-window ("local") attention every other layer. 0 turns
+     * the local layers off (the paper's treatment).
+     */
+    int64_t localAttentionWindow = 0;
+
+    /** Per-head hidden size D_head = D_m / H_num. */
+    int64_t dHead() const { return dModel / numHeads; }
+    /** True for the block-sparse attention models. */
+    bool sparse() const { return attention != AttentionKind::Dense; }
+    /** True when every other layer uses local window attention. */
+    bool hasLocalLayers() const { return localAttentionWindow > 0; }
+
+    /**
+     * Build this model's attention layout for a sequence length;
+     * only valid for sparse models.
+     */
+    BsrLayout buildLayout(int64_t seq_len) const;
+
+    /** BERT-large: 24 layers, D_m 1024, 16 heads, D_ff 4096. */
+    static ModelConfig bertLarge();
+    /** GPT-Neo-1.3B: 24 layers, D_m 2048, 16 heads, D_ff 8192, causal. */
+    static ModelConfig gptNeo13B();
+    /**
+     * GPT-Neo-1.3B with its published alternating global/local
+     * attention (window 256). The paper models GPT-Neo as dense;
+     * this variant exists for the fidelity ablation.
+     */
+    static ModelConfig gptNeo13BLocal();
+    /** BigBird-large: BERT-large dims with BigBird sparse attention. */
+    static ModelConfig bigBirdLarge();
+    /** Longformer-large: BERT-large dims with Longformer attention. */
+    static ModelConfig longformerLarge();
+
+    /** The paper's four evaluation models, in Fig. 2 order. */
+    static std::vector<ModelConfig> allEvaluated();
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_MODEL_MODEL_CONFIG_HPP

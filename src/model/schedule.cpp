@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Transformer scheduler implementation.
+ */
+
+#include "model/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "kernels/elementwise.hpp"
+#include "kernels/fused_mha.hpp"
+#include "kernels/kernel_common.hpp"
+#include "kernels/softmax_kernels.hpp"
+#include "sparse/patterns.hpp"
+
+namespace softrec {
+
+TransformerScheduler::TransformerScheduler(const GpuSpec &spec,
+                                           ModelConfig model,
+                                           RunConfig run)
+    : model_(std::move(model)), run_(run)
+{
+    SOFTREC_ASSERT(run_.seqLen > 0 && run_.batch > 0,
+                   "empty run configuration");
+    if (model_.sparse())
+        layout_.emplace(model_.buildLayout(run_.seqLen));
+    build(spec);
+}
+
+void
+TransformerScheduler::build(const GpuSpec &spec)
+{
+    const int64_t L = run_.seqLen;
+    const int64_t B = run_.batch;
+    const int64_t dm = model_.dModel;
+    const int64_t rows = B * L;
+    const FusionPolicy &fusion = run_.fusion;
+
+    // --- Prologue: embedding lookup + embedding LayerNorm ---
+    prologue_.push_back(
+        embeddingProfile(spec, "embed.lookup", rows, dm));
+    prologue_.push_back(layerNormProfile(spec, "embed.ln", rows, dm));
+
+    // --- SDA block of one layer ---
+    SdaConfig sda_config;
+    sda_config.batch = B;
+    sda_config.heads = model_.numHeads;
+    sda_config.seqLen = L;
+    sda_config.dHead = model_.dHead();
+    sda_config.causalMask = model_.causalMask && fusion.scaleMaskFused;
+    sda_config.layout = layout_ ? &*layout_ : nullptr;
+    if (layout_) {
+        sda_config.subVector = layout_->blockSize();
+    } else {
+        // Arbitrary sequence lengths: pick the widest T that divides
+        // L so decomposition/fusion stays legal.
+        sda_config.subVector = chooseSubVector(L, run_.subVector);
+        if (sda_config.subVector != run_.subVector) {
+            warn("sub-vector width adjusted from %lld to %lld to "
+                 "divide L = %lld",
+                 (long long)run_.subVector,
+                 (long long)sda_config.subVector, (long long)L);
+        }
+    }
+    sda_ = buildSdaSchedule(spec, sda_config, run_.strategy);
+
+    // FasterTransformer-style fully fused MHA: one kernel for the
+    // whole SDA block, but only when K/V fit in shared memory and
+    // only on the dense baseline path.
+    if (fusion.fusedMhaShortSeq && !model_.sparse() &&
+        run_.strategy == Strategy::Baseline) {
+        FusedMhaDesc mha;
+        mha.batch = B * model_.numHeads;
+        mha.seqLen = L;
+        mha.dHead = model_.dHead();
+        mha.scale = sda_config.scale();
+        mha.causalMask = model_.causalMask;
+        if (fusedMhaSupported(spec, mha)) {
+            sda_.kernels = {fusedMhaProfile(spec, mha)};
+            sda_.attentionSweeps = 0; // never leaves the SM
+            sda_.intermediateBytes = 0;
+        }
+    }
+
+    // Online-normalizer softmax replaces the three-pass baseline
+    // kernel where one is present.
+    if (fusion.onlineSoftmax) {
+        for (KernelProfile &prof : sda_.kernels) {
+            if (prof.category == KernelCategory::Softmax &&
+                !model_.sparse()) {
+                SoftmaxDesc desc;
+                desc.name = "sda.softmax";
+                desc.batch = B * model_.numHeads;
+                desc.rows = L;
+                desc.cols = L;
+                prof = onlineRowSoftmaxProfile(spec, desc);
+            }
+        }
+    }
+
+    // Apply the library's softmax/sparse-GEMM quality to the SDA
+    // kernels (Fig. 7 baselines differ only in these).
+    for (KernelProfile &prof : sda_.kernels) {
+        if (prof.category == KernelCategory::Softmax) {
+            prof.serializationFactor =
+                std::min(1.0, prof.serializationFactor *
+                                  fusion.softmaxQuality);
+        }
+        if (prof.category == KernelCategory::SdaMatMul &&
+            model_.sparse()) {
+            prof.gemmEfficiency =
+                std::min(1.0, prof.gemmEfficiency *
+                                  fusion.sparseMatmulQuality);
+        }
+    }
+
+    buildLayer(spec, sda_.kernels, layer_);
+
+    // GPT-Neo's real configuration: every odd layer replaces dense
+    // attention with a causal sliding window. Modeled with the
+    // block-sparse substrate (window baked into the layout).
+    if (model_.hasLocalLayers() && !model_.sparse()) {
+        const int64_t block = 64;
+        localLayout_.emplace(causalWindowPattern(
+            L, block, ceilDiv(model_.localAttentionWindow, block)));
+        SdaConfig local = sda_config;
+        local.layout = &*localLayout_;
+        local.subVector = block;
+        local.causalMask = false; // the layout encodes the window
+        SdaSchedule local_sda =
+            buildSdaSchedule(spec, local, run_.strategy);
+        for (KernelProfile &prof : local_sda.kernels) {
+            if (prof.category == KernelCategory::Softmax) {
+                prof.serializationFactor =
+                    std::min(1.0, prof.serializationFactor *
+                                      fusion.softmaxQuality);
+            }
+        }
+        buildLayer(spec, local_sda.kernels, layerLocal_);
+    }
+}
+
+void
+TransformerScheduler::buildLayer(
+    const GpuSpec &spec, const std::vector<KernelProfile> &sda_kernels_in,
+    std::vector<KernelProfile> &layer)
+{
+    const int64_t L = run_.seqLen;
+    const int64_t B = run_.batch;
+    const int64_t dm = model_.dModel;
+    const int64_t rows = B * L;
+    const FusionPolicy &fusion = run_.fusion;
+
+    auto add_gemm = [&](const std::string &name, KernelCategory cat,
+                        int64_t m, int64_t n, int64_t k, bool bias,
+                        bool gelu) {
+        GemmDesc desc;
+        desc.name = name;
+        desc.category = cat;
+        desc.m = m;
+        desc.n = n;
+        desc.k = k;
+        desc.shapeClass = GemmShapeClass::LargeFc;
+        desc.epilogue.bias = bias && fusion.biasFused;
+        desc.epilogue.gelu = gelu && fusion.geluFused;
+        layer.push_back(gemmProfile(spec, desc));
+        if (bias && !fusion.biasFused) {
+            layer.push_back(biasActProfile(
+                spec, name + ".bias", m, n,
+                gelu && !fusion.geluFused));
+        } else if (gelu && !fusion.geluFused) {
+            layer.push_back(
+                biasActProfile(spec, name + ".gelu", m, n, true));
+        }
+    };
+
+    // QKV projections.
+    add_gemm("fc.q", KernelCategory::Fc, rows, dm, dm, true, false);
+    add_gemm("fc.k", KernelCategory::Fc, rows, dm, dm, true, false);
+    add_gemm("fc.v", KernelCategory::Fc, rows, dm, dm, true, false);
+
+    // Head split/merge layout shuffles around the SDA block.
+    layer.push_back(reshapeProfile(spec, "mha.split", 3 * rows * dm));
+
+    // Unfused libraries launch a standalone scale/mask pass over the
+    // attention matrix between QK^T and the softmax (dense SDA only:
+    // block-sparse kernels carry their masks structurally).
+    std::vector<KernelProfile> sda_kernels = sda_kernels_in;
+    const bool dense_sda = &sda_kernels_in == &sda_.kernels &&
+                           !model_.sparse();
+    if (!fusion.scaleMaskFused && dense_sda) {
+        // Strip the fused epilogue work from QK^T and insert the
+        // standalone pass right after it.
+        std::vector<KernelProfile> with_mask;
+        for (const KernelProfile &prof : sda_kernels) {
+            with_mask.push_back(prof);
+            if (prof.name == "sda.qk") {
+                with_mask.push_back(scaleMaskProfile(
+                    spec, "sda.scale_mask", B * model_.numHeads, L,
+                    L));
+            }
+        }
+        sda_kernels = std::move(with_mask);
+    }
+    for (const KernelProfile &prof : sda_kernels)
+        layer.push_back(prof);
+
+    layer.push_back(reshapeProfile(spec, "mha.merge", rows * dm));
+    for (int i = 0; i < fusion.extraReshapes; ++i) {
+        layer.push_back(reshapeProfile(
+            spec, strprintf("mha.extra_reshape%d", i), rows * dm));
+    }
+
+    // Output projection + residual + LayerNorm.
+    add_gemm("fc.out", KernelCategory::Fc, rows, dm, dm, true, false);
+    layer.push_back(
+        residualAddProfile(spec, "mha.residual", rows * dm));
+    layer.push_back(layerNormProfile(spec, "mha.ln", rows, dm));
+
+    // FeedForward block.
+    add_gemm("ff.1", KernelCategory::FeedForward, rows, model_.dFf, dm,
+             true, true);
+    add_gemm("ff.2", KernelCategory::FeedForward, rows, dm, model_.dFf,
+             true, false);
+    layer.push_back(
+        residualAddProfile(spec, "ff.residual", rows * dm));
+    layer.push_back(layerNormProfile(spec, "ff.ln", rows, dm));
+}
+
+std::vector<KernelProfile>
+TransformerScheduler::fullSequence() const
+{
+    std::vector<KernelProfile> sequence = prologue_;
+    for (int64_t l = 0; l < model_.numLayers; ++l) {
+        const auto &layer = layerIsLocal(l) ? layerLocal_ : layer_;
+        sequence.insert(sequence.end(), layer.begin(), layer.end());
+    }
+    return sequence;
+}
+
+void
+TransformerScheduler::run(Gpu &gpu) const
+{
+    for (const KernelProfile &prof : prologue_)
+        gpu.launch(prof);
+    for (int64_t l = 0; l < model_.numLayers; ++l) {
+        for (const KernelProfile &prof :
+             layerIsLocal(l) ? layerLocal_ : layer_)
+            gpu.launch(prof);
+    }
+}
+
+} // namespace softrec

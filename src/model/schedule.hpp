@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Full-model kernel scheduler: expands a transformer configuration
+ * into the complete launch sequence of one inference forward pass
+ * (embedding, then per layer: QKV projections, SDA block, output
+ * projection, residual/LayerNorm, FeedForward), under a softmax
+ * strategy and a kernel-fusion policy.
+ */
+
+#ifndef SOFTREC_MODEL_SCHEDULE_HPP
+#define SOFTREC_MODEL_SCHEDULE_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/recomposition.hpp"
+#include "model/model_config.hpp"
+#include "sim/gpu.hpp"
+
+namespace softrec {
+
+/**
+ * Which conventional fusions the executing library applies. The
+ * defaults model an optimized library (TensorRT / DeepSpeed grade);
+ * Fig. 7's weaker baselines relax them.
+ */
+struct FusionPolicy
+{
+    bool biasFused = true;      //!< bias in the GEMM epilogues
+    bool scaleMaskFused = true; //!< scale/mask in the QK^T epilogue
+    bool geluFused = true;      //!< GeLU in the FF1 epilogue
+    int extraReshapes = 0;      //!< additional layout shuffles per layer
+    /** Multiplier on the softmax kernel's serialization factor. */
+    double softmaxQuality = 1.0;
+    /** Multiplier on the block-sparse GEMM efficiency. */
+    double sparseMatmulQuality = 1.0;
+    /**
+     * Use the online-normalizer softmax kernel (related work [21])
+     * instead of the three-pass baseline kernel.
+     */
+    bool onlineSoftmax = false;
+    /**
+     * Replace the whole SDA block with a single fused-MHA kernel when
+     * the sequence is short enough for it (FasterTransformer path;
+     * dense attention + baseline strategy only).
+     */
+    bool fusedMhaShortSeq = false;
+};
+
+/** One inference invocation's parameters. */
+struct RunConfig
+{
+    int64_t seqLen = 4096;  //!< sequence length L
+    int64_t batch = 1;      //!< batch size
+    Strategy strategy = Strategy::Baseline;
+    int64_t subVector = 64; //!< sub-vector width T
+    FusionPolicy fusion;    //!< library fusion behaviour
+};
+
+/**
+ * Expands (model, run) into kernel launch sequences for a GPU and
+ * executes them on a simulated device.
+ */
+class TransformerScheduler
+{
+  public:
+    /** Plan the schedule; builds the sparse layout if needed. */
+    TransformerScheduler(const GpuSpec &spec, ModelConfig model,
+                         RunConfig run);
+
+    /** The model being scheduled. */
+    const ModelConfig &model() const { return model_; }
+    /** The run parameters. */
+    const RunConfig &runConfig() const { return run_; }
+    /** The sparse attention layout (nullptr for dense models). */
+    const BsrLayout *layout() const
+    {
+        return layout_ ? &*layout_ : nullptr;
+    }
+    /** The planned SDA block of one layer. */
+    const SdaSchedule &sdaSchedule() const { return sda_; }
+
+    /** Kernels launched once before the layer stack. */
+    const std::vector<KernelProfile> &prologue() const
+    {
+        return prologue_;
+    }
+    /** Kernels of one transformer layer, in order. */
+    const std::vector<KernelProfile> &layerKernels() const
+    {
+        return layer_;
+    }
+    /**
+     * Kernels of an alternating local-attention layer (GPT-Neo real
+     * configuration); empty when the model has no local layers.
+     */
+    const std::vector<KernelProfile> &localLayerKernels() const
+    {
+        return layerLocal_;
+    }
+    /** True if layer index l (0-based) runs local window attention. */
+    bool layerIsLocal(int64_t l) const
+    {
+        return !layerLocal_.empty() && (l % 2 == 1);
+    }
+
+    /** Full launch sequence of one forward pass. */
+    std::vector<KernelProfile> fullSequence() const;
+
+    /** Execute the full sequence on a simulated GPU. */
+    void run(Gpu &gpu) const;
+
+  private:
+    void build(const GpuSpec &spec);
+    void buildLayer(const GpuSpec &spec,
+                    const std::vector<KernelProfile> &sda_kernels,
+                    std::vector<KernelProfile> &layer);
+
+    ModelConfig model_;
+    RunConfig run_;
+    std::optional<BsrLayout> layout_;
+    std::optional<BsrLayout> localLayout_;
+    SdaSchedule sda_;
+    std::vector<KernelProfile> prologue_;
+    std::vector<KernelProfile> layer_;
+    std::vector<KernelProfile> layerLocal_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_MODEL_SCHEDULE_HPP

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Seq2seq scheduler implementation.
+ */
+
+#include "model/seq2seq.hpp"
+
+#include "common/logging.hpp"
+#include "kernels/elementwise.hpp"
+#include "kernels/gemm.hpp"
+
+namespace softrec {
+
+Seq2SeqConfig
+Seq2SeqConfig::vanillaBase()
+{
+    Seq2SeqConfig config;
+    config.name = "Transformer-base";
+    config.encoderLayers = 6;
+    config.decoderLayers = 6;
+    config.dModel = 512;
+    config.numHeads = 8;
+    config.dFf = 2048;
+    return config;
+}
+
+Seq2SeqConfig
+Seq2SeqConfig::vanillaBig()
+{
+    Seq2SeqConfig config;
+    config.name = "Transformer-big";
+    config.encoderLayers = 6;
+    config.decoderLayers = 6;
+    config.dModel = 1024;
+    config.numHeads = 16;
+    config.dFf = 4096;
+    return config;
+}
+
+Seq2SeqScheduler::Seq2SeqScheduler(const GpuSpec &spec,
+                                   Seq2SeqConfig config, Seq2SeqRun run)
+    : config_(std::move(config)), run_(run)
+{
+    SOFTREC_ASSERT(run_.srcLen > 0 && run_.tgtLen > 0 && run_.batch > 0,
+                   "empty seq2seq run");
+    build(spec);
+}
+
+void
+Seq2SeqScheduler::build(const GpuSpec &spec)
+{
+    const int64_t dm = config_.dModel;
+    const int64_t src_rows = run_.batch * run_.srcLen;
+    const int64_t tgt_rows = run_.batch * run_.tgtLen;
+
+    prologue_.push_back(
+        embeddingProfile(spec, "enc.embed", src_rows, dm));
+    prologue_.push_back(layerNormProfile(spec, "enc.ln0", src_rows, dm));
+    prologue_.push_back(
+        embeddingProfile(spec, "dec.embed", tgt_rows, dm));
+    prologue_.push_back(layerNormProfile(spec, "dec.ln0", tgt_rows, dm));
+
+    auto add_gemm = [&](std::vector<KernelProfile> &layer,
+                        const std::string &name, KernelCategory cat,
+                        int64_t m, int64_t n, int64_t k, bool gelu) {
+        GemmDesc desc;
+        desc.name = name;
+        desc.category = cat;
+        desc.m = m;
+        desc.n = n;
+        desc.k = k;
+        desc.shapeClass = GemmShapeClass::LargeFc;
+        desc.epilogue.bias = true;
+        desc.epilogue.gelu = gelu;
+        layer.push_back(gemmProfile(spec, desc));
+    };
+
+    auto add_attention = [&](std::vector<KernelProfile> &layer,
+                             const std::string &prefix, int64_t q_len,
+                             int64_t kv_len, bool causal) {
+        // Projections: queries from this stream, keys/values from the
+        // attended stream.
+        add_gemm(layer, prefix + ".fc.q", KernelCategory::Fc,
+                 run_.batch * q_len, dm, dm, false);
+        add_gemm(layer, prefix + ".fc.k", KernelCategory::Fc,
+                 run_.batch * kv_len, dm, dm, false);
+        add_gemm(layer, prefix + ".fc.v", KernelCategory::Fc,
+                 run_.batch * kv_len, dm, dm, false);
+        layer.push_back(reshapeProfile(
+            spec, prefix + ".split",
+            run_.batch * (q_len + 2 * kv_len) * dm));
+
+        SdaConfig sda;
+        sda.batch = run_.batch;
+        sda.heads = config_.numHeads;
+        sda.seqLen = q_len;
+        sda.kvLen = kv_len;
+        sda.dHead = config_.dHead();
+        sda.causalMask = causal;
+        sda.subVector = chooseSubVector(kv_len, run_.subVector);
+        const SdaSchedule sda_plan =
+            buildSdaSchedule(spec, sda, run_.strategy);
+        for (KernelProfile prof : sda_plan.kernels) {
+            prof.name = prefix + "." + prof.name;
+            layer.push_back(std::move(prof));
+        }
+
+        layer.push_back(reshapeProfile(spec, prefix + ".merge",
+                                       run_.batch * q_len * dm));
+        add_gemm(layer, prefix + ".fc.out", KernelCategory::Fc,
+                 run_.batch * q_len, dm, dm, false);
+        layer.push_back(residualAddProfile(
+            spec, prefix + ".residual", run_.batch * q_len * dm));
+        layer.push_back(layerNormProfile(spec, prefix + ".ln",
+                                         run_.batch * q_len, dm));
+    };
+
+    auto add_feedforward = [&](std::vector<KernelProfile> &layer,
+                               const std::string &prefix,
+                               int64_t rows) {
+        add_gemm(layer, prefix + ".ff.1", KernelCategory::FeedForward,
+                 rows, config_.dFf, dm, true);
+        add_gemm(layer, prefix + ".ff.2", KernelCategory::FeedForward,
+                 rows, dm, config_.dFf, false);
+        layer.push_back(residualAddProfile(
+            spec, prefix + ".ff.residual", rows * dm));
+        layer.push_back(
+            layerNormProfile(spec, prefix + ".ff.ln", rows, dm));
+    };
+
+    // Encoder layer: bidirectional self-attention + FF.
+    add_attention(encoderLayer_, "enc.self", run_.srcLen, run_.srcLen,
+                  false);
+    add_feedforward(encoderLayer_, "enc", src_rows);
+
+    // Decoder layer: causal self-attention, cross-attention over the
+    // encoder output, then FF.
+    add_attention(decoderLayer_, "dec.self", run_.tgtLen, run_.tgtLen,
+                  true);
+    add_attention(decoderLayer_, "dec.cross", run_.tgtLen, run_.srcLen,
+                  false);
+    add_feedforward(decoderLayer_, "dec", tgt_rows);
+}
+
+void
+Seq2SeqScheduler::run(Gpu &gpu) const
+{
+    for (const KernelProfile &prof : prologue_)
+        gpu.launch(prof);
+    for (int64_t l = 0; l < config_.encoderLayers; ++l)
+        for (const KernelProfile &prof : encoderLayer_)
+            gpu.launch(prof);
+    for (int64_t l = 0; l < config_.decoderLayers; ++l)
+        for (const KernelProfile &prof : decoderLayer_)
+            gpu.launch(prof);
+}
+
+Seq2SeqResult
+runSeq2SeqInference(const GpuSpec &spec, const Seq2SeqConfig &config,
+                    const Seq2SeqRun &run)
+{
+    Seq2SeqScheduler scheduler(spec, config, run);
+    Gpu gpu(spec);
+    scheduler.run(gpu);
+    Seq2SeqResult result;
+    result.seconds = gpu.totalSeconds();
+    result.dramBytes = gpu.totalDramBytes();
+    result.softmaxSeconds = gpu.secondsIn(KernelCategory::Softmax) +
+                            gpu.secondsIn(KernelCategory::SoftmaxLs) +
+                            gpu.secondsIn(KernelCategory::SoftmaxIr) +
+                            gpu.secondsIn(KernelCategory::SoftmaxGs);
+    result.sdaMatmulSeconds = gpu.secondsIn(KernelCategory::SdaMatMul);
+    result.kernelLaunches = int64_t(gpu.timeline().size());
+    return result;
+}
+
+} // namespace softrec

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Encoder-decoder (sequence-to-sequence) transformer support.
+ *
+ * The paper's background (Section 2.1) describes the vanilla
+ * transformer: an encoder stack feeding a decoder stack whose layers
+ * carry both causal self-attention and cross-attention over the
+ * encoder's hidden states. Softmax recomposition applies to every one
+ * of those attention blocks — the cross-attention case exercises the
+ * rectangular (L_tgt x L_src) planner path.
+ */
+
+#ifndef SOFTREC_MODEL_SEQ2SEQ_HPP
+#define SOFTREC_MODEL_SEQ2SEQ_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/recomposition.hpp"
+#include "sim/gpu.hpp"
+
+namespace softrec {
+
+/** Architecture of an encoder-decoder transformer. */
+struct Seq2SeqConfig
+{
+    std::string name = "Transformer";
+    int64_t encoderLayers = 6;
+    int64_t decoderLayers = 6;
+    int64_t dModel = 512;
+    int64_t numHeads = 8;
+    int64_t dFf = 2048;
+    int64_t vocabSize = 37000;
+
+    /** Per-head width. */
+    int64_t dHead() const { return dModel / numHeads; }
+
+    /** "Transformer (base)" of Vaswani et al. (2017). */
+    static Seq2SeqConfig vanillaBase();
+    /** "Transformer (big)" of Vaswani et al. (2017). */
+    static Seq2SeqConfig vanillaBig();
+};
+
+/** One seq2seq inference invocation. */
+struct Seq2SeqRun
+{
+    int64_t srcLen = 4096;  //!< encoder sequence length
+    int64_t tgtLen = 4096;  //!< decoder sequence length
+    int64_t batch = 1;
+    Strategy strategy = Strategy::Baseline;
+    int64_t subVector = 64;
+};
+
+/** Expanded kernel plan of one seq2seq forward pass. */
+class Seq2SeqScheduler
+{
+  public:
+    /** Plan the schedule. */
+    Seq2SeqScheduler(const GpuSpec &spec, Seq2SeqConfig config,
+                     Seq2SeqRun run);
+
+    /** Kernels launched once (both embeddings). */
+    const std::vector<KernelProfile> &prologue() const
+    {
+        return prologue_;
+    }
+    /** One encoder layer's kernels. */
+    const std::vector<KernelProfile> &encoderLayer() const
+    {
+        return encoderLayer_;
+    }
+    /** One decoder layer's kernels (self + cross attention + FF). */
+    const std::vector<KernelProfile> &decoderLayer() const
+    {
+        return decoderLayer_;
+    }
+
+    /** Execute everything on a simulated GPU. */
+    void run(Gpu &gpu) const;
+
+  private:
+    void build(const GpuSpec &spec);
+
+    Seq2SeqConfig config_;
+    Seq2SeqRun run_;
+    std::vector<KernelProfile> prologue_;
+    std::vector<KernelProfile> encoderLayer_;
+    std::vector<KernelProfile> decoderLayer_;
+};
+
+/** Seq2seq latency/traffic summary. */
+struct Seq2SeqResult
+{
+    double seconds = 0.0;
+    uint64_t dramBytes = 0;
+    double softmaxSeconds = 0.0;  //!< all softmax-category work
+    double sdaMatmulSeconds = 0.0;
+    int64_t kernelLaunches = 0;
+};
+
+/** Run one seq2seq forward pass on a GPU spec. */
+Seq2SeqResult runSeq2SeqInference(const GpuSpec &spec,
+                                  const Seq2SeqConfig &config,
+                                  const Seq2SeqRun &run);
+
+} // namespace softrec
+
+#endif // SOFTREC_MODEL_SEQ2SEQ_HPP

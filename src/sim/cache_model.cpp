@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Cache model implementation.
+ */
+
+#include "sim/cache_model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+namespace {
+
+bool
+isPowerOfTwo(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+} // namespace
+
+CacheModel::CacheModel(uint64_t capacity_bytes, uint64_t line_bytes,
+                       int ways)
+    : lineBytes_(line_bytes), ways_(ways)
+{
+    SOFTREC_ASSERT(isPowerOfTwo(line_bytes),
+                   "line size must be a power of two");
+    SOFTREC_ASSERT(ways > 0, "associativity must be positive");
+    SOFTREC_ASSERT(capacity_bytes >= line_bytes * uint64_t(ways),
+                   "cache smaller than one set");
+    numSets_ = capacity_bytes / (line_bytes * uint64_t(ways));
+    SOFTREC_ASSERT(numSets_ > 0, "cache has no sets");
+    lines_.resize(size_t(numSets_) * size_t(ways_));
+}
+
+void
+CacheModel::access(uint64_t address, bool is_write)
+{
+    ++stats_.accesses;
+    ++tick_;
+    const uint64_t line_addr = address / lineBytes_;
+    const uint64_t set = line_addr % numSets_;
+    const uint64_t tag = line_addr / numSets_;
+    Line *set_base = &lines_[size_t(set) * size_t(ways_)];
+
+    // Hit?
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = set_base[w];
+        if (line.valid && line.tag == tag) {
+            ++stats_.hits;
+            line.lastUse = tick_;
+            line.dirty = line.dirty || is_write;
+            return;
+        }
+    }
+
+    // Miss: fill into the LRU way (write misses allocate w/o fetch).
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+    // Prefer an invalid way; otherwise evict the least recently used.
+    Line *victim = nullptr;
+    for (int w = 0; w < ways_ && !victim; ++w) {
+        if (!set_base[w].valid)
+            victim = &set_base[w];
+    }
+    if (!victim) {
+        victim = set_base;
+        for (int w = 1; w < ways_; ++w) {
+            if (set_base[w].lastUse < victim->lastUse)
+                victim = &set_base[w];
+        }
+    }
+    if (victim->valid && victim->dirty)
+        ++stats_.writebacks;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick_;
+    victim->dirty = is_write;
+}
+
+void
+CacheModel::read(uint64_t address)
+{
+    access(address, false);
+}
+
+void
+CacheModel::write(uint64_t address)
+{
+    access(address, true);
+}
+
+void
+CacheModel::readRange(uint64_t address, uint64_t bytes)
+{
+    const uint64_t first = address / lineBytes_;
+    const uint64_t last = (address + bytes - 1) / lineBytes_;
+    for (uint64_t line = first; line <= last; ++line)
+        read(line * lineBytes_);
+}
+
+void
+CacheModel::writeRange(uint64_t address, uint64_t bytes)
+{
+    const uint64_t first = address / lineBytes_;
+    const uint64_t last = (address + bytes - 1) / lineBytes_;
+    for (uint64_t line = first; line <= last; ++line)
+        write(line * lineBytes_);
+}
+
+void
+CacheModel::flush()
+{
+    for (Line &line : lines_) {
+        if (line.valid && line.dirty)
+            ++stats_.writebacks;
+        line = Line{};
+    }
+}
+
+void
+CacheModel::reset()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    stats_ = CacheStats{};
+    tick_ = 0;
+}
+
+CacheStats
+traceTiledGemm(CacheModel &cache, int64_t m, int64_t n, int64_t k,
+               int64_t tile_m, int64_t tile_n, int64_t tile_k,
+               int64_t elem_bytes)
+{
+    SOFTREC_ASSERT(m > 0 && n > 0 && k > 0, "empty GEMM trace");
+    // Disjoint base addresses, generously aligned.
+    const uint64_t a_base = 0;
+    const uint64_t b_base =
+        a_base + uint64_t(m * k * elem_bytes + 4096);
+    const uint64_t c_base =
+        b_base + uint64_t(k * n * elem_bytes + 4096);
+
+    for (int64_t m0 = 0; m0 < m; m0 += tile_m) {
+        const int64_t mh = std::min(tile_m, m - m0);
+        for (int64_t n0 = 0; n0 < n; n0 += tile_n) {
+            const int64_t nw = std::min(tile_n, n - n0);
+            for (int64_t k0 = 0; k0 < k; k0 += tile_k) {
+                const int64_t kw = std::min(tile_k, k - k0);
+                // A tile: rows m0..m0+mh, cols k0..k0+kw (row-major).
+                for (int64_t i = 0; i < mh; ++i) {
+                    cache.readRange(
+                        a_base + uint64_t(((m0 + i) * k + k0) *
+                                          elem_bytes),
+                        uint64_t(kw * elem_bytes));
+                }
+                // B tile: rows k0..k0+kw, cols n0..n0+nw.
+                for (int64_t kk = 0; kk < kw; ++kk) {
+                    cache.readRange(
+                        b_base + uint64_t(((k0 + kk) * n + n0) *
+                                          elem_bytes),
+                        uint64_t(nw * elem_bytes));
+                }
+            }
+            // C tile written once after accumulation.
+            for (int64_t i = 0; i < mh; ++i) {
+                cache.writeRange(
+                    c_base +
+                        uint64_t(((m0 + i) * n + n0) * elem_bytes),
+                    uint64_t(nw * elem_bytes));
+            }
+        }
+    }
+    cache.flush();
+    return cache.stats();
+}
+
+} // namespace softrec

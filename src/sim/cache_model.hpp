@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Trace-driven set-associative cache model.
+ *
+ * The kernel profiles estimate DRAM traffic with two closed-form
+ * rules (operand residency and A-strip reuse, kernel_common.hpp).
+ * This module provides an independent check: a line-granularity
+ * set-associative LRU cache that can replay the actual address trace
+ * of a tiled GEMM and report the DRAM traffic the rules are
+ * approximating. Tests cross-validate the two at reduced scale.
+ */
+
+#ifndef SOFTREC_SIM_CACHE_MODEL_HPP
+#define SOFTREC_SIM_CACHE_MODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace softrec {
+
+/** Aggregate statistics of one trace replay. */
+struct CacheStats
+{
+    uint64_t accesses = 0;     //!< total line-granular accesses
+    uint64_t hits = 0;         //!< lines served from the cache
+    uint64_t readMisses = 0;   //!< read lines fetched from DRAM
+    uint64_t writeMisses = 0;  //!< write lines allocated (no fetch)
+    uint64_t writebacks = 0;   //!< dirty lines evicted to DRAM
+
+    /** Total misses of either kind. */
+    uint64_t misses() const { return readMisses + writeMisses; }
+
+    /**
+     * Bytes fetched from DRAM. Write misses allocate without a fill
+     * (the GEMM stores whole lines), so only read misses fetch.
+     */
+    uint64_t dramReadBytes(uint64_t line_size) const
+    {
+        return readMisses * line_size;
+    }
+    /** Bytes written to DRAM (writebacks x line size). */
+    uint64_t dramWriteBytes(uint64_t line_size) const
+    {
+        return writebacks * line_size;
+    }
+    /** Hit fraction in [0, 1]. */
+    double hitRate() const
+    {
+        return accesses ? double(hits) / double(accesses) : 0.0;
+    }
+};
+
+/**
+ * Set-associative write-back LRU cache over 64-bit byte addresses.
+ */
+class CacheModel
+{
+  public:
+    /**
+     * @param capacity_bytes total cache size
+     * @param line_bytes cache line size (power of two)
+     * @param ways associativity
+     */
+    CacheModel(uint64_t capacity_bytes, uint64_t line_bytes, int ways);
+
+    /** Cache line size. */
+    uint64_t lineBytes() const { return lineBytes_; }
+    /** Number of sets. */
+    uint64_t numSets() const { return numSets_; }
+
+    /** Read one byte address (whole line allocated). */
+    void read(uint64_t address);
+    /** Write one byte address (write-allocate, marks dirty). */
+    void write(uint64_t address);
+    /** Read a contiguous byte range. */
+    void readRange(uint64_t address, uint64_t bytes);
+    /** Write a contiguous byte range. */
+    void writeRange(uint64_t address, uint64_t bytes);
+
+    /** Flush all dirty lines (counted as writebacks) and clear. */
+    void flush();
+
+    /** Statistics so far. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Reset statistics and contents. */
+    void reset();
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    void access(uint64_t address, bool is_write);
+
+    uint64_t lineBytes_;
+    uint64_t numSets_;
+    int ways_;
+    uint64_t tick_ = 0;
+    std::vector<Line> lines_; // numSets_ x ways_
+    CacheStats stats_;
+};
+
+/**
+ * Replay the address trace of the outer-product tiled GEMM
+ * C[m,n] = A[m,k] . B[k,n] (row-major operands at disjoint base
+ * addresses, fp16 elements) through a cache and return its stats.
+ * Tiles iterate exactly as the functional kernel does: output tiles
+ * row-major, K-steps innermost, A/B tiles streamed per step, C tile
+ * written once at the end.
+ *
+ * @param elem_bytes bytes per element (2 for fp16)
+ */
+CacheStats traceTiledGemm(CacheModel &cache, int64_t m, int64_t n,
+                          int64_t k, int64_t tile_m, int64_t tile_n,
+                          int64_t tile_k, int64_t elem_bytes = 2);
+
+} // namespace softrec
+
+#endif // SOFTREC_SIM_CACHE_MODEL_HPP

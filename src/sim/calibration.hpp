@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Calibration constants of the GPU performance model.
+ *
+ * The original paper measures real kernels with Nsight Compute on
+ * A100 / RTX 3090 / T4. This reproduction replaces the hardware with an
+ * analytical model; the constants below are the model's only free
+ * parameters. Each is an *efficiency class* with a physical meaning, set
+ * once, globally, and validated against the paper's reported numbers in
+ * EXPERIMENTS.md (they are not tuned per experiment).
+ *
+ * Derivations (A100, BERT-large, L = 4096, FP16) are spelled out in
+ * DESIGN.md Section 5.
+ */
+
+#ifndef SOFTREC_SIM_CALIBRATION_HPP
+#define SOFTREC_SIM_CALIBRATION_HPP
+
+namespace softrec {
+namespace calib {
+
+/**
+ * Fraction of peak DRAM bandwidth a well-coalesced streaming kernel
+ * sustains (copy-kernel efficiency). ~85-90% is typical for HBM2e and
+ * GDDR6 parts.
+ */
+inline constexpr double kStreamEfficiency = 0.88;
+
+/**
+ * Tensor-core efficiency of large, square-ish FC / FeedForward GEMMs
+ * (M = L, N,K >= 1024). cuBLAS reaches 75-85% of peak on these shapes.
+ */
+inline constexpr double kGemmEffLargeFc = 0.80;
+
+/**
+ * Tensor-core efficiency of the thin attention GEMMs (QK^T with
+ * K = D_head = 64, and P.V with N = D_head = 64). The tiny inner/outer
+ * dimension starves the MMA pipeline; CUTLASS lands near a third of
+ * peak on these shapes.
+ */
+inline constexpr double kGemmEffAttention = 0.32;
+
+/**
+ * Mild efficiency bonus for wider attention heads: with D_head = 128
+ * (GPT-Neo) the mainloop has twice the work per tile. Applied as an
+ * interpolation toward kGemmEffLargeFc.
+ */
+inline constexpr double kGemmEffAttentionWide = 0.42;
+
+/**
+ * Tensor-core efficiency of block-sparse SDD/DSD GEMMs over 64x64
+ * blocks, before the load-imbalance derating (paper Section 5.2).
+ */
+inline constexpr double kGemmEffBlockSparse = 0.30;
+
+/**
+ * Efficiency of element-wise math on the CUDA cores (bias, GeLU,
+ * residual adds, the non-SFU part of softmax).
+ */
+inline constexpr double kCudaEfficiency = 0.60;
+
+/**
+ * Throughput of special-function-unit ops (exp) relative to the FP16
+ * CUDA-core FMA rate. SFUs issue at 1/4 the FP32 rate and exp costs a
+ * couple of instructions, so ~1/8 of the FP16 FMA rate.
+ */
+inline constexpr double kSfuRateFraction = 0.125;
+
+/**
+ * Cost of one fused-softmax element (exp on the SFU, max/scale, and
+ * the tensor-core pipeline disruption it causes), expressed in
+ * MAC-equivalents of the GEMM mainloop. The relative slowdown of a
+ * fused GEMM is 1 + kFusedWorkPerElement / depth, where depth is the
+ * mainloop length each fused element amortizes over (K for an LS
+ * epilogue, N for a GS prologue). With D_head = 64 this yields the
+ * +28% to +55% MatMul-time growth the paper reports under SDF.
+ */
+inline constexpr double kFusedWorkPerElement = 27.0;
+
+/**
+ * Bandwidth efficiency of the baseline one-row-per-TB softmax kernel on
+ * a *dense* L = 4096 attention matrix, relative to kStreamEfficiency.
+ * The three dependent passes (max, sum, scale) over the row serialize
+ * behind block-wide reductions and barriers. Calibrated so that dense
+ * softmax decomposition costs ~6% end-to-end on BERT (paper Fig. 8:
+ * SD = 0.94x).
+ */
+inline constexpr double kRowSoftmaxBaseEff = 0.80;
+
+/**
+ * Per-octave degradation of the row-softmax kernel as rows lengthen
+ * (longer reductions, more smem pressure per TB). Yields ~0.57 relative
+ * efficiency at L = 4096 starting from 0.80 at L = 512.
+ */
+inline constexpr double kRowSoftmaxLenPenalty = 0.135;
+
+/**
+ * Reference row length at which kRowSoftmaxBaseEff applies.
+ */
+inline constexpr int64_t kRowSoftmaxRefLen = 512;
+
+/**
+ * Exponent of the load-imbalance derating: efficiency is divided by
+ * imbalance^kImbalanceExponent where imbalance = max/mean work per TB.
+ * 0.5 reflects that stragglers are partially hidden by oversubscribing
+ * SMs with many TBs.
+ */
+inline constexpr double kImbalanceExponent = 0.5;
+
+/**
+ * Warps per SM (as a fraction of the maximum) needed to saturate DRAM
+ * bandwidth. Below this occupancy the achieved bandwidth scales down
+ * linearly (memory-level-parallelism limit).
+ */
+inline constexpr double kSaturationWarpFraction = 0.48;
+
+/**
+ * Lower bound on the memory-level-parallelism derate: even a kernel
+ * with very few useful lanes keeps some requests in flight.
+ */
+inline constexpr double kMinMemoryParallelism = 0.10;
+
+/**
+ * Fixed host-side launch + scheduling overhead per kernel.
+ */
+inline constexpr double kKernelLaunchOverhead = 4.0e-6;
+
+/**
+ * Bytes of shared memory the baseline row-softmax kernel stages per row
+ * element (fp32 staging of the fp16 row).
+ */
+inline constexpr int64_t kRowSoftmaxStagingBytesPerElem = 4;
+
+} // namespace calib
+} // namespace softrec
+
+#endif // SOFTREC_SIM_CALIBRATION_HPP

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Cost-model implementation.
+ */
+
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "sim/calibration.hpp"
+
+namespace softrec {
+
+double
+rowSoftmaxSerialization(int64_t row_len)
+{
+    SOFTREC_ASSERT(row_len > 0, "row length must be positive");
+    if (row_len <= calib::kRowSoftmaxRefLen)
+        return calib::kRowSoftmaxBaseEff;
+    const double octaves =
+        std::log2(double(row_len) / double(calib::kRowSoftmaxRefLen));
+    return calib::kRowSoftmaxBaseEff /
+           (1.0 + calib::kRowSoftmaxLenPenalty * octaves);
+}
+
+double
+waveEfficiency(int64_t grid_blocks, int64_t concurrent)
+{
+    SOFTREC_ASSERT(grid_blocks > 0 && concurrent > 0,
+                   "wave efficiency needs positive sizes");
+    if (grid_blocks >= concurrent) {
+        const int64_t waves =
+            (grid_blocks + concurrent - 1) / concurrent;
+        return double(grid_blocks) / double(waves * concurrent);
+    }
+    // Fewer TBs than concurrent slots: only a fraction of the machine
+    // is working at all.
+    return double(grid_blocks) / double(concurrent);
+}
+
+KernelStats
+evaluateKernel(const GpuSpec &spec, const KernelProfile &profile)
+{
+    KernelStats stats;
+    stats.occupancy = computeOccupancy(spec, profile.geom.block,
+                                       profile.geom.numBlocks);
+
+    // --- Memory term ---
+    // Memory-level parallelism: resident warps (scaled by the fraction
+    // of lanes issuing useful accesses) against the warps needed to
+    // saturate DRAM.
+    const double sat_warps =
+        calib::kSaturationWarpFraction * spec.maxWarpsPerSm();
+    const double useful_warps =
+        stats.occupancy.warpsPerSm * profile.laneUtilization;
+    // Tensor-core kernels keep deep asynchronous-copy pipelines in
+    // flight, so their memory-level parallelism does not depend on
+    // resident warp count the way latency-bound kernels' does.
+    const double mlp = profile.tensorFlops > 0.0
+        ? 1.0
+        : std::clamp(useful_warps / sat_warps,
+                     calib::kMinMemoryParallelism, 1.0);
+
+    const int64_t concurrent =
+        int64_t(stats.occupancy.blocksPerSm) * spec.numSms;
+    const double wave =
+        waveEfficiency(profile.geom.numBlocks, concurrent);
+    const int64_t waves =
+        (profile.geom.numBlocks + concurrent - 1) / concurrent;
+
+    // A straggler TB only stalls the machine during its own wave; with
+    // many waves behind it the imbalance amortizes away.
+    const double amortized_imbalance =
+        1.0 + (std::max(1.0, profile.workImbalance) - 1.0) /
+                  double(waves);
+    const double imbalance_derate =
+        std::pow(amortized_imbalance, calib::kImbalanceExponent);
+
+    SOFTREC_ASSERT(profile.laneUtilization > 0.0 &&
+                   profile.laneUtilization <= 1.0,
+                   "lane utilization %.3f outside (0, 1] in %s",
+                   profile.laneUtilization, profile.name.c_str());
+    SOFTREC_ASSERT(profile.serializationFactor > 0.0 &&
+                   profile.serializationFactor <= 1.0,
+                   "serialization %.3f outside (0, 1] in %s",
+                   profile.serializationFactor, profile.name.c_str());
+
+    const double bw_derate = calib::kStreamEfficiency *
+                             profile.serializationFactor * mlp * wave /
+                             imbalance_derate;
+    const double effective_bw = spec.dramBandwidth * bw_derate;
+    stats.dramSeconds = profile.dramBytes() > 0
+        ? double(profile.dramBytes()) / effective_bw
+        : 0.0;
+
+    // --- Tensor-core term ---
+    if (profile.tensorFlops > 0.0) {
+        SOFTREC_ASSERT(profile.gemmEfficiency > 0.0,
+                       "GEMM work without an efficiency class in %s",
+                       profile.name.c_str());
+        SOFTREC_ASSERT(profile.fusedPenalty >= 1.0,
+                       "fused penalty %.3f below 1 in %s",
+                       profile.fusedPenalty, profile.name.c_str());
+        double eff = profile.gemmEfficiency / profile.fusedPenalty;
+        eff *= wave / imbalance_derate;
+        stats.tensorSeconds =
+            profile.tensorFlops / (spec.fp16TensorFlops * eff);
+    }
+
+    // --- CUDA-core / SFU term ---
+    double cuda_seconds = 0.0;
+    if (profile.cudaFlops > 0.0) {
+        cuda_seconds += profile.cudaFlops /
+                        (spec.fp16CudaFlops * calib::kCudaEfficiency);
+    }
+    if (profile.sfuOps > 0.0) {
+        cuda_seconds += profile.sfuOps /
+                        (spec.fp16CudaFlops * calib::kSfuRateFraction);
+    }
+    stats.cudaSeconds = cuda_seconds;
+
+    stats.overheadSeconds = calib::kKernelLaunchOverhead;
+
+    const double work = std::max({stats.dramSeconds, stats.tensorSeconds,
+                                  stats.cudaSeconds});
+    stats.seconds = work + stats.overheadSeconds;
+    if (work == 0.0 || stats.overheadSeconds > work) {
+        stats.bound = TimeBound::Launch;
+    } else if (work == stats.dramSeconds) {
+        stats.bound = TimeBound::Memory;
+    } else if (work == stats.tensorSeconds) {
+        stats.bound = TimeBound::TensorCore;
+    } else {
+        stats.bound = TimeBound::CudaCore;
+    }
+
+    stats.achievedBandwidth = stats.seconds > 0.0
+        ? double(profile.dramBytes()) / stats.seconds
+        : 0.0;
+    stats.bandwidthUtilization =
+        stats.achievedBandwidth / spec.dramBandwidth;
+    return stats;
+}
+
+} // namespace softrec

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The roofline-with-occupancy kernel cost model.
+ *
+ * Time per kernel is max(memory time, tensor-core time, CUDA-core/SFU
+ * time) plus launch overhead. Memory time divides useful bytes by an
+ * effective bandwidth that degrades with low occupancy, idle lanes,
+ * serialized passes, work imbalance, and wave-quantization tails —
+ * exactly the mechanisms the paper identifies for the baseline softmax
+ * kernels (Sections 3.1, 5.1, 5.2).
+ */
+
+#ifndef SOFTREC_SIM_COST_MODEL_HPP
+#define SOFTREC_SIM_COST_MODEL_HPP
+
+#include "sim/gpu_spec.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace softrec {
+
+/** Price one kernel launch on one GPU. */
+KernelStats evaluateKernel(const GpuSpec &spec,
+                           const KernelProfile &profile);
+
+/**
+ * Serialization factor of the baseline one-row-per-TB softmax kernel
+ * as a function of row length (dependent max/sum/scale passes behind
+ * block-wide barriers). 1.0 would be perfect streaming.
+ */
+double rowSoftmaxSerialization(int64_t row_len);
+
+/**
+ * Parallel efficiency lost to wave quantization: a grid of
+ * `grid_blocks` TBs executed `concurrent` at a time runs in full waves
+ * plus a ragged tail. Returns utilized fraction in (0, 1].
+ */
+double waveEfficiency(int64_t grid_blocks, int64_t concurrent);
+
+} // namespace softrec
+
+#endif // SOFTREC_SIM_COST_MODEL_HPP

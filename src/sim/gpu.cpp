@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Simulated GPU device implementation.
+ */
+
+#include "sim/gpu.hpp"
+
+namespace softrec {
+
+const KernelStats &
+Gpu::launch(const KernelProfile &profile)
+{
+    LaunchRecord record;
+    record.profile = profile;
+    record.stats = evaluateKernel(spec_, profile);
+    record.startSeconds = clock_;
+    clock_ += record.stats.seconds;
+    timeline_.push_back(std::move(record));
+    return timeline_.back().stats;
+}
+
+void
+Gpu::reset()
+{
+    timeline_.clear();
+    clock_ = 0.0;
+}
+
+uint64_t
+Gpu::totalDramBytes() const
+{
+    return totalDramReadBytes() + totalDramWriteBytes();
+}
+
+uint64_t
+Gpu::totalDramReadBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &rec : timeline_)
+        total += rec.profile.dramReadBytes;
+    return total;
+}
+
+uint64_t
+Gpu::totalDramWriteBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &rec : timeline_)
+        total += rec.profile.dramWriteBytes;
+    return total;
+}
+
+std::map<KernelCategory, CategoryTotals>
+Gpu::byCategory() const
+{
+    std::map<KernelCategory, CategoryTotals> totals;
+    for (const auto &rec : timeline_) {
+        CategoryTotals &bucket = totals[rec.profile.category];
+        bucket.seconds += rec.stats.seconds;
+        bucket.dramReadBytes += rec.profile.dramReadBytes;
+        bucket.dramWriteBytes += rec.profile.dramWriteBytes;
+        ++bucket.launches;
+    }
+    return totals;
+}
+
+double
+Gpu::secondsIn(KernelCategory category) const
+{
+    double total = 0.0;
+    for (const auto &rec : timeline_)
+        if (rec.profile.category == category)
+            total += rec.stats.seconds;
+    return total;
+}
+
+uint64_t
+Gpu::dramBytesIn(KernelCategory category) const
+{
+    uint64_t total = 0;
+    for (const auto &rec : timeline_)
+        if (rec.profile.category == category)
+            total += rec.profile.dramBytes();
+    return total;
+}
+
+int64_t
+Gpu::countLaunches(const std::string &name_substring) const
+{
+    int64_t count = 0;
+    for (const auto &rec : timeline_)
+        if (rec.profile.name.find(name_substring) != std::string::npos)
+            ++count;
+    return count;
+}
+
+} // namespace softrec

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The simulated GPU device: executes kernel launches through the cost
+ * model and keeps a timeline plus per-category aggregates, playing the
+ * role Nsight Compute plays in the paper's methodology.
+ */
+
+#ifndef SOFTREC_SIM_GPU_HPP
+#define SOFTREC_SIM_GPU_HPP
+
+#include <map>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/gpu_spec.hpp"
+#include "sim/kernel_profile.hpp"
+
+namespace softrec {
+
+/** One executed launch: what ran and what it cost. */
+struct LaunchRecord
+{
+    KernelProfile profile;  //!< the launch descriptor
+    KernelStats stats;      //!< the cost model's verdict
+    double startSeconds = 0.0; //!< timeline position
+};
+
+/** Aggregate view of a run, grouped by KernelCategory. */
+struct CategoryTotals
+{
+    double seconds = 0.0;
+    uint64_t dramReadBytes = 0;
+    uint64_t dramWriteBytes = 0;
+    int64_t launches = 0;
+
+    uint64_t dramBytes() const { return dramReadBytes + dramWriteBytes; }
+};
+
+/**
+ * A simulated GPU. Launch kernels in program order; query the timeline
+ * and aggregates afterwards.
+ */
+class Gpu
+{
+  public:
+    /** Create a device with the given hardware spec. */
+    explicit Gpu(GpuSpec spec) : spec_(std::move(spec)) {}
+
+    /** The device's hardware description. */
+    const GpuSpec &spec() const { return spec_; }
+
+    /** Execute one kernel; returns its stats and records it. */
+    const KernelStats &launch(const KernelProfile &profile);
+
+    /** Discard all recorded launches. */
+    void reset();
+
+    /** All launches in program order. */
+    const std::vector<LaunchRecord> &timeline() const { return timeline_; }
+
+    /** Total modeled wall-clock time. */
+    double totalSeconds() const { return clock_; }
+
+    /** Total off-chip traffic (read + write). */
+    uint64_t totalDramBytes() const;
+
+    /** Total off-chip reads. */
+    uint64_t totalDramReadBytes() const;
+
+    /** Total off-chip writes. */
+    uint64_t totalDramWriteBytes() const;
+
+    /** Per-category totals over the whole timeline. */
+    std::map<KernelCategory, CategoryTotals> byCategory() const;
+
+    /** Seconds spent in one category. */
+    double secondsIn(KernelCategory category) const;
+
+    /** Off-chip bytes moved by one category. */
+    uint64_t dramBytesIn(KernelCategory category) const;
+
+    /** Number of launches whose name contains the given substring. */
+    int64_t countLaunches(const std::string &name_substring) const;
+
+  private:
+    GpuSpec spec_;
+    std::vector<LaunchRecord> timeline_;
+    double clock_ = 0.0;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_SIM_GPU_HPP

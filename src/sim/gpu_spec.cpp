@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The three evaluation GPUs from the paper's Table 1.
+ */
+
+#include "sim/gpu_spec.hpp"
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace softrec {
+
+GpuSpec
+GpuSpec::a100()
+{
+    GpuSpec spec;
+    spec.name = "A100";
+    spec.dramBandwidth = 1555.0 * Giga;
+    spec.fp16CudaFlops = 42.3 * Tera;
+    spec.fp16TensorFlops = 169.0 * Tera;
+    spec.l1PerSm = 192 * KiB;
+    spec.l2Bytes = 40 * MiB;
+    spec.numSms = 108;
+    spec.smemPerSm = 164 * KiB;
+    spec.maxThreadsPerSm = 2048;
+    spec.maxThreadsPerBlock = 1024;
+    spec.maxBlocksPerSm = 32;
+    spec.regsPerSm = 65536;
+    spec.dramEnergyPerByte = 56e-12; // HBM2e
+    return spec;
+}
+
+GpuSpec
+GpuSpec::rtx3090()
+{
+    GpuSpec spec;
+    spec.name = "RTX 3090";
+    spec.dramBandwidth = 936.2 * Giga;
+    spec.fp16CudaFlops = 29.3 * Tera;
+    spec.fp16TensorFlops = 58.0 * Tera;
+    spec.l1PerSm = 128 * KiB;
+    spec.l2Bytes = 6 * MiB;
+    spec.numSms = 82;
+    spec.smemPerSm = 100 * KiB;
+    spec.maxThreadsPerSm = 1536;
+    spec.maxThreadsPerBlock = 1024;
+    spec.maxBlocksPerSm = 16;
+    spec.regsPerSm = 65536;
+    spec.dramEnergyPerByte = 72e-12; // GDDR6X
+    return spec;
+}
+
+GpuSpec
+GpuSpec::t4()
+{
+    GpuSpec spec;
+    spec.name = "T4";
+    spec.dramBandwidth = 320.0 * Giga;
+    spec.fp16CudaFlops = 24.0 * Tera;
+    spec.fp16TensorFlops = 24.0 * Tera;
+    spec.l1PerSm = 64 * KiB;
+    spec.l2Bytes = 4 * MiB;
+    spec.numSms = 40;
+    spec.smemPerSm = 64 * KiB;
+    spec.maxThreadsPerSm = 1024;
+    spec.maxThreadsPerBlock = 1024;
+    spec.maxBlocksPerSm = 16;
+    spec.regsPerSm = 65536;
+    spec.dramEnergyPerByte = 64e-12; // GDDR6
+    return spec;
+}
+
+std::vector<GpuSpec>
+GpuSpec::all()
+{
+    return {a100(), rtx3090(), t4()};
+}
+
+} // namespace softrec

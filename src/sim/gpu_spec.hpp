@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GPU hardware specifications (paper Table 1) plus the microarchitectural
+ * parameters the occupancy and bandwidth models need.
+ */
+
+#ifndef SOFTREC_SIM_GPU_SPEC_HPP
+#define SOFTREC_SIM_GPU_SPEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softrec {
+
+/**
+ * Static description of a GPU. Peak rates follow the paper's Table 1
+ * (based on GPU base clocks); SM counts and per-SM limits come from the
+ * vendor whitepapers the paper cites.
+ */
+struct GpuSpec
+{
+    std::string name;           //!< marketing name, e.g. "A100"
+
+    // --- Table 1 ---
+    double dramBandwidth = 0;   //!< peak off-chip bandwidth, B/s
+    double fp16CudaFlops = 0;   //!< peak FP16 rate on CUDA cores, FLOP/s
+    double fp16TensorFlops = 0; //!< peak FP16 rate on tensor cores, FLOP/s
+    uint64_t l1PerSm = 0;       //!< unified L1/shared-memory per SM, bytes
+    uint64_t l2Bytes = 0;       //!< L2 cache size, bytes
+
+    // --- per-SM limits (vendor whitepapers) ---
+    int numSms = 0;             //!< streaming multiprocessors
+    uint64_t smemPerSm = 0;     //!< max shared memory usable by TBs, bytes
+    int maxThreadsPerSm = 0;    //!< resident thread limit per SM
+    int maxThreadsPerBlock = 0; //!< thread limit per TB
+    int maxBlocksPerSm = 0;     //!< resident TB limit per SM
+    int regsPerSm = 0;          //!< 32-bit registers per SM
+
+    /**
+     * Off-chip access energy, J/byte (HBM2e ~7 pJ/bit, GDDR6/6X
+     * ~8-9 pJ/bit); used for the paper's energy-reduction claim.
+     */
+    double dramEnergyPerByte = 56e-12;
+
+    /** Maximum resident warps per SM. */
+    int maxWarpsPerSm() const { return maxThreadsPerSm / 32; }
+
+    /** NVIDIA A100 (SXM, 40 GB HBM2e). */
+    static GpuSpec a100();
+    /** NVIDIA GeForce RTX 3090 (GA102, GDDR6X). */
+    static GpuSpec rtx3090();
+    /** NVIDIA Tesla T4 (TU104, GDDR6). */
+    static GpuSpec t4();
+
+    /** All three evaluation GPUs, A100 first. */
+    static std::vector<GpuSpec> all();
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_SIM_GPU_SPEC_HPP

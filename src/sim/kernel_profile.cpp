@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Category and bound naming.
+ */
+
+#include "sim/kernel_profile.hpp"
+
+namespace softrec {
+
+const char *
+kernelCategoryName(KernelCategory category)
+{
+    switch (category) {
+      case KernelCategory::SdaMatMul: return "MatMul(SDA)";
+      case KernelCategory::Softmax: return "Softmax";
+      case KernelCategory::SoftmaxLs: return "Softmax-LS";
+      case KernelCategory::SoftmaxIr: return "Softmax-IR";
+      case KernelCategory::SoftmaxGs: return "Softmax-GS";
+      case KernelCategory::Fc: return "FC";
+      case KernelCategory::FeedForward: return "FeedForward";
+      case KernelCategory::Other: return "Other";
+    }
+    return "?";
+}
+
+bool
+isSoftmaxSubLayer(KernelCategory category)
+{
+    return category == KernelCategory::SoftmaxLs ||
+           category == KernelCategory::SoftmaxIr ||
+           category == KernelCategory::SoftmaxGs;
+}
+
+bool
+isSoftmaxWork(KernelCategory category)
+{
+    return category == KernelCategory::Softmax ||
+           isSoftmaxSubLayer(category);
+}
+
+const char *
+timeBoundName(TimeBound bound)
+{
+    switch (bound) {
+      case TimeBound::Memory: return "memory";
+      case TimeBound::TensorCore: return "tensor-core";
+      case TimeBound::CudaCore: return "cuda-core";
+      case TimeBound::Launch: return "launch";
+    }
+    return "?";
+}
+
+} // namespace softrec

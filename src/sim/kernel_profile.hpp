@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Kernel launch descriptors and per-launch statistics.
+ *
+ * A KernelProfile is what a kernel implementation reports about one
+ * launch: geometry, off-chip traffic, and arithmetic work. The cost
+ * model turns a profile into KernelStats (time, boundedness, achieved
+ * bandwidth). Profiles are produced by the same tiling code that the
+ * functional execution uses, so traffic numbers are consistent with the
+ * math actually performed.
+ */
+
+#ifndef SOFTREC_SIM_KERNEL_PROFILE_HPP
+#define SOFTREC_SIM_KERNEL_PROFILE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/occupancy.hpp"
+
+namespace softrec {
+
+/**
+ * Execution-time categories used by the paper's breakdown figures
+ * (Fig. 2 groups, Fig. 5 softmax sub-layers).
+ */
+enum class KernelCategory {
+    SdaMatMul,   //!< QK^T and P.V attention GEMMs (dense or sparse)
+    Softmax,     //!< baseline fused row softmax
+    SoftmaxLs,   //!< decomposed local softmax
+    SoftmaxIr,   //!< decomposed inter-sub-vector reduction
+    SoftmaxGs,   //!< decomposed global scaling
+    Fc,          //!< QKV/output projection GEMMs in the MHA block
+    FeedForward, //!< the two FF GEMMs
+    Other,       //!< layernorm, residual, bias, embedding, masking
+};
+
+/** Display name of a category. */
+const char *kernelCategoryName(KernelCategory category);
+
+/** True for the three decomposed-softmax categories. */
+bool isSoftmaxSubLayer(KernelCategory category);
+
+/** True for any softmax-related category (baseline or decomposed). */
+bool isSoftmaxWork(KernelCategory category);
+
+/** Launch geometry of one kernel. */
+struct LaunchGeometry
+{
+    int64_t numBlocks = 1;      //!< thread blocks in the grid
+    BlockResources block;       //!< per-TB resource usage
+};
+
+/** Everything the cost model needs to price one kernel launch. */
+struct KernelProfile
+{
+    std::string name;           //!< e.g. "gemm.qk+ls"
+    KernelCategory category = KernelCategory::Other;
+    LaunchGeometry geom;
+
+    uint64_t dramReadBytes = 0;  //!< off-chip bytes read
+    uint64_t dramWriteBytes = 0; //!< off-chip bytes written
+
+    double tensorFlops = 0.0;   //!< FLOPs on tensor cores
+    double cudaFlops = 0.0;     //!< FLOPs on CUDA cores
+    double sfuOps = 0.0;        //!< special-function ops (exp)
+
+    /**
+     * Tensor-core efficiency class for GEMM work (see calibration.hpp);
+     * must be positive when tensorFlops > 0.
+     */
+    double gemmEfficiency = 0.0;
+
+    /**
+     * Relative mainloop slowdown (>= 1.0) from softmax work fused
+     * into the GEMM (LS epilogue or GS prologue); computed by the
+     * kernel from the fused work per mainloop depth.
+     */
+    double fusedPenalty = 1.0;
+
+    /**
+     * Fraction of memory lanes doing useful work. Below 1.0 for the
+     * baseline sparse softmax whose worst-case row allocation leaves
+     * most threads idle (paper Section 5.1).
+     */
+    double laneUtilization = 1.0;
+
+    /**
+     * Serialization of dependent passes within a TB (baseline row
+     * softmax); 1.0 for streaming kernels.
+     */
+    double serializationFactor = 1.0;
+
+    /** Max/mean work per TB; > 1.0 derates throughput. */
+    double workImbalance = 1.0;
+
+    /** Total off-chip traffic. */
+    uint64_t dramBytes() const { return dramReadBytes + dramWriteBytes; }
+};
+
+/** What bounded a kernel's execution time. */
+enum class TimeBound { Memory, TensorCore, CudaCore, Launch };
+
+/** Display name of a bound. */
+const char *timeBoundName(TimeBound bound);
+
+/** Cost-model output for one launch. */
+struct KernelStats
+{
+    double seconds = 0.0;       //!< total modeled time
+    double dramSeconds = 0.0;   //!< time if purely memory bound
+    double tensorSeconds = 0.0; //!< time if purely tensor-core bound
+    double cudaSeconds = 0.0;   //!< time if purely CUDA-core/SFU bound
+    double overheadSeconds = 0.0; //!< launch overhead
+    TimeBound bound = TimeBound::Memory; //!< dominant term
+    Occupancy occupancy;        //!< resident warps etc.
+    double achievedBandwidth = 0.0; //!< useful DRAM B/s during the kernel
+    double bandwidthUtilization = 0.0; //!< achieved / peak
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_SIM_KERNEL_PROFILE_HPP

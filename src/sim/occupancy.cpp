@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Occupancy calculator implementation.
+ */
+
+#include "sim/occupancy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+Occupancy
+computeOccupancy(const GpuSpec &spec, const BlockResources &res,
+                 int64_t grid_blocks)
+{
+    SOFTREC_ASSERT(res.threads > 0 &&
+                   res.threads <= spec.maxThreadsPerBlock,
+                   "threads per block %d outside (0, %d]", res.threads,
+                   spec.maxThreadsPerBlock);
+    SOFTREC_ASSERT(grid_blocks > 0, "empty grid");
+
+    // A resource a kernel does not use must not label the limit, so
+    // unused resources report an effectively unbounded block count.
+    const int unbounded = std::numeric_limits<int>::max();
+    const int by_threads = spec.maxThreadsPerSm / res.threads;
+    const int by_smem = res.smemBytes == 0
+        ? unbounded
+        : int(spec.smemPerSm / res.smemBytes);
+    const int64_t regs_per_block =
+        int64_t(res.regsPerThread) * res.threads;
+    const int by_regs = regs_per_block == 0
+        ? unbounded
+        : int(spec.regsPerSm / regs_per_block);
+    const int by_blocks = spec.maxBlocksPerSm;
+    // Grid limit: with fewer TBs than SMs not every SM gets one; we
+    // account for that as the average TBs available per SM, floored at
+    // the per-SM granularity the other limits use.
+    const int by_grid = int(std::max<int64_t>(
+        1, (grid_blocks + spec.numSms - 1) / spec.numSms));
+
+    Occupancy occ;
+    occ.blocksPerSm = by_threads;
+    occ.limit = Occupancy::Limit::Threads;
+    if (by_smem < occ.blocksPerSm) {
+        occ.blocksPerSm = by_smem;
+        occ.limit = Occupancy::Limit::SharedMemory;
+    }
+    if (by_regs < occ.blocksPerSm) {
+        occ.blocksPerSm = by_regs;
+        occ.limit = Occupancy::Limit::Registers;
+    }
+    if (by_blocks < occ.blocksPerSm) {
+        occ.blocksPerSm = by_blocks;
+        occ.limit = Occupancy::Limit::Blocks;
+    }
+    if (by_grid < occ.blocksPerSm) {
+        occ.blocksPerSm = by_grid;
+        occ.limit = Occupancy::Limit::Grid;
+    }
+    if (occ.blocksPerSm <= 0) {
+        fatal("kernel with %d threads, %llu B smem, %d regs/thread does "
+              "not fit on %s", res.threads,
+              (unsigned long long)res.smemBytes, res.regsPerThread,
+              spec.name.c_str());
+    }
+
+    const int warps_per_block = (res.threads + 31) / 32;
+    occ.warpsPerSm = occ.blocksPerSm * warps_per_block;
+    occ.warpsPerSm = std::min(occ.warpsPerSm, spec.maxWarpsPerSm());
+    occ.fraction = double(occ.warpsPerSm) / double(spec.maxWarpsPerSm());
+    return occ;
+}
+
+const char *
+occupancyLimitName(Occupancy::Limit limit)
+{
+    switch (limit) {
+      case Occupancy::Limit::Threads: return "threads";
+      case Occupancy::Limit::SharedMemory: return "shared-memory";
+      case Occupancy::Limit::Registers: return "registers";
+      case Occupancy::Limit::Blocks: return "blocks";
+      case Occupancy::Limit::Grid: return "grid";
+    }
+    return "?";
+}
+
+} // namespace softrec

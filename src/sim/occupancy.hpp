@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Thread-block occupancy calculator.
+ *
+ * Mirrors the CUDA occupancy calculator: given a TB's resource usage
+ * (threads, shared memory, registers), compute how many TBs fit on one
+ * SM and therefore how many warps are resident — the quantity that
+ * drives achievable memory-level parallelism in the bandwidth model.
+ */
+
+#ifndef SOFTREC_SIM_OCCUPANCY_HPP
+#define SOFTREC_SIM_OCCUPANCY_HPP
+
+#include <cstdint>
+
+#include "sim/gpu_spec.hpp"
+
+namespace softrec {
+
+/** Resources one thread block consumes. */
+struct BlockResources
+{
+    int threads = 128;          //!< threads per TB
+    uint64_t smemBytes = 0;     //!< shared memory per TB, bytes
+    int regsPerThread = 32;     //!< registers per thread
+};
+
+/** Result of the occupancy computation for one kernel on one GPU. */
+struct Occupancy
+{
+    int blocksPerSm = 0;        //!< resident TBs per SM
+    int warpsPerSm = 0;         //!< resident warps per SM
+    double fraction = 0.0;      //!< warpsPerSm / maxWarpsPerSm
+    /** Which limit bound the occupancy. */
+    enum class Limit { Threads, SharedMemory, Registers, Blocks, Grid };
+    Limit limit = Limit::Threads;
+};
+
+/**
+ * Compute occupancy of a kernel with the given per-TB resources.
+ *
+ * @param spec target GPU
+ * @param res per-TB resource usage
+ * @param grid_blocks total TBs in the launch; occupancy cannot exceed
+ *                    what the grid supplies per SM
+ */
+Occupancy computeOccupancy(const GpuSpec &spec, const BlockResources &res,
+                           int64_t grid_blocks);
+
+/** Human-readable name of an occupancy limit. */
+const char *occupancyLimitName(Occupancy::Limit limit);
+
+} // namespace softrec
+
+#endif // SOFTREC_SIM_OCCUPANCY_HPP

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Timeline report implementation.
+ */
+
+#include "sim/report.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace softrec {
+
+TextTable
+renderTimeline(const Gpu &gpu)
+{
+    TextTable table("Kernel timeline");
+    table.setHeader({"kernel", "count", "time (total)", "share",
+                     "bound", "BW", "occupancy"});
+    const auto &timeline = gpu.timeline();
+    const double total = gpu.totalSeconds();
+
+    size_t i = 0;
+    while (i < timeline.size()) {
+        // Collapse consecutive launches of the same kernel.
+        size_t j = i;
+        double group_seconds = 0.0;
+        while (j < timeline.size() &&
+               timeline[j].profile.name == timeline[i].profile.name &&
+               timeline[j].stats.seconds ==
+                   timeline[i].stats.seconds) {
+            group_seconds += timeline[j].stats.seconds;
+            ++j;
+        }
+        const LaunchRecord &rec = timeline[i];
+        table.addRow({
+            rec.profile.name,
+            strprintf("%zu", j - i),
+            formatSeconds(group_seconds),
+            strprintf("%.1f%%",
+                      total > 0 ? 100.0 * group_seconds / total : 0.0),
+            timeBoundName(rec.stats.bound),
+            formatBandwidth(rec.stats.achievedBandwidth),
+            strprintf("%d blk/SM (%s)",
+                      rec.stats.occupancy.blocksPerSm,
+                      occupancyLimitName(rec.stats.occupancy.limit)),
+        });
+        i = j;
+    }
+    return table;
+}
+
+std::string
+summarizeRun(const Gpu &gpu)
+{
+    const auto by_category = gpu.byCategory();
+    KernelCategory top = KernelCategory::Other;
+    double top_seconds = -1.0;
+    for (const auto &[category, totals] : by_category) {
+        if (totals.seconds > top_seconds) {
+            top_seconds = totals.seconds;
+            top = category;
+        }
+    }
+    return strprintf(
+        "%zu kernels in %s, %s of off-chip traffic; %s dominates "
+        "(%.1f%% of time)",
+        gpu.timeline().size(),
+        formatSeconds(gpu.totalSeconds()).c_str(),
+        formatBytes(gpu.totalDramBytes()).c_str(),
+        kernelCategoryName(top),
+        gpu.totalSeconds() > 0
+            ? 100.0 * top_seconds / gpu.totalSeconds()
+            : 0.0);
+}
+
+TextTable
+renderCategories(const Gpu &gpu)
+{
+    TextTable table("Time by category");
+    table.setHeader({"category", "time", "share", "traffic",
+                     "launches"});
+    const double total = gpu.totalSeconds();
+    for (const auto &[category, totals] : gpu.byCategory()) {
+        table.addRow({
+            kernelCategoryName(category),
+            formatSeconds(totals.seconds),
+            strprintf("%.1f%%",
+                      total > 0 ? 100.0 * totals.seconds / total : 0.0),
+            formatBytes(totals.dramBytes()),
+            strprintf("%lld", (long long)totals.launches),
+        });
+    }
+    return table;
+}
+
+RooflinePoint
+rooflineOf(const GpuSpec &spec, const LaunchRecord &record)
+{
+    RooflinePoint point;
+    point.name = record.profile.name;
+    const double flops = record.profile.tensorFlops +
+                         record.profile.cudaFlops;
+    const double bytes = double(record.profile.dramBytes());
+    point.operationalIntensity = bytes > 0 ? flops / bytes : 1e9;
+    point.achievedFlops = record.stats.seconds > 0
+        ? flops / record.stats.seconds
+        : 0.0;
+    const double peak = record.profile.tensorFlops > 0
+        ? spec.fp16TensorFlops
+        : spec.fp16CudaFlops;
+    point.peakFraction = peak > 0 ? point.achievedFlops / peak : 0.0;
+    const double ridge = peak / spec.dramBandwidth;
+    point.memoryBound = point.operationalIntensity < ridge;
+    return point;
+}
+
+TextTable
+renderRoofline(const Gpu &gpu)
+{
+    TextTable table(strprintf(
+        "Roofline (%s: ridge at %.0f FLOP/B tensor, %.1f FLOP/B cuda)",
+        gpu.spec().name.c_str(),
+        gpu.spec().fp16TensorFlops / gpu.spec().dramBandwidth,
+        gpu.spec().fp16CudaFlops / gpu.spec().dramBandwidth));
+    table.setHeader({"kernel", "FLOP/B", "achieved", "of peak",
+                     "regime"});
+    std::vector<std::string> seen;
+    for (const LaunchRecord &record : gpu.timeline()) {
+        if (std::find(seen.begin(), seen.end(), record.profile.name) !=
+            seen.end())
+            continue;
+        seen.push_back(record.profile.name);
+        const RooflinePoint point = rooflineOf(gpu.spec(), record);
+        table.addRow({
+            point.name,
+            strprintf("%.2f", point.operationalIntensity),
+            formatFlops(point.achievedFlops),
+            strprintf("%.1f%%", 100.0 * point.peakFraction),
+            point.memoryBound ? "memory-bound" : "compute-bound",
+        });
+    }
+    return table;
+}
+
+} // namespace softrec

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Human-readable reports over a simulated GPU's timeline: the
+ * Nsight-Compute-style per-kernel view (time, boundedness, achieved
+ * bandwidth, occupancy) and a run summary. Used by examples and
+ * debugging sessions.
+ */
+
+#ifndef SOFTREC_SIM_REPORT_HPP
+#define SOFTREC_SIM_REPORT_HPP
+
+#include <string>
+
+#include "common/table.hpp"
+#include "sim/gpu.hpp"
+
+namespace softrec {
+
+/**
+ * Per-kernel table of one run: name, category, time, share of total,
+ * limiting resource, achieved bandwidth, and occupancy. Collapses
+ * consecutive identical launches (same name and cost) into one row
+ * with a repeat count, so a 24-layer model stays readable.
+ */
+TextTable renderTimeline(const Gpu &gpu);
+
+/** One-paragraph run summary (time, traffic, top category). */
+std::string summarizeRun(const Gpu &gpu);
+
+/**
+ * Category roll-up table (the Fig. 2 view of an arbitrary run).
+ */
+TextTable renderCategories(const Gpu &gpu);
+
+/** Where one kernel sits on the device's roofline. */
+struct RooflinePoint
+{
+    std::string name;            //!< kernel name
+    double operationalIntensity; //!< FLOP per DRAM byte
+    double achievedFlops;        //!< FLOP/s over the kernel's runtime
+    double peakFraction;         //!< achieved / applicable peak
+    bool memoryBound;            //!< left of the ridge point
+};
+
+/** Roofline coordinates of one launch record. */
+RooflinePoint rooflineOf(const GpuSpec &spec,
+                         const LaunchRecord &record);
+
+/**
+ * Roofline table of a run (unique kernels only): operational
+ * intensity against the device ridge point
+ * (peak FLOPs / peak bandwidth), the classic memory-wall view the
+ * paper's Section 2.3 argument rests on.
+ */
+TextTable renderRoofline(const Gpu &gpu);
+
+} // namespace softrec
+
+#endif // SOFTREC_SIM_REPORT_HPP

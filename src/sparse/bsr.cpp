@@ -1,0 +1,162 @@
+/**
+ * @file
+ * BSR layout implementation.
+ */
+
+#include "sparse/bsr.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+BsrLayout::BsrLayout(int64_t block_size, int64_t block_rows,
+                     int64_t block_cols, std::vector<int64_t> row_ptr,
+                     std::vector<int64_t> col_idx)
+    : blockSize_(block_size), blockRows_(block_rows),
+      blockCols_(block_cols), rowPtr_(std::move(row_ptr)),
+      colIdx_(std::move(col_idx))
+{
+    validate();
+}
+
+BsrLayout
+BsrLayout::fromMask(int64_t block_size, int64_t block_rows,
+                    int64_t block_cols, const std::vector<bool> &mask)
+{
+    SOFTREC_ASSERT(int64_t(mask.size()) == block_rows * block_cols,
+                   "mask size %zu != %lld x %lld", mask.size(),
+                   (long long)block_rows, (long long)block_cols);
+    std::vector<int64_t> row_ptr(size_t(block_rows) + 1, 0);
+    std::vector<int64_t> col_idx;
+    for (int64_t r = 0; r < block_rows; ++r) {
+        for (int64_t c = 0; c < block_cols; ++c) {
+            if (mask[size_t(r * block_cols + c)])
+                col_idx.push_back(c);
+        }
+        row_ptr[size_t(r) + 1] = int64_t(col_idx.size());
+    }
+    return BsrLayout(block_size, block_rows, block_cols,
+                     std::move(row_ptr), std::move(col_idx));
+}
+
+void
+BsrLayout::validate() const
+{
+    SOFTREC_ASSERT(blockSize_ > 0, "block size must be positive");
+    SOFTREC_ASSERT(blockRows_ > 0 && blockCols_ > 0,
+                   "block grid must be non-empty");
+    SOFTREC_ASSERT(int64_t(rowPtr_.size()) == blockRows_ + 1,
+                   "rowPtr size %zu != blockRows %lld + 1",
+                   rowPtr_.size(), (long long)blockRows_);
+    SOFTREC_ASSERT(rowPtr_.front() == 0, "rowPtr must start at 0");
+    SOFTREC_ASSERT(rowPtr_.back() == int64_t(colIdx_.size()),
+                   "rowPtr end %lld != colIdx size %zu",
+                   (long long)rowPtr_.back(), colIdx_.size());
+    for (int64_t r = 0; r < blockRows_; ++r) {
+        SOFTREC_ASSERT(rowPtr_[size_t(r)] <= rowPtr_[size_t(r) + 1],
+                       "rowPtr must be non-decreasing at row %lld",
+                       (long long)r);
+        for (int64_t k = rowPtr_[size_t(r)]; k < rowPtr_[size_t(r) + 1];
+             ++k) {
+            const int64_t col = colIdx_[size_t(k)];
+            SOFTREC_ASSERT(col >= 0 && col < blockCols_,
+                           "block col %lld out of range", (long long)col);
+            if (k > rowPtr_[size_t(r)]) {
+                SOFTREC_ASSERT(colIdx_[size_t(k) - 1] < col,
+                               "block cols must be sorted and unique in "
+                               "row %lld", (long long)r);
+            }
+        }
+    }
+}
+
+double
+BsrLayout::density() const
+{
+    return double(nnzBlocks()) / double(blockRows_ * blockCols_);
+}
+
+int64_t
+BsrLayout::rowNnzBlocks(int64_t block_row) const
+{
+    return rowEnd(block_row) - rowBegin(block_row);
+}
+
+int64_t
+BsrLayout::rowBegin(int64_t block_row) const
+{
+    SOFTREC_ASSERT(block_row >= 0 && block_row < blockRows_,
+                   "block row %lld out of range", (long long)block_row);
+    return rowPtr_[size_t(block_row)];
+}
+
+int64_t
+BsrLayout::rowEnd(int64_t block_row) const
+{
+    SOFTREC_ASSERT(block_row >= 0 && block_row < blockRows_,
+                   "block row %lld out of range", (long long)block_row);
+    return rowPtr_[size_t(block_row) + 1];
+}
+
+bool
+BsrLayout::hasBlock(int64_t block_row, int64_t block_col) const
+{
+    return blockIndex(block_row, block_col) >= 0;
+}
+
+int64_t
+BsrLayout::blockIndex(int64_t block_row, int64_t block_col) const
+{
+    const auto begin = colIdx_.begin() + std::ptrdiff_t(rowBegin(block_row));
+    const auto end = colIdx_.begin() + std::ptrdiff_t(rowEnd(block_row));
+    auto it = std::lower_bound(begin, end, block_col);
+    if (it == end || *it != block_col)
+        return -1;
+    return int64_t(it - colIdx_.begin());
+}
+
+std::vector<bool>
+BsrLayout::toMask() const
+{
+    std::vector<bool> mask(size_t(blockRows_ * blockCols_), false);
+    for (int64_t r = 0; r < blockRows_; ++r)
+        for (int64_t k = rowBegin(r); k < rowEnd(r); ++k)
+            mask[size_t(r * blockCols_ + colIdx_[size_t(k)])] = true;
+    return mask;
+}
+
+std::string
+BsrLayout::toString() const
+{
+    return strprintf("BSR %lldx%lld blocks of %lldx%lld, %lld nnz blocks "
+                     "(%.1f%% dense)",
+                     (long long)blockRows_, (long long)blockCols_,
+                     (long long)blockSize_, (long long)blockSize_,
+                     (long long)nnzBlocks(), density() * 100.0);
+}
+
+SparsityStats
+analyzeSparsity(const BsrLayout &layout)
+{
+    SparsityStats stats;
+    stats.nnzBlocks = layout.nnzBlocks();
+    stats.density = layout.density();
+    stats.minRowBlocks = layout.blockCols();
+    stats.maxRowBlocks = 0;
+    for (int64_t r = 0; r < layout.blockRows(); ++r) {
+        const int64_t n = layout.rowNnzBlocks(r);
+        stats.minRowBlocks = std::min(stats.minRowBlocks, n);
+        stats.maxRowBlocks = std::max(stats.maxRowBlocks, n);
+    }
+    stats.meanRowBlocks =
+        double(stats.nnzBlocks) / double(layout.blockRows());
+    stats.imbalance = stats.meanRowBlocks > 0.0
+        ? double(stats.maxRowBlocks) / stats.meanRowBlocks
+        : 1.0;
+    return stats;
+}
+
+} // namespace softrec

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * BSR matrix implementation.
+ */
+
+#include "sparse/bsr_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+BsrMatrix::BsrMatrix(const BsrLayout &layout)
+    : layout_(layout),
+      data_(size_t(layout.nnzBlocks() * layout.blockSize() *
+                   layout.blockSize()))
+{}
+
+Half &
+BsrMatrix::at(int64_t block_idx, int64_t i, int64_t j)
+{
+    const int64_t bs = layout_.blockSize();
+    SOFTREC_ASSERT(block_idx >= 0 && block_idx < layout_.nnzBlocks() &&
+                   i >= 0 && i < bs && j >= 0 && j < bs,
+                   "BSR access (%lld, %lld, %lld) out of range",
+                   (long long)block_idx, (long long)i, (long long)j);
+    return data_[size_t((block_idx * bs + i) * bs + j)];
+}
+
+const Half &
+BsrMatrix::at(int64_t block_idx, int64_t i, int64_t j) const
+{
+    return const_cast<BsrMatrix *>(this)->at(block_idx, i, j);
+}
+
+Half *
+BsrMatrix::blockData(int64_t block_idx)
+{
+    const int64_t bs = layout_.blockSize();
+    SOFTREC_ASSERT(block_idx >= 0 && block_idx < layout_.nnzBlocks(),
+                   "block %lld out of range", (long long)block_idx);
+    return &data_[size_t(block_idx * bs * bs)];
+}
+
+const Half *
+BsrMatrix::blockData(int64_t block_idx) const
+{
+    return const_cast<BsrMatrix *>(this)->blockData(block_idx);
+}
+
+BsrMatrix
+BsrMatrix::fromDense(const BsrLayout &layout, const Tensor<Half> &dense)
+{
+    SOFTREC_ASSERT(dense.shape() == Shape({layout.rows(), layout.cols()}),
+                   "dense shape %s != layout %lld x %lld",
+                   dense.shape().toString().c_str(),
+                   (long long)layout.rows(), (long long)layout.cols());
+    BsrMatrix out(layout);
+    const int64_t bs = layout.blockSize();
+    for (int64_t br = 0; br < layout.blockRows(); ++br) {
+        for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
+             ++k) {
+            const int64_t bc = layout.blockCol(k);
+            for (int64_t i = 0; i < bs; ++i)
+                for (int64_t j = 0; j < bs; ++j)
+                    out.at(k, i, j) =
+                        dense.at(br * bs + i, bc * bs + j);
+        }
+    }
+    return out;
+}
+
+Tensor<Half>
+BsrMatrix::toDense() const
+{
+    Tensor<Half> dense(Shape({layout_.rows(), layout_.cols()}));
+    const int64_t bs = layout_.blockSize();
+    for (int64_t br = 0; br < layout_.blockRows(); ++br) {
+        for (int64_t k = layout_.rowBegin(br); k < layout_.rowEnd(br);
+             ++k) {
+            const int64_t bc = layout_.blockCol(k);
+            for (int64_t i = 0; i < bs; ++i)
+                for (int64_t j = 0; j < bs; ++j)
+                    dense.at(br * bs + i, bc * bs + j) = at(k, i, j);
+        }
+    }
+    return dense;
+}
+
+void
+BsrMatrix::clear()
+{
+    std::fill(data_.begin(), data_.end(), Half());
+}
+
+} // namespace softrec

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Block-sparse matrix with FP16 block storage, the operand type of the
+ * block-sparse attention kernels (DeepSpeed/Triton style).
+ */
+
+#ifndef SOFTREC_SPARSE_BSR_MATRIX_HPP
+#define SOFTREC_SPARSE_BSR_MATRIX_HPP
+
+#include <vector>
+
+#include "fp16/half.hpp"
+#include "sparse/bsr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace softrec {
+
+/**
+ * FP16 values for every non-zero block of a BsrLayout, stored
+ * block-by-block in layout order, row-major within each block.
+ */
+class BsrMatrix
+{
+  public:
+    /** Zero-valued matrix over a layout. */
+    explicit BsrMatrix(const BsrLayout &layout);
+
+    /** The structural layout. */
+    const BsrLayout &layout() const { return layout_; }
+
+    /** Element (i, j) within stored block block_idx. */
+    Half &at(int64_t block_idx, int64_t i, int64_t j);
+    /** Element (i, j) within stored block block_idx (const). */
+    const Half &at(int64_t block_idx, int64_t i, int64_t j) const;
+
+    /** Pointer to a stored block's row-major data. */
+    Half *blockData(int64_t block_idx);
+    /** Pointer to a stored block's row-major data (const). */
+    const Half *blockData(int64_t block_idx) const;
+
+    /**
+     * Gather the non-zero positions of a dense matrix into this
+     * layout; dense values at zero blocks are discarded.
+     */
+    static BsrMatrix fromDense(const BsrLayout &layout,
+                               const Tensor<Half> &dense);
+
+    /** Expand to dense with zeros at the structural zeros. */
+    Tensor<Half> toDense() const;
+
+    /** Set every stored value to zero. */
+    void clear();
+
+  private:
+    BsrLayout layout_;
+    std::vector<Half> data_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_SPARSE_BSR_MATRIX_HPP

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Implementation of the attention sparsity pattern generators.
+ */
+
+#include "sparse/patterns.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+namespace {
+
+int64_t
+blockGridSize(int64_t seq_len, int64_t block_size)
+{
+    SOFTREC_ASSERT(block_size > 0, "block size must be positive");
+    if (seq_len % block_size != 0) {
+        fatal("sequence length %lld is not a multiple of block size %lld",
+              (long long)seq_len, (long long)block_size);
+    }
+    return seq_len / block_size;
+}
+
+} // namespace
+
+BsrLayout
+densePattern(int64_t seq_len, int64_t block_size)
+{
+    const int64_t n = blockGridSize(seq_len, block_size);
+    std::vector<bool> mask(size_t(n * n), true);
+    return BsrLayout::fromMask(block_size, n, n, mask);
+}
+
+BsrLayout
+causalPattern(int64_t seq_len, int64_t block_size)
+{
+    const int64_t n = blockGridSize(seq_len, block_size);
+    std::vector<bool> mask(size_t(n * n), false);
+    for (int64_t r = 0; r < n; ++r)
+        for (int64_t c = 0; c <= r; ++c)
+            mask[size_t(r * n + c)] = true;
+    return BsrLayout::fromMask(block_size, n, n, mask);
+}
+
+BsrLayout
+slidingWindowPattern(int64_t seq_len, int64_t block_size,
+                     int64_t window_blocks)
+{
+    const int64_t n = blockGridSize(seq_len, block_size);
+    std::vector<bool> mask(size_t(n * n), false);
+    for (int64_t r = 0; r < n; ++r) {
+        const int64_t lo = std::max<int64_t>(0, r - window_blocks);
+        const int64_t hi = std::min<int64_t>(n - 1, r + window_blocks);
+        for (int64_t c = lo; c <= hi; ++c)
+            mask[size_t(r * n + c)] = true;
+    }
+    return BsrLayout::fromMask(block_size, n, n, mask);
+}
+
+BsrLayout
+causalWindowPattern(int64_t seq_len, int64_t block_size,
+                    int64_t window_blocks)
+{
+    const int64_t n = blockGridSize(seq_len, block_size);
+    std::vector<bool> mask(size_t(n * n), false);
+    for (int64_t r = 0; r < n; ++r) {
+        const int64_t lo = std::max<int64_t>(0, r - window_blocks);
+        for (int64_t c = lo; c <= r; ++c)
+            mask[size_t(r * n + c)] = true;
+    }
+    return BsrLayout::fromMask(block_size, n, n, mask);
+}
+
+BsrLayout
+bigBirdPattern(int64_t seq_len, const BigBirdParams &params)
+{
+    const int64_t n = blockGridSize(seq_len, params.blockSize);
+    SOFTREC_ASSERT(params.windowBlocks >= 1, "window must be >= 1 block");
+    std::vector<bool> mask(size_t(n * n), false);
+
+    // Sliding window: windowBlocks total width centred on the diagonal.
+    const int64_t half = params.windowBlocks / 2;
+    for (int64_t r = 0; r < n; ++r) {
+        const int64_t lo = std::max<int64_t>(0, r - half);
+        const int64_t hi = std::min<int64_t>(n - 1, r + half);
+        for (int64_t c = lo; c <= hi; ++c)
+            mask[size_t(r * n + c)] = true;
+    }
+
+    // Global blocks: leading rows and columns fully dense (ITC variant).
+    const int64_t g = std::min(params.globalBlocks, n);
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t c = 0; c < g; ++c) {
+            mask[size_t(r * n + c)] = true;
+            mask[size_t(c * n + r)] = true;
+        }
+    }
+
+    // Random blocks: randomBlocks distinct extra blocks per block row,
+    // drawn from the not-yet-selected columns.
+    Rng rng(params.seed);
+    for (int64_t r = 0; r < n; ++r) {
+        std::vector<int64_t> candidates;
+        for (int64_t c = 0; c < n; ++c)
+            if (!mask[size_t(r * n + c)])
+                candidates.push_back(c);
+        const int64_t want =
+            std::min<int64_t>(params.randomBlocks,
+                              int64_t(candidates.size()));
+        if (want <= 0)
+            continue;
+        auto picks = rng.sampleWithoutReplacement(
+            uint64_t(candidates.size()), uint64_t(want));
+        for (uint64_t p : picks)
+            mask[size_t(r * n + candidates[size_t(p)])] = true;
+    }
+
+    return BsrLayout::fromMask(params.blockSize, n, n, mask);
+}
+
+BsrLayout
+longformerPattern(int64_t seq_len, const LongformerParams &params)
+{
+    const int64_t n = blockGridSize(seq_len, params.blockSize);
+    // One-sided window in blocks; window covers +/- windowTokens/2.
+    const int64_t half_blocks = std::max<int64_t>(
+        1, (params.windowTokens / 2 + params.blockSize - 1) /
+               params.blockSize);
+    std::vector<bool> mask(size_t(n * n), false);
+    for (int64_t r = 0; r < n; ++r) {
+        const int64_t lo = std::max<int64_t>(0, r - half_blocks);
+        const int64_t hi = std::min<int64_t>(n - 1, r + half_blocks);
+        for (int64_t c = lo; c <= hi; ++c)
+            mask[size_t(r * n + c)] = true;
+    }
+    const int64_t g = std::min(params.globalBlocks, n);
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t c = 0; c < g; ++c) {
+            mask[size_t(r * n + c)] = true;
+            mask[size_t(c * n + r)] = true;
+        }
+    }
+    return BsrLayout::fromMask(params.blockSize, n, n, mask);
+}
+
+} // namespace softrec

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Attention sparsity pattern generators.
+ *
+ * Reproduces the published sparse-attention layouts the paper evaluates:
+ * BigBird (window + global + random blocks) and Longformer (sliding
+ * window + global tokens), plus dense / causal / window building blocks
+ * used by tests and ablations. All patterns are expressed on the block
+ * grid of a BsrLayout.
+ */
+
+#ifndef SOFTREC_SPARSE_PATTERNS_HPP
+#define SOFTREC_SPARSE_PATTERNS_HPP
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sparse/bsr.hpp"
+
+namespace softrec {
+
+/** Fully dense layout (every block non-zero). */
+BsrLayout densePattern(int64_t seq_len, int64_t block_size);
+
+/** Causal (lower block-triangular) layout, used by decoder models. */
+BsrLayout causalPattern(int64_t seq_len, int64_t block_size);
+
+/**
+ * Symmetric sliding-window layout: block (r, c) is kept when
+ * |r - c| <= window_blocks.
+ */
+BsrLayout slidingWindowPattern(int64_t seq_len, int64_t block_size,
+                               int64_t window_blocks);
+
+/**
+ * Causal sliding-window layout (GPT-Neo "local" attention): block
+ * (r, c) is kept when 0 <= r - c <= window_blocks.
+ */
+BsrLayout causalWindowPattern(int64_t seq_len, int64_t block_size,
+                              int64_t window_blocks);
+
+/** Parameters of the BigBird block-sparse pattern. */
+struct BigBirdParams
+{
+    int64_t blockSize = 64;     //!< square block edge, in tokens
+    int64_t windowBlocks = 3;   //!< width of the sliding window, blocks
+    int64_t globalBlocks = 2;   //!< leading rows/cols kept dense
+    int64_t randomBlocks = 3;   //!< extra random blocks per block row
+    uint64_t seed = 0x816bu;    //!< RNG seed for the random component
+};
+
+/**
+ * BigBird pattern (Zaheer et al., 2020): a sliding window of
+ * windowBlocks, globalBlocks leading block rows and columns kept fully
+ * dense, and randomBlocks additional uniformly random blocks per row.
+ */
+BsrLayout bigBirdPattern(int64_t seq_len, const BigBirdParams &params);
+
+/** Parameters of the Longformer block-sparse pattern. */
+struct LongformerParams
+{
+    int64_t blockSize = 64;    //!< square block edge, in tokens
+    /**
+     * One-sided attention window in tokens; Longformer-large uses 512
+     * (256 tokens each side of the diagonal).
+     */
+    int64_t windowTokens = 512;
+    int64_t globalBlocks = 1;  //!< leading rows/cols kept dense (CLS etc.)
+};
+
+/**
+ * Longformer pattern (Beltagy et al., 2020): symmetric sliding window of
+ * windowTokens plus globally attending leading tokens.
+ */
+BsrLayout longformerPattern(int64_t seq_len,
+                            const LongformerParams &params);
+
+} // namespace softrec
+
+#endif // SOFTREC_SPARSE_PATTERNS_HPP

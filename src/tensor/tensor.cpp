@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shape implementation.
+ */
+
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+
+namespace softrec {
+
+void
+Shape::validate() const
+{
+    for (int64_t d : dims_) {
+        SOFTREC_ASSERT(d > 0, "non-positive dimension %lld in shape",
+                       (long long)d);
+    }
+}
+
+int64_t
+Shape::dim(int i) const
+{
+    const int r = static_cast<int>(rank());
+    if (i < 0)
+        i += r;
+    SOFTREC_ASSERT(i >= 0 && i < r, "dim %d out of range for rank %d",
+                   i, r);
+    return dims_[static_cast<size_t>(i)];
+}
+
+int64_t
+Shape::numel() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::vector<int64_t>
+Shape::strides() const
+{
+    std::vector<int64_t> s(rank(), 1);
+    for (int i = static_cast<int>(rank()) - 2; i >= 0; --i)
+        s[size_t(i)] = s[size_t(i) + 1] * dims_[size_t(i) + 1];
+    return s;
+}
+
+std::string
+Shape::toString() const
+{
+    std::ostringstream out;
+    out << "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            out << ", ";
+        out << dims_[i];
+    }
+    out << "]";
+    return out.str();
+}
+
+} // namespace softrec

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of tensor convenience operations.
+ */
+
+#include "tensor/tensor_ops.hpp"
+
+#include <cmath>
+
+namespace softrec {
+
+void
+fillNormal(Tensor<float> &t, Rng &rng, double mean, double stddev)
+{
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.at(i) = float(rng.normal(mean, stddev));
+}
+
+void
+fillNormal(Tensor<Half> &t, Rng &rng, double mean, double stddev)
+{
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.at(i) = Half(float(rng.normal(mean, stddev)));
+}
+
+void
+fillUniform(Tensor<float> &t, Rng &rng, double lo, double hi)
+{
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.at(i) = float(rng.uniform(lo, hi));
+}
+
+Tensor<Half>
+toHalf(const Tensor<float> &t)
+{
+    Tensor<Half> out(t.shape());
+    for (int64_t i = 0; i < t.numel(); ++i)
+        out.at(i) = Half(t.at(i));
+    return out;
+}
+
+Tensor<float>
+toFloat(const Tensor<Half> &t)
+{
+    Tensor<float> out(t.shape());
+    for (int64_t i = 0; i < t.numel(); ++i)
+        out.at(i) = float(t.at(i));
+    return out;
+}
+
+double
+maxAbsDiff(const Tensor<float> &a, const Tensor<float> &b)
+{
+    SOFTREC_ASSERT(a.shape() == b.shape(), "shape mismatch %s vs %s",
+                   a.shape().toString().c_str(),
+                   b.shape().toString().c_str());
+    double worst = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        worst = std::max(worst, std::abs(double(a.at(i)) - double(b.at(i))));
+    return worst;
+}
+
+double
+maxRelDiff(const Tensor<float> &a, const Tensor<float> &b, double abs_floor)
+{
+    SOFTREC_ASSERT(a.shape() == b.shape(), "shape mismatch %s vs %s",
+                   a.shape().toString().c_str(),
+                   b.shape().toString().c_str());
+    double worst = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        const double denom =
+            std::max(abs_floor, std::abs(double(b.at(i))));
+        worst = std::max(
+            worst, std::abs(double(a.at(i)) - double(b.at(i))) / denom);
+    }
+    return worst;
+}
+
+bool
+allClose(const Tensor<float> &a, const Tensor<float> &b, double rtol,
+         double atol)
+{
+    if (!(a.shape() == b.shape()))
+        return false;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        const double da = a.at(i);
+        const double db = b.at(i);
+        if (std::isnan(da) || std::isnan(db))
+            return false;
+        if (std::abs(da - db) > atol + rtol * std::abs(db))
+            return false;
+    }
+    return true;
+}
+
+} // namespace softrec

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Convenience operations on tensors: random fills, precision
+ * conversions, and comparisons used by tests and reference math.
+ */
+
+#ifndef SOFTREC_TENSOR_TENSOR_OPS_HPP
+#define SOFTREC_TENSOR_TENSOR_OPS_HPP
+
+#include "common/rng.hpp"
+#include "fp16/half.hpp"
+#include "tensor/tensor.hpp"
+
+namespace softrec {
+
+/** Fill a float tensor with N(mean, stddev) samples. */
+void fillNormal(Tensor<float> &t, Rng &rng, double mean = 0.0,
+                double stddev = 1.0);
+
+/** Fill a half tensor with N(mean, stddev) samples (rounded to FP16). */
+void fillNormal(Tensor<Half> &t, Rng &rng, double mean = 0.0,
+                double stddev = 1.0);
+
+/** Fill a float tensor with U[lo, hi) samples. */
+void fillUniform(Tensor<float> &t, Rng &rng, double lo, double hi);
+
+/** Round a float tensor into a half tensor of the same shape. */
+Tensor<Half> toHalf(const Tensor<float> &t);
+
+/** Widen a half tensor into a float tensor of the same shape. */
+Tensor<float> toFloat(const Tensor<Half> &t);
+
+/** Largest absolute element-wise difference between two float tensors. */
+double maxAbsDiff(const Tensor<float> &a, const Tensor<float> &b);
+
+/**
+ * Largest relative element-wise difference, with an absolute floor to
+ * avoid division blowups near zero.
+ */
+double maxRelDiff(const Tensor<float> &a, const Tensor<float> &b,
+                  double abs_floor = 1e-6);
+
+/** True if every |a-b| <= atol + rtol*|b| (numpy allclose semantics). */
+bool allClose(const Tensor<float> &a, const Tensor<float> &b,
+              double rtol = 1e-5, double atol = 1e-8);
+
+} // namespace softrec
+
+#endif // SOFTREC_TENSOR_TENSOR_OPS_HPP

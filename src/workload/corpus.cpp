@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Synthetic corpus implementation.
+ */
+
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+SyntheticCorpus::SyntheticCorpus(CorpusConfig config)
+    : config_(config)
+{
+    SOFTREC_ASSERT(config_.numDocuments > 0 && config_.minTokens > 0 &&
+                   config_.minTokens <= config_.maxTokens,
+                   "bad corpus configuration");
+    Rng rng(config_.seed);
+    docs_.reserve(size_t(config_.numDocuments));
+    for (int64_t d = 0; d < config_.numDocuments; ++d) {
+        // Log-normal-ish length distribution centred on meanTokens;
+        // long-document corpora have a heavy right tail.
+        const double mu = std::log(double(config_.meanTokens)) - 0.32;
+        const double draw = std::exp(rng.normal(mu, 0.8));
+        const int64_t len = std::clamp<int64_t>(
+            int64_t(draw), config_.minTokens, config_.maxTokens);
+        Document doc;
+        doc.tokens.reserve(size_t(len));
+        for (int64_t t = 0; t < len; ++t) {
+            doc.tokens.push_back(int32_t(rng.zipf(
+                uint64_t(config_.vocabSize), config_.zipfExponent)));
+        }
+        docs_.push_back(std::move(doc));
+    }
+}
+
+double
+SyntheticCorpus::averageLength() const
+{
+    double total = 0.0;
+    for (const Document &doc : docs_)
+        total += double(doc.tokens.size());
+    return total / double(docs_.size());
+}
+
+double
+SyntheticCorpus::fractionLongerThan(int64_t len) const
+{
+    int64_t count = 0;
+    for (const Document &doc : docs_)
+        if (int64_t(doc.tokens.size()) > len)
+            ++count;
+    return double(count) / double(docs_.size());
+}
+
+std::vector<std::vector<int32_t>>
+SyntheticCorpus::makeBatch(int64_t batch, int64_t seq_len,
+                           int64_t first_doc, int32_t pad_token) const
+{
+    SOFTREC_ASSERT(batch > 0 && seq_len > 0, "empty batch request");
+    std::vector<std::vector<int32_t>> out;
+    out.reserve(size_t(batch));
+    for (int64_t b = 0; b < batch; ++b) {
+        const Document &doc =
+            docs_[size_t((first_doc + b) % int64_t(docs_.size()))];
+        std::vector<int32_t> row(size_t(seq_len), pad_token);
+        const int64_t copy = std::min<int64_t>(
+            seq_len, int64_t(doc.tokens.size()));
+        std::copy_n(doc.tokens.begin(), copy, row.begin());
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+Tensor<Half>
+makeAttentionScores(Rng &rng, int64_t rows, int64_t cols, double stddev,
+                    double outlier_fraction, double outlier_scale)
+{
+    Tensor<Half> scores(Shape({rows, cols}));
+    for (int64_t i = 0; i < rows; ++i) {
+        for (int64_t j = 0; j < cols; ++j) {
+            double v = rng.normal(0.0, stddev);
+            if (rng.uniform() < outlier_fraction)
+                v += outlier_scale * (rng.uniform() < 0.5 ? -1.0 : 1.0);
+            scores.at(i, j) = Half(float(v));
+        }
+    }
+    return scores;
+}
+
+} // namespace softrec

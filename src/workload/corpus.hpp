@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Synthetic long-document workload generator.
+ *
+ * The paper drives its evaluation with TriviaQA long documents; only
+ * the sequence shapes (document lengths, truncation to L, batching)
+ * matter to the measured quantities. This module generates a
+ * deterministic corpus with TriviaQA-like length statistics and
+ * Zipfian token frequencies, plus realistic attention-score inputs
+ * for the numeric tests.
+ */
+
+#ifndef SOFTREC_WORKLOAD_CORPUS_HPP
+#define SOFTREC_WORKLOAD_CORPUS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fp16/half.hpp"
+#include "tensor/tensor.hpp"
+
+namespace softrec {
+
+/** Corpus generation parameters. */
+struct CorpusConfig
+{
+    int64_t numDocuments = 64;  //!< documents to generate
+    int64_t meanTokens = 6000;  //!< mean document length (long docs)
+    int64_t minTokens = 512;    //!< shortest document
+    int64_t maxTokens = 20000;  //!< longest document
+    double zipfExponent = 1.1;  //!< token frequency skew
+    int64_t vocabSize = 30522;  //!< vocabulary size
+    uint64_t seed = 0xd0c5ULL;  //!< generation seed
+};
+
+/** One tokenized document. */
+struct Document
+{
+    std::vector<int32_t> tokens;
+};
+
+/** Deterministic synthetic document collection. */
+class SyntheticCorpus
+{
+  public:
+    /** Generate the corpus eagerly. */
+    explicit SyntheticCorpus(CorpusConfig config);
+
+    /** The generation parameters. */
+    const CorpusConfig &config() const { return config_; }
+
+    /** All documents. */
+    const std::vector<Document> &documents() const { return docs_; }
+
+    /** Mean document length in tokens. */
+    double averageLength() const;
+
+    /** Fraction of documents longer than len tokens. */
+    double fractionLongerThan(int64_t len) const;
+
+    /**
+     * Build a batch of fixed-length inputs: each document is
+     * truncated to its first seq_len tokens (the paper's policy) or
+     * padded with pad_token.
+     */
+    std::vector<std::vector<int32_t>>
+    makeBatch(int64_t batch, int64_t seq_len, int64_t first_doc = 0,
+              int32_t pad_token = 0) const;
+
+  private:
+    CorpusConfig config_;
+    std::vector<Document> docs_;
+};
+
+/**
+ * Attention-score logits with realistic statistics: N(0, stddev) with
+ * a small fraction of high-magnitude outliers (strongly attended
+ * positions), rounded to fp16. Exercises the numeric range safe
+ * softmax exists for.
+ */
+Tensor<Half> makeAttentionScores(Rng &rng, int64_t rows, int64_t cols,
+                                 double stddev = 2.5,
+                                 double outlier_fraction = 0.01,
+                                 double outlier_scale = 8.0);
+
+} // namespace softrec
+
+#endif // SOFTREC_WORKLOAD_CORPUS_HPP

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests of the BSR layout, its invariants, and the BSR matrix.
+ */
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/bsr.hpp"
+#include "sparse/bsr_matrix.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace softrec {
+namespace {
+
+BsrLayout
+diagonalLayout(int64_t n, int64_t bs)
+{
+    std::vector<bool> mask(size_t(n * n), false);
+    for (int64_t i = 0; i < n; ++i)
+        mask[size_t(i * n + i)] = true;
+    return BsrLayout::fromMask(bs, n, n, mask);
+}
+
+TEST(BsrLayout, MaskRoundTrip)
+{
+    Rng rng(1);
+    std::vector<bool> mask(48);
+    for (size_t i = 0; i < mask.size(); ++i)
+        mask[i] = rng.uniform() < 0.4;
+    mask[0] = true; // ensure non-degenerate
+    const auto layout = BsrLayout::fromMask(16, 6, 8, mask);
+    EXPECT_EQ(layout.toMask(), mask);
+}
+
+TEST(BsrLayout, GeometryAccessors)
+{
+    const auto layout = diagonalLayout(4, 32);
+    EXPECT_EQ(layout.blockSize(), 32);
+    EXPECT_EQ(layout.blockRows(), 4);
+    EXPECT_EQ(layout.blockCols(), 4);
+    EXPECT_EQ(layout.rows(), 128);
+    EXPECT_EQ(layout.cols(), 128);
+    EXPECT_EQ(layout.nnzBlocks(), 4);
+    EXPECT_EQ(layout.nnzElements(), 4 * 32 * 32);
+    EXPECT_DOUBLE_EQ(layout.density(), 0.25);
+}
+
+TEST(BsrLayout, RowQueriesAndLookup)
+{
+    const auto layout = diagonalLayout(3, 8);
+    for (int64_t r = 0; r < 3; ++r) {
+        EXPECT_EQ(layout.rowNnzBlocks(r), 1);
+        EXPECT_TRUE(layout.hasBlock(r, r));
+        EXPECT_EQ(layout.blockIndex(r, r), r);
+        for (int64_t c = 0; c < 3; ++c) {
+            if (c != r) {
+                EXPECT_FALSE(layout.hasBlock(r, c));
+                EXPECT_EQ(layout.blockIndex(r, c), -1);
+            }
+        }
+    }
+    EXPECT_EQ(layout.blockCol(1), 1);
+}
+
+TEST(BsrLayout, ValidatesRowPtrConsistency)
+{
+    // rowPtr end must equal colIdx size.
+    EXPECT_THROW(BsrLayout(8, 2, 2, {0, 1, 3}, {0}), std::logic_error);
+    // rowPtr must start at zero.
+    EXPECT_THROW(BsrLayout(8, 2, 2, {1, 1, 2}, {0, 1}),
+                 std::logic_error);
+    // Columns must be sorted and unique per row.
+    EXPECT_THROW(BsrLayout(8, 1, 4, {0, 2}, {2, 1}), std::logic_error);
+    EXPECT_THROW(BsrLayout(8, 1, 4, {0, 2}, {1, 1}), std::logic_error);
+    // Column out of range.
+    EXPECT_THROW(BsrLayout(8, 1, 2, {0, 1}, {2}), std::logic_error);
+    // Valid layout does not throw.
+    EXPECT_NO_THROW(BsrLayout(8, 2, 2, {0, 1, 2}, {0, 1}));
+}
+
+TEST(BsrLayout, OutOfRangeRowPanics)
+{
+    const auto layout = diagonalLayout(2, 8);
+    EXPECT_THROW(layout.rowBegin(2), std::logic_error);
+    EXPECT_THROW(layout.rowNnzBlocks(-1), std::logic_error);
+}
+
+TEST(AnalyzeSparsity, BalancedDiagonal)
+{
+    const auto stats = analyzeSparsity(diagonalLayout(8, 16));
+    EXPECT_EQ(stats.nnzBlocks, 8);
+    EXPECT_EQ(stats.minRowBlocks, 1);
+    EXPECT_EQ(stats.maxRowBlocks, 1);
+    EXPECT_DOUBLE_EQ(stats.meanRowBlocks, 1.0);
+    EXPECT_DOUBLE_EQ(stats.imbalance, 1.0);
+}
+
+TEST(AnalyzeSparsity, DetectsStragglerRow)
+{
+    // Row 0 fully dense, other rows diagonal only.
+    const int64_t n = 8;
+    std::vector<bool> mask(size_t(n * n), false);
+    for (int64_t c = 0; c < n; ++c)
+        mask[size_t(c)] = true;
+    for (int64_t r = 1; r < n; ++r)
+        mask[size_t(r * n + r)] = true;
+    const auto stats =
+        analyzeSparsity(BsrLayout::fromMask(16, n, n, mask));
+    EXPECT_EQ(stats.maxRowBlocks, 8);
+    EXPECT_EQ(stats.minRowBlocks, 1);
+    EXPECT_NEAR(stats.imbalance, 8.0 / (15.0 / 8.0), 1e-12);
+}
+
+TEST(BsrMatrix, DenseRoundTripKeepsNnzAndZerosElsewhere)
+{
+    const auto layout = diagonalLayout(3, 4);
+    Tensor<Half> dense(Shape({12, 12}));
+    Rng rng(2);
+    fillNormal(dense, rng);
+    const BsrMatrix sparse = BsrMatrix::fromDense(layout, dense);
+    const Tensor<Half> back = sparse.toDense();
+    for (int64_t i = 0; i < 12; ++i) {
+        for (int64_t j = 0; j < 12; ++j) {
+            if (i / 4 == j / 4) {
+                EXPECT_EQ(back.at(i, j).bits(), dense.at(i, j).bits());
+            } else {
+                EXPECT_TRUE(back.at(i, j).isZero());
+            }
+        }
+    }
+}
+
+TEST(BsrMatrix, ElementAccessByBlock)
+{
+    const auto layout = diagonalLayout(2, 4);
+    BsrMatrix m(layout);
+    m.at(1, 2, 3) = Half(5.0f);
+    EXPECT_EQ(float(m.at(1, 2, 3)), 5.0f);
+    EXPECT_EQ(float(m.blockData(1)[2 * 4 + 3]), 5.0f);
+    m.clear();
+    EXPECT_TRUE(m.at(1, 2, 3).isZero());
+}
+
+TEST(BsrMatrix, AccessOutOfRangePanics)
+{
+    const auto layout = diagonalLayout(2, 4);
+    BsrMatrix m(layout);
+    EXPECT_THROW(m.at(2, 0, 0), std::logic_error);
+    EXPECT_THROW(m.at(0, 4, 0), std::logic_error);
+    EXPECT_THROW(m.blockData(5), std::logic_error);
+}
+
+TEST(BsrMatrix, FromDenseShapeMismatchPanics)
+{
+    const auto layout = diagonalLayout(2, 4);
+    Tensor<Half> wrong(Shape({4, 8}));
+    EXPECT_THROW(BsrMatrix::fromDense(layout, wrong), std::logic_error);
+}
+
+} // namespace
+} // namespace softrec

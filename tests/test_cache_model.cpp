@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests of the trace-driven cache model, including the
+ * cross-validation of the closed-form operand-traffic rules the GEMM
+ * profiles use (kernel_common.hpp) against replayed address traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/kernel_common.hpp"
+#include "sim/cache_model.hpp"
+
+namespace softrec {
+namespace {
+
+TEST(CacheModel, ColdMissesThenHits)
+{
+    CacheModel cache(4096, 64, 4);
+    cache.readRange(0, 1024); // 16 lines
+    EXPECT_EQ(cache.stats().misses(), 16u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    cache.readRange(0, 1024); // resident now
+    EXPECT_EQ(cache.stats().misses(), 16u);
+    EXPECT_EQ(cache.stats().hits, 16u);
+}
+
+TEST(CacheModel, LruEvictionWithinSet)
+{
+    // Direct-mapped-ish: 2 ways, 2 sets, 64 B lines = 256 B cache.
+    CacheModel cache(256, 64, 2);
+    // Three lines mapping to set 0: 0, 128... set = (addr/64) % 2.
+    cache.read(0);   // set 0, way 0
+    cache.read(128); // set 0, way 1
+    cache.read(256); // set 0: evicts LRU (addr 0)
+    cache.read(0);   // miss again
+    EXPECT_EQ(cache.stats().misses(), 4u);
+    // 128 was most recently... 256 evicted 0; reading 0 evicted 128.
+    cache.read(256); // still resident (hit)
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CacheModel, WritebacksOnlyForDirtyLines)
+{
+    CacheModel cache(256, 64, 2);
+    cache.write(0);
+    cache.read(128);
+    cache.read(256); // evicts dirty line 0 -> writeback
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    cache.flush(); // no dirty lines left except none
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheModel, FlushWritesDirtyLines)
+{
+    CacheModel cache(4096, 64, 4);
+    cache.writeRange(0, 512); // 8 dirty lines
+    cache.flush();
+    EXPECT_EQ(cache.stats().writebacks, 8u);
+}
+
+TEST(CacheModel, ResetClearsEverything)
+{
+    CacheModel cache(4096, 64, 4);
+    cache.readRange(0, 4096);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    cache.read(0);
+    EXPECT_EQ(cache.stats().misses(), 1u);
+}
+
+TEST(CacheModel, InvalidGeometryPanics)
+{
+    EXPECT_THROW(CacheModel(4096, 60, 4), std::logic_error); // !pow2
+    EXPECT_THROW(CacheModel(64, 64, 4), std::logic_error);   // tiny
+}
+
+// ---- cross-validation of the analytic traffic rules ----
+
+/** Analytic GEMM read traffic as the profile formulas compute it. */
+uint64_t
+analyticReads(int64_t m, int64_t n, int64_t k, int64_t tile_m,
+              int64_t tile_n, uint64_t cache_bytes)
+{
+    const uint64_t a_bytes = uint64_t(m * k) * kFp16Bytes;
+    const uint64_t b_bytes = uint64_t(k * n) * kFp16Bytes;
+    const int64_t tiles_m = ceilDiv(m, tile_m);
+    const int64_t tiles_n = ceilDiv(n, tile_n);
+    const uint64_t a_strip = uint64_t(tile_m * k) * kFp16Bytes;
+    const int64_t a_passes =
+        a_strip <= uint64_t(0.8 * double(cache_bytes)) ? 1 : tiles_n;
+    return operandDramBytes(a_bytes, a_passes, cache_bytes) +
+           operandDramBytes(b_bytes, tiles_m, cache_bytes);
+}
+
+TEST(TrafficRuleValidation, ResidentOperandsReadOnce)
+{
+    // Everything fits: the trace and the rule must both say "each
+    // operand fetched exactly once".
+    const int64_t m = 128, n = 128, k = 64;
+    CacheModel cache(1 << 20, 64, 16); // 1 MiB: far larger than data
+    const CacheStats stats =
+        traceTiledGemm(cache, m, n, k, 32, 32, 16);
+    const uint64_t traced_reads = stats.dramReadBytes(64);
+    const uint64_t expected =
+        uint64_t(m * k + k * n) * kFp16Bytes;
+    EXPECT_EQ(traced_reads, expected);
+    EXPECT_EQ(analyticReads(m, n, k, 32, 32, 1 << 20), expected);
+    // Output written exactly once.
+    EXPECT_EQ(stats.dramWriteBytes(64), uint64_t(m * n) * kFp16Bytes);
+}
+
+TEST(TrafficRuleValidation, StreamingOperandReReadWhenCacheTooSmall)
+{
+    // B (k x n) much larger than the cache: the trace re-fetches it
+    // once per tile row, which is what the whole-operand rule says.
+    const int64_t m = 256, n = 256, k = 256;
+    const uint64_t cache_bytes = 16 * 1024; // B = 128 KiB >> 16 KiB
+    CacheModel cache(cache_bytes, 64, 8);
+    const CacheStats stats =
+        traceTiledGemm(cache, m, n, k, 64, 64, 32);
+    const uint64_t traced = stats.dramReadBytes(64);
+    const uint64_t analytic =
+        analyticReads(m, n, k, 64, 64, cache_bytes);
+    // The closed form should land within ~20% of the trace.
+    EXPECT_GT(double(traced), double(analytic) * 0.8);
+    EXPECT_LT(double(traced), double(analytic) * 1.2);
+    // And both must far exceed the cold-miss floor.
+    const uint64_t floor_bytes =
+        uint64_t(m * k + k * n) * kFp16Bytes;
+    EXPECT_GT(traced, floor_bytes * 3);
+}
+
+TEST(TrafficRuleValidation, StripReuseKeepsLhsSinglePass)
+{
+    // A's strip (tile_m x k) fits comfortably even though A as a
+    // whole is bigger than the cache-residency threshold for B-style
+    // reuse; the trace must show A fetched ~once.
+    const int64_t m = 512, n = 256, k = 64;
+    const uint64_t cache_bytes = 32 * 1024;
+    // A = 64 KiB total, strip = 32 x 64 x 2 = 4 KiB; B = 32 KiB.
+    CacheModel cache(cache_bytes, 64, 8);
+    const CacheStats stats =
+        traceTiledGemm(cache, m, n, k, 32, 64, 32);
+    const uint64_t traced = stats.dramReadBytes(64);
+    const uint64_t a_bytes = uint64_t(m * k) * kFp16Bytes;
+    const uint64_t b_bytes = uint64_t(k * n) * kFp16Bytes;
+    // B gets re-read per tile row (16 rows) since it doesn't stay
+    // fully resident next to A's strips; A stays ~single-pass. Allow
+    // the band between "A once + B once" and "A once + B every row".
+    EXPECT_GT(traced, a_bytes + b_bytes);
+    EXPECT_LT(traced, a_bytes * 2 + b_bytes * 16);
+}
+
+TEST(TrafficRuleValidation, LargerCacheNeverIncreasesTraffic)
+{
+    const int64_t m = 256, n = 256, k = 128;
+    uint64_t previous = UINT64_MAX;
+    for (uint64_t cache_bytes : {8u * 1024, 32u * 1024, 256u * 1024}) {
+        CacheModel cache(cache_bytes, 64, 8);
+        const CacheStats stats =
+            traceTiledGemm(cache, m, n, k, 64, 64, 32);
+        const uint64_t traced = stats.dramReadBytes(64);
+        EXPECT_LE(traced, previous);
+        previous = traced;
+    }
+}
+
+} // namespace
+} // namespace softrec

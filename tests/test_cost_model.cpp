@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests of the kernel cost model: roofline terms, bandwidth derates,
+ * wave quantization, imbalance amortization, and fused penalties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/calibration.hpp"
+#include "sim/cost_model.hpp"
+
+namespace softrec {
+namespace {
+
+/** A saturated streaming kernel moving `bytes` of traffic. */
+KernelProfile
+streamingProfile(uint64_t bytes)
+{
+    KernelProfile prof;
+    prof.name = "stream";
+    prof.geom.numBlocks = 1 << 16;
+    prof.geom.block.threads = 256;
+    prof.geom.block.regsPerThread = 32;
+    prof.dramReadBytes = bytes / 2;
+    prof.dramWriteBytes = bytes - bytes / 2;
+    return prof;
+}
+
+TEST(CostModel, SaturatedStreamHitsStreamEfficiency)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const uint64_t bytes = 1ull << 30;
+    const KernelStats stats =
+        evaluateKernel(spec, streamingProfile(bytes));
+    const double expected =
+        double(bytes) / (spec.dramBandwidth * calib::kStreamEfficiency);
+    EXPECT_NEAR(stats.dramSeconds, expected, expected * 0.06);
+    EXPECT_EQ(stats.bound, TimeBound::Memory);
+    EXPECT_GT(stats.bandwidthUtilization, 0.8);
+}
+
+TEST(CostModel, SerializationLowersBandwidth)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    KernelProfile prof = streamingProfile(1ull << 30);
+    const double base = evaluateKernel(spec, prof).dramSeconds;
+    prof.serializationFactor = 0.5;
+    const double slowed = evaluateKernel(spec, prof).dramSeconds;
+    EXPECT_NEAR(slowed, base * 2.0, base * 0.01);
+}
+
+TEST(CostModel, IdleLanesLowerMemoryParallelism)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    KernelProfile prof = streamingProfile(1ull << 28);
+    // Constrain occupancy so lane utilization actually bites: one row
+    // per TB with big smem staging, like the sparse baseline softmax.
+    prof.geom.block.threads = 128;
+    prof.geom.block.smemBytes = 16 * 1024;
+    const double full = evaluateKernel(spec, prof).dramSeconds;
+    prof.laneUtilization = 0.125;
+    const double sparse_lanes = evaluateKernel(spec, prof).dramSeconds;
+    EXPECT_GT(sparse_lanes, full * 2.0);
+}
+
+TEST(CostModel, MemoryParallelismHasFloor)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    KernelProfile prof = streamingProfile(1ull << 28);
+    prof.geom.block.threads = 128;
+    prof.geom.block.smemBytes = 32 * 1024;
+    prof.laneUtilization = 1e-3;
+    const KernelStats stats = evaluateKernel(spec, prof);
+    const double worst_case =
+        double(prof.dramBytes()) /
+        (spec.dramBandwidth * calib::kStreamEfficiency *
+         calib::kMinMemoryParallelism);
+    EXPECT_LE(stats.dramSeconds, worst_case * 1.01);
+}
+
+TEST(CostModel, TensorKernelsIgnoreWarpMlp)
+{
+    // A GEMM with few resident warps must still stream at full rate.
+    const GpuSpec spec = GpuSpec::a100();
+    KernelProfile prof = streamingProfile(1ull << 28);
+    prof.geom.block.threads = 256;
+    prof.geom.block.regsPerThread = 128; // 2 TBs/SM -> 16 warps
+    prof.tensorFlops = 1e6;              // token tensor work
+    prof.gemmEfficiency = 0.8;
+    const KernelStats stats = evaluateKernel(spec, prof);
+    const double expected = double(prof.dramBytes()) /
+                            (spec.dramBandwidth *
+                             calib::kStreamEfficiency);
+    EXPECT_NEAR(stats.dramSeconds, expected, expected * 0.06);
+}
+
+TEST(CostModel, TensorTimeMatchesEfficiencyClass)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    KernelProfile prof;
+    prof.name = "gemm";
+    prof.geom.numBlocks = 1 << 16;
+    prof.geom.block.threads = 256;
+    prof.tensorFlops = 1e12;
+    prof.gemmEfficiency = 0.8;
+    const KernelStats stats = evaluateKernel(spec, prof);
+    const double expected = 1e12 / (spec.fp16TensorFlops * 0.8);
+    EXPECT_NEAR(stats.tensorSeconds, expected, expected * 0.01);
+    EXPECT_EQ(stats.bound, TimeBound::TensorCore);
+}
+
+TEST(CostModel, FusedPenaltyScalesTensorTime)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    KernelProfile prof;
+    prof.geom.numBlocks = 1 << 16;
+    prof.geom.block.threads = 256;
+    prof.tensorFlops = 1e12;
+    prof.gemmEfficiency = 0.8;
+    const double plain = evaluateKernel(spec, prof).tensorSeconds;
+    prof.fusedPenalty = 1.42;
+    const double fused = evaluateKernel(spec, prof).tensorSeconds;
+    EXPECT_NEAR(fused / plain, 1.42, 1e-9);
+}
+
+TEST(CostModel, CudaAndSfuTermsAdd)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    KernelProfile prof;
+    prof.geom.numBlocks = 1 << 16;
+    prof.geom.block.threads = 256;
+    prof.cudaFlops = 1e12;
+    prof.sfuOps = 1e10;
+    const KernelStats stats = evaluateKernel(spec, prof);
+    const double expected =
+        1e12 / (spec.fp16CudaFlops * calib::kCudaEfficiency) +
+        1e10 / (spec.fp16CudaFlops * calib::kSfuRateFraction);
+    EXPECT_NEAR(stats.cudaSeconds, expected, expected * 1e-9);
+    EXPECT_EQ(stats.bound, TimeBound::CudaCore);
+}
+
+TEST(CostModel, TinyKernelIsLaunchBound)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    KernelProfile prof;
+    prof.geom.numBlocks = 1;
+    prof.geom.block.threads = 32;
+    prof.dramReadBytes = 64;
+    const KernelStats stats = evaluateKernel(spec, prof);
+    EXPECT_EQ(stats.bound, TimeBound::Launch);
+    EXPECT_GE(stats.seconds, calib::kKernelLaunchOverhead);
+}
+
+TEST(CostModel, ImbalanceAmortizesOverWaves)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    // Single-wave kernel: imbalance bites fully.
+    KernelProfile one_wave = streamingProfile(1ull << 26);
+    one_wave.geom.numBlocks = 200; // under one wave on A100
+    one_wave.geom.block.threads = 256;
+    one_wave.workImbalance = 8.0;
+    KernelProfile balanced = one_wave;
+    balanced.workImbalance = 1.0;
+    const double imb =
+        evaluateKernel(spec, one_wave).dramSeconds;
+    const double flat =
+        evaluateKernel(spec, balanced).dramSeconds;
+    EXPECT_GT(imb, flat * 1.5);
+
+    // Many-wave kernel: same imbalance nearly disappears.
+    KernelProfile many = one_wave;
+    many.geom.numBlocks = 1 << 17;
+    KernelProfile many_flat = many;
+    many_flat.workImbalance = 1.0;
+    const double many_imb = evaluateKernel(spec, many).dramSeconds;
+    const double many_base =
+        evaluateKernel(spec, many_flat).dramSeconds;
+    EXPECT_LT(many_imb, many_base * 1.05);
+}
+
+TEST(WaveEfficiency, QuantizationShape)
+{
+    EXPECT_DOUBLE_EQ(waveEfficiency(216, 216), 1.0);
+    EXPECT_DOUBLE_EQ(waveEfficiency(108, 216), 0.5);
+    // 217 blocks on 216 slots: two waves, mostly idle second wave.
+    EXPECT_NEAR(waveEfficiency(217, 216), 217.0 / 432.0, 1e-12);
+    EXPECT_DOUBLE_EQ(waveEfficiency(432, 216), 1.0);
+}
+
+TEST(RowSoftmaxSerialization, DecreasesWithRowLength)
+{
+    const double at512 = rowSoftmaxSerialization(512);
+    const double at4096 = rowSoftmaxSerialization(4096);
+    const double at8192 = rowSoftmaxSerialization(8192);
+    EXPECT_DOUBLE_EQ(at512, calib::kRowSoftmaxBaseEff);
+    EXPECT_DOUBLE_EQ(rowSoftmaxSerialization(64),
+                     calib::kRowSoftmaxBaseEff);
+    EXPECT_GT(at512, at4096);
+    EXPECT_GT(at4096, at8192);
+    // Calibrated value at L = 4096 (drives the paper's Fig. 8 dense
+    // numbers); guard against accidental recalibration.
+    EXPECT_NEAR(at4096, 0.569, 0.01);
+}
+
+TEST(CostModel, InvalidProfilesPanic)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    KernelProfile prof;
+    prof.geom.numBlocks = 16;
+    prof.geom.block.threads = 128;
+    prof.tensorFlops = 1e9; // missing efficiency class
+    EXPECT_THROW(evaluateKernel(spec, prof), std::logic_error);
+
+    KernelProfile bad_lane = streamingProfile(1024);
+    bad_lane.laneUtilization = 0.0;
+    EXPECT_THROW(evaluateKernel(spec, bad_lane), std::logic_error);
+
+    KernelProfile bad_serial = streamingProfile(1024);
+    bad_serial.serializationFactor = 1.5;
+    EXPECT_THROW(evaluateKernel(spec, bad_serial), std::logic_error);
+}
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests of the autoregressive generation study.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/decode.hpp"
+
+namespace softrec {
+namespace {
+
+TEST(DecodeStep, StructureAndWeightBoundGemvs)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const ModelConfig model = ModelConfig::gptNeo13B();
+    const auto step = buildDecodeStep(spec, model, 1, 4096);
+    // 6 GEMVs + attention + 2 residuals + 2 layernorms.
+    EXPECT_EQ(step.size(), 11u);
+    for (const auto &prof : step) {
+        if (prof.name == "dec.fc.q" || prof.name == "dec.fc.out" ||
+            prof.name == "dec.ff.1" || prof.name == "dec.ff.2") {
+            // Weight streaming dominates a single-token GEMV.
+            EXPECT_GE(prof.dramReadBytes,
+                      uint64_t(model.dModel * model.dModel) * 2)
+                << prof.name;
+        }
+    }
+}
+
+TEST(DecodeStep, AttentionTrafficTracksContext)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const ModelConfig model = ModelConfig::gptNeo13B();
+    auto cache_read = [&](int64_t context) {
+        for (const auto &prof :
+             buildDecodeStep(spec, model, 1, context))
+            if (prof.name == "dec.attn")
+                return prof.dramReadBytes;
+        return uint64_t(0);
+    };
+    // KV cache grows linearly with context.
+    EXPECT_NEAR(double(cache_read(4096)) / double(cache_read(1024)),
+                4.0, 0.1);
+}
+
+TEST(Generation, PrefillDominatedByLongPrompts)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const ModelConfig model = ModelConfig::gptNeo13B();
+    DecodeRun run;
+    run.promptLen = 4096;
+    run.generateTokens = 16;
+    const DecodeResult result = runGeneration(spec, model, run);
+    EXPECT_GT(result.prefillSeconds, 0.0);
+    EXPECT_GT(result.decodeSeconds, 0.0);
+    EXPECT_GT(result.prefillSeconds, result.decodeSeconds);
+    EXPECT_GT(result.secondsPerToken(16), 0.0);
+    EXPECT_DOUBLE_EQ(result.totalSeconds(),
+                     result.prefillSeconds + result.decodeSeconds);
+}
+
+TEST(Generation, RecompositionAcceleratesOnlyThePrefill)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const ModelConfig model = ModelConfig::gptNeo13B();
+    DecodeRun run;
+    run.promptLen = 4096;
+    run.generateTokens = 8;
+    run.prefillStrategy = Strategy::Baseline;
+    const DecodeResult base = runGeneration(spec, model, run);
+    run.prefillStrategy = Strategy::Fused;
+    const DecodeResult sdf = runGeneration(spec, model, run);
+    EXPECT_LT(sdf.prefillSeconds, base.prefillSeconds);
+    // Decode is strategy-independent (1 x C attention rows).
+    EXPECT_DOUBLE_EQ(sdf.decodeSeconds, base.decodeSeconds);
+}
+
+TEST(Generation, NonCausalModelRejected)
+{
+    DecodeRun run;
+    EXPECT_THROW(runGeneration(GpuSpec::a100(),
+                               ModelConfig::bertLarge(), run),
+                 std::logic_error);
+}
+
+TEST(Generation, PerTokenLatencyGrowsWithContext)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const ModelConfig model = ModelConfig::gptNeo13B();
+    Gpu gpu(spec);
+    auto step_seconds = [&](int64_t context) {
+        gpu.reset();
+        for (const auto &prof :
+             buildDecodeStep(spec, model, 1, context))
+            gpu.launch(prof);
+        return gpu.totalSeconds();
+    };
+    EXPECT_GT(step_seconds(8192), step_seconds(1024));
+}
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of the inference engine's aggregation and strategy effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/engine.hpp"
+
+namespace softrec {
+namespace {
+
+TEST(Engine, AggregatesMatchDirectRun)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    const ModelConfig model = ModelConfig::bertLarge();
+    RunConfig run;
+    run.seqLen = 1024;
+    const InferenceResult result = runInference(spec, model, run);
+
+    TransformerScheduler sched(spec, model, run);
+    Gpu gpu(spec);
+    sched.run(gpu);
+    EXPECT_DOUBLE_EQ(result.seconds, gpu.totalSeconds());
+    EXPECT_EQ(result.dramReadBytes, gpu.totalDramReadBytes());
+    EXPECT_EQ(result.dramWriteBytes, gpu.totalDramWriteBytes());
+    EXPECT_EQ(result.kernelLaunches, int64_t(gpu.timeline().size()));
+    EXPECT_EQ(result.modelName, "BERT-large");
+    EXPECT_EQ(result.gpuName, "A100");
+}
+
+TEST(Engine, CategorySecondsSumToTotal)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 2048;
+    const InferenceResult result =
+        runInference(spec, ModelConfig::bertLarge(), run);
+    double sum = 0.0;
+    for (const auto &[category, totals] : result.categories)
+        sum += totals.seconds;
+    EXPECT_NEAR(sum, result.seconds, result.seconds * 1e-9);
+}
+
+TEST(Engine, EnergyIsTrafficTimesPerByteCost)
+{
+    const GpuSpec spec = GpuSpec::rtx3090();
+    RunConfig run;
+    run.seqLen = 1024;
+    const InferenceResult result =
+        runInference(spec, ModelConfig::bertLarge(), run);
+    EXPECT_DOUBLE_EQ(result.offChipEnergyJoules,
+                     double(result.dramBytes()) *
+                         spec.dramEnergyPerByte);
+}
+
+TEST(Engine, SoftmaxAccessorsCoverAllStrategies)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 2048;
+    run.strategy = Strategy::Baseline;
+    const auto base =
+        runInference(spec, ModelConfig::bertLarge(), run);
+    EXPECT_GT(base.softmaxSeconds(), 0.0);
+    EXPECT_GT(base.secondsIn(KernelCategory::Softmax), 0.0);
+    EXPECT_EQ(base.secondsIn(KernelCategory::SoftmaxLs), 0.0);
+
+    run.strategy = Strategy::Decomposed;
+    const auto sd = runInference(spec, ModelConfig::bertLarge(), run);
+    EXPECT_EQ(sd.secondsIn(KernelCategory::Softmax), 0.0);
+    EXPECT_GT(sd.secondsIn(KernelCategory::SoftmaxLs), 0.0);
+    EXPECT_GT(sd.secondsIn(KernelCategory::SoftmaxIr), 0.0);
+    EXPECT_GT(sd.secondsIn(KernelCategory::SoftmaxGs), 0.0);
+    EXPECT_GT(sd.softmaxSeconds(), 0.0);
+
+    run.strategy = Strategy::Fused;
+    const auto sdf = runInference(spec, ModelConfig::bertLarge(), run);
+    // Only IR remains as softmax-category work under SDF.
+    EXPECT_EQ(sdf.secondsIn(KernelCategory::SoftmaxLs), 0.0);
+    EXPECT_GT(sdf.secondsIn(KernelCategory::SoftmaxIr), 0.0);
+    EXPECT_LT(sdf.softmaxSeconds(), base.softmaxSeconds() * 0.2);
+}
+
+TEST(Engine, AttentionSweepsReported)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 1024;
+    run.strategy = Strategy::Fused;
+    const auto result =
+        runInference(spec, ModelConfig::bertLarge(), run);
+    EXPECT_EQ(result.attentionSweeps, 2);
+}
+
+TEST(Engine, SdfReducesTrafficAndEnergy)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 4096;
+    run.strategy = Strategy::Baseline;
+    const auto base =
+        runInference(spec, ModelConfig::bertLarge(), run);
+    run.strategy = Strategy::Fused;
+    const auto sdf = runInference(spec, ModelConfig::bertLarge(), run);
+    EXPECT_LT(sdf.dramBytes(), base.dramBytes());
+    EXPECT_LT(sdf.offChipEnergyJoules, base.offChipEnergyJoules);
+    EXPECT_LT(sdf.seconds, base.seconds);
+}
+
+TEST(Engine, BatchScalesWorkSuperLinearly)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 1024;
+    run.batch = 1;
+    const auto b1 = runInference(spec, ModelConfig::bertLarge(), run);
+    run.batch = 4;
+    const auto b4 = runInference(spec, ModelConfig::bertLarge(), run);
+    EXPECT_GT(b4.seconds, b1.seconds * 2.0);
+    EXPECT_EQ(b4.dramBytesIn(KernelCategory::Softmax),
+              4 * b1.dramBytesIn(KernelCategory::Softmax));
+}
+
+TEST(Engine, ResultAccessorsHandleAbsentCategories)
+{
+    InferenceResult empty;
+    EXPECT_EQ(empty.secondsIn(KernelCategory::Softmax), 0.0);
+    EXPECT_EQ(empty.dramBytesIn(KernelCategory::Fc), 0u);
+    EXPECT_EQ(empty.softmaxSeconds(), 0.0);
+    EXPECT_EQ(empty.sdaSeconds(), 0.0);
+    EXPECT_EQ(empty.dramBytes(), 0u);
+}
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests of the simulated GPU device (timeline, aggregation) and the
+ * Table 1 hardware specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/gpu.hpp"
+
+namespace softrec {
+namespace {
+
+KernelProfile
+simpleKernel(const std::string &name, KernelCategory category,
+             uint64_t read, uint64_t write)
+{
+    KernelProfile prof;
+    prof.name = name;
+    prof.category = category;
+    prof.geom.numBlocks = 1 << 14;
+    prof.geom.block.threads = 256;
+    prof.dramReadBytes = read;
+    prof.dramWriteBytes = write;
+    return prof;
+}
+
+TEST(Gpu, TimelineAccumulatesInProgramOrder)
+{
+    Gpu gpu(GpuSpec::a100());
+    gpu.launch(simpleKernel("a", KernelCategory::Other, 1 << 26, 0));
+    gpu.launch(simpleKernel("b", KernelCategory::Softmax, 0, 1 << 26));
+    ASSERT_EQ(gpu.timeline().size(), 2u);
+    EXPECT_EQ(gpu.timeline()[0].profile.name, "a");
+    EXPECT_DOUBLE_EQ(gpu.timeline()[0].startSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(gpu.timeline()[1].startSeconds,
+                     gpu.timeline()[0].stats.seconds);
+    EXPECT_DOUBLE_EQ(gpu.totalSeconds(),
+                     gpu.timeline()[0].stats.seconds +
+                         gpu.timeline()[1].stats.seconds);
+}
+
+TEST(Gpu, TrafficTotals)
+{
+    Gpu gpu(GpuSpec::a100());
+    gpu.launch(simpleKernel("a", KernelCategory::Other, 100, 50));
+    gpu.launch(simpleKernel("b", KernelCategory::Other, 10, 5));
+    EXPECT_EQ(gpu.totalDramReadBytes(), 110u);
+    EXPECT_EQ(gpu.totalDramWriteBytes(), 55u);
+    EXPECT_EQ(gpu.totalDramBytes(), 165u);
+}
+
+TEST(Gpu, CategoryAggregation)
+{
+    Gpu gpu(GpuSpec::a100());
+    gpu.launch(simpleKernel("s1", KernelCategory::Softmax, 1000, 0));
+    gpu.launch(simpleKernel("s2", KernelCategory::Softmax, 0, 2000));
+    gpu.launch(simpleKernel("m", KernelCategory::SdaMatMul, 500, 500));
+    const auto by_cat = gpu.byCategory();
+    ASSERT_EQ(by_cat.size(), 2u);
+    const auto &softmax = by_cat.at(KernelCategory::Softmax);
+    EXPECT_EQ(softmax.launches, 2);
+    EXPECT_EQ(softmax.dramReadBytes, 1000u);
+    EXPECT_EQ(softmax.dramWriteBytes, 2000u);
+    EXPECT_EQ(softmax.dramBytes(), 3000u);
+    EXPECT_GT(gpu.secondsIn(KernelCategory::Softmax), 0.0);
+    EXPECT_EQ(gpu.dramBytesIn(KernelCategory::SdaMatMul), 1000u);
+    EXPECT_EQ(gpu.dramBytesIn(KernelCategory::FeedForward), 0u);
+}
+
+TEST(Gpu, CountLaunchesBySubstring)
+{
+    Gpu gpu(GpuSpec::a100());
+    gpu.launch(simpleKernel("sda.qk", KernelCategory::SdaMatMul, 1, 1));
+    gpu.launch(simpleKernel("sda.qk+ls", KernelCategory::SdaMatMul, 1,
+                            1));
+    gpu.launch(simpleKernel("ff.1", KernelCategory::FeedForward, 1, 1));
+    EXPECT_EQ(gpu.countLaunches("sda.qk"), 2);
+    EXPECT_EQ(gpu.countLaunches("+ls"), 1);
+    EXPECT_EQ(gpu.countLaunches("missing"), 0);
+}
+
+TEST(Gpu, ResetClearsEverything)
+{
+    Gpu gpu(GpuSpec::t4());
+    gpu.launch(simpleKernel("a", KernelCategory::Other, 100, 100));
+    gpu.reset();
+    EXPECT_TRUE(gpu.timeline().empty());
+    EXPECT_DOUBLE_EQ(gpu.totalSeconds(), 0.0);
+    EXPECT_EQ(gpu.totalDramBytes(), 0u);
+}
+
+TEST(GpuSpec, Table1Values)
+{
+    const GpuSpec a100 = GpuSpec::a100();
+    EXPECT_EQ(a100.name, "A100");
+    EXPECT_DOUBLE_EQ(a100.dramBandwidth, 1555e9);
+    EXPECT_DOUBLE_EQ(a100.fp16CudaFlops, 42.3e12);
+    EXPECT_DOUBLE_EQ(a100.fp16TensorFlops, 169e12);
+    EXPECT_EQ(a100.l1PerSm, 192 * KiB);
+    EXPECT_EQ(a100.l2Bytes, 40 * MiB);
+    EXPECT_EQ(a100.numSms, 108);
+    EXPECT_EQ(a100.maxWarpsPerSm(), 64);
+
+    const GpuSpec rtx = GpuSpec::rtx3090();
+    EXPECT_DOUBLE_EQ(rtx.dramBandwidth, 936.2e9);
+    EXPECT_DOUBLE_EQ(rtx.fp16TensorFlops, 58e12);
+    EXPECT_EQ(rtx.l2Bytes, 6 * MiB);
+
+    const GpuSpec t4 = GpuSpec::t4();
+    EXPECT_DOUBLE_EQ(t4.dramBandwidth, 320e9);
+    EXPECT_DOUBLE_EQ(t4.fp16CudaFlops, 24e12);
+    EXPECT_DOUBLE_EQ(t4.fp16TensorFlops, 24e12);
+    EXPECT_EQ(t4.l1PerSm, 64 * KiB);
+    EXPECT_EQ(t4.l2Bytes, 4 * MiB);
+}
+
+TEST(GpuSpec, AllReturnsThreeGpusA100First)
+{
+    const auto specs = GpuSpec::all();
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].name, "A100");
+    EXPECT_EQ(specs[1].name, "RTX 3090");
+    EXPECT_EQ(specs[2].name, "T4");
+    for (const GpuSpec &spec : specs) {
+        EXPECT_GT(spec.dramEnergyPerByte, 0.0);
+        EXPECT_GT(spec.numSms, 0);
+        EXPECT_GT(spec.regsPerSm, 0);
+    }
+}
+
+} // namespace
+} // namespace softrec

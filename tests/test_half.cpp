@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Bit-exactness tests of the software binary16 type, including an
+ * exhaustive round-trip over all 65,536 bit patterns.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fp16/half.hpp"
+
+namespace softrec {
+namespace {
+
+TEST(Half, ExhaustiveRoundTripThroughFloat)
+{
+    // Every half value must survive half -> float -> half unchanged
+    // (float can represent every binary16 exactly).
+    for (uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+        const Half h = Half::fromBits(uint16_t(bits));
+        if (h.isNan())
+            continue; // NaN payloads may legally change
+        const Half round_trip(h.toFloat());
+        EXPECT_EQ(round_trip.bits(), h.bits()) << "bits=" << bits;
+    }
+}
+
+TEST(Half, NanSurvivesAsNan)
+{
+    for (uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+        const Half h = Half::fromBits(uint16_t(bits));
+        if (!h.isNan())
+            continue;
+        EXPECT_TRUE(std::isnan(h.toFloat())) << "bits=" << bits;
+        EXPECT_TRUE(Half(h.toFloat()).isNan()) << "bits=" << bits;
+    }
+}
+
+TEST(Half, KnownValues)
+{
+    EXPECT_EQ(Half(0.0f).bits(), 0x0000u);
+    EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+    EXPECT_EQ(Half(1.0f).bits(), 0x3c00u);
+    EXPECT_EQ(Half(-1.0f).bits(), 0xbc00u);
+    EXPECT_EQ(Half(2.0f).bits(), 0x4000u);
+    EXPECT_EQ(Half(0.5f).bits(), 0x3800u);
+    EXPECT_EQ(Half(65504.0f).bits(), 0x7bffu); // max finite
+    EXPECT_EQ(Half(1.0f / 16384.0f).bits(), 0x0400u); // min normal
+    EXPECT_EQ(Half(5.960464477539063e-08f).bits(), 0x0001u); // min subnormal
+}
+
+TEST(Half, OverflowSaturatesToInfinity)
+{
+    EXPECT_TRUE(Half(65520.0f).isInf()); // rounds up past max
+    EXPECT_TRUE(Half(1e10f).isInf());
+    EXPECT_TRUE(Half(-1e10f).isInf());
+    EXPECT_EQ(Half(-1e10f).bits(), 0xfc00u);
+    // 65519 rounds down to 65504, not to infinity.
+    EXPECT_EQ(Half(65519.0f).bits(), 0x7bffu);
+}
+
+TEST(Half, UnderflowFlushesToZeroBelowHalfMinSubnormal)
+{
+    const float min_subnormal = 5.960464477539063e-08f;
+    EXPECT_EQ(Half(min_subnormal * 0.49f).bits(), 0x0000u);
+    EXPECT_EQ(Half(-min_subnormal * 0.49f).bits(), 0x8000u);
+    // Above half the min subnormal rounds up to it.
+    EXPECT_EQ(Half(min_subnormal * 0.51f).bits(), 0x0001u);
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10);
+    // ties round to the even mantissa (1.0).
+    EXPECT_EQ(Half(1.0f + 0.00048828125f).bits(), 0x3c00u);
+    // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9; ties to even -> up.
+    EXPECT_EQ(Half(1.0f + 3 * 0.00048828125f).bits(), 0x3c02u);
+    // Slightly above the tie rounds up.
+    EXPECT_EQ(Half(1.0f + 0.0005f).bits(), 0x3c01u);
+}
+
+TEST(Half, InfinityAndPredicates)
+{
+    EXPECT_TRUE(Half::infinity().isInf());
+    EXPECT_FALSE(Half::infinity().isNan());
+    EXPECT_TRUE(Half(0.0f).isZero());
+    EXPECT_TRUE(Half(-0.0f).isZero());
+    EXPECT_FALSE(Half(1.0f).isZero());
+    EXPECT_TRUE(Half(std::numeric_limits<float>::quiet_NaN()).isNan());
+    EXPECT_TRUE(Half(std::numeric_limits<float>::infinity()).isInf());
+}
+
+TEST(Half, ArithmeticGoesThroughFloat)
+{
+    const Half a(1.5f), b(2.25f);
+    EXPECT_EQ(float(a + b), 3.75f);
+    EXPECT_EQ(float(a - b), -0.75f);
+    EXPECT_EQ(float(a * b), 3.375f);
+    EXPECT_EQ(float(b / a), 1.5f);
+    EXPECT_EQ(float(-a), -1.5f);
+    EXPECT_EQ((-a).bits(), 0xbe00u);
+}
+
+TEST(Half, Comparisons)
+{
+    EXPECT_TRUE(Half(1.0f) < Half(2.0f));
+    EXPECT_TRUE(Half(2.0f) > Half(1.0f));
+    EXPECT_TRUE(Half(1.0f) == Half(1.0f));
+    EXPECT_TRUE(Half(1.0f) != Half(2.0f));
+    EXPECT_TRUE(Half(1.0f) <= Half(1.0f));
+    EXPECT_TRUE(Half(1.0f) >= Half(1.0f));
+    // Signed zeros compare equal, like IEEE floats.
+    EXPECT_TRUE(Half(0.0f) == Half(-0.0f));
+}
+
+TEST(Half, RoundingErrorWithinHalfUlp)
+{
+    Rng rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        const float x = float(rng.normal(0.0, 10.0));
+        const Half h(x);
+        const float back = h.toFloat();
+        if (h.isInf())
+            continue;
+        // |x - fl(x)| <= 2^-11 * |x| for normals.
+        const float tol =
+            std::max(std::abs(x) * 0.000489f, 6.0e-8f);
+        EXPECT_LE(std::abs(back - x), tol) << "x=" << x;
+    }
+}
+
+TEST(Half, MonotoneConversion)
+{
+    // Conversion must preserve ordering.
+    Rng rng(43);
+    for (int i = 0; i < 10000; ++i) {
+        const float a = float(rng.normal(0.0, 100.0));
+        const float b = float(rng.normal(0.0, 100.0));
+        if (a <= b) {
+            EXPECT_LE(float(Half(a)), float(Half(b)));
+        } else {
+            EXPECT_GE(float(Half(a)), float(Half(b)));
+        }
+    }
+}
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests of the model configurations and the transformer scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/schedule.hpp"
+
+namespace softrec {
+namespace {
+
+TEST(ModelConfig, PublishedHyperParameters)
+{
+    const ModelConfig bert = ModelConfig::bertLarge();
+    EXPECT_EQ(bert.numLayers, 24);
+    EXPECT_EQ(bert.dModel, 1024);
+    EXPECT_EQ(bert.numHeads, 16);
+    EXPECT_EQ(bert.dHead(), 64);
+    EXPECT_EQ(bert.dFf, 4096);
+    EXPECT_FALSE(bert.causalMask);
+    EXPECT_FALSE(bert.sparse());
+
+    const ModelConfig neo = ModelConfig::gptNeo13B();
+    EXPECT_EQ(neo.numLayers, 24);
+    EXPECT_EQ(neo.dModel, 2048);
+    EXPECT_EQ(neo.dHead(), 128);
+    EXPECT_EQ(neo.dFf, 8192);
+    EXPECT_TRUE(neo.causalMask);
+
+    const ModelConfig bigbird = ModelConfig::bigBirdLarge();
+    EXPECT_EQ(bigbird.attention, AttentionKind::BigBird);
+    EXPECT_EQ(bigbird.dModel, 1024);
+    EXPECT_TRUE(bigbird.sparse());
+
+    const ModelConfig longformer = ModelConfig::longformerLarge();
+    EXPECT_EQ(longformer.attention, AttentionKind::Longformer);
+    EXPECT_TRUE(longformer.sparse());
+
+    EXPECT_EQ(ModelConfig::allEvaluated().size(), 4u);
+}
+
+TEST(ModelConfig, LayoutBuilders)
+{
+    const BsrLayout bb = ModelConfig::bigBirdLarge().buildLayout(4096);
+    EXPECT_EQ(bb.rows(), 4096);
+    EXPECT_EQ(bb.blockSize(), 64);
+    EXPECT_LT(bb.density(), 0.25);
+
+    const BsrLayout lf =
+        ModelConfig::longformerLarge().buildLayout(4096);
+    EXPECT_EQ(lf.rows(), 4096);
+    EXPECT_LT(lf.density(), 0.25);
+
+    EXPECT_THROW(ModelConfig::bertLarge().buildLayout(4096),
+                 std::runtime_error);
+}
+
+TEST(ModelConfig, AttentionKindNames)
+{
+    EXPECT_STREQ(attentionKindName(AttentionKind::Dense), "dense");
+    EXPECT_STREQ(attentionKindName(AttentionKind::BigBird), "bigbird");
+    EXPECT_STREQ(attentionKindName(AttentionKind::Longformer),
+                 "longformer");
+}
+
+int64_t
+countByName(const std::vector<KernelProfile> &kernels,
+            const std::string &substr)
+{
+    int64_t count = 0;
+    for (const KernelProfile &prof : kernels)
+        if (prof.name.find(substr) != std::string::npos)
+            ++count;
+    return count;
+}
+
+TEST(Scheduler, BaselineLayerStructure)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 2048;
+    TransformerScheduler sched(spec, ModelConfig::bertLarge(), run);
+    const auto &layer = sched.layerKernels();
+
+    EXPECT_EQ(countByName(layer, "fc."), 4); // q, k, v, out
+    EXPECT_EQ(countByName(layer, "sda.qk"), 1);
+    EXPECT_EQ(countByName(layer, "sda.softmax"), 1);
+    EXPECT_EQ(countByName(layer, "sda.av"), 1);
+    EXPECT_EQ(countByName(layer, "ff."), 4); // ff.1/2, residual, ln
+    EXPECT_EQ(countByName(layer, ".ln"), 2);
+    EXPECT_EQ(countByName(layer, "residual"), 2);
+    EXPECT_EQ(countByName(layer, "sda.scale_mask"), 0); // fused
+
+    // Prologue: embedding + its LayerNorm.
+    EXPECT_EQ(sched.prologue().size(), 2u);
+    EXPECT_EQ(sched.layout(), nullptr);
+}
+
+TEST(Scheduler, FullSequenceRepeatsLayers)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 1024;
+    TransformerScheduler sched(spec, ModelConfig::bertLarge(), run);
+    const auto seq = sched.fullSequence();
+    EXPECT_EQ(seq.size(), sched.prologue().size() +
+                              24 * sched.layerKernels().size());
+}
+
+TEST(Scheduler, RunMatchesFullSequence)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 1024;
+    TransformerScheduler sched(spec, ModelConfig::bertLarge(), run);
+    Gpu gpu(spec);
+    sched.run(gpu);
+    EXPECT_EQ(gpu.timeline().size(), sched.fullSequence().size());
+}
+
+TEST(Scheduler, StrategySwapsSoftmaxKernels)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 2048;
+    run.strategy = Strategy::Fused;
+    TransformerScheduler sched(spec, ModelConfig::bertLarge(), run);
+    const auto &layer = sched.layerKernels();
+    EXPECT_EQ(countByName(layer, "sda.qk+ls"), 1);
+    EXPECT_EQ(countByName(layer, "sda.av+gs"), 1);
+    EXPECT_EQ(countByName(layer, "sda.ir"), 1);
+    EXPECT_EQ(countByName(layer, "sda.softmax"), 0);
+}
+
+TEST(Scheduler, SparseModelBuildsLayout)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 4096;
+    TransformerScheduler sched(spec, ModelConfig::bigBirdLarge(), run);
+    ASSERT_NE(sched.layout(), nullptr);
+    EXPECT_EQ(sched.layout()->rows(), 4096);
+    // SDA kernels inherit the layout's block grid.
+    EXPECT_EQ(sched.sdaSchedule().kernels[0].geom.numBlocks,
+              16 * sched.layout()->nnzBlocks());
+}
+
+TEST(Scheduler, UnfusedPolicyAddsStandaloneKernels)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 2048;
+    run.fusion.biasFused = false;
+    run.fusion.scaleMaskFused = false;
+    run.fusion.geluFused = false;
+    run.fusion.extraReshapes = 2;
+    TransformerScheduler sched(spec, ModelConfig::bertLarge(), run);
+    const auto &layer = sched.layerKernels();
+    // Separate bias kernels after each of the six GEMMs.
+    EXPECT_EQ(countByName(layer, ".bias"), 6);
+    EXPECT_EQ(countByName(layer, "sda.scale_mask"), 1);
+    EXPECT_EQ(countByName(layer, "extra_reshape"), 2);
+
+    RunConfig fused_run;
+    fused_run.seqLen = 2048;
+    TransformerScheduler fused(spec, ModelConfig::bertLarge(),
+                               fused_run);
+    EXPECT_GT(layer.size(), fused.layerKernels().size());
+}
+
+TEST(Scheduler, SoftmaxQualityScalesSerialization)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 2048;
+    run.fusion.softmaxQuality = 0.5;
+    TransformerScheduler degraded(spec, ModelConfig::bertLarge(), run);
+    RunConfig plain;
+    plain.seqLen = 2048;
+    TransformerScheduler reference(spec, ModelConfig::bertLarge(),
+                                   plain);
+    double degraded_serial = 0, reference_serial = 0;
+    for (const auto &prof : degraded.layerKernels())
+        if (prof.category == KernelCategory::Softmax)
+            degraded_serial = prof.serializationFactor;
+    for (const auto &prof : reference.layerKernels())
+        if (prof.category == KernelCategory::Softmax)
+            reference_serial = prof.serializationFactor;
+    EXPECT_NEAR(degraded_serial, reference_serial * 0.5, 1e-12);
+}
+
+TEST(Scheduler, GptNeoUsesCausalMaskAndWideHeads)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 2048;
+    TransformerScheduler sched(spec, ModelConfig::gptNeo13B(), run);
+    const KernelProfile *qk = nullptr;
+    for (const auto &prof : sched.layerKernels())
+        if (prof.name == "sda.qk")
+            qk = &prof;
+    ASSERT_NE(qk, nullptr);
+    // Causal mask adds epilogue flops beyond the scale.
+    EXPECT_GT(qk->cudaFlops,
+              double(2048) * 2048 * 16); // more than scale alone
+}
+
+TEST(Scheduler, GptNeoLocalVariantAlternatesLayers)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 2048;
+    TransformerScheduler sched(spec, ModelConfig::gptNeo13BLocal(),
+                               run);
+    // Two layer variants exist; odd layers are local.
+    EXPECT_FALSE(sched.localLayerKernels().empty());
+    EXPECT_FALSE(sched.layerIsLocal(0));
+    EXPECT_TRUE(sched.layerIsLocal(1));
+    // The local layer's attention work is much smaller: window 256
+    // of 2048 tokens.
+    auto sda_flops = [](const std::vector<KernelProfile> &layer) {
+        double flops = 0.0;
+        for (const auto &prof : layer)
+            if (prof.category == KernelCategory::SdaMatMul)
+                flops += prof.tensorFlops;
+        return flops;
+    };
+    EXPECT_LT(sda_flops(sched.localLayerKernels()),
+              sda_flops(sched.layerKernels()) * 0.35);
+    // Full sequence interleaves both variants.
+    const auto seq = sched.fullSequence();
+    EXPECT_EQ(seq.size(),
+              sched.prologue().size() +
+                  12 * sched.layerKernels().size() +
+                  12 * sched.localLayerKernels().size());
+    // run() agrees with fullSequence().
+    Gpu gpu(spec);
+    sched.run(gpu);
+    EXPECT_EQ(gpu.timeline().size(), seq.size());
+}
+
+TEST(Scheduler, DenseModelsHaveNoLocalLayers)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    RunConfig run;
+    run.seqLen = 1024;
+    TransformerScheduler sched(spec, ModelConfig::gptNeo13B(), run);
+    EXPECT_TRUE(sched.localLayerKernels().empty());
+    EXPECT_FALSE(sched.layerIsLocal(1));
+}
+
+TEST(ModelConfig, CausalWindowPatternShape)
+{
+    const BsrLayout layout = causalWindowPattern(512, 64, 2);
+    const int64_t n = 8;
+    for (int64_t r = 0; r < n; ++r) {
+        for (int64_t c = 0; c < n; ++c) {
+            const bool keep = c <= r && r - c <= 2;
+            EXPECT_EQ(layout.hasBlock(r, c), keep) << r << "," << c;
+        }
+    }
+}
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests of the occupancy calculator against hand-computed cases.
+ */
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "sim/occupancy.hpp"
+
+namespace softrec {
+namespace {
+
+TEST(Occupancy, ThreadLimited)
+{
+    const GpuSpec spec = GpuSpec::a100(); // 2048 threads/SM
+    BlockResources res;
+    res.threads = 256;
+    res.smemBytes = 0;
+    res.regsPerThread = 32; // 8K regs/TB; 65536/8192 = 8 -> ties threads
+    const Occupancy occ = computeOccupancy(spec, res, 1 << 20);
+    EXPECT_EQ(occ.blocksPerSm, 8);
+    EXPECT_EQ(occ.warpsPerSm, 64);
+    EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+    EXPECT_EQ(occ.limit, Occupancy::Limit::Threads);
+}
+
+TEST(Occupancy, SharedMemoryLimited)
+{
+    const GpuSpec spec = GpuSpec::a100(); // 164 KiB smem/SM
+    BlockResources res;
+    res.threads = 128;
+    res.smemBytes = 16 * 1024; // 164/16 = 10 TBs
+    res.regsPerThread = 32;
+    const Occupancy occ = computeOccupancy(spec, res, 1 << 20);
+    EXPECT_EQ(occ.blocksPerSm, 10);
+    EXPECT_EQ(occ.warpsPerSm, 40);
+    EXPECT_EQ(occ.limit, Occupancy::Limit::SharedMemory);
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    const GpuSpec spec = GpuSpec::a100(); // 65536 regs/SM
+    BlockResources res;
+    res.threads = 256;
+    res.smemBytes = 1024;
+    res.regsPerThread = 128; // 32768/TB -> 2 TBs
+    const Occupancy occ = computeOccupancy(spec, res, 1 << 20);
+    EXPECT_EQ(occ.blocksPerSm, 2);
+    EXPECT_EQ(occ.warpsPerSm, 16);
+    EXPECT_EQ(occ.limit, Occupancy::Limit::Registers);
+}
+
+TEST(Occupancy, BlockCountLimited)
+{
+    GpuSpec spec = GpuSpec::a100();
+    spec.maxBlocksPerSm = 4;
+    BlockResources res;
+    res.threads = 32;
+    res.smemBytes = 0;
+    res.regsPerThread = 16;
+    const Occupancy occ = computeOccupancy(spec, res, 1 << 20);
+    EXPECT_EQ(occ.blocksPerSm, 4);
+    EXPECT_EQ(occ.limit, Occupancy::Limit::Blocks);
+}
+
+TEST(Occupancy, GridLimited)
+{
+    const GpuSpec spec = GpuSpec::a100(); // 108 SMs
+    BlockResources res;
+    res.threads = 128;
+    res.smemBytes = 0;
+    res.regsPerThread = 32;
+    // 108 blocks over 108 SMs: one per SM.
+    const Occupancy occ = computeOccupancy(spec, res, 108);
+    EXPECT_EQ(occ.blocksPerSm, 1);
+    EXPECT_EQ(occ.limit, Occupancy::Limit::Grid);
+}
+
+TEST(Occupancy, WarpsCappedAtHardwareMax)
+{
+    const GpuSpec spec = GpuSpec::t4(); // 1024 threads/SM = 32 warps
+    BlockResources res;
+    res.threads = 1024;
+    res.smemBytes = 0;
+    res.regsPerThread = 16;
+    const Occupancy occ = computeOccupancy(spec, res, 1000);
+    EXPECT_LE(occ.warpsPerSm, spec.maxWarpsPerSm());
+    EXPECT_LE(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, OversizedBlockIsFatal)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    BlockResources res;
+    res.threads = 2048; // exceeds maxThreadsPerBlock
+    EXPECT_THROW(computeOccupancy(spec, res, 1), std::logic_error);
+}
+
+TEST(Occupancy, UnschedulableBlockIsFatal)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    BlockResources res;
+    res.threads = 128;
+    res.smemBytes = 1024 * 1024; // larger than smem per SM
+    EXPECT_THROW(computeOccupancy(spec, res, 1), std::runtime_error);
+}
+
+TEST(Occupancy, EmptyGridIsFatal)
+{
+    const GpuSpec spec = GpuSpec::a100();
+    EXPECT_THROW(computeOccupancy(spec, BlockResources{}, 0),
+                 std::logic_error);
+}
+
+TEST(Occupancy, MonotoneInResourceUsage)
+{
+    const GpuSpec spec = GpuSpec::rtx3090();
+    BlockResources light;
+    light.threads = 128;
+    light.smemBytes = 4096;
+    light.regsPerThread = 32;
+    for (uint64_t smem = 4096; smem <= 65536; smem *= 2) {
+        BlockResources heavy = light;
+        heavy.smemBytes = smem;
+        const auto occ_l = computeOccupancy(spec, light, 1 << 20);
+        const auto occ_h = computeOccupancy(spec, heavy, 1 << 20);
+        EXPECT_LE(occ_h.blocksPerSm, occ_l.blocksPerSm);
+    }
+}
+
+TEST(Occupancy, LimitNamesAreStable)
+{
+    EXPECT_STREQ(occupancyLimitName(Occupancy::Limit::Threads),
+                 "threads");
+    EXPECT_STREQ(occupancyLimitName(Occupancy::Limit::SharedMemory),
+                 "shared-memory");
+    EXPECT_STREQ(occupancyLimitName(Occupancy::Limit::Registers),
+                 "registers");
+    EXPECT_STREQ(occupancyLimitName(Occupancy::Limit::Blocks), "blocks");
+    EXPECT_STREQ(occupancyLimitName(Occupancy::Limit::Grid), "grid");
+}
+
+} // namespace
+} // namespace softrec

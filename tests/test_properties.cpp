@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Cross-cutting property tests: monotonicity and consistency
+ * invariants of the cost model, the GEMM profiles, and the planner,
+ * fuzzed over randomized shapes.
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/recomposition.hpp"
+#include "kernels/gemm.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/gpu.hpp"
+
+namespace softrec {
+namespace {
+
+KernelProfile
+randomStreamingProfile(Rng &rng)
+{
+    KernelProfile prof;
+    prof.name = "fuzz";
+    prof.geom.numBlocks = 1 + int64_t(rng.uniformInt(1 << 16));
+    prof.geom.block.threads = 32 * (1 + int(rng.uniformInt(8)));
+    prof.geom.block.smemBytes = rng.uniformInt(32 * 1024);
+    prof.geom.block.regsPerThread = 16 + int(rng.uniformInt(64));
+    prof.dramReadBytes = 1 + rng.uniformInt(1ull << 28);
+    prof.dramWriteBytes = rng.uniformInt(1ull << 28);
+    return prof;
+}
+
+TEST(CostModelProperties, TimePositiveAndAtLeastOverhead)
+{
+    Rng rng(1);
+    const GpuSpec spec = GpuSpec::a100();
+    for (int trial = 0; trial < 200; ++trial) {
+        const KernelStats stats =
+            evaluateKernel(spec, randomStreamingProfile(rng));
+        EXPECT_GT(stats.seconds, 0.0);
+        EXPECT_GE(stats.seconds, stats.overheadSeconds);
+        EXPECT_GE(stats.dramSeconds, 0.0);
+        EXPECT_LE(stats.bandwidthUtilization, 1.0);
+    }
+}
+
+TEST(CostModelProperties, MoreBytesNeverFaster)
+{
+    Rng rng(2);
+    const GpuSpec spec = GpuSpec::a100();
+    for (int trial = 0; trial < 100; ++trial) {
+        KernelProfile prof = randomStreamingProfile(rng);
+        const double before = evaluateKernel(spec, prof).dramSeconds;
+        prof.dramReadBytes *= 2;
+        const double after = evaluateKernel(spec, prof).dramSeconds;
+        EXPECT_GE(after, before);
+    }
+}
+
+TEST(CostModelProperties, MoreBandwidthNeverSlower)
+{
+    Rng rng(3);
+    GpuSpec fast = GpuSpec::a100();
+    GpuSpec slow = fast;
+    slow.dramBandwidth /= 2.0;
+    for (int trial = 0; trial < 100; ++trial) {
+        const KernelProfile prof = randomStreamingProfile(rng);
+        EXPECT_LE(evaluateKernel(fast, prof).dramSeconds,
+                  evaluateKernel(slow, prof).dramSeconds);
+    }
+}
+
+TEST(CostModelProperties, DeratesOnlyEverSlowDown)
+{
+    Rng rng(4);
+    const GpuSpec spec = GpuSpec::rtx3090();
+    for (int trial = 0; trial < 100; ++trial) {
+        KernelProfile clean = randomStreamingProfile(rng);
+        KernelProfile derated = clean;
+        derated.laneUtilization = 0.1 + 0.8 * rng.uniform();
+        derated.serializationFactor = 0.2 + 0.7 * rng.uniform();
+        derated.workImbalance = 1.0 + 7.0 * rng.uniform();
+        EXPECT_GE(evaluateKernel(spec, derated).dramSeconds,
+                  evaluateKernel(spec, clean).dramSeconds * 0.999);
+    }
+}
+
+TEST(GemmProfileProperties, TrafficAndFlopsLowerBounds)
+{
+    Rng rng(5);
+    const GpuSpec spec = GpuSpec::a100();
+    for (int trial = 0; trial < 200; ++trial) {
+        GemmDesc desc;
+        desc.batch = 1 + int64_t(rng.uniformInt(8));
+        desc.m = 16 * (1 + int64_t(rng.uniformInt(128)));
+        desc.n = 16 * (1 + int64_t(rng.uniformInt(128)));
+        desc.k = 16 * (1 + int64_t(rng.uniformInt(128)));
+        const KernelProfile prof = gemmProfile(spec, desc);
+        // Every operand crosses DRAM at least once; the output is
+        // written exactly once.
+        EXPECT_GE(prof.dramReadBytes,
+                  uint64_t(desc.batch) *
+                      uint64_t(desc.m * desc.k + desc.k * desc.n) * 2);
+        EXPECT_EQ(prof.dramWriteBytes,
+                  uint64_t(desc.batch * desc.m * desc.n) * 2);
+        EXPECT_DOUBLE_EQ(prof.tensorFlops,
+                         2.0 * double(desc.batch) * double(desc.m) *
+                             double(desc.n) * double(desc.k));
+        EXPECT_GT(prof.geom.numBlocks, 0);
+    }
+}
+
+TEST(GemmProfileProperties, FusionNeverReducesWorkOrTraffic)
+{
+    Rng rng(6);
+    const GpuSpec spec = GpuSpec::a100();
+    for (int trial = 0; trial < 100; ++trial) {
+        GemmDesc plain;
+        plain.batch = 1 + int64_t(rng.uniformInt(4));
+        plain.m = 64 * (1 + int64_t(rng.uniformInt(32)));
+        plain.n = 64 * (1 + int64_t(rng.uniformInt(32)));
+        plain.k = 64 * (1 + int64_t(rng.uniformInt(8)));
+        plain.shapeClass = GemmShapeClass::Attention;
+        GemmDesc fused = plain;
+        fused.epilogue.localSoftmax = true;
+        const KernelProfile p = gemmProfile(spec, plain);
+        const KernelProfile f = gemmProfile(spec, fused);
+        EXPECT_GE(f.dramWriteBytes, p.dramWriteBytes);
+        EXPECT_GT(f.fusedPenalty, 1.0);
+        EXPECT_GT(f.sfuOps, p.sfuOps);
+    }
+}
+
+TEST(PlannerProperties, SdfAlwaysMovesFewerBytesThanBaselineAtScale)
+{
+    Rng rng(7);
+    const GpuSpec spec = GpuSpec::a100();
+    for (int trial = 0; trial < 50; ++trial) {
+        SdaConfig config;
+        config.heads = 1 + int64_t(rng.uniformInt(32));
+        config.seqLen = 512 * (1 + int64_t(rng.uniformInt(16)));
+        config.dHead = 64;
+        config.causalMask = rng.uniform() < 0.5;
+        auto bytes = [&](Strategy strategy) {
+            uint64_t total = 0;
+            for (const auto &prof :
+                 buildSdaSchedule(spec, config, strategy).kernels)
+                total += prof.dramBytes();
+            return total;
+        };
+        const uint64_t base = bytes(Strategy::Baseline);
+        EXPECT_LT(bytes(Strategy::Fused), base);
+        EXPECT_GT(bytes(Strategy::Decomposed), base);
+    }
+}
+
+TEST(PlannerProperties, SpeedupMonotoneInSequenceLengthForBert)
+{
+    // Coarse monotonicity over a fine L grid (every 512 tokens);
+    // wave quantization of the thin attention GEMMs adds a few
+    // percent of jitter at particular lengths, hence the tolerance.
+    const GpuSpec spec = GpuSpec::a100();
+    SdaConfig config;
+    config.heads = 16;
+    config.dHead = 64;
+    double prev = 0.0;
+    for (int64_t seq_len = 512; seq_len <= 8192; seq_len += 512) {
+        config.seqLen = seq_len;
+        auto seconds = [&](Strategy strategy) {
+            Gpu gpu(spec);
+            for (const auto &prof :
+                 buildSdaSchedule(spec, config, strategy).kernels)
+                gpu.launch(prof);
+            return gpu.totalSeconds();
+        };
+        const double speedup =
+            seconds(Strategy::Baseline) / seconds(Strategy::Fused);
+        EXPECT_GT(speedup, prev * 0.92) << "L=" << seq_len;
+        prev = std::max(prev, speedup);
+    }
+}
+
+} // namespace
+} // namespace softrec

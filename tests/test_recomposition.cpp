@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests of the recomposition planner: kernel sequences, categories,
+ * attention-matrix sweep counts, and fusion wiring per strategy.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/recomposition.hpp"
+#include "model/schedule.hpp"
+#include "sparse/patterns.hpp"
+
+namespace softrec {
+namespace {
+
+SdaConfig
+denseConfig()
+{
+    SdaConfig config;
+    config.batch = 1;
+    config.heads = 16;
+    config.seqLen = 4096;
+    config.dHead = 64;
+    return config;
+}
+
+std::vector<std::string>
+kernelNames(const SdaSchedule &sched)
+{
+    std::vector<std::string> names;
+    for (const KernelProfile &prof : sched.kernels)
+        names.push_back(prof.name);
+    return names;
+}
+
+TEST(Planner, BaselineDenseSequence)
+{
+    const auto sched = buildSdaSchedule(GpuSpec::a100(), denseConfig(),
+                                        Strategy::Baseline);
+    EXPECT_EQ(kernelNames(sched),
+              (std::vector<std::string>{"sda.qk", "sda.softmax",
+                                        "sda.av"}));
+    EXPECT_EQ(sched.kernels[0].category, KernelCategory::SdaMatMul);
+    EXPECT_EQ(sched.kernels[1].category, KernelCategory::Softmax);
+    EXPECT_EQ(sched.kernels[2].category, KernelCategory::SdaMatMul);
+    EXPECT_EQ(sched.attentionSweeps, 4);
+    EXPECT_EQ(sched.intermediateBytes, 0u);
+}
+
+TEST(Planner, DecomposedDenseSequence)
+{
+    const auto sched = buildSdaSchedule(GpuSpec::a100(), denseConfig(),
+                                        Strategy::Decomposed);
+    EXPECT_EQ(kernelNames(sched),
+              (std::vector<std::string>{"sda.qk", "sda.ls", "sda.ir",
+                                        "sda.gs", "sda.av"}));
+    EXPECT_EQ(sched.attentionSweeps, 6);
+    EXPECT_GT(sched.intermediateBytes, 0u);
+    // No kernel carries fused softmax work under SD.
+    for (const KernelProfile &prof : sched.kernels)
+        EXPECT_DOUBLE_EQ(prof.fusedPenalty, 1.0);
+}
+
+TEST(Planner, FusedDenseSequence)
+{
+    const auto sched = buildSdaSchedule(GpuSpec::a100(), denseConfig(),
+                                        Strategy::Fused);
+    EXPECT_EQ(kernelNames(sched),
+              (std::vector<std::string>{"sda.qk+ls", "sda.ir",
+                                        "sda.av+gs"}));
+    EXPECT_GT(sched.kernels[0].fusedPenalty, 1.0);
+    EXPECT_GT(sched.kernels[2].fusedPenalty, 1.0);
+    EXPECT_EQ(sched.kernels[0].category, KernelCategory::SdaMatMul);
+    EXPECT_EQ(sched.kernels[1].category, KernelCategory::SoftmaxIr);
+    EXPECT_EQ(sched.attentionSweeps, 2);
+}
+
+TEST(Planner, SweepCountsMatchFig6)
+{
+    // 4 baseline -> 6 decomposed -> 2 fused, dense and sparse alike.
+    const BsrLayout layout = bigBirdPattern(4096, BigBirdParams{});
+    SdaConfig sparse = denseConfig();
+    sparse.layout = &layout;
+    for (const SdaConfig &config : {denseConfig(), sparse}) {
+        const GpuSpec spec = GpuSpec::a100();
+        EXPECT_EQ(
+            buildSdaSchedule(spec, config, Strategy::Baseline)
+                .attentionSweeps, 4);
+        EXPECT_EQ(
+            buildSdaSchedule(spec, config, Strategy::Decomposed)
+                .attentionSweeps, 6);
+        EXPECT_EQ(
+            buildSdaSchedule(spec, config, Strategy::Fused)
+                .attentionSweeps, 2);
+    }
+}
+
+TEST(Planner, FusedTrafficHalvesBaselineAttentionTraffic)
+{
+    // The headline mechanism: SDF's SDA block moves roughly half the
+    // attention-matrix bytes of the baseline (Fig. 6).
+    const GpuSpec spec = GpuSpec::a100();
+    auto total_bytes = [&](Strategy strategy) {
+        uint64_t total = 0;
+        for (const KernelProfile &prof :
+             buildSdaSchedule(spec, denseConfig(), strategy).kernels)
+            total += prof.dramBytes();
+        return total;
+    };
+    const uint64_t base = total_bytes(Strategy::Baseline);
+    const uint64_t sd = total_bytes(Strategy::Decomposed);
+    const uint64_t sdf = total_bytes(Strategy::Fused);
+    EXPECT_GT(sd, base * 1.3);
+    EXPECT_LT(sdf, base * 0.60);
+}
+
+TEST(Planner, FusionForcesTileWidthToSubVector)
+{
+    SdaConfig config = denseConfig();
+    config.subVector = 128;
+    config.attnTiling.tileN = 64;
+    const auto sched = buildSdaSchedule(GpuSpec::a100(), config,
+                                        Strategy::Fused);
+    // QK+LS grid reflects tileN = 128: 32 x 32 tiles x 16 heads.
+    EXPECT_EQ(sched.kernels[0].geom.numBlocks, 16 * 32 * 32);
+}
+
+TEST(Planner, CausalMaskReachesEpilogueWork)
+{
+    SdaConfig config = denseConfig();
+    config.causalMask = true;
+    const auto masked = buildSdaSchedule(GpuSpec::a100(), config,
+                                         Strategy::Baseline);
+    const auto plain = buildSdaSchedule(GpuSpec::a100(), denseConfig(),
+                                        Strategy::Baseline);
+    EXPECT_GT(masked.kernels[0].cudaFlops, plain.kernels[0].cudaFlops);
+}
+
+TEST(Planner, WideHeadsUseWideEfficiencyClass)
+{
+    SdaConfig config = denseConfig();
+    EXPECT_EQ(config.attentionClass(), GemmShapeClass::Attention);
+    config.dHead = 128;
+    EXPECT_EQ(config.attentionClass(), GemmShapeClass::AttentionWide);
+}
+
+TEST(Planner, SparseScheduleUsesBsrKernels)
+{
+    const BsrLayout layout = bigBirdPattern(4096, BigBirdParams{});
+    SdaConfig config = denseConfig();
+    config.layout = &layout;
+    EXPECT_EQ(config.attentionClass(), GemmShapeClass::BlockSparse);
+    EXPECT_EQ(config.attentionMatrixBytes(),
+              uint64_t(16) * uint64_t(layout.nnzElements()) * 2);
+
+    const auto sched = buildSdaSchedule(GpuSpec::a100(), config,
+                                        Strategy::Fused);
+    EXPECT_EQ(kernelNames(sched),
+              (std::vector<std::string>{"sda.qk+ls", "sda.ir",
+                                        "sda.av+gs"}));
+    // SDD grid: one TB per non-zero block per head.
+    EXPECT_EQ(sched.kernels[0].geom.numBlocks,
+              16 * layout.nnzBlocks());
+}
+
+TEST(Planner, SparseSubVectorMustMatchBlockSize)
+{
+    const BsrLayout layout = bigBirdPattern(4096, BigBirdParams{});
+    SdaConfig config = denseConfig();
+    config.layout = &layout;
+    config.subVector = 32; // != block size 64
+    EXPECT_THROW(buildSdaSchedule(GpuSpec::a100(), config,
+                                  Strategy::Fused),
+                 std::logic_error);
+}
+
+TEST(Planner, SubVectorMustDivideSequenceLength)
+{
+    SdaConfig config = denseConfig();
+    config.subVector = 100;
+    EXPECT_THROW(buildSdaSchedule(GpuSpec::a100(), config,
+                                  Strategy::Baseline),
+                 std::logic_error);
+}
+
+TEST(Planner, ScaleFollowsHeadWidth)
+{
+    SdaConfig config = denseConfig();
+    EXPECT_NEAR(config.scale(), 0.125, 1e-12); // 1/sqrt(64)
+    config.dHead = 128;
+    EXPECT_NEAR(config.scale(), 1.0 / std::sqrt(128.0), 1e-12);
+}
+
+TEST(Planner, ChooseSubVectorDividesAnyLength)
+{
+    EXPECT_EQ(chooseSubVector(4096, 64), 64);
+    EXPECT_EQ(chooseSubVector(1000, 64), 50);
+    EXPECT_EQ(chooseSubVector(100, 64), 50);
+    EXPECT_EQ(chooseSubVector(97, 64), 1); // prime length
+    EXPECT_EQ(chooseSubVector(64, 128), 64);
+    for (int64_t len : {384, 1000, 1536, 4095}) {
+        const int64_t t = chooseSubVector(len, 64);
+        EXPECT_EQ(len % t, 0) << len;
+        EXPECT_LE(t, 64);
+        EXPECT_GE(t, 1);
+    }
+}
+
+TEST(Planner, OddSequenceLengthsPlanThroughTheScheduler)
+{
+    // L = 1000 is not a multiple of 64; the scheduler must adapt T
+    // instead of failing.
+    const GpuSpec spec = GpuSpec::a100();
+    log::Sink prev = log::setSink([](log::Level, const std::string &) {});
+    RunConfig run;
+    run.seqLen = 1000;
+    run.strategy = Strategy::Fused;
+    TransformerScheduler sched(spec, ModelConfig::bertLarge(), run);
+    log::setSink(prev);
+    EXPECT_EQ(sched.sdaSchedule().kernels.size(), 3u);
+    Gpu gpu(spec);
+    sched.run(gpu);
+    EXPECT_GT(gpu.totalSeconds(), 0.0);
+}
+
+TEST(Planner, StrategyNames)
+{
+    EXPECT_STREQ(strategyName(Strategy::Baseline), "Baseline");
+    EXPECT_STREQ(strategyName(Strategy::Decomposed), "SD");
+    EXPECT_STREQ(strategyName(Strategy::Fused), "SDF");
+    EXPECT_EQ(allStrategies().size(), 3u);
+}
+
+} // namespace
+} // namespace softrec

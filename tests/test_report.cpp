@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests of the timeline reporting module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/recomposition.hpp"
+#include "sim/report.hpp"
+
+namespace softrec {
+namespace {
+
+Gpu
+runSampleSda()
+{
+    Gpu gpu(GpuSpec::a100());
+    SdaConfig config;
+    config.heads = 16;
+    config.seqLen = 2048;
+    const auto sched = buildSdaSchedule(GpuSpec::a100(), config,
+                                        Strategy::Baseline);
+    // Launch the block twice to exercise the repeat collapsing.
+    for (int round = 0; round < 2; ++round)
+        for (const KernelProfile &prof : sched.kernels)
+            gpu.launch(prof);
+    return gpu;
+}
+
+TEST(Report, TimelineNamesAndShares)
+{
+    const Gpu gpu = runSampleSda();
+    const std::string out = renderTimeline(gpu).render();
+    EXPECT_NE(out.find("sda.qk"), std::string::npos);
+    EXPECT_NE(out.find("sda.softmax"), std::string::npos);
+    EXPECT_NE(out.find("sda.av"), std::string::npos);
+    EXPECT_NE(out.find("memory"), std::string::npos);
+    EXPECT_NE(out.find("blk/SM"), std::string::npos);
+}
+
+TEST(Report, ConsecutiveIdenticalLaunchesCollapse)
+{
+    Gpu gpu(GpuSpec::a100());
+    KernelProfile prof;
+    prof.name = "repeat.me";
+    prof.geom.numBlocks = 1024;
+    prof.geom.block.threads = 256;
+    prof.dramReadBytes = 1 << 20;
+    for (int i = 0; i < 24; ++i)
+        gpu.launch(prof);
+    const std::string out = renderTimeline(gpu).render();
+    // One row with count 24, not 24 rows.
+    EXPECT_NE(out.find("| 24 "), std::string::npos);
+    EXPECT_EQ(out.find("repeat.me"), out.rfind("repeat.me"));
+}
+
+TEST(Report, SummaryNamesDominantCategory)
+{
+    const Gpu gpu = runSampleSda();
+    const std::string summary = summarizeRun(gpu);
+    EXPECT_NE(summary.find("kernels"), std::string::npos);
+    // The SDA block at L = 2048 is softmax- or matmul-dominated.
+    const bool mentions_dominant =
+        summary.find("Softmax") != std::string::npos ||
+        summary.find("MatMul(SDA)") != std::string::npos;
+    EXPECT_TRUE(mentions_dominant) << summary;
+}
+
+TEST(Report, CategoriesTableCoversAllBuckets)
+{
+    const Gpu gpu = runSampleSda();
+    const std::string out = renderCategories(gpu).render();
+    EXPECT_NE(out.find("Softmax"), std::string::npos);
+    EXPECT_NE(out.find("MatMul(SDA)"), std::string::npos);
+    EXPECT_NE(out.find("%"), std::string::npos); // shares rendered
+}
+
+TEST(Report, EmptyRunDoesNotDivideByZero)
+{
+    Gpu gpu(GpuSpec::t4());
+    EXPECT_NO_THROW(renderTimeline(gpu).render());
+    EXPECT_NO_THROW(renderCategories(gpu).render());
+    EXPECT_NO_THROW(summarizeRun(gpu));
+}
+
+TEST(Roofline, SoftmaxIsMemoryBoundGemmIsNot)
+{
+    const Gpu gpu = runSampleSda();
+    RooflinePoint softmax_point{}, qk_point{};
+    for (const LaunchRecord &rec : gpu.timeline()) {
+        if (rec.profile.name == "sda.softmax")
+            softmax_point = rooflineOf(gpu.spec(), rec);
+        if (rec.profile.name == "sda.qk")
+            qk_point = rooflineOf(gpu.spec(), rec);
+    }
+    // The paper's Section 2.3 numbers: softmax sits at ~2.5 FLOP/B,
+    // far left of the ridge; the QK^T GEMM sits far right of the
+    // CUDA ridge and is compute-heavy.
+    EXPECT_LT(softmax_point.operationalIntensity, 5.0);
+    EXPECT_TRUE(softmax_point.memoryBound);
+    EXPECT_GT(qk_point.operationalIntensity,
+              softmax_point.operationalIntensity * 5);
+}
+
+TEST(Roofline, TableRendersAllUniqueKernels)
+{
+    const Gpu gpu = runSampleSda();
+    const std::string out = renderRoofline(gpu).render();
+    EXPECT_NE(out.find("sda.softmax"), std::string::npos);
+    EXPECT_NE(out.find("memory-bound"), std::string::npos);
+    EXPECT_NE(out.find("ridge"), std::string::npos);
+    // Unique kernels only: softmax appears once despite two rounds.
+    EXPECT_EQ(out.find("sda.softmax"), out.rfind("sda.softmax"));
+}
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests of the deterministic RNG and its distributions.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace softrec {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly)
+{
+    Rng rng(9);
+    std::vector<int> counts(10, 0);
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        ++counts[size_t(rng.uniformInt(10))];
+    for (int c : counts) {
+        EXPECT_GT(c, trials / 10 * 0.9);
+        EXPECT_LT(c, trials / 10 * 1.1);
+    }
+}
+
+TEST(Rng, UniformIntOneIsAlwaysZero)
+{
+    Rng rng(10);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled)
+{
+    Rng rng(12);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 0.5);
+    EXPECT_NEAR(sum / n, 10.0, 0.02);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng rng(13);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[size_t(rng.zipf(100, 1.2))];
+    // Rank 0 must dominate rank 50 heavily at s = 1.2.
+    EXPECT_GT(counts[0], counts[50] * 10);
+    // All ranks in range.
+    int total = 0;
+    for (int c : counts)
+        total += c;
+    EXPECT_EQ(total, 50000);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform)
+{
+    Rng rng(14);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[size_t(rng.zipf(10, 0.0))];
+    for (int c : counts)
+        EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(Rng, ZipfCacheSurvivesParameterChange)
+{
+    Rng rng(15);
+    (void)rng.zipf(10, 1.0);
+    (void)rng.zipf(20, 1.0); // re-tabulate
+    for (int i = 0; i < 100; ++i)
+        ASSERT_LT(rng.zipf(20, 1.0), 20u);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_LT(rng.zipf(10, 2.0), 10u); // re-tabulate again
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctSorted)
+{
+    Rng rng(16);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto picks = rng.sampleWithoutReplacement(100, 10);
+        ASSERT_EQ(picks.size(), 10u);
+        std::set<uint64_t> unique(picks.begin(), picks.end());
+        EXPECT_EQ(unique.size(), 10u);
+        EXPECT_TRUE(std::is_sorted(picks.begin(), picks.end()));
+        for (uint64_t p : picks)
+            EXPECT_LT(p, 100u);
+    }
+}
+
+TEST(Rng, SampleAllElements)
+{
+    Rng rng(17);
+    const auto picks = rng.sampleWithoutReplacement(8, 8);
+    ASSERT_EQ(picks.size(), 8u);
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(picks[i], i);
+}
+
+TEST(Rng, SampleZero)
+{
+    Rng rng(18);
+    EXPECT_TRUE(rng.sampleWithoutReplacement(5, 0).empty());
+}
+
+/** Determinism across distribution types, parameterized by seed. */
+class RngDeterminism : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RngDeterminism, FullSequenceReproducible)
+{
+    Rng a(GetParam()), b(GetParam());
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(a.uniform(), b.uniform());
+        EXPECT_EQ(a.normal(), b.normal());
+        EXPECT_EQ(a.uniformInt(1000), b.uniformInt(1000));
+        EXPECT_EQ(a.zipf(64, 1.1), b.zipf(64, 1.1));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngDeterminism,
+                         ::testing::Values(0ULL, 1ULL, 42ULL,
+                                           0xdeadbeefULL,
+                                           0xffffffffffffffffULL));
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Property tests of the recomposition mathematics (paper Eq. (1)-(3)):
+ * the decomposed softmax must be *identical* to safe softmax for every
+ * sub-vector width, input distribution, and masking pattern.
+ */
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/softmax_math.hpp"
+
+namespace softrec {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double>
+randomRow(Rng &rng, size_t len, double stddev)
+{
+    std::vector<double> row(len);
+    for (double &v : row)
+        v = rng.normal(0.0, stddev);
+    return row;
+}
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    double worst = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+TEST(SafeSoftmax, SumsToOne)
+{
+    Rng rng(1);
+    const auto y = safeSoftmax(randomRow(rng, 257, 3.0));
+    double sum = 0.0;
+    for (double v : y)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SafeSoftmax, InvariantToConstantShift)
+{
+    Rng rng(2);
+    auto x = randomRow(rng, 64, 2.0);
+    const auto y1 = safeSoftmax(x);
+    for (double &v : x)
+        v += 1234.5;
+    const auto y2 = safeSoftmax(x);
+    EXPECT_LT(maxAbsDiff(y1, y2), 1e-12);
+}
+
+TEST(SafeSoftmax, HandlesHugeMagnitudesWithoutOverflow)
+{
+    std::vector<double> x = {1e4, 1e4 - 1.0, -1e4};
+    const auto y = safeSoftmax(x);
+    for (double v : y) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0);
+    }
+    EXPECT_GT(y[0], y[1]);
+    EXPECT_NEAR(y[2], 0.0, 1e-300);
+}
+
+TEST(SafeSoftmax, SingleElementIsOne)
+{
+    EXPECT_DOUBLE_EQ(safeSoftmax({42.0})[0], 1.0);
+}
+
+TEST(SafeSoftmax, AllEqualIsUniform)
+{
+    const auto y = safeSoftmax(std::vector<double>(10, 7.0));
+    for (double v : y)
+        EXPECT_NEAR(v, 0.1, 1e-13);
+}
+
+TEST(SafeSoftmax, FullyMaskedRowIsZero)
+{
+    const auto y = safeSoftmax({-kInf, -kInf, -kInf});
+    for (double v : y)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SafeSoftmax, PartiallyMaskedIgnoresMaskedEntries)
+{
+    const auto y = safeSoftmax({1.0, -kInf, 1.0});
+    EXPECT_NEAR(y[0], 0.5, 1e-13);
+    EXPECT_DOUBLE_EQ(y[1], 0.0);
+    EXPECT_NEAR(y[2], 0.5, 1e-13);
+}
+
+TEST(LocalSoftmax, IntermediatesMatchDefinition)
+{
+    Rng rng(3);
+    const auto x = randomRow(rng, 32, 2.0);
+    const auto ls = localSoftmax(x, 8);
+    ASSERT_EQ(ls.localMax.size(), 4u);
+    for (size_t sv = 0; sv < 4; ++sv) {
+        double m = -kInf, d = 0.0;
+        for (size_t i = sv * 8; i < sv * 8 + 8; ++i)
+            m = std::max(m, x[i]);
+        for (size_t i = sv * 8; i < sv * 8 + 8; ++i)
+            d += std::exp(x[i] - m);
+        EXPECT_DOUBLE_EQ(ls.localMax[sv], m);
+        EXPECT_NEAR(ls.localSum[sv], d, 1e-12);
+        for (size_t i = sv * 8; i < sv * 8 + 8; ++i)
+            EXPECT_NEAR(ls.xPrime[i], std::exp(x[i] - m), 1e-12);
+    }
+}
+
+TEST(InterReduction, FactorsScaleLocalToGlobal)
+{
+    // With identical sub-vector maxima, r' = 1 / sum(d').
+    const std::vector<double> m = {2.0, 2.0};
+    const std::vector<double> d = {3.0, 5.0};
+    const auto r = interReduction(m, d);
+    EXPECT_NEAR(r[0], 1.0 / 8.0, 1e-13);
+    EXPECT_NEAR(r[1], 1.0 / 8.0, 1e-13);
+}
+
+TEST(InterReduction, FullyMaskedSubVectorGetsZeroFactor)
+{
+    const std::vector<double> m = {1.0, -kInf};
+    const std::vector<double> d = {2.0, 0.0};
+    const auto r = interReduction(m, d);
+    EXPECT_GT(r[0], 0.0);
+    EXPECT_DOUBLE_EQ(r[1], 0.0);
+}
+
+/** Sweep (row length, sub-vector width, stddev). */
+class DecompositionExactness
+    : public ::testing::TestWithParam<std::tuple<int, int, double>>
+{};
+
+TEST_P(DecompositionExactness, MatchesSafeSoftmax)
+{
+    const auto [len, t, stddev] = GetParam();
+    Rng rng(uint64_t(len) * 1000003 + uint64_t(t));
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto x = randomRow(rng, size_t(len), stddev);
+        const auto reference = safeSoftmax(x);
+        const auto recomposed = decomposedSoftmax(x, t);
+        EXPECT_LT(maxAbsDiff(reference, recomposed), 1e-14)
+            << "len=" << len << " t=" << t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecompositionExactness,
+    ::testing::Combine(::testing::Values(1, 7, 64, 256, 1000),
+                       ::testing::Values(1, 8, 32, 64, 128),
+                       ::testing::Values(0.5, 3.0, 20.0)));
+
+TEST(Decomposition, ExactWithMaskedEntries)
+{
+    Rng rng(4);
+    auto x = randomRow(rng, 128, 2.0);
+    // Mask a whole sub-vector plus scattered singles.
+    for (size_t i = 64; i < 96; ++i)
+        x[i] = -kInf;
+    x[3] = -kInf;
+    x[127] = -kInf;
+    EXPECT_LT(maxAbsDiff(safeSoftmax(x), decomposedSoftmax(x, 32)),
+              1e-14);
+}
+
+TEST(Decomposition, ExactWhenSubVectorExceedsRow)
+{
+    Rng rng(5);
+    const auto x = randomRow(rng, 10, 2.0);
+    EXPECT_LT(maxAbsDiff(safeSoftmax(x), decomposedSoftmax(x, 64)),
+              1e-14);
+}
+
+TEST(Decomposition, RaggedTailSubVector)
+{
+    Rng rng(6);
+    const auto x = randomRow(rng, 100, 2.0); // 100 = 3*32 + 4
+    EXPECT_LT(maxAbsDiff(safeSoftmax(x), decomposedSoftmax(x, 32)),
+              1e-14);
+}
+
+TEST(SoftmaxBackward, MatchesNumericalGradient)
+{
+    Rng rng(7);
+    const size_t n = 24;
+    const auto x = randomRow(rng, n, 1.5);
+    const auto dy = randomRow(rng, n, 1.0);
+    const auto y = safeSoftmax(x);
+    const auto dx = softmaxBackward(y, dy);
+
+    // E = sum_i dy_i * y_i(x); check dE/dx_k by central differences.
+    const double eps = 1e-6;
+    for (size_t k = 0; k < n; ++k) {
+        auto xp = x, xm = x;
+        xp[k] += eps;
+        xm[k] -= eps;
+        const auto yp = safeSoftmax(xp);
+        const auto ym = safeSoftmax(xm);
+        double ep = 0.0, em = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            ep += dy[i] * yp[i];
+            em += dy[i] * ym[i];
+        }
+        EXPECT_NEAR(dx[k], (ep - em) / (2 * eps), 1e-6);
+    }
+}
+
+TEST(SoftmaxBackward, DependsOnlyOnOutput)
+{
+    // The paper's Section 6 argument: two different inputs with the
+    // same softmax output must produce the same gradient.
+    const std::vector<double> x1 = {1.0, 2.0, 3.0};
+    std::vector<double> x2 = x1;
+    for (double &v : x2)
+        v += 100.0; // same softmax output
+    const std::vector<double> dy = {0.3, -0.2, 0.9};
+    const auto dx1 = softmaxBackward(safeSoftmax(x1), dy);
+    const auto dx2 = softmaxBackward(safeSoftmax(x2), dy);
+    EXPECT_LT(maxAbsDiff(dx1, dx2), 1e-12);
+}
+
+TEST(SoftmaxBackward, GradientSumsToZero)
+{
+    // Softmax outputs sum to 1, so the Jacobian rows sum to zero.
+    Rng rng(8);
+    const auto y = safeSoftmax(randomRow(rng, 50, 2.0));
+    const auto dx = softmaxBackward(y, randomRow(rng, 50, 1.0));
+    double sum = 0.0;
+    for (double v : dx)
+        sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests of the tensor library and its convenience operations.
+ */
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace softrec {
+namespace {
+
+TEST(Shape, BasicProperties)
+{
+    const Shape s({4, 8, 16});
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.numel(), 512);
+    EXPECT_EQ(s.dim(0), 4);
+    EXPECT_EQ(s.dim(2), 16);
+    EXPECT_EQ(s.dim(-1), 16);
+    EXPECT_EQ(s.dim(-3), 4);
+    EXPECT_EQ(s.toString(), "[4, 8, 16]");
+}
+
+TEST(Shape, RowMajorStrides)
+{
+    const Shape s({4, 8, 16});
+    const auto strides = s.strides();
+    ASSERT_EQ(strides.size(), 3u);
+    EXPECT_EQ(strides[0], 128);
+    EXPECT_EQ(strides[1], 16);
+    EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, EmptyShapeIsScalar)
+{
+    const Shape s;
+    EXPECT_EQ(s.rank(), 0u);
+    EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+}
+
+TEST(Shape, RejectsNonPositiveDims)
+{
+    EXPECT_THROW(Shape({4, 0}), std::logic_error);
+    EXPECT_THROW(Shape({-1}), std::logic_error);
+}
+
+TEST(Shape, DimOutOfRangePanics)
+{
+    const Shape s({2, 2});
+    EXPECT_THROW(s.dim(2), std::logic_error);
+    EXPECT_THROW(s.dim(-3), std::logic_error);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor<float> t(Shape({3, 3}));
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, FillValueConstructor)
+{
+    Tensor<float> t(Shape({5}), 2.5f);
+    for (int64_t i = 0; i < 5; ++i)
+        EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(Tensor, TwoDimensionalAccess)
+{
+    Tensor<float> t(Shape({2, 3}));
+    t.at(1, 2) = 7.0f;
+    t.at(0, 0) = 1.0f;
+    EXPECT_EQ(t.at(1, 2), 7.0f);
+    EXPECT_EQ(t.at(5), 7.0f); // linear view of (1, 2)
+    EXPECT_EQ(t.at(0), 1.0f);
+}
+
+TEST(Tensor, ThreeDimensionalAccess)
+{
+    Tensor<float> t(Shape({2, 3, 4}));
+    t.at(1, 2, 3) = 9.0f;
+    EXPECT_EQ(t.at(23), 9.0f);
+}
+
+TEST(Tensor, OutOfRangePanics)
+{
+    Tensor<float> t(Shape({2, 2}));
+    EXPECT_THROW(t.at(4), std::logic_error);
+    EXPECT_THROW(t.at(2, 0), std::logic_error);
+    EXPECT_THROW(t.at(0, 0, 0), std::logic_error); // wrong rank
+}
+
+TEST(Tensor, FillOverwritesEverything)
+{
+    Tensor<float> t(Shape({4}), 1.0f);
+    t.fill(3.0f);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t.at(i), 3.0f);
+}
+
+TEST(TensorOps, HalfRoundTripPreservesRepresentableValues)
+{
+    Tensor<float> t(Shape({4}));
+    t.at(0) = 1.5f;
+    t.at(1) = -0.25f;
+    t.at(2) = 1024.0f;
+    t.at(3) = 0.0f;
+    const Tensor<float> back = toFloat(toHalf(t));
+    EXPECT_EQ(maxAbsDiff(t, back), 0.0);
+}
+
+TEST(TensorOps, FillNormalIsDeterministicPerSeed)
+{
+    Tensor<float> a(Shape({64})), b(Shape({64}));
+    Rng r1(5), r2(5);
+    fillNormal(a, r1);
+    fillNormal(b, r2);
+    EXPECT_EQ(maxAbsDiff(a, b), 0.0);
+}
+
+TEST(TensorOps, FillUniformRespectsBounds)
+{
+    Tensor<float> t(Shape({1000}));
+    Rng rng(6);
+    fillUniform(t, rng, -2.0, 3.0);
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        ASSERT_GE(t.at(i), -2.0f);
+        ASSERT_LT(t.at(i), 3.0f);
+    }
+}
+
+TEST(TensorOps, MaxAbsAndRelDiff)
+{
+    Tensor<float> a(Shape({3})), b(Shape({3}));
+    a.at(0) = 1.0f;
+    b.at(0) = 1.1f;
+    a.at(1) = -2.0f;
+    b.at(1) = -2.0f;
+    a.at(2) = 100.0f;
+    b.at(2) = 101.0f;
+    EXPECT_NEAR(maxAbsDiff(a, b), 1.0, 1e-6);
+    EXPECT_NEAR(maxRelDiff(a, b), 0.1 / 1.1, 1e-5);
+}
+
+TEST(TensorOps, MaxAbsDiffShapeMismatchPanics)
+{
+    Tensor<float> a(Shape({2})), b(Shape({3}));
+    EXPECT_THROW(maxAbsDiff(a, b), std::logic_error);
+}
+
+TEST(TensorOps, AllCloseSemantics)
+{
+    Tensor<float> a(Shape({2})), b(Shape({2}));
+    a.at(0) = 1.0f;
+    b.at(0) = 1.0f + 1e-7f;
+    a.at(1) = 0.0f;
+    b.at(1) = 1e-9f;
+    EXPECT_TRUE(allClose(a, b));
+    b.at(1) = 0.1f;
+    EXPECT_FALSE(allClose(a, b));
+    // NaN never compares close.
+    b.at(1) = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_FALSE(allClose(a, b));
+    // Shape mismatch is just "not close".
+    Tensor<float> c(Shape({3}));
+    EXPECT_FALSE(allClose(a, c));
+}
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests of the synthetic long-document workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/corpus.hpp"
+
+namespace softrec {
+namespace {
+
+TEST(Corpus, DeterministicPerSeed)
+{
+    CorpusConfig config;
+    config.numDocuments = 8;
+    config.meanTokens = 1000;
+    const SyntheticCorpus a(config), b(config);
+    ASSERT_EQ(a.documents().size(), 8u);
+    for (size_t d = 0; d < 8; ++d)
+        EXPECT_EQ(a.documents()[d].tokens, b.documents()[d].tokens);
+    config.seed = 999;
+    const SyntheticCorpus c(config);
+    EXPECT_NE(a.documents()[0].tokens, c.documents()[0].tokens);
+}
+
+TEST(Corpus, LengthsWithinBounds)
+{
+    CorpusConfig config;
+    config.numDocuments = 64;
+    config.minTokens = 256;
+    config.maxTokens = 9000;
+    const SyntheticCorpus corpus(config);
+    for (const Document &doc : corpus.documents()) {
+        EXPECT_GE(doc.tokens.size(), 256u);
+        EXPECT_LE(doc.tokens.size(), 9000u);
+    }
+    EXPECT_GT(corpus.averageLength(), 256.0);
+    EXPECT_LT(corpus.averageLength(), 9000.0);
+}
+
+TEST(Corpus, LongDocumentsMotivateLongSequences)
+{
+    // The paper's premise: many documents exceed BERT's classic 512
+    // tokens, so truncating at larger L keeps more of them intact.
+    CorpusConfig config;
+    config.numDocuments = 128;
+    const SyntheticCorpus corpus(config);
+    EXPECT_GT(corpus.fractionLongerThan(512), 0.5);
+    EXPECT_GT(corpus.fractionLongerThan(512),
+              corpus.fractionLongerThan(4096));
+}
+
+TEST(Corpus, TokensWithinVocabulary)
+{
+    CorpusConfig config;
+    config.numDocuments = 4;
+    config.vocabSize = 1000;
+    const SyntheticCorpus corpus(config);
+    for (const Document &doc : corpus.documents())
+        for (int32_t token : doc.tokens) {
+            ASSERT_GE(token, 0);
+            ASSERT_LT(token, 1000);
+        }
+}
+
+TEST(Corpus, ZipfSkewMakesLowIdsCommon)
+{
+    CorpusConfig config;
+    config.numDocuments = 16;
+    config.meanTokens = 4000;
+    config.vocabSize = 10000;
+    const SyntheticCorpus corpus(config);
+    int64_t low = 0, total = 0;
+    for (const Document &doc : corpus.documents()) {
+        for (int32_t token : doc.tokens) {
+            low += token < 100;
+            ++total;
+        }
+    }
+    // Top-1% of the vocabulary supplies far more than 1% of tokens.
+    EXPECT_GT(double(low) / double(total), 0.2);
+}
+
+TEST(Corpus, BatchTruncatesAndPads)
+{
+    CorpusConfig config;
+    config.numDocuments = 4;
+    config.minTokens = 300;
+    config.maxTokens = 600;
+    const SyntheticCorpus corpus(config);
+    const auto batch = corpus.makeBatch(6, 512, 0, -1);
+    ASSERT_EQ(batch.size(), 6u);
+    for (size_t b = 0; b < 6; ++b) {
+        ASSERT_EQ(batch[b].size(), 512u);
+        const auto &doc = corpus.documents()[b % 4];
+        const size_t copy = std::min<size_t>(512, doc.tokens.size());
+        for (size_t i = 0; i < copy; ++i)
+            ASSERT_EQ(batch[b][i], doc.tokens[i]) << b << ":" << i;
+        for (size_t i = copy; i < 512; ++i)
+            ASSERT_EQ(batch[b][i], -1);
+    }
+}
+
+TEST(AttentionScores, StatisticsAndOutliers)
+{
+    Rng rng(3);
+    const Tensor<Half> scores =
+        makeAttentionScores(rng, 64, 256, 2.0, 0.02, 10.0);
+    double sum = 0.0;
+    int64_t big = 0;
+    for (int64_t i = 0; i < scores.numel(); ++i) {
+        const double v = float(scores.at(i));
+        sum += v;
+        big += std::abs(v) > 6.0;
+    }
+    EXPECT_NEAR(sum / double(scores.numel()), 0.0, 0.1);
+    // Outliers exist but are rare.
+    EXPECT_GT(big, 0);
+    EXPECT_LT(double(big) / double(scores.numel()), 0.1);
+}
+
+} // namespace
+} // namespace softrec

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * softrec — the command-line driver for the simulation testbed.
+ *
+ * Subcommands:
+ *   specs                         print the modeled GPUs (Table 1)
+ *   run      [flags]              one inference; per-category report,
+ *                                 optional --timeline / --roofline
+ *   compare  [flags]              all strategies for one model
+ *   sweep    [flags]              SDF speedup across sequence lengths
+ *
+ * Common flags: --model bert|gptneo|gptneo-local|bigbird|longformer,
+ * --gpu a100|3090|t4, --seq-len N, --batch N, --strategy
+ * baseline|sd|sdf.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/logging.hpp"
+#include "common/units.hpp"
+#include "model/engine.hpp"
+#include "sim/report.hpp"
+
+using namespace softrec;
+
+namespace {
+
+ModelConfig
+modelByName(const std::string &name)
+{
+    if (name == "bert")
+        return ModelConfig::bertLarge();
+    if (name == "gptneo")
+        return ModelConfig::gptNeo13B();
+    if (name == "gptneo-local")
+        return ModelConfig::gptNeo13BLocal();
+    if (name == "bigbird")
+        return ModelConfig::bigBirdLarge();
+    if (name == "longformer")
+        return ModelConfig::longformerLarge();
+    fatal("unknown model '%s' (want bert|gptneo|gptneo-local|bigbird|"
+          "longformer)", name.c_str());
+}
+
+GpuSpec
+gpuByName(const std::string &name)
+{
+    if (name == "a100")
+        return GpuSpec::a100();
+    if (name == "3090")
+        return GpuSpec::rtx3090();
+    if (name == "t4")
+        return GpuSpec::t4();
+    fatal("unknown GPU '%s' (want a100|3090|t4)", name.c_str());
+}
+
+Strategy
+strategyByName(const std::string &name)
+{
+    if (name == "baseline")
+        return Strategy::Baseline;
+    if (name == "sd")
+        return Strategy::Decomposed;
+    if (name == "sdf")
+        return Strategy::Fused;
+    fatal("unknown strategy '%s' (want baseline|sd|sdf)", name.c_str());
+}
+
+void
+addCommonFlags(FlagParser &flags)
+{
+    flags.addString("model", "bert",
+                    "bert | gptneo | gptneo-local | bigbird | "
+                    "longformer");
+    flags.addString("gpu", "a100", "a100 | 3090 | t4");
+    flags.addInt("seq-len", 4096, "sequence length L");
+    flags.addInt("batch", 1, "batch size");
+    flags.addString("strategy", "sdf", "baseline | sd | sdf");
+}
+
+int
+cmdSpecs()
+{
+    TextTable table("Modeled GPUs");
+    table.setHeader({"GPU", "BW (GB/s)", "FP16 CUDA", "FP16 Tensor",
+                     "L2", "SMs"});
+    for (const GpuSpec &spec : GpuSpec::all()) {
+        table.addRow({
+            spec.name,
+            strprintf("%.1f", spec.dramBandwidth / Giga),
+            formatFlops(spec.fp16CudaFlops),
+            formatFlops(spec.fp16TensorFlops),
+            formatBytes(spec.l2Bytes),
+            strprintf("%d", spec.numSms),
+        });
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdRun(FlagParser &flags)
+{
+    const ModelConfig model = modelByName(flags.getString("model"));
+    const GpuSpec spec = gpuByName(flags.getString("gpu"));
+    RunConfig run;
+    run.seqLen = flags.getInt("seq-len");
+    run.batch = flags.getInt("batch");
+    run.strategy = strategyByName(flags.getString("strategy"));
+
+    TransformerScheduler scheduler(spec, model, run);
+    Gpu gpu(spec);
+    scheduler.run(gpu);
+
+    std::printf("%s on %s, L = %lld, batch = %lld, strategy %s\n%s\n\n",
+                model.name.c_str(), spec.name.c_str(),
+                (long long)run.seqLen, (long long)run.batch,
+                strategyName(run.strategy),
+                summarizeRun(gpu).c_str());
+    renderCategories(gpu).print();
+    if (flags.getBool("timeline")) {
+        std::printf("\n");
+        renderTimeline(gpu).print();
+    }
+    if (flags.getBool("roofline")) {
+        std::printf("\n");
+        renderRoofline(gpu).print();
+    }
+    return 0;
+}
+
+int
+cmdCompare(FlagParser &flags)
+{
+    const ModelConfig model = modelByName(flags.getString("model"));
+    const GpuSpec spec = gpuByName(flags.getString("gpu"));
+    RunConfig run;
+    run.seqLen = flags.getInt("seq-len");
+    run.batch = flags.getInt("batch");
+
+    TextTable table(strprintf("%s on %s (L = %lld, batch %lld)",
+                              model.name.c_str(), spec.name.c_str(),
+                              (long long)run.seqLen,
+                              (long long)run.batch));
+    table.setHeader({"strategy", "latency", "speedup", "traffic",
+                     "softmax share"});
+    double baseline_seconds = 0.0;
+    for (Strategy strategy : allStrategies()) {
+        run.strategy = strategy;
+        const InferenceResult result = runInference(spec, model, run);
+        if (strategy == Strategy::Baseline)
+            baseline_seconds = result.seconds;
+        table.addRow({
+            strategyName(strategy),
+            formatSeconds(result.seconds),
+            strprintf("%.2fx", baseline_seconds / result.seconds),
+            formatBytes(result.dramBytes()),
+            strprintf("%.1f%%", 100.0 * result.softmaxSeconds() /
+                                    result.seconds),
+        });
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdSweep(FlagParser &flags)
+{
+    const ModelConfig model = modelByName(flags.getString("model"));
+    const GpuSpec spec = gpuByName(flags.getString("gpu"));
+    TextTable table(strprintf("SDF speedup sweep: %s on %s",
+                              model.name.c_str(), spec.name.c_str()));
+    table.setHeader({"L", "baseline", "SDF", "speedup"});
+    for (int64_t seq_len = flags.getInt("min-len");
+         seq_len <= flags.getInt("max-len"); seq_len *= 2) {
+        RunConfig run;
+        run.seqLen = seq_len;
+        run.batch = flags.getInt("batch");
+        run.strategy = Strategy::Baseline;
+        const InferenceResult base = runInference(spec, model, run);
+        run.strategy = Strategy::Fused;
+        const InferenceResult sdf = runInference(spec, model, run);
+        table.addRow({
+            strprintf("%lld", (long long)seq_len),
+            formatSeconds(base.seconds),
+            formatSeconds(sdf.seconds),
+            strprintf("%.2fx", base.seconds / sdf.seconds),
+        });
+    }
+    table.print();
+    return 0;
+}
+
+int
+usage()
+{
+    std::printf(
+        "softrec — transformer softmax-recomposition simulator\n\n"
+        "usage: softrec <specs|run|compare|sweep> [flags]\n\n"
+        "  specs    print the modeled GPUs (paper Table 1)\n"
+        "  run      one inference with per-category report\n"
+        "           (--timeline, --roofline for detail)\n"
+        "  compare  baseline vs SD vs SDF for one model\n"
+        "  sweep    SDF speedup across sequence lengths\n"
+        "           (--min-len, --max-len)\n\n"
+        "common flags: --model bert|gptneo|gptneo-local|bigbird|"
+        "longformer\n"
+        "              --gpu a100|3090|t4  --seq-len N  --batch N\n"
+        "              --strategy baseline|sd|sdf\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    try {
+        if (command == "specs")
+            return cmdSpecs();
+        FlagParser flags;
+        addCommonFlags(flags);
+        if (command == "run") {
+            flags.addBool("timeline", "print the per-kernel timeline");
+            flags.addBool("roofline", "print the roofline table");
+            if (!flags.parse(args))
+                return usage();
+            return cmdRun(flags);
+        }
+        if (command == "compare") {
+            if (!flags.parse(args))
+                return usage();
+            return cmdCompare(flags);
+        }
+        if (command == "sweep") {
+            flags.addInt("min-len", 512, "first sequence length");
+            flags.addInt("max-len", 8192, "last sequence length");
+            if (!flags.parse(args))
+                return usage();
+            return cmdSweep(flags);
+        }
+        warn("unknown command '%s'", command.c_str());
+        return usage();
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+    }
+}
