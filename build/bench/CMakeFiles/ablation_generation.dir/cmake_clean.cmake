@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_generation.dir/ablation_generation.cpp.o"
+  "CMakeFiles/ablation_generation.dir/ablation_generation.cpp.o.d"
+  "ablation_generation"
+  "ablation_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

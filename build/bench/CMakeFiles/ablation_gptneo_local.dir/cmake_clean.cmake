@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gptneo_local.dir/ablation_gptneo_local.cpp.o"
+  "CMakeFiles/ablation_gptneo_local.dir/ablation_gptneo_local.cpp.o.d"
+  "ablation_gptneo_local"
+  "ablation_gptneo_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gptneo_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

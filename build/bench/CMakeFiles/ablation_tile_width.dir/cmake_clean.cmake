@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tile_width.dir/ablation_tile_width.cpp.o"
+  "CMakeFiles/ablation_tile_width.dir/ablation_tile_width.cpp.o.d"
+  "ablation_tile_width"
+  "ablation_tile_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tile_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_training_forward.dir/ablation_training_forward.cpp.o"
+  "CMakeFiles/ablation_training_forward.dir/ablation_training_forward.cpp.o.d"
+  "ablation_training_forward"
+  "ablation_training_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_training_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_training_step.dir/ablation_training_step.cpp.o"
+  "CMakeFiles/ablation_training_step.dir/ablation_training_step.cpp.o.d"
+  "ablation_training_step"
+  "ablation_training_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_training_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_softmax_sublayers.dir/fig5_softmax_sublayers.cpp.o"
+  "CMakeFiles/fig5_softmax_sublayers.dir/fig5_softmax_sublayers.cpp.o.d"
+  "fig5_softmax_sublayers"
+  "fig5_softmax_sublayers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_softmax_sublayers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

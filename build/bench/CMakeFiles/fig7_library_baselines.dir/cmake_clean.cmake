@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_library_baselines.dir/fig7_library_baselines.cpp.o"
+  "CMakeFiles/fig7_library_baselines.dir/fig7_library_baselines.cpp.o.d"
+  "fig7_library_baselines"
+  "fig7_library_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_library_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

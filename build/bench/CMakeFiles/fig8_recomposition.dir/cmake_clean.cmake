@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_recomposition.dir/fig8_recomposition.cpp.o"
+  "CMakeFiles/fig8_recomposition.dir/fig8_recomposition.cpp.o.d"
+  "fig8_recomposition"
+  "fig8_recomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_recomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_seqlen_sweep.dir/fig9a_seqlen_sweep.cpp.o"
+  "CMakeFiles/fig9a_seqlen_sweep.dir/fig9a_seqlen_sweep.cpp.o.d"
+  "fig9a_seqlen_sweep"
+  "fig9a_seqlen_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_seqlen_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_batch_sweep.dir/fig9b_batch_sweep.cpp.o"
+  "CMakeFiles/fig9b_batch_sweep.dir/fig9b_batch_sweep.cpp.o.d"
+  "fig9b_batch_sweep"
+  "fig9b_batch_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_batch_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_comparison.dir/gpu_comparison.cpp.o"
+  "CMakeFiles/gpu_comparison.dir/gpu_comparison.cpp.o.d"
+  "gpu_comparison"
+  "gpu_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_longdoc.dir/sparse_longdoc.cpp.o"
+  "CMakeFiles/sparse_longdoc.dir/sparse_longdoc.cpp.o.d"
+  "sparse_longdoc"
+  "sparse_longdoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_longdoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_gpu.dir/whatif_gpu.cpp.o"
+  "CMakeFiles/whatif_gpu.dir/whatif_gpu.cpp.o.d"
+  "whatif_gpu"
+  "whatif_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec_common.dir/csv.cpp.o"
+  "CMakeFiles/softrec_common.dir/csv.cpp.o.d"
+  "CMakeFiles/softrec_common.dir/flags.cpp.o"
+  "CMakeFiles/softrec_common.dir/flags.cpp.o.d"
+  "CMakeFiles/softrec_common.dir/logging.cpp.o"
+  "CMakeFiles/softrec_common.dir/logging.cpp.o.d"
+  "CMakeFiles/softrec_common.dir/rng.cpp.o"
+  "CMakeFiles/softrec_common.dir/rng.cpp.o.d"
+  "CMakeFiles/softrec_common.dir/stats.cpp.o"
+  "CMakeFiles/softrec_common.dir/stats.cpp.o.d"
+  "CMakeFiles/softrec_common.dir/table.cpp.o"
+  "CMakeFiles/softrec_common.dir/table.cpp.o.d"
+  "CMakeFiles/softrec_common.dir/units.cpp.o"
+  "CMakeFiles/softrec_common.dir/units.cpp.o.d"
+  "libsoftrec_common.a"
+  "libsoftrec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec_core.dir/attention_exec.cpp.o"
+  "CMakeFiles/softrec_core.dir/attention_exec.cpp.o.d"
+  "CMakeFiles/softrec_core.dir/recomposition.cpp.o"
+  "CMakeFiles/softrec_core.dir/recomposition.cpp.o.d"
+  "CMakeFiles/softrec_core.dir/softmax_math.cpp.o"
+  "CMakeFiles/softrec_core.dir/softmax_math.cpp.o.d"
+  "CMakeFiles/softrec_core.dir/training.cpp.o"
+  "CMakeFiles/softrec_core.dir/training.cpp.o.d"
+  "libsoftrec_core.a"
+  "libsoftrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

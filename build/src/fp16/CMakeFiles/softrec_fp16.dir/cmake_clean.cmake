@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec_fp16.dir/half.cpp.o"
+  "CMakeFiles/softrec_fp16.dir/half.cpp.o.d"
+  "libsoftrec_fp16.a"
+  "libsoftrec_fp16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec_fp16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bsr_gemm.cpp" "src/kernels/CMakeFiles/softrec_kernels.dir/bsr_gemm.cpp.o" "gcc" "src/kernels/CMakeFiles/softrec_kernels.dir/bsr_gemm.cpp.o.d"
+  "/root/repo/src/kernels/bsr_softmax.cpp" "src/kernels/CMakeFiles/softrec_kernels.dir/bsr_softmax.cpp.o" "gcc" "src/kernels/CMakeFiles/softrec_kernels.dir/bsr_softmax.cpp.o.d"
+  "/root/repo/src/kernels/elementwise.cpp" "src/kernels/CMakeFiles/softrec_kernels.dir/elementwise.cpp.o" "gcc" "src/kernels/CMakeFiles/softrec_kernels.dir/elementwise.cpp.o.d"
+  "/root/repo/src/kernels/fused_mha.cpp" "src/kernels/CMakeFiles/softrec_kernels.dir/fused_mha.cpp.o" "gcc" "src/kernels/CMakeFiles/softrec_kernels.dir/fused_mha.cpp.o.d"
+  "/root/repo/src/kernels/gemm.cpp" "src/kernels/CMakeFiles/softrec_kernels.dir/gemm.cpp.o" "gcc" "src/kernels/CMakeFiles/softrec_kernels.dir/gemm.cpp.o.d"
+  "/root/repo/src/kernels/kernel_common.cpp" "src/kernels/CMakeFiles/softrec_kernels.dir/kernel_common.cpp.o" "gcc" "src/kernels/CMakeFiles/softrec_kernels.dir/kernel_common.cpp.o.d"
+  "/root/repo/src/kernels/softmax_kernels.cpp" "src/kernels/CMakeFiles/softrec_kernels.dir/softmax_kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/softrec_kernels.dir/softmax_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softrec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp16/CMakeFiles/softrec_fp16.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/softrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/softrec_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softrec_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec_kernels.dir/bsr_gemm.cpp.o"
+  "CMakeFiles/softrec_kernels.dir/bsr_gemm.cpp.o.d"
+  "CMakeFiles/softrec_kernels.dir/bsr_softmax.cpp.o"
+  "CMakeFiles/softrec_kernels.dir/bsr_softmax.cpp.o.d"
+  "CMakeFiles/softrec_kernels.dir/elementwise.cpp.o"
+  "CMakeFiles/softrec_kernels.dir/elementwise.cpp.o.d"
+  "CMakeFiles/softrec_kernels.dir/fused_mha.cpp.o"
+  "CMakeFiles/softrec_kernels.dir/fused_mha.cpp.o.d"
+  "CMakeFiles/softrec_kernels.dir/gemm.cpp.o"
+  "CMakeFiles/softrec_kernels.dir/gemm.cpp.o.d"
+  "CMakeFiles/softrec_kernels.dir/kernel_common.cpp.o"
+  "CMakeFiles/softrec_kernels.dir/kernel_common.cpp.o.d"
+  "CMakeFiles/softrec_kernels.dir/softmax_kernels.cpp.o"
+  "CMakeFiles/softrec_kernels.dir/softmax_kernels.cpp.o.d"
+  "libsoftrec_kernels.a"
+  "libsoftrec_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

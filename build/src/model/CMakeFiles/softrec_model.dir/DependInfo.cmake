@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/decode.cpp" "src/model/CMakeFiles/softrec_model.dir/decode.cpp.o" "gcc" "src/model/CMakeFiles/softrec_model.dir/decode.cpp.o.d"
+  "/root/repo/src/model/engine.cpp" "src/model/CMakeFiles/softrec_model.dir/engine.cpp.o" "gcc" "src/model/CMakeFiles/softrec_model.dir/engine.cpp.o.d"
+  "/root/repo/src/model/functional_layer.cpp" "src/model/CMakeFiles/softrec_model.dir/functional_layer.cpp.o" "gcc" "src/model/CMakeFiles/softrec_model.dir/functional_layer.cpp.o.d"
+  "/root/repo/src/model/library_profiles.cpp" "src/model/CMakeFiles/softrec_model.dir/library_profiles.cpp.o" "gcc" "src/model/CMakeFiles/softrec_model.dir/library_profiles.cpp.o.d"
+  "/root/repo/src/model/model_config.cpp" "src/model/CMakeFiles/softrec_model.dir/model_config.cpp.o" "gcc" "src/model/CMakeFiles/softrec_model.dir/model_config.cpp.o.d"
+  "/root/repo/src/model/schedule.cpp" "src/model/CMakeFiles/softrec_model.dir/schedule.cpp.o" "gcc" "src/model/CMakeFiles/softrec_model.dir/schedule.cpp.o.d"
+  "/root/repo/src/model/seq2seq.cpp" "src/model/CMakeFiles/softrec_model.dir/seq2seq.cpp.o" "gcc" "src/model/CMakeFiles/softrec_model.dir/seq2seq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/softrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/softrec_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/softrec_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/softrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp16/CMakeFiles/softrec_fp16.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softrec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/softrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

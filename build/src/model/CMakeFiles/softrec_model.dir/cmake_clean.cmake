@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec_model.dir/decode.cpp.o"
+  "CMakeFiles/softrec_model.dir/decode.cpp.o.d"
+  "CMakeFiles/softrec_model.dir/engine.cpp.o"
+  "CMakeFiles/softrec_model.dir/engine.cpp.o.d"
+  "CMakeFiles/softrec_model.dir/functional_layer.cpp.o"
+  "CMakeFiles/softrec_model.dir/functional_layer.cpp.o.d"
+  "CMakeFiles/softrec_model.dir/library_profiles.cpp.o"
+  "CMakeFiles/softrec_model.dir/library_profiles.cpp.o.d"
+  "CMakeFiles/softrec_model.dir/model_config.cpp.o"
+  "CMakeFiles/softrec_model.dir/model_config.cpp.o.d"
+  "CMakeFiles/softrec_model.dir/schedule.cpp.o"
+  "CMakeFiles/softrec_model.dir/schedule.cpp.o.d"
+  "CMakeFiles/softrec_model.dir/seq2seq.cpp.o"
+  "CMakeFiles/softrec_model.dir/seq2seq.cpp.o.d"
+  "libsoftrec_model.a"
+  "libsoftrec_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

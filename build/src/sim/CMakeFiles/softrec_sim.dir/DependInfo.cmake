@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_model.cpp" "src/sim/CMakeFiles/softrec_sim.dir/cache_model.cpp.o" "gcc" "src/sim/CMakeFiles/softrec_sim.dir/cache_model.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/softrec_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/softrec_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/sim/CMakeFiles/softrec_sim.dir/gpu.cpp.o" "gcc" "src/sim/CMakeFiles/softrec_sim.dir/gpu.cpp.o.d"
+  "/root/repo/src/sim/gpu_spec.cpp" "src/sim/CMakeFiles/softrec_sim.dir/gpu_spec.cpp.o" "gcc" "src/sim/CMakeFiles/softrec_sim.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/sim/kernel_profile.cpp" "src/sim/CMakeFiles/softrec_sim.dir/kernel_profile.cpp.o" "gcc" "src/sim/CMakeFiles/softrec_sim.dir/kernel_profile.cpp.o.d"
+  "/root/repo/src/sim/occupancy.cpp" "src/sim/CMakeFiles/softrec_sim.dir/occupancy.cpp.o" "gcc" "src/sim/CMakeFiles/softrec_sim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/softrec_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/softrec_sim.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

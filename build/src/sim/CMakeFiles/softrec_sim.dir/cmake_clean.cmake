@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec_sim.dir/cache_model.cpp.o"
+  "CMakeFiles/softrec_sim.dir/cache_model.cpp.o.d"
+  "CMakeFiles/softrec_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/softrec_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/softrec_sim.dir/gpu.cpp.o"
+  "CMakeFiles/softrec_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/softrec_sim.dir/gpu_spec.cpp.o"
+  "CMakeFiles/softrec_sim.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/softrec_sim.dir/kernel_profile.cpp.o"
+  "CMakeFiles/softrec_sim.dir/kernel_profile.cpp.o.d"
+  "CMakeFiles/softrec_sim.dir/occupancy.cpp.o"
+  "CMakeFiles/softrec_sim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/softrec_sim.dir/report.cpp.o"
+  "CMakeFiles/softrec_sim.dir/report.cpp.o.d"
+  "libsoftrec_sim.a"
+  "libsoftrec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

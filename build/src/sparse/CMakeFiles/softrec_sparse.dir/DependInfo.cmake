@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bsr.cpp" "src/sparse/CMakeFiles/softrec_sparse.dir/bsr.cpp.o" "gcc" "src/sparse/CMakeFiles/softrec_sparse.dir/bsr.cpp.o.d"
+  "/root/repo/src/sparse/bsr_matrix.cpp" "src/sparse/CMakeFiles/softrec_sparse.dir/bsr_matrix.cpp.o" "gcc" "src/sparse/CMakeFiles/softrec_sparse.dir/bsr_matrix.cpp.o.d"
+  "/root/repo/src/sparse/patterns.cpp" "src/sparse/CMakeFiles/softrec_sparse.dir/patterns.cpp.o" "gcc" "src/sparse/CMakeFiles/softrec_sparse.dir/patterns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/softrec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp16/CMakeFiles/softrec_fp16.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/softrec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec_sparse.dir/bsr.cpp.o"
+  "CMakeFiles/softrec_sparse.dir/bsr.cpp.o.d"
+  "CMakeFiles/softrec_sparse.dir/bsr_matrix.cpp.o"
+  "CMakeFiles/softrec_sparse.dir/bsr_matrix.cpp.o.d"
+  "CMakeFiles/softrec_sparse.dir/patterns.cpp.o"
+  "CMakeFiles/softrec_sparse.dir/patterns.cpp.o.d"
+  "libsoftrec_sparse.a"
+  "libsoftrec_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoftrec_sparse.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/softrec_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/softrec_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/softrec_tensor.dir/tensor_ops.cpp.o.d"
+  "libsoftrec_tensor.a"
+  "libsoftrec_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec_workload.dir/corpus.cpp.o"
+  "CMakeFiles/softrec_workload.dir/corpus.cpp.o.d"
+  "libsoftrec_workload.a"
+  "libsoftrec_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attention_exec.dir/test_attention_exec.cpp.o"
+  "CMakeFiles/test_attention_exec.dir/test_attention_exec.cpp.o.d"
+  "test_attention_exec"
+  "test_attention_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attention_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsr_kernels.dir/test_bsr_kernels.cpp.o"
+  "CMakeFiles/test_bsr_kernels.dir/test_bsr_kernels.cpp.o.d"
+  "test_bsr_kernels"
+  "test_bsr_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsr_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

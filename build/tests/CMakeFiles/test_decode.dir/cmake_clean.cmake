@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decode.dir/test_decode.cpp.o"
+  "CMakeFiles/test_decode.dir/test_decode.cpp.o.d"
+  "test_decode"
+  "test_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_layer.dir/test_functional_layer.cpp.o"
+  "CMakeFiles/test_functional_layer.dir/test_functional_layer.cpp.o.d"
+  "test_functional_layer"
+  "test_functional_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fused_mha.dir/test_fused_mha.cpp.o"
+  "CMakeFiles/test_fused_mha.dir/test_fused_mha.cpp.o.d"
+  "test_fused_mha"
+  "test_fused_mha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fused_mha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_library_profiles.dir/test_library_profiles.cpp.o"
+  "CMakeFiles/test_library_profiles.dir/test_library_profiles.cpp.o.d"
+  "test_library_profiles"
+  "test_library_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_library_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/test_model.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_model.dir/test_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/softrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/softrec_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/softrec_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/softrec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softrec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/softrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp16/CMakeFiles/softrec_fp16.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/softrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

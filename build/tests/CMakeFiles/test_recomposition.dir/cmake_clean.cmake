@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recomposition.dir/test_recomposition.cpp.o"
+  "CMakeFiles/test_recomposition.dir/test_recomposition.cpp.o.d"
+  "test_recomposition"
+  "test_recomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

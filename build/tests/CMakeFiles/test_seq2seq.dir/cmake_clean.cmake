@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq2seq.dir/test_seq2seq.cpp.o"
+  "CMakeFiles/test_seq2seq.dir/test_seq2seq.cpp.o.d"
+  "test_seq2seq"
+  "test_seq2seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq2seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmax_kernels.dir/test_softmax_kernels.cpp.o"
+  "CMakeFiles/test_softmax_kernels.dir/test_softmax_kernels.cpp.o.d"
+  "test_softmax_kernels"
+  "test_softmax_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmax_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmax_math.dir/test_softmax_math.cpp.o"
+  "CMakeFiles/test_softmax_math.dir/test_softmax_math.cpp.o.d"
+  "test_softmax_math"
+  "test_softmax_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmax_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softrec.dir/softrec_cli.cpp.o"
+  "CMakeFiles/softrec.dir/softrec_cli.cpp.o.d"
+  "softrec"
+  "softrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

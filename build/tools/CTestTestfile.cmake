@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(softrec_cli_specs "/root/repo/build/tools/softrec" "specs")
+set_tests_properties(softrec_cli_specs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(softrec_cli_run "/root/repo/build/tools/softrec" "run" "--model" "bigbird" "--seq-len" "1024" "--timeline" "--roofline")
+set_tests_properties(softrec_cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(softrec_cli_compare "/root/repo/build/tools/softrec" "compare" "--model" "gptneo-local" "--seq-len" "1024")
+set_tests_properties(softrec_cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(softrec_cli_sweep "/root/repo/build/tools/softrec" "sweep" "--model" "bert" "--min-len" "512" "--max-len" "2048")
+set_tests_properties(softrec_cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(softrec_cli_usage "/root/repo/build/tools/softrec")
+set_tests_properties(softrec_cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(softrec_cli_bad_flag "/root/repo/build/tools/softrec" "run" "--bogus" "1")
+set_tests_properties(softrec_cli_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
