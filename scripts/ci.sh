@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Pre-merge gate for softrec. Run from anywhere; operates on the repo
+# that contains this script. Stages:
+#
+#   1. clang-format check     (skipped if clang-format is absent)
+#   2. softrec_lint           (domain numerics/hygiene lint + self-test)
+#   3. clang-tidy             (skipped if clang-tidy is absent)
+#   4. release build + tests  (-DSOFTREC_WERROR=ON)
+#   5. checked build + tests  (-DSOFTREC_CHECKED_BUILD=ON, WERROR)
+#   6. asan-ubsan build + tests (sanitizers + checked mode, WERROR)
+#
+# Every stage must pass; the script stops at the first failure.
+# A toolchain without clang still runs stages 2 and 4-6, which are the
+# load-bearing ones: the domain lint, the warning-clean release build,
+# the invariant-checked build, and the sanitized suite.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${ROOT}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n=== ci: %s ===\n' "$*"; }
+
+step "clang-format (check only)"
+if command -v clang-format >/dev/null 2>&1; then
+    git ls-files '*.cpp' '*.hpp' | xargs clang-format --dry-run -Werror
+    echo "clang-format: OK"
+else
+    echo "clang-format not found; SKIP"
+fi
+
+step "softrec_lint self-test"
+python3 tools/softrec_lint.py --self-test
+
+step "softrec_lint over src/"
+python3 tools/softrec_lint.py --root "${ROOT}"
+
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+    cmake --preset tidy >/dev/null
+    python3 scripts/run_clang_tidy.py --build-dir build/tidy
+else
+    echo "clang-tidy not found; SKIP"
+fi
+
+step "release build (WERROR) + tests"
+cmake --preset release -DSOFTREC_WERROR=ON >/dev/null
+cmake --build build/release -j "${JOBS}"
+ctest --test-dir build/release --output-on-failure -j "${JOBS}"
+
+step "checked build (WERROR) + tests"
+cmake --preset checked -DSOFTREC_WERROR=ON >/dev/null
+cmake --build build/checked -j "${JOBS}"
+ctest --test-dir build/checked --output-on-failure -j "${JOBS}"
+
+step "asan-ubsan build (WERROR) + tests"
+cmake --preset asan-ubsan -DSOFTREC_WERROR=ON >/dev/null
+cmake --build build/asan-ubsan -j "${JOBS}"
+ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    ctest --test-dir build/asan-ubsan --output-on-failure -j "${JOBS}"
+
+printf '\n=== ci: all gates passed ===\n'

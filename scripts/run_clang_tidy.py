@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over every src/ entry of compile_commands.json.
+
+Typical use (the `tidy` preset exports compile commands):
+
+    cmake --preset tidy
+    python3 scripts/run_clang_tidy.py --build-dir build/tidy
+
+Behaviour when clang-tidy is not installed: print a SKIP notice and
+exit 0, so CI pipelines on toolchains without clang stay green (pass
+--require to turn that into a failure instead). Diagnostics from
+clang-tidy make the script exit 1; the repo .clang-tidy profile maps
+the serious check families to errors.
+
+Exit status: 0 clean or skipped, 1 diagnostics, 2 usage error.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_entries(build_dir, source_root):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print("run_clang_tidy: %s not found; configure with "
+              "`cmake --preset tidy` first" % db_path, file=sys.stderr)
+        return None
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    src_prefix = os.path.join(os.path.realpath(source_root), "src") + \
+        os.sep
+    files = []
+    for entry in db:
+        path = os.path.realpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        if path.startswith(src_prefix) and path.endswith(".cpp"):
+            files.append(path)
+    return sorted(set(files))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", default="build/tidy",
+                        help="build tree holding compile_commands.json "
+                             "(default: build/tidy)")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary to use")
+    parser.add_argument("--jobs", type=int,
+                        default=multiprocessing.cpu_count(),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) instead of skipping when "
+                             "clang-tidy is not installed")
+    args = parser.parse_args(argv)
+
+    source_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        msg = "run_clang_tidy: clang-tidy not found on PATH"
+        if args.require:
+            print(msg, file=sys.stderr)
+            return 2
+        print(msg + "; SKIP (install clang-tidy to enable this gate)")
+        return 0
+
+    files = load_entries(args.build_dir, source_root)
+    if files is None:
+        return 2
+    if not files:
+        print("run_clang_tidy: no src/ entries in the compilation "
+              "database", file=sys.stderr)
+        return 2
+
+    print("run_clang_tidy: %s over %d files (%d jobs)"
+          % (tidy, len(files), args.jobs))
+
+    def run_one(path):
+        proc = subprocess.run(
+            [tidy, "-p", args.build_dir, "--quiet", path],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        return path, proc.returncode, proc.stdout, proc.stderr
+
+    failed = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, rc, out, err in pool.map(run_one, files):
+            rel = os.path.relpath(path, source_root)
+            if rc != 0 or "warning:" in out or "error:" in out:
+                failed += 1
+                print("== %s" % rel)
+                if out.strip():
+                    print(out.rstrip())
+                if err.strip():
+                    print(err.rstrip(), file=sys.stderr)
+
+    if failed:
+        print("run_clang_tidy: diagnostics in %d of %d files"
+              % (failed, len(files)), file=sys.stderr)
+        return 1
+    print("run_clang_tidy: OK (%d files clean)" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/logging.hpp"
 #include "kernels/bsr_gemm.hpp"
 #include "kernels/bsr_softmax.hpp"
@@ -223,6 +224,10 @@ referenceDenseAttention(const SdaConfig &config,
             if (m != kNegInfD)
                 d_sum += std::exp(s - m);
         }
+        SOFTREC_CHECK(d_sum > 0.0 || m == kNegInfD,
+                      "reference attention row %lld: d = %f must be "
+                      "positive for an unmasked row",
+                      (long long)i, d_sum);
         for (int64_t d = 0; d < dh; ++d) {
             double acc = 0.0;
             for (int64_t j = 0; j < kv; ++j) {
@@ -234,6 +239,8 @@ referenceDenseAttention(const SdaConfig &config,
             out.at(i, d) = float(acc);
         }
     }
+    if constexpr (kCheckedBuild)
+        checkFinite(out, "reference attention output");
     return out;
 }
 
@@ -276,6 +283,10 @@ referenceSparseAttention(const SdaConfig &config,
             if (m != kNegInfD)
                 d_sum += std::exp(s - m);
         }
+        SOFTREC_CHECK(d_sum > 0.0 || m == kNegInfD,
+                      "sparse reference row %lld: d = %f must be "
+                      "positive for an unmasked row",
+                      (long long)i, d_sum);
         for (int64_t d = 0; d < dh; ++d) {
             double acc = 0.0;
             for (size_t c = 0; c < cols.size(); ++c) {
@@ -287,6 +298,8 @@ referenceSparseAttention(const SdaConfig &config,
             out.at(i, d) = float(acc);
         }
     }
+    if constexpr (kCheckedBuild)
+        checkFinite(out, "sparse reference output");
     return out;
 }
 

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.hpp"
 #include "common/logging.hpp"
 
 namespace softrec {
@@ -31,6 +32,9 @@ safeSoftmax(const std::vector<double> &x)
         if (m != kNegInf)
             d += std::exp(v - m);
     }
+    SOFTREC_CHECK(d > 0.0 || m == kNegInf,
+                  "safe softmax: d = %f must be positive for an "
+                  "unmasked row", d);
     std::vector<double> y(x.size(), 0.0);
     if (d > 0.0) {
         for (size_t i = 0; i < x.size(); ++i)
@@ -84,6 +88,9 @@ interReduction(const std::vector<double> &local_max,
         if (local_max[k] != kNegInf)
             d += std::exp(local_max[k] - m) * local_sum[k];
     }
+    SOFTREC_CHECK(d > 0.0 || m == kNegInf,
+                  "IR reference: d = %f must be positive for an "
+                  "unmasked row", d);
     std::vector<double> recon(local_max.size(), 0.0);
     if (d > 0.0) {
         for (size_t k = 0; k < local_max.size(); ++k) {
@@ -91,6 +98,8 @@ interReduction(const std::vector<double> &local_max,
                 recon[k] = std::exp(local_max[k] - m) / d;
         }
     }
+    if constexpr (kCheckedBuild)
+        checkReconFactors(spanOf(recon), "IR reference r'");
     return recon;
 }
 

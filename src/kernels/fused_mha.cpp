@@ -10,6 +10,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/units.hpp"
 #include "kernels/gemm.hpp"
@@ -123,6 +124,10 @@ fusedMhaRun(const FusedMhaDesc &desc, const Tensor<Half> &q,
             scores[size_t(j)] = e;
             denom += e;
         }
+        SOFTREC_CHECK(denom > 0.0f || row_max == neg_inf,
+                      "fused MHA row %lld: normalizer d = %f must be "
+                      "positive for an unmasked row",
+                      (long long)i, double(denom));
         const float inv = denom > 0.0f ? 1.0f / denom : 0.0f;
         for (int64_t d = 0; d < dh; ++d) {
             float acc = 0.0f;
@@ -131,6 +136,8 @@ fusedMhaRun(const FusedMhaDesc &desc, const Tensor<Half> &q,
             out.at(i, d) = Half(acc * inv);
         }
     }
+    if constexpr (kCheckedBuild)
+        checkFinite(out, "fused MHA output");
 }
 
 } // namespace softrec

@@ -11,6 +11,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/logging.hpp"
 #include "sim/calibration.hpp"
 
@@ -243,6 +244,14 @@ gemmRun(const GemmDesc &desc, const GemmOperands &ops, Tensor<Half> &c,
                     }
                     ls->localMax->at(m0 + i, n0 / t.tileN) = local_max;
                     ls->localSum->at(m0 + i, n0 / t.tileN) = local_sum;
+                    SOFTREC_CHECK(local_sum > 0.0f ||
+                                  local_max == neg_inf,
+                                  "fused LS epilogue (%lld, %lld): "
+                                  "d' = %f must be positive unless "
+                                  "fully masked",
+                                  (long long)(m0 + i),
+                                  (long long)(n0 / t.tileN),
+                                  double(local_sum));
                 } else {
                     for (int64_t j = 0; j < nw; ++j)
                         c.at(m0 + i, n0 + j) = Half(row[j]);

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.hpp"
 #include "common/logging.hpp"
 #include "kernels/kernel_common.hpp"
 #include "sim/calibration.hpp"
@@ -61,6 +62,8 @@ rowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
     const Shape expect({desc.rows, desc.cols});
     SOFTREC_ASSERT(in.shape() == expect && out.shape() == expect,
                    "softmax shapes must be [rows, cols]");
+    if constexpr (kCheckedBuild)
+        checkFinite(in, "rowSoftmax input", /*allow_neg_inf=*/true);
     for (int64_t i = 0; i < desc.rows; ++i) {
         float max_val = kNegInf;
         for (int64_t j = 0; j < desc.cols; ++j)
@@ -76,7 +79,12 @@ rowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
                 : std::exp(float(in.at(i, j)) - max_val);
             out.at(i, j) = Half(denom > 0.0f ? e / denom : 0.0f);
         }
+        SOFTREC_CHECK(denom > 0.0f || max_val == kNegInf,
+                      "row %lld normalizer d = %f must be positive for "
+                      "an unmasked row", (long long)i, double(denom));
     }
+    if constexpr (kCheckedBuild)
+        checkRowSumsNearOne(out, "rowSoftmax output");
 }
 
 KernelProfile
@@ -103,6 +111,8 @@ onlineRowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
     const Shape expect({desc.rows, desc.cols});
     SOFTREC_ASSERT(in.shape() == expect && out.shape() == expect,
                    "softmax shapes must be [rows, cols]");
+    if constexpr (kCheckedBuild)
+        checkFinite(in, "onlineRowSoftmax input", /*allow_neg_inf=*/true);
     for (int64_t i = 0; i < desc.rows; ++i) {
         // Single online pass: running max and rescaled normalizer.
         float running_max = kNegInf;
@@ -127,6 +137,8 @@ onlineRowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
                 Half(running_sum > 0.0f ? e / running_sum : 0.0f);
         }
     }
+    if constexpr (kCheckedBuild)
+        checkRowSumsNearOne(out, "onlineRowSoftmax output");
 }
 
 int64_t
@@ -184,6 +196,8 @@ lsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &in,
     SOFTREC_ASSERT(local_max.shape() == md_shape &&
                    local_sum.shape() == md_shape,
                    "LS m'/d' shapes must be [rows, N_sv]");
+    if constexpr (kCheckedBuild)
+        checkFinite(in, "LS input", /*allow_neg_inf=*/true);
     for (int64_t i = 0; i < desc.rows; ++i) {
         for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
             const int64_t j0 = sv * desc.subVector;
@@ -202,8 +216,14 @@ lsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &in,
             }
             local_max.at(i, sv) = m_local;
             local_sum.at(i, sv) = d_local;
+            SOFTREC_CHECK(d_local > 0.0f || m_local == kNegInf,
+                          "LS sub-vector (%lld, %lld): d' = %f must be "
+                          "positive unless fully masked",
+                          (long long)i, (long long)sv, double(d_local));
         }
     }
+    if constexpr (kCheckedBuild)
+        checkFinite(local_sum, "LS d' output");
 }
 
 KernelProfile
@@ -252,6 +272,10 @@ irRun(const DecomposedSoftmaxDesc &desc, const Tensor<float> &local_max,
             d_global +=
                 std::exp(m_local - m_global) * local_sum.at(i, sv);
         }
+        SOFTREC_CHECK(d_global > 0.0f || m_global == kNegInf,
+                      "IR row %lld: global normalizer d = %f must be "
+                      "positive for an unmasked row",
+                      (long long)i, double(d_global));
         for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
             const float m_local = local_max.at(i, sv);
             if (m_local == kNegInf || d_global <= 0.0f) {
@@ -262,6 +286,8 @@ irRun(const DecomposedSoftmaxDesc &desc, const Tensor<float> &local_max,
             }
         }
     }
+    if constexpr (kCheckedBuild)
+        checkReconFactors(recon, "IR r' output");
 }
 
 KernelProfile
@@ -306,6 +332,11 @@ gsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &x_prime,
             y.at(i, j) = Half(float(x_prime.at(i, j)) * r);
         }
     }
+    // The recomposition identity (Eq. (2)): after GS the decomposed
+    // pipeline must reproduce safe-softmax rows exactly, so each
+    // unmasked row sums to ~1.
+    if constexpr (kCheckedBuild)
+        checkRowSumsNearOne(y, "GS output");
 }
 
 } // namespace softrec

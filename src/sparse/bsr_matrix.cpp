@@ -17,38 +17,6 @@ BsrMatrix::BsrMatrix(const BsrLayout &layout)
                    layout.blockSize()))
 {}
 
-Half &
-BsrMatrix::at(int64_t block_idx, int64_t i, int64_t j)
-{
-    const int64_t bs = layout_.blockSize();
-    SOFTREC_ASSERT(block_idx >= 0 && block_idx < layout_.nnzBlocks() &&
-                   i >= 0 && i < bs && j >= 0 && j < bs,
-                   "BSR access (%lld, %lld, %lld) out of range",
-                   (long long)block_idx, (long long)i, (long long)j);
-    return data_[size_t((block_idx * bs + i) * bs + j)];
-}
-
-const Half &
-BsrMatrix::at(int64_t block_idx, int64_t i, int64_t j) const
-{
-    return const_cast<BsrMatrix *>(this)->at(block_idx, i, j);
-}
-
-Half *
-BsrMatrix::blockData(int64_t block_idx)
-{
-    const int64_t bs = layout_.blockSize();
-    SOFTREC_ASSERT(block_idx >= 0 && block_idx < layout_.nnzBlocks(),
-                   "block %lld out of range", (long long)block_idx);
-    return &data_[size_t(block_idx * bs * bs)];
-}
-
-const Half *
-BsrMatrix::blockData(int64_t block_idx) const
-{
-    return const_cast<BsrMatrix *>(this)->blockData(block_idx);
-}
-
 BsrMatrix
 BsrMatrix::fromDense(const BsrLayout &layout, const Tensor<Half> &dense)
 {

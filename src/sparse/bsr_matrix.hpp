@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/check.hpp"
 #include "fp16/half.hpp"
 #include "sparse/bsr.hpp"
 #include "tensor/tensor.hpp"
@@ -21,6 +22,37 @@ namespace softrec {
  */
 class BsrMatrix
 {
+  private:
+    // Shared const/non-const accessor bodies, defined before their
+    // callers because the deduced (auto) return type must be known at
+    // the point of use. Self deduces as [const] BsrMatrix, so the
+    // return type picks up constness without the const_cast-through-
+    // this idiom (UB-adjacent and flagged by softrec_lint's
+    // const-cast rule).
+    template <typename Self>
+    static auto &
+    atImpl(Self &self, int64_t block_idx, int64_t i, int64_t j)
+    {
+        const int64_t bs = self.layout_.blockSize();
+        SOFTREC_CHECK(block_idx >= 0 &&
+                      block_idx < self.layout_.nnzBlocks() &&
+                      i >= 0 && i < bs && j >= 0 && j < bs,
+                      "BSR access (%lld, %lld, %lld) out of range",
+                      (long long)block_idx, (long long)i, (long long)j);
+        return self.data_[size_t((block_idx * bs + i) * bs + j)];
+    }
+
+    template <typename Self>
+    static auto *
+    blockDataImpl(Self &self, int64_t block_idx)
+    {
+        const int64_t bs = self.layout_.blockSize();
+        SOFTREC_CHECK(block_idx >= 0 &&
+                      block_idx < self.layout_.nnzBlocks(),
+                      "block %lld out of range", (long long)block_idx);
+        return &self.data_[size_t(block_idx * bs * bs)];
+    }
+
   public:
     /** Zero-valued matrix over a layout. */
     explicit BsrMatrix(const BsrLayout &layout);
@@ -29,14 +61,30 @@ class BsrMatrix
     const BsrLayout &layout() const { return layout_; }
 
     /** Element (i, j) within stored block block_idx. */
-    Half &at(int64_t block_idx, int64_t i, int64_t j);
+    Half &
+    at(int64_t block_idx, int64_t i, int64_t j)
+    {
+        return atImpl(*this, block_idx, i, j);
+    }
     /** Element (i, j) within stored block block_idx (const). */
-    const Half &at(int64_t block_idx, int64_t i, int64_t j) const;
+    const Half &
+    at(int64_t block_idx, int64_t i, int64_t j) const
+    {
+        return atImpl(*this, block_idx, i, j);
+    }
 
     /** Pointer to a stored block's row-major data. */
-    Half *blockData(int64_t block_idx);
+    Half *
+    blockData(int64_t block_idx)
+    {
+        return blockDataImpl(*this, block_idx);
+    }
     /** Pointer to a stored block's row-major data (const). */
-    const Half *blockData(int64_t block_idx) const;
+    const Half *
+    blockData(int64_t block_idx) const
+    {
+        return blockDataImpl(*this, block_idx);
+    }
 
     /**
      * Gather the non-zero positions of a dense matrix into this

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/logging.hpp"
 
 namespace softrec {
@@ -135,39 +136,42 @@ class Tensor
     }
 
   private:
+    // Per-element bounds checks are SOFTREC_CHECK, not SOFTREC_ASSERT:
+    // these run in the innermost kernel loops, so they compile in only
+    // under -DSOFTREC_CHECKED_BUILD=ON (the CI checked build).
     size_t
     checkIndex(int64_t i) const
     {
-        SOFTREC_ASSERT(i >= 0 && i < shape_.numel(),
-                       "index %lld out of range for %s",
-                       (long long)i, shape_.toString().c_str());
+        SOFTREC_CHECK(i >= 0 && i < shape_.numel(),
+                      "index %lld out of range for %s",
+                      (long long)i, shape_.toString().c_str());
         return static_cast<size_t>(i);
     }
 
     size_t
     offset2d(int64_t i, int64_t j) const
     {
-        SOFTREC_ASSERT(shape_.rank() == 2, "rank-2 access on %s",
-                       shape_.toString().c_str());
-        SOFTREC_ASSERT(i >= 0 && i < shape_.dim(0) &&
-                       j >= 0 && j < shape_.dim(1),
-                       "(%lld, %lld) out of range for %s",
-                       (long long)i, (long long)j,
-                       shape_.toString().c_str());
+        SOFTREC_CHECK(shape_.rank() == 2, "rank-2 access on %s",
+                      shape_.toString().c_str());
+        SOFTREC_CHECK(i >= 0 && i < shape_.dim(0) &&
+                      j >= 0 && j < shape_.dim(1),
+                      "(%lld, %lld) out of range for %s",
+                      (long long)i, (long long)j,
+                      shape_.toString().c_str());
         return static_cast<size_t>(i * shape_.dim(1) + j);
     }
 
     size_t
     offset3d(int64_t i, int64_t j, int64_t k) const
     {
-        SOFTREC_ASSERT(shape_.rank() == 3, "rank-3 access on %s",
-                       shape_.toString().c_str());
-        SOFTREC_ASSERT(i >= 0 && i < shape_.dim(0) &&
-                       j >= 0 && j < shape_.dim(1) &&
-                       k >= 0 && k < shape_.dim(2),
-                       "(%lld, %lld, %lld) out of range for %s",
-                       (long long)i, (long long)j, (long long)k,
-                       shape_.toString().c_str());
+        SOFTREC_CHECK(shape_.rank() == 3, "rank-3 access on %s",
+                      shape_.toString().c_str());
+        SOFTREC_CHECK(i >= 0 && i < shape_.dim(0) &&
+                      j >= 0 && j < shape_.dim(1) &&
+                      k >= 0 && k < shape_.dim(2),
+                      "(%lld, %lld, %lld) out of range for %s",
+                      (long long)i, (long long)j, (long long)k,
+                      shape_.toString().c_str());
         return static_cast<size_t>(
             (i * shape_.dim(1) + j) * shape_.dim(2) + k);
     }

@@ -24,6 +24,8 @@ SyntheticCorpus::SyntheticCorpus(CorpusConfig config)
         // Log-normal-ish length distribution centred on meanTokens;
         // long-document corpora have a heavy right tail.
         const double mu = std::log(double(config_.meanTokens)) - 0.32;
+        // softrec-lint: allow(raw-exp) — lognormal length draw, not
+        // attention logits; no max-subtraction needed.
         const double draw = std::exp(rng.normal(mu, 0.8));
         const int64_t len = std::clamp<int64_t>(
             int64_t(draw), config_.minTokens, config_.maxTokens);

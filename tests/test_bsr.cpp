@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "sparse/bsr.hpp"
 #include "sparse/bsr_matrix.hpp"
@@ -146,6 +147,11 @@ TEST(BsrMatrix, ElementAccessByBlock)
 
 TEST(BsrMatrix, AccessOutOfRangePanics)
 {
+    // Accessor bounds are SOFTREC_CHECK: enforced only when compiled
+    // with -DSOFTREC_CHECKED_BUILD=ON. test_checked_build forces the
+    // define on and proves the checks fire in every configuration.
+    if (!kCheckedBuild)
+        GTEST_SKIP() << "bounds checks need SOFTREC_CHECKED_BUILD";
     const auto layout = diagonalLayout(2, 4);
     BsrMatrix m(layout);
     EXPECT_THROW(m.at(2, 0, 0), std::logic_error);

@@ -133,6 +133,86 @@ TEST(Half, RoundingErrorWithinHalfUlp)
     }
 }
 
+TEST(Half, SignedInfinityRoundTrips)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(Half(inf).bits(), 0x7c00u);
+    EXPECT_EQ(Half(-inf).bits(), 0xfc00u);
+    EXPECT_EQ(Half(inf).toFloat(), inf);
+    EXPECT_EQ(Half(-inf).toFloat(), -inf);
+    EXPECT_TRUE(Half(-inf).isInf());
+    EXPECT_FALSE(Half(-inf).isNan());
+    // -inf is how masked logits are encoded; it must survive the
+    // half <-> float boundary exactly for masking to be lossless.
+    EXPECT_EQ(Half(Half(-inf).toFloat()).bits(), 0xfc00u);
+}
+
+TEST(Half, NanVariantsConvertToNan)
+{
+    const float qnan = std::numeric_limits<float>::quiet_NaN();
+    const float snan = std::numeric_limits<float>::signaling_NaN();
+    EXPECT_TRUE(Half(qnan).isNan());
+    EXPECT_TRUE(Half(-qnan).isNan());
+    EXPECT_TRUE(Half(snan).isNan());
+    EXPECT_TRUE(std::isnan(Half(qnan).toFloat()));
+    // NaN compares unequal to everything, itself included.
+    EXPECT_FALSE(Half(qnan) == Half(qnan));
+    EXPECT_TRUE(Half(qnan) != Half(qnan));
+}
+
+TEST(Half, ExhaustiveSubnormals)
+{
+    // All 1023 subnormal magnitudes, both signs: value is
+    // mantissa * 2^-24 exactly, and float holds that exactly, so the
+    // round trip must be bit-identical with no double rounding.
+    for (uint32_t mant = 1; mant <= 0x3ffu; ++mant) {
+        for (uint32_t sign = 0; sign <= 1; ++sign) {
+            const uint16_t bits = uint16_t((sign << 15) | mant);
+            const Half h = Half::fromBits(bits);
+            const float expected =
+                (sign ? -1.0f : 1.0f) *
+                std::ldexp(float(mant), -24);
+            EXPECT_EQ(h.toFloat(), expected) << "bits=" << bits;
+            EXPECT_EQ(Half(expected).bits(), bits) << "bits=" << bits;
+            EXPECT_FALSE(h.isZero());
+            EXPECT_FALSE(h.isInf());
+            EXPECT_FALSE(h.isNan());
+        }
+    }
+    // The subnormal/normal boundary is seamless: the largest
+    // subnormal (0x03ff) is immediately below minNormal (0x0400).
+    EXPECT_EQ(uint32_t(0x03ffu) + 1u, Half::minNormal().bits());
+    EXPECT_LT(Half::fromBits(0x03ff).toFloat(),
+              Half::minNormal().toFloat());
+}
+
+TEST(Half, UlpBoundaryAt1024)
+{
+    // In [1024, 2048) the half ulp is exactly 1: every integer is
+    // representable and x.5 values are ties.
+    for (int i = 1024; i < 2048; i += 97) {
+        EXPECT_EQ(Half(float(i)).toFloat(), float(i)) << i;
+        // Tie at i + 0.5 rounds to the even integer.
+        const float tied = Half(float(i) + 0.5f).toFloat();
+        EXPECT_EQ(tied, (i % 2 == 0) ? float(i) : float(i + 1)) << i;
+        // Just past the tie rounds up.
+        EXPECT_EQ(Half(float(i) + 0.50048828125f).toFloat(),
+                  float(i + 1))
+            << i;
+    }
+    // Boundary values bracketing the binade switch.
+    EXPECT_EQ(Half(1023.5f).toFloat(), 1023.5f); // ulp still 0.5 below
+    EXPECT_EQ(Half(1024.0f).bits(), 0x6400u);
+    EXPECT_EQ(Half(2047.0f).toFloat(), 2047.0f); // last ulp-1 integer
+    // In [2048, 4096) the ulp is 2: odd integers are ties and round
+    // to the even-mantissa neighbour (a multiple of 4 when the even
+    // choice falls there).
+    EXPECT_EQ(Half(2048.0f).toFloat(), 2048.0f);
+    EXPECT_EQ(Half(2049.0f).toFloat(), 2048.0f); // tie to even
+    EXPECT_EQ(Half(2051.0f).toFloat(), 2052.0f); // tie to even
+    EXPECT_EQ(Half(2050.0f).toFloat(), 2050.0f);
+}
+
 TEST(Half, MonotoneConversion)
 {
     // Conversion must preserve ordering.
