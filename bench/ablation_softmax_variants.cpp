@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "common/exec_context.hpp"
 #include "core/recomposition.hpp"
 #include "kernels/fused_mha.hpp"
 #include "kernels/softmax_kernels.hpp"
@@ -36,7 +37,7 @@ main()
     std::printf("Part 1: softmax-layer execution time per attention "
                 "layer on %s (16 heads, L = 4096)\n\n",
                 spec.name.c_str());
-    SoftmaxDesc softmax;
+    SoftmaxShape softmax;
     softmax.batch = 16;
     softmax.rows = softmax.cols = 4096;
 

@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "core/softmax_math.hpp"
 #include "kernels/bsr_gemm.hpp"
@@ -22,6 +23,13 @@
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 void
 BM_SafeSoftmax(benchmark::State &state)
@@ -60,11 +68,11 @@ BM_RowSoftmaxKernel(benchmark::State &state)
     Rng rng(3);
     const Tensor<Half> in = makeAttentionScores(rng, rows, cols);
     Tensor<Half> out(in.shape());
-    SoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.rows = rows;
     desc.cols = cols;
     for (auto _ : state)
-        rowSoftmaxRun(desc, in, out);
+        rowSoftmaxRun(execCtx(), desc, in, out);
     state.SetItemsProcessed(int64_t(state.iterations()) * rows * cols);
 }
 BENCHMARK(BM_RowSoftmaxKernel)->Arg(512)->Arg(2048);
@@ -75,7 +83,7 @@ BM_DecomposedKernelPipeline(benchmark::State &state)
     const int64_t rows = 64, cols = state.range(0);
     Rng rng(4);
     const Tensor<Half> in = makeAttentionScores(rng, rows, cols);
-    DecomposedSoftmaxDesc sub;
+    SoftmaxShape sub;
     sub.rows = rows;
     sub.cols = cols;
     sub.subVector = 64;
@@ -83,9 +91,9 @@ BM_DecomposedKernelPipeline(benchmark::State &state)
     Tensor<Half> x_prime(in.shape()), out(in.shape());
     Tensor<float> lmax(md), lsum(md), recon(md);
     for (auto _ : state) {
-        lsRun(sub, in, x_prime, lmax, lsum);
-        irRun(sub, lmax, lsum, recon);
-        gsRun(sub, x_prime, recon, out);
+        lsRun(execCtx(), sub, in, x_prime, lmax, lsum);
+        irRun(execCtx(), sub, lmax, lsum, recon);
+        gsRun(execCtx(), sub, x_prime, recon, out);
     }
     state.SetItemsProcessed(int64_t(state.iterations()) * rows * cols);
 }
@@ -107,7 +115,7 @@ BM_GemmPlain(benchmark::State &state)
     ops.a = &a;
     ops.b = &b;
     for (auto _ : state)
-        gemmRun(desc, ops, c);
+        gemmRun(execCtx(), desc, ops, c);
     state.SetItemsProcessed(int64_t(state.iterations()) * n * n * 64);
 }
 BENCHMARK(BM_GemmPlain)->Arg(128)->Arg(256);
@@ -134,7 +142,7 @@ BM_GemmFusedLs(benchmark::State &state)
     ops.b = &b;
     LsOutputs ls{&lmax, &lsum};
     for (auto _ : state)
-        gemmRun(desc, ops, c, &ls);
+        gemmRun(execCtx(), desc, ops, c, &ls);
     state.SetItemsProcessed(int64_t(state.iterations()) * n * n * 64);
 }
 BENCHMARK(BM_GemmFusedLs)->Arg(128)->Arg(256);
@@ -156,7 +164,7 @@ BM_BsrSdd(benchmark::State &state)
     desc.scale = 0.125;
     BsrMatrix s(layout);
     for (auto _ : state)
-        bsrSddRun(desc, q, k, s);
+        bsrSddRun(execCtx(), desc, q, k, s);
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             layout.nnzElements());
 }
@@ -177,9 +185,9 @@ BM_BsrSoftmaxPipeline(benchmark::State &state)
     BsrMatrix x_prime(layout), out(layout);
     std::vector<float> lmax, lsum, recon;
     for (auto _ : state) {
-        bsrLsRun(desc, in, x_prime, lmax, lsum);
-        bsrIrRun(desc, lmax, lsum, recon);
-        bsrGsRun(desc, x_prime, recon, out);
+        bsrLsRun(execCtx(), desc, in, x_prime, lmax, lsum);
+        bsrIrRun(execCtx(), desc, lmax, lsum, recon);
+        bsrGsRun(execCtx(), desc, x_prime, recon, out);
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             layout.nnzElements());

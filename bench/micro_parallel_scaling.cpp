@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Host-parallel scaling of the functional runtime: times one L = 4096
+ * functional encoder layer (the heaviest CPU-executed path in the
+ * repo) under thread counts {1, 2, 4, 8} and reports the speedup over
+ * the serial run. The kernels parallelize over fixed chunk
+ * boundaries, so every row of the table computes bit-identical
+ * outputs — the bench verifies that too.
+ *
+ * Speedup is bounded by the machine: on a single-core container the
+ * table reports ~1.0x at every thread count by construction, so the
+ * hardware concurrency is printed alongside for interpretation.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/exec_context.hpp"
+#include "common/rng.hpp"
+#include "model/functional_layer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+using namespace softrec;
+using namespace softrec::bench;
+
+namespace {
+
+double
+timedSeconds(const ExecContext &ctx,
+             const FunctionalLayerConfig &config,
+             const EncoderLayerWeights &weights,
+             const Tensor<Half> &input, Tensor<Half> *out)
+{
+    const auto start = std::chrono::steady_clock::now();
+    Tensor<Half> result = runEncoderLayer(ctx, config, weights, input);
+    const auto stop = std::chrono::steady_clock::now();
+    if (out != nullptr)
+        *out = std::move(result);
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    const int64_t seq_len = 4096;
+    FunctionalLayerConfig config;
+    config.dModel = 64;
+    config.numHeads = 4;
+    config.dFf = 128;
+    config.strategy = Strategy::Fused;
+    config.subVector = 16;
+
+    Rng wrng(1);
+    const EncoderLayerWeights weights =
+        EncoderLayerWeights::random(config.dModel, config.dFf, wrng);
+    Tensor<Half> input(Shape({seq_len, config.dModel}));
+    Rng irng(2);
+    fillNormal(input, irng, 0.0, 1.0);
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("Host-parallel scaling: functional encoder layer "
+                "(L = %lld, dModel = %lld, %lld heads, SDF)\n",
+                (long long)seq_len, (long long)config.dModel,
+                (long long)config.numHeads);
+    std::printf("hardware_concurrency = %u "
+                "(speedup is capped by physical cores)\n\n", hw);
+
+    // Warm-up + serial baseline.
+    Tensor<Half> serial_out(input.shape());
+    timedSeconds(ExecContext(), config, weights, input, nullptr);
+    const double serial_s =
+        timedSeconds(ExecContext(), config, weights, input,
+                     &serial_out);
+
+    TextTable table("Encoder layer wall time by thread count");
+    table.setHeader({"threads", "seconds", "speedup", "bit-identical"});
+    table.addRow({"1", strprintf("%.3f", serial_s), "1.00x", "yes"});
+
+    for (int threads : {2, 4, 8}) {
+        ThreadPool pool(threads);
+        ExecContext ctx;
+        ctx.pool = &pool;
+        Tensor<Half> out(input.shape());
+        timedSeconds(ctx, config, weights, input, nullptr); // warm-up
+        const double seconds =
+            timedSeconds(ctx, config, weights, input, &out);
+        bool identical = true;
+        for (int64_t i = 0; i < out.numel() && identical; ++i)
+            identical = out.at(i).bits() == serial_out.at(i).bits();
+        table.addRow({strprintf("%d", threads),
+                      strprintf("%.3f", seconds),
+                      strprintf("%.2fx", serial_s / seconds),
+                      identical ? "yes" : "NO"});
+        if (!identical) {
+            std::printf("ERROR: %d-thread output diverged from "
+                        "serial\n", threads);
+            return 1;
+        }
+    }
+    table.print();
+    return 0;
+}

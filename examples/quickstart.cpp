@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/attention_exec.hpp"
@@ -22,6 +23,13 @@
 #include "tensor/tensor_ops.hpp"
 
 using namespace softrec;
+
+/** Shared context: honors SOFTREC_THREADS. */
+static ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 int
 main()
@@ -50,7 +58,7 @@ main()
                 (long long)small.seqLen, (long long)small.dHead);
     for (Strategy strategy : allStrategies()) {
         const Tensor<Half> out =
-            runDenseAttention(small, inputs, strategy);
+            runAttention(execCtx(), small, inputs, strategy);
         std::printf("  %-8s max |out - fp64 reference| = %.2e\n",
                     strategyName(strategy),
                     maxAbsDiff(toFloat(out), reference));

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "common/exec_context.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/attention_exec.hpp"
@@ -18,6 +19,13 @@
 #include "workload/corpus.hpp"
 
 using namespace softrec;
+
+/** Shared context: honors SOFTREC_THREADS. */
+static ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 int
 main()
@@ -85,7 +93,7 @@ main()
                 "BigBird-like layout):\n");
     for (Strategy strategy : allStrategies()) {
         const Tensor<Half> out =
-            runSparseAttention(small, inputs, strategy);
+            runAttention(execCtx(), small, inputs, strategy);
         std::printf("  %-8s max |out - fp64 reference| = %.2e\n",
                     strategyName(strategy),
                     maxAbsDiff(toFloat(out), reference));

@@ -5,9 +5,11 @@
 #   1. clang-format check     (skipped if clang-format is absent)
 #   2. softrec_lint           (domain numerics/hygiene lint + self-test)
 #   3. clang-tidy             (skipped if clang-tidy is absent)
-#   4. release build + tests  (-DSOFTREC_WERROR=ON)
+#   4. release build + tests  (-DSOFTREC_WERROR=ON), run twice:
+#      serial, then SOFTREC_THREADS=4 to exercise the thread pool
 #   5. checked build + tests  (-DSOFTREC_CHECKED_BUILD=ON, WERROR)
 #   6. asan-ubsan build + tests (sanitizers + checked mode, WERROR)
+#   7. tsan build + parallel-runtime tests under SOFTREC_THREADS=4
 #
 # Every stage must pass; the script stops at the first failure.
 # A toolchain without clang still runs stages 2 and 4-6, which are the
@@ -49,6 +51,10 @@ cmake --preset release -DSOFTREC_WERROR=ON >/dev/null
 cmake --build build/release -j "${JOBS}"
 ctest --test-dir build/release --output-on-failure -j "${JOBS}"
 
+step "release tests with SOFTREC_THREADS=4 (thread-pool path)"
+SOFTREC_THREADS=4 \
+    ctest --test-dir build/release --output-on-failure -j "${JOBS}"
+
 step "checked build (WERROR) + tests"
 cmake --preset checked -DSOFTREC_WERROR=ON >/dev/null
 cmake --build build/checked -j "${JOBS}"
@@ -60,5 +66,14 @@ cmake --build build/asan-ubsan -j "${JOBS}"
 ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
 UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
     ctest --test-dir build/asan-ubsan --output-on-failure -j "${JOBS}"
+
+step "tsan build + parallel runtime tests (SOFTREC_THREADS=4)"
+cmake --preset tsan -DSOFTREC_WERROR=ON >/dev/null
+cmake --build build/tsan -j "${JOBS}" --target \
+    test_exec_context test_parallel_determinism \
+    test_attention_exec test_functional_layer
+SOFTREC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build/tsan --output-on-failure -j "${JOBS}" \
+    -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer'
 
 printf '\n=== ci: all gates passed ===\n'

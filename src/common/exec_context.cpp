@@ -1,0 +1,211 @@
+/**
+ * @file
+ * ThreadPool / parallelFor / ExecContext implementation.
+ */
+
+#include "common/exec_context.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+namespace {
+
+/**
+ * Set for the duration of ThreadPool::drain() on every participating
+ * thread (workers and the submitter), so nested parallel regions can
+ * detect they are already inside a run and execute inline.
+ */
+thread_local bool tl_inside_pool_run = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    SOFTREC_ASSERT(threads >= 1, "thread pool needs >= 1 thread, got %d",
+                   threads);
+    workers_.reserve(size_t(threads - 1));
+    for (int i = 0; i < threads - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+bool
+ThreadPool::insideRun()
+{
+    return tl_inside_pool_run;
+}
+
+void
+ThreadPool::drain(const std::function<void(int64_t)> &chunk, int64_t total)
+{
+    const bool was_inside = tl_inside_pool_run;
+    tl_inside_pool_run = true;
+    for (;;) {
+        const int64_t idx =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= total)
+            break;
+        try {
+            chunk(idx);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        bool job_done = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_done = (--pending_ == 0);
+        }
+        if (job_done)
+            done_cv_.notify_all();
+    }
+    tl_inside_pool_run = was_inside;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t last_seen = 0;
+    for (;;) {
+        const std::function<void(int64_t)> *job = nullptr;
+        int64_t total = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_cv_.wait(lock, [&] {
+                return stop_ ||
+                       (generation_ != last_seen && job_ != nullptr);
+            });
+            if (stop_)
+                return;
+            last_seen = generation_;
+            job = job_;
+            total = total_;
+            ++active_;
+        }
+        drain(*job, total);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::run(int64_t num_chunks,
+                const std::function<void(int64_t)> &chunk)
+{
+    SOFTREC_ASSERT(num_chunks >= 0, "negative chunk count %lld",
+                   (long long)num_chunks);
+    if (num_chunks == 0)
+        return;
+    // Inline paths: no workers, a single chunk, or a nested run from
+    // inside a chunk (the pool is busy with the enclosing job).
+    // Exceptions propagate directly here.
+    if (workers_.empty() || insideRun() || num_chunks == 1) {
+        for (int64_t i = 0; i < num_chunks; ++i)
+            chunk(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        SOFTREC_ASSERT(job_ == nullptr,
+                       "concurrent top-level ThreadPool::run from two "
+                       "external threads is not supported");
+        job_ = &chunk;
+        total_ = num_chunks;
+        pending_ = num_chunks;
+        next_.store(0, std::memory_order_relaxed);
+        error_ = nullptr;
+        ++generation_;
+    }
+    wake_cv_.notify_all();
+    drain(chunk, num_chunks);
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // Wait until the chunks are done AND every worker has left
+        // drain(): a worker that consumed its final (out-of-range)
+        // claim may otherwise still touch next_ after this job's
+        // state is recycled for the next run.
+        done_cv_.wait(lock,
+                      [&] { return pending_ == 0 && active_ == 0; });
+        job_ = nullptr;
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+int
+parseThreadCount(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return 1;
+    char *end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || value < 1 || value > 1024) {
+        warn("SOFTREC_THREADS='%s' is not an integer in [1, 1024]; "
+             "running serial", text);
+        return 1;
+    }
+    return int(value);
+}
+
+ExecContext
+ExecContext::fromEnv()
+{
+    static ThreadPool *shared = []() -> ThreadPool * {
+        const int threads =
+            parseThreadCount(std::getenv("SOFTREC_THREADS"));
+        if (threads <= 1)
+            return nullptr;
+        static ThreadPool pool(threads);
+        return &pool;
+    }();
+    ExecContext ctx;
+    ctx.pool = shared;
+    return ctx;
+}
+
+void
+parallelFor(const ExecContext &ctx, int64_t begin, int64_t end,
+            int64_t grain,
+            const std::function<void(int64_t, int64_t)> &body)
+{
+    SOFTREC_ASSERT(grain > 0, "parallelFor grain must be positive");
+    if (end <= begin)
+        return;
+    const int64_t span = end - begin;
+    const int64_t num_chunks = (span + grain - 1) / grain;
+    auto chunk = [&](int64_t c) {
+        const int64_t c0 = begin + c * grain;
+        const int64_t c1 = std::min(end, c0 + grain);
+        body(c0, c1);
+    };
+    if (ctx.pool == nullptr || num_chunks == 1 ||
+        ThreadPool::insideRun()) {
+        for (int64_t c = 0; c < num_chunks; ++c)
+            chunk(c);
+        return;
+    }
+    ctx.pool->run(num_chunks, chunk);
+}
+
+} // namespace softrec

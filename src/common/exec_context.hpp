@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Host-parallel execution runtime: a persistent ThreadPool, the
+ * chunked parallelFor primitive built on it, and ExecContext — the
+ * handle every functional *Run entry point takes as its first
+ * parameter.
+ *
+ * Determinism contract: parallelFor splits [begin, end) into chunks
+ * of exactly `grain` iterations (the last chunk may be ragged). The
+ * chunk boundaries depend only on the range and the grain — never on
+ * the thread count — and every kernel writes disjoint outputs per
+ * chunk with the same per-chunk accumulation order as the serial
+ * loop. Outputs are therefore bit-identical for any thread count,
+ * including the serial default (verified by
+ * tests/test_parallel_determinism.cpp).
+ */
+
+#ifndef SOFTREC_COMMON_EXEC_CONTEXT_HPP
+#define SOFTREC_COMMON_EXEC_CONTEXT_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace softrec {
+
+/**
+ * Persistent worker pool. `threads` is the total concurrency: the
+ * pool spawns `threads - 1` workers and the submitting thread
+ * participates in every run, so a 1-thread pool has no workers and
+ * executes inline.
+ *
+ * run() is exception-safe (the first exception thrown by a chunk is
+ * rethrown on the submitting thread after all claimed chunks finish)
+ * and nested-safe (a run() issued from inside a chunk executes its
+ * chunks inline on the calling thread instead of deadlocking on the
+ * busy pool). Concurrent top-level submissions from two different
+ * external threads are not supported.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency (workers + the submitting thread). */
+    int threads() const { return int(workers_.size()) + 1; }
+
+    /**
+     * Execute chunk(0) .. chunk(num_chunks - 1) across the pool.
+     * Chunks are claimed dynamically, so completion *order* varies
+     * with scheduling — chunks must write disjoint outputs.
+     */
+    void run(int64_t num_chunks,
+             const std::function<void(int64_t)> &chunk);
+
+    /**
+     * True while the calling thread is executing a chunk of some
+     * run() — on a worker or on the participating submitter. Nested
+     * parallel regions use this to degrade to inline execution.
+     */
+    static bool insideRun();
+
+  private:
+    void workerLoop();
+    /** Claim and execute chunks of the current job until exhausted. */
+    void drain(const std::function<void(int64_t)> &chunk, int64_t total);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(int64_t)> *job_ = nullptr;
+    std::atomic<int64_t> next_{0}; //!< next unclaimed chunk index
+    int64_t total_ = 0;            //!< chunks in the current job
+    int64_t pending_ = 0;          //!< chunks not yet completed
+    int64_t active_ = 0;           //!< workers inside drain()
+    uint64_t generation_ = 0;      //!< bumped per job to wake workers
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+/**
+ * Execution options threaded through every functional *Run entry
+ * point. Default-constructed (no pool) it runs everything serially,
+ * so existing call sites migrate mechanically; fromEnv() attaches the
+ * process-wide pool sized by SOFTREC_THREADS.
+ *
+ * Future execution options (NUMA placement, streams, profiling hooks)
+ * extend this struct without touching kernel signatures again.
+ */
+struct ExecContext
+{
+    ThreadPool *pool = nullptr; //!< nullptr = serial execution
+
+    /** Concurrency this context executes with. */
+    int threads() const { return pool ? pool->threads() : 1; }
+
+    /** True when no pool is attached (serial execution). */
+    bool serial() const { return pool == nullptr; }
+
+    /**
+     * Context backed by the process-wide shared pool, sized by the
+     * SOFTREC_THREADS environment variable (parsed once; unset,
+     * empty, or 1 means serial).
+     */
+    static ExecContext fromEnv();
+};
+
+/**
+ * Parse a SOFTREC_THREADS-style thread count. Returns 1 (serial) for
+ * null/empty input and warns + returns 1 for anything that is not an
+ * integer in [1, 1024]. Exposed for the unit tests.
+ */
+int parseThreadCount(const char *text);
+
+/**
+ * Run body(chunk_begin, chunk_end) over [begin, end) in chunks of
+ * `grain` iterations. Chunk boundaries are a pure function of
+ * (begin, end, grain) — see the determinism contract above. Runs
+ * inline when the context is serial, the range fits one chunk, or the
+ * caller is already inside a parallel region (nested case).
+ */
+void parallelFor(const ExecContext &ctx, int64_t begin, int64_t end,
+                 int64_t grain,
+                 const std::function<void(int64_t, int64_t)> &body);
+
+} // namespace softrec
+
+#endif // SOFTREC_COMMON_EXEC_CONTEXT_HPP

@@ -34,9 +34,11 @@ makeAttentionInputs(const SdaConfig &config)
     return inputs;
 }
 
+namespace {
+
 Tensor<Half>
-runDenseAttention(const SdaConfig &config, const AttentionInputs &inputs,
-                  Strategy strategy)
+runDense(const ExecContext &ctx, const SdaConfig &config,
+         const AttentionInputs &inputs, Strategy strategy)
 {
     const int64_t L = config.seqLen;
     const int64_t kv = config.keyLen();
@@ -69,7 +71,7 @@ runDenseAttention(const SdaConfig &config, const AttentionInputs &inputs,
 
     Tensor<Half> out(Shape({L, dh}));
 
-    DecomposedSoftmaxDesc sub;
+    SoftmaxShape sub;
     sub.rows = L;
     sub.cols = kv;
     sub.subVector = strategy == Strategy::Fused ? tiling.tileN
@@ -79,33 +81,33 @@ runDenseAttention(const SdaConfig &config, const AttentionInputs &inputs,
     switch (strategy) {
       case Strategy::Baseline: {
         Tensor<Half> scores(Shape({L, kv}));
-        gemmRun(qk, qk_ops, scores);
+        gemmRun(ctx, qk, qk_ops, scores);
         Tensor<Half> probs(Shape({L, kv}));
-        SoftmaxDesc softmax;
+        SoftmaxShape softmax;
         softmax.rows = L;
         softmax.cols = kv;
-        rowSoftmaxRun(softmax, scores, probs);
+        rowSoftmaxRun(ctx, softmax, scores, probs);
         GemmOperands av_ops;
         av_ops.a = &probs;
         av_ops.b = &inputs.v;
-        gemmRun(av, av_ops, out);
+        gemmRun(ctx, av, av_ops, out);
         break;
       }
       case Strategy::Decomposed: {
         Tensor<Half> scores(Shape({L, kv}));
-        gemmRun(qk, qk_ops, scores);
+        gemmRun(ctx, qk, qk_ops, scores);
         Tensor<Half> x_prime(Shape({L, kv}));
         Tensor<float> local_max(md_shape);
         Tensor<float> local_sum(md_shape);
-        lsRun(sub, scores, x_prime, local_max, local_sum);
+        lsRun(ctx, sub, scores, x_prime, local_max, local_sum);
         Tensor<float> recon(md_shape);
-        irRun(sub, local_max, local_sum, recon);
+        irRun(ctx, sub, local_max, local_sum, recon);
         Tensor<Half> probs(Shape({L, kv}));
-        gsRun(sub, x_prime, recon, probs);
+        gsRun(ctx, sub, x_prime, recon, probs);
         GemmOperands av_ops;
         av_ops.a = &probs;
         av_ops.b = &inputs.v;
-        gemmRun(av, av_ops, out);
+        gemmRun(ctx, av, av_ops, out);
         break;
       }
       case Strategy::Fused: {
@@ -114,16 +116,16 @@ runDenseAttention(const SdaConfig &config, const AttentionInputs &inputs,
         Tensor<float> local_sum(md_shape);
         qk.epilogue.localSoftmax = true;
         LsOutputs ls{&local_max, &local_sum};
-        gemmRun(qk, qk_ops, x_prime, &ls);
+        gemmRun(ctx, qk, qk_ops, x_prime, &ls);
         Tensor<float> recon(md_shape);
-        irRun(sub, local_max, local_sum, recon);
+        irRun(ctx, sub, local_max, local_sum, recon);
         av.prologue.globalScale = true;
         av.prologue.gsSubVector = sub.subVector;
         GemmOperands av_ops;
         av_ops.a = &x_prime;
         av_ops.b = &inputs.v;
         av_ops.gsFactors = &recon;
-        gemmRun(av, av_ops, out);
+        gemmRun(ctx, av, av_ops, out);
         break;
       }
     }
@@ -131,8 +133,8 @@ runDenseAttention(const SdaConfig &config, const AttentionInputs &inputs,
 }
 
 Tensor<Half>
-runSparseAttention(const SdaConfig &config,
-                   const AttentionInputs &inputs, Strategy strategy)
+runSparse(const ExecContext &ctx, const SdaConfig &config,
+          const AttentionInputs &inputs, Strategy strategy)
 {
     SOFTREC_ASSERT(config.sparse(), "sparse attention needs a layout");
     const BsrLayout &layout = *config.layout;
@@ -158,39 +160,63 @@ runSparseAttention(const SdaConfig &config,
     switch (strategy) {
       case Strategy::Baseline: {
         BsrMatrix scores(layout);
-        bsrSddRun(qk, inputs.q, inputs.k, scores);
+        bsrSddRun(ctx, qk, inputs.q, inputs.k, scores);
         BsrMatrix probs(layout);
-        bsrRowSoftmaxRun(sub, scores, probs);
-        bsrDsdRun(av, probs, inputs.v, out);
+        bsrRowSoftmaxRun(ctx, sub, scores, probs);
+        bsrDsdRun(ctx, av, probs, inputs.v, out);
         break;
       }
       case Strategy::Decomposed: {
         BsrMatrix scores(layout);
-        bsrSddRun(qk, inputs.q, inputs.k, scores);
+        bsrSddRun(ctx, qk, inputs.q, inputs.k, scores);
         BsrMatrix x_prime(layout);
         std::vector<float> local_max, local_sum;
-        bsrLsRun(sub, scores, x_prime, local_max, local_sum);
+        bsrLsRun(ctx, sub, scores, x_prime, local_max, local_sum);
         std::vector<float> recon;
-        bsrIrRun(sub, local_max, local_sum, recon);
+        bsrIrRun(ctx, sub, local_max, local_sum, recon);
         BsrMatrix probs(layout);
-        bsrGsRun(sub, x_prime, recon, probs);
-        bsrDsdRun(av, probs, inputs.v, out);
+        bsrGsRun(ctx, sub, x_prime, recon, probs);
+        bsrDsdRun(ctx, av, probs, inputs.v, out);
         break;
       }
       case Strategy::Fused: {
         BsrMatrix x_prime(layout);
         std::vector<float> local_max(sub_count), local_sum(sub_count);
         qk.fuseLocalSoftmax = true;
-        bsrSddRun(qk, inputs.q, inputs.k, x_prime, &local_max,
+        bsrSddRun(ctx, qk, inputs.q, inputs.k, x_prime, &local_max,
                   &local_sum);
         std::vector<float> recon;
-        bsrIrRun(sub, local_max, local_sum, recon);
+        bsrIrRun(ctx, sub, local_max, local_sum, recon);
         av.fuseGlobalScale = true;
-        bsrDsdRun(av, x_prime, inputs.v, out, &recon);
+        bsrDsdRun(ctx, av, x_prime, inputs.v, out, &recon);
         break;
       }
     }
     return out;
+}
+
+} // namespace
+
+Tensor<Half>
+runAttention(const ExecContext &ctx, const SdaConfig &config,
+             const AttentionInputs &inputs, Strategy strategy)
+{
+    return config.sparse() ? runSparse(ctx, config, inputs, strategy)
+                           : runDense(ctx, config, inputs, strategy);
+}
+
+Tensor<Half>
+runDenseAttention(const SdaConfig &config, const AttentionInputs &inputs,
+                  Strategy strategy)
+{
+    return runDense(ExecContext::fromEnv(), config, inputs, strategy);
+}
+
+Tensor<Half>
+runSparseAttention(const SdaConfig &config,
+                   const AttentionInputs &inputs, Strategy strategy)
+{
+    return runSparse(ExecContext::fromEnv(), config, inputs, strategy);
 }
 
 Tensor<float>

@@ -12,6 +12,7 @@
 #ifndef SOFTREC_CORE_ATTENTION_EXEC_HPP
 #define SOFTREC_CORE_ATTENTION_EXEC_HPP
 
+#include "common/exec_context.hpp"
 #include "core/recomposition.hpp"
 #include "fp16/half.hpp"
 #include "sparse/bsr_matrix.hpp"
@@ -31,19 +32,29 @@ struct AttentionInputs
 AttentionInputs makeAttentionInputs(const SdaConfig &config);
 
 /**
- * Execute one dense attention head functionally under a strategy.
- * config.batch and config.heads are ignored (single problem).
+ * Execute one attention head functionally under a strategy,
+ * dispatching on config.layout: dense when null, block-sparse
+ * otherwise. config.batch and config.heads are ignored (single
+ * problem).
  *
  * @return the attention output, [L, dHead] fp16
  */
+Tensor<Half> runAttention(const ExecContext &ctx,
+                          const SdaConfig &config,
+                          const AttentionInputs &inputs,
+                          Strategy strategy);
+
+/**
+ * Deprecated pre-ExecContext entry points, kept for one PR. They run
+ * with the SOFTREC_THREADS environment context (serial when unset).
+ */
+[[deprecated("use runAttention(ctx, config, inputs, strategy)")]]
 Tensor<Half> runDenseAttention(const SdaConfig &config,
                                const AttentionInputs &inputs,
                                Strategy strategy);
 
-/**
- * Execute one block-sparse attention head functionally under a
- * strategy; config.layout must be set.
- */
+/** @copydoc runDenseAttention */
+[[deprecated("use runAttention(ctx, config, inputs, strategy)")]]
 Tensor<Half> runSparseAttention(const SdaConfig &config,
                                 const AttentionInputs &inputs,
                                 Strategy strategy);

@@ -98,7 +98,7 @@ buildDense(const GpuSpec &spec, const SdaConfig &config,
     av.shapeClass = config.attentionClass();
     av.tiling = config.attnTiling;
 
-    DecomposedSoftmaxDesc sub;
+    SoftmaxShape sub;
     sub.batch = config.problems();
     sub.rows = config.seqLen;
     sub.cols = config.keyLen();
@@ -108,7 +108,7 @@ buildDense(const GpuSpec &spec, const SdaConfig &config,
     switch (strategy) {
       case Strategy::Baseline: {
         sched.kernels.push_back(gemmProfile(spec, qk));
-        SoftmaxDesc softmax;
+        SoftmaxShape softmax;
         softmax.name = "sda.softmax";
         softmax.batch = config.problems();
         softmax.rows = config.seqLen;

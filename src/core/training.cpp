@@ -244,7 +244,7 @@ buildSdaTrainingSchedule(const GpuSpec &spec, const SdaConfig &config,
 
     // IR-analogue: reduce the per-sub-vector partials into the row
     // constants c.
-    DecomposedSoftmaxDesc reduce;
+    SoftmaxShape reduce;
     reduce.name = "bwd.ir";
     reduce.batch = config.problems();
     reduce.rows = L;

@@ -79,9 +79,10 @@ bsrSddProfile(const GpuSpec &spec, const BsrSddDesc &desc)
 }
 
 void
-bsrSddRun(const BsrSddDesc &desc, const Tensor<Half> &q,
-          const Tensor<Half> &k_mat, BsrMatrix &s,
-          std::vector<float> *local_max, std::vector<float> *local_sum)
+bsrSddRun(const ExecContext &ctx, const BsrSddDesc &desc,
+          const Tensor<Half> &q, const Tensor<Half> &k_mat,
+          BsrMatrix &s, std::vector<float> *local_max,
+          std::vector<float> *local_sum)
 {
     SOFTREC_ASSERT(desc.batch == 1, "functional SDD handles one head");
     const BsrLayout &layout = *desc.layout;
@@ -96,8 +97,12 @@ bsrSddRun(const BsrSddDesc &desc, const Tensor<Half> &q,
         local_sum->assign(size_t(layout.nnzBlocks() * bs), 0.0f);
     }
 
+    // Parallel over block rows: each row's stored blocks (and their
+    // m'/d' slots) are disjoint; each chunk owns its accumulator.
+    parallelFor(ctx, 0, layout.blockRows(), 1,
+                [&](int64_t br0, int64_t br1) {
     std::vector<float> acc(size_t(bs * bs));
-    for (int64_t br = 0; br < layout.blockRows(); ++br) {
+    for (int64_t br = br0; br < br1; ++br) {
         for (int64_t kk = layout.rowBegin(br); kk < layout.rowEnd(br);
              ++kk) {
             const int64_t bc = layout.blockCol(kk);
@@ -137,6 +142,7 @@ bsrSddRun(const BsrSddDesc &desc, const Tensor<Half> &q,
             }
         }
     }
+    });
 }
 
 KernelProfile
@@ -188,8 +194,8 @@ bsrDsdProfile(const GpuSpec &spec, const BsrDsdDesc &desc)
 }
 
 void
-bsrDsdRun(const BsrDsdDesc &desc, const BsrMatrix &p,
-          const Tensor<Half> &v, Tensor<Half> &o,
+bsrDsdRun(const ExecContext &ctx, const BsrDsdDesc &desc,
+          const BsrMatrix &p, const Tensor<Half> &v, Tensor<Half> &o,
           const std::vector<float> *recon)
 {
     SOFTREC_ASSERT(desc.batch == 1, "functional DSD handles one head");
@@ -204,7 +210,10 @@ bsrDsdRun(const BsrDsdDesc &desc, const BsrMatrix &p,
                        "fused DSD needs r'");
     }
     o.fill(Half());
-    for (int64_t br = 0; br < layout.blockRows(); ++br) {
+    // Parallel over block rows: output rows are disjoint per chunk.
+    parallelFor(ctx, 0, layout.blockRows(), 1,
+                [&](int64_t br0, int64_t br1) {
+    for (int64_t br = br0; br < br1; ++br) {
         for (int64_t i = 0; i < bs; ++i) {
             for (int64_t d = 0; d < desc.dHead; ++d) {
                 float sum = 0.0f;
@@ -223,6 +232,7 @@ bsrDsdRun(const BsrDsdDesc &desc, const BsrMatrix &p,
             }
         }
     }
+    });
 }
 
 } // namespace softrec

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.hpp"
+
 #include "sim/kernel_profile.hpp"
 #include "sparse/bsr_matrix.hpp"
 #include "tensor/tensor.hpp"
@@ -47,9 +49,9 @@ KernelProfile bsrSddProfile(const GpuSpec &spec, const BsrSddDesc &desc);
  * @param local_max out (fused LS only), size nnzBlocks * blockSize
  * @param local_sum out (fused LS only), size nnzBlocks * blockSize
  */
-void bsrSddRun(const BsrSddDesc &desc, const Tensor<Half> &q,
-               const Tensor<Half> &k_mat, BsrMatrix &s,
-               std::vector<float> *local_max = nullptr,
+void bsrSddRun(const ExecContext &ctx, const BsrSddDesc &desc,
+               const Tensor<Half> &q, const Tensor<Half> &k_mat,
+               BsrMatrix &s, std::vector<float> *local_max = nullptr,
                std::vector<float> *local_sum = nullptr);
 
 /** Description of a DSD launch (sparse P times dense V). */
@@ -75,8 +77,9 @@ KernelProfile bsrDsdProfile(const GpuSpec &spec, const BsrDsdDesc &desc);
  * @param o out, [L, dHead] fp16
  * @param recon r' (fused GS only), size nnzBlocks * blockSize
  */
-void bsrDsdRun(const BsrDsdDesc &desc, const BsrMatrix &p,
-               const Tensor<Half> &v, Tensor<Half> &o,
+void bsrDsdRun(const ExecContext &ctx, const BsrDsdDesc &desc,
+               const BsrMatrix &p, const Tensor<Half> &v,
+               Tensor<Half> &o,
                const std::vector<float> *recon = nullptr);
 
 } // namespace softrec

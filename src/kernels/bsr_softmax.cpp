@@ -106,14 +106,17 @@ bsrRowSoftmaxProfile(const GpuSpec &spec, const BsrSoftmaxDesc &desc)
 }
 
 void
-bsrRowSoftmaxRun(const BsrSoftmaxDesc &desc, const BsrMatrix &in,
-                 BsrMatrix &out)
+bsrRowSoftmaxRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
+                 const BsrMatrix &in, BsrMatrix &out)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional BSR softmax handles one matrix");
     const BsrLayout &layout = checkedLayout(desc);
     const int64_t bs = layout.blockSize();
-    for (int64_t br = 0; br < layout.blockRows(); ++br) {
+    // Parallel over block rows: each chunk writes disjoint blocks.
+    parallelFor(ctx, 0, layout.blockRows(), 1,
+                [&](int64_t br0, int64_t br1) {
+    for (int64_t br = br0; br < br1; ++br) {
         for (int64_t i = 0; i < bs; ++i) {
             float max_val = kNegInf;
             for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
@@ -146,6 +149,7 @@ bsrRowSoftmaxRun(const BsrSoftmaxDesc &desc, const BsrMatrix &in,
                           (long long)(br * bs + i), double(denom));
         }
     }
+    });
     if constexpr (kCheckedBuild)
         checkBsrRowSums(layout, out, "bsrRowSoftmax output");
 }
@@ -178,9 +182,9 @@ bsrLsProfile(const GpuSpec &spec, const BsrSoftmaxDesc &desc)
 }
 
 void
-bsrLsRun(const BsrSoftmaxDesc &desc, const BsrMatrix &in,
-         BsrMatrix &x_prime, std::vector<float> &local_max,
-         std::vector<float> &local_sum)
+bsrLsRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
+         const BsrMatrix &in, BsrMatrix &x_prime,
+         std::vector<float> &local_max, std::vector<float> &local_sum)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional BSR LS handles one matrix");
@@ -189,7 +193,11 @@ bsrLsRun(const BsrSoftmaxDesc &desc, const BsrMatrix &in,
     const size_t count = size_t(subVectorCount(layout));
     local_max.assign(count, kNegInf);
     local_sum.assign(count, 0.0f);
-    for (int64_t k = 0; k < layout.nnzBlocks(); ++k) {
+    // Parallel over stored blocks: each block owns its rows of
+    // x_prime and its m'/d' slots.
+    parallelFor(ctx, 0, layout.nnzBlocks(), 4,
+                [&](int64_t blk0, int64_t blk1) {
+    for (int64_t k = blk0; k < blk1; ++k) {
         for (int64_t i = 0; i < bs; ++i) {
             float m_local = kNegInf;
             for (int64_t j = 0; j < bs; ++j)
@@ -210,6 +218,7 @@ bsrLsRun(const BsrSoftmaxDesc &desc, const BsrMatrix &in,
                           (long long)k, (long long)i, double(d_local));
         }
     }
+    });
     if constexpr (kCheckedBuild)
         checkFinite(spanOf(local_sum), "BSR LS d' output");
 }
@@ -239,7 +248,8 @@ bsrIrProfile(const GpuSpec &spec, const BsrSoftmaxDesc &desc)
 }
 
 void
-bsrIrRun(const BsrSoftmaxDesc &desc, const std::vector<float> &local_max,
+bsrIrRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
+         const std::vector<float> &local_max,
          const std::vector<float> &local_sum, std::vector<float> &recon)
 {
     SOFTREC_ASSERT(desc.batch == 1,
@@ -251,7 +261,10 @@ bsrIrRun(const BsrSoftmaxDesc &desc, const std::vector<float> &local_max,
                    local_sum.size() == count,
                    "BSR IR input size mismatch");
     recon.assign(count, 0.0f);
-    for (int64_t br = 0; br < layout.blockRows(); ++br) {
+    // Parallel over block rows: each row's r' slots are disjoint.
+    parallelFor(ctx, 0, layout.blockRows(), 1,
+                [&](int64_t br0, int64_t br1) {
+    for (int64_t br = br0; br < br1; ++br) {
         for (int64_t i = 0; i < bs; ++i) {
             float m_global = kNegInf;
             for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
@@ -284,6 +297,7 @@ bsrIrRun(const BsrSoftmaxDesc &desc, const std::vector<float> &local_max,
             }
         }
     }
+    });
     if constexpr (kCheckedBuild)
         checkReconFactors(spanOf(recon), "BSR IR r' output");
 }
@@ -311,8 +325,9 @@ bsrGsProfile(const GpuSpec &spec, const BsrSoftmaxDesc &desc)
 }
 
 void
-bsrGsRun(const BsrSoftmaxDesc &desc, const BsrMatrix &x_prime,
-         const std::vector<float> &recon, BsrMatrix &y)
+bsrGsRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
+         const BsrMatrix &x_prime, const std::vector<float> &recon,
+         BsrMatrix &y)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional BSR GS handles one matrix");
@@ -320,14 +335,18 @@ bsrGsRun(const BsrSoftmaxDesc &desc, const BsrMatrix &x_prime,
     const int64_t bs = layout.blockSize();
     SOFTREC_ASSERT(recon.size() == size_t(subVectorCount(layout)),
                    "BSR GS r' size mismatch");
-    for (int64_t k = 0; k < layout.nnzBlocks(); ++k) {
-        for (int64_t i = 0; i < bs; ++i) {
-            const float r = recon[size_t(k * bs + i)];
-            for (int64_t j = 0; j < bs; ++j)
-                y.at(k, i, j) =
-                    Half(float(x_prime.at(k, i, j)) * r);
+    // Element-wise streaming: parallel over stored blocks.
+    parallelFor(ctx, 0, layout.nnzBlocks(), 4,
+                [&](int64_t blk0, int64_t blk1) {
+        for (int64_t k = blk0; k < blk1; ++k) {
+            for (int64_t i = 0; i < bs; ++i) {
+                const float r = recon[size_t(k * bs + i)];
+                for (int64_t j = 0; j < bs; ++j)
+                    y.at(k, i, j) =
+                        Half(float(x_prime.at(k, i, j)) * r);
+            }
         }
-    }
+    });
     // No row-sum check here: GS is a plain linear scaling, and the
     // sum-to-one identity only holds when (x_prime, recon) come from
     // a genuine LS -> IR chain. Callers composing the full pipeline

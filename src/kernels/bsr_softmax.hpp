@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.hpp"
+
 #include "sim/kernel_profile.hpp"
 #include "sparse/bsr_matrix.hpp"
 
@@ -36,7 +38,8 @@ KernelProfile bsrRowSoftmaxProfile(const GpuSpec &spec,
                                    const BsrSoftmaxDesc &desc);
 
 /** Functional block-sparse safe softmax along rows (batch must be 1). */
-void bsrRowSoftmaxRun(const BsrSoftmaxDesc &desc, const BsrMatrix &in,
+void bsrRowSoftmaxRun(const ExecContext &ctx,
+                      const BsrSoftmaxDesc &desc, const BsrMatrix &in,
                       BsrMatrix &out);
 
 /** Decomposed block-sparse LS profile (one TB per non-zero block). */
@@ -50,8 +53,9 @@ KernelProfile bsrLsProfile(const GpuSpec &spec,
  * @param local_max out, size nnzBlocks * blockSize
  * @param local_sum out, size nnzBlocks * blockSize
  */
-void bsrLsRun(const BsrSoftmaxDesc &desc, const BsrMatrix &in,
-              BsrMatrix &x_prime, std::vector<float> &local_max,
+void bsrLsRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
+              const BsrMatrix &in, BsrMatrix &x_prime,
+              std::vector<float> &local_max,
               std::vector<float> &local_sum);
 
 /** Decomposed block-sparse IR profile. */
@@ -63,7 +67,7 @@ KernelProfile bsrIrProfile(const GpuSpec &spec,
  * row's (m', d') pairs across that row's non-zero blocks and emits
  * reconstruction factors r' (size nnzBlocks * blockSize).
  */
-void bsrIrRun(const BsrSoftmaxDesc &desc,
+void bsrIrRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
               const std::vector<float> &local_max,
               const std::vector<float> &local_sum,
               std::vector<float> &recon);
@@ -73,7 +77,8 @@ KernelProfile bsrGsProfile(const GpuSpec &spec,
                            const BsrSoftmaxDesc &desc);
 
 /** Functional block-sparse Global Scaling: y = x' * r'. */
-void bsrGsRun(const BsrSoftmaxDesc &desc, const BsrMatrix &x_prime,
+void bsrGsRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
+              const BsrMatrix &x_prime,
               const std::vector<float> &recon, BsrMatrix &y);
 
 } // namespace softrec

@@ -54,8 +54,9 @@ layerNormProfile(const GpuSpec &spec, const std::string &name,
 }
 
 void
-layerNormRun(const Tensor<Half> &in, const Tensor<float> &gamma,
-             const Tensor<float> &beta, Tensor<Half> &out, float epsilon)
+layerNormRun(const ExecContext &ctx, const Tensor<Half> &in,
+             const Tensor<float> &gamma, const Tensor<float> &beta,
+             Tensor<Half> &out, float epsilon)
 {
     SOFTREC_ASSERT(in.shape().rank() == 2, "layernorm input must be 2-D");
     const int64_t rows = in.shape().dim(0);
@@ -64,23 +65,25 @@ layerNormRun(const Tensor<Half> &in, const Tensor<float> &gamma,
                    gamma.shape() == Shape({width}) &&
                    beta.shape() == Shape({width}),
                    "layernorm shapes inconsistent");
-    for (int64_t i = 0; i < rows; ++i) {
-        float mean = 0.0f;
-        for (int64_t j = 0; j < width; ++j)
-            mean += float(in.at(i, j));
-        mean /= float(width);
-        float var = 0.0f;
-        for (int64_t j = 0; j < width; ++j) {
-            const float d = float(in.at(i, j)) - mean;
-            var += d * d;
+    parallelFor(ctx, 0, rows, 8, [&](int64_t row0, int64_t row1) {
+        for (int64_t i = row0; i < row1; ++i) {
+            float mean = 0.0f;
+            for (int64_t j = 0; j < width; ++j)
+                mean += float(in.at(i, j));
+            mean /= float(width);
+            float var = 0.0f;
+            for (int64_t j = 0; j < width; ++j) {
+                const float d = float(in.at(i, j)) - mean;
+                var += d * d;
+            }
+            var /= float(width);
+            const float inv_std = 1.0f / std::sqrt(var + epsilon);
+            for (int64_t j = 0; j < width; ++j) {
+                const float norm = (float(in.at(i, j)) - mean) * inv_std;
+                out.at(i, j) = Half(norm * gamma.at(j) + beta.at(j));
+            }
         }
-        var /= float(width);
-        const float inv_std = 1.0f / std::sqrt(var + epsilon);
-        for (int64_t j = 0; j < width; ++j) {
-            const float norm = (float(in.at(i, j)) - mean) * inv_std;
-            out.at(i, j) = Half(norm * gamma.at(j) + beta.at(j));
-        }
-    }
+    });
 }
 
 KernelProfile
@@ -100,13 +103,15 @@ residualAddProfile(const GpuSpec &spec, const std::string &name,
 }
 
 void
-residualAddRun(const Tensor<Half> &a, const Tensor<Half> &b,
-               Tensor<Half> &out)
+residualAddRun(const ExecContext &ctx, const Tensor<Half> &a,
+               const Tensor<Half> &b, Tensor<Half> &out)
 {
     SOFTREC_ASSERT(a.shape() == b.shape() && a.shape() == out.shape(),
                    "residual shapes inconsistent");
-    for (int64_t i = 0; i < a.numel(); ++i)
-        out.at(i) = Half(float(a.at(i)) + float(b.at(i)));
+    parallelFor(ctx, 0, a.numel(), 4096, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i)
+            out.at(i) = Half(float(a.at(i)) + float(b.at(i)));
+    });
 }
 
 KernelProfile
@@ -130,22 +135,24 @@ biasActProfile(const GpuSpec &spec, const std::string &name,
 }
 
 void
-biasActRun(const Tensor<Half> &in, const Tensor<float> &bias, bool gelu,
-           Tensor<Half> &out)
+biasActRun(const ExecContext &ctx, const Tensor<Half> &in,
+           const Tensor<float> &bias, bool gelu, Tensor<Half> &out)
 {
     SOFTREC_ASSERT(in.shape().rank() == 2 && in.shape() == out.shape(),
                    "bias kernel shapes inconsistent");
     const int64_t rows = in.shape().dim(0);
     const int64_t width = in.shape().dim(1);
     SOFTREC_ASSERT(bias.shape() == Shape({width}), "bias misshaped");
-    for (int64_t i = 0; i < rows; ++i) {
-        for (int64_t j = 0; j < width; ++j) {
-            float v = float(in.at(i, j)) + bias.at(j);
-            if (gelu)
-                v = geluApprox(v);
-            out.at(i, j) = Half(v);
+    parallelFor(ctx, 0, rows, 8, [&](int64_t row0, int64_t row1) {
+        for (int64_t i = row0; i < row1; ++i) {
+            for (int64_t j = 0; j < width; ++j) {
+                float v = float(in.at(i, j)) + bias.at(j);
+                if (gelu)
+                    v = geluApprox(v);
+                out.at(i, j) = Half(v);
+            }
         }
-    }
+    });
 }
 
 KernelProfile

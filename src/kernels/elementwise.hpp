@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "common/exec_context.hpp"
 #include "fp16/half.hpp"
 #include "sim/kernel_profile.hpp"
 #include "tensor/tensor.hpp"
@@ -22,26 +23,27 @@ KernelProfile layerNormProfile(const GpuSpec &spec,
                                const std::string &name, int64_t rows,
                                int64_t width);
 
-/** Functional LayerNorm with fp32 statistics. */
-void layerNormRun(const Tensor<Half> &in, const Tensor<float> &gamma,
-                  const Tensor<float> &beta, Tensor<Half> &out,
-                  float epsilon = 1e-5f);
+/** Functional LayerNorm with fp32 statistics (row-parallel). */
+void layerNormRun(const ExecContext &ctx, const Tensor<Half> &in,
+                  const Tensor<float> &gamma, const Tensor<float> &beta,
+                  Tensor<Half> &out, float epsilon = 1e-5f);
 
 /** Residual addition out = a + b over `elems` fp16 elements. */
 KernelProfile residualAddProfile(const GpuSpec &spec,
                                  const std::string &name, int64_t elems);
 
-/** Functional residual addition. */
-void residualAddRun(const Tensor<Half> &a, const Tensor<Half> &b,
-                    Tensor<Half> &out);
+/** Functional residual addition (element-chunk parallel). */
+void residualAddRun(const ExecContext &ctx, const Tensor<Half> &a,
+                    const Tensor<Half> &b, Tensor<Half> &out);
 
 /** Standalone bias + optional GeLU over [rows, width]. */
 KernelProfile biasActProfile(const GpuSpec &spec, const std::string &name,
                              int64_t rows, int64_t width, bool gelu);
 
-/** Functional bias + optional GeLU. */
-void biasActRun(const Tensor<Half> &in, const Tensor<float> &bias,
-                bool gelu, Tensor<Half> &out);
+/** Functional bias + optional GeLU (row-parallel). */
+void biasActRun(const ExecContext &ctx, const Tensor<Half> &in,
+                const Tensor<float> &bias, bool gelu,
+                Tensor<Half> &out);
 
 /**
  * Standalone scale and/or mask pass over the attention matrix — what

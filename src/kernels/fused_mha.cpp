@@ -89,9 +89,9 @@ fusedMhaProfile(const GpuSpec &spec, const FusedMhaDesc &desc)
 }
 
 void
-fusedMhaRun(const FusedMhaDesc &desc, const Tensor<Half> &q,
-            const Tensor<Half> &k, const Tensor<Half> &v,
-            Tensor<Half> &out)
+fusedMhaRun(const ExecContext &ctx, const FusedMhaDesc &desc,
+            const Tensor<Half> &q, const Tensor<Half> &k,
+            const Tensor<Half> &v, Tensor<Half> &out)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional fused MHA handles one head");
@@ -103,39 +103,43 @@ fusedMhaRun(const FusedMhaDesc &desc, const Tensor<Half> &q,
                    "fused MHA operand shapes must be [L, dHead]");
     constexpr float neg_inf = -std::numeric_limits<float>::infinity();
 
-    std::vector<float> scores(size_t(L), 0.0f);
-    for (int64_t i = 0; i < L; ++i) {
-        float row_max = neg_inf;
-        for (int64_t j = 0; j < L; ++j) {
-            float s = 0.0f;
-            for (int64_t d = 0; d < dh; ++d)
-                s += float(q.at(i, d)) * float(k.at(j, d));
-            s *= float(desc.scale);
-            if (desc.causalMask && j > i)
-                s = neg_inf;
-            scores[size_t(j)] = s;
-            row_max = std::max(row_max, s);
+    // Parallel over query rows; each chunk owns a scores buffer and
+    // writes disjoint output rows (bit-identical at any thread count).
+    parallelFor(ctx, 0, L, 8, [&](int64_t row0, int64_t row1) {
+        std::vector<float> scores(size_t(L), 0.0f);
+        for (int64_t i = row0; i < row1; ++i) {
+            float row_max = neg_inf;
+            for (int64_t j = 0; j < L; ++j) {
+                float s = 0.0f;
+                for (int64_t d = 0; d < dh; ++d)
+                    s += float(q.at(i, d)) * float(k.at(j, d));
+                s *= float(desc.scale);
+                if (desc.causalMask && j > i)
+                    s = neg_inf;
+                scores[size_t(j)] = s;
+                row_max = std::max(row_max, s);
+            }
+            float denom = 0.0f;
+            for (int64_t j = 0; j < L; ++j) {
+                const float e = row_max == neg_inf
+                    ? 0.0f
+                    : std::exp(scores[size_t(j)] - row_max);
+                scores[size_t(j)] = e;
+                denom += e;
+            }
+            SOFTREC_CHECK(denom > 0.0f || row_max == neg_inf,
+                          "fused MHA row %lld: normalizer d = %f must "
+                          "be positive for an unmasked row",
+                          (long long)i, double(denom));
+            const float inv = denom > 0.0f ? 1.0f / denom : 0.0f;
+            for (int64_t d = 0; d < dh; ++d) {
+                float acc = 0.0f;
+                for (int64_t j = 0; j < L; ++j)
+                    acc += scores[size_t(j)] * float(v.at(j, d));
+                out.at(i, d) = Half(acc * inv);
+            }
         }
-        float denom = 0.0f;
-        for (int64_t j = 0; j < L; ++j) {
-            const float e = row_max == neg_inf
-                ? 0.0f
-                : std::exp(scores[size_t(j)] - row_max);
-            scores[size_t(j)] = e;
-            denom += e;
-        }
-        SOFTREC_CHECK(denom > 0.0f || row_max == neg_inf,
-                      "fused MHA row %lld: normalizer d = %f must be "
-                      "positive for an unmasked row",
-                      (long long)i, double(denom));
-        const float inv = denom > 0.0f ? 1.0f / denom : 0.0f;
-        for (int64_t d = 0; d < dh; ++d) {
-            float acc = 0.0f;
-            for (int64_t j = 0; j < L; ++j)
-                acc += scores[size_t(j)] * float(v.at(j, d));
-            out.at(i, d) = Half(acc * inv);
-        }
-    }
+    });
     if constexpr (kCheckedBuild)
         checkFinite(out, "fused MHA output");
 }

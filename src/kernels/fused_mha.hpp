@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "common/exec_context.hpp"
 #include "fp16/half.hpp"
 #include "sim/kernel_profile.hpp"
 #include "tensor/tensor.hpp"
@@ -51,11 +52,12 @@ KernelProfile fusedMhaProfile(const GpuSpec &spec,
 /**
  * Functional fused MHA for one head (batch must be 1): computes
  * softmax(scale * Q.K^T [masked]) . V with fp32 intermediates and no
- * materialized attention matrix.
+ * materialized attention matrix. Parallel over query rows;
+ * bit-identical for any thread count.
  */
-void fusedMhaRun(const FusedMhaDesc &desc, const Tensor<Half> &q,
-                 const Tensor<Half> &k, const Tensor<Half> &v,
-                 Tensor<Half> &out);
+void fusedMhaRun(const ExecContext &ctx, const FusedMhaDesc &desc,
+                 const Tensor<Half> &q, const Tensor<Half> &k,
+                 const Tensor<Half> &v, Tensor<Half> &out);
 
 } // namespace softrec
 

@@ -139,8 +139,8 @@ geluApprox(float x)
 }
 
 void
-gemmRun(const GemmDesc &desc, const GemmOperands &ops, Tensor<Half> &c,
-        const LsOutputs *ls)
+gemmRun(const ExecContext &ctx, const GemmDesc &desc,
+        const GemmOperands &ops, Tensor<Half> &c, const LsOutputs *ls)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional GEMM handles one batch item; loop "
@@ -178,9 +178,10 @@ gemmRun(const GemmDesc &desc, const GemmOperands &ops, Tensor<Half> &c,
     }
 
     const float neg_inf = -std::numeric_limits<float>::infinity();
-    std::vector<float> acc(size_t(t.tileM * t.tileN));
 
-    for (int64_t m0 = 0; m0 < m; m0 += t.tileM) {
+    // One m-tile strip of output: all n-tiles for rows [m0, m0 + mh).
+    // Takes its own accumulator so parallel strips never share state.
+    auto runStrip = [&](int64_t m0, std::vector<float> &acc) {
         const int64_t mh = std::min(t.tileM, m - m0);
         for (int64_t n0 = 0; n0 < n; n0 += t.tileN) {
             const int64_t nw = std::min(t.tileN, n - n0);
@@ -258,7 +259,17 @@ gemmRun(const GemmDesc &desc, const GemmOperands &ops, Tensor<Half> &c,
                 }
             }
         }
-    }
+    };
+
+    // Parallel over m-tile strips: each strip owns its accumulator
+    // and writes disjoint output rows (and disjoint LS rows), so the
+    // result is bit-identical for any thread count.
+    const int64_t strips = ceilDiv(m, t.tileM);
+    parallelFor(ctx, 0, strips, 1, [&](int64_t strip0, int64_t strip1) {
+        std::vector<float> acc(size_t(t.tileM * t.tileN));
+        for (int64_t strip = strip0; strip < strip1; ++strip)
+            runStrip(strip * t.tileM, acc);
+    });
 }
 
 } // namespace softrec

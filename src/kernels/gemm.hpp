@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "common/exec_context.hpp"
 #include "fp16/half.hpp"
 #include "kernels/kernel_common.hpp"
 #include "sim/kernel_profile.hpp"
@@ -111,15 +112,19 @@ struct GemmOperands
  * Functional tiled GEMM, faithful to the modeled dataflow: fp16
  * operands, fp32 tile accumulators, epilogue applied per output tile
  * (so a fused LS uses sub-vectors of exactly tileN columns), results
- * rounded to fp16 on store.
+ * rounded to fp16 on store. Parallelizes over m-tile strips; each
+ * strip owns its accumulator and writes disjoint output rows, so
+ * results are bit-identical for any thread count.
  *
+ * @param ctx execution context (serial when default-constructed)
  * @param desc launch description (batch must be 1)
  * @param ops operand tensors
  * @param c output, shape [m, n]
  * @param ls destination for m'/d' when epilogue.localSoftmax is set
  */
-void gemmRun(const GemmDesc &desc, const GemmOperands &ops,
-             Tensor<Half> &c, const LsOutputs *ls = nullptr);
+void gemmRun(const ExecContext &ctx, const GemmDesc &desc,
+             const GemmOperands &ops, Tensor<Half> &c,
+             const LsOutputs *ls = nullptr);
 
 /** GeLU (tanh approximation), exposed for reuse and tests. */
 float geluApprox(float x);

@@ -21,10 +21,22 @@ namespace {
 
 constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 
+/** Rows per parallelFor chunk (fixed: part of the determinism contract). */
+constexpr int64_t kRowGrain = 8;
+
 } // namespace
 
+int64_t
+SoftmaxShape::numSubVectors() const
+{
+    SOFTREC_ASSERT(subVector > 0,
+                   "%s: numSubVectors needs subVector > 0 (whole-row "
+                   "shape?)", name.c_str());
+    return ceilDiv(cols, subVector);
+}
+
 KernelProfile
-rowSoftmaxProfile(const GpuSpec &spec, const SoftmaxDesc &desc)
+rowSoftmaxProfile(const GpuSpec &spec, const SoftmaxShape &desc)
 {
     (void)spec;
     SOFTREC_ASSERT(desc.batch > 0 && desc.rows > 0 && desc.cols > 0,
@@ -54,8 +66,8 @@ rowSoftmaxProfile(const GpuSpec &spec, const SoftmaxDesc &desc)
 }
 
 void
-rowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
-              Tensor<Half> &out)
+rowSoftmaxRun(const ExecContext &ctx, const SoftmaxShape &desc,
+              const Tensor<Half> &in, Tensor<Half> &out)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional softmax handles one matrix; loop outside");
@@ -64,31 +76,35 @@ rowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
                    "softmax shapes must be [rows, cols]");
     if constexpr (kCheckedBuild)
         checkFinite(in, "rowSoftmax input", /*allow_neg_inf=*/true);
-    for (int64_t i = 0; i < desc.rows; ++i) {
-        float max_val = kNegInf;
-        for (int64_t j = 0; j < desc.cols; ++j)
-            max_val = std::max(max_val, float(in.at(i, j)));
-        float denom = 0.0f;
-        for (int64_t j = 0; j < desc.cols; ++j) {
-            if (max_val != kNegInf)
-                denom += std::exp(float(in.at(i, j)) - max_val);
+    parallelFor(ctx, 0, desc.rows, kRowGrain,
+                [&](int64_t row0, int64_t row1) {
+        for (int64_t i = row0; i < row1; ++i) {
+            float max_val = kNegInf;
+            for (int64_t j = 0; j < desc.cols; ++j)
+                max_val = std::max(max_val, float(in.at(i, j)));
+            float denom = 0.0f;
+            for (int64_t j = 0; j < desc.cols; ++j) {
+                if (max_val != kNegInf)
+                    denom += std::exp(float(in.at(i, j)) - max_val);
+            }
+            for (int64_t j = 0; j < desc.cols; ++j) {
+                const float e = max_val == kNegInf
+                    ? 0.0f
+                    : std::exp(float(in.at(i, j)) - max_val);
+                out.at(i, j) = Half(denom > 0.0f ? e / denom : 0.0f);
+            }
+            SOFTREC_CHECK(denom > 0.0f || max_val == kNegInf,
+                          "row %lld normalizer d = %f must be positive "
+                          "for an unmasked row",
+                          (long long)i, double(denom));
         }
-        for (int64_t j = 0; j < desc.cols; ++j) {
-            const float e = max_val == kNegInf
-                ? 0.0f
-                : std::exp(float(in.at(i, j)) - max_val);
-            out.at(i, j) = Half(denom > 0.0f ? e / denom : 0.0f);
-        }
-        SOFTREC_CHECK(denom > 0.0f || max_val == kNegInf,
-                      "row %lld normalizer d = %f must be positive for "
-                      "an unmasked row", (long long)i, double(denom));
-    }
+    });
     if constexpr (kCheckedBuild)
         checkRowSumsNearOne(out, "rowSoftmax output");
 }
 
 KernelProfile
-onlineRowSoftmaxProfile(const GpuSpec &spec, const SoftmaxDesc &desc)
+onlineRowSoftmaxProfile(const GpuSpec &spec, const SoftmaxShape &desc)
 {
     KernelProfile prof = rowSoftmaxProfile(spec, desc);
     prof.name = desc.name + ".online";
@@ -103,8 +119,8 @@ onlineRowSoftmaxProfile(const GpuSpec &spec, const SoftmaxDesc &desc)
 }
 
 void
-onlineRowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
-                    Tensor<Half> &out)
+onlineRowSoftmaxRun(const ExecContext &ctx, const SoftmaxShape &desc,
+                    const Tensor<Half> &in, Tensor<Half> &out)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional softmax handles one matrix; loop outside");
@@ -113,42 +129,40 @@ onlineRowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
                    "softmax shapes must be [rows, cols]");
     if constexpr (kCheckedBuild)
         checkFinite(in, "onlineRowSoftmax input", /*allow_neg_inf=*/true);
-    for (int64_t i = 0; i < desc.rows; ++i) {
-        // Single online pass: running max and rescaled normalizer.
-        float running_max = kNegInf;
-        float running_sum = 0.0f;
-        for (int64_t j = 0; j < desc.cols; ++j) {
-            const float x = float(in.at(i, j));
-            const float new_max = std::max(running_max, x);
-            if (new_max == kNegInf)
-                continue;
-            running_sum =
-                running_sum * (running_max == kNegInf
-                                   ? 0.0f
-                                   : std::exp(running_max - new_max)) +
-                std::exp(x - new_max);
-            running_max = new_max;
+    parallelFor(ctx, 0, desc.rows, kRowGrain,
+                [&](int64_t row0, int64_t row1) {
+        for (int64_t i = row0; i < row1; ++i) {
+            // Single online pass: running max and rescaled normalizer.
+            float running_max = kNegInf;
+            float running_sum = 0.0f;
+            for (int64_t j = 0; j < desc.cols; ++j) {
+                const float x = float(in.at(i, j));
+                const float new_max = std::max(running_max, x);
+                if (new_max == kNegInf)
+                    continue;
+                running_sum =
+                    running_sum *
+                        (running_max == kNegInf
+                             ? 0.0f
+                             : std::exp(running_max - new_max)) +
+                    std::exp(x - new_max);
+                running_max = new_max;
+            }
+            for (int64_t j = 0; j < desc.cols; ++j) {
+                const float e = running_max == kNegInf
+                    ? 0.0f
+                    : std::exp(float(in.at(i, j)) - running_max);
+                out.at(i, j) =
+                    Half(running_sum > 0.0f ? e / running_sum : 0.0f);
+            }
         }
-        for (int64_t j = 0; j < desc.cols; ++j) {
-            const float e = running_max == kNegInf
-                ? 0.0f
-                : std::exp(float(in.at(i, j)) - running_max);
-            out.at(i, j) =
-                Half(running_sum > 0.0f ? e / running_sum : 0.0f);
-        }
-    }
+    });
     if constexpr (kCheckedBuild)
         checkRowSumsNearOne(out, "onlineRowSoftmax output");
 }
 
-int64_t
-DecomposedSoftmaxDesc::numSubVectors() const
-{
-    return ceilDiv(cols, subVector);
-}
-
 KernelProfile
-lsProfile(const GpuSpec &spec, const DecomposedSoftmaxDesc &desc)
+lsProfile(const GpuSpec &spec, const SoftmaxShape &desc)
 {
     (void)spec;
     SOFTREC_ASSERT(desc.batch > 0 && desc.rows > 0 && desc.cols > 0 &&
@@ -183,9 +197,9 @@ lsProfile(const GpuSpec &spec, const DecomposedSoftmaxDesc &desc)
 }
 
 void
-lsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &in,
-      Tensor<Half> &x_prime, Tensor<float> &local_max,
-      Tensor<float> &local_sum)
+lsRun(const ExecContext &ctx, const SoftmaxShape &desc,
+      const Tensor<Half> &in, Tensor<Half> &x_prime,
+      Tensor<float> &local_max, Tensor<float> &local_sum)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional LS handles one matrix; loop outside");
@@ -198,36 +212,40 @@ lsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &in,
                    "LS m'/d' shapes must be [rows, N_sv]");
     if constexpr (kCheckedBuild)
         checkFinite(in, "LS input", /*allow_neg_inf=*/true);
-    for (int64_t i = 0; i < desc.rows; ++i) {
-        for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
-            const int64_t j0 = sv * desc.subVector;
-            const int64_t j1 =
-                std::min(desc.cols, j0 + desc.subVector);
-            float m_local = kNegInf;
-            for (int64_t j = j0; j < j1; ++j)
-                m_local = std::max(m_local, float(in.at(i, j)));
-            float d_local = 0.0f;
-            for (int64_t j = j0; j < j1; ++j) {
-                const float e = m_local == kNegInf
-                    ? 0.0f
-                    : std::exp(float(in.at(i, j)) - m_local);
-                d_local += e;
-                x_prime.at(i, j) = Half(e);
+    parallelFor(ctx, 0, desc.rows, kRowGrain,
+                [&](int64_t row0, int64_t row1) {
+        for (int64_t i = row0; i < row1; ++i) {
+            for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
+                const int64_t j0 = sv * desc.subVector;
+                const int64_t j1 =
+                    std::min(desc.cols, j0 + desc.subVector);
+                float m_local = kNegInf;
+                for (int64_t j = j0; j < j1; ++j)
+                    m_local = std::max(m_local, float(in.at(i, j)));
+                float d_local = 0.0f;
+                for (int64_t j = j0; j < j1; ++j) {
+                    const float e = m_local == kNegInf
+                        ? 0.0f
+                        : std::exp(float(in.at(i, j)) - m_local);
+                    d_local += e;
+                    x_prime.at(i, j) = Half(e);
+                }
+                local_max.at(i, sv) = m_local;
+                local_sum.at(i, sv) = d_local;
+                SOFTREC_CHECK(d_local > 0.0f || m_local == kNegInf,
+                              "LS sub-vector (%lld, %lld): d' = %f must "
+                              "be positive unless fully masked",
+                              (long long)i, (long long)sv,
+                              double(d_local));
             }
-            local_max.at(i, sv) = m_local;
-            local_sum.at(i, sv) = d_local;
-            SOFTREC_CHECK(d_local > 0.0f || m_local == kNegInf,
-                          "LS sub-vector (%lld, %lld): d' = %f must be "
-                          "positive unless fully masked",
-                          (long long)i, (long long)sv, double(d_local));
         }
-    }
+    });
     if constexpr (kCheckedBuild)
         checkFinite(local_sum, "LS d' output");
 }
 
 KernelProfile
-irProfile(const GpuSpec &spec, const DecomposedSoftmaxDesc &desc)
+irProfile(const GpuSpec &spec, const SoftmaxShape &desc)
 {
     (void)spec;
     KernelProfile prof;
@@ -250,8 +268,9 @@ irProfile(const GpuSpec &spec, const DecomposedSoftmaxDesc &desc)
 }
 
 void
-irRun(const DecomposedSoftmaxDesc &desc, const Tensor<float> &local_max,
-      const Tensor<float> &local_sum, Tensor<float> &recon)
+irRun(const ExecContext &ctx, const SoftmaxShape &desc,
+      const Tensor<float> &local_max, const Tensor<float> &local_sum,
+      Tensor<float> &recon)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional IR handles one matrix; loop outside");
@@ -260,38 +279,41 @@ irRun(const DecomposedSoftmaxDesc &desc, const Tensor<float> &local_max,
                    local_sum.shape() == md_shape &&
                    recon.shape() == md_shape,
                    "IR shapes must be [rows, N_sv]");
-    for (int64_t i = 0; i < desc.rows; ++i) {
-        float m_global = kNegInf;
-        for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv)
-            m_global = std::max(m_global, local_max.at(i, sv));
-        float d_global = 0.0f;
-        for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
-            const float m_local = local_max.at(i, sv);
-            if (m_local == kNegInf)
-                continue; // fully masked sub-vector contributes nothing
-            d_global +=
-                std::exp(m_local - m_global) * local_sum.at(i, sv);
-        }
-        SOFTREC_CHECK(d_global > 0.0f || m_global == kNegInf,
-                      "IR row %lld: global normalizer d = %f must be "
-                      "positive for an unmasked row",
-                      (long long)i, double(d_global));
-        for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
-            const float m_local = local_max.at(i, sv);
-            if (m_local == kNegInf || d_global <= 0.0f) {
-                recon.at(i, sv) = 0.0f;
-            } else {
-                recon.at(i, sv) =
-                    std::exp(m_local - m_global) / d_global;
+    parallelFor(ctx, 0, desc.rows, kRowGrain,
+                [&](int64_t row0, int64_t row1) {
+        for (int64_t i = row0; i < row1; ++i) {
+            float m_global = kNegInf;
+            for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv)
+                m_global = std::max(m_global, local_max.at(i, sv));
+            float d_global = 0.0f;
+            for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
+                const float m_local = local_max.at(i, sv);
+                if (m_local == kNegInf)
+                    continue; // fully masked: contributes nothing
+                d_global +=
+                    std::exp(m_local - m_global) * local_sum.at(i, sv);
+            }
+            SOFTREC_CHECK(d_global > 0.0f || m_global == kNegInf,
+                          "IR row %lld: global normalizer d = %f must "
+                          "be positive for an unmasked row",
+                          (long long)i, double(d_global));
+            for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
+                const float m_local = local_max.at(i, sv);
+                if (m_local == kNegInf || d_global <= 0.0f) {
+                    recon.at(i, sv) = 0.0f;
+                } else {
+                    recon.at(i, sv) =
+                        std::exp(m_local - m_global) / d_global;
+                }
             }
         }
-    }
+    });
     if constexpr (kCheckedBuild)
         checkReconFactors(recon, "IR r' output");
 }
 
 KernelProfile
-gsProfile(const GpuSpec &spec, const DecomposedSoftmaxDesc &desc)
+gsProfile(const GpuSpec &spec, const SoftmaxShape &desc)
 {
     (void)spec;
     KernelProfile prof;
@@ -315,8 +337,9 @@ gsProfile(const GpuSpec &spec, const DecomposedSoftmaxDesc &desc)
 }
 
 void
-gsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &x_prime,
-      const Tensor<float> &recon, Tensor<Half> &y)
+gsRun(const ExecContext &ctx, const SoftmaxShape &desc,
+      const Tensor<Half> &x_prime, const Tensor<float> &recon,
+      Tensor<Half> &y)
 {
     SOFTREC_ASSERT(desc.batch == 1,
                    "functional GS handles one matrix; loop outside");
@@ -326,12 +349,15 @@ gsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &x_prime,
     SOFTREC_ASSERT(recon.shape() ==
                        Shape({desc.rows, desc.numSubVectors()}),
                    "GS r' shape must be [rows, N_sv]");
-    for (int64_t i = 0; i < desc.rows; ++i) {
-        for (int64_t j = 0; j < desc.cols; ++j) {
-            const float r = recon.at(i, j / desc.subVector);
-            y.at(i, j) = Half(float(x_prime.at(i, j)) * r);
+    parallelFor(ctx, 0, desc.rows, kRowGrain,
+                [&](int64_t row0, int64_t row1) {
+        for (int64_t i = row0; i < row1; ++i) {
+            for (int64_t j = 0; j < desc.cols; ++j) {
+                const float r = recon.at(i, j / desc.subVector);
+                y.at(i, j) = Half(float(x_prime.at(i, j)) * r);
+            }
         }
-    }
+    });
     // The recomposition identity (Eq. (2)): after GS the decomposed
     // pipeline must reproduce safe-softmax rows exactly, so each
     // unmasked row sums to ~1.

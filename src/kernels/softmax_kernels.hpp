@@ -10,7 +10,9 @@
  *    standalone in the SD configuration.
  *
  * Functional implementations compute with fp32 intermediates on fp16
- * storage, mirroring the modeled kernels.
+ * storage, mirroring the modeled kernels, and parallelize over rows
+ * through the ExecContext they take as first parameter (bit-identical
+ * for any thread count — see common/exec_context.hpp).
  */
 
 #ifndef SOFTREC_KERNELS_SOFTMAX_KERNELS_HPP
@@ -18,28 +20,37 @@
 
 #include <string>
 
+#include "common/exec_context.hpp"
 #include "fp16/half.hpp"
 #include "sim/kernel_profile.hpp"
 #include "tensor/tensor.hpp"
 
 namespace softrec {
 
-/** Problem shape shared by the dense softmax kernels. */
-struct SoftmaxDesc
+/**
+ * Problem shape shared by all dense softmax kernels. The whole-row
+ * kernels (rowSoftmax*, onlineRowSoftmax*) ignore subVector; the
+ * decomposed LS/IR/GS kernels require it > 0.
+ */
+struct SoftmaxShape
 {
     std::string name = "softmax";
-    int64_t batch = 1; //!< independent matrices (batch x heads)
-    int64_t rows = 0;  //!< attention rows (L)
-    int64_t cols = 0;  //!< attention columns (L)
+    int64_t batch = 1;      //!< independent matrices (batch x heads)
+    int64_t rows = 0;       //!< attention rows (L)
+    int64_t cols = 0;       //!< attention columns (L)
+    int64_t subVector = 0;  //!< sub-vector width T; 0 = whole-row
+
+    /** Number of sub-vectors per row (N_sv = ceil(L / T)). */
+    int64_t numSubVectors() const;
 };
 
 /** Baseline row-softmax launch profile (one row per TB). */
 KernelProfile rowSoftmaxProfile(const GpuSpec &spec,
-                                const SoftmaxDesc &desc);
+                                const SoftmaxShape &desc);
 
 /** Functional safe softmax along rows: out = softmax(in). */
-void rowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
-                   Tensor<Half> &out);
+void rowSoftmaxRun(const ExecContext &ctx, const SoftmaxShape &desc,
+                   const Tensor<Half> &in, Tensor<Half> &out);
 
 /**
  * Online-normalizer row softmax (Milakov & Gimelshein, related work
@@ -50,28 +61,15 @@ void rowSoftmaxRun(const SoftmaxDesc &desc, const Tensor<Half> &in,
  * way recomposition does.
  */
 KernelProfile onlineRowSoftmaxProfile(const GpuSpec &spec,
-                                      const SoftmaxDesc &desc);
+                                      const SoftmaxShape &desc);
 
 /** Functional online-normalizer softmax along rows. */
-void onlineRowSoftmaxRun(const SoftmaxDesc &desc,
+void onlineRowSoftmaxRun(const ExecContext &ctx,
+                         const SoftmaxShape &desc,
                          const Tensor<Half> &in, Tensor<Half> &out);
 
-/** Shape of a decomposed-softmax launch. */
-struct DecomposedSoftmaxDesc
-{
-    std::string name = "softmax.sub";
-    int64_t batch = 1;
-    int64_t rows = 0;
-    int64_t cols = 0;
-    int64_t subVector = 64; //!< sub-vector width T
-
-    /** Number of sub-vectors per row (N_sv = ceil(L / T)). */
-    int64_t numSubVectors() const;
-};
-
 /** LS kernel profile: square tiles of sub-vectors per TB. */
-KernelProfile lsProfile(const GpuSpec &spec,
-                        const DecomposedSoftmaxDesc &desc);
+KernelProfile lsProfile(const GpuSpec &spec, const SoftmaxShape &desc);
 
 /**
  * Functional Local Softmax: per sub-vector k of each row, emit
@@ -81,13 +79,12 @@ KernelProfile lsProfile(const GpuSpec &spec,
  * @param local_max out, [rows, N_sv] (fp32)
  * @param local_sum out, [rows, N_sv] (fp32)
  */
-void lsRun(const DecomposedSoftmaxDesc &desc, const Tensor<Half> &in,
-           Tensor<Half> &x_prime, Tensor<float> &local_max,
-           Tensor<float> &local_sum);
+void lsRun(const ExecContext &ctx, const SoftmaxShape &desc,
+           const Tensor<Half> &in, Tensor<Half> &x_prime,
+           Tensor<float> &local_max, Tensor<float> &local_sum);
 
 /** IR kernel profile: one row's (m', d') pairs per thread. */
-KernelProfile irProfile(const GpuSpec &spec,
-                        const DecomposedSoftmaxDesc &desc);
+KernelProfile irProfile(const GpuSpec &spec, const SoftmaxShape &desc);
 
 /**
  * Functional Inter-sub-vector Reduction: per row, reduce
@@ -96,16 +93,15 @@ KernelProfile irProfile(const GpuSpec &spec,
  *
  * @param recon out, [rows, N_sv] (fp32)
  */
-void irRun(const DecomposedSoftmaxDesc &desc,
+void irRun(const ExecContext &ctx, const SoftmaxShape &desc,
            const Tensor<float> &local_max,
            const Tensor<float> &local_sum, Tensor<float> &recon);
 
 /** GS kernel profile: element-wise streaming. */
-KernelProfile gsProfile(const GpuSpec &spec,
-                        const DecomposedSoftmaxDesc &desc);
+KernelProfile gsProfile(const GpuSpec &spec, const SoftmaxShape &desc);
 
 /** Functional Global Scaling: y = x' * r'[row, j / T]. */
-void gsRun(const DecomposedSoftmaxDesc &desc,
+void gsRun(const ExecContext &ctx, const SoftmaxShape &desc,
            const Tensor<Half> &x_prime, const Tensor<float> &recon,
            Tensor<Half> &y);
 

@@ -70,4 +70,21 @@ runInference(const GpuSpec &spec, const ModelConfig &model,
     return result;
 }
 
+std::vector<InferenceResult>
+runInferenceSweep(const ExecContext &ctx, const GpuSpec &spec,
+                  const ModelConfig &model,
+                  const std::vector<RunConfig> &runs)
+{
+    // Each run simulates independently and writes only its own slot;
+    // ordering of the result vector never depends on thread count.
+    std::vector<InferenceResult> results(runs.size());
+    parallelFor(ctx, 0, int64_t(runs.size()), 1,
+                [&](int64_t run0, int64_t run1) {
+        for (int64_t r = run0; r < run1; ++r)
+            results[size_t(r)] = runInference(spec, model,
+                                              runs[size_t(r)]);
+    });
+    return results;
+}
+
 } // namespace softrec

@@ -60,8 +60,9 @@ namespace {
 
 /** y = x W + b via the functional GEMM, fp16 storage. */
 Tensor<Half>
-project(const Tensor<Half> &x, const Tensor<Half> &w,
-        const Tensor<float> &bias, bool gelu = false)
+project(const ExecContext &ctx, const Tensor<Half> &x,
+        const Tensor<Half> &w, const Tensor<float> &bias,
+        bool gelu = false)
 {
     GemmDesc desc;
     desc.m = x.shape().dim(0);
@@ -77,7 +78,7 @@ project(const Tensor<Half> &x, const Tensor<Half> &w,
     ops.b = &w;
     ops.bias = &bias;
     Tensor<Half> out(Shape({desc.m, desc.n}));
-    gemmRun(desc, ops, out);
+    gemmRun(ctx, desc, ops, out);
     return out;
 }
 
@@ -96,7 +97,8 @@ sliceHead(const Tensor<Half> &x, int64_t head, int64_t d_head)
 } // namespace
 
 Tensor<Half>
-runEncoderLayer(const FunctionalLayerConfig &config,
+runEncoderLayer(const ExecContext &ctx,
+                const FunctionalLayerConfig &config,
                 const EncoderLayerWeights &weights,
                 const Tensor<Half> &input)
 {
@@ -109,9 +111,9 @@ runEncoderLayer(const FunctionalLayerConfig &config,
     const int64_t dh = config.dHead();
 
     // QKV projections.
-    const Tensor<Half> q = project(input, weights.wq, weights.bq);
-    const Tensor<Half> k = project(input, weights.wk, weights.bk);
-    const Tensor<Half> v = project(input, weights.wv, weights.bv);
+    const Tensor<Half> q = project(ctx, input, weights.wq, weights.bq);
+    const Tensor<Half> k = project(ctx, input, weights.wk, weights.bk);
+    const Tensor<Half> v = project(ctx, input, weights.wv, weights.bv);
 
     // Multi-head attention under the configured strategy.
     SdaConfig sda;
@@ -122,36 +124,53 @@ runEncoderLayer(const FunctionalLayerConfig &config,
     sda.subVector = config.subVector;
     sda.attnTiling = config.attnTiling;
 
+    // Heads are independent problems writing disjoint column bands of
+    // the concatenated output, so they parallelize at grain 1; the
+    // kernels inside each head then run inline (nested regions
+    // degrade to serial), keeping the math order head-local and the
+    // result bit-identical for any thread count.
     Tensor<Half> attention(Shape({rows, config.dModel}));
-    for (int64_t head = 0; head < config.numHeads; ++head) {
-        AttentionInputs head_inputs{sliceHead(q, head, dh),
-                                    sliceHead(k, head, dh),
-                                    sliceHead(v, head, dh)};
-        const Tensor<Half> head_out = config.layout
-            ? runSparseAttention(sda, head_inputs, config.strategy)
-            : runDenseAttention(sda, head_inputs, config.strategy);
-        for (int64_t i = 0; i < rows; ++i)
-            for (int64_t j = 0; j < dh; ++j)
-                attention.at(i, head * dh + j) = head_out.at(i, j);
-    }
+    parallelFor(ctx, 0, config.numHeads, 1,
+                [&](int64_t head0, int64_t head1) {
+        for (int64_t head = head0; head < head1; ++head) {
+            AttentionInputs head_inputs{sliceHead(q, head, dh),
+                                        sliceHead(k, head, dh),
+                                        sliceHead(v, head, dh)};
+            const Tensor<Half> head_out =
+                runAttention(ctx, sda, head_inputs, config.strategy);
+            for (int64_t i = 0; i < rows; ++i)
+                for (int64_t j = 0; j < dh; ++j)
+                    attention.at(i, head * dh + j) = head_out.at(i, j);
+        }
+    });
 
     // Output projection, residual, LayerNorm.
     const Tensor<Half> projected =
-        project(attention, weights.wo, weights.bo);
+        project(ctx, attention, weights.wo, weights.bo);
     Tensor<Half> post_attn(input.shape());
-    residualAddRun(input, projected, post_attn);
+    residualAddRun(ctx, input, projected, post_attn);
     Tensor<Half> hidden(input.shape());
-    layerNormRun(post_attn, weights.gamma1, weights.beta1, hidden);
+    layerNormRun(ctx, post_attn, weights.gamma1, weights.beta1,
+                 hidden);
 
     // FeedForward, residual, LayerNorm.
     const Tensor<Half> ff1 =
-        project(hidden, weights.w1, weights.b1, /*gelu=*/true);
-    const Tensor<Half> ff2 = project(ff1, weights.w2, weights.b2);
+        project(ctx, hidden, weights.w1, weights.b1, /*gelu=*/true);
+    const Tensor<Half> ff2 = project(ctx, ff1, weights.w2, weights.b2);
     Tensor<Half> post_ff(input.shape());
-    residualAddRun(hidden, ff2, post_ff);
+    residualAddRun(ctx, hidden, ff2, post_ff);
     Tensor<Half> out(input.shape());
-    layerNormRun(post_ff, weights.gamma2, weights.beta2, out);
+    layerNormRun(ctx, post_ff, weights.gamma2, weights.beta2, out);
     return out;
+}
+
+Tensor<Half>
+runEncoderLayer(const FunctionalLayerConfig &config,
+                const EncoderLayerWeights &weights,
+                const Tensor<Half> &input)
+{
+    return runEncoderLayer(ExecContext::fromEnv(), config, weights,
+                           input);
 }
 
 } // namespace softrec

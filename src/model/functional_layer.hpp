@@ -15,6 +15,7 @@
 #ifndef SOFTREC_MODEL_FUNCTIONAL_LAYER_HPP
 #define SOFTREC_MODEL_FUNCTIONAL_LAYER_HPP
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "core/recomposition.hpp"
 #include "fp16/half.hpp"
@@ -59,11 +60,24 @@ struct FunctionalLayerConfig
 
 /**
  * Run one encoder layer: LayerNorm(x + MHA(x)), then
- * LayerNorm(h + FF(h)).
+ * LayerNorm(h + FF(h)). Attention heads run in parallel under the
+ * context; every kernel inside is chunk-deterministic, so the output
+ * is bit-identical for any thread count.
  *
+ * @param ctx execution context (serial when default-constructed)
  * @param input [L, dModel] fp16
  * @return [L, dModel] fp16
  */
+Tensor<Half> runEncoderLayer(const ExecContext &ctx,
+                             const FunctionalLayerConfig &config,
+                             const EncoderLayerWeights &weights,
+                             const Tensor<Half> &input);
+
+/**
+ * Deprecated pre-ExecContext entry point, kept for one PR. Runs with
+ * the SOFTREC_THREADS environment context (serial when unset).
+ */
+[[deprecated("use runEncoderLayer(ctx, config, weights, input)")]]
 Tensor<Half> runEncoderLayer(const FunctionalLayerConfig &config,
                              const EncoderLayerWeights &weights,
                              const Tensor<Half> &input);

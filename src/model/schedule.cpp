@@ -89,7 +89,7 @@ TransformerScheduler::build(const GpuSpec &spec)
         for (KernelProfile &prof : sda_.kernels) {
             if (prof.category == KernelCategory::Softmax &&
                 !model_.sparse()) {
-                SoftmaxDesc desc;
+                SoftmaxShape desc;
                 desc.name = "sda.softmax";
                 desc.batch = B * model_.numHeads;
                 desc.rows = L;

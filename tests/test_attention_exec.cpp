@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "core/attention_exec.hpp"
 #include "sparse/patterns.hpp"
@@ -17,6 +18,13 @@
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 AttentionInputs
 randomInputs(const SdaConfig &config, uint64_t seed)
@@ -54,7 +62,7 @@ TEST_P(DenseStrategies, AllMatchDoubleReference)
         referenceDenseAttention(config, inputs);
     for (Strategy strategy : allStrategies()) {
         const Tensor<Half> out =
-            runDenseAttention(config, inputs, strategy);
+            runAttention(execCtx(), config, inputs, strategy);
         EXPECT_LT(maxAbsDiff(toFloat(out), reference), kTol)
             << strategyName(strategy) << " L=" << L << " t=" << t
             << " causal=" << causal;
@@ -79,11 +87,11 @@ TEST(DenseStrategies, PairwiseAgreement)
     const AttentionInputs inputs = randomInputs(config, 7);
 
     const auto baseline =
-        toFloat(runDenseAttention(config, inputs, Strategy::Baseline));
+        toFloat(runAttention(execCtx(), config, inputs, Strategy::Baseline));
     const auto sd = toFloat(
-        runDenseAttention(config, inputs, Strategy::Decomposed));
+        runAttention(execCtx(), config, inputs, Strategy::Decomposed));
     const auto sdf =
-        toFloat(runDenseAttention(config, inputs, Strategy::Fused));
+        toFloat(runAttention(execCtx(), config, inputs, Strategy::Fused));
     EXPECT_LT(maxAbsDiff(baseline, sd), kTol);
     EXPECT_LT(maxAbsDiff(baseline, sdf), kTol);
     EXPECT_LT(maxAbsDiff(sd, sdf), kTol);
@@ -102,7 +110,7 @@ TEST(DenseStrategies, CausalFirstRowAttendsOnlyToItself)
     const AttentionInputs inputs = randomInputs(config, 8);
     for (Strategy strategy : allStrategies()) {
         const Tensor<Half> out =
-            runDenseAttention(config, inputs, strategy);
+            runAttention(execCtx(), config, inputs, strategy);
         // Row 0 sees only token 0, so output row 0 = V row 0.
         for (int64_t d = 0; d < config.dHead; ++d) {
             EXPECT_NEAR(float(out.at(0, d)),
@@ -137,7 +145,7 @@ TEST_P(SparseStrategies, AllMatchSparseReference)
         referenceSparseAttention(config, inputs);
     for (Strategy strategy : allStrategies()) {
         const Tensor<Half> out =
-            runSparseAttention(config, inputs, strategy);
+            runAttention(execCtx(), config, inputs, strategy);
         EXPECT_LT(maxAbsDiff(toFloat(out), reference), kTol)
             << strategyName(strategy) << " seed=" << GetParam();
     }
@@ -163,7 +171,7 @@ TEST(SparseStrategies, LongformerLayoutToo)
     const Tensor<float> reference =
         referenceSparseAttention(config, inputs);
     for (Strategy strategy : allStrategies()) {
-        EXPECT_LT(maxAbsDiff(toFloat(runSparseAttention(
+        EXPECT_LT(maxAbsDiff(toFloat(runAttention(execCtx(),
                                  config, inputs, strategy)),
                              reference),
                   kTol)
@@ -187,9 +195,9 @@ TEST(SparseStrategies, DenseLayoutReproducesDenseAttention)
     dense.attnTiling.tileK = 16;
     const AttentionInputs inputs = randomInputs(sparse, 77);
     const auto from_sparse = toFloat(
-        runSparseAttention(sparse, inputs, Strategy::Fused));
+        runAttention(execCtx(), sparse, inputs, Strategy::Fused));
     const auto from_dense =
-        toFloat(runDenseAttention(dense, inputs, Strategy::Fused));
+        toFloat(runAttention(execCtx(), dense, inputs, Strategy::Fused));
     EXPECT_LT(maxAbsDiff(from_sparse, from_dense), kTol);
 }
 

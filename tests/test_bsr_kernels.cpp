@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "kernels/bsr_gemm.hpp"
 #include "kernels/bsr_softmax.hpp"
@@ -18,6 +19,13 @@
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 constexpr int64_t kL = 128;
 constexpr int64_t kBs = 16;
@@ -62,7 +70,7 @@ TEST(BsrSdd, MatchesDenseGemmOnNonZeroBlocks)
     desc.dHead = kDh;
     desc.scale = 0.35;
     BsrMatrix s(layout);
-    bsrSddRun(desc, in.q, in.k, s);
+    bsrSddRun(execCtx(), desc, in.q, in.k, s);
 
     const Tensor<Half> dense = s.toDense();
     for (int64_t i = 0; i < kL; ++i) {
@@ -95,7 +103,7 @@ TEST(BsrDsd, MatchesDenseMatmulWithStructuralZeros)
     desc.layout = &layout;
     desc.dHead = kDh;
     Tensor<Half> o(Shape({kL, kDh}));
-    bsrDsdRun(desc, p, in.v, o);
+    bsrDsdRun(execCtx(), desc, p, in.v, o);
 
     const Tensor<Half> p_masked = p.toDense();
     for (int64_t i = 0; i < kL; ++i) {
@@ -119,7 +127,7 @@ TEST(BsrSoftmax, MatchesPerRowReferenceOverStoredElements)
     BsrMatrix out(layout);
     BsrSoftmaxDesc desc;
     desc.layout = &layout;
-    bsrRowSoftmaxRun(desc, in, out);
+    bsrRowSoftmaxRun(execCtx(), desc, in, out);
 
     const Tensor<Half> in_dense = in.toDense();
     const Tensor<Half> out_dense = out.toDense();
@@ -156,14 +164,14 @@ TEST(BsrDecomposed, ComposesToBaselineSparseSoftmax)
     desc.layout = &layout;
 
     BsrMatrix baseline(layout);
-    bsrRowSoftmaxRun(desc, in, baseline);
+    bsrRowSoftmaxRun(execCtx(), desc, in, baseline);
 
     BsrMatrix x_prime(layout);
     std::vector<float> lmax, lsum, recon;
-    bsrLsRun(desc, in, x_prime, lmax, lsum);
-    bsrIrRun(desc, lmax, lsum, recon);
+    bsrLsRun(execCtx(), desc, in, x_prime, lmax, lsum);
+    bsrIrRun(execCtx(), desc, lmax, lsum, recon);
     BsrMatrix recomposed(layout);
-    bsrGsRun(desc, x_prime, recon, recomposed);
+    bsrGsRun(execCtx(), desc, x_prime, recon, recomposed);
 
     EXPECT_LT(maxAbsDiff(toFloat(recomposed.toDense()),
                          toFloat(baseline.toDense())),
@@ -179,18 +187,18 @@ TEST(BsrFusedSdd, MatchesUnfusedPipeline)
     plain.dHead = kDh;
     plain.scale = 0.35;
     BsrMatrix s(layout);
-    bsrSddRun(plain, in.q, in.k, s);
+    bsrSddRun(execCtx(), plain, in.q, in.k, s);
     BsrSoftmaxDesc sub;
     sub.layout = &layout;
     BsrMatrix x_ref(layout);
     std::vector<float> m_ref, d_ref;
-    bsrLsRun(sub, s, x_ref, m_ref, d_ref);
+    bsrLsRun(execCtx(), sub, s, x_ref, m_ref, d_ref);
 
     BsrSddDesc fused = plain;
     fused.fuseLocalSoftmax = true;
     BsrMatrix x_fused(layout);
     std::vector<float> m_fused, d_fused;
-    bsrSddRun(fused, in.q, in.k, x_fused, &m_fused, &d_fused);
+    bsrSddRun(execCtx(), fused, in.q, in.k, x_fused, &m_fused, &d_fused);
 
     EXPECT_LT(maxAbsDiff(toFloat(x_fused.toDense()),
                          toFloat(x_ref.toDense())),
@@ -217,18 +225,18 @@ TEST(BsrFusedDsd, MatchesGsThenDsd)
     BsrSoftmaxDesc sub;
     sub.layout = &layout;
     BsrMatrix scaled(layout);
-    bsrGsRun(sub, x_prime, recon, scaled);
+    bsrGsRun(execCtx(), sub, x_prime, recon, scaled);
     BsrDsdDesc plain;
     plain.layout = &layout;
     plain.dHead = kDh;
     Tensor<Half> o_ref(Shape({kL, kDh}));
-    bsrDsdRun(plain, scaled, in.v, o_ref);
+    bsrDsdRun(execCtx(), plain, scaled, in.v, o_ref);
 
     // Fused GS prologue.
     BsrDsdDesc fused = plain;
     fused.fuseGlobalScale = true;
     Tensor<Half> o_fused(Shape({kL, kDh}));
-    bsrDsdRun(fused, x_prime, in.v, o_fused, &recon);
+    bsrDsdRun(execCtx(), fused, x_prime, in.v, o_fused, &recon);
 
     EXPECT_LT(maxAbsDiff(toFloat(o_fused), toFloat(o_ref)), 5e-3);
 }

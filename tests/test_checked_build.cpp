@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/exec_context.hpp"
 #include "kernels/softmax_kernels.hpp"
 #include "sparse/bsr.hpp"
 #include "sparse/bsr_matrix.hpp"
@@ -28,6 +29,13 @@
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
 constexpr float kInf = std::numeric_limits<float>::infinity();
@@ -132,7 +140,7 @@ TEST(CheckedBuild, RecompositionPipelineRunsCleanUnderChecks)
 {
     // The LS -> IR -> GS pipeline on a masked input must pass every
     // invariant (d > 0 on unmasked rows, r' in (0, 1], row sums ~1).
-    DecomposedSoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.name = "checked.pipeline";
     desc.batch = 1;
     desc.rows = 8;
@@ -153,9 +161,9 @@ TEST(CheckedBuild, RecompositionPipelineRunsCleanUnderChecks)
     Tensor<float> recon(Shape({desc.rows, desc.numSubVectors()}));
     Tensor<Half> y(in.shape());
 
-    lsRun(desc, in, x_prime, local_max, local_sum);
-    irRun(desc, local_max, local_sum, recon);
-    gsRun(desc, x_prime, recon, y);
+    lsRun(execCtx(), desc, in, x_prime, local_max, local_sum);
+    irRun(execCtx(), desc, local_max, local_sum, recon);
+    gsRun(execCtx(), desc, x_prime, recon, y);
 
     checkReconFactors(recon, "pipeline r'");
     checkRowSumsNearOne(y, "pipeline output");

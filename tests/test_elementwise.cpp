@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
@@ -14,6 +15,13 @@
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 TEST(LayerNorm, NormalizesRowsToAffineTarget)
 {
@@ -24,7 +32,7 @@ TEST(LayerNorm, NormalizesRowsToAffineTarget)
     Tensor<float> gamma(Shape({width}), 2.0f);
     Tensor<float> beta(Shape({width}), 0.5f);
     Tensor<Half> out(in.shape());
-    layerNormRun(in, gamma, beta, out);
+    layerNormRun(execCtx(), in, gamma, beta, out);
 
     for (int64_t i = 0; i < rows; ++i) {
         double mean = 0.0, var = 0.0;
@@ -56,7 +64,7 @@ TEST(LayerNorm, PerColumnAffineApplied)
         beta.at(j) = float(10 * j);
     }
     Tensor<Half> out(in.shape());
-    layerNormRun(in, gamma, beta, out);
+    layerNormRun(execCtx(), in, gamma, beta, out);
     // x normalized = {-1.3416, -0.4472, 0.4472, 1.3416}.
     EXPECT_NEAR(float(out.at(0, 0)), -1.3416f * 1 + 0, 0.01);
     EXPECT_NEAR(float(out.at(0, 3)), 1.3416f * 4 + 30, 0.05);
@@ -66,7 +74,7 @@ TEST(LayerNorm, ShapeMismatchPanics)
 {
     Tensor<Half> in(Shape({2, 4})), out(Shape({2, 4}));
     Tensor<float> gamma(Shape({3})), beta(Shape({4}));
-    EXPECT_THROW(layerNormRun(in, gamma, beta, out), std::logic_error);
+    EXPECT_THROW(layerNormRun(execCtx(), in, gamma, beta, out), std::logic_error);
 }
 
 TEST(ResidualAdd, ElementwiseSum)
@@ -74,7 +82,7 @@ TEST(ResidualAdd, ElementwiseSum)
     Tensor<Half> a(Shape({6}), Half(1.5f));
     Tensor<Half> b(Shape({6}), Half(2.0f));
     Tensor<Half> out(Shape({6}));
-    residualAddRun(a, b, out);
+    residualAddRun(execCtx(), a, b, out);
     for (int64_t i = 0; i < 6; ++i)
         EXPECT_EQ(float(out.at(i)), 3.5f);
 }
@@ -87,7 +95,7 @@ TEST(BiasAct, BiasOnly)
     bias.at(1) = 1.0f;
     bias.at(2) = -2.0f;
     Tensor<Half> out(in.shape());
-    biasActRun(in, bias, false, out);
+    biasActRun(execCtx(), in, bias, false, out);
     EXPECT_EQ(float(out.at(0, 0)), 1.0f);
     EXPECT_EQ(float(out.at(0, 1)), 2.0f);
     EXPECT_EQ(float(out.at(1, 2)), -1.0f);
@@ -100,7 +108,7 @@ TEST(BiasAct, BiasPlusGelu)
     bias.at(0) = 1.0f;
     bias.at(1) = -1.0f;
     Tensor<Half> out(in.shape());
-    biasActRun(in, bias, true, out);
+    biasActRun(execCtx(), in, bias, true, out);
     EXPECT_NEAR(float(out.at(0, 0)), geluApprox(1.0f), 1e-3);
     EXPECT_NEAR(float(out.at(0, 1)), geluApprox(-1.0f), 1e-3);
 }

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests of the host-parallel execution runtime: ThreadPool,
+ * parallelFor chunking semantics, exception propagation, nested
+ * regions, and SOFTREC_THREADS parsing.
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/exec_context.hpp"
+
+namespace softrec {
+namespace {
+
+/** A context over a local pool with the given total concurrency. */
+struct PooledContext
+{
+    explicit PooledContext(int threads) : pool(threads)
+    {
+        ctx.pool = &pool;
+    }
+    ThreadPool pool;
+    ExecContext ctx;
+};
+
+TEST(ExecContext, DefaultIsSerial)
+{
+    ExecContext ctx;
+    EXPECT_TRUE(ctx.serial());
+    EXPECT_EQ(ctx.threads(), 1);
+}
+
+TEST(ExecContext, PooledReportsConcurrency)
+{
+    PooledContext p(4);
+    EXPECT_FALSE(p.ctx.serial());
+    EXPECT_EQ(p.ctx.threads(), 4);
+    EXPECT_EQ(p.pool.threads(), 4);
+}
+
+TEST(ParallelFor, EmptyRangeRunsNothing)
+{
+    PooledContext p(4);
+    std::atomic<int> calls{0};
+    parallelFor(p.ctx, 5, 5, 8,
+                [&](int64_t, int64_t) { calls.fetch_add(1); });
+    parallelFor(p.ctx, 7, 3, 8,
+                [&](int64_t, int64_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanGrainIsOneChunk)
+{
+    PooledContext p(4);
+    std::atomic<int> calls{0};
+    int64_t b = -1, e = -1;
+    parallelFor(p.ctx, 3, 7, 64, [&](int64_t c0, int64_t c1) {
+        calls.fetch_add(1);
+        b = c0;
+        e = c1;
+    });
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(b, 3);
+    EXPECT_EQ(e, 7);
+}
+
+TEST(ParallelFor, ChunkBoundariesAreAFunctionOfRangeAndGrain)
+{
+    // Same (begin, end, grain) must produce the same chunk set on a
+    // serial context and pools of different sizes: this is the
+    // determinism contract's first half.
+    const auto boundariesOf = [](const ExecContext &ctx) {
+        std::vector<std::pair<int64_t, int64_t>> chunks(7);
+        std::atomic<size_t> seen{0};
+        parallelFor(ctx, 10, 61, 8, [&](int64_t c0, int64_t c1) {
+            chunks[size_t((c0 - 10) / 8)] = {c0, c1};
+            seen.fetch_add(1);
+        });
+        EXPECT_EQ(seen.load(), chunks.size());
+        return chunks;
+    };
+    const auto serial = boundariesOf(ExecContext());
+    for (int64_t c = 0; c < 7; ++c) {
+        EXPECT_EQ(serial[size_t(c)].first, 10 + c * 8);
+        EXPECT_EQ(serial[size_t(c)].second,
+                  std::min<int64_t>(61, 10 + (c + 1) * 8));
+    }
+    PooledContext two(2), eight(8);
+    EXPECT_EQ(boundariesOf(two.ctx), serial);
+    EXPECT_EQ(boundariesOf(eight.ctx), serial);
+}
+
+TEST(ParallelFor, CoversEveryIterationExactlyOnce)
+{
+    PooledContext p(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(p.ctx, 0, 1000, 7, [&](int64_t c0, int64_t c1) {
+        for (int64_t i = c0; i < c1; ++i)
+            hits[size_t(i)].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolStaysUsable)
+{
+    PooledContext p(4);
+    EXPECT_THROW(
+        parallelFor(p.ctx, 0, 100, 1,
+                    [&](int64_t c0, int64_t) {
+                        if (c0 == 37)
+                            throw std::runtime_error("chunk 37");
+                    }),
+        std::runtime_error);
+    // The pool must survive a throwing job and run the next one.
+    std::atomic<int64_t> sum{0};
+    parallelFor(p.ctx, 0, 100, 1, [&](int64_t c0, int64_t c1) {
+        for (int64_t i = c0; i < c1; ++i)
+            sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ParallelFor, NestedRegionRunsInline)
+{
+    PooledContext p(4);
+    std::atomic<int> outer{0};
+    std::vector<std::atomic<int>> inner(64);
+    parallelFor(p.ctx, 0, 8, 1, [&](int64_t o0, int64_t o1) {
+        for (int64_t o = o0; o < o1; ++o) {
+            outer.fetch_add(1);
+            EXPECT_TRUE(ThreadPool::insideRun());
+            // The nested region must not deadlock on the busy pool,
+            // and must still cover its range.
+            parallelFor(p.ctx, o * 8, (o + 1) * 8, 2,
+                        [&](int64_t i0, int64_t i1) {
+                            for (int64_t i = i0; i < i1; ++i)
+                                inner[size_t(i)].fetch_add(1);
+                        });
+        }
+    });
+    EXPECT_EQ(outer.load(), 8);
+    for (const auto &h : inner)
+        EXPECT_EQ(h.load(), 1);
+    EXPECT_FALSE(ThreadPool::insideRun());
+}
+
+TEST(ParallelFor, BackToBackJobsReuseThePool)
+{
+    // Regression guard for the stale-worker race: a worker finishing
+    // its final claim of job N must never consume a chunk of job N+1.
+    PooledContext p(4);
+    for (int round = 0; round < 200; ++round) {
+        std::vector<std::atomic<int>> hits(16);
+        parallelFor(p.ctx, 0, 16, 1, [&](int64_t c0, int64_t c1) {
+            for (int64_t i = c0; i < c1; ++i)
+                hits[size_t(i)].fetch_add(1);
+        });
+        for (const auto &h : hits)
+            ASSERT_EQ(h.load(), 1) << "round " << round;
+    }
+}
+
+TEST(ParseThreadCount, AcceptsIntegersInRange)
+{
+    EXPECT_EQ(parseThreadCount("1"), 1);
+    EXPECT_EQ(parseThreadCount("4"), 4);
+    EXPECT_EQ(parseThreadCount("1024"), 1024);
+}
+
+TEST(ParseThreadCount, UnsetOrEmptyMeansSerial)
+{
+    EXPECT_EQ(parseThreadCount(nullptr), 1);
+    EXPECT_EQ(parseThreadCount(""), 1);
+}
+
+TEST(ParseThreadCount, RejectsGarbageAndOutOfRange)
+{
+    EXPECT_EQ(parseThreadCount("0"), 1);
+    EXPECT_EQ(parseThreadCount("-2"), 1);
+    EXPECT_EQ(parseThreadCount("1025"), 1);
+    EXPECT_EQ(parseThreadCount("four"), 1);
+    EXPECT_EQ(parseThreadCount("4x"), 1);
+}
+
+TEST(ThreadPoolRun, SingleThreadPoolRunsInline)
+{
+    PooledContext p(1);
+    std::vector<int> hits(32, 0); // no atomics: must be this thread
+    parallelFor(p.ctx, 0, 32, 4, [&](int64_t c0, int64_t c1) {
+        EXPECT_FALSE(ThreadPool::insideRun());
+        for (int64_t i = c0; i < c1; ++i)
+            ++hits[size_t(i)];
+    });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, GrainMustBePositive)
+{
+    ExecContext ctx;
+    EXPECT_THROW(parallelFor(ctx, 0, 4, 0, [](int64_t, int64_t) {}),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace softrec

@@ -9,12 +9,20 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exec_context.hpp"
 #include "model/functional_layer.hpp"
 #include "sparse/patterns.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 FunctionalLayerConfig
 smallConfig(Strategy strategy)
@@ -43,11 +51,11 @@ TEST(FunctionalLayer, StrategiesAgreeOnFullLayer)
     const auto weights = EncoderLayerWeights::random(32, 64, wrng);
     const Tensor<Half> input = randomInput(64, 32, 2);
 
-    const auto baseline = toFloat(runEncoderLayer(
+    const auto baseline = toFloat(runEncoderLayer(execCtx(),
         smallConfig(Strategy::Baseline), weights, input));
-    const auto sd = toFloat(runEncoderLayer(
+    const auto sd = toFloat(runEncoderLayer(execCtx(),
         smallConfig(Strategy::Decomposed), weights, input));
-    const auto sdf = toFloat(runEncoderLayer(
+    const auto sdf = toFloat(runEncoderLayer(execCtx(),
         smallConfig(Strategy::Fused), weights, input));
 
     // The LayerNorms re-normalize any accumulated fp16 noise, so the
@@ -61,7 +69,7 @@ TEST(FunctionalLayer, OutputIsLayerNormalized)
     Rng wrng(3);
     const auto weights = EncoderLayerWeights::random(32, 64, wrng);
     const Tensor<Half> input = randomInput(16, 32, 4);
-    const Tensor<Half> out = runEncoderLayer(
+    const Tensor<Half> out = runEncoderLayer(execCtx(),
         smallConfig(Strategy::Fused), weights, input);
     // gamma = 1, beta = 0: every output row has mean ~0, stddev ~1.
     for (int64_t i = 0; i < 16; ++i) {
@@ -89,8 +97,8 @@ TEST(FunctionalLayer, CausalVariantRunsAndAgrees)
     FunctionalLayerConfig fused = smallConfig(Strategy::Fused);
     fused.causalMask = true;
     EXPECT_LT(maxAbsDiff(
-                  toFloat(runEncoderLayer(base, weights, input)),
-                  toFloat(runEncoderLayer(fused, weights, input))),
+                  toFloat(runEncoderLayer(execCtx(), base, weights, input)),
+                  toFloat(runEncoderLayer(execCtx(), fused, weights, input))),
               2e-2);
 }
 
@@ -104,10 +112,10 @@ TEST(FunctionalLayer, CausalRowZeroSeesOnlyItself)
     FunctionalLayerConfig config = smallConfig(Strategy::Fused);
     config.causalMask = true;
     const Tensor<Half> before =
-        runEncoderLayer(config, weights, input);
+        runEncoderLayer(execCtx(), config, weights, input);
     for (int64_t j = 0; j < 32; ++j)
         input.at(15, j) = Half(float(input.at(15, j)) + 3.0f);
-    const Tensor<Half> after = runEncoderLayer(config, weights, input);
+    const Tensor<Half> after = runEncoderLayer(execCtx(), config, weights, input);
     for (int64_t j = 0; j < 32; ++j)
         EXPECT_EQ(before.at(0, j).bits(), after.at(0, j).bits());
     // But the perturbed row itself changes.
@@ -122,9 +130,9 @@ TEST(FunctionalLayer, Deterministic)
     Rng wrng(9);
     const auto weights = EncoderLayerWeights::random(32, 64, wrng);
     const Tensor<Half> input = randomInput(24, 32, 10);
-    const auto a = runEncoderLayer(smallConfig(Strategy::Decomposed),
+    const auto a = runEncoderLayer(execCtx(), smallConfig(Strategy::Decomposed),
                                    weights, input);
-    const auto b = runEncoderLayer(smallConfig(Strategy::Decomposed),
+    const auto b = runEncoderLayer(execCtx(), smallConfig(Strategy::Decomposed),
                                    weights, input);
     EXPECT_EQ(maxAbsDiff(toFloat(a), toFloat(b)), 0.0);
 }
@@ -134,7 +142,7 @@ TEST(FunctionalLayer, ShapeMismatchPanics)
     Rng wrng(11);
     const auto weights = EncoderLayerWeights::random(32, 64, wrng);
     const Tensor<Half> bad = randomInput(16, 48, 12);
-    EXPECT_THROW(runEncoderLayer(smallConfig(Strategy::Baseline),
+    EXPECT_THROW(runEncoderLayer(execCtx(), smallConfig(Strategy::Baseline),
                                  weights, bad),
                  std::logic_error);
 }
@@ -155,7 +163,7 @@ TEST(FunctionalLayer, BlockSparseAttentionStrategiesAgree)
     auto run_with = [&](Strategy strategy) {
         FunctionalLayerConfig config = smallConfig(strategy);
         config.layout = &layout;
-        return toFloat(runEncoderLayer(config, weights, input));
+        return toFloat(runEncoderLayer(execCtx(), config, weights, input));
     };
     const auto baseline = run_with(Strategy::Baseline);
     EXPECT_LT(maxAbsDiff(baseline, run_with(Strategy::Decomposed)),
@@ -175,9 +183,9 @@ TEST(FunctionalLayer, SparseDiffersFromDenseButStaysNormalized)
     FunctionalLayerConfig sparse = dense;
     sparse.layout = &layout;
     const auto out_dense =
-        toFloat(runEncoderLayer(dense, weights, input));
+        toFloat(runEncoderLayer(execCtx(), dense, weights, input));
     const auto out_sparse =
-        toFloat(runEncoderLayer(sparse, weights, input));
+        toFloat(runEncoderLayer(execCtx(), sparse, weights, input));
     // Restricting attention changes the answer...
     EXPECT_GT(maxAbsDiff(out_dense, out_sparse), 1e-3);
     // ...but the LayerNorm still standardizes every row.

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "core/attention_exec.hpp"
 #include "core/softmax_math.hpp"
@@ -19,6 +20,13 @@
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 TEST(OnlineNormalizer, MatchesTwoPassValues)
 {
@@ -69,18 +77,18 @@ TEST(OnlineRowSoftmaxKernel, MatchesBaselineKernel)
     Rng rng(3);
     const Tensor<Half> in = makeAttentionScores(rng, 32, 100);
     Tensor<Half> a(in.shape()), b(in.shape());
-    SoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.rows = 32;
     desc.cols = 100;
-    rowSoftmaxRun(desc, in, a);
-    onlineRowSoftmaxRun(desc, in, b);
+    rowSoftmaxRun(execCtx(), desc, in, a);
+    onlineRowSoftmaxRun(execCtx(), desc, in, b);
     EXPECT_LT(maxAbsDiff(toFloat(a), toFloat(b)), 1e-3);
 }
 
 TEST(OnlineRowSoftmaxProfile, SameTrafficBetterSerialization)
 {
     const GpuSpec spec = GpuSpec::a100();
-    SoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.batch = 16;
     desc.rows = desc.cols = 4096;
     const KernelProfile base = rowSoftmaxProfile(spec, desc);
@@ -110,7 +118,7 @@ TEST(FusedMha, FunctionalMatchesBaselineAttention)
     desc.dHead = config.dHead;
     desc.scale = config.scale();
     Tensor<Half> out(Shape({config.seqLen, config.dHead}));
-    fusedMhaRun(desc, inputs.q, inputs.k, inputs.v, out);
+    fusedMhaRun(execCtx(), desc, inputs.q, inputs.k, inputs.v, out);
 
     const Tensor<float> reference =
         referenceDenseAttention(config, inputs);
@@ -130,7 +138,7 @@ TEST(FusedMha, CausalVariant)
     fillNormal(k, rng, 0.0, 0.7);
     fillNormal(v, rng, 0.0, 0.7);
     Tensor<Half> out(q.shape());
-    fusedMhaRun(desc, q, k, v, out);
+    fusedMhaRun(execCtx(), desc, q, k, v, out);
     // Row 0 attends only to itself.
     for (int64_t d = 0; d < 8; ++d)
         EXPECT_NEAR(float(out.at(0, d)), float(v.at(0, d)), 5e-3);

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/softmax_kernels.hpp"
@@ -18,6 +19,13 @@
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 /** Naive fp32 reference: C = op(A, B) with the same epilogue. */
 Tensor<float>
@@ -96,7 +104,7 @@ TEST(GemmRun, PlainMatchesReference)
     ops.a = &made.a;
     ops.b = &made.b;
     Tensor<Half> c(Shape({desc.m, desc.n}));
-    gemmRun(desc, ops, c);
+    gemmRun(execCtx(), desc, ops, c);
     const Tensor<float> ref = referenceGemm(desc, ops);
     EXPECT_LT(maxAbsDiff(toFloat(c), ref), 0.02);
 }
@@ -111,7 +119,7 @@ TEST(GemmRun, TransposedBMatchesReference)
     ops.b = &made.b;
     ops.transposeB = true;
     Tensor<Half> c(Shape({desc.m, desc.n}));
-    gemmRun(desc, ops, c);
+    gemmRun(execCtx(), desc, ops, c);
     EXPECT_LT(maxAbsDiff(toFloat(c), referenceGemm(desc, ops)), 0.02);
 }
 
@@ -128,7 +136,7 @@ TEST(GemmRun, ScaleMaskBiasGeluEpilogue)
     ops.b = &made.b;
     ops.bias = &made.bias;
     Tensor<Half> c(Shape({desc.m, desc.n}));
-    gemmRun(desc, ops, c);
+    gemmRun(execCtx(), desc, ops, c);
     EXPECT_LT(maxAbsDiff(toFloat(c), referenceGemm(desc, ops)), 0.02);
 }
 
@@ -148,7 +156,7 @@ TEST(GemmRun, CausalMaskZeroesUpperTriangleAfterSoftmax)
     Tensor<Half> c(Shape({16, 16}));
     Tensor<float> lmax(Shape({16, 2})), lsum(Shape({16, 2}));
     LsOutputs ls{&lmax, &lsum};
-    gemmRun(desc, ops, c, &ls);
+    gemmRun(execCtx(), desc, ops, c, &ls);
     // Masked positions produce X' = 0.
     for (int64_t i = 0; i < 16; ++i)
         for (int64_t j = i + 1; j < 16; ++j)
@@ -172,14 +180,14 @@ TEST(GemmRun, FusedLsMatchesStandaloneLsKernel)
 
     // Path 1: plain GEMM then standalone LS.
     Tensor<Half> scores(Shape({32, 32}));
-    gemmRun(desc, ops, scores);
-    DecomposedSoftmaxDesc sub;
+    gemmRun(execCtx(), desc, ops, scores);
+    SoftmaxShape sub;
     sub.rows = 32;
     sub.cols = 32;
     sub.subVector = 8;
     Tensor<Half> x_ref(Shape({32, 32}));
     Tensor<float> m_ref(Shape({32, 4})), d_ref(Shape({32, 4}));
-    lsRun(sub, scores, x_ref, m_ref, d_ref);
+    lsRun(execCtx(), sub, scores, x_ref, m_ref, d_ref);
 
     // Path 2: fused LS epilogue.
     GemmDesc fused = desc;
@@ -187,7 +195,7 @@ TEST(GemmRun, FusedLsMatchesStandaloneLsKernel)
     Tensor<Half> x_fused(Shape({32, 32}));
     Tensor<float> m_fused(Shape({32, 4})), d_fused(Shape({32, 4}));
     LsOutputs ls{&m_fused, &d_fused};
-    gemmRun(fused, ops, x_fused, &ls);
+    gemmRun(execCtx(), fused, ops, x_fused, &ls);
 
     // The fused path sees un-rounded fp32 scores, the standalone path
     // fp16-rounded ones; tolerances reflect that single rounding.
@@ -211,7 +219,7 @@ TEST(GemmRun, GsPrologueMatchesReference)
     ops.b = &made.b;
     ops.gsFactors = &recon;
     Tensor<Half> c(Shape({16, 12}));
-    gemmRun(desc, ops, c);
+    gemmRun(execCtx(), desc, ops, c);
     EXPECT_LT(maxAbsDiff(toFloat(c), referenceGemm(desc, ops)), 0.02);
 }
 
@@ -223,10 +231,10 @@ TEST(GemmRun, ShapeMismatchesPanic)
     GemmOperands ops;
     ops.a = &bad;
     ops.b = &b;
-    EXPECT_THROW(gemmRun(desc, ops, c), std::logic_error);
+    EXPECT_THROW(gemmRun(execCtx(), desc, ops, c), std::logic_error);
     ops.a = &a;
     desc.batch = 2;
-    EXPECT_THROW(gemmRun(desc, ops, c), std::logic_error);
+    EXPECT_THROW(gemmRun(execCtx(), desc, ops, c), std::logic_error);
 }
 
 // ---------- profile tests ----------

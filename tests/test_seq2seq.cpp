@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "core/attention_exec.hpp"
 #include "model/seq2seq.hpp"
@@ -13,6 +14,13 @@
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 TEST(CrossAttention, FunctionalEquivalenceAcrossStrategies)
 {
@@ -37,7 +45,7 @@ TEST(CrossAttention, FunctionalEquivalenceAcrossStrategies)
         referenceDenseAttention(config, inputs);
     for (Strategy strategy : allStrategies()) {
         const Tensor<Half> out =
-            runDenseAttention(config, inputs, strategy);
+            runAttention(execCtx(), config, inputs, strategy);
         EXPECT_LT(maxAbsDiff(toFloat(out), reference), 2.5e-2)
             << strategyName(strategy);
     }

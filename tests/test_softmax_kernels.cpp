@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/exec_context.hpp"
 #include "common/rng.hpp"
 #include "core/softmax_math.hpp"
 #include "kernels/softmax_kernels.hpp"
@@ -19,6 +20,13 @@
 
 namespace softrec {
 namespace {
+
+/** Shared context: honors SOFTREC_THREADS so suites can run threaded. */
+ExecContext
+execCtx()
+{
+    return ExecContext::fromEnv();
+}
 
 /** Row softmax of the fp16 matrix in double precision. */
 Tensor<float>
@@ -43,10 +51,10 @@ TEST(RowSoftmax, MatchesReference)
     Rng rng(1);
     const Tensor<Half> in = makeAttentionScores(rng, 37, 53);
     Tensor<Half> out(in.shape());
-    SoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.rows = 37;
     desc.cols = 53;
-    rowSoftmaxRun(desc, in, out);
+    rowSoftmaxRun(execCtx(), desc, in, out);
     EXPECT_LT(maxAbsDiff(toFloat(out), referenceSoftmax(in)), 1e-3);
 }
 
@@ -55,10 +63,10 @@ TEST(RowSoftmax, RowsSumToOne)
     Rng rng(2);
     const Tensor<Half> in = makeAttentionScores(rng, 16, 128);
     Tensor<Half> out(in.shape());
-    SoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.rows = 16;
     desc.cols = 128;
-    rowSoftmaxRun(desc, in, out);
+    rowSoftmaxRun(execCtx(), desc, in, out);
     for (int64_t i = 0; i < 16; ++i) {
         float sum = 0.0f;
         for (int64_t j = 0; j < 128; ++j)
@@ -75,10 +83,10 @@ TEST(RowSoftmax, FullyMaskedRowIsZero)
         in.at(1, j) = Half(float(j));
     }
     Tensor<Half> out(in.shape());
-    SoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.rows = 2;
     desc.cols = 4;
-    rowSoftmaxRun(desc, in, out);
+    rowSoftmaxRun(execCtx(), desc, in, out);
     for (int64_t j = 0; j < 4; ++j)
         EXPECT_TRUE(out.at(0, j).isZero());
     EXPECT_GT(float(out.at(1, 3)), float(out.at(1, 0)));
@@ -96,23 +104,23 @@ TEST_P(DecomposedPipeline, ComposesToRowSoftmax)
     Rng rng(uint64_t(cols * 131 + t));
     const Tensor<Half> in = makeAttentionScores(rng, rows, cols);
 
-    SoftmaxDesc base_desc;
+    SoftmaxShape base_desc;
     base_desc.rows = rows;
     base_desc.cols = cols;
     Tensor<Half> baseline(in.shape());
-    rowSoftmaxRun(base_desc, in, baseline);
+    rowSoftmaxRun(execCtx(), base_desc, in, baseline);
 
-    DecomposedSoftmaxDesc sub;
+    SoftmaxShape sub;
     sub.rows = rows;
     sub.cols = cols;
     sub.subVector = t;
     const Shape md({rows, sub.numSubVectors()});
     Tensor<Half> x_prime(in.shape());
     Tensor<float> local_max(md), local_sum(md), recon(md);
-    lsRun(sub, in, x_prime, local_max, local_sum);
-    irRun(sub, local_max, local_sum, recon);
+    lsRun(execCtx(), sub, in, x_prime, local_max, local_sum);
+    irRun(execCtx(), sub, local_max, local_sum, recon);
     Tensor<Half> recomposed(in.shape());
-    gsRun(sub, x_prime, recon, recomposed);
+    gsRun(execCtx(), sub, x_prime, recon, recomposed);
 
     // Both routes round through fp16 once more than the reference;
     // they must agree to fp16 precision on values in [0, 1].
@@ -134,31 +142,31 @@ TEST(DecomposedPipelineEdge, MaskedSubVector)
     for (int64_t j = 8; j < 16; ++j)
         in.at(1, j) = Half::fromBits(0xfc00);
 
-    DecomposedSoftmaxDesc sub;
+    SoftmaxShape sub;
     sub.rows = rows;
     sub.cols = cols;
     sub.subVector = t;
     const Shape md({rows, 4});
     Tensor<Half> x_prime(in.shape());
     Tensor<float> lmax(md), lsum(md), recon(md);
-    lsRun(sub, in, x_prime, lmax, lsum);
+    lsRun(execCtx(), sub, in, x_prime, lmax, lsum);
     EXPECT_EQ(lsum.at(1, 1), 0.0f);
-    irRun(sub, lmax, lsum, recon);
+    irRun(execCtx(), sub, lmax, lsum, recon);
     EXPECT_EQ(recon.at(1, 1), 0.0f);
     Tensor<Half> out(in.shape());
-    gsRun(sub, x_prime, recon, out);
+    gsRun(execCtx(), sub, x_prime, recon, out);
 
-    SoftmaxDesc base_desc;
+    SoftmaxShape base_desc;
     base_desc.rows = rows;
     base_desc.cols = cols;
     Tensor<Half> baseline(in.shape());
-    rowSoftmaxRun(base_desc, in, baseline);
+    rowSoftmaxRun(execCtx(), base_desc, in, baseline);
     EXPECT_LT(maxAbsDiff(toFloat(out), toFloat(baseline)), 2e-3);
 }
 
 TEST(DecomposedDesc, SubVectorCount)
 {
-    DecomposedSoftmaxDesc sub;
+    SoftmaxShape sub;
     sub.rows = 4;
     sub.cols = 100;
     sub.subVector = 32;
@@ -170,7 +178,7 @@ TEST(DecomposedDesc, SubVectorCount)
 TEST(RowSoftmaxProfile, OneBlockPerRowWithRowStaging)
 {
     const GpuSpec spec = GpuSpec::a100();
-    SoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.batch = 16;
     desc.rows = 4096;
     desc.cols = 4096;
@@ -189,7 +197,7 @@ TEST(RowSoftmaxProfile, OneBlockPerRowWithRowStaging)
 TEST(LsProfile, TiledGridAndIntermediateWrites)
 {
     const GpuSpec spec = GpuSpec::a100();
-    DecomposedSoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.batch = 2;
     desc.rows = 512;
     desc.cols = 512;
@@ -207,7 +215,7 @@ TEST(LsProfile, TiledGridAndIntermediateWrites)
 TEST(IrProfile, TinyTraffic)
 {
     const GpuSpec spec = GpuSpec::a100();
-    DecomposedSoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.batch = 2;
     desc.rows = 512;
     desc.cols = 512;
@@ -224,7 +232,7 @@ TEST(IrProfile, TinyTraffic)
 TEST(GsProfile, StreamingElementwise)
 {
     const GpuSpec spec = GpuSpec::a100();
-    DecomposedSoftmaxDesc desc;
+    SoftmaxShape desc;
     desc.batch = 1;
     desc.rows = 1024;
     desc.cols = 1024;
@@ -243,10 +251,10 @@ TEST(SoftmaxProfiles, DecomposedMovesTwiceTheMatrixTraffic)
     // together sweep the attention matrix twice as often as the
     // baseline kernel.
     const GpuSpec spec = GpuSpec::a100();
-    SoftmaxDesc base;
+    SoftmaxShape base;
     base.batch = 16;
     base.rows = base.cols = 4096;
-    DecomposedSoftmaxDesc sub;
+    SoftmaxShape sub;
     sub.batch = 16;
     sub.rows = sub.cols = 4096;
     sub.subVector = 64;
