@@ -8,9 +8,14 @@
 #ifndef SOFTREC_BENCH_BENCH_COMMON_HPP
 #define SOFTREC_BENCH_BENCH_COMMON_HPP
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/bench_report.hpp"
 #include "common/logging.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -19,6 +24,54 @@
 
 namespace softrec {
 namespace bench {
+
+/**
+ * Warmup + median-of-N wall-clock timing: runs `body` `warmup` times
+ * untimed (first-touch page faults, cache fill), then `reps` timed
+ * repetitions and returns the median seconds. Single-shot timing is
+ * banned in benches — it reports allocation noise, not kernel time.
+ */
+template <typename Fn>
+inline double
+medianSeconds(int warmup, int reps, Fn &&body)
+{
+    SOFTREC_ASSERT(reps >= 1, "medianSeconds needs >= 1 rep");
+    for (int i = 0; i < warmup; ++i)
+        body();
+    std::vector<double> samples;
+    samples.reserve(size_t(reps));
+    for (int i = 0; i < reps; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        body();
+        const auto stop = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double>(stop - start).count());
+    }
+    std::sort(samples.begin(), samples.end());
+    const size_t mid = samples.size() / 2;
+    return samples.size() % 2 != 0
+        ? samples[mid]
+        : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/**
+ * Measured-bench sequence length: `fallback` (the paper's headline
+ * point) unless SOFTREC_BENCH_SEQLEN overrides it, so CI smoke runs
+ * and slow containers can shrink the workload without recompiling.
+ */
+inline int64_t
+benchSeqLenFromEnv(int64_t fallback)
+{
+    const char *env = std::getenv("SOFTREC_BENCH_SEQLEN");
+    if (env == nullptr)
+        return fallback;
+    char *end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 64)
+        return parsed;
+    warn("SOFTREC_BENCH_SEQLEN='%s' ignored (need int >= 64)", env);
+    return fallback;
+}
 
 /** Baseline / SD / SDF results for one (model, GPU, L, batch). */
 struct StrategySweep
@@ -44,6 +97,27 @@ runStrategies(const GpuSpec &spec, const ModelConfig &model,
     run.strategy = Strategy::Fused;
     sweep.fused = runInference(spec, model, run);
     return sweep;
+}
+
+/**
+ * Append one simulated run's per-category totals to a report as
+ * kernel rows named "<prefix>/<category>". The simulated GPU executes
+ * launches one at a time, so threads is always 1.
+ */
+inline void
+addCategoryRows(BenchReport &report, const std::string &prefix,
+                const InferenceResult &result)
+{
+    for (const auto &[category, totals] : result.categories) {
+        BenchKernelRow row;
+        row.name = prefix + "/" + kernelCategoryName(category);
+        row.ms = totals.seconds * 1e3;
+        row.bytesRead = totals.dramReadBytes;
+        row.bytesWritten = totals.dramWriteBytes;
+        row.calls = totals.launches;
+        row.threads = 1;
+        report.addKernel(row);
+    }
 }
 
 /** "1.25x" style formatting. */

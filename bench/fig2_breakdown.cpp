@@ -34,6 +34,10 @@ main()
     csv.setHeader({"model", "sda_matmul", "softmax", "fc",
                    "feedforward", "other", "latency_ms",
                    "paper_softmax"});
+    BenchReport report("fig2_breakdown");
+    report.setConfig("gpu", spec.name);
+    report.setConfig("seq_len", seq_len);
+    report.setConfig("batch", int64_t(1));
     for (const ModelConfig &model : ModelConfig::allEvaluated()) {
         RunConfig run;
         run.seqLen = seq_len;
@@ -66,8 +70,13 @@ main()
                     strprintf("%.4f", share(KernelCategory::Other)),
                     strprintf("%.3f", result.seconds * 1e3),
                     strprintf("%.2f", paperSoftmaxShares().at(model.name))});
+        addCategoryRows(report, model.name, result);
+        report.setDerived("softmax_share_" + model.name, softmax_share);
+        report.setDerived("latency_ms_" + model.name,
+                          result.seconds * 1e3);
     }
     csv.writeFile("fig2_breakdown.csv");
+    report.writeFile(report.defaultPath());
     table.print();
     std::printf("\n");
     compare.print();

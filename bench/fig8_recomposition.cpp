@@ -45,6 +45,11 @@ main()
                    "sdf_norm_time", "sd_norm_bytes", "sdf_norm_bytes",
                    "paper_sdf_speedup", "paper_sd_speedup"});
 
+    BenchReport report("fig8_recomposition");
+    report.setConfig("gpu", spec.name);
+    report.setConfig("seq_len", seq_len);
+    report.setConfig("batch", int64_t(1));
+
     double energy_ratio_sum = 0.0;
     double latency_ratio_sum = 0.0;
     for (const ModelConfig &model : ModelConfig::allEvaluated()) {
@@ -99,9 +104,18 @@ main()
                     strprintf("%.4f", sweep.fused.dramBytes() / base_b),
                     strprintf("%.2f", paperSpeedupsA100().at(model.name)),
                     strprintf("%.2f", paperSdSpeedupsA100().at(model.name))});
+        addCategoryRows(report, model.name + "/baseline",
+                        sweep.baseline);
+        addCategoryRows(report, model.name + "/sd", sweep.decomposed);
+        addCategoryRows(report, model.name + "/sdf", sweep.fused);
+        report.setDerived("sdf_speedup_" + model.name,
+                          base_s / sweep.fused.seconds);
+        report.setDerived("sdf_norm_bytes_" + model.name,
+                          double(sweep.fused.dramBytes()) / base_b);
     }
 
     csv.writeFile("fig8_recomposition.csv");
+    report.writeFile(report.defaultPath());
     time_table.print();
     std::printf("\n");
     mem_table.print();

@@ -10,8 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+#include "common/bench_report.hpp"
 #include "common/exec_context.hpp"
+#include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "common/rng.hpp"
+#include "core/attention_exec.hpp"
 #include "core/softmax_math.hpp"
 #include "kernels/bsr_gemm.hpp"
 #include "kernels/bsr_softmax.hpp"
@@ -211,7 +216,103 @@ BM_HalfConversion(benchmark::State &state)
 }
 BENCHMARK(BM_HalfConversion);
 
+/**
+ * Measured-traffic report: run one attention head under all three
+ * strategies with the profiler attached and write
+ * BENCH_micro_kernels.json. The derived entries verify the paper's
+ * recomposition claim on *measured* counters: the softmax layer's
+ * off-chip traffic under SDF (IR plus the fused LS/GS extras) must be
+ * far below the baseline kernel's four matrix sweeps.
+ *
+ * L defaults to 4096 (the paper's headline point); SOFTREC_BENCH_SEQLEN
+ * overrides it so CI smoke runs stay fast.
+ */
+int
+writeTrafficReport()
+{
+    const int64_t seq_len = bench::benchSeqLenFromEnv(4096);
+
+    SdaConfig config;
+    config.seqLen = seq_len;
+    config.subVector = 64;
+
+    Rng rng(11);
+    AttentionInputs inputs = makeAttentionInputs(config);
+    fillNormal(inputs.q, rng);
+    fillNormal(inputs.k, rng);
+    fillNormal(inputs.v, rng);
+
+    BenchReport report("micro_kernels");
+    report.setConfig("seq_len", seq_len);
+    report.setConfig("d_head", config.dHead);
+    report.setConfig("sub_vector", config.subVector);
+    report.setConfig("threads",
+                     int64_t(ExecContext::fromEnv().threads()));
+
+    const struct
+    {
+        Strategy strategy;
+        const char *prefix;
+        const char *derived;
+    } kStrategies[] = {
+        {Strategy::Baseline, "baseline",
+         "softmax_traffic_baseline_bytes"},
+        {Strategy::Decomposed, "sd", "softmax_traffic_sd_bytes"},
+        {Strategy::Fused, "sdf", "softmax_traffic_sdf_bytes"},
+    };
+
+    double baseline_traffic = 0.0, sdf_traffic = 0.0;
+    for (const auto &entry : kStrategies) {
+        prof::Profiler profiler;
+        ExecContext ctx = ExecContext::fromEnv();
+        ctx.profiler = &profiler;
+        runAttention(ctx, config, inputs, entry.strategy);
+
+        double softmax_bytes = 0.0;
+        for (const auto &[name, stats] : profiler.snapshot()) {
+            BenchKernelRow row;
+            row.name = std::string(entry.prefix) + "/" + name;
+            row.ms = stats.seconds * 1e3;
+            row.bytesRead = stats.bytesRead;
+            row.bytesWritten = stats.bytesWritten;
+            row.calls = stats.calls;
+            row.threads = stats.maxThreads;
+            report.addKernel(row);
+            if (name.rfind("softmax.", 0) == 0)
+                softmax_bytes +=
+                    double(stats.bytesRead + stats.bytesWritten);
+        }
+        report.setDerived(entry.derived, softmax_bytes);
+        if (entry.strategy == Strategy::Baseline)
+            baseline_traffic = softmax_bytes;
+        if (entry.strategy == Strategy::Fused)
+            sdf_traffic = softmax_bytes;
+    }
+    report.setDerived("softmax_traffic_sdf_over_baseline",
+                      baseline_traffic > 0.0
+                          ? sdf_traffic / baseline_traffic
+                          : 0.0);
+
+    const std::string path = report.defaultPath();
+    if (!report.writeFile(path))
+        return 1;
+    inform("wrote %s (L = %lld, SDF/baseline softmax traffic = %.4f)",
+           path.c_str(), (long long)seq_len,
+           baseline_traffic > 0.0 ? sdf_traffic / baseline_traffic
+                                  : 0.0);
+    return 0;
+}
+
 } // namespace
 } // namespace softrec
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return softrec::writeTrafficReport();
+}

@@ -7,18 +7,23 @@
  * boundaries, so every row of the table computes bit-identical
  * outputs — the bench verifies that too.
  *
+ * Each row is the median of kReps timed runs after kWarmup warmup
+ * runs (single-shot timing is dominated by first-touch page faults).
+ * Results also land in BENCH_micro_parallel_scaling.json.
+ * SOFTREC_BENCH_SEQLEN overrides L for quick runs.
+ *
  * Speedup is bounded by the machine: on a single-core container the
  * table reports ~1.0x at every thread count by construction, so the
  * hardware concurrency is printed alongside for interpretation.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/exec_context.hpp"
+#include "common/profiler.hpp"
 #include "common/rng.hpp"
 #include "model/functional_layer.hpp"
 #include "tensor/tensor_ops.hpp"
@@ -28,26 +33,15 @@ using namespace softrec::bench;
 
 namespace {
 
-double
-timedSeconds(const ExecContext &ctx,
-             const FunctionalLayerConfig &config,
-             const EncoderLayerWeights &weights,
-             const Tensor<Half> &input, Tensor<Half> *out)
-{
-    const auto start = std::chrono::steady_clock::now();
-    Tensor<Half> result = runEncoderLayer(ctx, config, weights, input);
-    const auto stop = std::chrono::steady_clock::now();
-    if (out != nullptr)
-        *out = std::move(result);
-    return std::chrono::duration<double>(stop - start).count();
-}
+constexpr int kWarmup = 1;
+constexpr int kReps = 5;
 
 } // namespace
 
 int
 main()
 {
-    const int64_t seq_len = 4096;
+    const int64_t seq_len = benchSeqLenFromEnv(4096);
     FunctionalLayerConfig config;
     config.dModel = 64;
     config.numHeads = 4;
@@ -70,25 +64,44 @@ main()
     std::printf("hardware_concurrency = %u "
                 "(speedup is capped by physical cores)\n\n", hw);
 
-    // Warm-up + serial baseline.
-    Tensor<Half> serial_out(input.shape());
-    timedSeconds(ExecContext(), config, weights, input, nullptr);
-    const double serial_s =
-        timedSeconds(ExecContext(), config, weights, input,
-                     &serial_out);
+    BenchReport report("micro_parallel_scaling");
+    report.setConfig("seq_len", seq_len);
+    report.setConfig("d_model", config.dModel);
+    report.setConfig("num_heads", config.numHeads);
+    report.setConfig("strategy", "sdf");
+    report.setConfig("warmup", int64_t(kWarmup));
+    report.setConfig("reps", int64_t(kReps));
+    report.setConfig("hardware_concurrency", int64_t(hw));
 
-    TextTable table("Encoder layer wall time by thread count");
+    // Serial baseline: median-of-N with the profiler attached on the
+    // last run so per-kernel rows land in the JSON too.
+    Tensor<Half> serial_out(input.shape());
+    const double serial_s = medianSeconds(kWarmup, kReps, [&] {
+        serial_out = runEncoderLayer(ExecContext(), config, weights,
+                                     input);
+    });
+    prof::Profiler profiler;
+    {
+        ExecContext ctx;
+        ctx.profiler = &profiler;
+        runEncoderLayer(ctx, config, weights, input);
+    }
+    report.addKernels(profiler);
+
+    TextTable table("Encoder layer wall time by thread count "
+                    "(median of 5)");
     table.setHeader({"threads", "seconds", "speedup", "bit-identical"});
     table.addRow({"1", strprintf("%.3f", serial_s), "1.00x", "yes"});
+    report.setDerived("seconds_t1", serial_s);
 
     for (int threads : {2, 4, 8}) {
         ThreadPool pool(threads);
         ExecContext ctx;
         ctx.pool = &pool;
         Tensor<Half> out(input.shape());
-        timedSeconds(ctx, config, weights, input, nullptr); // warm-up
-        const double seconds =
-            timedSeconds(ctx, config, weights, input, &out);
+        const double seconds = medianSeconds(kWarmup, kReps, [&] {
+            out = runEncoderLayer(ctx, config, weights, input);
+        });
         bool identical = true;
         for (int64_t i = 0; i < out.numel() && identical; ++i)
             identical = out.at(i).bits() == serial_out.at(i).bits();
@@ -96,6 +109,9 @@ main()
                       strprintf("%.3f", seconds),
                       strprintf("%.2fx", serial_s / seconds),
                       identical ? "yes" : "NO"});
+        report.setDerived(strprintf("seconds_t%d", threads), seconds);
+        report.setDerived(strprintf("speedup_t%d", threads),
+                          serial_s / seconds);
         if (!identical) {
             std::printf("ERROR: %d-thread output diverged from "
                         "serial\n", threads);
@@ -103,5 +119,7 @@ main()
         }
     }
     table.print();
+    report.writeFile(report.defaultPath());
+    std::printf("wrote %s\n", report.defaultPath().c_str());
     return 0;
 }

@@ -10,6 +10,9 @@
 #   5. checked build + tests  (-DSOFTREC_CHECKED_BUILD=ON, WERROR)
 #   6. asan-ubsan build + tests (sanitizers + checked mode, WERROR)
 #   7. tsan build + parallel-runtime tests under SOFTREC_THREADS=4
+#      (profiling enabled: test_profiler exercises the counter merge)
+#   8. bench smoke: micro_kernels at L=512 with the profiler attached;
+#      the emitted BENCH JSON must pass tools/check_bench_json.py
 #
 # Every stage must pass; the script stops at the first failure.
 # A toolchain without clang still runs stages 2 and 4-6, which are the
@@ -71,9 +74,17 @@ step "tsan build + parallel runtime tests (SOFTREC_THREADS=4)"
 cmake --preset tsan -DSOFTREC_WERROR=ON >/dev/null
 cmake --build build/tsan -j "${JOBS}" --target \
     test_exec_context test_parallel_determinism \
-    test_attention_exec test_functional_layer
+    test_attention_exec test_functional_layer test_profiler
 SOFTREC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build/tsan --output-on-failure -j "${JOBS}" \
-    -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer'
+    -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer|test_profiler'
+
+step "bench smoke: BENCH JSON schema gate"
+cmake --build build/release -j "${JOBS}" --target micro_kernels
+( cd build/release/bench &&
+  SOFTREC_BENCH_SEQLEN=512 SOFTREC_THREADS=4 ./micro_kernels \
+      --benchmark_filter='BM_SafeSoftmax/512' >/dev/null )
+python3 tools/check_bench_json.py \
+    build/release/bench/BENCH_micro_kernels.json
 
 printf '\n=== ci: all gates passed ===\n'

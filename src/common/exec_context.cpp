@@ -21,15 +21,33 @@ namespace {
  */
 thread_local bool tl_inside_pool_run = false;
 
+/**
+ * Per-thread accumulator slot: 0 for external threads (including the
+ * submitter), 1 + worker index for pool workers (set once at worker
+ * start). See currentThreadSlot().
+ */
+thread_local int tl_thread_slot = 0;
+
+/**
+ * Process-wide high-water mark for slot indices: 1 + the largest
+ * worker count of any ThreadPool constructed so far.
+ */
+std::atomic<int> g_max_slots{1};
+
 } // namespace
 
 ThreadPool::ThreadPool(int threads)
 {
     SOFTREC_ASSERT(threads >= 1, "thread pool needs >= 1 thread, got %d",
                    threads);
+    int prev = g_max_slots.load(std::memory_order_relaxed);
+    while (prev < threads &&
+           !g_max_slots.compare_exchange_weak(prev, threads,
+                                              std::memory_order_relaxed)) {
+    }
     workers_.reserve(size_t(threads - 1));
     for (int i = 0; i < threads - 1; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -78,8 +96,9 @@ ThreadPool::drain(const std::function<void(int64_t)> &chunk, int64_t total)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int slot)
 {
+    tl_thread_slot = slot;
     uint64_t last_seen = 0;
     for (;;) {
         const std::function<void(int64_t)> *job = nullptr;
@@ -151,6 +170,18 @@ ThreadPool::run(int64_t num_chunks,
     }
     if (error)
         std::rethrow_exception(error);
+}
+
+int
+currentThreadSlot()
+{
+    return tl_thread_slot;
+}
+
+int
+maxThreadSlots()
+{
+    return g_max_slots.load(std::memory_order_relaxed);
 }
 
 int

@@ -29,6 +29,10 @@
 
 namespace softrec {
 
+namespace prof {
+class Profiler; // common/profiler.hpp
+}
+
 /**
  * Persistent worker pool. `threads` is the total concurrency: the
  * pool spawns `threads - 1` workers and the submitting thread
@@ -69,7 +73,7 @@ class ThreadPool
     static bool insideRun();
 
   private:
-    void workerLoop();
+    void workerLoop(int slot);
     /** Claim and execute chunks of the current job until exhausted. */
     void drain(const std::function<void(int64_t)> &chunk, int64_t total);
 
@@ -99,6 +103,7 @@ class ThreadPool
 struct ExecContext
 {
     ThreadPool *pool = nullptr; //!< nullptr = serial execution
+    prof::Profiler *profiler = nullptr; //!< nullptr = profiling off
 
     /** Concurrency this context executes with. */
     int threads() const { return pool ? pool->threads() : 1; }
@@ -120,6 +125,21 @@ struct ExecContext
  * integer in [1, 1024]. Exposed for the unit tests.
  */
 int parseThreadCount(const char *text);
+
+/**
+ * Slot index of the calling thread for per-thread accumulation:
+ * 0 for any thread that is not a pool worker (the submitter included),
+ * 1 + worker index for pool workers. Distinct concurrently-running
+ * threads of one run() always map to distinct slots.
+ */
+int currentThreadSlot();
+
+/**
+ * Upper bound (exclusive) on currentThreadSlot() across every thread
+ * in the process: 1 + the largest worker count of any ThreadPool
+ * constructed so far. Size per-thread accumulator arrays with this.
+ */
+int maxThreadSlots();
 
 /**
  * Run body(chunk_begin, chunk_end) over [begin, end) in chunks of

@@ -7,14 +7,48 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <locale.h>
 #include <stdexcept>
 #include <vector>
 
 namespace softrec {
 
+namespace {
+
+/**
+ * Pins the calling thread to the "C" locale for its lifetime, so
+ * printf-family float formatting always uses '.' as the decimal
+ * separator — a comma-decimal process locale must not corrupt CSV,
+ * table, or JSON output built through strprintf.
+ */
+class CLocaleGuard
+{
+  public:
+    CLocaleGuard()
+    {
+        static locale_t c_locale =
+            newlocale(LC_ALL_MASK, "C", locale_t(0));
+        if (c_locale != locale_t(0))
+            prev_ = uselocale(c_locale);
+    }
+    ~CLocaleGuard()
+    {
+        if (prev_ != locale_t(0))
+            uselocale(prev_);
+    }
+    CLocaleGuard(const CLocaleGuard &) = delete;
+    CLocaleGuard &operator=(const CLocaleGuard &) = delete;
+
+  private:
+    locale_t prev_ = locale_t(0);
+};
+
+} // namespace
+
 std::string
 vstrprintf(const char *fmt, va_list args)
 {
+    const CLocaleGuard c_locale;
     va_list args_copy;
     va_copy(args_copy, args);
     int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);

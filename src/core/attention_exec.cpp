@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "kernels/bsr_gemm.hpp"
 #include "kernels/bsr_softmax.hpp"
 #include "kernels/softmax_kernels.hpp"
@@ -195,28 +196,32 @@ runSparse(const ExecContext &ctx, const SdaConfig &config,
     return out;
 }
 
+/** Static scope name per strategy (prof::Scope keeps the pointer). */
+const char *
+attentionScopeName(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::Baseline:
+        return "attention.baseline";
+      case Strategy::Decomposed:
+        return "attention.decomposed";
+      case Strategy::Fused:
+        return "attention.fused";
+    }
+    return "attention";
+}
+
 } // namespace
 
 Tensor<Half>
 runAttention(const ExecContext &ctx, const SdaConfig &config,
              const AttentionInputs &inputs, Strategy strategy)
 {
+    // Time-only summary scope; the kernels inside record their own
+    // time and traffic under their individual names.
+    prof::Scope scope(ctx, attentionScopeName(strategy));
     return config.sparse() ? runSparse(ctx, config, inputs, strategy)
                            : runDense(ctx, config, inputs, strategy);
-}
-
-Tensor<Half>
-runDenseAttention(const SdaConfig &config, const AttentionInputs &inputs,
-                  Strategy strategy)
-{
-    return runDense(ExecContext::fromEnv(), config, inputs, strategy);
-}
-
-Tensor<Half>
-runSparseAttention(const SdaConfig &config,
-                   const AttentionInputs &inputs, Strategy strategy)
-{
-    return runSparse(ExecContext::fromEnv(), config, inputs, strategy);
 }
 
 Tensor<float>

@@ -45,21 +45,6 @@ Tensor<Half> runAttention(const ExecContext &ctx,
                           Strategy strategy);
 
 /**
- * Deprecated pre-ExecContext entry points, kept for one PR. They run
- * with the SOFTREC_THREADS environment context (serial when unset).
- */
-[[deprecated("use runAttention(ctx, config, inputs, strategy)")]]
-Tensor<Half> runDenseAttention(const SdaConfig &config,
-                               const AttentionInputs &inputs,
-                               Strategy strategy);
-
-/** @copydoc runDenseAttention */
-[[deprecated("use runAttention(ctx, config, inputs, strategy)")]]
-Tensor<Half> runSparseAttention(const SdaConfig &config,
-                                const AttentionInputs &inputs,
-                                Strategy strategy);
-
-/**
  * Double-precision reference attention (dense), computed directly from
  * the definition; the gold standard for the functional tests.
  */

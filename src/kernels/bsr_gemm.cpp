@@ -8,8 +8,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/kernel_common.hpp"
 #include "sim/calibration.hpp"
@@ -97,12 +99,30 @@ bsrSddRun(const ExecContext &ctx, const BsrSddDesc &desc,
         local_sum->assign(size_t(layout.nnzBlocks() * bs), 0.0f);
     }
 
+    prof::Scope scope(ctx, desc.name.c_str());
+    std::optional<prof::Scope> ls_scope;
+    if (scope.active()) {
+        scope.addRead(uint64_t((layout.rows() + layout.cols()) *
+                               desc.dHead) * kFp16Bytes); // Q, K
+        if (desc.fuseLocalSoftmax)
+            ls_scope.emplace(ctx, "softmax.bsr.ls.fused",
+                             prof::Scope::Kind::BytesOnly);
+    }
+
     // Parallel over block rows: each row's stored blocks (and their
     // m'/d' slots) are disjoint; each chunk owns its accumulator.
     parallelFor(ctx, 0, layout.blockRows(), 1,
                 [&](int64_t br0, int64_t br1) {
     std::vector<float> acc(size_t(bs * bs));
     for (int64_t br = br0; br < br1; ++br) {
+        if (scope.active()) {
+            const uint64_t row_nnz =
+                uint64_t(layout.rowEnd(br) - layout.rowBegin(br));
+            scope.addWrite(row_nnz * uint64_t(bs * bs) * kFp16Bytes);
+            if (ls_scope) // m'/d' per (block, row-in-block)
+                ls_scope->addWrite(row_nnz * uint64_t(bs) * 2 *
+                                   kFp32Bytes);
+        }
         for (int64_t kk = layout.rowBegin(br); kk < layout.rowEnd(br);
              ++kk) {
             const int64_t bc = layout.blockCol(kk);
@@ -210,10 +230,27 @@ bsrDsdRun(const ExecContext &ctx, const BsrDsdDesc &desc,
                        "fused DSD needs r'");
     }
     o.fill(Half());
+    prof::Scope scope(ctx, desc.name.c_str());
+    std::optional<prof::Scope> gs_scope;
+    if (scope.active()) {
+        scope.addRead(uint64_t(layout.cols() * desc.dHead) *
+                      kFp16Bytes); // V
+        if (desc.fuseGlobalScale)
+            gs_scope.emplace(ctx, "softmax.bsr.gs.fused",
+                             prof::Scope::Kind::BytesOnly);
+    }
     // Parallel over block rows: output rows are disjoint per chunk.
     parallelFor(ctx, 0, layout.blockRows(), 1,
                 [&](int64_t br0, int64_t br1) {
     for (int64_t br = br0; br < br1; ++br) {
+        if (scope.active()) {
+            const uint64_t row_nnz =
+                uint64_t(layout.rowEnd(br) - layout.rowBegin(br));
+            scope.addRead(row_nnz * uint64_t(bs * bs) * kFp16Bytes);
+            scope.addWrite(uint64_t(bs * desc.dHead) * kFp16Bytes);
+            if (gs_scope) // r' per (block, row-in-block)
+                gs_scope->addRead(row_nnz * uint64_t(bs) * kFp32Bytes);
+        }
         for (int64_t i = 0; i < bs; ++i) {
             for (int64_t d = 0; d < desc.dHead; ++d) {
                 float sum = 0.0f;

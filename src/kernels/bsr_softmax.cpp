@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "kernels/kernel_common.hpp"
 #include "sim/calibration.hpp"
 #include "sim/cost_model.hpp"
@@ -113,10 +114,18 @@ bsrRowSoftmaxRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
                    "functional BSR softmax handles one matrix");
     const BsrLayout &layout = checkedLayout(desc);
     const int64_t bs = layout.blockSize();
+    prof::Scope scope(ctx, "softmax.bsr.row");
     // Parallel over block rows: each chunk writes disjoint blocks.
     parallelFor(ctx, 0, layout.blockRows(), 1,
                 [&](int64_t br0, int64_t br1) {
     for (int64_t br = br0; br < br1; ++br) {
+        if (scope.active()) {
+            const uint64_t row_bytes =
+                uint64_t(layout.rowEnd(br) - layout.rowBegin(br)) *
+                uint64_t(bs * bs) * kFp16Bytes;
+            scope.addRead(row_bytes);
+            scope.addWrite(row_bytes);
+        }
         for (int64_t i = 0; i < bs; ++i) {
             float max_val = kNegInf;
             for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
@@ -193,10 +202,18 @@ bsrLsRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
     const size_t count = size_t(subVectorCount(layout));
     local_max.assign(count, kNegInf);
     local_sum.assign(count, 0.0f);
+    prof::Scope scope(ctx, "softmax.bsr.ls");
     // Parallel over stored blocks: each block owns its rows of
     // x_prime and its m'/d' slots.
     parallelFor(ctx, 0, layout.nnzBlocks(), 4,
                 [&](int64_t blk0, int64_t blk1) {
+    if (scope.active()) {
+        const uint64_t blocks = uint64_t(blk1 - blk0);
+        const uint64_t matrix = blocks * uint64_t(bs * bs) * kFp16Bytes;
+        const uint64_t md = blocks * uint64_t(bs) * 2 * kFp32Bytes;
+        scope.addRead(matrix);
+        scope.addWrite(matrix + md); // X' plus m'/d'
+    }
     for (int64_t k = blk0; k < blk1; ++k) {
         for (int64_t i = 0; i < bs; ++i) {
             float m_local = kNegInf;
@@ -261,10 +278,18 @@ bsrIrRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
                    local_sum.size() == count,
                    "BSR IR input size mismatch");
     recon.assign(count, 0.0f);
+    prof::Scope scope(ctx, "softmax.bsr.ir");
     // Parallel over block rows: each row's r' slots are disjoint.
     parallelFor(ctx, 0, layout.blockRows(), 1,
                 [&](int64_t br0, int64_t br1) {
     for (int64_t br = br0; br < br1; ++br) {
+        if (scope.active()) {
+            const uint64_t md_count =
+                uint64_t(layout.rowEnd(br) - layout.rowBegin(br)) *
+                uint64_t(bs);
+            scope.addRead(md_count * 2 * kFp32Bytes); // m', d'
+            scope.addWrite(md_count * kFp32Bytes);    // r'
+        }
         for (int64_t i = 0; i < bs; ++i) {
             float m_global = kNegInf;
             for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
@@ -335,9 +360,18 @@ bsrGsRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
     const int64_t bs = layout.blockSize();
     SOFTREC_ASSERT(recon.size() == size_t(subVectorCount(layout)),
                    "BSR GS r' size mismatch");
+    prof::Scope scope(ctx, "softmax.bsr.gs");
     // Element-wise streaming: parallel over stored blocks.
     parallelFor(ctx, 0, layout.nnzBlocks(), 4,
                 [&](int64_t blk0, int64_t blk1) {
+        if (scope.active()) {
+            const uint64_t blocks = uint64_t(blk1 - blk0);
+            const uint64_t matrix =
+                blocks * uint64_t(bs * bs) * kFp16Bytes;
+            scope.addRead(matrix +
+                          blocks * uint64_t(bs) * kFp32Bytes); // X', r'
+            scope.addWrite(matrix);
+        }
         for (int64_t k = blk0; k < blk1; ++k) {
             for (int64_t i = 0; i < bs; ++i) {
                 const float r = recon[size_t(k * bs + i)];

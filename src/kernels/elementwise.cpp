@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/kernel_common.hpp"
 
@@ -65,7 +66,16 @@ layerNormRun(const ExecContext &ctx, const Tensor<Half> &in,
                    gamma.shape() == Shape({width}) &&
                    beta.shape() == Shape({width}),
                    "layernorm shapes inconsistent");
+    prof::Scope scope(ctx, "ew.layernorm");
+    if (scope.active())
+        scope.addRead(uint64_t(2 * width) * kFp32Bytes); // gamma, beta
     parallelFor(ctx, 0, rows, 8, [&](int64_t row0, int64_t row1) {
+        if (scope.active()) {
+            const uint64_t bytes =
+                uint64_t(row1 - row0) * uint64_t(width) * kFp16Bytes;
+            scope.addRead(bytes);
+            scope.addWrite(bytes);
+        }
         for (int64_t i = row0; i < row1; ++i) {
             float mean = 0.0f;
             for (int64_t j = 0; j < width; ++j)
@@ -108,7 +118,13 @@ residualAddRun(const ExecContext &ctx, const Tensor<Half> &a,
 {
     SOFTREC_ASSERT(a.shape() == b.shape() && a.shape() == out.shape(),
                    "residual shapes inconsistent");
+    prof::Scope scope(ctx, "ew.residual");
     parallelFor(ctx, 0, a.numel(), 4096, [&](int64_t i0, int64_t i1) {
+        if (scope.active()) {
+            const uint64_t elems = uint64_t(i1 - i0);
+            scope.addRead(2 * elems * kFp16Bytes);
+            scope.addWrite(elems * kFp16Bytes);
+        }
         for (int64_t i = i0; i < i1; ++i)
             out.at(i) = Half(float(a.at(i)) + float(b.at(i)));
     });
@@ -143,7 +159,16 @@ biasActRun(const ExecContext &ctx, const Tensor<Half> &in,
     const int64_t rows = in.shape().dim(0);
     const int64_t width = in.shape().dim(1);
     SOFTREC_ASSERT(bias.shape() == Shape({width}), "bias misshaped");
+    prof::Scope scope(ctx, "ew.bias_act");
+    if (scope.active())
+        scope.addRead(uint64_t(width) * kFp32Bytes); // bias vector
     parallelFor(ctx, 0, rows, 8, [&](int64_t row0, int64_t row1) {
+        if (scope.active()) {
+            const uint64_t bytes =
+                uint64_t(row1 - row0) * uint64_t(width) * kFp16Bytes;
+            scope.addRead(bytes);
+            scope.addWrite(bytes);
+        }
         for (int64_t i = row0; i < row1; ++i) {
             for (int64_t j = 0; j < width; ++j) {
                 float v = float(in.at(i, j)) + bias.at(j);

@@ -12,6 +12,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/kernel_common.hpp"
@@ -102,6 +103,14 @@ fusedMhaRun(const ExecContext &ctx, const FusedMhaDesc &desc,
                    v.shape() == expect && out.shape() == expect,
                    "fused MHA operand shapes must be [L, dHead]");
     constexpr float neg_inf = -std::numeric_limits<float>::infinity();
+
+    // Only the layer inputs and output touch off-chip memory: the
+    // attention matrix lives entirely in the per-chunk scores buffer.
+    prof::Scope scope(ctx, desc.name.c_str());
+    if (scope.active()) {
+        scope.addRead(uint64_t(3 * L * dh) * kFp16Bytes); // Q, K, V
+        scope.addWrite(uint64_t(L * dh) * kFp16Bytes);    // O
+    }
 
     // Parallel over query rows; each chunk owns a scores buffer and
     // writes disjoint output rows (bit-identical at any thread count).

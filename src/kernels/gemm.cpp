@@ -9,10 +9,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "sim/calibration.hpp"
 
 namespace softrec {
@@ -179,6 +181,27 @@ gemmRun(const ExecContext &ctx, const GemmDesc &desc,
 
     const float neg_inf = -std::numeric_limits<float>::infinity();
 
+    // Unique-operand traffic accounting: B (and bias) are credited
+    // once up front on the submitting thread; per-strip A reads and C
+    // writes are credited by whichever thread runs the strip. Fused
+    // LS/GS extras go to byte-only scopes so softmax-layer traffic
+    // can be summed per strategy without double-counting GEMM time.
+    prof::Scope scope(ctx, desc.name.c_str());
+    std::optional<prof::Scope> ls_scope;
+    std::optional<prof::Scope> gs_scope;
+    if (scope.active()) {
+        uint64_t fixed_reads = uint64_t(k * n) * kFp16Bytes;
+        if (desc.epilogue.bias)
+            fixed_reads += uint64_t(n) * kFp32Bytes;
+        scope.addRead(fixed_reads);
+        if (desc.epilogue.localSoftmax)
+            ls_scope.emplace(ctx, "softmax.ls.fused",
+                             prof::Scope::Kind::BytesOnly);
+        if (desc.prologue.globalScale)
+            gs_scope.emplace(ctx, "softmax.gs.fused",
+                             prof::Scope::Kind::BytesOnly);
+    }
+
     // One m-tile strip of output: all n-tiles for rows [m0, m0 + mh).
     // Takes its own accumulator so parallel strips never share state.
     auto runStrip = [&](int64_t m0, std::vector<float> &acc) {
@@ -267,8 +290,21 @@ gemmRun(const ExecContext &ctx, const GemmDesc &desc,
     const int64_t strips = ceilDiv(m, t.tileM);
     parallelFor(ctx, 0, strips, 1, [&](int64_t strip0, int64_t strip1) {
         std::vector<float> acc(size_t(t.tileM * t.tileN));
-        for (int64_t strip = strip0; strip < strip1; ++strip)
-            runStrip(strip * t.tileM, acc);
+        for (int64_t strip = strip0; strip < strip1; ++strip) {
+            const int64_t m0 = strip * t.tileM;
+            if (scope.active()) {
+                const uint64_t mh = uint64_t(std::min(t.tileM, m - m0));
+                scope.addRead(mh * uint64_t(k) * kFp16Bytes);
+                scope.addWrite(mh * uint64_t(n) * kFp16Bytes);
+                if (ls_scope) // m'/d' per (row, sub-vector)
+                    ls_scope->addWrite(mh * uint64_t(tiles_n) * 2 *
+                                       kFp32Bytes);
+                if (gs_scope) // r' per (row, incoming sub-vector)
+                    gs_scope->addRead(
+                        mh * uint64_t(ceilDiv(k, gs_sub)) * kFp32Bytes);
+            }
+            runStrip(m0, acc);
+        }
     });
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "kernels/kernel_common.hpp"
 #include "sim/calibration.hpp"
 #include "sim/cost_model.hpp"
@@ -76,8 +77,15 @@ rowSoftmaxRun(const ExecContext &ctx, const SoftmaxShape &desc,
                    "softmax shapes must be [rows, cols]");
     if constexpr (kCheckedBuild)
         checkFinite(in, "rowSoftmax input", /*allow_neg_inf=*/true);
+    prof::Scope scope(ctx, "softmax.row");
     parallelFor(ctx, 0, desc.rows, kRowGrain,
                 [&](int64_t row0, int64_t row1) {
+        if (scope.active()) {
+            const uint64_t matrix =
+                uint64_t(row1 - row0) * uint64_t(desc.cols) * kFp16Bytes;
+            scope.addRead(matrix);
+            scope.addWrite(matrix);
+        }
         for (int64_t i = row0; i < row1; ++i) {
             float max_val = kNegInf;
             for (int64_t j = 0; j < desc.cols; ++j)
@@ -129,8 +137,15 @@ onlineRowSoftmaxRun(const ExecContext &ctx, const SoftmaxShape &desc,
                    "softmax shapes must be [rows, cols]");
     if constexpr (kCheckedBuild)
         checkFinite(in, "onlineRowSoftmax input", /*allow_neg_inf=*/true);
+    prof::Scope scope(ctx, "softmax.online");
     parallelFor(ctx, 0, desc.rows, kRowGrain,
                 [&](int64_t row0, int64_t row1) {
+        if (scope.active()) {
+            const uint64_t matrix =
+                uint64_t(row1 - row0) * uint64_t(desc.cols) * kFp16Bytes;
+            scope.addRead(matrix);
+            scope.addWrite(matrix);
+        }
         for (int64_t i = row0; i < row1; ++i) {
             // Single online pass: running max and rescaled normalizer.
             float running_max = kNegInf;
@@ -212,8 +227,18 @@ lsRun(const ExecContext &ctx, const SoftmaxShape &desc,
                    "LS m'/d' shapes must be [rows, N_sv]");
     if constexpr (kCheckedBuild)
         checkFinite(in, "LS input", /*allow_neg_inf=*/true);
+    prof::Scope scope(ctx, "softmax.ls");
     parallelFor(ctx, 0, desc.rows, kRowGrain,
                 [&](int64_t row0, int64_t row1) {
+        if (scope.active()) {
+            const uint64_t chunk_rows = uint64_t(row1 - row0);
+            const uint64_t matrix =
+                chunk_rows * uint64_t(desc.cols) * kFp16Bytes;
+            const uint64_t md = chunk_rows *
+                uint64_t(desc.numSubVectors()) * 2 * kFp32Bytes;
+            scope.addRead(matrix);
+            scope.addWrite(matrix + md); // X' plus m'/d'
+        }
         for (int64_t i = row0; i < row1; ++i) {
             for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
                 const int64_t j0 = sv * desc.subVector;
@@ -279,8 +304,15 @@ irRun(const ExecContext &ctx, const SoftmaxShape &desc,
                    local_sum.shape() == md_shape &&
                    recon.shape() == md_shape,
                    "IR shapes must be [rows, N_sv]");
+    prof::Scope scope(ctx, "softmax.ir");
     parallelFor(ctx, 0, desc.rows, kRowGrain,
                 [&](int64_t row0, int64_t row1) {
+        if (scope.active()) {
+            const uint64_t md_count = uint64_t(row1 - row0) *
+                                      uint64_t(desc.numSubVectors());
+            scope.addRead(md_count * 2 * kFp32Bytes); // m', d'
+            scope.addWrite(md_count * kFp32Bytes);    // r'
+        }
         for (int64_t i = row0; i < row1; ++i) {
             float m_global = kNegInf;
             for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv)
@@ -349,8 +381,18 @@ gsRun(const ExecContext &ctx, const SoftmaxShape &desc,
     SOFTREC_ASSERT(recon.shape() ==
                        Shape({desc.rows, desc.numSubVectors()}),
                    "GS r' shape must be [rows, N_sv]");
+    prof::Scope scope(ctx, "softmax.gs");
     parallelFor(ctx, 0, desc.rows, kRowGrain,
                 [&](int64_t row0, int64_t row1) {
+        if (scope.active()) {
+            const uint64_t chunk_rows = uint64_t(row1 - row0);
+            const uint64_t matrix =
+                chunk_rows * uint64_t(desc.cols) * kFp16Bytes;
+            const uint64_t r_bytes = chunk_rows *
+                uint64_t(desc.numSubVectors()) * kFp32Bytes;
+            scope.addRead(matrix + r_bytes); // X' plus r'
+            scope.addWrite(matrix);
+        }
         for (int64_t i = row0; i < row1; ++i) {
             for (int64_t j = 0; j < desc.cols; ++j) {
                 const float r = recon.at(i, j / desc.subVector);

@@ -5,6 +5,8 @@
 
 #include "model/engine.hpp"
 
+#include "common/profiler.hpp"
+
 namespace softrec {
 
 double
@@ -75,6 +77,9 @@ runInferenceSweep(const ExecContext &ctx, const GpuSpec &spec,
                   const ModelConfig &model,
                   const std::vector<RunConfig> &runs)
 {
+    // Time-only summary scope (the sweep is analytical — no tensor
+    // traffic to count).
+    prof::Scope scope(ctx, "sweep.inference");
     // Each run simulates independently and writes only its own slot;
     // ordering of the result vector never depends on thread count.
     std::vector<InferenceResult> results(runs.size());

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "core/attention_exec.hpp"
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
@@ -60,11 +61,12 @@ namespace {
 
 /** y = x W + b via the functional GEMM, fp16 storage. */
 Tensor<Half>
-project(const ExecContext &ctx, const Tensor<Half> &x,
-        const Tensor<Half> &w, const Tensor<float> &bias,
-        bool gelu = false)
+project(const ExecContext &ctx, const char *name,
+        const Tensor<Half> &x, const Tensor<Half> &w,
+        const Tensor<float> &bias, bool gelu = false)
 {
     GemmDesc desc;
+    desc.name = name;
     desc.m = x.shape().dim(0);
     desc.k = x.shape().dim(1);
     desc.n = w.shape().dim(1);
@@ -110,10 +112,16 @@ runEncoderLayer(const ExecContext &ctx,
     const int64_t rows = input.shape().dim(0);
     const int64_t dh = config.dHead();
 
+    // Time-only summary scope around the whole layer.
+    prof::Scope scope(ctx, "layer.encoder");
+
     // QKV projections.
-    const Tensor<Half> q = project(ctx, input, weights.wq, weights.bq);
-    const Tensor<Half> k = project(ctx, input, weights.wk, weights.bk);
-    const Tensor<Half> v = project(ctx, input, weights.wv, weights.bv);
+    const Tensor<Half> q =
+        project(ctx, "fc.q", input, weights.wq, weights.bq);
+    const Tensor<Half> k =
+        project(ctx, "fc.k", input, weights.wk, weights.bk);
+    const Tensor<Half> v =
+        project(ctx, "fc.v", input, weights.wv, weights.bv);
 
     // Multi-head attention under the configured strategy.
     SdaConfig sda;
@@ -146,7 +154,7 @@ runEncoderLayer(const ExecContext &ctx,
 
     // Output projection, residual, LayerNorm.
     const Tensor<Half> projected =
-        project(ctx, attention, weights.wo, weights.bo);
+        project(ctx, "fc.out", attention, weights.wo, weights.bo);
     Tensor<Half> post_attn(input.shape());
     residualAddRun(ctx, input, projected, post_attn);
     Tensor<Half> hidden(input.shape());
@@ -154,23 +162,15 @@ runEncoderLayer(const ExecContext &ctx,
                  hidden);
 
     // FeedForward, residual, LayerNorm.
-    const Tensor<Half> ff1 =
-        project(ctx, hidden, weights.w1, weights.b1, /*gelu=*/true);
-    const Tensor<Half> ff2 = project(ctx, ff1, weights.w2, weights.b2);
+    const Tensor<Half> ff1 = project(ctx, "ff.1", hidden, weights.w1,
+                                     weights.b1, /*gelu=*/true);
+    const Tensor<Half> ff2 =
+        project(ctx, "ff.2", ff1, weights.w2, weights.b2);
     Tensor<Half> post_ff(input.shape());
     residualAddRun(ctx, hidden, ff2, post_ff);
     Tensor<Half> out(input.shape());
     layerNormRun(ctx, post_ff, weights.gamma2, weights.beta2, out);
     return out;
-}
-
-Tensor<Half>
-runEncoderLayer(const FunctionalLayerConfig &config,
-                const EncoderLayerWeights &weights,
-                const Tensor<Half> &input)
-{
-    return runEncoderLayer(ExecContext::fromEnv(), config, weights,
-                           input);
 }
 
 } // namespace softrec

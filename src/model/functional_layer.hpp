@@ -73,15 +73,6 @@ Tensor<Half> runEncoderLayer(const ExecContext &ctx,
                              const EncoderLayerWeights &weights,
                              const Tensor<Half> &input);
 
-/**
- * Deprecated pre-ExecContext entry point, kept for one PR. Runs with
- * the SOFTREC_THREADS environment context (serial when unset).
- */
-[[deprecated("use runEncoderLayer(ctx, config, weights, input)")]]
-Tensor<Half> runEncoderLayer(const FunctionalLayerConfig &config,
-                             const EncoderLayerWeights &weights,
-                             const Tensor<Half> &input);
-
 } // namespace softrec
 
 #endif // SOFTREC_MODEL_FUNCTIONAL_LAYER_HPP
