@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Scalar-vs-SIMD A/B micro-benchmarks of the vectorized kernel
+ * substrate: batch fp16<->fp32 conversion throughput, the packed-panel
+ * GEMM mainloop, and row softmax. Both arms run the same code paths —
+ * the backend is switched in-process via setSimdBackend() — so the
+ * report isolates exactly what the SIMD conversion paths buy.
+ * Writes BENCH_micro_simd.json (schema softrec-bench-v1).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/bench_report.hpp"
+#include "common/exec_context.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "fp16/half.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/softmax_kernels.hpp"
+#include "tensor/tensor.hpp"
+
+namespace softrec {
+namespace {
+
+constexpr int kWarmup = 2;
+constexpr int kReps = 5;
+
+/** Runs `body` under `backend`, restoring the previous backend. */
+template <typename Fn>
+double
+timedWithBackend(SimdBackend backend, Fn &&body)
+{
+    const SimdBackend prev = setSimdBackend(backend);
+    const double s = bench::medianSeconds(kWarmup, kReps, body);
+    setSimdBackend(prev);
+    return s;
+}
+
+Tensor<Half>
+randomHalf(Rng &rng, const Shape &shape)
+{
+    Tensor<Half> t(shape);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.data()[i] = Half(float(rng.normal(0.0, 0.5)));
+    return t;
+}
+
+struct ArmTimes
+{
+    double scalar_s = 0.0;
+    double simd_s = 0.0;
+};
+
+template <typename Fn>
+ArmTimes
+runArms(Fn &&body)
+{
+    ArmTimes t;
+    t.scalar_s = timedWithBackend(SimdBackend::Scalar, body);
+    t.simd_s = timedWithBackend(detectedSimdBackend(), body);
+    return t;
+}
+
+void
+addArmRows(BenchReport &report, const std::string &stem,
+           const ArmTimes &t, uint64_t bytes_read,
+           uint64_t bytes_written, int threads)
+{
+    for (const char *arm : {"scalar", "simd"}) {
+        BenchKernelRow row;
+        row.name = stem + "." + arm;
+        row.ms = (arm[1] == 'c' ? t.scalar_s : t.simd_s) * 1e3;
+        row.bytesRead = bytes_read;
+        row.bytesWritten = bytes_written;
+        row.calls = kReps;
+        row.threads = threads;
+        report.addKernel(row);
+    }
+    report.setDerived(stem + "_speedup",
+                      t.simd_s > 0.0 ? t.scalar_s / t.simd_s : 0.0);
+}
+
+} // namespace
+} // namespace softrec
+
+int
+main()
+{
+    using namespace softrec;
+
+    const ExecContext ctx = ExecContext::fromEnv();
+    const int64_t L = bench::benchSeqLenFromEnv(4096);
+    const int64_t dh = 64;
+
+    BenchReport report("micro_simd");
+    report.setConfig("seq_len", L);
+    report.setConfig("d_head", dh);
+    report.setConfig("threads", int64_t(ctx.threads()));
+    report.setConfig("simd_backend",
+                     simdBackendName(detectedSimdBackend()));
+
+    Rng rng(7);
+
+    // --- Batch conversion throughput at attention scale (L x dHead).
+    {
+        const int64_t n = L * dh;
+        Tensor<Half> src = randomHalf(rng, Shape({L, dh}));
+        std::vector<float> wide(size_t(n), 0.0f);
+        Tensor<Half> narrow(Shape({L, dh}));
+
+        const ArmTimes h2f = runArms([&] {
+            halfToFloat(src.data(), wide.data(), n);
+        });
+        addArmRows(report, "conv.h2f", h2f,
+                   uint64_t(n) * kFp16Bytes, uint64_t(n) * kFp32Bytes,
+                   1);
+
+        const ArmTimes f2h = runArms([&] {
+            floatToHalf(wide.data(), narrow.data(), n);
+        });
+        addArmRows(report, "conv.f2h", f2h,
+                   uint64_t(n) * kFp32Bytes, uint64_t(n) * kFp16Bytes,
+                   1);
+    }
+
+    // --- Packed-panel GEMM mainloop (attention-shaped: k = dHead).
+    {
+        const int64_t mn = std::min<int64_t>(L, 1024);
+        GemmDesc desc;
+        desc.name = "bench.gemm";
+        desc.m = mn;
+        desc.n = mn;
+        desc.k = dh;
+        Tensor<Half> a = randomHalf(rng, Shape({mn, dh}));
+        Tensor<Half> b = randomHalf(rng, Shape({dh, mn}));
+        Tensor<Half> c(Shape({mn, mn}));
+        GemmOperands ops;
+        ops.a = &a;
+        ops.b = &b;
+
+        const ArmTimes t = runArms([&] { gemmRun(ctx, desc, ops, c); });
+        const uint64_t in_bytes =
+            uint64_t((mn + mn) * dh) * kFp16Bytes;
+        addArmRows(report, "gemm.mainloop", t, in_bytes,
+                   uint64_t(mn * mn) * kFp16Bytes, ctx.threads());
+    }
+
+    // --- Row softmax over attention-width rows.
+    {
+        const int64_t rows = 256;
+        SoftmaxShape desc;
+        desc.name = "bench.softmax";
+        desc.rows = rows;
+        desc.cols = L;
+        Tensor<Half> in = randomHalf(rng, Shape({rows, L}));
+        Tensor<Half> out(Shape({rows, L}));
+
+        const ArmTimes t =
+            runArms([&] { rowSoftmaxRun(ctx, desc, in, out); });
+        const uint64_t bytes = uint64_t(rows * L) * kFp16Bytes;
+        addArmRows(report, "softmax.row", t, bytes, bytes,
+                   ctx.threads());
+    }
+
+    const std::string path = report.defaultPath();
+    if (!report.writeFile(path))
+        return 1;
+    inform("wrote %s (L = %lld, backend = %s)", path.c_str(),
+           (long long)L, simdBackendName(detectedSimdBackend()));
+    return 0;
+}

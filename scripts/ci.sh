@@ -5,14 +5,15 @@
 #   1. clang-format check     (skipped if clang-format is absent)
 #   2. softrec_lint           (domain numerics/hygiene lint + self-test)
 #   3. clang-tidy             (skipped if clang-tidy is absent)
-#   4. release build + tests  (-DSOFTREC_WERROR=ON), run twice:
-#      serial, then SOFTREC_THREADS=4 to exercise the thread pool
+#   4. release build + tests  (-DSOFTREC_WERROR=ON), run three times:
+#      serial, SOFTREC_THREADS=4 to exercise the thread pool, then
+#      SOFTREC_SIMD=off to pin the scalar conversion fallback
 #   5. checked build + tests  (-DSOFTREC_CHECKED_BUILD=ON, WERROR)
 #   6. asan-ubsan build + tests (sanitizers + checked mode, WERROR)
 #   7. tsan build + parallel-runtime tests under SOFTREC_THREADS=4
 #      (profiling enabled: test_profiler exercises the counter merge)
-#   8. bench smoke: micro_kernels at L=512 with the profiler attached;
-#      the emitted BENCH JSON must pass tools/check_bench_json.py
+#   8. bench smoke: micro_kernels and micro_simd at L=512; the emitted
+#      BENCH JSON must pass tools/check_bench_json.py
 #
 # Every stage must pass; the script stops at the first failure.
 # A toolchain without clang still runs stages 2 and 4-6, which are the
@@ -58,6 +59,10 @@ step "release tests with SOFTREC_THREADS=4 (thread-pool path)"
 SOFTREC_THREADS=4 \
     ctest --test-dir build/release --output-on-failure -j "${JOBS}"
 
+step "release tests with SOFTREC_SIMD=off (scalar conversion fallback)"
+SOFTREC_SIMD=off \
+    ctest --test-dir build/release --output-on-failure -j "${JOBS}"
+
 step "checked build (WERROR) + tests"
 cmake --preset checked -DSOFTREC_WERROR=ON >/dev/null
 cmake --build build/checked -j "${JOBS}"
@@ -80,11 +85,15 @@ SOFTREC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer|test_profiler'
 
 step "bench smoke: BENCH JSON schema gate"
-cmake --build build/release -j "${JOBS}" --target micro_kernels
+cmake --build build/release -j "${JOBS}" --target micro_kernels \
+    micro_simd
 ( cd build/release/bench &&
   SOFTREC_BENCH_SEQLEN=512 SOFTREC_THREADS=4 ./micro_kernels \
       --benchmark_filter='BM_SafeSoftmax/512' >/dev/null )
+( cd build/release/bench &&
+  SOFTREC_BENCH_SEQLEN=512 ./micro_simd >/dev/null )
 python3 tools/check_bench_json.py \
-    build/release/bench/BENCH_micro_kernels.json
+    build/release/bench/BENCH_micro_kernels.json \
+    build/release/bench/BENCH_micro_simd.json
 
 printf '\n=== ci: all gates passed ===\n'

@@ -1,11 +1,32 @@
 /**
  * @file
- * Bit-exact binary16 <-> binary32 conversions.
+ * Bit-exact binary16 <-> binary32 conversions: the scalar reference
+ * pair plus batch span conversions with runtime-dispatched SIMD paths
+ * (x86-64 F16C, AArch64 NEON). Every SIMD path must produce the same
+ * bits as the scalar path for every input — NaN chunks are redone
+ * scalar because hardware converters quiet/preserve NaN payloads
+ * differently from the software canonicalization below.
  */
 
 #include "fp16/half.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+
+#include "common/logging.hpp"
+
+#if !defined(SOFTREC_SIMD_DISABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SOFTREC_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+#if !defined(SOFTREC_SIMD_DISABLED) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define SOFTREC_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
 
 namespace softrec {
 
@@ -131,6 +152,225 @@ bool
 Half::isZero() const
 {
     return (bits_ & 0x7fffu) == 0;
+}
+
+void
+halfToFloatScalar(const Half *src, float *dst, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] = src[i].toFloat();
+}
+
+void
+floatToHalfScalar(const float *src, Half *dst, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        dst[i] = Half(src[i]);
+}
+
+namespace {
+
+#if defined(SOFTREC_SIMD_X86)
+
+__attribute__((target("avx2,f16c"))) void
+halfToFloatF16c(const Half *src, float *dst, int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m128i h;
+        std::memcpy(&h, src + i, sizeof(h));
+        // VCVTPH2PS quiets signalling NaNs; the software conversion
+        // keeps the payload verbatim (frac << 13). Redo chunks with a
+        // NaN lane scalar so SIMD == scalar bit-for-bit.
+        const __m128i abs = _mm_and_si128(h, _mm_set1_epi16(0x7fff));
+        const int nan_lanes = _mm_movemask_epi8(
+            _mm_cmpgt_epi16(abs, _mm_set1_epi16(0x7c00)));
+        _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+        if (nan_lanes != 0)
+            halfToFloatScalar(src + i, dst + i, 8);
+    }
+    // GCC does not always insert VZEROUPPER on the tail-call exit of
+    // target("avx2") functions; without it the dirty YMM upper state
+    // imposes false-dependency stalls on every SSE instruction the
+    // caller runs next (e.g. libm expf in the softmax kernels).
+    _mm256_zeroupper();
+    halfToFloatScalar(src + i, dst + i, n - i);
+}
+
+__attribute__((target("avx2,f16c"))) void
+floatToHalfF16c(const float *src, Half *dst, int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 f = _mm256_loadu_ps(src + i);
+        // VCVTPS2PH preserves NaN payload bits; Half::fromFloat
+        // canonicalizes every NaN to sign|0x7e00. Redo NaN chunks
+        // scalar to keep the two paths bit-identical.
+        const int nan_lanes = _mm256_movemask_ps(
+            _mm256_cmp_ps(f, f, _CMP_UNORD_Q));
+        const __m128i h = _mm256_cvtps_ph(
+            f, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+        // Half is a trivially-copyable wire format; the void cast
+        // mutes -Wclass-memaccess for its user-provided constructor.
+        std::memcpy(static_cast<void *>(dst + i), &h, sizeof(h));
+        if (nan_lanes != 0)
+            floatToHalfScalar(src + i, dst + i, 8);
+    }
+    _mm256_zeroupper(); // see halfToFloatF16c
+    floatToHalfScalar(src + i, dst + i, n - i);
+}
+
+#endif // SOFTREC_SIMD_X86
+
+#if defined(SOFTREC_SIMD_NEON)
+
+void
+halfToFloatNeon(const Half *src, float *dst, int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        uint16x4_t h;
+        std::memcpy(&h, src + i, sizeof(h));
+        // FCVTL quiets signalling NaNs; same scalar redo as x86.
+        const uint16x4_t abs = vand_u16(h, vdup_n_u16(0x7fff));
+        const uint16x4_t nan = vcgt_u16(abs, vdup_n_u16(0x7c00));
+        vst1q_f32(dst + i, vcvt_f32_f16(vreinterpret_f16_u16(h)));
+        if (vget_lane_u64(vreinterpret_u64_u16(nan), 0) != 0)
+            halfToFloatScalar(src + i, dst + i, 4);
+    }
+    halfToFloatScalar(src + i, dst + i, n - i);
+}
+
+void
+floatToHalfNeon(const float *src, Half *dst, int64_t n)
+{
+    int64_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float32x4_t f = vld1q_f32(src + i);
+        // Ordered-with-self is false only for NaN lanes.
+        const uint32x4_t ordered = vceqq_f32(f, f);
+        const uint16x4_t h =
+            vreinterpret_u16_f16(vcvt_f16_f32(f));
+        std::memcpy(static_cast<void *>(dst + i), &h, sizeof(h));
+        if (vminvq_u32(ordered) == 0)
+            floatToHalfScalar(src + i, dst + i, 4);
+    }
+    floatToHalfScalar(src + i, dst + i, n - i);
+}
+
+#endif // SOFTREC_SIMD_NEON
+
+SimdBackend
+detectBackend()
+{
+#if defined(SOFTREC_SIMD_X86)
+    if (__builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("f16c")) {
+        return SimdBackend::F16cAvx2;
+    }
+#elif defined(SOFTREC_SIMD_NEON)
+    return SimdBackend::Neon;
+#endif
+    return SimdBackend::Scalar;
+}
+
+SimdBackend
+backendFromEnv()
+{
+    const char *env = std::getenv("SOFTREC_SIMD");
+    if (env == nullptr || env[0] == '\0' ||
+        std::strcmp(env, "auto") == 0) {
+        return detectBackend();
+    }
+    if (std::strcmp(env, "off") == 0)
+        return SimdBackend::Scalar;
+    warn("SOFTREC_SIMD='%s' ignored (expected auto or off)", env);
+    return detectBackend();
+}
+
+std::atomic<SimdBackend> &
+backendSlot()
+{
+    static std::atomic<SimdBackend> slot{backendFromEnv()};
+    return slot;
+}
+
+} // namespace
+
+const char *
+simdBackendName(SimdBackend backend)
+{
+    switch (backend) {
+      case SimdBackend::Scalar:
+        return "scalar";
+      case SimdBackend::F16cAvx2:
+        return "f16c-avx2";
+      case SimdBackend::Neon:
+        return "neon";
+    }
+    panic("unknown SimdBackend");
+}
+
+SimdBackend
+detectedSimdBackend()
+{
+    return detectBackend();
+}
+
+SimdBackend
+simdBackend()
+{
+    return backendSlot().load(std::memory_order_relaxed);
+}
+
+SimdBackend
+setSimdBackend(SimdBackend backend)
+{
+    SOFTREC_ASSERT(backend == SimdBackend::Scalar ||
+                   backend == detectBackend(),
+                   "backend '%s' is not available on this machine",
+                   simdBackendName(backend));
+    return backendSlot().exchange(backend);
+}
+
+void
+halfToFloat(const Half *src, float *dst, int64_t n)
+{
+    switch (simdBackend()) {
+#if defined(SOFTREC_SIMD_X86)
+      case SimdBackend::F16cAvx2:
+        halfToFloatF16c(src, dst, n);
+        return;
+#endif
+#if defined(SOFTREC_SIMD_NEON)
+      case SimdBackend::Neon:
+        halfToFloatNeon(src, dst, n);
+        return;
+#endif
+      default:
+        halfToFloatScalar(src, dst, n);
+        return;
+    }
+}
+
+void
+floatToHalf(const float *src, Half *dst, int64_t n)
+{
+    switch (simdBackend()) {
+#if defined(SOFTREC_SIMD_X86)
+      case SimdBackend::F16cAvx2:
+        floatToHalfF16c(src, dst, n);
+        return;
+#endif
+#if defined(SOFTREC_SIMD_NEON)
+      case SimdBackend::Neon:
+        floatToHalfNeon(src, dst, n);
+        return;
+#endif
+      default:
+        floatToHalfScalar(src, dst, n);
+        return;
+    }
 }
 
 } // namespace softrec

@@ -84,6 +84,53 @@ inline bool operator<=(Half a, Half b) { return float(a) <= float(b); }
 inline bool operator>(Half a, Half b) { return float(a) > float(b); }
 inline bool operator>=(Half a, Half b) { return float(a) >= float(b); }
 
+/**
+ * Batch-conversion backend. The SIMD paths are bit-identical to the
+ * scalar ones by construction (NaN chunks fall back to the scalar
+ * conversion), so the choice only affects throughput, never results.
+ */
+enum class SimdBackend
+{
+    Scalar,   ///< Portable software conversion, always available.
+    F16cAvx2, ///< x86-64 VCVTPH2PS/VCVTPS2PH, 8 elements per step.
+    Neon,     ///< AArch64 vcvt_f32_f16/vcvt_f16_f32, 4 per step.
+};
+
+/** Human-readable backend name ("scalar", "f16c-avx2", "neon"). */
+const char *simdBackendName(SimdBackend backend);
+
+/**
+ * Best backend this binary supports on this machine, ignoring the
+ * SOFTREC_SIMD environment override.
+ */
+SimdBackend detectedSimdBackend();
+
+/**
+ * Active batch-conversion backend: detectedSimdBackend() unless the
+ * environment says SOFTREC_SIMD=off (force scalar). SOFTREC_SIMD=auto
+ * or unset means detect; anything else warns and detects.
+ */
+SimdBackend simdBackend();
+
+/**
+ * Override the active backend in-process (benches/tests A/B the scalar
+ * and SIMD paths without re-exec). Only Scalar or the detected backend
+ * are accepted. Returns the previous backend so callers can restore it.
+ */
+SimdBackend setSimdBackend(SimdBackend backend);
+
+/** Widen n contiguous halves to floats (exact, backend-dispatched). */
+void halfToFloat(const Half *src, float *dst, int64_t n);
+
+/** Narrow n contiguous floats to halves (RNE, backend-dispatched). */
+void floatToHalf(const float *src, Half *dst, int64_t n);
+
+/** Scalar batch widening, regardless of the active backend. */
+void halfToFloatScalar(const Half *src, float *dst, int64_t n);
+
+/** Scalar batch narrowing, regardless of the active backend. */
+void floatToHalfScalar(const float *src, Half *dst, int64_t n);
+
 } // namespace softrec
 
 #endif // SOFTREC_FP16_HALF_HPP

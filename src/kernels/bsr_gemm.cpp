@@ -9,6 +9,7 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "common/profiler.hpp"
@@ -109,6 +110,14 @@ bsrSddRun(const ExecContext &ctx, const BsrSddDesc &desc,
                              prof::Scope::Kind::BytesOnly);
     }
 
+    // Q and K widened to fp32 once per call: every stored block reads
+    // the same rows, so per-block reconversion would multiply the
+    // conversion cost by the row's non-zero count.
+    std::vector<float> qf(size_t(layout.rows()) * size_t(desc.dHead));
+    std::vector<float> kf(size_t(layout.cols()) * size_t(desc.dHead));
+    halfToFloat(q.data(), qf.data(), layout.rows() * desc.dHead);
+    halfToFloat(k_mat.data(), kf.data(), layout.cols() * desc.dHead);
+
     // Parallel over block rows: each row's stored blocks (and their
     // m'/d' slots) are disjoint; each chunk owns its accumulator.
     parallelFor(ctx, 0, layout.blockRows(), 1,
@@ -128,17 +137,20 @@ bsrSddRun(const ExecContext &ctx, const BsrSddDesc &desc,
             const int64_t bc = layout.blockCol(kk);
             // Dense block GEMM: acc = Q[br] . K[bc]^T, fp32 accumulate.
             for (int64_t i = 0; i < bs; ++i) {
+                const float *qrow =
+                    &qf[size_t(br * bs + i) * size_t(desc.dHead)];
                 for (int64_t j = 0; j < bs; ++j) {
+                    const float *krow =
+                        &kf[size_t(bc * bs + j) * size_t(desc.dHead)];
                     float sum = 0.0f;
-                    for (int64_t d = 0; d < desc.dHead; ++d) {
-                        sum += float(q.at(br * bs + i, d)) *
-                               float(k_mat.at(bc * bs + j, d));
-                    }
+                    for (int64_t d = 0; d < desc.dHead; ++d)
+                        sum += qrow[d] * krow[d];
                     acc[size_t(i * bs + j)] =
                         sum * float(desc.scale);
                 }
             }
-            // Epilogue: plain store, or fused LS per block row.
+            // Epilogue: plain store, or fused LS per block row; the
+            // block's rows narrow through the batch converter.
             for (int64_t i = 0; i < bs; ++i) {
                 float *row = &acc[size_t(i * bs)];
                 if (desc.fuseLocalSoftmax) {
@@ -151,14 +163,12 @@ bsrSddRun(const ExecContext &ctx, const BsrSddDesc &desc,
                             ? 0.0f
                             : std::exp(row[j] - m_local);
                         d_local += e;
-                        s.at(kk, i, j) = Half(e);
+                        row[j] = e;
                     }
                     (*local_max)[size_t(kk * bs + i)] = m_local;
                     (*local_sum)[size_t(kk * bs + i)] = d_local;
-                } else {
-                    for (int64_t j = 0; j < bs; ++j)
-                        s.at(kk, i, j) = Half(row[j]);
                 }
+                floatToHalf(row, s.blockData(kk) + i * bs, bs);
             }
         }
     }
@@ -239,9 +249,16 @@ bsrDsdRun(const ExecContext &ctx, const BsrDsdDesc &desc,
             gs_scope.emplace(ctx, "softmax.bsr.gs.fused",
                              prof::Scope::Kind::BytesOnly);
     }
+    // V widened once per call: every block row gathers from the same
+    // value rows, so per-element reconversion would scale with nnz.
+    std::vector<float> vf(size_t(layout.cols()) * size_t(desc.dHead));
+    halfToFloat(v.data(), vf.data(), layout.cols() * desc.dHead);
+
     // Parallel over block rows: output rows are disjoint per chunk.
     parallelFor(ctx, 0, layout.blockRows(), 1,
                 [&](int64_t br0, int64_t br1) {
+    std::vector<float> pbuf(size_t(bs), 0.0f);
+    std::vector<float> obuf(size_t(desc.dHead));
     for (int64_t br = br0; br < br1; ++br) {
         if (scope.active()) {
             const uint64_t row_nnz =
@@ -252,21 +269,28 @@ bsrDsdRun(const ExecContext &ctx, const BsrDsdDesc &desc,
                 gs_scope->addRead(row_nnz * uint64_t(bs) * kFp32Bytes);
         }
         for (int64_t i = 0; i < bs; ++i) {
-            for (int64_t d = 0; d < desc.dHead; ++d) {
-                float sum = 0.0f;
-                for (int64_t kk = layout.rowBegin(br);
-                     kk < layout.rowEnd(br); ++kk) {
-                    const int64_t bc = layout.blockCol(kk);
-                    const float r = desc.fuseGlobalScale
-                        ? (*recon)[size_t(kk * bs + i)]
-                        : 1.0f;
-                    for (int64_t j = 0; j < bs; ++j) {
-                        sum += float(p.at(kk, i, j)) * r *
-                               float(v.at(bc * bs + j, d));
-                    }
+            // kk outer / j mid / d inner: per output element (i, d)
+            // the (kk, j) accumulation order is unchanged (ascending),
+            // but V rows are swept contiguously and each P block row
+            // widens through the batch converter exactly once.
+            std::fill(obuf.begin(), obuf.end(), 0.0f);
+            for (int64_t kk = layout.rowBegin(br);
+                 kk < layout.rowEnd(br); ++kk) {
+                const int64_t bc = layout.blockCol(kk);
+                halfToFloat(p.blockData(kk) + i * bs, pbuf.data(), bs);
+                const float r = desc.fuseGlobalScale
+                    ? (*recon)[size_t(kk * bs + i)]
+                    : 1.0f;
+                for (int64_t j = 0; j < bs; ++j) {
+                    // Same value as the old (p * r) * v ordering.
+                    const float s = pbuf[size_t(j)] * r;
+                    const float *vrow =
+                        &vf[size_t(bc * bs + j) * size_t(desc.dHead)];
+                    for (int64_t d = 0; d < desc.dHead; ++d)
+                        obuf[size_t(d)] += s * vrow[d];
                 }
-                o.at(br * bs + i, d) = Half(sum);
             }
+            floatToHalf(obuf.data(), o.rowPtr(br * bs + i), desc.dHead);
         }
     }
     });

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
@@ -60,6 +61,8 @@ checkBsrRowSums(const BsrLayout &layout, const BsrMatrix &m,
             for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
                  ++k) {
                 for (int64_t j = 0; j < bs; ++j)
+                    // softrec-lint: allow(half-loop-conv) --
+                    // checked-build diagnostic, not a hot path
                     sum += double(float(m.at(k, i, j)));
             }
             if (sum != 0.0 && std::abs(sum - 1.0) > kRowSumTolerance) {
@@ -118,39 +121,45 @@ bsrRowSoftmaxRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
     // Parallel over block rows: each chunk writes disjoint blocks.
     parallelFor(ctx, 0, layout.blockRows(), 1,
                 [&](int64_t br0, int64_t br1) {
+    // One logical row's stored segments staged contiguously in fp32:
+    // segment s of the row holds block rowBegin+s's bs elements. exp
+    // values overwrite the staging row during the normalizer pass and
+    // are reused by the scale pass (one exp per element, not two).
+    std::vector<float> row;
     for (int64_t br = br0; br < br1; ++br) {
+        const int64_t row_nnz = layout.rowEnd(br) - layout.rowBegin(br);
         if (scope.active()) {
             const uint64_t row_bytes =
-                uint64_t(layout.rowEnd(br) - layout.rowBegin(br)) *
-                uint64_t(bs * bs) * kFp16Bytes;
+                uint64_t(row_nnz) * uint64_t(bs * bs) * kFp16Bytes;
             scope.addRead(row_bytes);
             scope.addWrite(row_bytes);
         }
+        row.resize(size_t(row_nnz * bs));
         for (int64_t i = 0; i < bs; ++i) {
+            for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
+                 ++k) {
+                const int64_t s = k - layout.rowBegin(br);
+                halfToFloat(in.blockData(k) + i * bs,
+                            &row[size_t(s * bs)], bs);
+            }
             float max_val = kNegInf;
-            for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
-                 ++k) {
-                for (int64_t j = 0; j < bs; ++j)
-                    max_val = std::max(max_val, float(in.at(k, i, j)));
-            }
+            for (size_t x = 0; x < row.size(); ++x)
+                max_val = std::max(max_val, row[x]);
             float denom = 0.0f;
-            for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
-                 ++k) {
-                for (int64_t j = 0; j < bs; ++j) {
-                    if (max_val != kNegInf)
-                        denom +=
-                            std::exp(float(in.at(k, i, j)) - max_val);
-                }
+            for (size_t x = 0; x < row.size(); ++x) {
+                const float e = max_val == kNegInf
+                    ? 0.0f
+                    : std::exp(row[x] - max_val);
+                row[x] = e;
+                denom += e;
             }
+            for (size_t x = 0; x < row.size(); ++x)
+                row[x] = denom > 0.0f ? row[x] / denom : 0.0f;
             for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
                  ++k) {
-                for (int64_t j = 0; j < bs; ++j) {
-                    const float e = max_val == kNegInf
-                        ? 0.0f
-                        : std::exp(float(in.at(k, i, j)) - max_val);
-                    out.at(k, i, j) =
-                        Half(denom > 0.0f ? e / denom : 0.0f);
-                }
+                const int64_t s = k - layout.rowBegin(br);
+                floatToHalf(&row[size_t(s * bs)],
+                            out.blockData(k) + i * bs, bs);
             }
             SOFTREC_CHECK(denom > 0.0f || max_val == kNegInf,
                           "BSR softmax row %lld: d = %f must be "
@@ -214,19 +223,23 @@ bsrLsRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
         scope.addRead(matrix);
         scope.addWrite(matrix + md); // X' plus m'/d'
     }
+    // One block row (bs contiguous halves) staged in fp32 at a time.
+    std::vector<float> row(size_t(bs), 0.0f);
     for (int64_t k = blk0; k < blk1; ++k) {
         for (int64_t i = 0; i < bs; ++i) {
+            halfToFloat(in.blockData(k) + i * bs, row.data(), bs);
             float m_local = kNegInf;
             for (int64_t j = 0; j < bs; ++j)
-                m_local = std::max(m_local, float(in.at(k, i, j)));
+                m_local = std::max(m_local, row[size_t(j)]);
             float d_local = 0.0f;
             for (int64_t j = 0; j < bs; ++j) {
                 const float e = m_local == kNegInf
                     ? 0.0f
-                    : std::exp(float(in.at(k, i, j)) - m_local);
+                    : std::exp(row[size_t(j)] - m_local);
                 d_local += e;
-                x_prime.at(k, i, j) = Half(e);
+                row[size_t(j)] = e;
             }
+            floatToHalf(row.data(), x_prime.blockData(k) + i * bs, bs);
             local_max[size_t(k * bs + i)] = m_local;
             local_sum[size_t(k * bs + i)] = d_local;
             SOFTREC_CHECK(d_local > 0.0f || m_local == kNegInf,
@@ -372,12 +385,15 @@ bsrGsRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
                           blocks * uint64_t(bs) * kFp32Bytes); // X', r'
             scope.addWrite(matrix);
         }
+        std::vector<float> row(size_t(bs), 0.0f);
         for (int64_t k = blk0; k < blk1; ++k) {
             for (int64_t i = 0; i < bs; ++i) {
                 const float r = recon[size_t(k * bs + i)];
+                halfToFloat(x_prime.blockData(k) + i * bs, row.data(),
+                            bs);
                 for (int64_t j = 0; j < bs; ++j)
-                    y.at(k, i, j) =
-                        Half(float(x_prime.at(k, i, j)) * r);
+                    row[size_t(j)] *= r;
+                floatToHalf(row.data(), y.blockData(k) + i * bs, bs);
             }
         }
     });

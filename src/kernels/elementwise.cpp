@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "common/profiler.hpp"
@@ -76,22 +77,27 @@ layerNormRun(const ExecContext &ctx, const Tensor<Half> &in,
             scope.addRead(bytes);
             scope.addWrite(bytes);
         }
+        std::vector<float> row(size_t(width), 0.0f);
+        const float *g = gamma.data();
+        const float *b = beta.data();
         for (int64_t i = row0; i < row1; ++i) {
+            halfToFloat(in.rowPtr(i), row.data(), width);
             float mean = 0.0f;
             for (int64_t j = 0; j < width; ++j)
-                mean += float(in.at(i, j));
+                mean += row[size_t(j)];
             mean /= float(width);
             float var = 0.0f;
             for (int64_t j = 0; j < width; ++j) {
-                const float d = float(in.at(i, j)) - mean;
+                const float d = row[size_t(j)] - mean;
                 var += d * d;
             }
             var /= float(width);
             const float inv_std = 1.0f / std::sqrt(var + epsilon);
             for (int64_t j = 0; j < width; ++j) {
-                const float norm = (float(in.at(i, j)) - mean) * inv_std;
-                out.at(i, j) = Half(norm * gamma.at(j) + beta.at(j));
+                const float norm = (row[size_t(j)] - mean) * inv_std;
+                row[size_t(j)] = norm * g[j] + b[j];
             }
+            floatToHalf(row.data(), out.rowPtr(i), width);
         }
     });
 }
@@ -125,8 +131,16 @@ residualAddRun(const ExecContext &ctx, const Tensor<Half> &a,
             scope.addRead(2 * elems * kFp16Bytes);
             scope.addWrite(elems * kFp16Bytes);
         }
-        for (int64_t i = i0; i < i1; ++i)
-            out.at(i) = Half(float(a.at(i)) + float(b.at(i)));
+        // The chunk is a contiguous linear span: widen both inputs
+        // once, add in fp32, narrow once.
+        const int64_t len = i1 - i0;
+        std::vector<float> fa(size_t(len), 0.0f);
+        std::vector<float> fb(size_t(len), 0.0f);
+        halfToFloat(a.data() + i0, fa.data(), len);
+        halfToFloat(b.data() + i0, fb.data(), len);
+        for (int64_t i = 0; i < len; ++i)
+            fa[size_t(i)] += fb[size_t(i)];
+        floatToHalf(fa.data(), out.data() + i0, len);
     });
 }
 
@@ -169,13 +183,17 @@ biasActRun(const ExecContext &ctx, const Tensor<Half> &in,
             scope.addRead(bytes);
             scope.addWrite(bytes);
         }
+        std::vector<float> row(size_t(width), 0.0f);
+        const float *b = bias.data();
         for (int64_t i = row0; i < row1; ++i) {
+            halfToFloat(in.rowPtr(i), row.data(), width);
             for (int64_t j = 0; j < width; ++j) {
-                float v = float(in.at(i, j)) + bias.at(j);
+                float v = row[size_t(j)] + b[j];
                 if (gelu)
                     v = geluApprox(v);
-                out.at(i, j) = Half(v);
+                row[size_t(j)] = v;
             }
+            floatToHalf(row.data(), out.rowPtr(i), width);
         }
     });
 }

@@ -112,16 +112,30 @@ fusedMhaRun(const ExecContext &ctx, const FusedMhaDesc &desc,
         scope.addWrite(uint64_t(L * dh) * kFp16Bytes);    // O
     }
 
+    // Q, K, V widened to fp32 once up front (they are contiguous
+    // [L, dh] tensors); every row chunk reads them read-only. This
+    // models the kernel staging K/V on chip instead of reconverting
+    // them per query row.
+    std::vector<float> qf(size_t(L) * size_t(dh));
+    std::vector<float> kf(size_t(L) * size_t(dh));
+    std::vector<float> vf(size_t(L) * size_t(dh));
+    halfToFloat(q.data(), qf.data(), L * dh);
+    halfToFloat(k.data(), kf.data(), L * dh);
+    halfToFloat(v.data(), vf.data(), L * dh);
+
     // Parallel over query rows; each chunk owns a scores buffer and
     // writes disjoint output rows (bit-identical at any thread count).
     parallelFor(ctx, 0, L, 8, [&](int64_t row0, int64_t row1) {
         std::vector<float> scores(size_t(L), 0.0f);
+        std::vector<float> orow(size_t(dh), 0.0f);
         for (int64_t i = row0; i < row1; ++i) {
+            const float *qrow = &qf[size_t(i) * size_t(dh)];
             float row_max = neg_inf;
             for (int64_t j = 0; j < L; ++j) {
+                const float *krow = &kf[size_t(j) * size_t(dh)];
                 float s = 0.0f;
                 for (int64_t d = 0; d < dh; ++d)
-                    s += float(q.at(i, d)) * float(k.at(j, d));
+                    s += qrow[d] * krow[d];
                 s *= float(desc.scale);
                 if (desc.causalMask && j > i)
                     s = neg_inf;
@@ -141,12 +155,19 @@ fusedMhaRun(const ExecContext &ctx, const FusedMhaDesc &desc,
                           "be positive for an unmasked row",
                           (long long)i, double(denom));
             const float inv = denom > 0.0f ? 1.0f / denom : 0.0f;
-            for (int64_t d = 0; d < dh; ++d) {
-                float acc = 0.0f;
-                for (int64_t j = 0; j < L; ++j)
-                    acc += scores[size_t(j)] * float(v.at(j, d));
-                out.at(i, d) = Half(acc * inv);
+            // P.V with j outer / d inner: per output element the j
+            // accumulation order is unchanged (ascending), but V rows
+            // are now swept contiguously.
+            std::fill(orow.begin(), orow.end(), 0.0f);
+            for (int64_t j = 0; j < L; ++j) {
+                const float p = scores[size_t(j)];
+                const float *vrow = &vf[size_t(j) * size_t(dh)];
+                for (int64_t d = 0; d < dh; ++d)
+                    orow[size_t(d)] += p * vrow[d];
             }
+            for (int64_t d = 0; d < dh; ++d)
+                orow[size_t(d)] *= inv;
+            floatToHalf(orow.data(), out.rowPtr(i), dh);
         }
     });
     if constexpr (kCheckedBuild)

@@ -202,40 +202,114 @@ gemmRun(const ExecContext &ctx, const GemmDesc &desc,
                              prof::Scope::Kind::BytesOnly);
     }
 
-    // One m-tile strip of output: all n-tiles for rows [m0, m0 + mh).
-    // Takes its own accumulator so parallel strips never share state.
-    auto runStrip = [&](int64_t m0, std::vector<float> &acc) {
-        const int64_t mh = std::min(t.tileM, m - m0);
-        for (int64_t n0 = 0; n0 < n; n0 += t.tileN) {
-            const int64_t nw = std::min(t.tileN, n - n0);
-            std::fill(acc.begin(), acc.end(), 0.0f);
+    // Pack B once per call into one fp32 panel per n-tile, laid out
+    // [k][tileN] so the micro-kernel streams it contiguously. This
+    // hoists the transposeB branch and every B-side conversion out of
+    // the mainloop (the old code reconverted each B element once per
+    // consuming output row). Ragged tail columns are zero-padded so
+    // the kernel always accumulates a full tileN-wide panel; padding
+    // contributes exact zeros and the epilogue never stores them.
+    std::vector<float> bpack(size_t(tiles_n) * size_t(k) *
+                             size_t(t.tileN), 0.0f);
+    if (!ops.transposeB) {
+        // B is [k, n]: each row feeds one contiguous strip per panel.
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const Half *brow = ops.b->rowPtr(kk);
+            for (int64_t tn = 0; tn < tiles_n; ++tn) {
+                const int64_t n0 = tn * t.tileN;
+                halfToFloat(
+                    brow + n0,
+                    &bpack[size_t((tn * k + kk) * t.tileN)],
+                    std::min(t.tileN, n - n0));
+            }
+        }
+    } else {
+        // B is [n, k]: convert each row once, scatter into panels.
+        std::vector<float> brow(size_t(k), 0.0f);
+        for (int64_t j = 0; j < n; ++j) {
+            halfToFloat(ops.b->rowPtr(j), brow.data(), k);
+            float *panel =
+                &bpack[size_t((j / t.tileN) * k * t.tileN)];
+            const int64_t jj = j % t.tileN;
+            for (int64_t kk = 0; kk < k; ++kk)
+                panel[kk * t.tileN + jj] = brow[kk];
+        }
+    }
 
-            // Mainloop: outer-product accumulation over K steps, with
-            // the GS prologue applied as the A operand is "loaded".
-            for (int64_t k0 = 0; k0 < k; k0 += t.tileK) {
-                const int64_t kw = std::min(t.tileK, k - k0);
-                for (int64_t i = 0; i < mh; ++i) {
-                    for (int64_t kk = 0; kk < kw; ++kk) {
-                        float a_val =
-                            float(ops.a->at(m0 + i, k0 + kk));
-                        if (desc.prologue.globalScale) {
-                            a_val *= ops.gsFactors->at(
-                                m0 + i, (k0 + kk) / gs_sub);
-                        }
-                        if (a_val == 0.0f)
-                            continue;
-                        for (int64_t j = 0; j < nw; ++j) {
-                            const float b_val = ops.transposeB
-                                ? float(ops.b->at(n0 + j, k0 + kk))
-                                : float(ops.b->at(k0 + kk, n0 + j));
-                            acc[size_t(i * t.tileN + j)] +=
-                                a_val * b_val;
-                        }
-                    }
+    // Register-blocked fp32 micro-kernel: acc[mh, tileN] += A[mh, k]
+    // . panel[k, tileN], four output rows sharing each panel row
+    // sweep. Accumulation is unconditional (no zero-operand skip) and
+    // k-ascending per output element, the same order as a scalar
+    // triple loop, so tiling is invisible in the result bits.
+    const auto microKernel = [&t](const float *SOFTREC_RESTRICT a_rows,
+                                  const float *SOFTREC_RESTRICT panel,
+                                  float *SOFTREC_RESTRICT acc,
+                                  int64_t mh, int64_t k_depth) {
+        const int64_t ldn = t.tileN;
+        int64_t i = 0;
+        for (; i + 4 <= mh; i += 4) {
+            const float *a0 = a_rows + (i + 0) * k_depth;
+            const float *a1 = a_rows + (i + 1) * k_depth;
+            const float *a2 = a_rows + (i + 2) * k_depth;
+            const float *a3 = a_rows + (i + 3) * k_depth;
+            float *c0 = acc + (i + 0) * ldn;
+            float *c1 = acc + (i + 1) * ldn;
+            float *c2 = acc + (i + 2) * ldn;
+            float *c3 = acc + (i + 3) * ldn;
+            for (int64_t kk = 0; kk < k_depth; ++kk) {
+                const float *b = panel + kk * ldn;
+                const float v0 = a0[kk], v1 = a1[kk];
+                const float v2 = a2[kk], v3 = a3[kk];
+                for (int64_t j = 0; j < ldn; ++j) {
+                    c0[j] += v0 * b[j];
+                    c1[j] += v1 * b[j];
+                    c2[j] += v2 * b[j];
+                    c3[j] += v3 * b[j];
                 }
             }
+        }
+        for (; i < mh; ++i) {
+            const float *ar = a_rows + i * k_depth;
+            float *cr = acc + i * ldn;
+            for (int64_t kk = 0; kk < k_depth; ++kk) {
+                const float *b = panel + kk * ldn;
+                const float v = ar[kk];
+                for (int64_t j = 0; j < ldn; ++j)
+                    cr[j] += v * b[j];
+            }
+        }
+    };
 
-            // Epilogue on the fp32 tile.
+    // One m-tile strip of output: all n-tiles for rows [m0, m0 + mh).
+    // The strip's A rows are converted (and GS-scaled) once into abuf;
+    // every n-tile below reuses those fp32 rows.
+    auto runStrip = [&](int64_t m0, std::vector<float> &abuf,
+                        std::vector<float> &acc) {
+        const int64_t mh = std::min(t.tileM, m - m0);
+        for (int64_t i = 0; i < mh; ++i) {
+            float *arow = &abuf[size_t(i * k)];
+            halfToFloat(ops.a->rowPtr(m0 + i), arow, k);
+            if (desc.prologue.globalScale) {
+                const float *gs = ops.gsFactors->rowPtr(m0 + i);
+                for (int64_t k0 = 0; k0 < k; k0 += gs_sub) {
+                    const float r = gs[k0 / gs_sub];
+                    const int64_t k1 = std::min(k, k0 + gs_sub);
+                    for (int64_t kk = k0; kk < k1; ++kk)
+                        arow[kk] *= r;
+                }
+            }
+        }
+        for (int64_t tn = 0; tn < tiles_n; ++tn) {
+            const int64_t n0 = tn * t.tileN;
+            const int64_t nw = std::min(t.tileN, n - n0);
+            std::fill(acc.begin(), acc.end(), 0.0f);
+            microKernel(abuf.data(),
+                        &bpack[size_t(tn) * size_t(k) *
+                               size_t(t.tileN)],
+                        acc.data(), mh, k);
+
+            // Epilogue on the fp32 tile; C stores go through the
+            // batch converter per row.
             for (int64_t i = 0; i < mh; ++i) {
                 float *row = &acc[size_t(i * t.tileN)];
                 for (int64_t j = 0; j < nw; ++j) {
@@ -264,31 +338,29 @@ gemmRun(const ExecContext &ctx, const GemmDesc &desc,
                             ? 0.0f
                             : std::exp(row[j] - local_max);
                         local_sum += e;
-                        c.at(m0 + i, n0 + j) = Half(e);
+                        row[j] = e;
                     }
-                    ls->localMax->at(m0 + i, n0 / t.tileN) = local_max;
-                    ls->localSum->at(m0 + i, n0 / t.tileN) = local_sum;
+                    ls->localMax->at(m0 + i, tn) = local_max;
+                    ls->localSum->at(m0 + i, tn) = local_sum;
                     SOFTREC_CHECK(local_sum > 0.0f ||
                                   local_max == neg_inf,
                                   "fused LS epilogue (%lld, %lld): "
                                   "d' = %f must be positive unless "
                                   "fully masked",
-                                  (long long)(m0 + i),
-                                  (long long)(n0 / t.tileN),
+                                  (long long)(m0 + i), (long long)tn,
                                   double(local_sum));
-                } else {
-                    for (int64_t j = 0; j < nw; ++j)
-                        c.at(m0 + i, n0 + j) = Half(row[j]);
                 }
+                floatToHalf(row, c.rowPtr(m0 + i) + n0, nw);
             }
         }
     };
 
-    // Parallel over m-tile strips: each strip owns its accumulator
-    // and writes disjoint output rows (and disjoint LS rows), so the
+    // Parallel over m-tile strips: each strip owns its buffers and
+    // writes disjoint output rows (and disjoint LS rows), so the
     // result is bit-identical for any thread count.
     const int64_t strips = ceilDiv(m, t.tileM);
     parallelFor(ctx, 0, strips, 1, [&](int64_t strip0, int64_t strip1) {
+        std::vector<float> abuf(size_t(t.tileM) * size_t(k));
         std::vector<float> acc(size_t(t.tileM * t.tileN));
         for (int64_t strip = strip0; strip < strip1; ++strip) {
             const int64_t m0 = strip * t.tileM;
@@ -303,7 +375,7 @@ gemmRun(const ExecContext &ctx, const GemmDesc &desc,
                     gs_scope->addRead(
                         mh * uint64_t(ceilDiv(k, gs_sub)) * kFp32Bytes);
             }
-            runStrip(m0, acc);
+            runStrip(m0, abuf, acc);
         }
     });
 }

@@ -11,6 +11,18 @@
 
 #include "sim/gpu_spec.hpp"
 
+/**
+ * No-alias hint for micro-kernel pointer parameters: the packed
+ * operand panels and the accumulator tile never overlap, and telling
+ * the compiler so lets it vectorize the inner loops without emitting
+ * runtime overlap checks.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define SOFTREC_RESTRICT __restrict
+#else
+#define SOFTREC_RESTRICT
+#endif
+
 namespace softrec {
 
 /** Bytes per FP16 element. */

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
@@ -86,21 +87,28 @@ rowSoftmaxRun(const ExecContext &ctx, const SoftmaxShape &desc,
             scope.addRead(matrix);
             scope.addWrite(matrix);
         }
+        // Row staged once in fp32; exp(x - m) is stored back into the
+        // staging row during the normalizer pass and reused by the
+        // scale pass, so each element pays for one exp, not two.
+        std::vector<float> row(size_t(desc.cols));
         for (int64_t i = row0; i < row1; ++i) {
+            halfToFloat(in.rowPtr(i), row.data(), desc.cols);
             float max_val = kNegInf;
             for (int64_t j = 0; j < desc.cols; ++j)
-                max_val = std::max(max_val, float(in.at(i, j)));
+                max_val = std::max(max_val, row[size_t(j)]);
             float denom = 0.0f;
-            for (int64_t j = 0; j < desc.cols; ++j) {
-                if (max_val != kNegInf)
-                    denom += std::exp(float(in.at(i, j)) - max_val);
-            }
             for (int64_t j = 0; j < desc.cols; ++j) {
                 const float e = max_val == kNegInf
                     ? 0.0f
-                    : std::exp(float(in.at(i, j)) - max_val);
-                out.at(i, j) = Half(denom > 0.0f ? e / denom : 0.0f);
+                    : std::exp(row[size_t(j)] - max_val);
+                row[size_t(j)] = e;
+                denom += e;
             }
+            for (int64_t j = 0; j < desc.cols; ++j) {
+                row[size_t(j)] =
+                    denom > 0.0f ? row[size_t(j)] / denom : 0.0f;
+            }
+            floatToHalf(row.data(), out.rowPtr(i), desc.cols);
             SOFTREC_CHECK(denom > 0.0f || max_val == kNegInf,
                           "row %lld normalizer d = %f must be positive "
                           "for an unmasked row",
@@ -146,12 +154,14 @@ onlineRowSoftmaxRun(const ExecContext &ctx, const SoftmaxShape &desc,
             scope.addRead(matrix);
             scope.addWrite(matrix);
         }
+        std::vector<float> row(size_t(desc.cols));
         for (int64_t i = row0; i < row1; ++i) {
+            halfToFloat(in.rowPtr(i), row.data(), desc.cols);
             // Single online pass: running max and rescaled normalizer.
             float running_max = kNegInf;
             float running_sum = 0.0f;
             for (int64_t j = 0; j < desc.cols; ++j) {
-                const float x = float(in.at(i, j));
+                const float x = row[size_t(j)];
                 const float new_max = std::max(running_max, x);
                 if (new_max == kNegInf)
                     continue;
@@ -166,10 +176,11 @@ onlineRowSoftmaxRun(const ExecContext &ctx, const SoftmaxShape &desc,
             for (int64_t j = 0; j < desc.cols; ++j) {
                 const float e = running_max == kNegInf
                     ? 0.0f
-                    : std::exp(float(in.at(i, j)) - running_max);
-                out.at(i, j) =
-                    Half(running_sum > 0.0f ? e / running_sum : 0.0f);
+                    : std::exp(row[size_t(j)] - running_max);
+                row[size_t(j)] =
+                    running_sum > 0.0f ? e / running_sum : 0.0f;
             }
+            floatToHalf(row.data(), out.rowPtr(i), desc.cols);
         }
     });
     if constexpr (kCheckedBuild)
@@ -239,30 +250,38 @@ lsRun(const ExecContext &ctx, const SoftmaxShape &desc,
             scope.addRead(matrix);
             scope.addWrite(matrix + md); // X' plus m'/d'
         }
+        // Whole row staged in fp32 once; each sub-vector's exp values
+        // overwrite their segment in place, then one batch narrow
+        // stores the full X' row.
+        std::vector<float> row(size_t(desc.cols));
         for (int64_t i = row0; i < row1; ++i) {
+            halfToFloat(in.rowPtr(i), row.data(), desc.cols);
+            float *md_max = local_max.rowPtr(i);
+            float *md_sum = local_sum.rowPtr(i);
             for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
                 const int64_t j0 = sv * desc.subVector;
                 const int64_t j1 =
                     std::min(desc.cols, j0 + desc.subVector);
                 float m_local = kNegInf;
                 for (int64_t j = j0; j < j1; ++j)
-                    m_local = std::max(m_local, float(in.at(i, j)));
+                    m_local = std::max(m_local, row[size_t(j)]);
                 float d_local = 0.0f;
                 for (int64_t j = j0; j < j1; ++j) {
                     const float e = m_local == kNegInf
                         ? 0.0f
-                        : std::exp(float(in.at(i, j)) - m_local);
+                        : std::exp(row[size_t(j)] - m_local);
                     d_local += e;
-                    x_prime.at(i, j) = Half(e);
+                    row[size_t(j)] = e;
                 }
-                local_max.at(i, sv) = m_local;
-                local_sum.at(i, sv) = d_local;
+                md_max[sv] = m_local;
+                md_sum[sv] = d_local;
                 SOFTREC_CHECK(d_local > 0.0f || m_local == kNegInf,
                               "LS sub-vector (%lld, %lld): d' = %f must "
                               "be positive unless fully masked",
                               (long long)i, (long long)sv,
                               double(d_local));
             }
+            floatToHalf(row.data(), x_prime.rowPtr(i), desc.cols);
         }
     });
     if constexpr (kCheckedBuild)
@@ -314,28 +333,30 @@ irRun(const ExecContext &ctx, const SoftmaxShape &desc,
             scope.addWrite(md_count * kFp32Bytes);    // r'
         }
         for (int64_t i = row0; i < row1; ++i) {
+            const float *md_max = local_max.rowPtr(i);
+            const float *md_sum = local_sum.rowPtr(i);
+            float *r = recon.rowPtr(i);
             float m_global = kNegInf;
             for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv)
-                m_global = std::max(m_global, local_max.at(i, sv));
+                m_global = std::max(m_global, md_max[sv]);
             float d_global = 0.0f;
             for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
-                const float m_local = local_max.at(i, sv);
+                const float m_local = md_max[sv];
                 if (m_local == kNegInf)
                     continue; // fully masked: contributes nothing
                 d_global +=
-                    std::exp(m_local - m_global) * local_sum.at(i, sv);
+                    std::exp(m_local - m_global) * md_sum[sv];
             }
             SOFTREC_CHECK(d_global > 0.0f || m_global == kNegInf,
                           "IR row %lld: global normalizer d = %f must "
                           "be positive for an unmasked row",
                           (long long)i, double(d_global));
             for (int64_t sv = 0; sv < desc.numSubVectors(); ++sv) {
-                const float m_local = local_max.at(i, sv);
+                const float m_local = md_max[sv];
                 if (m_local == kNegInf || d_global <= 0.0f) {
-                    recon.at(i, sv) = 0.0f;
+                    r[sv] = 0.0f;
                 } else {
-                    recon.at(i, sv) =
-                        std::exp(m_local - m_global) / d_global;
+                    r[sv] = std::exp(m_local - m_global) / d_global;
                 }
             }
         }
@@ -393,11 +414,20 @@ gsRun(const ExecContext &ctx, const SoftmaxShape &desc,
             scope.addRead(matrix + r_bytes); // X' plus r'
             scope.addWrite(matrix);
         }
+        // Widen the row once, apply each sub-vector's r' to its
+        // contiguous segment, narrow once.
+        std::vector<float> row(size_t(desc.cols));
         for (int64_t i = row0; i < row1; ++i) {
-            for (int64_t j = 0; j < desc.cols; ++j) {
-                const float r = recon.at(i, j / desc.subVector);
-                y.at(i, j) = Half(float(x_prime.at(i, j)) * r);
+            halfToFloat(x_prime.rowPtr(i), row.data(), desc.cols);
+            const float *r = recon.rowPtr(i);
+            for (int64_t j0 = 0; j0 < desc.cols; j0 += desc.subVector) {
+                const float scale = r[j0 / desc.subVector];
+                const int64_t j1 =
+                    std::min(desc.cols, j0 + desc.subVector);
+                for (int64_t j = j0; j < j1; ++j)
+                    row[size_t(j)] *= scale;
             }
+            floatToHalf(row.data(), y.rowPtr(i), desc.cols);
         }
     });
     // The recomposition identity (Eq. (2)): after GS the decomposed

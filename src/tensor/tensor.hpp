@@ -128,6 +128,23 @@ class Tensor
         return data_[offset3d(i, j, k)];
     }
 
+    /**
+     * Pointer to the first element of row i (requires rank 2). The
+     * row's dim(1) elements are contiguous, so kernels can hand it to
+     * the batch converters instead of looping at(i, j).
+     */
+    T *
+    rowPtr(int64_t i)
+    {
+        return data_.data() + rowOffset(i);
+    }
+    /** Pointer to the first element of row i (const, rank 2). */
+    const T *
+    rowPtr(int64_t i) const
+    {
+        return data_.data() + rowOffset(i);
+    }
+
     /** Fill every element with a value. */
     void
     fill(T value)
@@ -159,6 +176,17 @@ class Tensor
                       (long long)i, (long long)j,
                       shape_.toString().c_str());
         return static_cast<size_t>(i * shape_.dim(1) + j);
+    }
+
+    size_t
+    rowOffset(int64_t i) const
+    {
+        SOFTREC_CHECK(shape_.rank() == 2, "rowPtr on %s",
+                      shape_.toString().c_str());
+        SOFTREC_CHECK(i >= 0 && i < shape_.dim(0),
+                      "row %lld out of range for %s",
+                      (long long)i, shape_.toString().c_str());
+        return static_cast<size_t>(i * shape_.dim(1));
     }
 
     size_t

@@ -12,6 +12,10 @@ that generic tools cannot know about:
   half-narrow       float -> Half narrowing must be spelled with the
                     explicit Half(...) constructor; casts that hide
                     the rounding step are confined to src/fp16/.
+  half-loop-conv    kernels (src/kernels/) must not convert Half
+                    elements one at a time inside a loop; use the
+                    batch halfToFloat/floatToHalf span conversions,
+                    which dispatch to the SIMD backends.
   unseeded-rng      all randomness flows through common/rng (seeded,
                     cross-platform deterministic); rand()/<random>
                     would silently break reproducibility.
@@ -73,6 +77,11 @@ RULES = {
         "hidden float->Half narrowing cast; spell the rounding step "
         "with the explicit Half(...) constructor"
     ),
+    "half-loop-conv": (
+        "per-element Half conversion inside a loop in src/kernels/; "
+        "stage the row once with halfToFloat/floatToHalf so the "
+        "conversion vectorizes"
+    ),
     "unseeded-rng": (
         "non-deterministic or unseeded RNG; use softrec::Rng "
         "(common/rng) so runs reproduce across platforms"
@@ -99,6 +108,15 @@ RULES = {
 RAW_EXP_RE = re.compile(r"(?<![\w.:])(?:std::)?expf?\s*\(")
 HALF_NARROW_RE = re.compile(
     r"static_cast<\s*Half\s*>|\(\s*Half\s*\)\s*[\w(]")
+# Per-element conversions the batch span routines replace: widening an
+# element access to float, calling toFloat() on one element, or
+# narrowing one element through the Half(...) constructor.
+HALF_LOOP_CONV_RE = re.compile(
+    r"\bfloat\s*\(\s*[^()]*(?:\.|->)\s*at\s*\("
+    r"|(?:\.|->)\s*toFloat\s*\(\s*\)"
+    r"|=\s*Half\s*\(\s*[^)]")
+HALF_LOOP_CONV_DIRS = ("src/kernels/",)
+LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
 RNG_RE = re.compile(
     r"(?<![\w:])s?rand\s*\(|std::random_device|std::mt19937"
     r"|std::default_random_engine|#\s*include\s*<random>")
@@ -231,7 +249,32 @@ def lint_file(root, rel_path):
             findings.append(Finding(rel_path, lineno, rule, detail))
 
     first_include = None
+    # Loop tracking for half-loop-conv: a stack of the brace depths at
+    # which loop bodies opened, plus a two-line grace window so
+    # braceless bodies (`for (...) stmt;`) are still inside the loop.
+    lint_loop_conv = rel_path.startswith(HALF_LOOP_CONV_DIRS)
+    loop_stack = []
+    brace_depth = 0
+    pending_loop = 0
     for lineno, code in enumerate(code_lines, start=1):
+        if lint_loop_conv:
+            if LOOP_HEADER_RE.search(code):
+                pending_loop = 2
+            if (loop_stack or pending_loop > 0) and \
+                    HALF_LOOP_CONV_RE.search(code):
+                emit(lineno, "half-loop-conv")
+            for ch in code:
+                if ch == "{":
+                    brace_depth += 1
+                    if pending_loop > 0:
+                        loop_stack.append(brace_depth)
+                        pending_loop = 0
+                elif ch == "}":
+                    if loop_stack and loop_stack[-1] == brace_depth:
+                        loop_stack.pop()
+                    brace_depth -= 1
+            if pending_loop > 0:
+                pending_loop -= 1
         # The stripper blanks string literals, including the quoted
         # path of an include directive; re-read the raw line for the
         # include-specific rules once we know the directive is real
@@ -308,6 +351,34 @@ SELF_TEST_FIXTURES = [
      '#include "kernels/comment_exp.hpp"\n'
      "// stores X' = exp(s - m') per tile\n"
      'const char *s = "exp(x)";\n',
+     set()),
+    ("src/kernels/bad_loop_conv.cpp",
+     '#include "kernels/bad_loop_conv.hpp"\n'
+     "void f(const Tensor<Half> &in, Tensor<Half> &out, int64_t n) {\n"
+     "    for (int64_t j = 0; j < n; ++j) {\n"
+     "        const float v = float(in.at(0, j));\n"
+     "        out.at(0, j) = Half(v + 1.0f);\n"
+     "    }\n"
+     "    for (int64_t j = 0; j < n; ++j)\n"
+     "        out.at(1, j) = Half(in.at(0, j).toFloat());\n"
+     "}\n",
+     {"half-loop-conv"}),
+    ("src/kernels/ok_batch_conv.cpp",
+     '#include "kernels/ok_batch_conv.hpp"\n'
+     "void f(const Tensor<Half> &in, Tensor<Half> &out, int64_t n) {\n"
+     "    std::vector<float> row(size_t(n), 0.0f);\n"
+     "    halfToFloat(in.rowPtr(0), row.data(), n);\n"
+     "    for (int64_t j = 0; j < n; ++j)\n"
+     "        row[size_t(j)] += 1.0f;\n"
+     "    floatToHalf(row.data(), out.rowPtr(0), n);\n"
+     "}\n",
+     set()),
+    ("src/model/ok_loop_conv.cpp",
+     '#include "model/ok_loop_conv.hpp"\n'
+     "void f(const Tensor<Half> &in, Tensor<Half> &out, int64_t n) {\n"
+     "    for (int64_t j = 0; j < n; ++j)\n"
+     "        out.at(0, j) = Half(float(in.at(0, j)) + 1.0f);\n"
+     "}\n",
      set()),
     ("src/model/bad_half.cpp",
      '#include "model/bad_half.hpp"\n'
