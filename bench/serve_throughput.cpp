@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Continuous-batching serving throughput benchmark: a fixed arrival
+ * trace of prompt-heavy requests is driven through ServeLoop at batch
+ * limits {1, 4, 16} and the engine reports tokens/s plus p50/p95
+ * request latency per arm, alongside the profiler's per-kernel rows.
+ * Writes BENCH_serve_throughput.json (schema softrec-bench-v1).
+ *
+ * Headline point: prompts of L = 4096 tokens (the paper's evaluation
+ * length); SOFTREC_BENCH_SEQLEN shrinks it for CI smoke runs.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/bench_report.hpp"
+#include "common/exec_context.hpp"
+#include "common/logging.hpp"
+#include "common/profiler.hpp"
+#include "common/rng.hpp"
+#include "fp16/half.hpp"
+#include "kernels/kernel_common.hpp"
+#include "model/decode.hpp"
+#include "serve/serve_loop.hpp"
+#include "tensor/tensor.hpp"
+
+namespace softrec {
+namespace {
+
+constexpr int64_t kRequests = 6;
+constexpr int64_t kGenerateTokens = 8;
+
+Tensor<Half>
+randomPrompt(Rng &rng, int64_t tokens, int64_t d_model)
+{
+    Tensor<Half> prompt(Shape({tokens, d_model}));
+    for (int64_t i = 0; i < prompt.numel(); ++i)
+        prompt.data()[i] = Half(float(rng.normal(0.0, 0.5)));
+    return prompt;
+}
+
+/** One arm: drain kRequests through a batch-row limit. */
+ServeSummary
+runArm(const ExecContext &ctx, const DecoderStack &stack,
+       int64_t batch_rows, int64_t prompt_tokens)
+{
+    ServeConfig config;
+    config.maxBatchRows = batch_rows;
+    // Roomy budget: this bench measures batching, not budget parking.
+    config.tokenBudget =
+        kRequests * (prompt_tokens + kGenerateTokens);
+    ServeLoop loop(ctx, stack, config);
+
+    Rng rng(11); // same prompts in every arm
+    for (int64_t r = 0; r < kRequests; ++r) {
+        ServeRequest request;
+        request.id = r;
+        request.prompt =
+            randomPrompt(rng, prompt_tokens, stack.config.dModel);
+        request.generateTokens = kGenerateTokens;
+        request.arrivalSeconds = loop.nowSeconds();
+        const AdmitResult admit = loop.submit(std::move(request));
+        SOFTREC_ASSERT(admit.accepted, "bench submit rejected: %s",
+                       admit.reason.c_str());
+    }
+    return loop.run();
+}
+
+} // namespace
+} // namespace softrec
+
+int
+main()
+{
+    using namespace softrec;
+
+    const int64_t prompt_tokens = bench::benchSeqLenFromEnv(4096);
+    const int64_t d_model = 64;
+    Rng weights_rng(3);
+    const DecoderStack stack =
+        DecoderStack::random(d_model, /*num_heads=*/4, /*d_ff=*/128,
+                             /*num_layers=*/2, weights_rng);
+
+    BenchReport report("serve_throughput");
+    report.setConfig("prompt_tokens", prompt_tokens);
+    report.setConfig("generate_tokens", kGenerateTokens);
+    report.setConfig("requests", kRequests);
+    report.setConfig("d_model", d_model);
+    report.setConfig("num_layers", int64_t(2));
+
+    for (const int64_t batch_rows : {int64_t(1), int64_t(4),
+                                     int64_t(16)}) {
+        prof::Profiler profiler;
+        ExecContext ctx = ExecContext::fromEnv();
+        ctx.profiler = &profiler;
+        if (batch_rows == 1)
+            report.setConfig("threads", int64_t(ctx.threads()));
+
+        const ServeSummary summary =
+            runArm(ctx, stack, batch_rows, prompt_tokens);
+        SOFTREC_ASSERT(summary.requestsServed == kRequests,
+                       "arm b%lld served %lld of %lld requests",
+                       (long long)batch_rows,
+                       (long long)summary.requestsServed,
+                       (long long)kRequests);
+
+        const std::string arm =
+            strprintf("b%lld", (long long)batch_rows);
+        for (const auto &[scope_name, totals] :
+             profiler.snapshot()) {
+            BenchKernelRow row;
+            row.name = arm + "/" + scope_name;
+            row.ms = totals.seconds * 1e3;
+            row.bytesRead = totals.bytesRead;
+            row.bytesWritten = totals.bytesWritten;
+            row.calls = totals.calls;
+            row.threads = ctx.threads();
+            report.addKernel(row);
+        }
+        report.setDerived(arm + "_tokens_per_s",
+                          summary.tokensPerSecond);
+        report.setDerived(arm + "_p50_ms",
+                          summary.p50LatencySeconds * 1e3);
+        report.setDerived(arm + "_p95_ms",
+                          summary.p95LatencySeconds * 1e3);
+        report.setDerived(arm + "_decode_steps",
+                          double(summary.decodeSteps));
+        inform("b%lld: %.1f tok/s, p50 %.1f ms, p95 %.1f ms "
+               "(%lld steps)", (long long)batch_rows,
+               summary.tokensPerSecond,
+               summary.p50LatencySeconds * 1e3,
+               summary.p95LatencySeconds * 1e3,
+               (long long)summary.decodeSteps);
+    }
+
+    const std::string path = report.defaultPath();
+    if (!report.writeFile(path))
+        return 1;
+    inform("wrote %s (prompt_tokens = %lld)", path.c_str(),
+           (long long)prompt_tokens);
+    return 0;
+}

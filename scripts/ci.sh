@@ -9,11 +9,16 @@
 #      serial, SOFTREC_THREADS=4 to exercise the thread pool, then
 #      SOFTREC_SIMD=off to pin the scalar conversion fallback
 #   5. checked build + tests  (-DSOFTREC_CHECKED_BUILD=ON, WERROR)
-#   6. asan-ubsan build + tests (sanitizers + checked mode, WERROR)
+#   6. asan-ubsan build + tests (sanitizers + checked mode, WERROR),
+#      plus a serve smoke: the serve_throughput bench runs end to end
+#      under the sanitizers (reports go to the build dir, not the root)
 #   7. tsan build + parallel-runtime tests under SOFTREC_THREADS=4
-#      (profiling enabled: test_profiler exercises the counter merge)
-#   8. bench smoke: micro_kernels and micro_simd at L=512; the emitted
-#      BENCH JSON must pass tools/check_bench_json.py
+#      (profiling enabled: test_profiler exercises the counter merge;
+#      test_serve exercises queue/pool shutdown ordering)
+#   8. bench smoke: micro_kernels, micro_simd, and serve_throughput at
+#      a CI-sized sequence length; SOFTREC_BENCH_DIR routes every
+#      report to the repo root, each expected BENCH_*.json must exist
+#      there, and all must pass tools/check_bench_json.py
 #
 # Every stage must pass; the script stops at the first failure.
 # A toolchain without clang still runs stages 2 and 4-6, which are the
@@ -75,25 +80,48 @@ ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
 UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
     ctest --test-dir build/asan-ubsan --output-on-failure -j "${JOBS}"
 
+step "serve smoke under asan-ubsan"
+cmake --build build/asan-ubsan -j "${JOBS}" --target serve_throughput
+ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+SOFTREC_BENCH_DIR="${ROOT}/build/asan-ubsan/bench" \
+SOFTREC_BENCH_SEQLEN=64 SOFTREC_THREADS=2 \
+    ./build/asan-ubsan/bench/serve_throughput >/dev/null
+
 step "tsan build + parallel runtime tests (SOFTREC_THREADS=4)"
 cmake --preset tsan -DSOFTREC_WERROR=ON >/dev/null
 cmake --build build/tsan -j "${JOBS}" --target \
     test_exec_context test_parallel_determinism \
-    test_attention_exec test_functional_layer test_profiler
+    test_attention_exec test_functional_layer test_profiler \
+    test_serve
 SOFTREC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build/tsan --output-on-failure -j "${JOBS}" \
-    -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer|test_profiler'
+    -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer|test_profiler|test_serve'
 
-step "bench smoke: BENCH JSON schema gate"
+step "bench smoke: BENCH JSON schema gate (reports at repo root)"
 cmake --build build/release -j "${JOBS}" --target micro_kernels \
-    micro_simd
+    micro_simd serve_throughput
 ( cd build/release/bench &&
+  SOFTREC_BENCH_DIR="${ROOT}" \
   SOFTREC_BENCH_SEQLEN=512 SOFTREC_THREADS=4 ./micro_kernels \
       --benchmark_filter='BM_SafeSoftmax/512' >/dev/null )
 ( cd build/release/bench &&
+  SOFTREC_BENCH_DIR="${ROOT}" \
   SOFTREC_BENCH_SEQLEN=512 ./micro_simd >/dev/null )
+( cd build/release/bench &&
+  SOFTREC_BENCH_DIR="${ROOT}" \
+  SOFTREC_BENCH_SEQLEN=128 SOFTREC_THREADS=4 ./serve_throughput \
+      >/dev/null )
+for report in BENCH_micro_kernels.json BENCH_micro_simd.json \
+              BENCH_serve_throughput.json; do
+    if [ ! -f "${ROOT}/${report}" ]; then
+        echo "ci: expected bench report ${report} missing at repo root" >&2
+        exit 1
+    fi
+done
 python3 tools/check_bench_json.py \
-    build/release/bench/BENCH_micro_kernels.json \
-    build/release/bench/BENCH_micro_simd.json
+    "${ROOT}/BENCH_micro_kernels.json" \
+    "${ROOT}/BENCH_micro_simd.json" \
+    "${ROOT}/BENCH_serve_throughput.json"
 
 printf '\n=== ci: all gates passed ===\n'

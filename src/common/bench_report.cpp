@@ -8,6 +8,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -166,7 +167,14 @@ BenchReport::writeFile(const std::string &path) const
 std::string
 BenchReport::defaultPath() const
 {
-    return "BENCH_" + name_ + ".json";
+    std::string file = "BENCH_" + name_ + ".json";
+    const char *dir = std::getenv("SOFTREC_BENCH_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return file;
+    std::string prefix(dir);
+    if (prefix.back() != '/')
+        prefix += '/';
+    return prefix + file;
 }
 
 } // namespace softrec

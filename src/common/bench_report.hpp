@@ -73,7 +73,12 @@ class BenchReport
     /** Render to `path`; warns and returns false on I/O failure. */
     bool writeFile(const std::string &path) const;
 
-    /** Conventional output path: `BENCH_<name>.json`. */
+    /**
+     * Conventional output path: `BENCH_<name>.json`, placed under
+     * $SOFTREC_BENCH_DIR when that is set (CI points it at the repo
+     * root so the perf trajectory accumulates there instead of being
+     * stranded inside throwaway build trees).
+     */
     std::string defaultPath() const;
 
   private:

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 
 #include "common/logging.hpp"
 
@@ -54,6 +55,14 @@ ThreadPool::~ThreadPool()
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        // Shutdown-ordering invariant: the pool must be quiescent
+        // when destroyed. A job still in flight here would mean some
+        // prof::Scope (or other consumer of worker results) could
+        // merge per-thread slots while workers still write them.
+        SOFTREC_ASSERT(job_ == nullptr && pending_ == 0 && active_ == 0,
+                       "ThreadPool destroyed with a job in flight "
+                       "(pending=%lld active=%lld)",
+                       (long long)pending_, (long long)active_);
         stop_ = true;
     }
     wake_cv_.notify_all();
@@ -184,35 +193,74 @@ maxThreadSlots()
     return g_max_slots.load(std::memory_order_relaxed);
 }
 
-int
-parseThreadCount(const char *text)
+std::optional<int>
+tryParseThreadCount(const char *text, std::string *why)
 {
     if (text == nullptr || *text == '\0')
         return 1;
     char *end = nullptr;
     const long value = std::strtol(text, &end, 10);
     if (end == text || *end != '\0' || value < 1 || value > 1024) {
-        warn("SOFTREC_THREADS='%s' is not an integer in [1, 1024]; "
-             "running serial", text);
-        return 1;
+        if (why != nullptr) {
+            *why = strprintf("SOFTREC_THREADS='%s' is not an integer "
+                             "in [1, 1024]", text);
+        }
+        return std::nullopt;
     }
     return int(value);
 }
 
+int
+parseThreadCount(const char *text)
+{
+    std::string why;
+    const std::optional<int> parsed = tryParseThreadCount(text, &why);
+    if (!parsed) {
+        warn("%s; running serial", why.c_str());
+        return 1;
+    }
+    return *parsed;
+}
+
+namespace {
+
+/**
+ * Process-wide shared pool state. Guarded by a mutex so concurrent
+ * fromEnv() calls are safe; the pool itself is created lazily on the
+ * first call and destroyed at exit (joining its workers) or by
+ * resetSharedPoolForTest().
+ */
+std::mutex g_shared_pool_mutex;
+std::unique_ptr<ThreadPool> g_shared_pool;
+bool g_shared_pool_latched = false;
+
+} // namespace
+
 ExecContext
 ExecContext::fromEnv()
 {
-    static ThreadPool *shared = []() -> ThreadPool * {
+    std::lock_guard<std::mutex> lock(g_shared_pool_mutex);
+    if (!g_shared_pool_latched) {
+        g_shared_pool_latched = true;
         const int threads =
             parseThreadCount(std::getenv("SOFTREC_THREADS"));
-        if (threads <= 1)
-            return nullptr;
-        static ThreadPool pool(threads);
-        return &pool;
-    }();
+        if (threads > 1)
+            g_shared_pool = std::make_unique<ThreadPool>(threads);
+    }
     ExecContext ctx;
-    ctx.pool = shared;
+    ctx.pool = g_shared_pool.get();
     return ctx;
+}
+
+void
+ExecContext::resetSharedPoolForTest()
+{
+    std::lock_guard<std::mutex> lock(g_shared_pool_mutex);
+    // Destruction asserts the pool is quiescent and joins every
+    // worker, ordering their writes before whatever the caller does
+    // next (e.g. a profiler snapshot).
+    g_shared_pool.reset();
+    g_shared_pool_latched = false;
 }
 
 void

@@ -24,6 +24,8 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -113,10 +115,23 @@ struct ExecContext
 
     /**
      * Context backed by the process-wide shared pool, sized by the
-     * SOFTREC_THREADS environment variable (parsed once; unset,
-     * empty, or 1 means serial).
+     * SOFTREC_THREADS environment variable. The variable is latched
+     * on the first call (unset, empty, or 1 means serial); use
+     * resetSharedPoolForTest() to re-read it.
      */
     static ExecContext fromEnv();
+
+    /**
+     * Tear down the process-wide shared pool and un-latch the
+     * SOFTREC_THREADS parse, so the next fromEnv() re-reads the
+     * environment. Test-only: lets one process exercise both the
+     * serial and pooled paths. The caller must guarantee that no
+     * live ExecContext still references the old pool and that no
+     * parallelFor is in flight; worker threads are joined before the
+     * call returns, which orders all of their per-thread profiler
+     * slot writes before any later profiler merge.
+     */
+    static void resetSharedPoolForTest();
 };
 
 /**
@@ -125,6 +140,15 @@ struct ExecContext
  * integer in [1, 1024]. Exposed for the unit tests.
  */
 int parseThreadCount(const char *text);
+
+/**
+ * Strict variant of parseThreadCount for callers that must not boot
+ * misconfigured (the serving engine): returns the parsed count, or
+ * std::nullopt with an actionable message in *why when the text is
+ * not an integer in [1, 1024]. Null/empty input is valid (serial).
+ */
+std::optional<int> tryParseThreadCount(const char *text,
+                                       std::string *why);
 
 /**
  * Slot index of the calling thread for per-thread accumulation:

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * KV-cached decode attention implementation.
+ *
+ * Bit-identity contract with the prefill path (gemmRun + rowSoftmaxRun
+ * + gemmRun on the full prefix):
+ *
+ *  - scores: fp32 accumulation in ascending d per element, then the
+ *    scale epilogue, then an fp16 store — exactly the per-element
+ *    order of the packed GEMM micro-kernel (which accumulates
+ *    k-ascending whatever the tiling) and its epilogue/store.
+ *  - softmax: the same staged three-pass safe softmax as
+ *    rowSoftmaxRun. The prefill row additionally carries exp(-inf)=0
+ *    terms for the causally masked tail; appending exact zeros to a
+ *    running fp32 sum does not change its bits, so the shorter row
+ *    here produces identical probabilities.
+ *  - output: fp32 accumulation in ascending key order per element —
+ *    the micro-kernel's k-ascending order for the P.V GEMM, whose
+ *    masked tail contributes p = 0 terms that are bit-level no-ops.
+ *
+ * All Half<->float conversions use the batch converters, which are
+ * bit-identical to scalar conversion on every backend.
+ */
+
+#include "kernels/decode_attention.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "common/profiler.hpp"
+#include "kernels/kernel_common.hpp"
+
+namespace softrec {
+
+void
+decodeAttendRun(const ExecContext &ctx, const DecodeAttendDesc &desc,
+                const Half *q_row, const KvRowsView &k,
+                const KvRowsView &v, Half *out)
+{
+    const int64_t dh = desc.dHead;
+    const int64_t context = k.rows;
+    SOFTREC_ASSERT(dh > 0 && context > 0 && v.rows == context,
+                   "decode attention needs matching K/V contexts "
+                   "(k=%lld, v=%lld)", (long long)context,
+                   (long long)v.rows);
+    SOFTREC_ASSERT(desc.headOffset >= 0 &&
+                   desc.headOffset + dh <= k.rowWidth &&
+                   k.rowWidth == v.rowWidth,
+                   "head slice outside the cached row");
+    constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+    prof::Scope scope(ctx, "decode.attend");
+    if (scope.active()) {
+        scope.addRead(uint64_t(dh) * kFp16Bytes +            // q
+                      uint64_t(2 * context * dh) * kFp16Bytes); // K, V
+        scope.addWrite(uint64_t(dh) * kFp16Bytes);
+    }
+
+    std::vector<float> qf(static_cast<size_t>(dh));
+    std::vector<float> lane(static_cast<size_t>(dh));
+    std::vector<float> row(static_cast<size_t>(context));
+    std::vector<Half> row_h(static_cast<size_t>(context));
+    halfToFloat(q_row, qf.data(), dh);
+
+    // Scores: q . K^T with the scale epilogue, stored through fp16.
+    for (int64_t pos = 0; pos < context; ++pos) {
+        halfToFloat(k.row(pos) + desc.headOffset, lane.data(), dh);
+        float acc = 0.0f;
+        for (int64_t d = 0; d < dh; ++d)
+            acc += qf[size_t(d)] * lane[size_t(d)];
+        if (desc.scale != 1.0)
+            acc *= float(desc.scale);
+        row[size_t(pos)] = acc;
+    }
+    floatToHalf(row.data(), row_h.data(), context);
+
+    // Safe softmax over the score row (rowSoftmaxRun's three passes).
+    halfToFloat(row_h.data(), row.data(), context);
+    float max_val = kNegInf;
+    for (int64_t j = 0; j < context; ++j)
+        max_val = std::max(max_val, row[size_t(j)]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < context; ++j) {
+        const float e = max_val == kNegInf
+            ? 0.0f
+            : std::exp(row[size_t(j)] - max_val);
+        row[size_t(j)] = e;
+        denom += e;
+    }
+    for (int64_t j = 0; j < context; ++j)
+        row[size_t(j)] = denom > 0.0f ? row[size_t(j)] / denom : 0.0f;
+    floatToHalf(row.data(), row_h.data(), context);
+    SOFTREC_CHECK(denom > 0.0f || max_val == kNegInf,
+                  "decode attention normalizer d = %f must be positive "
+                  "(the current token always attends to itself)",
+                  double(denom));
+
+    // Output: P . V in ascending key order per output element.
+    halfToFloat(row_h.data(), row.data(), context);
+    std::vector<float> acc(size_t(dh), 0.0f);
+    for (int64_t pos = 0; pos < context; ++pos) {
+        halfToFloat(v.row(pos) + desc.headOffset, lane.data(), dh);
+        const float p = row[size_t(pos)];
+        for (int64_t d = 0; d < dh; ++d)
+            acc[size_t(d)] += p * lane[size_t(d)];
+    }
+    floatToHalf(acc.data(), out, dh);
+}
+
+} // namespace softrec

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Single-query attention over a block-allocated KV cache — the inner
+ * kernel of one autoregressive decode step.
+ *
+ * A decode step's attention "matrix" is one 1 x C score row per head
+ * (C = context length so far), so there is nothing for softmax
+ * recomposition to save here; the kernel's job is to read the cached
+ * K/V rows in place (no per-step repacking or reconversion of the
+ * whole prefix) while reproducing the prefill path's arithmetic
+ * bit for bit: the same k-ascending fp32 accumulation as the packed
+ * GEMM micro-kernel, the same three-pass safe softmax as
+ * rowSoftmaxRun, and the same fp16 storage round-trips between
+ * stages. tests/test_decode.cpp proves incremental decode through
+ * this kernel is bit-identical to full-prefix recompute at every
+ * step, for any thread count and SIMD backend.
+ */
+
+#ifndef SOFTREC_KERNELS_DECODE_ATTENTION_HPP
+#define SOFTREC_KERNELS_DECODE_ATTENTION_HPP
+
+#include <cstdint>
+
+#include "common/exec_context.hpp"
+#include "fp16/half.hpp"
+
+namespace softrec {
+
+/**
+ * Read-only view of cached rows stored in fixed-size slab blocks
+ * (serve/kv_cache.hpp produces these). Row `pos` lives in block
+ * `pos / blockTokens` at row offset `pos % blockTokens`; every row is
+ * `rowWidth` halfs (the model width, all heads concatenated).
+ */
+struct KvRowsView
+{
+    const Half *const *blocks = nullptr; //!< block base pointers
+    int64_t blockTokens = 0;             //!< rows per block
+    int64_t rowWidth = 0;                //!< halfs per row (dModel)
+    int64_t rows = 0;                    //!< valid rows (context C)
+
+    /** Pointer to cached row `pos` (all heads). */
+    const Half *
+    row(int64_t pos) const
+    {
+        return blocks[pos / blockTokens] +
+               (pos % blockTokens) * rowWidth;
+    }
+};
+
+/** Shape of one cached-decode attention row. */
+struct DecodeAttendDesc
+{
+    int64_t dHead = 64;     //!< per-head width
+    int64_t headOffset = 0; //!< column of this head in a cached row
+    double scale = 1.0;     //!< QK^T epilogue scale (1/sqrt(dHead))
+};
+
+/**
+ * One head's decode-step attention: score the query row against every
+ * cached K row, safe-softmax the score row, and reduce against the
+ * cached V rows.
+ *
+ * @param q_row the query head slice, dHead contiguous halfs
+ * @param k,v   cached rows; both views must have rows >= 1 (the
+ *              current token's K/V must already be appended)
+ * @param out   destination, dHead halfs
+ */
+void decodeAttendRun(const ExecContext &ctx,
+                     const DecodeAttendDesc &desc, const Half *q_row,
+                     const KvRowsView &k, const KvRowsView &v,
+                     Half *out);
+
+} // namespace softrec
+
+#endif // SOFTREC_KERNELS_DECODE_ATTENTION_HPP

@@ -6,8 +6,11 @@
 #include "model/decode.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
+#include "kernels/decode_attention.hpp"
 #include "kernels/elementwise.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/kernel_common.hpp"
@@ -124,6 +127,156 @@ runGeneration(const GpuSpec &spec, const ModelConfig &model,
     result.decodeBytes = gpu.totalDramBytes();
     result.kernelLaunches += int64_t(gpu.timeline().size());
     return result;
+}
+
+namespace {
+
+/** The functional KV path supports exactly this attention shape. */
+void
+checkFunctionalStack(const DecoderStack &stack)
+{
+    SOFTREC_ASSERT(stack.config.causalMask,
+                   "KV-cached decode needs a causal stack");
+    SOFTREC_ASSERT(stack.config.layout == nullptr &&
+                   stack.config.strategy == Strategy::Baseline,
+                   "the decode bit-identity contract covers dense "
+                   "Baseline attention only");
+    SOFTREC_ASSERT(!stack.layers.empty(),
+                   "decoder stack has no layers");
+    SOFTREC_ASSERT(stack.config.dModel % stack.config.numHeads == 0,
+                   "heads must divide dModel");
+}
+
+} // namespace
+
+DecoderStack
+DecoderStack::random(int64_t d_model, int64_t num_heads, int64_t d_ff,
+                     int64_t num_layers, Rng &rng)
+{
+    SOFTREC_ASSERT(num_layers > 0, "stack needs at least one layer");
+    DecoderStack stack;
+    stack.config.dModel = d_model;
+    stack.config.numHeads = num_heads;
+    stack.config.dFf = d_ff;
+    stack.config.causalMask = true;
+    stack.layers.reserve(size_t(num_layers));
+    for (int64_t l = 0; l < num_layers; ++l)
+        stack.layers.push_back(
+            EncoderLayerWeights::random(d_model, d_ff, rng));
+    return stack;
+}
+
+Tensor<Half>
+runPrefill(const ExecContext &ctx, const DecoderStack &stack,
+           const Tensor<Half> &prompt, KvCache &cache)
+{
+    checkFunctionalStack(stack);
+    SOFTREC_ASSERT(prompt.shape().rank() == 2 &&
+                   prompt.shape().dim(0) >= 1 &&
+                   prompt.shape().dim(1) == stack.config.dModel,
+                   "prompt must be [tokens, dModel]");
+    SOFTREC_ASSERT(cache.numLayers() == int64_t(stack.layers.size()) &&
+                   cache.context() == 0,
+                   "prefill needs an empty cache sized for the stack");
+    const int64_t tokens = prompt.shape().dim(0);
+
+    prof::Scope scope(ctx, "decode.prefill");
+    Tensor<Half> x = prompt;
+    for (size_t l = 0; l < stack.layers.size(); ++l) {
+        KvProjections kv;
+        x = runEncoderLayer(ctx, stack.config, stack.layers[l], x,
+                            &kv);
+        for (int64_t i = 0; i < tokens; ++i)
+            cache.appendRow(int64_t(l), kv.k.rowPtr(i),
+                            kv.v.rowPtr(i));
+    }
+    return x;
+}
+
+Tensor<Half>
+runDecodeStep(const ExecContext &ctx, const DecoderStack &stack,
+              const Tensor<Half> &inputs,
+              const std::vector<KvCache *> &caches)
+{
+    checkFunctionalStack(stack);
+    const int64_t rows = inputs.shape().dim(0);
+    const int64_t dm = stack.config.dModel;
+    const int64_t heads = stack.config.numHeads;
+    const int64_t dh = stack.config.dHead();
+    SOFTREC_ASSERT(inputs.shape().rank() == 2 &&
+                   inputs.shape().dim(1) == dm && rows >= 1,
+                   "decode inputs must be [R, dModel]");
+    SOFTREC_ASSERT(int64_t(caches.size()) == rows,
+                   "one KvCache per batch row (%lld != %lld)",
+                   (long long)caches.size(), (long long)rows);
+    for (const KvCache *cache : caches)
+        SOFTREC_ASSERT(cache != nullptr &&
+                       cache->numLayers() ==
+                           int64_t(stack.layers.size()) &&
+                       cache->context() >= 1,
+                       "decode needs prefilled caches");
+
+    prof::Scope scope(ctx, "decode.step");
+    DecodeAttendDesc attend;
+    attend.dHead = dh;
+    attend.scale = 1.0 / std::sqrt(double(dh));
+
+    Tensor<Half> x = inputs;
+    for (size_t l = 0; l < stack.layers.size(); ++l) {
+        const EncoderLayerWeights &w = stack.layers[l];
+
+        // Batched projections: the packed GEMM computes each output
+        // row independently, so these match single-request runs bit
+        // for bit (and the prefill's projections of the same rows).
+        const Tensor<Half> q =
+            projectRows(ctx, "fc.q", x, w.wq, w.bq);
+        const Tensor<Half> k =
+            projectRows(ctx, "fc.k", x, w.wk, w.bk);
+        const Tensor<Half> v =
+            projectRows(ctx, "fc.v", x, w.wv, w.bv);
+        for (int64_t r = 0; r < rows; ++r)
+            caches[size_t(r)]->appendRow(int64_t(l), k.rowPtr(r),
+                                         v.rowPtr(r));
+
+        // (request, head) attention rows are independent problems
+        // writing disjoint output slices; grain 1 mirrors the
+        // encoder layer's per-head parallelism.
+        Tensor<Half> attention(Shape({rows, dm}));
+        parallelFor(ctx, 0, rows * heads, 1,
+                    [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+                const int64_t r = i / heads;
+                const int64_t h = i % heads;
+                DecodeAttendDesc head = attend;
+                head.headOffset = h * dh;
+                const KvCache &cache = *caches[size_t(r)];
+                decodeAttendRun(ctx, head,
+                                q.rowPtr(r) + h * dh,
+                                cache.kView(int64_t(l)),
+                                cache.vView(int64_t(l)),
+                                attention.rowPtr(r) + h * dh);
+            }
+        });
+
+        const Tensor<Half> projected =
+            projectRows(ctx, "fc.out", attention, w.wo, w.bo);
+        Tensor<Half> post_attn(x.shape());
+        residualAddRun(ctx, x, projected, post_attn);
+        Tensor<Half> hidden(x.shape());
+        layerNormRun(ctx, post_attn, w.gamma1, w.beta1, hidden);
+
+        const Tensor<Half> ff1 = projectRows(ctx, "ff.1", hidden,
+                                             w.w1, w.b1,
+                                             /*gelu=*/true);
+        const Tensor<Half> ff2 =
+            projectRows(ctx, "ff.2", ff1, w.w2, w.b2);
+        Tensor<Half> post_ff(x.shape());
+        residualAddRun(ctx, hidden, ff2, post_ff);
+        Tensor<Half> out(x.shape());
+        layerNormRun(ctx, post_ff, w.gamma2, w.beta2, out);
+        x = out;
+    }
+    return x;
 }
 
 } // namespace softrec

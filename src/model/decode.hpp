@@ -11,12 +11,22 @@
  * "matrix" of a decode step is a single 1 x C row per head, so there
  * is nothing for recomposition to save there; the benefit lives
  * entirely in the prefill.
+ *
+ * Two decode paths live here: the GPU cost-model simulation
+ * (buildDecodeStep/runGeneration) and the *functional* KV-cached path
+ * (DecoderStack/runPrefill/runDecodeStep) that actually computes
+ * tokens on the CPU for the serving engine, bit-identical to
+ * recomputing the full prefix through runEncoderLayer at every step.
  */
 
 #ifndef SOFTREC_MODEL_DECODE_HPP
 #define SOFTREC_MODEL_DECODE_HPP
 
+#include <vector>
+
 #include "model/engine.hpp"
+#include "model/functional_layer.hpp"
+#include "serve/kv_cache.hpp"
 
 namespace softrec {
 
@@ -67,6 +77,57 @@ std::vector<KernelProfile> buildDecodeStep(const GpuSpec &spec,
 DecodeResult runGeneration(const GpuSpec &spec,
                            const ModelConfig &model,
                            const DecodeRun &run);
+
+/**
+ * A functional decoder-only model: a causal FunctionalLayerConfig
+ * plus one EncoderLayerWeights per layer, executed for real on the
+ * CPU. The serving engine runs these; the bit-identity contract
+ * (incremental decode == full-prefix recompute at every step)
+ * requires dense Baseline attention, which runPrefill/runDecodeStep
+ * assert.
+ */
+struct DecoderStack
+{
+    FunctionalLayerConfig config;
+    std::vector<EncoderLayerWeights> layers;
+
+    /** Randomly initialized stack with a causal dense config. */
+    static DecoderStack random(int64_t d_model, int64_t num_heads,
+                               int64_t d_ff, int64_t num_layers,
+                               Rng &rng);
+};
+
+/**
+ * Full-context forward pass over the prompt, seeding `cache` with
+ * every layer's K/V rows for all prompt tokens. The cache must be
+ * empty and sized for the stack's layer count.
+ *
+ * @param prompt [promptTokens, dModel] fp16
+ * @return the stack's output, [promptTokens, dModel]; its last row is
+ *         the input of the first decode step
+ */
+Tensor<Half> runPrefill(const ExecContext &ctx,
+                        const DecoderStack &stack,
+                        const Tensor<Half> &prompt, KvCache &cache);
+
+/**
+ * One decode step for a batch of R independent requests: row r of
+ * `inputs` is request r's current token embedding and `caches[r]` its
+ * KV cache. Appends each request's new K/V rows, attends over the
+ * cached prefix in place (no recompute), and returns the next token
+ * embedding per request, [R, dModel].
+ *
+ * Bit-identity: the projections run as one batched GEMM over all R
+ * rows, which the packed GEMM computes row-independently, and every
+ * per-request stage (cached attention, residual, LayerNorm, FF) is
+ * row-local — so each row equals the last row of a full-prefix
+ * recompute of that request alone, bit for bit, for any batch
+ * composition, thread count, and SIMD backend.
+ */
+Tensor<Half> runDecodeStep(const ExecContext &ctx,
+                           const DecoderStack &stack,
+                           const Tensor<Half> &inputs,
+                           const std::vector<KvCache *> &caches);
 
 } // namespace softrec
 

@@ -57,13 +57,10 @@ EncoderLayerWeights::random(int64_t d_model, int64_t d_ff, Rng &rng)
     return w;
 }
 
-namespace {
-
-/** y = x W + b via the functional GEMM, fp16 storage. */
 Tensor<Half>
-project(const ExecContext &ctx, const char *name,
-        const Tensor<Half> &x, const Tensor<Half> &w,
-        const Tensor<float> &bias, bool gelu = false)
+projectRows(const ExecContext &ctx, const char *name,
+            const Tensor<Half> &x, const Tensor<Half> &w,
+            const Tensor<float> &bias, bool gelu)
 {
     GemmDesc desc;
     desc.name = name;
@@ -84,6 +81,8 @@ project(const ExecContext &ctx, const char *name,
     return out;
 }
 
+namespace {
+
 /** Copy head columns [h*dh, (h+1)*dh) into an [L, dh] tensor. */
 Tensor<Half>
 sliceHead(const Tensor<Half> &x, int64_t head, int64_t d_head)
@@ -102,7 +101,7 @@ Tensor<Half>
 runEncoderLayer(const ExecContext &ctx,
                 const FunctionalLayerConfig &config,
                 const EncoderLayerWeights &weights,
-                const Tensor<Half> &input)
+                const Tensor<Half> &input, KvProjections *kv_capture)
 {
     SOFTREC_ASSERT(input.shape().rank() == 2 &&
                    input.shape().dim(1) == config.dModel,
@@ -117,11 +116,15 @@ runEncoderLayer(const ExecContext &ctx,
 
     // QKV projections.
     const Tensor<Half> q =
-        project(ctx, "fc.q", input, weights.wq, weights.bq);
+        projectRows(ctx, "fc.q", input, weights.wq, weights.bq);
     const Tensor<Half> k =
-        project(ctx, "fc.k", input, weights.wk, weights.bk);
+        projectRows(ctx, "fc.k", input, weights.wk, weights.bk);
     const Tensor<Half> v =
-        project(ctx, "fc.v", input, weights.wv, weights.bv);
+        projectRows(ctx, "fc.v", input, weights.wv, weights.bv);
+    if (kv_capture != nullptr) {
+        kv_capture->k = k;
+        kv_capture->v = v;
+    }
 
     // Multi-head attention under the configured strategy.
     SdaConfig sda;
@@ -154,7 +157,7 @@ runEncoderLayer(const ExecContext &ctx,
 
     // Output projection, residual, LayerNorm.
     const Tensor<Half> projected =
-        project(ctx, "fc.out", attention, weights.wo, weights.bo);
+        projectRows(ctx, "fc.out", attention, weights.wo, weights.bo);
     Tensor<Half> post_attn(input.shape());
     residualAddRun(ctx, input, projected, post_attn);
     Tensor<Half> hidden(input.shape());
@@ -162,10 +165,11 @@ runEncoderLayer(const ExecContext &ctx,
                  hidden);
 
     // FeedForward, residual, LayerNorm.
-    const Tensor<Half> ff1 = project(ctx, "ff.1", hidden, weights.w1,
-                                     weights.b1, /*gelu=*/true);
+    const Tensor<Half> ff1 = projectRows(ctx, "ff.1", hidden,
+                                         weights.w1, weights.b1,
+                                         /*gelu=*/true);
     const Tensor<Half> ff2 =
-        project(ctx, "ff.2", ff1, weights.w2, weights.b2);
+        projectRows(ctx, "ff.2", ff1, weights.w2, weights.b2);
     Tensor<Half> post_ff(input.shape());
     residualAddRun(ctx, hidden, ff2, post_ff);
     Tensor<Half> out(input.shape());

@@ -59,6 +59,17 @@ struct FunctionalLayerConfig
 };
 
 /**
+ * Optional capture of a layer's K/V projections, filled by
+ * runEncoderLayer when passed. Serving prefill uses this to seed a
+ * per-request KV cache without recomputing the projections.
+ */
+struct KvProjections
+{
+    Tensor<Half> k; //!< [L, dModel] after the fc.k projection
+    Tensor<Half> v; //!< [L, dModel] after the fc.v projection
+};
+
+/**
  * Run one encoder layer: LayerNorm(x + MHA(x)), then
  * LayerNorm(h + FF(h)). Attention heads run in parallel under the
  * context; every kernel inside is chunk-deterministic, so the output
@@ -66,12 +77,28 @@ struct FunctionalLayerConfig
  *
  * @param ctx execution context (serial when default-constructed)
  * @param input [L, dModel] fp16
+ * @param kv_capture when non-null, receives copies of the layer's
+ *        K/V projections (for KV-cached decode prefill)
  * @return [L, dModel] fp16
  */
 Tensor<Half> runEncoderLayer(const ExecContext &ctx,
                              const FunctionalLayerConfig &config,
                              const EncoderLayerWeights &weights,
-                             const Tensor<Half> &input);
+                             const Tensor<Half> &input,
+                             KvProjections *kv_capture = nullptr);
+
+/**
+ * y = x W + b through the functional GEMM with the layer-standard
+ * 16x16x16 tiling, fp16 storage. Shared by the encoder layer and the
+ * KV-cached decode step so both produce bit-identical projections.
+ *
+ * @param x [rows, k] fp16
+ * @param w [k, n] fp16
+ * @param bias [n] fp32
+ */
+Tensor<Half> projectRows(const ExecContext &ctx, const char *name,
+                         const Tensor<Half> &x, const Tensor<Half> &w,
+                         const Tensor<float> &bias, bool gelu = false);
 
 } // namespace softrec
 

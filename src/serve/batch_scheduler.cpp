@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Continuous-batching scheduler implementation.
+ */
+
+#include "serve/batch_scheduler.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+namespace {
+
+/** KV tokens a slot will hold when its request finishes. */
+int64_t
+finishingTokens(const BatchSlot &slot)
+{
+    return slot.context + slot.remaining;
+}
+
+} // namespace
+
+BatchScheduler::BatchScheduler(const SchedulerConfig &config)
+    : config_(config), slots_(size_t(config.maxBatchRows))
+{
+    SOFTREC_ASSERT(config.maxBatchRows > 0 && config.tokenBudget > 0,
+                   "scheduler limits must be positive (rows=%lld, "
+                   "budget=%lld)", (long long)config.maxBatchRows,
+                   (long long)config.tokenBudget);
+}
+
+std::vector<int64_t>
+BatchScheduler::admitFrom(RequestQueue &queue)
+{
+    // Admission reserves each request's *finishing* footprint, not its
+    // current one: contexts only grow and there is no preemption, so
+    // this is the weakest test that still guarantees the budget holds
+    // at every future step.
+    int64_t reserved = 0;
+    for (const BatchSlot &slot : slots_)
+        if (slot.active)
+            reserved += finishingTokens(slot);
+
+    std::vector<int64_t> admitted;
+    while (activeRows() < config_.maxBatchRows) {
+        std::optional<ServeRequest> request = std::move(parked_);
+        parked_.reset();
+        if (!request.has_value())
+            request = queue.pop();
+        if (!request.has_value())
+            break;
+        const int64_t footprint = request->prompt.shape().dim(0) +
+                                  request->generateTokens;
+        SOFTREC_ASSERT(footprint <= config_.tokenBudget,
+                       "request %lld alone exceeds the token budget "
+                       "(%lld > %lld); validate before enqueueing",
+                       (long long)request->id, (long long)footprint,
+                       (long long)config_.tokenBudget);
+        if (reserved + footprint > config_.tokenBudget) {
+            // FIFO order is part of the determinism contract, so a
+            // budget-blocked head parks here until evictions free
+            // room (no skipping ahead to smaller requests behind it).
+            parked_ = std::move(request);
+            break;
+        }
+        reserved += footprint;
+        for (int64_t s = 0; s < int64_t(slots_.size()); ++s) {
+            BatchSlot &slot = slots_[size_t(s)];
+            if (slot.active)
+                continue;
+            slot.active = true;
+            slot.context = request->prompt.shape().dim(0);
+            slot.remaining = request->generateTokens;
+            slot.request = std::move(*request);
+            admitted.push_back(s);
+            break;
+        }
+    }
+    return admitted;
+}
+
+std::vector<int64_t>
+BatchScheduler::completeStep()
+{
+    std::vector<int64_t> evicted;
+    for (int64_t s = 0; s < int64_t(slots_.size()); ++s) {
+        BatchSlot &slot = slots_[size_t(s)];
+        if (!slot.active)
+            continue;
+        ++slot.context;
+        --slot.remaining;
+        if (slot.remaining == 0) {
+            slot = BatchSlot{};
+            evicted.push_back(s);
+        }
+    }
+    return evicted;
+}
+
+std::vector<int64_t>
+BatchScheduler::activeSlots() const
+{
+    std::vector<int64_t> active;
+    for (int64_t s = 0; s < int64_t(slots_.size()); ++s)
+        if (slots_[size_t(s)].active)
+            active.push_back(s);
+    return active;
+}
+
+int64_t
+BatchScheduler::activeRows() const
+{
+    int64_t rows = 0;
+    for (const BatchSlot &slot : slots_)
+        rows += slot.active ? 1 : 0;
+    return rows;
+}
+
+int64_t
+BatchScheduler::activeTokens() const
+{
+    int64_t tokens = 0;
+    for (const BatchSlot &slot : slots_)
+        if (slot.active)
+            tokens += slot.context;
+    return tokens;
+}
+
+} // namespace softrec

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Continuous-batching scheduler: packs variable-length requests into
+ * decode-step batches under a token budget.
+ *
+ * Classic static batching admits a batch, runs it to completion, and
+ * strands every finished row until the slowest request drains.
+ * Continuous batching instead revisits membership at every decode-step
+ * boundary: finished rows are evicted immediately and queued requests
+ * are admitted into the freed slots, so the batch stays as full as the
+ * token budget allows. The scheduler is deterministic — admission is
+ * FIFO into the lowest free slot, and a fixed arrival trace always
+ * produces the same step-by-step batch composition.
+ */
+
+#ifndef SOFTREC_SERVE_BATCH_SCHEDULER_HPP
+#define SOFTREC_SERVE_BATCH_SCHEDULER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace softrec {
+
+/** Capacity limits for one scheduler. */
+struct SchedulerConfig
+{
+    int64_t maxBatchRows = 16; //!< concurrent requests (batch rows)
+    /**
+     * Upper bound on the total KV context (sum over active requests
+     * of prompt + generated tokens) the batch may reach; admission is
+     * denied when a candidate could overflow it before finishing.
+     */
+    int64_t tokenBudget = 1 << 16;
+};
+
+/** One occupied batch row. */
+struct BatchSlot
+{
+    bool active = false;
+    ServeRequest request;
+    int64_t context = 0;   //!< cached tokens so far (prompt + decoded)
+    int64_t remaining = 0; //!< decode steps left
+};
+
+/** Deterministic continuous-batching slot manager. */
+class BatchScheduler
+{
+  public:
+    explicit BatchScheduler(const SchedulerConfig &config);
+
+    BatchScheduler(const BatchScheduler &) = delete;
+    BatchScheduler &operator=(const BatchScheduler &) = delete;
+
+    /**
+     * Admit queued requests (FIFO, lowest free slot first) until the
+     * next candidate would exceed maxBatchRows or could overflow the
+     * token budget at its finishing length. A budget-blocked head
+     * parks inside the scheduler (preserving FIFO order) until
+     * evictions free room. Called at decode-step boundaries only.
+     * Returns the slot indices admitted this call; their prefill has
+     * not run yet.
+     */
+    std::vector<int64_t> admitFrom(RequestQueue &queue);
+
+    /**
+     * Account one completed decode step: every active slot gains one
+     * context token and loses one remaining step. Slots that reach
+     * remaining == 0 are evicted; their indices are returned (in slot
+     * order) so the caller can release per-request state.
+     */
+    std::vector<int64_t> completeStep();
+
+    /** Active slot indices in ascending order. */
+    std::vector<int64_t> activeSlots() const;
+
+    const BatchSlot &
+    slot(int64_t index) const
+    {
+        return slots_[size_t(index)];
+    }
+
+    int64_t activeRows() const;
+    /** Σ context over active slots (current KV footprint in tokens). */
+    int64_t activeTokens() const;
+    /** True when no slot is active and no head request is parked. */
+    bool
+    idle() const
+    {
+        return activeRows() == 0 && !parked_.has_value();
+    }
+
+  private:
+    SchedulerConfig config_;
+    std::vector<BatchSlot> slots_;
+    //! FIFO head that did not fit the token budget, awaiting room.
+    std::optional<ServeRequest> parked_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_SERVE_BATCH_SCHEDULER_HPP

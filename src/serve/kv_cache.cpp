@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Slab-allocated KV cache implementation.
+ */
+
+#include "serve/kv_cache.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+KvSlab::KvSlab(int64_t block_tokens, int64_t row_width,
+               int64_t blocks_per_chunk)
+    : blockTokens_(block_tokens), rowWidth_(row_width),
+      blocksPerChunk_(blocks_per_chunk)
+{
+    SOFTREC_ASSERT(block_tokens > 0 && row_width > 0 &&
+                   blocks_per_chunk > 0,
+                   "KvSlab shape must be positive (tokens=%lld, "
+                   "width=%lld, chunk=%lld)", (long long)block_tokens,
+                   (long long)row_width, (long long)blocks_per_chunk);
+}
+
+Half *
+KvSlab::acquire()
+{
+    if (freeList_.empty()) {
+        const size_t block_elems = size_t(blockTokens_ * rowWidth_);
+        auto chunk = std::make_unique<Half[]>(
+            block_elems * size_t(blocksPerChunk_));
+        for (int64_t b = blocksPerChunk_ - 1; b >= 0; --b)
+            freeList_.push_back(chunk.get() + size_t(b) * block_elems);
+        chunks_.push_back(std::move(chunk));
+        blocksReserved_ += blocksPerChunk_;
+    }
+    Half *block = freeList_.back();
+    freeList_.pop_back();
+    ++blocksInUse_;
+    return block;
+}
+
+void
+KvSlab::release(Half *block)
+{
+    SOFTREC_ASSERT(block != nullptr && blocksInUse_ > 0,
+                   "release without a matching acquire");
+    freeList_.push_back(block);
+    --blocksInUse_;
+}
+
+int64_t
+KvSlab::bytesReserved() const
+{
+    return blocksReserved_ * blockTokens_ * rowWidth_ *
+           int64_t(sizeof(Half));
+}
+
+KvCache::KvCache(KvSlab &slab, int64_t num_layers)
+    : slab_(slab), layers_(size_t(num_layers))
+{
+    SOFTREC_ASSERT(num_layers > 0, "KvCache needs at least one layer");
+}
+
+KvCache::~KvCache()
+{
+    for (LayerRows &layer : layers_) {
+        for (Half *block : layer.kBlocks)
+            slab_.release(block);
+        for (Half *block : layer.vBlocks)
+            slab_.release(block);
+    }
+}
+
+Half *
+KvCache::writableRow(std::vector<Half *> &blocks, int64_t pos)
+{
+    const int64_t block_tokens = slab_.blockTokens();
+    const int64_t block_index = pos / block_tokens;
+    if (block_index == int64_t(blocks.size()))
+        blocks.push_back(slab_.acquire());
+    SOFTREC_ASSERT(block_index < int64_t(blocks.size()),
+                   "non-monotonic KV append at row %lld",
+                   (long long)pos);
+    return blocks[size_t(block_index)] +
+           (pos % block_tokens) * slab_.rowWidth();
+}
+
+void
+KvCache::appendRow(int64_t layer, const Half *k_row, const Half *v_row)
+{
+    SOFTREC_ASSERT(layer >= 0 && layer < int64_t(layers_.size()),
+                   "layer %lld out of range", (long long)layer);
+    LayerRows &rows = layers_[size_t(layer)];
+    const size_t row_bytes = size_t(slab_.rowWidth()) * sizeof(Half);
+    std::memcpy(writableRow(rows.kBlocks, rows.rows), k_row, row_bytes);
+    std::memcpy(writableRow(rows.vBlocks, rows.rows), v_row, row_bytes);
+    ++rows.rows;
+}
+
+int64_t
+KvCache::context() const
+{
+    const int64_t rows = layers_.front().rows;
+    for (const LayerRows &layer : layers_)
+        SOFTREC_ASSERT(layer.rows == rows,
+                       "layers have uneven KV contexts (%lld vs %lld); "
+                       "append one row per layer per token",
+                       (long long)layer.rows, (long long)rows);
+    return rows;
+}
+
+KvRowsView
+KvCache::view(const std::vector<Half *> &blocks, int64_t rows) const
+{
+    KvRowsView out;
+    out.blocks = blocks.data();
+    out.blockTokens = slab_.blockTokens();
+    out.rowWidth = slab_.rowWidth();
+    out.rows = rows;
+    return out;
+}
+
+KvRowsView
+KvCache::kView(int64_t layer) const
+{
+    SOFTREC_ASSERT(layer >= 0 && layer < int64_t(layers_.size()),
+                   "layer %lld out of range", (long long)layer);
+    const LayerRows &rows = layers_[size_t(layer)];
+    return view(rows.kBlocks, rows.rows);
+}
+
+KvRowsView
+KvCache::vView(int64_t layer) const
+{
+    SOFTREC_ASSERT(layer >= 0 && layer < int64_t(layers_.size()),
+                   "layer %lld out of range", (long long)layer);
+    const LayerRows &rows = layers_[size_t(layer)];
+    return view(rows.vBlocks, rows.rows);
+}
+
+} // namespace softrec

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Slab-allocated per-request KV cache for the serving engine.
+ *
+ * Decode-step latency must not depend on malloc: a KvSlab reserves
+ * fixed-size K/V blocks in bulk and recycles them through a freelist,
+ * so steady-state serving performs zero per-step heap allocation once
+ * the working set is warm. A KvCache borrows blocks from the slab for
+ * one request's lifetime (all layers, K and V) and returns every
+ * block on destruction, so evicting a finished request immediately
+ * funds the next admission.
+ *
+ * Both classes are driver-thread-only by design: the serve loop owns
+ * admission, decode, and eviction on one thread, and the decode
+ * kernels only ever *read* cached rows (through KvRowsView), so there
+ * is nothing to lock.
+ */
+
+#ifndef SOFTREC_SERVE_KV_CACHE_HPP
+#define SOFTREC_SERVE_KV_CACHE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fp16/half.hpp"
+#include "kernels/decode_attention.hpp"
+
+namespace softrec {
+
+/**
+ * Bulk reservation of fixed-size KV blocks with a freelist.
+ *
+ * One block stores `blockTokens` cached rows of `rowWidth` halfs
+ * (the model width — all heads concatenated). Blocks are reserved in
+ * chunks of `blocksPerChunk` so reservation cost amortizes; released
+ * blocks are recycled LIFO, and chunk memory is only returned to the
+ * OS when the slab itself is destroyed.
+ */
+class KvSlab
+{
+  public:
+    KvSlab(int64_t block_tokens, int64_t row_width,
+           int64_t blocks_per_chunk = 64);
+
+    KvSlab(const KvSlab &) = delete;
+    KvSlab &operator=(const KvSlab &) = delete;
+
+    /** Borrow one block (reserving a new chunk if the freelist is empty). */
+    Half *acquire();
+
+    /** Return a block obtained from acquire(). */
+    void release(Half *block);
+
+    int64_t blockTokens() const { return blockTokens_; }
+    int64_t rowWidth() const { return rowWidth_; }
+
+    /** Blocks currently lent out to caches. */
+    int64_t blocksInUse() const { return blocksInUse_; }
+    /** Blocks ever reserved (in use + freelist). */
+    int64_t blocksReserved() const { return blocksReserved_; }
+    /** Bytes of KV storage reserved so far. */
+    int64_t bytesReserved() const;
+
+  private:
+    int64_t blockTokens_;
+    int64_t rowWidth_;
+    int64_t blocksPerChunk_;
+    int64_t blocksInUse_ = 0;
+    int64_t blocksReserved_ = 0;
+    std::vector<std::unique_ptr<Half[]>> chunks_;
+    std::vector<Half *> freeList_;
+};
+
+/**
+ * One request's cached K/V rows across every decoder layer, backed by
+ * slab blocks. Rows append monotonically (one per prompt token at
+ * prefill, one per decode step); all blocks return to the slab on
+ * destruction.
+ */
+class KvCache
+{
+  public:
+    KvCache(KvSlab &slab, int64_t num_layers);
+    ~KvCache();
+
+    KvCache(const KvCache &) = delete;
+    KvCache &operator=(const KvCache &) = delete;
+
+    /**
+     * Append one cached row (rowWidth halfs each of K and V) for one
+     * layer. Every layer must receive the same number of appends; the
+     * per-token pattern is one appendRow per layer.
+     */
+    void appendRow(int64_t layer, const Half *k_row, const Half *v_row);
+
+    /** Cached tokens (asserts every layer has the same count). */
+    int64_t context() const;
+
+    /** Read-only view of one layer's cached K rows. */
+    KvRowsView kView(int64_t layer) const;
+    /** Read-only view of one layer's cached V rows. */
+    KvRowsView vView(int64_t layer) const;
+
+    int64_t numLayers() const { return int64_t(layers_.size()); }
+
+  private:
+    struct LayerRows
+    {
+        std::vector<Half *> kBlocks, vBlocks;
+        int64_t rows = 0;
+    };
+
+    Half *writableRow(std::vector<Half *> &blocks, int64_t pos);
+    KvRowsView view(const std::vector<Half *> &blocks,
+                    int64_t rows) const;
+
+    KvSlab &slab_;
+    std::vector<LayerRows> layers_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_SERVE_KV_CACHE_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bounded request queue implementation.
+ */
+
+#include "serve/request_queue.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity)
+{
+    SOFTREC_ASSERT(capacity > 0,
+                   "queue capacity must be positive, got %lld",
+                   (long long)capacity);
+}
+
+AdmitResult
+RequestQueue::push(ServeRequest request)
+{
+    std::string reason;
+    if (request.prompt.shape().rank() != 2 ||
+        request.prompt.shape().dim(0) < 1) {
+        reason = "prompt must be a [tokens, dModel] tensor with at "
+                 "least one token";
+    } else if (request.generateTokens < 1) {
+        reason = "generateTokens must be >= 1";
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (reason.empty() && int64_t(items_.size()) >= capacity_)
+        reason = "queue full (capacity " + std::to_string(capacity_) +
+                 "); retry after the server drains";
+    if (!reason.empty()) {
+        ++rejected_;
+        return AdmitResult::rejected(std::move(reason));
+    }
+    items_.push_back(std::move(request));
+    ++accepted_;
+    return AdmitResult::ok();
+}
+
+std::optional<ServeRequest>
+RequestQueue::pop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty())
+        return std::nullopt;
+    ServeRequest front = std::move(items_.front());
+    items_.pop_front();
+    return front;
+}
+
+int64_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return int64_t(items_.size());
+}
+
+int64_t
+RequestQueue::accepted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return accepted_;
+}
+
+int64_t
+RequestQueue::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+} // namespace softrec

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Thread-safe bounded request queue for the serving engine.
+ *
+ * Producers (client threads) push generation requests; the serve
+ * loop's driver thread pops them at decode-step boundaries. The queue
+ * is explicitly bounded and rejects instead of blocking: a full (or
+ * malformed) request comes back immediately with a machine-readable
+ * reason, so producers always learn about overload instead of
+ * deadlocking against a stalled consumer.
+ */
+
+#ifndef SOFTREC_SERVE_REQUEST_QUEUE_HPP
+#define SOFTREC_SERVE_REQUEST_QUEUE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "fp16/half.hpp"
+#include "tensor/tensor.hpp"
+
+namespace softrec {
+
+/** One generation request entering the serving engine. */
+struct ServeRequest
+{
+    int64_t id = 0;
+    Tensor<Half> prompt;        //!< [promptTokens, dModel] fp16
+    int64_t generateTokens = 0; //!< decode steps to run after prefill
+    double arrivalSeconds = 0.0; //!< producer timestamp (latency base)
+};
+
+/** Outcome of RequestQueue::push. */
+struct AdmitResult
+{
+    bool accepted = false;
+    std::string reason; //!< empty when accepted, diagnostic otherwise
+
+    static AdmitResult
+    ok()
+    {
+        return AdmitResult{true, std::string()};
+    }
+    static AdmitResult
+    rejected(std::string why)
+    {
+        return AdmitResult{false, std::move(why)};
+    }
+};
+
+/** Bounded MPSC FIFO with reject-with-reason backpressure. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(int64_t capacity);
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /**
+     * Enqueue a request. Never blocks: a full queue or an invalid
+     * request (empty prompt, non-positive generateTokens) is rejected
+     * with a reason string the producer can surface.
+     */
+    AdmitResult push(ServeRequest request);
+
+    /** Dequeue the oldest request, or nullopt when empty. */
+    std::optional<ServeRequest> pop();
+
+    int64_t size() const;
+    int64_t capacity() const { return capacity_; }
+
+    /** Requests accepted by push so far. */
+    int64_t accepted() const;
+    /** Requests rejected by push so far. */
+    int64_t rejected() const;
+
+  private:
+    const int64_t capacity_;
+    mutable std::mutex mutex_;
+    std::deque<ServeRequest> items_;
+    int64_t accepted_ = 0;
+    int64_t rejected_ = 0;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_SERVE_REQUEST_QUEUE_HPP

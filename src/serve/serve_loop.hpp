@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Synchronous continuous-batching serve driver.
+ *
+ * ServeLoop ties the serving pieces together: producers submit()
+ * requests into the bounded queue (rejected-with-reason under
+ * backpressure), and run() drains it — admitting at decode-step
+ * boundaries through the BatchScheduler, prefilling each admission
+ * into a slab-backed KvCache, and stepping every active request
+ * through runDecodeStep with the previous step's output row as the
+ * next input (a fixed pseudo-sampling rule, so results are
+ * deterministic and bit-identical for any thread count). Invalid
+ * configuration is a hard startup error, never a silent fallback.
+ */
+
+#ifndef SOFTREC_SERVE_SERVE_LOOP_HPP
+#define SOFTREC_SERVE_SERVE_LOOP_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/exec_context.hpp"
+#include "model/decode.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/kv_cache.hpp"
+#include "serve/request_queue.hpp"
+
+namespace softrec {
+
+/** Serving engine limits (see fromEnv for the environment knobs). */
+struct ServeConfig
+{
+    int64_t maxBatchRows = 16;    //!< concurrent requests per step
+    int64_t tokenBudget = 1 << 16; //!< max total KV tokens in flight
+    int64_t queueCapacity = 64;   //!< bounded queue depth
+    int64_t kvBlockTokens = 64;   //!< cached rows per slab block
+
+    /**
+     * Read overrides from SOFTREC_SERVE_BATCH_ROWS,
+     * SOFTREC_SERVE_TOKEN_BUDGET and SOFTREC_SERVE_QUEUE_CAP, and
+     * validate SOFTREC_THREADS eagerly. Every malformed value is a
+     * hard startup error (fatal(), which throws std::runtime_error)
+     * naming the variable, the offending text, and the accepted
+     * range — a serving engine that silently fell back to defaults
+     * or serial execution would hide capacity regressions.
+     */
+    static ServeConfig fromEnv();
+};
+
+/** Per-request serving record. */
+struct RequestStats
+{
+    int64_t id = 0;
+    int64_t promptTokens = 0;
+    int64_t generatedTokens = 0;
+    double arrivalSeconds = 0.0; //!< producer stamp (nowSeconds clock)
+    double finishSeconds = 0.0;  //!< eviction time
+    //! Last generated token embedding, [1, dModel]; tests use it to
+    //! prove batched serving is bit-identical to serial serving.
+    Tensor<Half> finalRow;
+    double latencySeconds() const { return finishSeconds - arrivalSeconds; }
+};
+
+/** Aggregate results of one ServeLoop::run drain. */
+struct ServeSummary
+{
+    int64_t requestsServed = 0;
+    int64_t tokensGenerated = 0;
+    int64_t decodeSteps = 0;
+    double seconds = 0.0;         //!< wall time inside run()
+    double tokensPerSecond = 0.0;
+    double p50LatencySeconds = 0.0;
+    double p95LatencySeconds = 0.0;
+    std::vector<RequestStats> requests; //!< finish order
+};
+
+/** Synchronous serving driver (one driver thread owns run()). */
+class ServeLoop
+{
+  public:
+    ServeLoop(const ExecContext &ctx, const DecoderStack &stack,
+              const ServeConfig &config);
+
+    ServeLoop(const ServeLoop &) = delete;
+    ServeLoop &operator=(const ServeLoop &) = delete;
+
+    /**
+     * Validate and enqueue one request. On top of the queue's own
+     * checks this rejects prompts whose width does not match the
+     * stack and requests whose finishing KV footprint exceeds the
+     * token budget (they could never be admitted). Thread-safe.
+     */
+    AdmitResult submit(ServeRequest request);
+
+    /** Seconds since construction (the arrival/finish clock). */
+    double nowSeconds() const;
+
+    /**
+     * Drain the queue: admit, prefill, and batch-decode until no
+     * request is queued or in flight. Returns the aggregate summary;
+     * per-request latency is measured on the nowSeconds clock.
+     */
+    ServeSummary run();
+
+    const RequestQueue &queue() const { return queue_; }
+    const KvSlab &slab() const { return slab_; }
+
+  private:
+    struct SlotState
+    {
+        std::unique_ptr<KvCache> cache;
+        Tensor<Half> nextInput; //!< [1, dModel] pending step input
+        //! Request identity snapshot (the scheduler slot resets on
+        //! eviction before stats are emitted).
+        RequestStats stats;
+    };
+
+    void prefillSlot(int64_t slot_index);
+
+    //! Copied, not referenced: callers may pass a temporary context,
+    //! and run() must outlive the constructor expression.
+    ExecContext ctx_;
+    const DecoderStack &stack_;
+    ServeConfig config_;
+    RequestQueue queue_;
+    BatchScheduler scheduler_;
+    KvSlab slab_;
+    std::vector<SlotState> slots_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/**
+ * Sorted-sample percentile (nearest-rank on a copy; q in [0, 1]).
+ * Exposed for the serve bench and tests.
+ */
+double percentileSeconds(std::vector<double> samples, double q);
+
+} // namespace softrec
+
+#endif // SOFTREC_SERVE_SERVE_LOOP_HPP

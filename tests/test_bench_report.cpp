@@ -9,6 +9,7 @@
 #include <clocale>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -88,8 +89,35 @@ TEST(BenchReport, EmitsSchemaAndSections)
 
 TEST(BenchReport, DefaultPathUsesName)
 {
+    const char *saved = std::getenv("SOFTREC_BENCH_DIR");
+    unsetenv("SOFTREC_BENCH_DIR");
     BenchReport report("micro_kernels");
     EXPECT_EQ(report.defaultPath(), "BENCH_micro_kernels.json");
+    if (saved != nullptr)
+        setenv("SOFTREC_BENCH_DIR", saved, 1);
+}
+
+TEST(BenchReport, BenchDirOverridesTheReportDirectory)
+{
+    const char *previous = std::getenv("SOFTREC_BENCH_DIR");
+    const std::string saved = previous != nullptr ? previous : "";
+
+    BenchReport report("serve_throughput");
+    setenv("SOFTREC_BENCH_DIR", "/tmp/reports", 1);
+    EXPECT_EQ(report.defaultPath(),
+              "/tmp/reports/BENCH_serve_throughput.json");
+    // A trailing slash must not produce a double separator.
+    setenv("SOFTREC_BENCH_DIR", "/tmp/reports/", 1);
+    EXPECT_EQ(report.defaultPath(),
+              "/tmp/reports/BENCH_serve_throughput.json");
+    // Empty behaves like unset: current working directory.
+    setenv("SOFTREC_BENCH_DIR", "", 1);
+    EXPECT_EQ(report.defaultPath(), "BENCH_serve_throughput.json");
+    unsetenv("SOFTREC_BENCH_DIR");
+    EXPECT_EQ(report.defaultPath(), "BENCH_serve_throughput.json");
+
+    if (previous != nullptr)
+        setenv("SOFTREC_BENCH_DIR", saved.c_str(), 1);
 }
 
 TEST(BenchReport, AddKernelsFromProfiler)

@@ -1,14 +1,214 @@
 /**
  * @file
- * Tests of the autoregressive generation study.
+ * Tests of the autoregressive generation study, plus the KV-cache
+ * equivalence suite: incremental decode through the functional KV
+ * path must be bit-identical to recomputing the full prefix at every
+ * step, across thread counts and SIMD backends.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "model/decode.hpp"
+#include "model/functional_layer.hpp"
+#include "serve/kv_cache.hpp"
 
 namespace softrec {
 namespace {
+
+constexpr int64_t kDm = 32;
+constexpr int64_t kHeads = 2;
+constexpr int64_t kDff = 48;
+constexpr int64_t kLayers = 2;
+constexpr int64_t kPrompt = 7;
+constexpr int64_t kSteps = 5;
+
+Tensor<Half>
+randomPrompt(Rng &rng, int64_t tokens)
+{
+    Tensor<Half> prompt(Shape({tokens, kDm}));
+    for (int64_t i = 0; i < prompt.numel(); ++i)
+        prompt.data()[i] = Half(float(rng.normal(0.0, 0.5)));
+    return prompt;
+}
+
+/** Full forward pass of the stack over `seq` (no cache). */
+Tensor<Half>
+fullForward(const ExecContext &ctx, const DecoderStack &stack,
+            const Tensor<Half> &seq)
+{
+    Tensor<Half> x = seq;
+    for (const EncoderLayerWeights &layer : stack.layers)
+        x = runEncoderLayer(ctx, stack.config, layer, x);
+    return x;
+}
+
+/** Append `row` of a [*, dm] tensor to `seq`. */
+Tensor<Half>
+appendRow(const Tensor<Half> &seq, const Tensor<Half> &rows,
+          int64_t row)
+{
+    const int64_t n = seq.shape().dim(0);
+    Tensor<Half> out(Shape({n + 1, seq.shape().dim(1)}));
+    for (int64_t i = 0; i < n; ++i)
+        for (int64_t j = 0; j < seq.shape().dim(1); ++j)
+            out.at(i, j) = seq.at(i, j);
+    for (int64_t j = 0; j < seq.shape().dim(1); ++j)
+        out.at(n, j) = rows.at(row, j);
+    return out;
+}
+
+void
+expectRowBitsEqual(const Tensor<Half> &got, int64_t got_row,
+                   const Tensor<Half> &want, int64_t want_row,
+                   const char *what, int64_t step)
+{
+    for (int64_t j = 0; j < got.shape().dim(1); ++j)
+        ASSERT_EQ(got.at(got_row, j).bits(),
+                  want.at(want_row, j).bits())
+            << what << ": step " << step << " column " << j;
+}
+
+/**
+ * Drive `kSteps` incremental decode steps and assert each output row
+ * is bit-identical to a full-prefix recompute of the same sequence.
+ */
+void
+checkIncrementalMatchesRecompute(const ExecContext &ctx)
+{
+    Rng rng(17);
+    const DecoderStack stack =
+        DecoderStack::random(kDm, kHeads, kDff, kLayers, rng);
+    const Tensor<Half> prompt = randomPrompt(rng, kPrompt);
+
+    KvSlab slab(/*block_tokens=*/4, kDm);
+    KvCache cache(slab, kLayers);
+    const Tensor<Half> prefill_out =
+        runPrefill(ctx, stack, prompt, cache);
+    EXPECT_EQ(cache.context(), kPrompt);
+
+    // The prefill itself must match a plain stack forward bit for bit.
+    const Tensor<Half> plain = fullForward(ctx, stack, prompt);
+    for (int64_t i = 0; i < kPrompt; ++i)
+        expectRowBitsEqual(prefill_out, i, plain, i, "prefill", i);
+
+    Tensor<Half> seq = prompt;
+    Tensor<Half> input(Shape({1, kDm}));
+    for (int64_t j = 0; j < kDm; ++j)
+        input.at(0, j) = prefill_out.at(kPrompt - 1, j);
+
+    for (int64_t t = 0; t < kSteps; ++t) {
+        seq = appendRow(seq, input, 0);
+        const Tensor<Half> decode_out =
+            runDecodeStep(ctx, stack, input, {&cache});
+        EXPECT_EQ(cache.context(), kPrompt + t + 1);
+
+        const Tensor<Half> full = fullForward(ctx, stack, seq);
+        expectRowBitsEqual(decode_out, 0, full,
+                           seq.shape().dim(0) - 1, "decode", t);
+        for (int64_t j = 0; j < kDm; ++j)
+            input.at(0, j) = decode_out.at(0, j);
+    }
+}
+
+TEST(KvEquivalence, SerialContext)
+{
+    checkIncrementalMatchesRecompute(ExecContext());
+}
+
+TEST(KvEquivalence, ThreadPool4)
+{
+    ThreadPool pool(4);
+    ExecContext ctx;
+    ctx.pool = &pool;
+    checkIncrementalMatchesRecompute(ctx);
+}
+
+TEST(KvEquivalence, ScalarSimdBackend)
+{
+    const SimdBackend prev = setSimdBackend(SimdBackend::Scalar);
+    checkIncrementalMatchesRecompute(ExecContext());
+    setSimdBackend(prev);
+}
+
+TEST(KvEquivalence, DetectedSimdBackendThreaded)
+{
+    const SimdBackend prev =
+        setSimdBackend(detectedSimdBackend());
+    ThreadPool pool(4);
+    ExecContext ctx;
+    ctx.pool = &pool;
+    checkIncrementalMatchesRecompute(ctx);
+    setSimdBackend(prev);
+}
+
+TEST(KvEquivalence, SameBitsAcrossThreadCountsAndBackends)
+{
+    // Decode outputs must not depend on execution resources at all:
+    // run the same generation under four (threads, backend) pairs and
+    // require identical bits everywhere.
+    Rng rng(23);
+    const DecoderStack stack =
+        DecoderStack::random(kDm, kHeads, kDff, kLayers, rng);
+    const Tensor<Half> prompt = randomPrompt(rng, kPrompt);
+
+    auto generate = [&](int threads, SimdBackend backend) {
+        const SimdBackend prev = setSimdBackend(backend);
+        std::vector<uint16_t> bits;
+        {
+            ThreadPool pool(threads);
+            ExecContext ctx;
+            if (threads > 1)
+                ctx.pool = &pool;
+            KvSlab slab(/*block_tokens=*/4, kDm);
+            KvCache cache(slab, kLayers);
+            const Tensor<Half> out =
+                runPrefill(ctx, stack, prompt, cache);
+            Tensor<Half> input(Shape({1, kDm}));
+            for (int64_t j = 0; j < kDm; ++j)
+                input.at(0, j) = out.at(kPrompt - 1, j);
+            for (int64_t t = 0; t < kSteps; ++t) {
+                input = runDecodeStep(ctx, stack, input, {&cache});
+                for (int64_t j = 0; j < kDm; ++j)
+                    bits.push_back(input.at(0, j).bits());
+            }
+        }
+        setSimdBackend(prev);
+        return bits;
+    };
+
+    const auto reference = generate(1, SimdBackend::Scalar);
+    EXPECT_EQ(generate(4, SimdBackend::Scalar), reference);
+    EXPECT_EQ(generate(1, detectedSimdBackend()), reference);
+    EXPECT_EQ(generate(4, detectedSimdBackend()), reference);
+}
+
+TEST(KvEquivalence, PrefillCacheHoldsTheProjectedRows)
+{
+    Rng rng(29);
+    const DecoderStack stack =
+        DecoderStack::random(kDm, kHeads, kDff, kLayers, rng);
+    const Tensor<Half> prompt = randomPrompt(rng, kPrompt);
+
+    KvSlab slab(/*block_tokens=*/3, kDm);
+    KvCache cache(slab, kLayers);
+    runPrefill(ExecContext(), stack, prompt, cache);
+
+    // Layer 0's cached K rows must equal the fc.k projection of the
+    // prompt (the cache stores projections, not raw embeddings).
+    const Tensor<Half> k = projectRows(
+        ExecContext(), "fc.k", prompt, stack.layers[0].wk,
+        stack.layers[0].bk);
+    const KvRowsView view = cache.kView(0);
+    ASSERT_EQ(view.rows, kPrompt);
+    for (int64_t i = 0; i < kPrompt; ++i)
+        for (int64_t j = 0; j < kDm; ++j)
+            EXPECT_EQ(view.row(i)[j].bits(), k.at(i, j).bits())
+                << "row " << i << " column " << j;
+}
 
 TEST(DecodeStep, StructureAndWeightBoundGemvs)
 {

@@ -6,12 +6,16 @@
  */
 
 #include <atomic>
+#include <cstdlib>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/exec_context.hpp"
+#include "common/profiler.hpp"
 
 namespace softrec {
 namespace {
@@ -205,6 +209,97 @@ TEST(ParallelFor, GrainMustBePositive)
     ExecContext ctx;
     EXPECT_THROW(parallelFor(ctx, 0, 4, 0, [](int64_t, int64_t) {}),
                  std::logic_error);
+}
+
+/** Set (or clear) an environment variable, restoring it on scope exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *prev = std::getenv(name);
+        if (prev != nullptr)
+            saved_ = prev;
+        if (value != nullptr)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (saved_.has_value())
+            setenv(name_, saved_->c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+    ScopedEnv(const ScopedEnv &) = delete;
+    ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+  private:
+    const char *name_;
+    std::optional<std::string> saved_;
+};
+
+/** Reset the latch on entry and exit so latched state never leaks. */
+struct SharedPoolGuard
+{
+    SharedPoolGuard() { ExecContext::resetSharedPoolForTest(); }
+    ~SharedPoolGuard() { ExecContext::resetSharedPoolForTest(); }
+};
+
+TEST(SharedPool, FromEnvLatchesTheFirstValueItSees)
+{
+    SharedPoolGuard guard;
+    ScopedEnv env("SOFTREC_THREADS", "3");
+    EXPECT_EQ(ExecContext::fromEnv().threads(), 3);
+    // The parse is latched: a later env change is ignored until the
+    // pool is explicitly reset.
+    setenv("SOFTREC_THREADS", "5", 1);
+    EXPECT_EQ(ExecContext::fromEnv().threads(), 3);
+    ExecContext::resetSharedPoolForTest();
+    EXPECT_EQ(ExecContext::fromEnv().threads(), 5);
+}
+
+TEST(SharedPool, UnsetOrOneMeansSerialNoPool)
+{
+    SharedPoolGuard guard;
+    {
+        ScopedEnv env("SOFTREC_THREADS", nullptr);
+        EXPECT_TRUE(ExecContext::fromEnv().serial());
+    }
+    ExecContext::resetSharedPoolForTest();
+    {
+        ScopedEnv env("SOFTREC_THREADS", "1");
+        EXPECT_TRUE(ExecContext::fromEnv().serial());
+    }
+}
+
+TEST(SharedPool, ResetJoinsWorkersBeforeProfilerReads)
+{
+    // Profiled parallel work, then a reset, then a snapshot: the
+    // reset joins the pool's workers, which must order every worker's
+    // per-thread profiler slot writes before the merge/snapshot pair
+    // below (the tsan pass proves the ordering, not just the values).
+    SharedPoolGuard guard;
+    ScopedEnv env("SOFTREC_THREADS", "4");
+    prof::Profiler profiler;
+    {
+        ExecContext ctx = ExecContext::fromEnv();
+        ASSERT_EQ(ctx.threads(), 4);
+        ctx.profiler = &profiler;
+        prof::Scope scope(ctx, "test.shared_pool");
+        parallelFor(ctx, 0, 64, 1, [&](int64_t c0, int64_t c1) {
+            scope.addRead(uint64_t(c1 - c0) * 2);
+            scope.addWrite(uint64_t(c1 - c0));
+        });
+    }
+    ExecContext::resetSharedPoolForTest();
+    const prof::ScopeStats stats =
+        profiler.statsFor("test.shared_pool");
+    EXPECT_EQ(stats.calls, 1);
+    EXPECT_EQ(stats.bytesRead, 128u);
+    EXPECT_EQ(stats.bytesWritten, 64u);
+    EXPECT_EQ(stats.maxThreads, 4);
 }
 
 } // namespace

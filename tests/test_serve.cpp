@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Tests of the continuous-batching serving engine: queue backpressure
+ * (reject-with-reason, FIFO, thread safety), scheduler determinism
+ * and token-budget enforcement, slab block recycling, strict serve
+ * configuration, and the batched-equals-serial bit-identity of the
+ * full ServeLoop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/kv_cache.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/serve_loop.hpp"
+
+namespace softrec {
+namespace {
+
+constexpr int64_t kDm = 32;
+
+Tensor<Half>
+randomPrompt(Rng &rng, int64_t tokens, int64_t d_model = kDm)
+{
+    Tensor<Half> prompt(Shape({tokens, d_model}));
+    for (int64_t i = 0; i < prompt.numel(); ++i)
+        prompt.data()[i] = Half(float(rng.normal(0.0, 0.5)));
+    return prompt;
+}
+
+ServeRequest
+makeRequest(Rng &rng, int64_t id, int64_t prompt_tokens,
+            int64_t generate_tokens)
+{
+    ServeRequest request;
+    request.id = id;
+    request.prompt = randomPrompt(rng, prompt_tokens);
+    request.generateTokens = generate_tokens;
+    return request;
+}
+
+/** RAII environment-variable override with restore. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *prev = std::getenv(name);
+        had_ = prev != nullptr;
+        if (had_)
+            saved_ = prev;
+        if (value != nullptr)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, saved_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string saved_;
+};
+
+// --- RequestQueue -----------------------------------------------------
+
+TEST(RequestQueue, RejectsWhenFullWithReason)
+{
+    Rng rng(1);
+    RequestQueue queue(2);
+    EXPECT_TRUE(queue.push(makeRequest(rng, 0, 3, 2)).accepted);
+    EXPECT_TRUE(queue.push(makeRequest(rng, 1, 3, 2)).accepted);
+    const AdmitResult full = queue.push(makeRequest(rng, 2, 3, 2));
+    EXPECT_FALSE(full.accepted);
+    EXPECT_NE(full.reason.find("queue full"), std::string::npos);
+    EXPECT_NE(full.reason.find("capacity 2"), std::string::npos);
+    EXPECT_EQ(queue.accepted(), 2);
+    EXPECT_EQ(queue.rejected(), 1);
+}
+
+TEST(RequestQueue, RejectsInvalidRequestsWithReason)
+{
+    Rng rng(2);
+    RequestQueue queue(4);
+
+    ServeRequest empty_prompt = makeRequest(rng, 0, 3, 2);
+    empty_prompt.prompt = Tensor<Half>();
+    const AdmitResult bad_prompt = queue.push(std::move(empty_prompt));
+    EXPECT_FALSE(bad_prompt.accepted);
+    EXPECT_NE(bad_prompt.reason.find("prompt"), std::string::npos);
+
+    ServeRequest no_tokens = makeRequest(rng, 1, 3, 2);
+    no_tokens.generateTokens = 0;
+    const AdmitResult bad_tokens = queue.push(std::move(no_tokens));
+    EXPECT_FALSE(bad_tokens.accepted);
+    EXPECT_NE(bad_tokens.reason.find("generateTokens"),
+              std::string::npos);
+    EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(RequestQueue, PopsInFifoOrder)
+{
+    Rng rng(3);
+    RequestQueue queue(8);
+    for (int64_t id = 0; id < 5; ++id)
+        ASSERT_TRUE(queue.push(makeRequest(rng, id, 2, 1)).accepted);
+    for (int64_t id = 0; id < 5; ++id) {
+        const auto popped = queue.pop();
+        ASSERT_TRUE(popped.has_value());
+        EXPECT_EQ(popped->id, id);
+    }
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(RequestQueue, ConcurrentProducersNeverBlockOrDrop)
+{
+    // 4 producers x 16 requests into a 32-deep queue: every push must
+    // return (accepted or rejected-with-reason), and accepted count
+    // must equal what pop() can drain. Run under tsan in CI.
+    RequestQueue queue(32);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&queue, p] {
+            Rng rng(100 + p);
+            for (int i = 0; i < 16; ++i) {
+                const AdmitResult result =
+                    queue.push(makeRequest(rng, p * 16 + i, 2, 1));
+                if (!result.accepted) {
+                    EXPECT_FALSE(result.reason.empty());
+                }
+            }
+        });
+    }
+    for (std::thread &producer : producers)
+        producer.join();
+    int64_t drained = 0;
+    while (queue.pop().has_value())
+        ++drained;
+    EXPECT_EQ(drained, queue.accepted());
+    EXPECT_EQ(queue.accepted() + queue.rejected(), 64);
+}
+
+// --- BatchScheduler ---------------------------------------------------
+
+TEST(BatchScheduler, AdmitsFifoIntoLowestSlots)
+{
+    Rng rng(4);
+    RequestQueue queue(8);
+    for (int64_t id = 0; id < 3; ++id)
+        ASSERT_TRUE(queue.push(makeRequest(rng, id, 4, 2)).accepted);
+
+    BatchScheduler scheduler(SchedulerConfig{4, 1024});
+    const std::vector<int64_t> admitted = scheduler.admitFrom(queue);
+    ASSERT_EQ(admitted.size(), 3u);
+    for (int64_t s = 0; s < 3; ++s) {
+        EXPECT_EQ(admitted[size_t(s)], s);
+        EXPECT_EQ(scheduler.slot(s).request.id, s);
+        EXPECT_EQ(scheduler.slot(s).context, 4);
+        EXPECT_EQ(scheduler.slot(s).remaining, 2);
+    }
+    EXPECT_EQ(scheduler.activeTokens(), 12);
+}
+
+TEST(BatchScheduler, HonorsTokenBudgetAndParksTheHead)
+{
+    Rng rng(5);
+    RequestQueue queue(8);
+    // Finishing footprints: 6+2=8, 6+2=8, 6+2=8; budget 20 admits two.
+    for (int64_t id = 0; id < 3; ++id)
+        ASSERT_TRUE(queue.push(makeRequest(rng, id, 6, 2)).accepted);
+
+    BatchScheduler scheduler(SchedulerConfig{4, 20});
+    EXPECT_EQ(scheduler.admitFrom(queue).size(), 2u);
+    EXPECT_FALSE(scheduler.idle()); // head parked, two active
+
+    // No room while both run; the parked head must not be lost.
+    EXPECT_TRUE(scheduler.admitFrom(queue).empty());
+
+    // Both active requests finish after two steps; the parked head
+    // is admitted on the next boundary, preserving FIFO order.
+    scheduler.completeStep();
+    const std::vector<int64_t> evicted = scheduler.completeStep();
+    EXPECT_EQ(evicted.size(), 2u);
+    const std::vector<int64_t> admitted = scheduler.admitFrom(queue);
+    ASSERT_EQ(admitted.size(), 1u);
+    EXPECT_EQ(scheduler.slot(admitted[0]).request.id, 2);
+}
+
+TEST(BatchScheduler, ContinuousAdmissionAfterEviction)
+{
+    Rng rng(6);
+    RequestQueue queue(8);
+    ASSERT_TRUE(queue.push(makeRequest(rng, 0, 2, 1)).accepted);
+    ASSERT_TRUE(queue.push(makeRequest(rng, 1, 2, 3)).accepted);
+    ASSERT_TRUE(queue.push(makeRequest(rng, 2, 2, 1)).accepted);
+
+    BatchScheduler scheduler(SchedulerConfig{2, 1024});
+    EXPECT_EQ(scheduler.admitFrom(queue).size(), 2u);
+    // Step 1 finishes request 0; its slot frees for request 2 while
+    // request 1 keeps running — continuous batching, no drain barrier.
+    const std::vector<int64_t> evicted = scheduler.completeStep();
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 0);
+    const std::vector<int64_t> admitted = scheduler.admitFrom(queue);
+    ASSERT_EQ(admitted.size(), 1u);
+    EXPECT_EQ(admitted[0], 0); // lowest free slot reused
+    EXPECT_EQ(scheduler.slot(0).request.id, 2);
+    EXPECT_EQ(scheduler.slot(1).request.id, 1);
+}
+
+TEST(BatchScheduler, DeterministicUnderAFixedArrivalTrace)
+{
+    // The same arrival trace must produce the same step-by-step batch
+    // composition: replay and compare (slot, id) admission logs.
+    auto replay = [] {
+        Rng rng(7);
+        RequestQueue queue(16);
+        BatchScheduler scheduler(SchedulerConfig{3, 64});
+        std::vector<std::pair<int64_t, int64_t>> admissions;
+        int64_t next_id = 0;
+        for (int64_t step = 0; step < 24; ++step) {
+            if (step % 2 == 0 && next_id < 10) {
+                const int64_t tokens = 3 + next_id % 4;
+                EXPECT_TRUE(
+                    queue.push(makeRequest(rng, next_id, tokens,
+                                           1 + next_id % 3))
+                        .accepted);
+                ++next_id;
+            }
+            for (int64_t slot : scheduler.admitFrom(queue))
+                admissions.emplace_back(
+                    slot, scheduler.slot(slot).request.id);
+            if (!scheduler.activeSlots().empty())
+                scheduler.completeStep();
+        }
+        return admissions;
+    };
+    const auto first = replay();
+    const auto second = replay();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first.size(), 10u); // every request admitted once
+}
+
+// --- KvSlab / KvCache -------------------------------------------------
+
+TEST(KvSlab, RecyclesBlocksAcrossCaches)
+{
+    KvSlab slab(/*block_tokens=*/2, kDm, /*blocks_per_chunk=*/4);
+    std::vector<Half> row(static_cast<size_t>(kDm));
+
+    {
+        KvCache cache(slab, /*num_layers=*/2);
+        for (int t = 0; t < 3; ++t)
+            for (int64_t layer = 0; layer < 2; ++layer)
+                cache.appendRow(layer, row.data(), row.data());
+        // 3 tokens / 2 per block = 2 blocks, x 2 layers x K and V.
+        EXPECT_EQ(slab.blocksInUse(), 8);
+        EXPECT_EQ(cache.context(), 3);
+    }
+    // Cache destruction returns every block without shrinking the
+    // reservation — steady-state serving never re-mallocs.
+    EXPECT_EQ(slab.blocksInUse(), 0);
+    const int64_t reserved = slab.blocksReserved();
+    EXPECT_GE(reserved, 8);
+
+    KvCache reuse(slab, /*num_layers=*/2);
+    for (int t = 0; t < 3; ++t)
+        for (int64_t layer = 0; layer < 2; ++layer)
+            reuse.appendRow(layer, row.data(), row.data());
+    EXPECT_EQ(slab.blocksReserved(), reserved);
+    EXPECT_GT(slab.bytesReserved(), 0);
+}
+
+TEST(KvCache, ViewsAddressRowsAcrossBlockBoundaries)
+{
+    KvSlab slab(/*block_tokens=*/2, kDm);
+    KvCache cache(slab, /*num_layers=*/1);
+    std::vector<Half> k_row(static_cast<size_t>(kDm));
+    std::vector<Half> v_row(static_cast<size_t>(kDm));
+    for (int t = 0; t < 5; ++t) {
+        for (int64_t j = 0; j < kDm; ++j) {
+            k_row[size_t(j)] = Half(float(t * 100 + j));
+            v_row[size_t(j)] = Half(float(-(t * 100 + j)));
+        }
+        cache.appendRow(0, k_row.data(), v_row.data());
+    }
+    const KvRowsView k = cache.kView(0);
+    const KvRowsView v = cache.vView(0);
+    ASSERT_EQ(k.rows, 5);
+    for (int t = 0; t < 5; ++t)
+        for (int64_t j = 0; j < kDm; ++j) {
+            EXPECT_EQ(k.row(t)[j].bits(),
+                      Half(float(t * 100 + j)).bits());
+            EXPECT_EQ(v.row(t)[j].bits(),
+                      Half(float(-(t * 100 + j))).bits());
+        }
+}
+
+// --- ServeConfig ------------------------------------------------------
+
+TEST(ServeConfig, EnvOverridesApply)
+{
+    ScopedEnv rows("SOFTREC_SERVE_BATCH_ROWS", "8");
+    ScopedEnv budget("SOFTREC_SERVE_TOKEN_BUDGET", "512");
+    ScopedEnv cap("SOFTREC_SERVE_QUEUE_CAP", "5");
+    ScopedEnv threads("SOFTREC_THREADS", nullptr);
+    const ServeConfig config = ServeConfig::fromEnv();
+    EXPECT_EQ(config.maxBatchRows, 8);
+    EXPECT_EQ(config.tokenBudget, 512);
+    EXPECT_EQ(config.queueCapacity, 5);
+}
+
+TEST(ServeConfig, MalformedValuesAreHardErrorsNotFallbacks)
+{
+    ScopedEnv threads("SOFTREC_THREADS", nullptr);
+    {
+        ScopedEnv rows("SOFTREC_SERVE_BATCH_ROWS", "lots");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+    {
+        ScopedEnv budget("SOFTREC_SERVE_TOKEN_BUDGET", "0");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+    {
+        ScopedEnv cap("SOFTREC_SERVE_QUEUE_CAP", "-3");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+}
+
+TEST(ServeConfig, InvalidThreadsIsAStartupErrorNotSerialFallback)
+{
+    ScopedEnv threads("SOFTREC_THREADS", "sixteen");
+    EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+}
+
+// --- ServeLoop --------------------------------------------------------
+
+DecoderStack
+testStack(uint64_t seed = 19)
+{
+    Rng rng(seed);
+    return DecoderStack::random(kDm, /*num_heads=*/2, /*d_ff=*/48,
+                                /*num_layers=*/2, rng);
+}
+
+/** Submit the same 5-request trace and drain it. */
+ServeSummary
+drainTrace(const DecoderStack &stack, int64_t batch_rows)
+{
+    ServeConfig config;
+    config.maxBatchRows = batch_rows;
+    config.tokenBudget = 1024;
+    config.kvBlockTokens = 4;
+    ServeLoop loop(ExecContext(), stack, config);
+    Rng rng(21); // identical prompts in every run
+    for (int64_t id = 0; id < 5; ++id) {
+        const AdmitResult admit = loop.submit(
+            makeRequest(rng, id, 3 + id % 3, 2 + id % 2));
+        EXPECT_TRUE(admit.accepted) << admit.reason;
+    }
+    return loop.run();
+}
+
+TEST(ServeLoop, DrainsEveryRequestAndReportsThroughput)
+{
+    const DecoderStack stack = testStack();
+    const ServeSummary summary = drainTrace(stack, 4);
+    EXPECT_EQ(summary.requestsServed, 5);
+    // Σ generateTokens for ids 0..4: 2+3+2+3+2.
+    EXPECT_EQ(summary.tokensGenerated, 12);
+    EXPECT_GT(summary.decodeSteps, 0);
+    EXPECT_GT(summary.tokensPerSecond, 0.0);
+    EXPECT_GE(summary.p95LatencySeconds, summary.p50LatencySeconds);
+    ASSERT_EQ(summary.requests.size(), 5u);
+    for (const RequestStats &stats : summary.requests) {
+        EXPECT_GE(stats.latencySeconds(), 0.0);
+        EXPECT_EQ(stats.finalRow.shape(), Shape({1, kDm}));
+    }
+}
+
+TEST(ServeLoop, BatchedServingIsBitIdenticalToSerial)
+{
+    // The same trace served one-at-a-time and continuously batched
+    // must generate identical final rows: batching is a scheduling
+    // decision, never a numerics decision.
+    const DecoderStack stack = testStack();
+    auto rows_by_id = [](const ServeSummary &summary) {
+        std::map<int64_t, std::vector<uint16_t>> rows;
+        for (const RequestStats &stats : summary.requests) {
+            std::vector<uint16_t> bits;
+            for (int64_t j = 0; j < kDm; ++j)
+                bits.push_back(stats.finalRow.at(0, j).bits());
+            rows[stats.id] = bits;
+        }
+        return rows;
+    };
+    const auto serial = rows_by_id(drainTrace(stack, 1));
+    const auto batched = rows_by_id(drainTrace(stack, 4));
+    ASSERT_EQ(serial.size(), 5u);
+    EXPECT_EQ(serial, batched);
+}
+
+TEST(ServeLoop, SubmitRejectsImpossibleRequests)
+{
+    const DecoderStack stack = testStack();
+    ServeConfig config;
+    config.tokenBudget = 16;
+    ServeLoop loop(ExecContext(), stack, config);
+    Rng rng(31);
+
+    const AdmitResult too_big =
+        loop.submit(makeRequest(rng, 0, 14, 4));
+    EXPECT_FALSE(too_big.accepted);
+    EXPECT_NE(too_big.reason.find("token budget"), std::string::npos);
+
+    ServeRequest wrong_width = makeRequest(rng, 1, 3, 1);
+    wrong_width.prompt = randomPrompt(rng, 3, kDm * 2);
+    const AdmitResult mismatched = loop.submit(std::move(wrong_width));
+    EXPECT_FALSE(mismatched.accepted);
+    EXPECT_NE(mismatched.reason.find("dModel"), std::string::npos);
+}
+
+TEST(ServeLoop, SlabDrainsBackToZeroAfterRun)
+{
+    const DecoderStack stack = testStack();
+    ServeConfig config;
+    config.maxBatchRows = 3;
+    config.tokenBudget = 1024;
+    config.kvBlockTokens = 2;
+    ServeLoop loop(ExecContext(), stack, config);
+    Rng rng(37);
+    for (int64_t id = 0; id < 4; ++id)
+        ASSERT_TRUE(
+            loop.submit(makeRequest(rng, id, 4, 2)).accepted);
+    const ServeSummary summary = loop.run();
+    EXPECT_EQ(summary.requestsServed, 4);
+    EXPECT_EQ(loop.slab().blocksInUse(), 0);
+    EXPECT_GT(loop.slab().blocksReserved(), 0);
+    EXPECT_EQ(loop.queue().size(), 0);
+}
+
+} // namespace
+} // namespace softrec

@@ -49,6 +49,7 @@ import tempfile
 # form exp(x - m) with m the running/local/global max.
 RAW_EXP_ALLOWED_FILES = {
     "src/kernels/softmax_kernels.cpp",
+    "src/kernels/decode_attention.cpp",
     "src/kernels/bsr_softmax.cpp",
     "src/kernels/bsr_gemm.cpp",
     "src/kernels/gemm.cpp",
