@@ -3,8 +3,10 @@
 # that contains this script. Stages:
 #
 #   1. clang-format check     (skipped if clang-format is absent)
-#   2. softrec_lint           (domain numerics/hygiene lint + self-test)
-#   3. clang-tidy             (skipped if clang-tidy is absent)
+#   2. softrec_analyze        (multi-pass static analyzer: fixture
+#      self-test, then the tree gate — zero unbaselined findings)
+#   3. clang-tidy             (skipped if clang-tidy is absent), then
+#      cppcheck               (skipped if cppcheck is absent)
 #   4. release build + tests  (-DSOFTREC_WERROR=ON), run three times:
 #      serial, SOFTREC_THREADS=4 to exercise the thread pool, then
 #      SOFTREC_SIMD=off to pin the scalar conversion fallback
@@ -22,8 +24,8 @@
 #
 # Every stage must pass; the script stops at the first failure.
 # A toolchain without clang still runs stages 2 and 4-6, which are the
-# load-bearing ones: the domain lint, the warning-clean release build,
-# the invariant-checked build, and the sanitized suite.
+# load-bearing ones: the static analyzer, the warning-clean release
+# build, the invariant-checked build, and the sanitized suite.
 
 set -euo pipefail
 
@@ -41,11 +43,15 @@ else
     echo "clang-format not found; SKIP"
 fi
 
-step "softrec_lint self-test"
-python3 tools/softrec_lint.py --self-test
+step "softrec_analyze self-test (fixtures, tokenizer, SARIF, baseline)"
+python3 tools/softrec_analyze --self-test
 
-step "softrec_lint over src/"
-python3 tools/softrec_lint.py --root "${ROOT}"
+step "softrec_analyze over src/ (zero unbaselined findings)"
+python3 tools/softrec_analyze --root "${ROOT}"
+
+step "softrec_lint compat shim"
+python3 tools/softrec_lint.py --self-test >/dev/null
+echo "softrec_lint shim: OK"
 
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -53,6 +59,17 @@ if command -v clang-tidy >/dev/null 2>&1; then
     python3 scripts/run_clang_tidy.py --build-dir build/tidy
 else
     echo "clang-tidy not found; SKIP"
+fi
+
+step "cppcheck"
+if command -v cppcheck >/dev/null 2>&1; then
+    cppcheck --enable=warning,performance,portability --std=c++17 \
+        --language=c++ -q --inline-suppr --error-exitcode=1 \
+        --suppressions-list=tools/cppcheck_suppressions.txt \
+        -I src src/
+    echo "cppcheck: OK"
+else
+    echo "cppcheck not found; SKIP"
 fi
 
 step "release build (WERROR) + tests"

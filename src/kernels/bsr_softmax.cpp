@@ -125,16 +125,23 @@ bsrRowSoftmaxRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
     // segment s of the row holds block rowBegin+s's bs elements. exp
     // values overwrite the staging row during the normalizer pass and
     // are reused by the scale pass (one exp per element, not two).
-    std::vector<float> row;
+    // Sized once per chunk to the widest block row (not re-resized
+    // per row, which would put the allocator inside the row loop);
+    // only the current row's row_len prefix is live.
+    int64_t max_nnz = 0;
+    for (int64_t br = br0; br < br1; ++br)
+        max_nnz = std::max(max_nnz,
+                           layout.rowEnd(br) - layout.rowBegin(br));
+    std::vector<float> row(size_t(max_nnz * bs));
     for (int64_t br = br0; br < br1; ++br) {
         const int64_t row_nnz = layout.rowEnd(br) - layout.rowBegin(br);
+        const size_t row_len = size_t(row_nnz * bs);
         if (scope.active()) {
             const uint64_t row_bytes =
                 uint64_t(row_nnz) * uint64_t(bs * bs) * kFp16Bytes;
             scope.addRead(row_bytes);
             scope.addWrite(row_bytes);
         }
-        row.resize(size_t(row_nnz * bs));
         for (int64_t i = 0; i < bs; ++i) {
             for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
                  ++k) {
@@ -143,17 +150,17 @@ bsrRowSoftmaxRun(const ExecContext &ctx, const BsrSoftmaxDesc &desc,
                             &row[size_t(s * bs)], bs);
             }
             float max_val = kNegInf;
-            for (size_t x = 0; x < row.size(); ++x)
+            for (size_t x = 0; x < row_len; ++x)
                 max_val = std::max(max_val, row[x]);
             float denom = 0.0f;
-            for (size_t x = 0; x < row.size(); ++x) {
+            for (size_t x = 0; x < row_len; ++x) {
                 const float e = max_val == kNegInf
                     ? 0.0f
                     : std::exp(row[x] - max_val);
                 row[x] = e;
                 denom += e;
             }
-            for (size_t x = 0; x < row.size(); ++x)
+            for (size_t x = 0; x < row_len; ++x)
                 row[x] = denom > 0.0f ? row[x] / denom : 0.0f;
             for (int64_t k = layout.rowBegin(br); k < layout.rowEnd(br);
                  ++k) {

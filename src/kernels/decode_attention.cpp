@@ -24,6 +24,7 @@
 
 #include "kernels/decode_attention.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -38,7 +39,8 @@ namespace softrec {
 void
 decodeAttendRun(const ExecContext &ctx, const DecodeAttendDesc &desc,
                 const Half *q_row, const KvRowsView &k,
-                const KvRowsView &v, Half *out)
+                const KvRowsView &v, Half *out,
+                DecodeAttendWorkspace *ws)
 {
     const int64_t dh = desc.dHead;
     const int64_t context = k.rows;
@@ -59,10 +61,13 @@ decodeAttendRun(const ExecContext &ctx, const DecodeAttendDesc &desc,
         scope.addWrite(uint64_t(dh) * kFp16Bytes);
     }
 
-    std::vector<float> qf(static_cast<size_t>(dh));
-    std::vector<float> lane(static_cast<size_t>(dh));
-    std::vector<float> row(static_cast<size_t>(context));
-    std::vector<Half> row_h(static_cast<size_t>(context));
+    DecodeAttendWorkspace local;
+    DecodeAttendWorkspace &w = ws != nullptr ? *ws : local;
+    w.prepare(dh, context);
+    std::vector<float> &qf = w.qf;
+    std::vector<float> &lane = w.lane;
+    std::vector<float> &row = w.row;
+    std::vector<Half> &row_h = w.rowH;
     halfToFloat(q_row, qf.data(), dh);
 
     // Scores: q . K^T with the scale epilogue, stored through fp16.
@@ -100,7 +105,8 @@ decodeAttendRun(const ExecContext &ctx, const DecodeAttendDesc &desc,
 
     // Output: P . V in ascending key order per output element.
     halfToFloat(row_h.data(), row.data(), context);
-    std::vector<float> acc(size_t(dh), 0.0f);
+    std::vector<float> &acc = w.acc;
+    std::fill(acc.begin(), acc.end(), 0.0f);
     for (int64_t pos = 0; pos < context; ++pos) {
         halfToFloat(v.row(pos) + desc.headOffset, lane.data(), dh);
         const float p = row[size_t(pos)];

@@ -20,6 +20,7 @@
 #define SOFTREC_KERNELS_DECODE_ATTENTION_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "common/exec_context.hpp"
 #include "fp16/half.hpp"
@@ -57,6 +58,36 @@ struct DecodeAttendDesc
 };
 
 /**
+ * Reusable staging buffers for decodeAttendRun. The kernel runs once
+ * per (request, head) every decode step, so allocating its fp32
+ * staging rows inside the call would put ~5 mallocs on the per-token
+ * path; callers that decode in a loop keep one workspace per worker
+ * slot (ExecContext::currentThreadSlot()) and pass it in. prepare()
+ * only reallocates when the context outgrows the high-water mark,
+ * which with vector's geometric growth amortizes to zero as the
+ * cache fills.
+ */
+struct DecodeAttendWorkspace
+{
+    std::vector<float> qf;    //!< query row, fp32, dHead
+    std::vector<float> lane;  //!< one cached row's head slice, fp32
+    std::vector<float> row;   //!< score/probability row, fp32
+    std::vector<Half> rowH;   //!< fp16 round-trip of the score row
+    std::vector<float> acc;   //!< output accumulator, fp32, dHead
+
+    /** Size every buffer for one (dHead, context) problem. */
+    void
+    prepare(int64_t d_head, int64_t context)
+    {
+        qf.resize(size_t(d_head));
+        lane.resize(size_t(d_head));
+        row.resize(size_t(context));
+        rowH.resize(size_t(context));
+        acc.resize(size_t(d_head));
+    }
+};
+
+/**
  * One head's decode-step attention: score the query row against every
  * cached K row, safe-softmax the score row, and reduce against the
  * cached V rows.
@@ -65,11 +96,14 @@ struct DecodeAttendDesc
  * @param k,v   cached rows; both views must have rows >= 1 (the
  *              current token's K/V must already be appended)
  * @param out   destination, dHead halfs
+ * @param ws    staging buffers to reuse; nullptr makes the call
+ *              allocate its own (fine for tests, not for the decode
+ *              loop)
  */
 void decodeAttendRun(const ExecContext &ctx,
                      const DecodeAttendDesc &desc, const Half *q_row,
                      const KvRowsView &k, const KvRowsView &v,
-                     Half *out);
+                     Half *out, DecodeAttendWorkspace *ws = nullptr);
 
 } // namespace softrec
 

@@ -193,10 +193,31 @@ runPrefill(const ExecContext &ctx, const DecoderStack &stack,
     return x;
 }
 
-Tensor<Half>
-runDecodeStep(const ExecContext &ctx, const DecoderStack &stack,
-              const Tensor<Half> &inputs,
-              const std::vector<KvCache *> &caches)
+void
+DecodeStepWorkspace::prepare(const DecoderStack &stack, int64_t rows)
+{
+    const int64_t dm = stack.config.dModel;
+    const Shape rd({rows, dm});
+    x.resize(rd);
+    q.resize(rd);
+    k.resize(rd);
+    v.resize(rd);
+    attention.resize(rd);
+    projected.resize(rd);
+    postAttn.resize(rd);
+    hidden.resize(rd);
+    ff1.resize(Shape({rows, stack.config.dFf}));
+    ff2.resize(rd);
+    out.resize(rd);
+    if (int64_t(attend.size()) < int64_t(maxThreadSlots()))
+        attend.resize(size_t(maxThreadSlots()));
+}
+
+void
+runDecodeStepInto(const ExecContext &ctx, const DecoderStack &stack,
+                  const Tensor<Half> &inputs,
+                  const std::vector<KvCache *> &caches,
+                  DecodeStepWorkspace &ws, Tensor<Half> &outputs)
 {
     checkFunctionalStack(stack);
     const int64_t rows = inputs.shape().dim(0);
@@ -221,29 +242,33 @@ runDecodeStep(const ExecContext &ctx, const DecoderStack &stack,
     attend.dHead = dh;
     attend.scale = 1.0 / std::sqrt(double(dh));
 
-    Tensor<Half> x = inputs;
+    ws.prepare(stack, rows);
+    std::copy(inputs.data(), inputs.data() + inputs.numel(),
+              ws.x.data());
+    Tensor<Half> &x = ws.x;
     for (size_t l = 0; l < stack.layers.size(); ++l) {
         const EncoderLayerWeights &w = stack.layers[l];
 
         // Batched projections: the packed GEMM computes each output
         // row independently, so these match single-request runs bit
         // for bit (and the prefill's projections of the same rows).
-        const Tensor<Half> q =
-            projectRows(ctx, "fc.q", x, w.wq, w.bq);
-        const Tensor<Half> k =
-            projectRows(ctx, "fc.k", x, w.wk, w.bk);
-        const Tensor<Half> v =
-            projectRows(ctx, "fc.v", x, w.wv, w.bv);
+        projectRowsInto(ctx, "fc.q", x, w.wq, w.bq, false, ws.q);
+        projectRowsInto(ctx, "fc.k", x, w.wk, w.bk, false, ws.k);
+        projectRowsInto(ctx, "fc.v", x, w.wv, w.bv, false, ws.v);
         for (int64_t r = 0; r < rows; ++r)
-            caches[size_t(r)]->appendRow(int64_t(l), k.rowPtr(r),
-                                         v.rowPtr(r));
+            caches[size_t(r)]->appendRow(int64_t(l), ws.k.rowPtr(r),
+                                         ws.v.rowPtr(r));
 
         // (request, head) attention rows are independent problems
         // writing disjoint output slices; grain 1 mirrors the
-        // encoder layer's per-head parallelism.
-        Tensor<Half> attention(Shape({rows, dm}));
+        // encoder layer's per-head parallelism. Staging buffers come
+        // from the per-worker-slot pool: chunks on the same worker
+        // run sequentially, so the slot's workspace is never shared,
+        // and its contents are dead between calls.
         parallelFor(ctx, 0, rows * heads, 1,
                     [&](int64_t i0, int64_t i1) {
+            DecodeAttendWorkspace &attend_ws =
+                ws.attend[size_t(currentThreadSlot())];
             for (int64_t i = i0; i < i1; ++i) {
                 const int64_t r = i / heads;
                 const int64_t h = i % heads;
@@ -251,32 +276,41 @@ runDecodeStep(const ExecContext &ctx, const DecoderStack &stack,
                 head.headOffset = h * dh;
                 const KvCache &cache = *caches[size_t(r)];
                 decodeAttendRun(ctx, head,
-                                q.rowPtr(r) + h * dh,
+                                ws.q.rowPtr(r) + h * dh,
                                 cache.kView(int64_t(l)),
                                 cache.vView(int64_t(l)),
-                                attention.rowPtr(r) + h * dh);
+                                ws.attention.rowPtr(r) + h * dh,
+                                &attend_ws);
             }
         });
 
-        const Tensor<Half> projected =
-            projectRows(ctx, "fc.out", attention, w.wo, w.bo);
-        Tensor<Half> post_attn(x.shape());
-        residualAddRun(ctx, x, projected, post_attn);
-        Tensor<Half> hidden(x.shape());
-        layerNormRun(ctx, post_attn, w.gamma1, w.beta1, hidden);
+        projectRowsInto(ctx, "fc.out", ws.attention, w.wo, w.bo,
+                        false, ws.projected);
+        residualAddRun(ctx, x, ws.projected, ws.postAttn);
+        layerNormRun(ctx, ws.postAttn, w.gamma1, w.beta1, ws.hidden);
 
-        const Tensor<Half> ff1 = projectRows(ctx, "ff.1", hidden,
-                                             w.w1, w.b1,
-                                             /*gelu=*/true);
-        const Tensor<Half> ff2 =
-            projectRows(ctx, "ff.2", ff1, w.w2, w.b2);
-        Tensor<Half> post_ff(x.shape());
-        residualAddRun(ctx, hidden, ff2, post_ff);
-        Tensor<Half> out(x.shape());
-        layerNormRun(ctx, post_ff, w.gamma2, w.beta2, out);
-        x = out;
+        projectRowsInto(ctx, "ff.1", ws.hidden, w.w1, w.b1,
+                        /*gelu=*/true, ws.ff1);
+        projectRowsInto(ctx, "ff.2", ws.ff1, w.w2, w.b2, false,
+                        ws.ff2);
+        residualAddRun(ctx, ws.hidden, ws.ff2, ws.postAttn);
+        layerNormRun(ctx, ws.postAttn, w.gamma2, w.beta2, ws.out);
+        std::swap(ws.x, ws.out);
     }
-    return x;
+    // Hand the result storage to the caller and keep its old buffer
+    // as next step's scratch — no copy, no allocation.
+    std::swap(outputs, ws.x);
+}
+
+Tensor<Half>
+runDecodeStep(const ExecContext &ctx, const DecoderStack &stack,
+              const Tensor<Half> &inputs,
+              const std::vector<KvCache *> &caches)
+{
+    DecodeStepWorkspace ws;
+    Tensor<Half> outputs;
+    runDecodeStepInto(ctx, stack, inputs, caches, ws, outputs);
+    return outputs;
 }
 
 } // namespace softrec

@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "kernels/decode_attention.hpp"
 #include "model/engine.hpp"
 #include "model/functional_layer.hpp"
 #include "serve/kv_cache.hpp"
@@ -111,18 +112,63 @@ Tensor<Half> runPrefill(const ExecContext &ctx,
                         const Tensor<Half> &prompt, KvCache &cache);
 
 /**
+ * Step-lifetime buffers for runDecodeStepInto: every intermediate a
+ * decode step produces (projections, attention output, residual and
+ * LayerNorm results) plus one DecodeAttendWorkspace per worker slot.
+ * A serving loop keeps one of these across its whole drain; after the
+ * buffers reach their high-water shape (max batch rows, max context),
+ * stepping allocates nothing.
+ */
+struct DecodeStepWorkspace
+{
+    Tensor<Half> x;         //!< layer input/output, [R, dModel]
+    Tensor<Half> q, k, v;   //!< projections, [R, dModel]
+    Tensor<Half> attention; //!< concatenated head outputs
+    Tensor<Half> projected; //!< fc.out result
+    Tensor<Half> postAttn;  //!< x + attention
+    Tensor<Half> hidden;    //!< post-attention LayerNorm
+    Tensor<Half> ff1;       //!< [R, dFf]
+    Tensor<Half> ff2;       //!< [R, dModel]
+    Tensor<Half> out;       //!< post-FF LayerNorm
+    //! One attention staging workspace per worker slot, indexed by
+    //! ExecContext::currentThreadSlot() inside the head loop.
+    std::vector<DecodeAttendWorkspace> attend;
+
+    /** Size every buffer for an R-row step of `stack`. */
+    void prepare(const DecoderStack &stack, int64_t rows);
+};
+
+/**
  * One decode step for a batch of R independent requests: row r of
  * `inputs` is request r's current token embedding and `caches[r]` its
  * KV cache. Appends each request's new K/V rows, attends over the
- * cached prefix in place (no recompute), and returns the next token
- * embedding per request, [R, dModel].
+ * cached prefix in place (no recompute), and leaves the next token
+ * embedding per request, [R, dModel], in `outputs`.
  *
  * Bit-identity: the projections run as one batched GEMM over all R
  * rows, which the packed GEMM computes row-independently, and every
  * per-request stage (cached attention, residual, LayerNorm, FF) is
  * row-local — so each row equals the last row of a full-prefix
  * recompute of that request alone, bit for bit, for any batch
- * composition, thread count, and SIMD backend.
+ * composition, thread count, and SIMD backend. The workspace only
+ * carries scratch buffers, never values across steps, so reusing it
+ * cannot change results.
+ *
+ * @param ws      step buffers, resized (capacity-reusing) here
+ * @param outputs receives the step result via buffer swap; any prior
+ *                shape/contents are consumed as scratch
+ */
+void runDecodeStepInto(const ExecContext &ctx,
+                       const DecoderStack &stack,
+                       const Tensor<Half> &inputs,
+                       const std::vector<KvCache *> &caches,
+                       DecodeStepWorkspace &ws, Tensor<Half> &outputs);
+
+/**
+ * Convenience wrapper over runDecodeStepInto with a call-lifetime
+ * workspace: same results, but pays the workspace allocations every
+ * call. Tests and one-shot callers use this; a serving loop should
+ * hold a DecodeStepWorkspace and call runDecodeStepInto.
  */
 Tensor<Half> runDecodeStep(const ExecContext &ctx,
                            const DecoderStack &stack,

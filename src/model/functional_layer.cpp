@@ -57,10 +57,11 @@ EncoderLayerWeights::random(int64_t d_model, int64_t d_ff, Rng &rng)
     return w;
 }
 
-Tensor<Half>
-projectRows(const ExecContext &ctx, const char *name,
-            const Tensor<Half> &x, const Tensor<Half> &w,
-            const Tensor<float> &bias, bool gelu)
+void
+projectRowsInto(const ExecContext &ctx, const char *name,
+                const Tensor<Half> &x, const Tensor<Half> &w,
+                const Tensor<float> &bias, bool gelu,
+                Tensor<Half> &out)
 {
     GemmDesc desc;
     desc.name = name;
@@ -76,8 +77,22 @@ projectRows(const ExecContext &ctx, const char *name,
     ops.a = &x;
     ops.b = &w;
     ops.bias = &bias;
-    Tensor<Half> out(Shape({desc.m, desc.n}));
+    SOFTREC_ASSERT(out.shape().rank() == 2 &&
+                   out.shape().dim(0) == desc.m &&
+                   out.shape().dim(1) == desc.n,
+                   "projectRowsInto %s: out must be [%lld, %lld], "
+                   "got %s", name, (long long)desc.m,
+                   (long long)desc.n, out.shape().toString().c_str());
     gemmRun(ctx, desc, ops, out);
+}
+
+Tensor<Half>
+projectRows(const ExecContext &ctx, const char *name,
+            const Tensor<Half> &x, const Tensor<Half> &w,
+            const Tensor<float> &bias, bool gelu)
+{
+    Tensor<Half> out(Shape({x.shape().dim(0), w.shape().dim(1)}));
+    projectRowsInto(ctx, name, x, w, bias, gelu, out);
     return out;
 }
 

@@ -100,6 +100,17 @@ Tensor<Half> projectRows(const ExecContext &ctx, const char *name,
                          const Tensor<Half> &x, const Tensor<Half> &w,
                          const Tensor<float> &bias, bool gelu = false);
 
+/**
+ * projectRows into a caller-owned output tensor (pre-sized to
+ * [rows, n]), so callers on the per-token decode path can reuse a
+ * step-lifetime buffer instead of allocating a fresh tensor per
+ * projection. Bit-identical to projectRows.
+ */
+void projectRowsInto(const ExecContext &ctx, const char *name,
+                     const Tensor<Half> &x, const Tensor<Half> &w,
+                     const Tensor<float> &bias, bool gelu,
+                     Tensor<Half> &out);
+
 } // namespace softrec
 
 #endif // SOFTREC_MODEL_FUNCTIONAL_LAYER_HPP

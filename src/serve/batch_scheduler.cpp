@@ -34,6 +34,15 @@ BatchScheduler::BatchScheduler(const SchedulerConfig &config)
 std::vector<int64_t>
 BatchScheduler::admitFrom(RequestQueue &queue)
 {
+    std::vector<int64_t> admitted;
+    admitFrom(queue, &admitted);
+    return admitted;
+}
+
+void
+BatchScheduler::admitFrom(RequestQueue &queue,
+                          std::vector<int64_t> *admitted_out)
+{
     // Admission reserves each request's *finishing* footprint, not its
     // current one: contexts only grow and there is no preemption, so
     // this is the weakest test that still guarantees the budget holds
@@ -43,7 +52,8 @@ BatchScheduler::admitFrom(RequestQueue &queue)
         if (slot.active)
             reserved += finishingTokens(slot);
 
-    std::vector<int64_t> admitted;
+    std::vector<int64_t> &admitted = *admitted_out;
+    admitted.clear();
     while (activeRows() < config_.maxBatchRows) {
         std::optional<ServeRequest> request = std::move(parked_);
         parked_.reset();
@@ -78,13 +88,21 @@ BatchScheduler::admitFrom(RequestQueue &queue)
             break;
         }
     }
-    return admitted;
 }
 
 std::vector<int64_t>
 BatchScheduler::completeStep()
 {
     std::vector<int64_t> evicted;
+    completeStep(&evicted);
+    return evicted;
+}
+
+void
+BatchScheduler::completeStep(std::vector<int64_t> *evicted_out)
+{
+    std::vector<int64_t> &evicted = *evicted_out;
+    evicted.clear();
     for (int64_t s = 0; s < int64_t(slots_.size()); ++s) {
         BatchSlot &slot = slots_[size_t(s)];
         if (!slot.active)
@@ -96,17 +114,24 @@ BatchScheduler::completeStep()
             evicted.push_back(s);
         }
     }
-    return evicted;
 }
 
 std::vector<int64_t>
 BatchScheduler::activeSlots() const
 {
     std::vector<int64_t> active;
+    activeSlots(&active);
+    return active;
+}
+
+void
+BatchScheduler::activeSlots(std::vector<int64_t> *active_out) const
+{
+    std::vector<int64_t> &active = *active_out;
+    active.clear();
     for (int64_t s = 0; s < int64_t(slots_.size()); ++s)
         if (slots_[size_t(s)].active)
             active.push_back(s);
-    return active;
 }
 
 int64_t

@@ -66,6 +66,14 @@ class BatchScheduler
     std::vector<int64_t> admitFrom(RequestQueue &queue);
 
     /**
+     * admitFrom into a caller-owned vector (cleared first). The
+     * serving loop reuses one vector across steps so admission does
+     * not allocate on the steady-state decode path.
+     */
+    void admitFrom(RequestQueue &queue,
+                   std::vector<int64_t> *admitted);
+
+    /**
      * Account one completed decode step: every active slot gains one
      * context token and loses one remaining step. Slots that reach
      * remaining == 0 are evicted; their indices are returned (in slot
@@ -73,8 +81,14 @@ class BatchScheduler
      */
     std::vector<int64_t> completeStep();
 
+    /** completeStep into a caller-owned vector (cleared first). */
+    void completeStep(std::vector<int64_t> *evicted);
+
     /** Active slot indices in ascending order. */
     std::vector<int64_t> activeSlots() const;
+
+    /** activeSlots into a caller-owned vector (cleared first). */
+    void activeSlots(std::vector<int64_t> *active) const;
 
     const BatchSlot &
     slot(int64_t index) const

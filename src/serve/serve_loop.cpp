@@ -147,60 +147,41 @@ ServeLoop::prefillSlot(int64_t slot_index)
         state.nextInput.at(0, j) = out.at(last, j);
 }
 
-ServeSummary
-ServeLoop::run()
+void
+ServeLoop::gatherStepInputs(const std::vector<int64_t> &active)
 {
-    prof::Scope scope(ctx_, "serve.run");
-    const double start = nowSeconds();
+    // One continuous-batching step: concatenate every active slot's
+    // pending input row (slot order keeps the composition
+    // deterministic). The buffers are members, so the resizes below
+    // only touch the allocator while the active-row count is still
+    // climbing toward its high-water mark.
     const int64_t dm = stack_.config.dModel;
-    ServeSummary summary;
-
-    while (true) {
-        for (int64_t slot_index : scheduler_.admitFrom(queue_))
-            prefillSlot(slot_index);
-
-        const std::vector<int64_t> active = scheduler_.activeSlots();
-        if (active.empty())
-            break;
-
-        // One continuous-batching step: concatenate every active
-        // slot's pending input row (slot order keeps the composition
-        // deterministic) and advance them together.
-        Tensor<Half> inputs(
-            Shape({int64_t(active.size()), dm}));
-        std::vector<KvCache *> caches;
-        caches.reserve(active.size());
-        for (size_t r = 0; r < active.size(); ++r) {
-            const SlotState &state = slots_[size_t(active[r])];
-            for (int64_t j = 0; j < dm; ++j)
-                inputs.at(int64_t(r), j) = state.nextInput.at(0, j);
-            caches.push_back(state.cache.get());
-        }
-
-        Tensor<Half> outputs;
-        {
-            prof::Scope step(ctx_, "serve.step");
-            outputs = runDecodeStep(ctx_, stack_, inputs, caches);
-        }
-        ++summary.decodeSteps;
-        summary.tokensGenerated += int64_t(active.size());
-        for (size_t r = 0; r < active.size(); ++r) {
-            SlotState &state = slots_[size_t(active[r])];
-            for (int64_t j = 0; j < dm; ++j)
-                state.nextInput.at(0, j) = outputs.at(int64_t(r), j);
-        }
-
-        for (int64_t slot_index : scheduler_.completeStep()) {
-            SlotState &state = slots_[size_t(slot_index)];
-            state.stats.finishSeconds = nowSeconds();
-            state.stats.finalRow = state.nextInput;
-            state.cache.reset(); // blocks return to the slab now
-            state.nextInput = Tensor<Half>();
-            summary.requests.push_back(state.stats);
-            ++summary.requestsServed;
-        }
+    stepInputs_.resize(Shape({int64_t(active.size()), dm}));
+    stepCaches_.resize(active.size());
+    for (size_t r = 0; r < active.size(); ++r) {
+        const SlotState &state = slots_[size_t(active[r])];
+        std::copy(state.nextInput.rowPtr(0),
+                  state.nextInput.rowPtr(0) + dm,
+                  stepInputs_.rowPtr(int64_t(r)));
+        stepCaches_[r] = state.cache.get();
     }
+}
 
+void
+ServeLoop::finishSlot(int64_t slot_index, ServeSummary &summary)
+{
+    SlotState &state = slots_[size_t(slot_index)];
+    state.stats.finishSeconds = nowSeconds();
+    state.stats.finalRow = state.nextInput;
+    state.cache.reset(); // blocks return to the slab now
+    state.nextInput = Tensor<Half>();
+    summary.requests.push_back(state.stats);
+    ++summary.requestsServed;
+}
+
+void
+ServeLoop::finalizeSummary(ServeSummary &summary, double start) const
+{
     summary.seconds = nowSeconds() - start;
     summary.tokensPerSecond =
         summary.seconds > 0.0
@@ -212,6 +193,46 @@ ServeLoop::run()
         latencies.push_back(stats.latencySeconds());
     summary.p50LatencySeconds = percentileSeconds(latencies, 0.50);
     summary.p95LatencySeconds = percentileSeconds(latencies, 0.95);
+}
+
+ServeSummary
+ServeLoop::run()
+{
+    prof::Scope scope(ctx_, "serve.run");
+    const double start = nowSeconds();
+    const int64_t dm = stack_.config.dModel;
+    ServeSummary summary;
+
+    while (true) {
+        scheduler_.admitFrom(queue_, &admitted_);
+        for (int64_t slot_index : admitted_)
+            prefillSlot(slot_index);
+
+        scheduler_.activeSlots(&active_);
+        if (active_.empty())
+            break;
+
+        gatherStepInputs(active_);
+        {
+            prof::Scope step(ctx_, "serve.step");
+            runDecodeStepInto(ctx_, stack_, stepInputs_, stepCaches_,
+                              stepWs_, stepOutputs_);
+        }
+        ++summary.decodeSteps;
+        summary.tokensGenerated += int64_t(active_.size());
+        for (size_t r = 0; r < active_.size(); ++r) {
+            SlotState &state = slots_[size_t(active_[r])];
+            std::copy(stepOutputs_.rowPtr(int64_t(r)),
+                      stepOutputs_.rowPtr(int64_t(r)) + dm,
+                      state.nextInput.rowPtr(0));
+        }
+
+        scheduler_.completeStep(&finished_);
+        for (int64_t slot_index : finished_)
+            finishSlot(slot_index, summary);
+    }
+
+    finalizeSummary(summary, start);
     return summary;
 }
 

@@ -118,6 +118,17 @@ class ServeLoop
     };
 
     void prefillSlot(int64_t slot_index);
+    //! Compose the active rows' pending inputs into stepInputs_ and
+    //! their caches into stepCaches_ (capacity-reusing resizes; off
+    //! run()'s steady-state alloc-free path by design).
+    void gatherStepInputs(const std::vector<int64_t> &active);
+    //! Emit a finished slot's stats and release its per-request
+    //! state (the per-request RequestStats append amortizes to one
+    //! per request, not one per step).
+    void finishSlot(int64_t slot_index, ServeSummary &summary);
+    //! Wall-time totals and latency percentiles, computed once after
+    //! the drain loop exits.
+    void finalizeSummary(ServeSummary &summary, double start) const;
 
     //! Copied, not referenced: callers may pass a temporary context,
     //! and run() must outlive the constructor expression.
@@ -129,6 +140,17 @@ class ServeLoop
     KvSlab slab_;
     std::vector<SlotState> slots_;
     std::chrono::steady_clock::time_point epoch_;
+    //! Step-lifetime buffers reused across every decode step of a
+    //! drain: scheduler index scratch, the composed input/output
+    //! batches, and the decode workspace. After the first steps at
+    //! the high-water batch shape, run()'s loop allocates nothing.
+    std::vector<int64_t> admitted_;
+    std::vector<int64_t> active_;
+    std::vector<int64_t> finished_;
+    std::vector<KvCache *> stepCaches_;
+    Tensor<Half> stepInputs_;
+    Tensor<Half> stepOutputs_;
+    DecodeStepWorkspace stepWs_;
 };
 
 /**

@@ -152,6 +152,21 @@ class Tensor
         std::fill(data_.begin(), data_.end(), value);
     }
 
+    /**
+     * Re-shape in place, reusing the existing storage capacity.
+     * Element values are unspecified afterwards (kernels that take a
+     * resized tensor as an output write every element); no
+     * reallocation happens once capacity has reached the high-water
+     * mark, which is what lets step-lifetime workspaces keep the
+     * decode loop allocation-free.
+     */
+    void
+    resize(Shape shape)
+    {
+        shape_ = std::move(shape);
+        data_.resize(static_cast<size_t>(shape_.numel()));
+    }
+
   private:
     // Per-element bounds checks are SOFTREC_CHECK, not SOFTREC_ASSERT:
     // these run in the innermost kernel loops, so they compile in only

@@ -1,0 +1,11 @@
+"""softrec_analyze: multi-pass static analysis for the softrec tree.
+
+A Python-only (no LLVM) framework that encodes the repo's hard-won
+invariants as machine-checked rules: numerics discipline, include
+hygiene, concurrency discipline, hot-path allocation freedom, the
+environment-knob registry, and profiler-scope coverage.
+
+Run as ``python3 tools/softrec_analyze`` from the repo root, or see
+docs/STATIC_ANALYSIS.md for the full rule catalogue, suppression
+syntax, baseline workflow, and SARIF output.
+"""

@@ -1,0 +1,15 @@
+"""Entry point: ``python3 tools/softrec_analyze [args]``.
+
+Executing the package directory puts it on sys.path[0], so the flat
+module imports below resolve; running via ``-m`` works too.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli.main())

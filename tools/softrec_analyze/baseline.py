@@ -1,0 +1,69 @@
+"""Baseline (grandfathered findings) support.
+
+A baseline entry is a finding fingerprint: `rule|path|text` where
+text is the finding's source line with whitespace collapsed. Keying
+on line text instead of line numbers keeps the baseline stable under
+unrelated edits; matching is multiset-style, so two identical lines
+in one file need two entries.
+"""
+
+import collections
+import os
+
+HEADER = """\
+# softrec_analyze baseline — grandfathered findings.
+#
+# Each non-comment line is a finding fingerprint:
+#     rule|path|whitespace-normalized source line
+# Findings matching an entry are suppressed (multiset semantics: one
+# entry absorbs one finding). Regenerate with:
+#     python3 tools/softrec_analyze --write-baseline
+# Entries must carry a justification comment; prefer fixing the code
+# or an inline allow() over growing this file.
+"""
+
+
+def load(path):
+    """Return Counter(fingerprint -> count); empty if missing."""
+    entries = collections.Counter()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                entries[line] += 1
+    except OSError:
+        pass
+    return entries
+
+
+def apply(findings, fingerprints, entries):
+    """Split findings into (unbaselined, suppressed_count, stale).
+
+    `fingerprints` is a parallel list: fingerprints[i] corresponds to
+    findings[i]. `stale` is the multiset of entries no finding
+    consumed.
+    """
+    remaining = collections.Counter(entries)
+    fresh = []
+    suppressed = 0
+    for finding, fp in zip(findings, fingerprints):
+        if remaining[fp] > 0:
+            remaining[fp] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    stale = +remaining
+    return fresh, suppressed, stale
+
+
+def write(path, fingerprints):
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(HEADER)
+        fh.write("\n")
+        for fp in sorted(fingerprints):
+            fh.write(fp + "\n")

@@ -1,0 +1,190 @@
+"""Command-line driver for the softrec static analyzer.
+
+Usage (from the repo root):
+
+    python3 tools/softrec_analyze                      # whole tree
+    python3 tools/softrec_analyze src/kernels/gemm.cpp # specific files
+    python3 tools/softrec_analyze --changed-only       # pre-commit
+    python3 tools/softrec_analyze --list-rules
+    python3 tools/softrec_analyze --self-test
+    python3 tools/softrec_analyze --sarif out.sarif
+    python3 tools/softrec_analyze --write-baseline
+
+Exit codes: 0 clean, 1 unbaselined findings, 2 internal error.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+import baseline as baseline_mod
+import engine
+import registry
+import sarif
+
+TOOL_VERSION = "1.0"
+
+DEFAULT_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def build_parser():
+    p = argparse.ArgumentParser(
+        prog="softrec_analyze",
+        description="Static analyzer for the softrec C++ tree: "
+                    "numerics, hygiene, concurrency, hot-path, "
+                    "env-registry, and profiler-scope rules.")
+    p.add_argument("paths", nargs="*",
+                   help="files to analyze (relative to --root); "
+                        "default: every .cpp/.hpp under src/")
+    p.add_argument("--root", default=DEFAULT_ROOT,
+                   help="repository root (default: auto-detected)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print every rule with severity and "
+                        "rationale, then exit")
+    p.add_argument("--self-test", action="store_true",
+                   help="run the fixture corpus and internal "
+                        "checks, then exit")
+    p.add_argument("--sarif", metavar="FILE",
+                   help="also write findings as SARIF 2.1.0 to FILE")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="baseline file (default: "
+                        "tools/softrec_analyze/baseline.txt "
+                        "under --root)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline; report every finding")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="regenerate the baseline from current "
+                        "findings and exit")
+    p.add_argument("--changed-only", action="store_true",
+                   help="analyze only files changed vs --diff-base "
+                        "(plus untracked files); the pre-commit path")
+    p.add_argument("--diff-base", default="HEAD",
+                   help="git rev to diff against for --changed-only "
+                        "(default: HEAD)")
+    return p
+
+
+def list_rules():
+    for rule in registry.all_rules():
+        print("%-18s %-8s %s" % (rule.name, rule.severity,
+                                 rule.summary))
+        print("%-18s %-8s rationale: %s" % ("", "", rule.rationale))
+    return 0
+
+
+def changed_files(root, diff_base):
+    """Tracked files changed vs diff_base plus untracked files,
+    filtered to analyzer inputs."""
+    def git(*argv):
+        res = subprocess.run(
+            ("git", "-C", root) + argv,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            check=True)
+        return res.stdout.decode("utf-8", "replace").splitlines()
+
+    names = git("diff", "--name-only", diff_base, "--", "src")
+    names += git("ls-files", "--others", "--exclude-standard",
+                 "--", "src")
+    out = []
+    for rel in sorted(set(names)):
+        if rel.endswith((".cpp", ".hpp")) and \
+                os.path.exists(os.path.join(root, rel)):
+            out.append(rel)
+    return out
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return list_rules()
+    if args.self_test:
+        import selftest
+        return selftest.run()
+
+    root = os.path.abspath(args.root)
+    if args.paths:
+        rel_paths = [os.path.relpath(os.path.abspath(p), root)
+                     .replace(os.sep, "/") if os.path.isabs(p) or
+                     os.path.exists(p) else p for p in args.paths]
+    elif args.changed_only:
+        try:
+            rel_paths = changed_files(root, args.diff_base)
+        except (subprocess.CalledProcessError, OSError) as exc:
+            print("softrec_analyze: git diff failed: %s" % exc,
+                  file=sys.stderr)
+            return 2
+        if not rel_paths:
+            print("softrec_analyze: no changed source files")
+            return 0
+    else:
+        rel_paths = list(engine.iter_source_files(root))
+
+    rules = registry.all_rules()
+    findings = engine.analyze(root, rel_paths, rules)
+
+    raw_cache = {}
+
+    def fingerprint(f):
+        if f.path not in raw_cache:
+            try:
+                with open(os.path.join(root, f.path),
+                          encoding="utf-8") as fh:
+                    raw_cache[f.path] = fh.read().splitlines()
+            except OSError:
+                raw_cache[f.path] = []
+        return f.fingerprint(raw_cache[f.path])
+
+    fingerprints = [fingerprint(f) for f in findings]
+
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "softrec_analyze", "baseline.txt")
+
+    if args.write_baseline:
+        baseline_mod.write(baseline_path, fingerprints)
+        print("softrec_analyze: wrote %d baseline entr%s to %s"
+              % (len(fingerprints),
+                 "y" if len(fingerprints) == 1 else "ies",
+                 os.path.relpath(baseline_path, root)))
+        return 0
+
+    entries = {} if args.no_baseline \
+        else baseline_mod.load(baseline_path)
+    fresh, suppressed, stale = baseline_mod.apply(
+        findings, fingerprints, entries)
+
+    for f in fresh:
+        print(f)
+    if args.sarif:
+        doc = sarif.emit(fresh, rules, TOOL_VERSION)
+        errs = sarif.validate(doc)
+        if errs:
+            for e in errs:
+                print("softrec_analyze: internal SARIF error: %s"
+                      % e, file=sys.stderr)
+            return 2
+        sarif.dump(doc, args.sarif)
+
+    notes = []
+    if suppressed:
+        notes.append("%d baselined" % suppressed)
+    if stale and not args.changed_only:
+        # Partial runs legitimately leave entries unconsumed; only a
+        # full-tree run can prove staleness, and even then it is a
+        # cleanup prompt, not a failure.
+        notes.append("%d stale baseline entr%s (re-run "
+                     "--write-baseline to prune)"
+                     % (sum(stale.values()),
+                        "y" if sum(stale.values()) == 1 else "ies"))
+    tail = " (%s)" % ", ".join(notes) if notes else ""
+    if fresh:
+        print("softrec_analyze: %d finding%s in %d file%s%s"
+              % (len(fresh), "s" if len(fresh) != 1 else "",
+                 len(rel_paths), "s" if len(rel_paths) != 1 else "",
+                 tail), file=sys.stderr)
+        return 1
+    print("softrec_analyze: OK (%d file%s, %d rule%s)%s"
+          % (len(rel_paths), "s" if len(rel_paths) != 1 else "",
+             len(rules), "s" if len(rules) != 1 else "", tail))
+    return 0

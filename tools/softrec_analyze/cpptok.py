@@ -1,0 +1,123 @@
+"""Shared C++ tokenizer: comment and string-literal stripping.
+
+Every rule regex in the analyzer runs over code that has been passed
+through :func:`strip_comments_and_strings`, so a pattern inside a
+comment, a string literal, or a raw string literal can never produce
+a finding. Line structure is preserved exactly (one output line per
+input line) so findings keep their original line numbers.
+
+Handles the two constructs the original softrec_lint stripper got
+wrong:
+
+* C++ raw string literals, ``R"( ... )"`` and the delimited form
+  ``R"delim( ... )delim"`` (with optional ``u8``/``u``/``U``/``L``
+  encoding prefixes). The old stripper treated the body like an
+  ordinary quoted string and "recovered" at the first newline,
+  leaking the rest of a multi-line raw string into the code channel.
+* Backslash-continued ``//`` comments: a line comment whose final
+  character is a backslash continues onto the next physical line
+  (C++ phase-2 line splicing), so that next line is still comment,
+  not code.
+"""
+
+import re
+
+# Longest-match raw-string prefixes ending at the opening quote; the
+# prefix must be its own token (not the tail of an identifier).
+_RAW_PREFIX_RE = re.compile(r"(?:^|[^0-9A-Za-z_])(?:u8|[uUL])?R$")
+# d-char-seq: anything but parens, backslash, and spaces; max 16.
+_RAW_DELIM_RE = re.compile(r'([^()\\\s]{0,16})\(')
+
+
+def _blank(segment):
+    """Replace every non-newline character with a space."""
+    return re.sub(r"[^\n]", " ", segment)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so rule regexes only see real code."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line-comment | block-comment | dq | sq
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal? The prefix (R, u8R, ...) was
+                # already emitted as code; that is harmless — what
+                # matters is that the body is blanked verbatim with
+                # no escape processing until the matching )delim".
+                if _RAW_PREFIX_RE.search("".join(out[-4:])):
+                    m = _RAW_DELIM_RE.match(text, i + 1)
+                    if m:
+                        delim = m.group(1)
+                        body_start = m.end()
+                        terminator = ")" + delim + '"'
+                        end = text.find(terminator, body_start)
+                        if end < 0:
+                            end = n
+                            term_len = 0
+                        else:
+                            term_len = len(terminator)
+                        out.append(_blank(text[i:end + term_len]))
+                        i = end + term_len
+                        continue
+                state = "dq"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "sq"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                # A comment line ending in a backslash splices the
+                # next physical line into the comment.
+                spliced = text[i - 1] == "\\" or \
+                    (text[i - 1] == "\r" and i >= 2 and
+                     text[i - 2] == "\\")
+                if not spliced:
+                    state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # dq / sq string literal
+            quote = '"' if state == "dq" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            elif c == "\n":
+                # Unterminated ordinary literal; recover per line.
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)

@@ -1,0 +1,225 @@
+"""Analysis engine: per-file lexical model and the finding type.
+
+The engine builds one :class:`SourceFile` per input, exposing the
+derived views every rule consumes:
+
+* ``code_lines``    — comment/string-stripped source (cpptok)
+* ``allows``        — per-line suppression sets from
+                      ``// softrec-lint: allow(<rule>)`` annotations
+* ``in_loop``       — lines lexically inside a ``for``/``while`` body
+* ``in_pfor``       — lines inside a ``parallelFor`` lambda body
+* ``pfor_regions``  — (first, last) line pairs of those lambda bodies
+* ``functions``     — (name, def_line, first, last) body regions for
+                      repo-style definitions (name at column 0, brace
+                      on its own line)
+
+All line numbers are 1-based. The lexical model is deliberately
+heuristic — it understands the repo's clang-format layout, not
+arbitrary C++ — which keeps the analyzer dependency-free; rules that
+need more context state their assumptions in docs/STATIC_ANALYSIS.md.
+"""
+
+import os
+import re
+
+from cpptok import strip_comments_and_strings
+
+ALLOW_RE = re.compile(r"softrec-lint:\s*allow\(([a-z-]+)\)")
+LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
+# Repo style: return type on its own line, so a definition's name (and
+# optional Class:: qualifier) starts at column 0 with the open paren
+# directly attached.
+FUNC_DEF_RE = re.compile(r"^([A-Za-z_]\w*(?:::~?[A-Za-z_]\w*)?)\s*\(")
+
+
+class Finding:
+    """One rule violation at a source location."""
+
+    def __init__(self, path, line, rule, message, severity):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.severity = severity
+
+    def fingerprint(self, raw_lines):
+        """Line-number-independent identity used by the baseline:
+        (rule, path, whitespace-normalized source line)."""
+        text = ""
+        if 1 <= self.line <= len(raw_lines):
+            text = re.sub(r"\s+", " ", raw_lines[self.line - 1].strip())
+        return "%s|%s|%s" % (self.rule, self.path, text)
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+class SourceFile:
+    def __init__(self, root, rel_path):
+        self.root = root
+        self.rel_path = rel_path
+        self.read_error = None
+        try:
+            with open(os.path.join(root, rel_path),
+                      encoding="utf-8") as f:
+                text = f.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            self.read_error = str(exc)
+            text = ""
+        self.text = text
+        self.raw_lines = text.splitlines()
+        self.code_lines = \
+            strip_comments_and_strings(text).splitlines()
+        self.allows = self._collect_allows()
+        self.in_loop = [False] * (len(self.code_lines) + 1)
+        self.in_pfor = [False] * (len(self.code_lines) + 1)
+        self.pfor_regions = []
+        self.functions = []
+        self._scan_regions()
+
+    # -- suppression annotations ------------------------------------
+
+    def _collect_allows(self):
+        """Map line number -> set of allowed rules, honouring
+        annotations on the same line or on directly preceding
+        comment/blank lines."""
+        allows = {}
+        pending = set()
+        for idx, raw in enumerate(self.raw_lines, start=1):
+            code = self.code_lines[idx - 1] \
+                if idx <= len(self.code_lines) else ""
+            is_comment = code.strip() == ""
+            here = set(ALLOW_RE.findall(raw))
+            if is_comment:
+                pending |= here
+                continue
+            allows[idx] = here | pending
+            pending = set()
+        return allows
+
+    def allowed(self, lineno, rule):
+        return rule in self.allows.get(lineno, set())
+
+    # -- lexical regions --------------------------------------------
+
+    def _scan_regions(self):
+        loop_stack = []     # brace depths at which loop bodies opened
+        pending_loop = 0    # grace window for braceless loop bodies
+        depth = 0
+        pfor_armed = False  # saw `parallelFor`, waiting for lambda
+        pfor_bracket = False  # saw the `[` capture intro since arming
+        pfor_stack = []     # depths at which parallelFor lambdas opened
+        pfor_open_line = 0
+        pending_func = None  # (name, def_line) awaiting `{` at col 0
+        open_func = None    # (name, def_line, body_first, open_depth)
+
+        for lineno, code in enumerate(self.code_lines, start=1):
+            if LOOP_HEADER_RE.search(code):
+                pending_loop = 2
+            self.in_loop[lineno] = bool(loop_stack) or pending_loop > 0
+
+            if "parallelFor" in code:
+                pfor_armed = True
+                pfor_bracket = False
+            if pfor_armed and "[" in code:
+                pfor_bracket = True
+            self.in_pfor[lineno] = bool(pfor_stack)
+
+            m = FUNC_DEF_RE.match(code)
+            if m and open_func is None:
+                pending_func = (m.group(1), lineno)
+            elif pending_func and ";" in code:
+                pending_func = None  # it was only a declaration
+            if pending_func and code.startswith("{"):
+                open_func = (pending_func[0], pending_func[1],
+                             lineno, depth)
+                pending_func = None
+
+            for ch in code:
+                if ch == "{":
+                    depth += 1
+                    if pending_loop > 0:
+                        loop_stack.append(depth)
+                        pending_loop = 0
+                    if pfor_armed and pfor_bracket:
+                        pfor_stack.append(depth)
+                        pfor_open_line = lineno
+                        pfor_armed = False
+                        pfor_bracket = False
+                        self.in_pfor[lineno] = True
+                    elif pfor_armed:
+                        # A `{` before any `[`: this was parallelFor's
+                        # own definition body, not a call site.
+                        pfor_armed = False
+                elif ch == "}":
+                    if loop_stack and loop_stack[-1] == depth:
+                        loop_stack.pop()
+                    if pfor_stack and pfor_stack[-1] == depth:
+                        pfor_stack.pop()
+                        if not pfor_stack:
+                            self.pfor_regions.append(
+                                (pfor_open_line, lineno))
+                    depth -= 1
+                    if open_func is not None and \
+                            depth == open_func[3]:
+                        self.functions.append(
+                            (open_func[0], open_func[1],
+                             open_func[2], lineno))
+                        open_func = None
+            if pfor_armed and not pfor_bracket and ";" in code:
+                pfor_armed = False  # a declaration, not a call
+            if pending_loop > 0:
+                pending_loop -= 1
+
+    def function_named(self, name):
+        """(def_line, body_first, body_last) or None."""
+        for fname, def_line, first, last in self.functions:
+            if fname == name:
+                return (def_line, first, last)
+        return None
+
+
+def iter_source_files(root, subdir="src"):
+    base = os.path.join(root, subdir)
+    for dirpath, _, filenames in os.walk(base):
+        for name in sorted(filenames):
+            if name.endswith((".cpp", ".hpp")):
+                yield os.path.relpath(os.path.join(dirpath, name),
+                                      root).replace(os.sep, "/")
+
+
+class AnalysisContext:
+    """Cross-file state shared by every rule during one run."""
+
+    def __init__(self, root):
+        self.root = root
+        readme = os.path.join(root, "README.md")
+        try:
+            with open(readme, encoding="utf-8") as f:
+                self.readme_text = f.read()
+        except OSError:
+            self.readme_text = ""
+
+
+def analyze(root, rel_paths, rules):
+    """Run every rule over every file; returns findings honouring the
+    per-line allow() suppressions (but not the baseline — the caller
+    layers that on)."""
+    ctx = AnalysisContext(root)
+    findings = []
+    for rel in rel_paths:
+        src = SourceFile(root, rel)
+        if src.read_error is not None:
+            findings.append(Finding(rel, 0, "internal",
+                                    "unreadable file: %s"
+                                    % src.read_error, "error"))
+            continue
+        for rule in rules:
+            for lineno, message in rule.check(src, ctx):
+                if not src.allowed(lineno, rule.name):
+                    findings.append(Finding(rel, lineno, rule.name,
+                                            message or rule.summary,
+                                            rule.severity))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

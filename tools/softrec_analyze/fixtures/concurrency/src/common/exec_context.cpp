@@ -1,0 +1,8 @@
+#include <thread>
+
+void
+poolSpawn()
+{
+  std::thread worker([] { run(); });
+  worker.join();
+}

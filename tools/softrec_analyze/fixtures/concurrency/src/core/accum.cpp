@@ -1,0 +1,26 @@
+#include <cstdint>
+
+void
+racyAccumulate(ExecContext &ctx, const float *x, int64_t n,
+               float *out)
+{
+  float sum = 0.0f;
+  parallelFor(ctx, n, 8, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      sum += x[i];
+    }
+  });
+  *out = sum;
+}
+
+void
+chunkLocal(ExecContext &ctx, float *y, int64_t n)
+{
+  parallelFor(ctx, n, 8, [&](int64_t begin, int64_t end) {
+    float local = 0.0f;
+    for (int64_t i = begin; i < end; ++i) {
+      local += y[i];
+    }
+    y[begin] = local;
+  });
+}

@@ -1,0 +1,17 @@
+#include <mutex>
+
+int
+manualLock(std::mutex &mu, int *v)
+{
+  mu.lock();
+  int out = *v;
+  mu.unlock();
+  return out;
+}
+
+int
+guardedLock(std::mutex &mu, int *v)
+{
+  std::lock_guard<std::mutex> guard(mu);
+  return *v;
+}

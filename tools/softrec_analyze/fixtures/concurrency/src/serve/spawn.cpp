@@ -1,0 +1,8 @@
+#include <thread>
+
+void
+spawnWorker()
+{
+  std::thread t([] { work(); });
+  t.detach();
+}

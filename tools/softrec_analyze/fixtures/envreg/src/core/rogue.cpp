@@ -1,0 +1,7 @@
+#include <cstdlib>
+
+const char *
+rogueKnob()
+{
+  return std::getenv("SOFTREC_ROGUE");
+}

@@ -1,0 +1,9 @@
+#include <cstdlib>
+
+const char *
+readKnobs()
+{
+  const char *good = std::getenv("SOFTREC_GOOD");
+  const char *bad = std::getenv("SOFTREC_BAD");
+  return bad != nullptr ? bad : good;
+}

@@ -1,0 +1,13 @@
+#include <cstdint>
+#include <vector>
+
+void
+stageRows(int64_t rows, int64_t cols, float *out)
+{
+  std::vector<float> top(size_t(cols));
+  for (int64_t r = 0; r < rows; ++r) {
+    std::vector<float> scratch(size_t(cols));
+    scratch.push_back(0.0f);
+    out[r] = scratch[0] + top[0];
+  }
+}

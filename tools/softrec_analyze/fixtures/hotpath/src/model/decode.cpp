@@ -1,0 +1,17 @@
+#include <memory>
+
+void
+runDecodeStepInto(Ctx &ctx)
+{
+  auto kv = std::make_unique<KvCache>();
+  // softrec-lint: allow(hot-path-alloc)
+  auto once = std::make_unique<KvCache>();
+  ctx.use(kv.get(), once.get());
+}
+
+void
+setupOnce(Ctx &ctx)
+{
+  auto kv = std::make_unique<KvCache>();
+  ctx.use(kv.get());
+}

@@ -1,0 +1,7 @@
+#ifndef WRONG_NAME_HPP
+#define WRONG_NAME_HPP
+
+int
+answer();
+
+#endif

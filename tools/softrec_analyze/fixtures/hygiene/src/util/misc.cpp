@@ -1,0 +1,12 @@
+#include <cstdlib>
+
+using namespace std;
+
+int
+clamp17(int *p)
+{
+  const int *cp = p;
+  int *wp = const_cast<int *>(cp);
+  assert(wp != nullptr);
+  return *wp;
+}

@@ -1,0 +1,7 @@
+#include "util/okay.hpp"
+
+int
+okay()
+{
+  return 2;
+}

@@ -1,0 +1,7 @@
+#ifndef SOFTREC_UTIL_OKAY_HPP
+#define SOFTREC_UTIL_OKAY_HPP
+
+int
+okay();
+
+#endif

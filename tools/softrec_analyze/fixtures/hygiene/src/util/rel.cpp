@@ -1,0 +1,7 @@
+#include "../util/thing.hpp"
+
+int
+relThing()
+{
+  return thing();
+}

@@ -1,0 +1,9 @@
+#include "util/other.hpp"
+
+#include "util/thing.hpp"
+
+int
+thing()
+{
+  return 1;
+}

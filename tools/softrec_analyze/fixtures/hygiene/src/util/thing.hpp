@@ -1,0 +1,7 @@
+#ifndef SOFTREC_UTIL_THING_HPP
+#define SOFTREC_UTIL_THING_HPP
+
+int
+thing();
+
+#endif

@@ -1,0 +1,7 @@
+#include <cstdint>
+
+std::mt19937
+makeEngine(uint32_t seed)
+{
+  return std::mt19937(seed);
+}

@@ -1,0 +1,14 @@
+#include <cmath>
+
+float
+unsafeExp(float x)
+{
+  return std::exp(x);
+}
+
+float
+guardedExp(float x, float m)
+{
+  // softrec-lint: allow(raw-exp)
+  return std::exp(x - m);
+}

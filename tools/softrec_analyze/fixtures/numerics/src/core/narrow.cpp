@@ -1,0 +1,6 @@
+float
+roundTrip(float f)
+{
+  Half h = static_cast<Half>(f);
+  return h.toFloat();
+}

@@ -1,0 +1,8 @@
+#include <cstdint>
+
+uint32_t
+badSeed()
+{
+  std::mt19937 gen;
+  return gen();
+}

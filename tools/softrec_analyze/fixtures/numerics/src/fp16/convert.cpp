@@ -1,0 +1,5 @@
+Half
+narrow(float f)
+{
+  return static_cast<Half>(f);
+}

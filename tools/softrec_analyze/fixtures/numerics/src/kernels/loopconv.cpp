@@ -1,0 +1,17 @@
+#include <cstdint>
+
+float
+sumLoop(const Half *h, int64_t n)
+{
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += h[i].toFloat();
+  }
+  return acc;
+}
+
+float
+headOnly(const Half *h)
+{
+  return h->toFloat();
+}

@@ -1,0 +1,34 @@
+#include <cstdint>
+
+void
+goodLiteralRun(ExecContext &ctx, int64_t n)
+{
+  prof::Scope scope(ctx, "fixture.good", n);
+  compute(n);
+}
+
+void
+goodDescRun(ExecContext &ctx, const KernelDesc &desc)
+{
+  prof::Scope scope(ctx, desc.name.c_str(), desc.rows);
+  compute(desc.rows);
+}
+
+void
+missingScopeRun(ExecContext &ctx, int64_t n)
+{
+  compute(n);
+}
+
+void
+badNameRun(ExecContext &ctx, int64_t n)
+{
+  prof::Scope scope(ctx, "BadName", n);
+  compute(n);
+}
+
+void
+notAKernelHelper(int64_t n)
+{
+  compute(n);
+}

@@ -1,0 +1,6 @@
+float
+stableExp(float x, float m)
+{
+  // softrec-lint: allow(raw-exp)
+  return std::exp(x - m);
+}

@@ -1,0 +1,8 @@
+// the next line is spliced into this comment \
+std::exp(1.0f);
+
+float
+liveCode(float x)
+{
+  return std::exp(x);
+}

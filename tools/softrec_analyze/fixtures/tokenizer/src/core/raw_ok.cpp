@@ -1,0 +1,10 @@
+const char *kDoc = R"(use std::exp(1.0f) with care)";
+const char *kSql = R"ab(
+std::exp(2.0f);
+)ab";
+
+int
+docLen()
+{
+  return 3;
+}

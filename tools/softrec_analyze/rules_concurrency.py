@@ -1,0 +1,113 @@
+"""Concurrency-discipline rules.
+
+The serving engine's headline guarantee — bit-identical decode across
+thread counts, proven tsan-clean — rests on two structural facts:
+every thread in the process is owned by the ExecContext pool, and
+every parallelFor chunk writes only chunk-private or per-thread-slot
+state. These rules keep both facts true by construction.
+"""
+
+import re
+
+from registry import register
+
+# The pool implementation owns raw threads; everything else goes
+# through ExecContext/parallelFor.
+THREAD_ALLOWED_FILES = {
+    "src/common/exec_context.cpp",
+    "src/common/exec_context.hpp",
+}
+
+THREAD_RE = re.compile(
+    r"\bstd::(?:thread|jthread|async)\b|\bpthread_create\s*\(")
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+MANUAL_LOCK_RE = re.compile(
+    r"(?:\.|->)\s*(?:try_)?lock\s*\(\s*\)|(?:\.|->)\s*unlock\s*\(\s*\)")
+
+# Declarations inside a lambda body: a type-ish token (builtin,
+# std::..., or CamelCase), optional template args and ref/pointer
+# markers, then the declared name.
+DECL_RE = re.compile(
+    r"\b(?:auto|bool|char|short|long|float|double|int|unsigned|"
+    r"size_t|ssize_t|ptrdiff_t|u?int(?:8|16|32|64)_t|"
+    r"std::[A-Za-z_]\w*|[A-Z][A-Za-z0-9_]*)"
+    r"(?:<[^<>;{}]*(?:<[^<>]*>)?[^<>;{}]*>)?"
+    r"(?:(?:\s*[&*])+\s*|\s+)([A-Za-z_]\w*)\s*(?=[=;,)({\[:])")
+# Range-for introduces a name before the colon.
+RANGE_FOR_RE = re.compile(
+    r"for\s*\([^;:)]*[&*\s]([A-Za-z_]\w*)\s*:")
+# Mutating writes whose target is a plain captured identifier (not a
+# member access, array element, or method call).
+WRITE_RE = re.compile(
+    r"(?<![\w.\]>])([A-Za-z_]\w*)\s*"
+    r"(?:\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<=|>>=|\+\+|--)"
+    r"|(?:\+\+|--)\s*([A-Za-z_]\w*)")
+
+
+@register(
+    "exec-discipline", "error",
+    "raw thread primitive outside the ExecContext pool",
+    "std::thread/std::async/pthread_create outside "
+    "src/common/exec_context.* creates threads the pool cannot "
+    "account for: SOFTREC_THREADS no longer bounds concurrency, the "
+    "determinism contract (fixed chunking over a fixed worker set) "
+    "breaks, and .detach() leaks work past shutdown. Route all "
+    "parallelism through ExecContext::parallelFor.")
+def check_exec_discipline(src, ctx):
+    if src.rel_path in THREAD_ALLOWED_FILES:
+        return
+    for lineno, code in enumerate(src.code_lines, start=1):
+        if THREAD_RE.search(code) or DETACH_RE.search(code):
+            yield lineno, None
+
+
+@register(
+    "lock-discipline", "error",
+    "manual mutex lock()/unlock(); use a RAII guard",
+    "a manual unlock is skipped by every early return and exception "
+    "path between lock and unlock — the classic deadlock-under-error "
+    "bug tsan only catches if the error path actually runs. Acquire "
+    "every std::mutex via std::lock_guard / std::scoped_lock / "
+    "std::unique_lock.")
+def check_lock_discipline(src, ctx):
+    for lineno, code in enumerate(src.code_lines, start=1):
+        if MANUAL_LOCK_RE.search(code):
+            yield lineno, None
+
+
+def _region_locals(src, first, last):
+    """Names declared inside a lambda region (including its parameter
+    list on the opening line)."""
+    names = set()
+    for lineno in range(first, last + 1):
+        code = src.code_lines[lineno - 1]
+        for m in DECL_RE.finditer(code):
+            names.add(m.group(1))
+        for m in RANGE_FOR_RE.finditer(code):
+            names.add(m.group(1))
+    return names
+
+
+@register(
+    "exec-shared-write", "warning",
+    "parallelFor lambda mutates captured non-local state",
+    "a parallelFor chunk may run on any worker concurrently with "
+    "every other chunk; accumulating into a captured variable "
+    "(sum += ..., ++count) is a data race unless it is atomic or a "
+    "per-thread slot. Accumulate into chunk-local state, a "
+    "currentThreadSlot() slot, or a prof::Scope counter. (Heuristic: "
+    "suppress with allow(exec-shared-write) when the target is "
+    "provably chunk-exclusive.)")
+def check_exec_shared_write(src, ctx):
+    for first, last in src.pfor_regions:
+        local = _region_locals(src, first, last)
+        for lineno in range(first, last + 1):
+            code = src.code_lines[lineno - 1]
+            for m in WRITE_RE.finditer(code):
+                name = m.group(1) or m.group(2)
+                if name in local:
+                    continue
+                yield lineno, (
+                    "parallelFor lambda mutates captured '%s'; "
+                    "chunks run concurrently — use chunk-local "
+                    "state or a per-thread slot" % name)

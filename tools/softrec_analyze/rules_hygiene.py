@@ -1,0 +1,119 @@
+"""Hygiene rules migrated from the original softrec_lint: include
+discipline, guard naming, and C++ constructs the repo bans."""
+
+import os
+import re
+
+from registry import register
+
+CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
+BARE_ASSERT_RE = re.compile(
+    r"(?<![\w.])assert\s*\(|#\s*include\s*<(?:cassert|assert\.h)>")
+RELATIVE_INCLUDE_RE = re.compile(r'#\s*include\s*"\.\.?/')
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+INCLUDE_DIRECTIVE_RE = re.compile(r"\s*#\s*include\b")
+
+
+def expected_guard(rel_path):
+    stem = rel_path[len("src/"):] if rel_path.startswith("src/") \
+        else rel_path
+    stem = re.sub(r"\.hpp$", "", stem)
+    return "SOFTREC_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + \
+        "_HPP"
+
+
+def _includes(src):
+    """(lineno, raw_line) of include directives that survive comment
+    stripping (i.e. are real code). The stripper blanks the quoted
+    path, so rules re-read the raw line."""
+    out = []
+    for lineno, code in enumerate(src.code_lines, start=1):
+        if INCLUDE_DIRECTIVE_RE.match(code):
+            out.append((lineno, src.raw_lines[lineno - 1]))
+    return out
+
+
+@register(
+    "const-cast", "error",
+    "const_cast is UB-adjacent",
+    "the const_cast-through-this accessor idiom invites undefined "
+    "behaviour on genuinely-const objects; share a template helper "
+    "between the const and non-const overloads instead.")
+def check_const_cast(src, ctx):
+    for lineno, code in enumerate(src.code_lines, start=1):
+        if CONST_CAST_RE.search(code):
+            yield lineno, None
+
+
+@register(
+    "bare-assert", "error",
+    "assert() vanishes under NDEBUG",
+    "release builds compile assert() away; use SOFTREC_ASSERT (always "
+    "on) or SOFTREC_CHECK (checked builds) so invariants keep firing "
+    "in the configurations CI actually ships.")
+def check_bare_assert(src, ctx):
+    for lineno, code in enumerate(src.code_lines, start=1):
+        if BARE_ASSERT_RE.search(code):
+            yield lineno, None
+
+
+@register(
+    "include-guard", "error",
+    "include guard must be SOFTREC_<DIR>_<FILE>_HPP",
+    "predictable guard names prevent silent double-definition when "
+    "files move; the guard must mirror the path under src/.")
+def check_include_guard(src, ctx):
+    if not src.rel_path.endswith(".hpp"):
+        return
+    guard = expected_guard(src.rel_path)
+    joined = "\n".join(src.code_lines)
+    if not re.search(r"#\s*ifndef\s+%s\b" % re.escape(guard), joined):
+        yield 1, "expected include guard %s" % guard
+
+
+@register(
+    "own-header-first", "error",
+    "a .cpp must include its own header first",
+    "including the matching header before anything else proves every "
+    "header is self-contained (compiles without hidden include-order "
+    "dependencies).")
+def check_own_header_first(src, ctx):
+    if not src.rel_path.endswith(".cpp"):
+        return
+    own_header = re.sub(r"\.cpp$", ".hpp", src.rel_path)
+    if not os.path.exists(os.path.join(src.root, own_header)):
+        return
+    want = own_header[len("src/"):] \
+        if own_header.startswith("src/") else own_header
+    first = None
+    for lineno, raw in _includes(src):
+        m = INCLUDE_RE.match(raw)
+        if m:
+            first = (lineno, m.group(1))
+            break
+    if first is None or first[1] != want:
+        yield (first[0] if first else 1,
+               'first include must be "%s"' % want)
+
+
+@register(
+    "relative-include", "error",
+    'no "../" or "./" includes',
+    "relative include paths break when files move and defeat the "
+    "single -Isrc include root; write paths rooted at src/.")
+def check_relative_include(src, ctx):
+    for lineno, raw in _includes(src):
+        if RELATIVE_INCLUDE_RE.search(raw):
+            yield lineno, None
+
+
+@register(
+    "using-namespace", "error",
+    "`using namespace` is banned in src/",
+    "in headers it poisons every includer; anywhere it pulls std into "
+    "overload resolution and invites silent behaviour changes.")
+def check_using_namespace(src, ctx):
+    for lineno, code in enumerate(src.code_lines, start=1):
+        if USING_NAMESPACE_RE.search(code):
+            yield lineno, None

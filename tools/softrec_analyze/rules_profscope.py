@@ -1,0 +1,63 @@
+"""Profiler-scope rule.
+
+The bench reports are only comparable across PRs if every functional
+kernel entry point publishes its time under a stable, documented
+name. A kernel that forgets its prof::Scope silently disappears from
+the per-phase breakdown and the JSON report schema check cannot see
+it.
+"""
+
+import re
+
+from registry import register
+
+KERNEL_DIRS = ("src/kernels/",)
+
+RUN_FUNC_RE = re.compile(r"(?:^|::)[a-zA-Z_]\w*Run$")
+PROF_SCOPE_RE = re.compile(
+    r"\bprof::Scope\s+\w+\s*\(|\bscope\s*\.\s*emplace\s*\(")
+# Accepted scope names: the descriptor's own name (desc.name, with or
+# without .c_str()), or a dotted lowercase literal like
+# "softmax.row" / "decode.attend".
+SCOPE_NAME_RE = re.compile(
+    r"\bprof::Scope\s+\w+\s*\(\s*[\w.]*\bctx\b[^,]*,\s*"
+    r'(?:[\w.]*desc\.name(?:\.c_str\(\))?|"[a-z0-9_]+(?:\.[a-z0-9_]+)+")')
+EMPLACE_NAME_RE = re.compile(
+    r"\bscope\s*\.\s*emplace\s*\(\s*[\w.]*\bctx\b[^,]*,\s*"
+    r'(?:[\w.]*desc\.name(?:\.c_str\(\))?|"[a-z0-9_]+(?:\.[a-z0-9_]+)+")')
+
+
+@register(
+    "profiler-scope", "error",
+    "kernel *Run entry without a documented prof::Scope",
+    "every functional kernel entry point (xxxRun) in src/kernels/ "
+    "must open a prof::Scope on ctx as its first act, named either "
+    "desc.name or a dotted lowercase literal (\"softmax.row\" "
+    "style), so the phase breakdown in bench reports stays complete "
+    "and names stay greppable. A missing scope makes the kernel "
+    "invisible to the profiler; an ad-hoc name breaks report "
+    "comparisons across PRs.")
+def check_profiler_scope(src, ctx):
+    if not (src.rel_path.startswith(KERNEL_DIRS) and
+            src.rel_path.endswith(".cpp")):
+        return
+    for name, def_line, first, last in src.functions:
+        if not RUN_FUNC_RE.search(name):
+            continue
+        scope_line = None
+        for lineno in range(first, last + 1):
+            raw = src.raw_lines[lineno - 1]
+            if PROF_SCOPE_RE.search(raw):
+                scope_line = lineno
+                break
+        if scope_line is None:
+            yield def_line, (
+                "%s opens no prof::Scope; the kernel is invisible in "
+                "bench reports" % name)
+            continue
+        raw = src.raw_lines[scope_line - 1]
+        if not (SCOPE_NAME_RE.search(raw) or
+                EMPLACE_NAME_RE.search(raw)):
+            yield scope_line, (
+                "%s: prof::Scope name must be desc.name or a dotted "
+                "lowercase literal (e.g. \"softmax.row\")" % name)

@@ -1,0 +1,166 @@
+"""SARIF 2.1.0 emission plus a structural validator.
+
+The container has no jsonschema package, so validate() hand-checks
+the subset of the SARIF 2.1.0 schema this tool emits: required
+top-level keys, runs/tool/driver/rules shape, and result locations.
+The selftest feeds it both a good document and deliberately broken
+ones.
+"""
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVEL = {"error": "error", "warning": "warning"}
+
+
+def emit(findings, rules, tool_version):
+    """Build a SARIF log dict from findings and the rule registry."""
+    rules_meta = []
+    rule_index = {}
+    for i, rule in enumerate(sorted(rules, key=lambda r: r.name)):
+        rule_index[rule.name] = i
+        rules_meta.append({
+            "id": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {
+                "level": _LEVEL[rule.severity],
+            },
+        })
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": _LEVEL[f.severity],
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": f.line},
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "softrec_analyze",
+                    "version": tool_version,
+                    "informationUri":
+                        "docs/STATIC_ANALYSIS.md",
+                    "rules": rules_meta,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def validate(doc):
+    """Return a list of structural problems (empty == valid).
+
+    Checks the SARIF 2.1.0 constraints relevant to what emit()
+    produces; stands in for jsonschema, which the container lacks.
+    """
+    errs = []
+
+    def need(obj, key, typ, where):
+        if not isinstance(obj, dict) or key not in obj:
+            errs.append("%s: missing required '%s'" % (where, key))
+            return None
+        val = obj[key]
+        if not isinstance(val, typ):
+            errs.append("%s.%s: expected %s, got %s" % (
+                where, key, typ.__name__, type(val).__name__))
+            return None
+        return val
+
+    if not isinstance(doc, dict):
+        return ["top level: expected object"]
+    version = need(doc, "version", str, "log")
+    if version is not None and version != SARIF_VERSION:
+        errs.append("log.version: expected %r" % SARIF_VERSION)
+    runs = need(doc, "runs", list, "log")
+    if runs is None:
+        return errs
+    for ri, run in enumerate(runs):
+        where = "runs[%d]" % ri
+        tool = need(run, "tool", dict, where)
+        if tool is None:
+            continue
+        driver = need(tool, "driver", dict, where + ".tool")
+        if driver is None:
+            continue
+        need(driver, "name", str, where + ".tool.driver")
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        if not isinstance(rules, list):
+            errs.append(where + ".tool.driver.rules: expected array")
+            rules = []
+        for ki, rule in enumerate(rules):
+            rwhere = where + ".tool.driver.rules[%d]" % ki
+            rid = need(rule, "id", str, rwhere)
+            if rid is not None:
+                rule_ids.add(rid)
+            cfg = rule.get("defaultConfiguration")
+            if cfg is not None:
+                level = cfg.get("level")
+                if level not in ("none", "note", "warning", "error"):
+                    errs.append(rwhere +
+                                ".defaultConfiguration.level: "
+                                "invalid value %r" % (level,))
+        results = run.get("results", [])
+        if not isinstance(results, list):
+            errs.append(where + ".results: expected array")
+            results = []
+        for xi, res in enumerate(results):
+            xwhere = where + ".results[%d]" % xi
+            rid = need(res, "ruleId", str, xwhere)
+            if rid is not None and rule_ids and rid not in rule_ids:
+                errs.append(xwhere +
+                            ".ruleId: %r not in driver.rules" % rid)
+            msg = need(res, "message", dict, xwhere)
+            if msg is not None:
+                need(msg, "text", str, xwhere + ".message")
+            level = res.get("level")
+            if level is not None and \
+                    level not in ("none", "note", "warning", "error"):
+                errs.append(xwhere + ".level: invalid value %r"
+                            % (level,))
+            locs = res.get("locations", [])
+            if not isinstance(locs, list):
+                errs.append(xwhere + ".locations: expected array")
+                locs = []
+            for li, loc in enumerate(locs):
+                lwhere = xwhere + ".locations[%d]" % li
+                phys = need(loc, "physicalLocation", dict, lwhere)
+                if phys is None:
+                    continue
+                art = need(phys, "artifactLocation", dict,
+                           lwhere + ".physicalLocation")
+                if art is not None:
+                    need(art, "uri", str,
+                         lwhere + ".physicalLocation.artifactLocation")
+                region = phys.get("region")
+                if region is not None:
+                    start = region.get("startLine")
+                    if not isinstance(start, int) or start < 1:
+                        errs.append(
+                            lwhere + ".physicalLocation.region."
+                            "startLine: expected integer >= 1")
+    return errs
+
+
+def dump(doc, path):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")

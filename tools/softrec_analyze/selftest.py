@@ -1,0 +1,198 @@
+"""Self-test: tokenizer unit checks, the fixture corpus, rule
+coverage, SARIF round-trip validation, and baseline round-trip.
+
+Each directory under fixtures/ is a miniature repo root (its own
+src/ tree, plus README.md where a rule needs one) with an
+expected.txt listing every finding as ``path:line:rule``. The corpus
+is the proof that every registered rule fires on its positive case
+and stays silent on the negative one.
+"""
+
+import copy
+import json
+import os
+import tempfile
+
+import baseline as baseline_mod
+import engine
+import registry
+import sarif
+from cpptok import strip_comments_and_strings
+
+PKG_DIR = os.path.dirname(os.path.abspath(__file__))
+FIXTURES_DIR = os.path.join(PKG_DIR, "fixtures")
+
+
+def _tokenizer_checks(fails):
+    cases = [
+        # (label, input, must_be_blanked, must_survive)
+        ("raw string body is blanked",
+         'const char *k = R"(std::exp(1.0f))";\n',
+         ["std::exp"], ["const char *k"]),
+        ("delimited raw string spans lines",
+         'const char *k = R"ab(\nstd::exp(2.0f);\n)ab";\n'
+         "float y = f(x);\n",
+         ["std::exp"], ["float y = f(x)"]),
+        ("backslash-continued line comment",
+         "// spliced comment \\\nstd::exp(1.0f);\nfloat z;\n",
+         ["std::exp"], ["float z"]),
+        ("ordinary string is blanked",
+         'const char *k = "std::exp(";\nfloat w;\n',
+         ["std::exp"], ["float w"]),
+        ("block comment is blanked",
+         "/* std::exp(1.0f) */ float v;\n",
+         ["std::exp"], ["float v"]),
+    ]
+    for label, text, gone, kept in cases:
+        stripped = strip_comments_and_strings(text)
+        if stripped.count("\n") != text.count("\n"):
+            fails.append("tokenizer: %s: line count changed" % label)
+        for frag in gone:
+            if frag in stripped:
+                fails.append("tokenizer: %s: %r leaked into code"
+                             % (label, frag))
+        for frag in kept:
+            if frag not in stripped:
+                fails.append("tokenizer: %s: %r lost from code"
+                             % (label, frag))
+
+
+def _read_expected(path):
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                out.append(line)
+    return sorted(out)
+
+
+def _run_fixtures(fails):
+    rules = registry.all_rules()
+    all_findings = []
+    covered = set()
+    if not os.path.isdir(FIXTURES_DIR):
+        fails.append("fixtures directory missing: %s" % FIXTURES_DIR)
+        return all_findings
+    for family in sorted(os.listdir(FIXTURES_DIR)):
+        root = os.path.join(FIXTURES_DIR, family)
+        if not os.path.isdir(root):
+            continue
+        expected_path = os.path.join(root, "expected.txt")
+        if not os.path.exists(expected_path):
+            fails.append("fixture %s: no expected.txt" % family)
+            continue
+        expected = _read_expected(expected_path)
+        rel_paths = list(engine.iter_source_files(root))
+        findings = engine.analyze(root, rel_paths, rules)
+        got = sorted("%s:%d:%s" % (f.path, f.line, f.rule)
+                     for f in findings)
+        if got != expected:
+            for line in sorted(set(expected) - set(got)):
+                fails.append("fixture %s: expected but missing: %s"
+                             % (family, line))
+            for line in sorted(set(got) - set(expected)):
+                fails.append("fixture %s: unexpected finding: %s"
+                             % (family, line))
+        all_findings.extend((root, f) for f in findings)
+        covered.update(line.rsplit(":", 1)[1] for line in expected)
+    missing = {r.name for r in rules} - covered
+    for name in sorted(missing):
+        fails.append("rule %s has no positive fixture" % name)
+    return all_findings
+
+
+def _sarif_checks(fails, findings):
+    rules = registry.all_rules()
+    doc = sarif.emit(findings, rules, "selftest")
+    errs = sarif.validate(doc)
+    for e in errs:
+        fails.append("sarif: valid document rejected: %s" % e)
+    # json round-trip must preserve validity
+    doc2 = json.loads(json.dumps(doc))
+    if sarif.validate(doc2):
+        fails.append("sarif: document invalid after json round-trip")
+    broken = [
+        ("missing version", lambda d: d.pop("version")),
+        ("runs not a list", lambda d: d.__setitem__("runs", {})),
+        ("driver missing name",
+         lambda d: d["runs"][0]["tool"]["driver"].pop("name")),
+        ("bad result level",
+         lambda d: d["runs"][0]["results"][0]
+         .__setitem__("level", "fatal")),
+        ("unknown ruleId",
+         lambda d: d["runs"][0]["results"][0]
+         .__setitem__("ruleId", "no-such-rule")),
+        ("bad startLine",
+         lambda d: d["runs"][0]["results"][0]["locations"][0]
+         ["physicalLocation"]["region"]
+         .__setitem__("startLine", 0)),
+    ]
+    for label, mutate in broken:
+        d = copy.deepcopy(doc)
+        if not d["runs"][0]["results"]:
+            continue
+        mutate(d)
+        if not sarif.validate(d):
+            fails.append("sarif: broken document (%s) passed "
+                         "validation" % label)
+
+
+def _baseline_checks(fails, fixture_findings):
+    findings = [f for _, f in fixture_findings]
+    if not findings:
+        fails.append("baseline: no fixture findings to round-trip")
+        return
+    raw_cache = {}
+
+    def fingerprint(root, f):
+        key = (root, f.path)
+        if key not in raw_cache:
+            with open(os.path.join(root, f.path),
+                      encoding="utf-8") as fh:
+                raw_cache[key] = fh.read().splitlines()
+        return f.fingerprint(raw_cache[key])
+
+    fingerprints = [fingerprint(root, f)
+                    for root, f in fixture_findings]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "baseline.txt")
+        baseline_mod.write(path, fingerprints)
+        entries = baseline_mod.load(path)
+        fresh, suppressed, stale = baseline_mod.apply(
+            findings, fingerprints, entries)
+        if fresh or stale or suppressed != len(findings):
+            fails.append("baseline: full round-trip did not "
+                         "suppress everything (fresh=%d stale=%d)"
+                         % (len(fresh), sum(stale.values())))
+        # Drop one entry: exactly one finding must resurface.
+        entries2 = baseline_mod.load(path)
+        entries2[fingerprints[0]] -= 1
+        fresh2, _, _ = baseline_mod.apply(
+            findings, fingerprints, entries2)
+        if len(fresh2) != 1:
+            fails.append("baseline: dropping one entry resurfaced "
+                         "%d findings (want 1)" % len(fresh2))
+        # Add a bogus entry: it must be reported stale.
+        entries3 = baseline_mod.load(path)
+        entries3["bogus-rule|no/file.cpp|int x;"] += 1
+        _, _, stale3 = baseline_mod.apply(
+            findings, fingerprints, entries3)
+        if sum(stale3.values()) != 1:
+            fails.append("baseline: bogus entry not reported stale")
+
+
+def run():
+    fails = []
+    _tokenizer_checks(fails)
+    fixture_findings = _run_fixtures(fails)
+    _sarif_checks(fails, [f for _, f in fixture_findings])
+    _baseline_checks(fails, fixture_findings)
+    if fails:
+        for msg in fails:
+            print("SELF-TEST FAIL: %s" % msg)
+        return 1
+    print("softrec_analyze self-test: OK (%d rules, %d fixture "
+          "findings)" % (len(registry.all_rules()),
+                         len(fixture_findings)))
+    return 0

@@ -1,512 +1,30 @@
 #!/usr/bin/env python3
-"""SoftRec domain lint: numerics and hygiene invariants for src/.
+"""Compatibility shim for the legacy lint entry point.
 
-The softmax-recomposition pipeline is only useful if every rewrite of
-it stays numerically safe, so this lint enforces repo-specific rules
-that generic tools cannot know about:
+The single-file linter grew into the multi-pass analyzer package at
+tools/softrec_analyze/ (rule registry, per-line suppressions, checked
+baseline, SARIF output — see docs/STATIC_ANALYSIS.md). This shim keeps
+the old command line working for one release so CI configs and editor
+hooks migrate gracefully:
 
-  raw-exp           exp() on attention logits is only safe inside the
-                    safe-softmax / LS helpers that subtract a running
-                    max first; anywhere else it risks overflow for
-                    logits > ~88 (fp32) or ~11 (fp16).
-  half-narrow       float -> Half narrowing must be spelled with the
-                    explicit Half(...) constructor; casts that hide
-                    the rounding step are confined to src/fp16/.
-  half-loop-conv    kernels (src/kernels/) must not convert Half
-                    elements one at a time inside a loop; use the
-                    batch halfToFloat/floatToHalf span conversions,
-                    which dispatch to the SIMD backends.
-  unseeded-rng      all randomness flows through common/rng (seeded,
-                    cross-platform deterministic); rand()/<random>
-                    would silently break reproducibility.
-  const-cast        the const_cast-through-this accessor idiom is
-                    UB-adjacent; share a template helper instead.
-  bare-assert       assert(3) vanishes under NDEBUG; use
-                    SOFTREC_ASSERT (always on) or SOFTREC_CHECK
-                    (checked builds).
-  include-guard     .hpp guards must match SOFTREC_<DIR>_<FILE>_HPP.
-  own-header-first  each .cpp includes its own header first, so every
-                    header proves it is self-contained.
-  relative-include  no "../" includes; all paths are rooted at src/.
-  using-namespace   no `using namespace` in src/ (headers poison every
-                    includer; std pollutes overload resolution).
+    python3 tools/softrec_lint.py [--root R] [--list-rules]
+                                  [--self-test] [paths...]
 
-A finding can be suppressed for one code line with a comment, on the
-same line or any directly preceding comment line:
+Every argument is forwarded to the package verbatim; the new flags
+(--sarif, --baseline, --changed-only, ...) are available only on the
+new entry point:
 
-    // softrec-lint: allow(raw-exp) -- reason
-
-Exit status: 0 clean, 1 findings, 2 usage/internal error.
+    python3 tools/softrec_analyze [args]
 """
 
-import argparse
 import os
-import re
 import sys
-import tempfile
 
-# Files implementing safe softmax itself: exp() here is always of the
-# form exp(x - m) with m the running/local/global max.
-RAW_EXP_ALLOWED_FILES = {
-    "src/kernels/softmax_kernels.cpp",
-    "src/kernels/decode_attention.cpp",
-    "src/kernels/bsr_softmax.cpp",
-    "src/kernels/bsr_gemm.cpp",
-    "src/kernels/gemm.cpp",
-    "src/kernels/fused_mha.cpp",
-    "src/core/softmax_math.cpp",
-    "src/core/attention_exec.cpp",
-}
+_PKG = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "softrec_analyze")
+sys.path.insert(0, _PKG)
 
-# The seeded deterministic generator lives here.
-RNG_ALLOWED_FILES = {
-    "src/common/rng.cpp",
-    "src/common/rng.hpp",
-}
-
-# The storage type itself may convert however it needs to.
-HALF_NARROW_ALLOWED_DIRS = ("src/fp16/",)
-
-ALLOW_RE = re.compile(r"softrec-lint:\s*allow\(([a-z-]+)\)")
-
-RULES = {
-    "raw-exp": (
-        "bare exp() outside the safe-softmax/LS helpers; subtract the "
-        "row max first or move the code into a safe-softmax helper"
-    ),
-    "half-narrow": (
-        "hidden float->Half narrowing cast; spell the rounding step "
-        "with the explicit Half(...) constructor"
-    ),
-    "half-loop-conv": (
-        "per-element Half conversion inside a loop in src/kernels/; "
-        "stage the row once with halfToFloat/floatToHalf so the "
-        "conversion vectorizes"
-    ),
-    "unseeded-rng": (
-        "non-deterministic or unseeded RNG; use softrec::Rng "
-        "(common/rng) so runs reproduce across platforms"
-    ),
-    "const-cast": (
-        "const_cast is UB-adjacent; share a template helper between "
-        "the const and non-const overloads"
-    ),
-    "bare-assert": (
-        "assert(3) vanishes under NDEBUG; use SOFTREC_ASSERT or "
-        "SOFTREC_CHECK"
-    ),
-    "include-guard": "include guard must be SOFTREC_<DIR>_<FILE>_HPP",
-    "own-header-first": (
-        "a .cpp must include its own header first to prove the header "
-        "is self-contained"
-    ),
-    "relative-include": (
-        'no "../" or "./" includes; write paths rooted at src/'
-    ),
-    "using-namespace": "`using namespace` is banned in src/",
-}
-
-RAW_EXP_RE = re.compile(r"(?<![\w.:])(?:std::)?expf?\s*\(")
-HALF_NARROW_RE = re.compile(
-    r"static_cast<\s*Half\s*>|\(\s*Half\s*\)\s*[\w(]")
-# Per-element conversions the batch span routines replace: widening an
-# element access to float, calling toFloat() on one element, or
-# narrowing one element through the Half(...) constructor.
-HALF_LOOP_CONV_RE = re.compile(
-    r"\bfloat\s*\(\s*[^()]*(?:\.|->)\s*at\s*\("
-    r"|(?:\.|->)\s*toFloat\s*\(\s*\)"
-    r"|=\s*Half\s*\(\s*[^)]")
-HALF_LOOP_CONV_DIRS = ("src/kernels/",)
-LOOP_HEADER_RE = re.compile(r"\b(?:for|while)\s*\(")
-RNG_RE = re.compile(
-    r"(?<![\w:])s?rand\s*\(|std::random_device|std::mt19937"
-    r"|std::default_random_engine|#\s*include\s*<random>")
-CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
-BARE_ASSERT_RE = re.compile(
-    r"(?<![\w.])assert\s*\(|#\s*include\s*<(?:cassert|assert\.h)>")
-RELATIVE_INCLUDE_RE = re.compile(r'#\s*include\s*"\.\.?/')
-USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
-INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
-
-
-class Finding:
-    def __init__(self, path, line, rule, detail=None):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.detail = detail or RULES[rule]
-
-    def __str__(self):
-        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
-                                   self.detail)
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving line
-    structure, so rule regexes only see real code."""
-    out = []
-    i = 0
-    n = len(text)
-    state = "code"  # code | line-comment | block-comment | dq | sq
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line-comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block-comment"
-                out.append("  ")
-                i += 2
-                continue
-            if c == '"':
-                state = "dq"
-                out.append(" ")
-                i += 1
-                continue
-            if c == "'":
-                state = "sq"
-                out.append(" ")
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line-comment":
-            if c == "\n":
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        elif state == "block-comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append("\n" if c == "\n" else " ")
-        else:  # dq / sq string literal
-            quote = '"' if state == "dq" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == quote:
-                state = "code"
-                out.append(" ")
-            elif c == "\n":
-                # Unterminated (raw strings etc.); recover per line.
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-def expected_guard(rel_path):
-    stem = rel_path[len("src/"):] if rel_path.startswith("src/") \
-        else rel_path
-    stem = re.sub(r"\.hpp$", "", stem)
-    return "SOFTREC_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + \
-        "_HPP"
-
-
-def collect_allows(raw_lines):
-    """Map line number (1-based) -> set of allowed rules, honouring
-    annotations on the same line or directly preceding comment lines."""
-    allows = {}
-    pending = set()
-    for idx, raw in enumerate(raw_lines, start=1):
-        stripped = raw.strip()
-        is_comment = stripped.startswith(("//", "*", "/*")) or \
-            stripped == ""
-        here = set(ALLOW_RE.findall(raw))
-        if is_comment:
-            pending |= here
-            continue
-        allows[idx] = here | pending
-        pending = set()
-    return allows
-
-
-def lint_file(root, rel_path):
-    findings = []
-    path = os.path.join(root, rel_path)
-    try:
-        with open(path, encoding="utf-8") as f:
-            text = f.read()
-    except (OSError, UnicodeDecodeError) as exc:
-        return [Finding(rel_path, 0, "include-guard",
-                        "unreadable file: %s" % exc)]
-    raw_lines = text.splitlines()
-    code_lines = strip_comments_and_strings(text).splitlines()
-    allows = collect_allows(raw_lines)
-    is_header = rel_path.endswith(".hpp")
-
-    def emit(lineno, rule, detail=None):
-        if rule not in allows.get(lineno, set()):
-            findings.append(Finding(rel_path, lineno, rule, detail))
-
-    first_include = None
-    # Loop tracking for half-loop-conv: a stack of the brace depths at
-    # which loop bodies opened, plus a two-line grace window so
-    # braceless bodies (`for (...) stmt;`) are still inside the loop.
-    lint_loop_conv = rel_path.startswith(HALF_LOOP_CONV_DIRS)
-    loop_stack = []
-    brace_depth = 0
-    pending_loop = 0
-    for lineno, code in enumerate(code_lines, start=1):
-        if lint_loop_conv:
-            if LOOP_HEADER_RE.search(code):
-                pending_loop = 2
-            if (loop_stack or pending_loop > 0) and \
-                    HALF_LOOP_CONV_RE.search(code):
-                emit(lineno, "half-loop-conv")
-            for ch in code:
-                if ch == "{":
-                    brace_depth += 1
-                    if pending_loop > 0:
-                        loop_stack.append(brace_depth)
-                        pending_loop = 0
-                elif ch == "}":
-                    if loop_stack and loop_stack[-1] == brace_depth:
-                        loop_stack.pop()
-                    brace_depth -= 1
-            if pending_loop > 0:
-                pending_loop -= 1
-        # The stripper blanks string literals, including the quoted
-        # path of an include directive; re-read the raw line for the
-        # include-specific rules once we know the directive is real
-        # code (i.e. survives stripping) and not inside a comment.
-        include_src = ""
-        if re.match(r"\s*#\s*include\b", code):
-            include_src = raw_lines[lineno - 1]
-        if first_include is None and include_src:
-            m = INCLUDE_RE.match(include_src)
-            if m:
-                first_include = (lineno, m.group(1))
-
-        if RAW_EXP_RE.search(code) and \
-                rel_path not in RAW_EXP_ALLOWED_FILES:
-            emit(lineno, "raw-exp")
-        if HALF_NARROW_RE.search(code) and \
-                not rel_path.startswith(HALF_NARROW_ALLOWED_DIRS):
-            emit(lineno, "half-narrow")
-        if RNG_RE.search(code) and rel_path not in RNG_ALLOWED_FILES:
-            emit(lineno, "unseeded-rng")
-        if CONST_CAST_RE.search(code):
-            emit(lineno, "const-cast")
-        if BARE_ASSERT_RE.search(code):
-            emit(lineno, "bare-assert")
-        if include_src and RELATIVE_INCLUDE_RE.search(include_src):
-            emit(lineno, "relative-include")
-        if USING_NAMESPACE_RE.search(code):
-            emit(lineno, "using-namespace")
-
-    if is_header:
-        guard = expected_guard(rel_path)
-        joined = "\n".join(code_lines)
-        if not re.search(r"#\s*ifndef\s+%s\b" % re.escape(guard),
-                         joined):
-            emit(1, "include-guard",
-                 "expected include guard %s" % guard)
-
-    if rel_path.endswith(".cpp"):
-        own_header = re.sub(r"\.cpp$", ".hpp", rel_path)
-        if os.path.exists(os.path.join(root, own_header)):
-            want = own_header[len("src/"):] \
-                if own_header.startswith("src/") else own_header
-            if first_include is None or first_include[1] != want:
-                emit(first_include[0] if first_include else 1,
-                     "own-header-first",
-                     'first include must be "%s"' % want)
-
-    return findings
-
-
-def iter_source_files(root, subdir="src"):
-    base = os.path.join(root, subdir)
-    for dirpath, _, filenames in os.walk(base):
-        for name in sorted(filenames):
-            if name.endswith((".cpp", ".hpp")):
-                yield os.path.relpath(os.path.join(dirpath, name),
-                                      root).replace(os.sep, "/")
-
-
-# --------------------------------------------------------------------
-# Self-test fixtures: (relative path, content, set of expected rules).
-
-SELF_TEST_FIXTURES = [
-    ("src/kernels/bad_exp.cpp",
-     '#include "kernels/bad_exp.hpp"\n'
-     "float f(float x) { return std::exp(x); }\n",
-     {"raw-exp"}),
-    ("src/kernels/allowed_exp.cpp",
-     '#include "kernels/allowed_exp.hpp"\n'
-     "// softrec-lint: allow(raw-exp) -- unit-test fixture\n"
-     "float f(float x) { return std::exp(x); }\n",
-     set()),
-    ("src/kernels/comment_exp.cpp",
-     '#include "kernels/comment_exp.hpp"\n'
-     "// stores X' = exp(s - m') per tile\n"
-     'const char *s = "exp(x)";\n',
-     set()),
-    ("src/kernels/bad_loop_conv.cpp",
-     '#include "kernels/bad_loop_conv.hpp"\n'
-     "void f(const Tensor<Half> &in, Tensor<Half> &out, int64_t n) {\n"
-     "    for (int64_t j = 0; j < n; ++j) {\n"
-     "        const float v = float(in.at(0, j));\n"
-     "        out.at(0, j) = Half(v + 1.0f);\n"
-     "    }\n"
-     "    for (int64_t j = 0; j < n; ++j)\n"
-     "        out.at(1, j) = Half(in.at(0, j).toFloat());\n"
-     "}\n",
-     {"half-loop-conv"}),
-    ("src/kernels/ok_batch_conv.cpp",
-     '#include "kernels/ok_batch_conv.hpp"\n'
-     "void f(const Tensor<Half> &in, Tensor<Half> &out, int64_t n) {\n"
-     "    std::vector<float> row(size_t(n), 0.0f);\n"
-     "    halfToFloat(in.rowPtr(0), row.data(), n);\n"
-     "    for (int64_t j = 0; j < n; ++j)\n"
-     "        row[size_t(j)] += 1.0f;\n"
-     "    floatToHalf(row.data(), out.rowPtr(0), n);\n"
-     "}\n",
-     set()),
-    ("src/model/ok_loop_conv.cpp",
-     '#include "model/ok_loop_conv.hpp"\n'
-     "void f(const Tensor<Half> &in, Tensor<Half> &out, int64_t n) {\n"
-     "    for (int64_t j = 0; j < n; ++j)\n"
-     "        out.at(0, j) = Half(float(in.at(0, j)) + 1.0f);\n"
-     "}\n",
-     set()),
-    ("src/model/bad_half.cpp",
-     '#include "model/bad_half.hpp"\n'
-     "Half g(float x) { return static_cast<Half>(x); }\n",
-     {"half-narrow"}),
-    ("src/fp16/ok_half.cpp",
-     '#include "fp16/ok_half.hpp"\n'
-     "Half g(float x) { return static_cast<Half>(x); }\n",
-     set()),
-    ("src/model/bad_rng.cpp",
-     '#include "model/bad_rng.hpp"\n'
-     "#include <random>\n"
-     "int r() { return rand(); }\n",
-     {"unseeded-rng"}),
-    ("src/sparse/bad_cast.cpp",
-     '#include "sparse/bad_cast.hpp"\n'
-     "int &f(const int *p) { return *const_cast<int *>(p); }\n",
-     {"const-cast"}),
-    ("src/common/bad_assert.cpp",
-     '#include "common/bad_assert.hpp"\n'
-     "#include <cassert>\n"
-     "void f(int x) { assert(x > 0); }\n",
-     {"bare-assert"}),
-    ("src/common/ok_assert.cpp",
-     '#include "common/ok_assert.hpp"\n'
-     'void f(int x) { SOFTREC_ASSERT(x > 0, "x"); '
-     'static_assert(1 + 1 == 2); }\n',
-     set()),
-    ("src/sim/bad_guard.hpp",
-     "#ifndef WRONG_GUARD_HPP\n#define WRONG_GUARD_HPP\n#endif\n",
-     {"include-guard"}),
-    ("src/sim/good_guard.hpp",
-     "#ifndef SOFTREC_SIM_GOOD_GUARD_HPP\n"
-     "#define SOFTREC_SIM_GOOD_GUARD_HPP\n#endif\n",
-     set()),
-    ("src/core/bad_order.cpp",
-     '#include "common/logging.hpp"\n'
-     '#include "core/bad_order.hpp"\n',
-     {"own-header-first"}),
-    ("src/core/bad_relative.cpp",
-     '#include "core/bad_relative.hpp"\n'
-     '#include "../common/logging.hpp"\n',
-     {"relative-include"}),
-    ("src/model/bad_using.cpp",
-     '#include "model/bad_using.hpp"\n'
-     "using namespace std;\n",
-     {"using-namespace"}),
-]
-
-
-def run_self_test():
-    failures = []
-    with tempfile.TemporaryDirectory(prefix="softrec_lint_") as tmp:
-        for rel, content, _ in SELF_TEST_FIXTURES:
-            path = os.path.join(tmp, rel)
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(path, "w", encoding="utf-8") as f:
-                f.write(content)
-            header = re.sub(r"\.cpp$", ".hpp", path)
-            if path.endswith(".cpp") and not os.path.exists(header):
-                rel_header = re.sub(r"\.cpp$", ".hpp", rel)
-                with open(header, "w", encoding="utf-8") as f:
-                    f.write("#ifndef %s\n#define %s\n#endif\n"
-                            % (expected_guard(rel_header),
-                               expected_guard(rel_header)))
-        for rel, _, expected in SELF_TEST_FIXTURES:
-            got = {f.rule for f in lint_file(tmp, rel)}
-            if got != expected:
-                failures.append("%s: expected %s, got %s"
-                                % (rel, sorted(expected) or "clean",
-                                   sorted(got) or "clean"))
-    if failures:
-        for f in failures:
-            print("self-test FAIL: %s" % f, file=sys.stderr)
-        return 1
-    print("softrec_lint: self-test OK (%d fixtures, %d rules)"
-          % (len(SELF_TEST_FIXTURES), len(RULES)))
-    return 0
-
-
-def main(argv=None):
-    parser = argparse.ArgumentParser(
-        description=__doc__.splitlines()[0],
-        formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--root", default=None,
-                        help="repository root (default: the parent of "
-                             "this script's directory)")
-    parser.add_argument("paths", nargs="*",
-                        help="files to lint, relative to the root "
-                             "(default: all of src/)")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule catalogue and exit")
-    parser.add_argument("--self-test", action="store_true",
-                        help="run the embedded fixture suite and exit")
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        for rule in sorted(RULES):
-            print("%-18s %s" % (rule, RULES[rule]))
-        return 0
-    if args.self_test:
-        return run_self_test()
-
-    root = args.root or os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
-    if not os.path.isdir(os.path.join(root, "src")):
-        print("softrec_lint: no src/ under root %r" % root,
-              file=sys.stderr)
-        return 2
-
-    rel_paths = [p.replace(os.sep, "/") for p in args.paths] or \
-        list(iter_source_files(root))
-    findings = []
-    for rel in rel_paths:
-        findings.extend(lint_file(root, rel))
-
-    for finding in findings:
-        print(finding)
-    if findings:
-        print("softrec_lint: %d finding(s) in %d file(s)"
-              % (len(findings), len({f.path for f in findings})),
-              file=sys.stderr)
-        return 1
-    print("softrec_lint: OK (%d files, %d rules)"
-          % (len(rel_paths), len(RULES)))
-    return 0
-
+import cli  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cli.main())
