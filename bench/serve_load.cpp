@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Trace-driven serve-load benchmark for the async engine's admission
+ * regimes. Three arms pin the admission thresholds so each regime is
+ * actually exercised:
+ *
+ *   normal  gentle Poisson arrivals under roomy thresholds
+ *           (soft 95 / hard 99) — the engine stays in normal mode;
+ *   soft    the same Poisson trace with soft-enter pinned to 1% —
+ *           every step boundary keeps the engine soft-throttled, so
+ *           long prompts bounce off the throttled prompt cap;
+ *   hard    bursty arrivals with hard-enter pinned to 2% — the
+ *           regime ramps normal→soft→hard and fail-fasts the bulk of
+ *           the burst.
+ *
+ * Each arm replays its arrival trace against a live ServeEngine:
+ * producers sleep until each request's arrival time, submit, and on
+ * accept hand the session to a consumer thread that drains the token
+ * stream recording per-token latencies (first token measured from
+ * submit, the rest as inter-token deltas). Per arm the report carries
+ * goodput (delivered tokens/s), reject rate, p50/p95/p99 token
+ * latency, and the admission controller's mode residency.
+ *
+ * Writes BENCH_serve_load.json (schema softrec-bench-v1); gated in CI
+ * by tools/check_bench_json.py.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/bench_report.hpp"
+#include "common/exec_context.hpp"
+#include "common/logging.hpp"
+#include "common/profiler.hpp"
+#include "common/rng.hpp"
+#include "fp16/half.hpp"
+#include "model/decode.hpp"
+#include "serve/serve_engine.hpp"
+#include "tensor/tensor.hpp"
+
+namespace softrec {
+namespace {
+
+constexpr int64_t kGenerateTokens = 6;
+constexpr int64_t kTenants = 3;
+
+/** One request in an arrival trace. */
+struct TraceItem
+{
+    double atSeconds = 0.0;
+    int64_t promptTokens = 0;
+    int64_t tenantId = 0;
+};
+
+/** Mixed prompt lengths: short/medium/long in rotation. */
+int64_t
+mixedPromptTokens(int64_t index)
+{
+    static const int64_t lengths[] = {4, 8, 16};
+    return lengths[index % 3];
+}
+
+/** Poisson arrivals: exponential interarrival at `rate_per_s`. */
+std::vector<TraceItem>
+poissonTrace(Rng &rng, int64_t requests, double rate_per_s)
+{
+    std::vector<TraceItem> trace;
+    trace.reserve(size_t(requests));
+    double t = 0.0;
+    for (int64_t i = 0; i < requests; ++i) {
+        t += -std::log(1.0 - rng.uniform()) / rate_per_s;
+        TraceItem item;
+        item.atSeconds = t;
+        item.promptTokens = mixedPromptTokens(i);
+        item.tenantId = i % kTenants;
+        trace.push_back(item);
+    }
+    return trace;
+}
+
+/** Bursty arrivals: `per_burst` simultaneous requests every gap. */
+std::vector<TraceItem>
+burstyTrace(int64_t bursts, int64_t per_burst, double gap_seconds)
+{
+    std::vector<TraceItem> trace;
+    trace.reserve(size_t(bursts * per_burst));
+    for (int64_t b = 0; b < bursts; ++b) {
+        for (int64_t i = 0; i < per_burst; ++i) {
+            TraceItem item;
+            item.atSeconds = double(b) * gap_seconds;
+            item.promptTokens = mixedPromptTokens(b * per_burst + i);
+            item.tenantId = i % kTenants;
+            trace.push_back(item);
+        }
+    }
+    return trace;
+}
+
+Tensor<Half>
+randomPrompt(Rng &rng, int64_t tokens, int64_t d_model)
+{
+    Tensor<Half> prompt(Shape({tokens, d_model}));
+    for (int64_t i = 0; i < prompt.numel(); ++i)
+        prompt.data()[i] = Half(float(rng.normal(0.0, 0.5)));
+    return prompt;
+}
+
+/** What one arm measured. */
+struct ArmResult
+{
+    int64_t submitted = 0;
+    int64_t accepted = 0;
+    int64_t rejected = 0;
+    int64_t tokensDelivered = 0;
+    double seconds = 0.0;
+    std::vector<double> tokenLatencies;
+    ServeStats stats;
+};
+
+/** Replay `trace` against a fresh engine under `config`. */
+ArmResult
+runArm(const ExecContext &ctx, const DecoderStack &stack,
+       const ServeConfig &config, const std::vector<TraceItem> &trace)
+{
+    ServeEngine engine(ctx, stack, config);
+    engine.start();
+
+    std::mutex merge_mutex;
+    ArmResult result;
+    std::vector<std::thread> consumers;
+    consumers.reserve(trace.size());
+
+    Rng prompt_rng(23);
+    const double start = engine.nowSeconds();
+    for (const TraceItem &item : trace) {
+        while (engine.nowSeconds() - start < item.atSeconds)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+
+        ServeRequest request;
+        request.tenantId = item.tenantId;
+        request.prompt = randomPrompt(prompt_rng, item.promptTokens,
+                                      stack.config.dModel);
+        request.generateTokens = kGenerateTokens;
+        ++result.submitted;
+        const double submit_at = engine.nowSeconds();
+        SubmitResult submit = engine.submit(std::move(request));
+        if (!submit.decision.accepted) {
+            SOFTREC_ASSERT(!submit.decision.reason.empty() &&
+                               !submit.decision.metric.empty(),
+                           "rejection must be structured");
+            ++result.rejected;
+            continue;
+        }
+        ++result.accepted;
+        consumers.emplace_back(
+            [session = std::move(submit.session), submit_at, &engine,
+             &merge_mutex, &result]() mutable {
+                Tensor<Half> row;
+                std::vector<double> latencies;
+                double prev = submit_at;
+                while (session.stream().next(row)) {
+                    const double now = engine.nowSeconds();
+                    latencies.push_back(now - prev);
+                    prev = now;
+                }
+                std::lock_guard<std::mutex> lock(merge_mutex);
+                result.tokensDelivered += int64_t(latencies.size());
+                result.tokenLatencies.insert(
+                    result.tokenLatencies.end(), latencies.begin(),
+                    latencies.end());
+            });
+    }
+
+    for (std::thread &consumer : consumers)
+        consumer.join();
+    engine.waitIdle();
+    result.seconds = engine.nowSeconds() - start;
+    result.stats = engine.stats();
+    return result;
+}
+
+void
+reportArm(BenchReport &report, const std::string &arm,
+          const ArmResult &result)
+{
+    const double goodput =
+        result.seconds > 0.0
+            ? double(result.tokensDelivered) / result.seconds
+            : 0.0;
+    const double reject_rate =
+        result.submitted > 0
+            ? double(result.rejected) / double(result.submitted)
+            : 0.0;
+    report.setDerived(arm + "_goodput_tok_s", goodput);
+    report.setDerived(arm + "_reject_rate", reject_rate);
+    report.setDerived(arm + "_p50_token_ms",
+                      percentileSeconds(result.tokenLatencies, 0.50) *
+                          1e3);
+    report.setDerived(arm + "_p95_token_ms",
+                      percentileSeconds(result.tokenLatencies, 0.95) *
+                          1e3);
+    report.setDerived(arm + "_p99_token_ms",
+                      percentileSeconds(result.tokenLatencies, 0.99) *
+                          1e3);
+    const AdmissionController::Residency &residency =
+        result.stats.residency;
+    report.setDerived(
+        arm + "_steps_normal",
+        double(residency.updatesInMode[size_t(AdmissionMode::Normal)]));
+    report.setDerived(
+        arm + "_steps_soft",
+        double(residency.updatesInMode[size_t(
+            AdmissionMode::SoftThrottled)]));
+    report.setDerived(
+        arm + "_steps_hard",
+        double(residency.updatesInMode[size_t(
+            AdmissionMode::HardFailFast)]));
+    report.setDerived(arm + "_mode_transitions",
+                      double(residency.transitions));
+    inform("%s: %.0f tok/s goodput, %.0f%% rejected "
+           "(%lld/%lld), token p50 %.2f ms p99 %.2f ms, "
+           "residency n/s/h = %lld/%lld/%lld",
+           arm.c_str(), goodput, reject_rate * 100.0,
+           (long long)result.rejected, (long long)result.submitted,
+           percentileSeconds(result.tokenLatencies, 0.50) * 1e3,
+           percentileSeconds(result.tokenLatencies, 0.99) * 1e3,
+           (long long)residency
+               .updatesInMode[size_t(AdmissionMode::Normal)],
+           (long long)residency
+               .updatesInMode[size_t(AdmissionMode::SoftThrottled)],
+           (long long)residency
+               .updatesInMode[size_t(AdmissionMode::HardFailFast)]);
+}
+
+} // namespace
+} // namespace softrec
+
+int
+main()
+{
+    using namespace softrec;
+
+    const int64_t d_model = 32;
+    Rng weights_rng(7);
+    const DecoderStack stack =
+        DecoderStack::random(d_model, /*num_heads=*/2, /*d_ff=*/64,
+                             /*num_layers=*/2, weights_rng);
+    const ExecContext ctx = ExecContext::fromEnv();
+
+    BenchReport report("serve_load");
+    report.setConfig("d_model", d_model);
+    report.setConfig("generate_tokens", kGenerateTokens);
+    report.setConfig("tenants", kTenants);
+    report.setConfig("threads", int64_t(ctx.threads()));
+
+    // Arm "normal": gentle Poisson under roomy thresholds.
+    {
+        ServeConfig config;
+        config.maxBatchRows = 4;
+        config.tokenBudget = 4096;
+        config.queueCapacity = 64;
+        config.streamCapacity = 64;
+        config.admission.softEnterPct = 95;
+        config.admission.hardEnterPct = 99;
+        config.admission.hysteresisPct = 10;
+        config.admission.tenantTokenBudget = 4096;
+        config.admission.softPromptCapTokens = 8;
+        Rng rng(101);
+        const std::vector<TraceItem> trace =
+            poissonTrace(rng, /*requests=*/18, /*rate_per_s=*/600.0);
+        report.setConfig("normal_requests", int64_t(trace.size()));
+        report.setConfig("normal_arrivals", "poisson");
+        reportArm(report, "normal", runArm(ctx, stack, config, trace));
+    }
+
+    // Arm "soft": the same gentle trace, but soft-enter pinned to 1%
+    // so every step boundary holds the engine soft-throttled and the
+    // 16-token prompts bounce off the throttled cap of 8.
+    {
+        ServeConfig config;
+        config.maxBatchRows = 4;
+        config.tokenBudget = 4096;
+        config.queueCapacity = 64;
+        config.streamCapacity = 64;
+        config.admission.softEnterPct = 1;
+        config.admission.hardEnterPct = 99;
+        config.admission.hysteresisPct = 1;
+        config.admission.tenantTokenBudget = 4096;
+        config.admission.softPromptCapTokens = 8;
+        Rng rng(101);
+        const std::vector<TraceItem> trace =
+            poissonTrace(rng, /*requests=*/18, /*rate_per_s=*/600.0);
+        report.setConfig("soft_requests", int64_t(trace.size()));
+        report.setConfig("soft_arrivals", "poisson");
+        reportArm(report, "soft", runArm(ctx, stack, config, trace));
+    }
+
+    // Arm "hard": heavy bursts against thresholds pinned to 1%/2% —
+    // the regime ramps to hard-fail-fast and sheds the backlog.
+    {
+        ServeConfig config;
+        config.maxBatchRows = 2;
+        config.tokenBudget = 256;
+        config.queueCapacity = 16;
+        config.streamCapacity = 64;
+        config.admission.softEnterPct = 1;
+        config.admission.hardEnterPct = 2;
+        config.admission.hysteresisPct = 1;
+        config.admission.tenantTokenBudget = 256;
+        config.admission.softPromptCapTokens = 16;
+        const std::vector<TraceItem> trace =
+            burstyTrace(/*bursts=*/4, /*per_burst=*/8,
+                        /*gap_seconds=*/0.02);
+        report.setConfig("hard_requests", int64_t(trace.size()));
+        report.setConfig("hard_arrivals", "bursty");
+        reportArm(report, "hard", runArm(ctx, stack, config, trace));
+    }
+
+    const std::string path = report.defaultPath();
+    if (!report.writeFile(path))
+        return 1;
+    inform("wrote %s", path.c_str());
+    return 0;
+}

@@ -16,11 +16,14 @@
 #      under the sanitizers (reports go to the build dir, not the root)
 #   7. tsan build + parallel-runtime tests under SOFTREC_THREADS=4
 #      (profiling enabled: test_profiler exercises the counter merge;
-#      test_serve exercises queue/pool shutdown ordering)
-#   8. bench smoke: micro_kernels, micro_simd, and serve_throughput at
-#      a CI-sized sequence length; SOFTREC_BENCH_DIR routes every
-#      report to the repo root, each expected BENCH_*.json must exist
-#      there, and all must pass tools/check_bench_json.py
+#      test_serve exercises queue/pool shutdown ordering;
+#      test_admission races concurrent reserves; test_serve_engine
+#      drives the async engine's producer/consumer threads)
+#   8. bench smoke: micro_kernels, micro_simd, serve_throughput, and
+#      the serve_load admission-regime trace at a CI-sized sequence
+#      length; SOFTREC_BENCH_DIR routes every report to the repo
+#      root, each expected BENCH_*.json must exist there, and all
+#      must pass tools/check_bench_json.py
 #
 # Every stage must pass; the script stops at the first failure.
 # A toolchain without clang still runs stages 2 and 4-6, which are the
@@ -110,10 +113,16 @@ cmake --preset tsan -DSOFTREC_WERROR=ON >/dev/null
 cmake --build build/tsan -j "${JOBS}" --target \
     test_exec_context test_parallel_determinism \
     test_attention_exec test_functional_layer test_profiler \
-    test_serve
+    test_serve test_admission test_serve_engine
 SOFTREC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build/tsan --output-on-failure -j "${JOBS}" \
-    -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer|test_profiler|test_serve'
+    -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer|test_profiler|test_serve|test_admission|test_serve_engine'
+
+step "serve-load smoke: admission regimes under a live trace"
+cmake --build build/release -j "${JOBS}" --target serve_load
+( cd build/release/bench &&
+  SOFTREC_BENCH_DIR="${ROOT}" SOFTREC_THREADS=4 ./serve_load \
+      >/dev/null )
 
 step "bench smoke: BENCH JSON schema gate (reports at repo root)"
 cmake --build build/release -j "${JOBS}" --target micro_kernels \
@@ -130,7 +139,7 @@ cmake --build build/release -j "${JOBS}" --target micro_kernels \
   SOFTREC_BENCH_SEQLEN=128 SOFTREC_THREADS=4 ./serve_throughput \
       >/dev/null )
 for report in BENCH_micro_kernels.json BENCH_micro_simd.json \
-              BENCH_serve_throughput.json; do
+              BENCH_serve_throughput.json BENCH_serve_load.json; do
     if [ ! -f "${ROOT}/${report}" ]; then
         echo "ci: expected bench report ${report} missing at repo root" >&2
         exit 1
@@ -139,6 +148,7 @@ done
 python3 tools/check_bench_json.py \
     "${ROOT}/BENCH_micro_kernels.json" \
     "${ROOT}/BENCH_micro_simd.json" \
-    "${ROOT}/BENCH_serve_throughput.json"
+    "${ROOT}/BENCH_serve_throughput.json" \
+    "${ROOT}/BENCH_serve_load.json"
 
 printf '\n=== ci: all gates passed ===\n'

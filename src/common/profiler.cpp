@@ -33,6 +33,14 @@ Profiler::statsFor(const std::string &name) const
 }
 
 void
+Profiler::addEvent(const char *name, int64_t count)
+{
+    ScopeStats delta;
+    delta.calls = count;
+    merge(name, delta);
+}
+
+void
 Profiler::merge(const char *name, const ScopeStats &delta)
 {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -68,6 +68,15 @@ class Profiler
     /** Totals for one scope; default ScopeStats if never entered. */
     ScopeStats statsFor(const std::string &name) const;
 
+    /**
+     * Record `count` occurrences of a named event (admission-mode
+     * transitions, stream cancellations, …): bumps the scope's call
+     * counter with zero time and zero traffic, so events share the
+     * report plumbing with kernel scopes. `name` must outlive the
+     * profiler (string literals in practice).
+     */
+    void addEvent(const char *name, int64_t count = 1);
+
   private:
     friend class Scope;
     void merge(const char *name, const ScopeStats &delta);
@@ -132,6 +141,17 @@ class Scope
     std::chrono::steady_clock::time_point start_;
     std::vector<Slot> slots_;
 };
+
+/**
+ * Count an event against the context's profiler (inert, like Scope,
+ * when none is attached).
+ */
+inline void
+event(const ExecContext &ctx, const char *name, int64_t count = 1)
+{
+    if (ctx.profiler != nullptr)
+        ctx.profiler->addEvent(name, count);
+}
 
 } // namespace prof
 } // namespace softrec

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Admission-control state machine implementation.
+ */
+
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace softrec {
+
+const char *
+admissionModeName(AdmissionMode mode)
+{
+    switch (mode) {
+    case AdmissionMode::Normal:
+        return "normal";
+    case AdmissionMode::SoftThrottled:
+        return "soft";
+    case AdmissionMode::HardFailFast:
+        return "hard";
+    }
+    return "unknown";
+}
+
+AdmissionDecision
+AdmissionDecision::rejected(AdmissionMode mode, std::string metric,
+                            double value, double threshold,
+                            std::string why)
+{
+    AdmissionDecision decision;
+    decision.accepted = false;
+    decision.mode = mode;
+    decision.metric = std::move(metric);
+    decision.value = value;
+    decision.threshold = threshold;
+    decision.reason = std::move(why);
+    return decision;
+}
+
+AdmissionDecision
+AdmissionDecision::rejected(std::string why)
+{
+    AdmissionDecision decision;
+    decision.accepted = false;
+    decision.metric = "request_validity";
+    decision.reason = std::move(why);
+    return decision;
+}
+
+AdmissionController::AdmissionController(
+    const AdmissionThresholds &thresholds)
+    : thresholds_(thresholds)
+{
+    SOFTREC_ASSERT(thresholds.softEnterPct >= 1 &&
+                       thresholds.softEnterPct <= 100 &&
+                       thresholds.hardEnterPct >= 1 &&
+                       thresholds.hardEnterPct <= 100,
+                   "mode thresholds must be percentages in [1, 100] "
+                   "(soft=%lld, hard=%lld)",
+                   (long long)thresholds.softEnterPct,
+                   (long long)thresholds.hardEnterPct);
+    SOFTREC_ASSERT(thresholds.softEnterPct < thresholds.hardEnterPct,
+                   "soft threshold (%lld) must be below the hard "
+                   "threshold (%lld)",
+                   (long long)thresholds.softEnterPct,
+                   (long long)thresholds.hardEnterPct);
+    SOFTREC_ASSERT(thresholds.hysteresisPct >= 1 &&
+                       thresholds.hysteresisPct <= 100,
+                   "hysteresis must be a percentage in [1, 100], got "
+                   "%lld", (long long)thresholds.hysteresisPct);
+    SOFTREC_ASSERT(thresholds.tenantTokenBudget > 0,
+                   "tenant token budget must be positive, got %lld",
+                   (long long)thresholds.tenantTokenBudget);
+    SOFTREC_ASSERT(thresholds.softPromptCapTokens > 0,
+                   "soft prompt cap must be positive, got %lld",
+                   (long long)thresholds.softPromptCapTokens);
+}
+
+bool
+AdmissionController::updatePressure(const PressureSample &sample)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The triggering metric is whichever dimension is hotter; ties go
+    // to KV occupancy (the budget that actually bounds decode).
+    if (sample.queueDepthPct > sample.kvOccupancyPct) {
+        pressure_ = sample.queueDepthPct;
+        pressureMetric_ = "queue_depth_pct";
+    } else {
+        pressure_ = sample.kvOccupancyPct;
+        pressureMetric_ = "kv_occupancy_pct";
+    }
+
+    const double soft_enter = double(thresholds_.softEnterPct);
+    const double hard_enter = double(thresholds_.hardEnterPct);
+    const double soft_exit =
+        double(thresholds_.softEnterPct - thresholds_.hysteresisPct);
+    const double hard_exit =
+        double(thresholds_.hardEnterPct - thresholds_.hysteresisPct);
+
+    const AdmissionMode before = mode_;
+    switch (mode_) {
+    case AdmissionMode::Normal:
+        if (pressure_ >= soft_enter)
+            mode_ = AdmissionMode::SoftThrottled;
+        break;
+    case AdmissionMode::SoftThrottled:
+        // Escalation wins over relaxation when both could apply
+        // (impossible with validated thresholds, but explicit).
+        if (pressure_ >= hard_enter)
+            mode_ = AdmissionMode::HardFailFast;
+        else if (pressure_ <= soft_exit)
+            mode_ = AdmissionMode::Normal;
+        break;
+    case AdmissionMode::HardFailFast:
+        if (pressure_ <= hard_exit)
+            mode_ = AdmissionMode::SoftThrottled;
+        break;
+    }
+
+    ++residency_.updatesInMode[size_t(mode_)];
+    if (mode_ != before)
+        ++residency_.transitions;
+    return mode_ != before;
+}
+
+AdmissionMode
+AdmissionController::mode() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return mode_;
+}
+
+AdmissionDecision
+AdmissionController::admitReserve(const AdmissionCandidate &candidate)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    if (mode_ == AdmissionMode::HardFailFast) {
+        return AdmissionDecision::rejected(
+            mode_, pressureMetric_, pressure_,
+            double(thresholds_.hardEnterPct),
+            std::string("hard-fail-fast: ") + pressureMetric_ + " " +
+                std::to_string(int64_t(pressure_)) +
+                " crossed the hard threshold " +
+                std::to_string(thresholds_.hardEnterPct) +
+                "; retry after the backlog drains");
+    }
+
+    int64_t tenant_budget = thresholds_.tenantTokenBudget;
+    if (mode_ == AdmissionMode::SoftThrottled) {
+        if (candidate.promptTokens >
+            thresholds_.softPromptCapTokens) {
+            return AdmissionDecision::rejected(
+                mode_, "prompt_tokens",
+                double(candidate.promptTokens),
+                double(thresholds_.softPromptCapTokens),
+                "soft-throttled: prompt of " +
+                    std::to_string(candidate.promptTokens) +
+                    " tokens exceeds the throttled cap of " +
+                    std::to_string(thresholds_.softPromptCapTokens));
+        }
+        // Only clearly-under-budget tenants get in while throttled.
+        tenant_budget = std::max<int64_t>(1, tenant_budget / 2);
+    }
+
+    int64_t &reserved = tenantTokens_[candidate.tenantId];
+    if (reserved + candidate.footprintTokens > tenant_budget) {
+        const AdmissionDecision decision = AdmissionDecision::rejected(
+            mode_, "tenant_inflight_tokens",
+            double(reserved + candidate.footprintTokens),
+            double(tenant_budget),
+            std::string(mode_ == AdmissionMode::SoftThrottled
+                            ? "soft-throttled: "
+                            : "") +
+                "tenant " + std::to_string(candidate.tenantId) +
+                " would hold " +
+                std::to_string(reserved + candidate.footprintTokens) +
+                " in-flight KV tokens, over its budget of " +
+                std::to_string(tenant_budget));
+        if (reserved == 0)
+            tenantTokens_.erase(candidate.tenantId);
+        return decision;
+    }
+
+    reserved += candidate.footprintTokens;
+    return AdmissionDecision::ok(mode_);
+}
+
+void
+AdmissionController::release(int64_t tenant_id, int64_t tokens)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenantTokens_.find(tenant_id);
+    SOFTREC_ASSERT(it != tenantTokens_.end() && it->second >= tokens,
+                   "release of %lld tokens for tenant %lld exceeds "
+                   "its reservation", (long long)tokens,
+                   (long long)tenant_id);
+    it->second -= tokens;
+    if (it->second == 0)
+        tenantTokens_.erase(it);
+}
+
+int64_t
+AdmissionController::tenantTokens(int64_t tenant_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tenantTokens_.find(tenant_id);
+    return it == tenantTokens_.end() ? 0 : it->second;
+}
+
+AdmissionController::Residency
+AdmissionController::residency() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return residency_;
+}
+
+} // namespace softrec

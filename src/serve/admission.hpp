@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Multi-tenant admission control for the serving engine.
+ *
+ * Under bursty load the engine must degrade *predictably*: instead of
+ * one implicit policy (reject when the queue is full), admission runs
+ * as an explicit three-regime state machine driven by KV-budget
+ * occupancy and queue depth —
+ *
+ *   normal         admit any request whose tenant is within its
+ *                  in-flight token budget;
+ *   soft-throttled admit only clearly-under-budget tenants (half the
+ *                  normal per-tenant budget) and only short prompts,
+ *                  so decode capacity drains the backlog;
+ *   hard-fail-fast reject everything immediately, so producers learn
+ *                  about overload in microseconds instead of queueing
+ *                  into a stall.
+ *
+ * Transitions move one regime per evaluation and carry hysteresis:
+ * the pressure that *exits* a regime is `hysteresisPct` below the
+ * pressure that entered it, so an occupancy ripple around a threshold
+ * cannot flap the mode (tests/test_admission.cpp asserts a synthetic
+ * ramp produces exactly one normal→soft→hard→soft→normal sequence).
+ *
+ * Every decision is structured and explainable: it names the mode it
+ * was taken under, the triggering metric, the observed value, and the
+ * threshold it crossed — never a bare boolean.
+ */
+
+#ifndef SOFTREC_SERVE_ADMISSION_HPP
+#define SOFTREC_SERVE_ADMISSION_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace softrec {
+
+/** Backpressure regime the admission controller is operating in. */
+enum class AdmissionMode
+{
+    Normal = 0,        //!< admit within per-tenant budgets
+    SoftThrottled = 1, //!< admit only under-budget tenants, short prompts
+    HardFailFast = 2,  //!< reject everything immediately
+};
+
+/** Stable lowercase name ("normal" / "soft" / "hard"). */
+const char *admissionModeName(AdmissionMode mode);
+
+/**
+ * Outcome of any admission point (queue push, engine submit): the
+ * one decision type shared by RequestQueue, BatchScheduler callers,
+ * and ServeEngine. When rejected, `metric`/`value`/`threshold` name
+ * the exact comparison that failed and `reason` renders it for
+ * humans; accepted decisions carry the mode they were taken under.
+ */
+struct AdmissionDecision
+{
+    bool accepted = false;
+    AdmissionMode mode = AdmissionMode::Normal;
+    std::string metric; //!< triggering metric, empty when accepted
+    double value = 0.0;     //!< observed metric value
+    double threshold = 0.0; //!< threshold the value was compared to
+    std::string reason;     //!< empty when accepted, diagnostic otherwise
+
+    static AdmissionDecision
+    ok(AdmissionMode mode = AdmissionMode::Normal)
+    {
+        AdmissionDecision decision;
+        decision.accepted = true;
+        decision.mode = mode;
+        return decision;
+    }
+
+    /** Structured rejection naming the failed comparison. */
+    static AdmissionDecision rejected(AdmissionMode mode,
+                                      std::string metric, double value,
+                                      double threshold,
+                                      std::string why);
+
+    /**
+     * Validity-style rejection (malformed request, no metric to
+     * name). Kept for the queue's shape checks.
+     */
+    static AdmissionDecision rejected(std::string why);
+};
+
+/**
+ * Transitional alias for the pre-engine name; migrate to
+ * AdmissionDecision. Removed next release.
+ */
+using AdmitResult = AdmissionDecision;
+
+/** Thresholds and budgets the controller enforces (all validated). */
+struct AdmissionThresholds
+{
+    int64_t softEnterPct = 70;  //!< pressure entering soft-throttled
+    int64_t hardEnterPct = 90;  //!< pressure entering hard-fail-fast
+    int64_t hysteresisPct = 10; //!< exit = enter - hysteresis
+    int64_t tenantTokenBudget = 1 << 16; //!< per-tenant in-flight cap
+    //! Longest prompt admitted in soft-throttled mode.
+    int64_t softPromptCapTokens = 1 << 13;
+};
+
+/** One pressure observation, taken at a decode-step boundary. */
+struct PressureSample
+{
+    double kvOccupancyPct = 0.0; //!< reserved KV tokens / budget
+    double queueDepthPct = 0.0;  //!< queued requests / capacity
+};
+
+/** One candidate request, reduced to what admission needs. */
+struct AdmissionCandidate
+{
+    int64_t tenantId = 0;
+    int64_t promptTokens = 0;
+    int64_t footprintTokens = 0; //!< prompt + generate (finishing KV)
+};
+
+/**
+ * The admission state machine plus the per-tenant in-flight ledger.
+ * Thread-safe: producers call admitReserve()/release() concurrently
+ * while the serving thread calls updatePressure() at decode-step
+ * boundaries; one internal mutex guards mode, ledger, and residency
+ * counters. Mode transitions happen *only* in updatePressure, so a
+ * burst of submits between two step boundaries sees one consistent
+ * regime.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const AdmissionThresholds &thresholds);
+
+    AdmissionController(const AdmissionController &) = delete;
+    AdmissionController &operator=(const AdmissionController &) = delete;
+
+    /**
+     * Step-boundary evaluation: fold in one pressure sample and move
+     * the mode at most one regime toward the pressure's band (the
+     * one-step rule plus hysteresis is what makes transition
+     * sequences deterministic and flap-free). Returns true when the
+     * mode changed.
+     */
+    bool updatePressure(const PressureSample &sample);
+
+    /** Regime the next decision will be taken under. */
+    AdmissionMode mode() const;
+
+    /**
+     * Decide one candidate under the current regime and, on accept,
+     * reserve its finishing footprint against the tenant ledger in
+     * the same critical section (so concurrent producers cannot
+     * jointly overshoot a tenant budget). Rejections name the failed
+     * metric and threshold. Call release() with the same tokens when
+     * the request finishes, is cancelled, or fails to enqueue.
+     */
+    AdmissionDecision admitReserve(const AdmissionCandidate &candidate);
+
+    /** Return a reservation made by admitReserve. */
+    void release(int64_t tenant_id, int64_t tokens);
+
+    /** Tokens currently reserved for one tenant. */
+    int64_t tenantTokens(int64_t tenant_id) const;
+
+    /** Mode-residency accounting (updates = step boundaries seen). */
+    struct Residency
+    {
+        int64_t updatesInMode[3] = {0, 0, 0}; //!< indexed by mode
+        int64_t transitions = 0;
+    };
+
+    Residency residency() const;
+
+  private:
+    const AdmissionThresholds thresholds_;
+    mutable std::mutex mutex_;
+    AdmissionMode mode_ = AdmissionMode::Normal;
+    //! Last sample, kept so hard-mode rejections can name the metric
+    //! that tripped the regime, not just "mode is hard".
+    const char *pressureMetric_ = "kv_occupancy_pct";
+    double pressure_ = 0.0;
+    Residency residency_;
+    std::unordered_map<int64_t, int64_t> tenantTokens_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_SERVE_ADMISSION_HPP

@@ -31,14 +31,6 @@ BatchScheduler::BatchScheduler(const SchedulerConfig &config)
                    (long long)config.tokenBudget);
 }
 
-std::vector<int64_t>
-BatchScheduler::admitFrom(RequestQueue &queue)
-{
-    std::vector<int64_t> admitted;
-    admitFrom(queue, &admitted);
-    return admitted;
-}
-
 void
 BatchScheduler::admitFrom(RequestQueue &queue,
                           std::vector<int64_t> *admitted_out)
@@ -90,14 +82,6 @@ BatchScheduler::admitFrom(RequestQueue &queue,
     }
 }
 
-std::vector<int64_t>
-BatchScheduler::completeStep()
-{
-    std::vector<int64_t> evicted;
-    completeStep(&evicted);
-    return evicted;
-}
-
 void
 BatchScheduler::completeStep(std::vector<int64_t> *evicted_out)
 {
@@ -116,12 +100,14 @@ BatchScheduler::completeStep(std::vector<int64_t> *evicted_out)
     }
 }
 
-std::vector<int64_t>
-BatchScheduler::activeSlots() const
+void
+BatchScheduler::releaseSlot(int64_t index)
 {
-    std::vector<int64_t> active;
-    activeSlots(&active);
-    return active;
+    SOFTREC_ASSERT(index >= 0 && index < int64_t(slots_.size()) &&
+                       slots_[size_t(index)].active,
+                   "releaseSlot(%lld) must name an active slot",
+                   (long long)index);
+    slots_[size_t(index)] = BatchSlot{};
 }
 
 void
@@ -150,6 +136,16 @@ BatchScheduler::activeTokens() const
     for (const BatchSlot &slot : slots_)
         if (slot.active)
             tokens += slot.context;
+    return tokens;
+}
+
+int64_t
+BatchScheduler::reservedTokens() const
+{
+    int64_t tokens = 0;
+    for (const BatchSlot &slot : slots_)
+        if (slot.active)
+            tokens += finishingTokens(slot);
     return tokens;
 }
 

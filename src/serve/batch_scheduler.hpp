@@ -60,15 +60,11 @@ class BatchScheduler
      * token budget at its finishing length. A budget-blocked head
      * parks inside the scheduler (preserving FIFO order) until
      * evictions free room. Called at decode-step boundaries only.
-     * Returns the slot indices admitted this call; their prefill has
-     * not run yet.
-     */
-    std::vector<int64_t> admitFrom(RequestQueue &queue);
-
-    /**
-     * admitFrom into a caller-owned vector (cleared first). The
-     * serving loop reuses one vector across steps so admission does
-     * not allocate on the steady-state decode path.
+     *
+     * The admitted slot indices (prefill has not run yet) land in the
+     * caller-owned vector, cleared first — the serving thread reuses
+     * one vector across steps so admission does not allocate on the
+     * steady-state decode path.
      */
     void admitFrom(RequestQueue &queue,
                    std::vector<int64_t> *admitted);
@@ -76,18 +72,20 @@ class BatchScheduler
     /**
      * Account one completed decode step: every active slot gains one
      * context token and loses one remaining step. Slots that reach
-     * remaining == 0 are evicted; their indices are returned (in slot
-     * order) so the caller can release per-request state.
+     * remaining == 0 are evicted; their indices land in the
+     * caller-owned vector (cleared first, ascending slot order) so
+     * the caller can release per-request state.
      */
-    std::vector<int64_t> completeStep();
-
-    /** completeStep into a caller-owned vector (cleared first). */
     void completeStep(std::vector<int64_t> *evicted);
 
-    /** Active slot indices in ascending order. */
-    std::vector<int64_t> activeSlots() const;
+    /**
+     * Evict one slot before it finishes (consumer abandoned the
+     * stream, engine shutdown). The freed rows and budget are
+     * admittable on the next admitFrom.
+     */
+    void releaseSlot(int64_t index);
 
-    /** activeSlots into a caller-owned vector (cleared first). */
+    /** Active slot indices in ascending order (cleared first). */
     void activeSlots(std::vector<int64_t> *active) const;
 
     const BatchSlot &
@@ -99,6 +97,13 @@ class BatchScheduler
     int64_t activeRows() const;
     /** Σ context over active slots (current KV footprint in tokens). */
     int64_t activeTokens() const;
+    /**
+     * Σ finishing footprints (context + remaining) over active slots —
+     * the tokens the budget has committed to, which is what admission
+     * pressure should be measured against (activeTokens understates
+     * pressure early in long generations).
+     */
+    int64_t reservedTokens() const;
     /** True when no slot is active and no head request is parked. */
     bool
     idle() const

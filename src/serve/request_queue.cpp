@@ -18,29 +18,36 @@ RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity)
                    (long long)capacity);
 }
 
-AdmitResult
+AdmissionDecision
 RequestQueue::push(ServeRequest request)
 {
-    std::string reason;
     if (request.prompt.shape().rank() != 2 ||
         request.prompt.shape().dim(0) < 1) {
-        reason = "prompt must be a [tokens, dModel] tensor with at "
-                 "least one token";
-    } else if (request.generateTokens < 1) {
-        reason = "generateTokens must be >= 1";
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++rejected_;
+        return AdmissionDecision::rejected(
+            "prompt must be a [tokens, dModel] tensor with at least "
+            "one token");
+    }
+    if (request.generateTokens < 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++rejected_;
+        return AdmissionDecision::rejected(
+            "generateTokens must be >= 1");
     }
 
     std::lock_guard<std::mutex> lock(mutex_);
-    if (reason.empty() && int64_t(items_.size()) >= capacity_)
-        reason = "queue full (capacity " + std::to_string(capacity_) +
-                 "); retry after the server drains";
-    if (!reason.empty()) {
+    if (int64_t(items_.size()) >= capacity_) {
         ++rejected_;
-        return AdmitResult::rejected(std::move(reason));
+        return AdmissionDecision::rejected(
+            AdmissionMode::Normal, "queue_depth",
+            double(items_.size()), double(capacity_),
+            "queue full (capacity " + std::to_string(capacity_) +
+                "); retry after the server drains");
     }
     items_.push_back(std::move(request));
     ++accepted_;
-    return AdmitResult::ok();
+    return AdmissionDecision::ok();
 }
 
 std::optional<ServeRequest>

@@ -2,12 +2,13 @@
  * @file
  * Thread-safe bounded request queue for the serving engine.
  *
- * Producers (client threads) push generation requests; the serve
- * loop's driver thread pops them at decode-step boundaries. The queue
- * is explicitly bounded and rejects instead of blocking: a full (or
- * malformed) request comes back immediately with a machine-readable
- * reason, so producers always learn about overload instead of
- * deadlocking against a stalled consumer.
+ * Producers (client threads) push generation requests; the serving
+ * thread pops them at decode-step boundaries. The queue is explicitly
+ * bounded and rejects instead of blocking: a full (or malformed)
+ * request comes back immediately with a structured AdmissionDecision,
+ * so producers always learn about overload instead of deadlocking
+ * against a stalled consumer. The queue itself is regime-agnostic —
+ * ServeEngine::submit composes the admission-mode policy on top.
  */
 
 #ifndef SOFTREC_SERVE_REQUEST_QUEUE_HPP
@@ -15,40 +16,30 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
-#include <string>
 
 #include "fp16/half.hpp"
+#include "serve/admission.hpp"
 #include "tensor/tensor.hpp"
 
 namespace softrec {
+
+class TokenStream;
 
 /** One generation request entering the serving engine. */
 struct ServeRequest
 {
     int64_t id = 0;
-    Tensor<Half> prompt;        //!< [promptTokens, dModel] fp16
-    int64_t generateTokens = 0; //!< decode steps to run after prefill
+    int64_t tenantId = 0;        //!< accounting bucket for budgets
+    Tensor<Half> prompt;         //!< [promptTokens, dModel] fp16
+    int64_t generateTokens = 0;  //!< decode steps to run after prefill
     double arrivalSeconds = 0.0; //!< producer timestamp (latency base)
-};
-
-/** Outcome of RequestQueue::push. */
-struct AdmitResult
-{
-    bool accepted = false;
-    std::string reason; //!< empty when accepted, diagnostic otherwise
-
-    static AdmitResult
-    ok()
-    {
-        return AdmitResult{true, std::string()};
-    }
-    static AdmitResult
-    rejected(std::string why)
-    {
-        return AdmitResult{false, std::move(why)};
-    }
+    //! Consumer channel the serving thread streams tokens into; null
+    //! for the deprecated synchronous ServeLoop path (the adapter
+    //! attaches one on submit).
+    std::shared_ptr<TokenStream> stream;
 };
 
 /** Bounded MPSC FIFO with reject-with-reason backpressure. */
@@ -61,11 +52,11 @@ class RequestQueue
     RequestQueue &operator=(const RequestQueue &) = delete;
 
     /**
-     * Enqueue a request. Never blocks: a full queue or an invalid
-     * request (empty prompt, non-positive generateTokens) is rejected
-     * with a reason string the producer can surface.
+     * Enqueue a request. Never blocks: a full queue rejects with the
+     * queue_depth metric and an invalid request (empty prompt,
+     * non-positive generateTokens) rejects with a validity reason.
      */
-    AdmitResult push(ServeRequest request);
+    AdmissionDecision push(ServeRequest request);
 
     /** Dequeue the oldest request, or nullopt when empty. */
     std::optional<ServeRequest> pop();

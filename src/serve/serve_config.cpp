@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Serving configuration environment parsing.
+ */
+
+#include "serve/serve_config.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/exec_context.hpp"
+#include "common/logging.hpp"
+
+namespace softrec {
+
+namespace {
+
+/**
+ * Strict positive-integer environment knob: unset returns `fallback`,
+ * anything else must parse exactly as an integer in [1, max]. No
+ * silent fallback — a typo in a capacity knob must stop the server.
+ */
+int64_t
+serveEnvInt(const char *var, int64_t fallback, int64_t max)
+{
+    const char *text = std::getenv(var);
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || parsed < 1 || parsed > max)
+        fatal("%s='%s' is invalid: expected an integer in [1, %lld]; "
+              "unset it to use the default (%lld)",
+              var, text, (long long)max, (long long)fallback);
+    return parsed;
+}
+
+} // namespace
+
+ServeConfig
+ServeConfig::fromEnv()
+{
+    ServeConfig config;
+    config.maxBatchRows = serveEnvInt("SOFTREC_SERVE_BATCH_ROWS",
+                                      config.maxBatchRows, 4096);
+    config.tokenBudget = serveEnvInt("SOFTREC_SERVE_TOKEN_BUDGET",
+                                     config.tokenBudget,
+                                     int64_t(1) << 40);
+    config.queueCapacity = serveEnvInt("SOFTREC_SERVE_QUEUE_CAP",
+                                       config.queueCapacity, 1 << 20);
+    config.streamCapacity = serveEnvInt("SOFTREC_SERVE_STREAM_CAP",
+                                        config.streamCapacity, 1 << 20);
+    config.admission.softEnterPct =
+        serveEnvInt("SOFTREC_SERVE_MODE_SOFT_PCT",
+                    config.admission.softEnterPct, 100);
+    config.admission.hardEnterPct =
+        serveEnvInt("SOFTREC_SERVE_MODE_HARD_PCT",
+                    config.admission.hardEnterPct, 100);
+    config.admission.hysteresisPct =
+        serveEnvInt("SOFTREC_SERVE_MODE_HYSTERESIS_PCT",
+                    config.admission.hysteresisPct, 100);
+    config.admission.tenantTokenBudget =
+        serveEnvInt("SOFTREC_SERVE_TENANT_BUDGET",
+                    config.admission.tenantTokenBudget,
+                    int64_t(1) << 40);
+    config.admission.softPromptCapTokens =
+        serveEnvInt("SOFTREC_SERVE_SOFT_PROMPT_CAP",
+                    config.admission.softPromptCapTokens,
+                    int64_t(1) << 40);
+    if (config.admission.softEnterPct >= config.admission.hardEnterPct)
+        fatal("SOFTREC_SERVE_MODE_SOFT_PCT (%lld) must be strictly "
+              "below SOFTREC_SERVE_MODE_HARD_PCT (%lld): the soft "
+              "regime must be reachable before the hard one",
+              (long long)config.admission.softEnterPct,
+              (long long)config.admission.hardEnterPct);
+    // Threads are latched by ExecContext::fromEnv; validate the value
+    // eagerly so a malformed SOFTREC_THREADS is a startup error here
+    // rather than a warning-and-serial-fallback deep in the pool.
+    std::string why;
+    if (!tryParseThreadCount(std::getenv("SOFTREC_THREADS"), &why)
+             .has_value())
+        fatal("%s; fix or unset SOFTREC_THREADS before serving "
+              "(a silent serial fallback would mask a capacity "
+              "regression)", why.c_str());
+    return config;
+}
+
+} // namespace softrec

@@ -1,188 +1,96 @@
 /**
  * @file
- * Continuous-batching serve driver implementation.
+ * Deprecated synchronous serve adapter implementation.
  */
 
 #include "serve/serve_loop.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdlib>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hpp"
-#include "common/profiler.hpp"
 
 namespace softrec {
 
-namespace {
-
-/**
- * Strict positive-integer environment knob: unset returns `fallback`,
- * anything else must parse exactly as an integer in [1, max]. No
- * silent fallback — a typo in a capacity knob must stop the server.
- */
-int64_t
-serveEnvInt(const char *var, int64_t fallback, int64_t max)
-{
-    const char *text = std::getenv(var);
-    if (text == nullptr || *text == '\0')
-        return fallback;
-    char *end = nullptr;
-    const long long parsed = std::strtoll(text, &end, 10);
-    if (end == text || *end != '\0' || parsed < 1 || parsed > max)
-        fatal("%s='%s' is invalid: expected an integer in [1, %lld]; "
-              "unset it to use the default (%lld)",
-              var, text, (long long)max, (long long)fallback);
-    return parsed;
-}
-
-} // namespace
-
-ServeConfig
-ServeConfig::fromEnv()
-{
-    ServeConfig config;
-    config.maxBatchRows = serveEnvInt("SOFTREC_SERVE_BATCH_ROWS",
-                                      config.maxBatchRows, 4096);
-    config.tokenBudget = serveEnvInt("SOFTREC_SERVE_TOKEN_BUDGET",
-                                     config.tokenBudget,
-                                     int64_t(1) << 40);
-    config.queueCapacity = serveEnvInt("SOFTREC_SERVE_QUEUE_CAP",
-                                       config.queueCapacity, 1 << 20);
-    // Threads are latched by ExecContext::fromEnv; validate the value
-    // eagerly so a malformed SOFTREC_THREADS is a startup error here
-    // rather than a warning-and-serial-fallback deep in the pool.
-    std::string why;
-    if (!tryParseThreadCount(std::getenv("SOFTREC_THREADS"), &why)
-             .has_value())
-        fatal("%s; fix or unset SOFTREC_THREADS before serving "
-              "(a silent serial fallback would mask a capacity "
-              "regression)", why.c_str());
-    return config;
-}
-
-double
-percentileSeconds(std::vector<double> samples, double q)
-{
-    if (samples.empty())
-        return 0.0;
-    std::sort(samples.begin(), samples.end());
-    const double rank = q * double(samples.size() - 1);
-    const size_t lo = size_t(std::floor(rank));
-    const size_t hi = size_t(std::ceil(rank));
-    const double frac = rank - double(lo);
-    return samples[lo] + (samples[hi] - samples[lo]) * frac;
-}
-
 ServeLoop::ServeLoop(const ExecContext &ctx, const DecoderStack &stack,
                      const ServeConfig &config)
-    : ctx_(ctx), stack_(stack), config_(config),
-      queue_(config.queueCapacity),
-      scheduler_(SchedulerConfig{config.maxBatchRows,
-                                 config.tokenBudget}),
-      slab_(config.kvBlockTokens, stack.config.dModel),
-      slots_(size_t(config.maxBatchRows)),
-      epoch_(std::chrono::steady_clock::now())
+    : engine_(ctx, stack, config)
 {
-    SOFTREC_ASSERT(config.kvBlockTokens > 0,
-                   "kvBlockTokens must be positive");
 }
 
-double
-ServeLoop::nowSeconds() const
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
-}
-
-AdmitResult
+AdmissionDecision
 ServeLoop::submit(ServeRequest request)
 {
-    if (request.prompt.shape().rank() == 2 &&
-        request.prompt.shape().dim(1) != stack_.config.dModel) {
-        return AdmitResult::rejected(
-            "prompt width " +
-            std::to_string(request.prompt.shape().dim(1)) +
-            " does not match the model (dModel " +
-            std::to_string(stack_.config.dModel) + ")");
+    const int64_t prompt_tokens =
+        request.prompt.shape().rank() == 2
+            ? request.prompt.shape().dim(0)
+            : 0;
+    const int64_t generate_tokens = request.generateTokens;
+    const int64_t id = request.id;
+    SubmitResult result = engine_.submit(std::move(request));
+    if (!result.decision.accepted)
+        return result.decision;
+    Pending pending;
+    // Report under the caller's id verbatim (0 is a legitimate legacy
+    // id even though the engine auto-assigns on 0).
+    pending.stats.id = id;
+    pending.stats.promptTokens = prompt_tokens;
+    pending.stats.generatedTokens = generate_tokens;
+    pending.stats.arrivalSeconds = engine_.nowSeconds();
+    pending.session = std::move(result.session);
+    pending_.push_back(std::move(pending));
+    return result.decision;
+}
+
+ServeSummary
+ServeLoop::run()
+{
+    const double start = engine_.nowSeconds();
+    const ServeStats before = engine_.stats();
+    if (!started_) {
+        started_ = true;
+        engine_.start();
     }
-    if (request.prompt.shape().rank() == 2 &&
-        request.generateTokens >= 1) {
-        const int64_t footprint = request.prompt.shape().dim(0) +
-                                  request.generateTokens;
-        if (footprint > config_.tokenBudget) {
-            return AdmitResult::rejected(
-                "request needs " + std::to_string(footprint) +
-                " KV tokens but the token budget is " +
-                std::to_string(config_.tokenBudget) +
-                "; it could never be scheduled");
+
+    ServeSummary summary;
+    size_t remaining = pending_.size();
+    Tensor<Half> row;
+    // Round-robin non-blocking drain: with a blocking per-stream
+    // drain, a bounded ring shallower than generateTokens would
+    // deadlock (engine blocked pushing stream k while we wait on
+    // stream j).
+    while (remaining > 0) {
+        bool progressed = false;
+        for (Pending &pending : pending_) {
+            if (pending.done)
+                continue;
+            TokenStream &stream = pending.session.stream();
+            TokenStream::TryNext outcome = stream.tryNext(row);
+            while (outcome == TokenStream::TryNext::Token) {
+                pending.stats.finalRow = row;
+                progressed = true;
+                outcome = stream.tryNext(row);
+            }
+            if (outcome == TokenStream::TryNext::End) {
+                pending.done = true;
+                pending.stats.finishSeconds = stream.finishSeconds();
+                summary.requests.push_back(pending.stats);
+                --remaining;
+                progressed = true;
+            }
         }
+        if (!progressed)
+            std::this_thread::yield();
     }
-    return queue_.push(std::move(request));
-}
+    pending_.clear();
+    engine_.waitIdle(); // let the step counters settle
 
-void
-ServeLoop::prefillSlot(int64_t slot_index)
-{
-    prof::Scope scope(ctx_, "serve.prefill");
-    const BatchSlot &slot = scheduler_.slot(slot_index);
-    SlotState &state = slots_[size_t(slot_index)];
-    state.cache = std::make_unique<KvCache>(
-        slab_, int64_t(stack_.layers.size()));
-    const Tensor<Half> out =
-        runPrefill(ctx_, stack_, slot.request.prompt, *state.cache);
-    state.stats = RequestStats{};
-    state.stats.id = slot.request.id;
-    state.stats.promptTokens = slot.request.prompt.shape().dim(0);
-    state.stats.generatedTokens = slot.request.generateTokens;
-    state.stats.arrivalSeconds = slot.request.arrivalSeconds;
-    // Pseudo-sampling: the prompt's last output row is the first
-    // decode input (no vocabulary head in this model).
-    const int64_t dm = stack_.config.dModel;
-    state.nextInput = Tensor<Half>(Shape({1, dm}));
-    const int64_t last = out.shape().dim(0) - 1;
-    for (int64_t j = 0; j < dm; ++j)
-        state.nextInput.at(0, j) = out.at(last, j);
-}
-
-void
-ServeLoop::gatherStepInputs(const std::vector<int64_t> &active)
-{
-    // One continuous-batching step: concatenate every active slot's
-    // pending input row (slot order keeps the composition
-    // deterministic). The buffers are members, so the resizes below
-    // only touch the allocator while the active-row count is still
-    // climbing toward its high-water mark.
-    const int64_t dm = stack_.config.dModel;
-    stepInputs_.resize(Shape({int64_t(active.size()), dm}));
-    stepCaches_.resize(active.size());
-    for (size_t r = 0; r < active.size(); ++r) {
-        const SlotState &state = slots_[size_t(active[r])];
-        std::copy(state.nextInput.rowPtr(0),
-                  state.nextInput.rowPtr(0) + dm,
-                  stepInputs_.rowPtr(int64_t(r)));
-        stepCaches_[r] = state.cache.get();
-    }
-}
-
-void
-ServeLoop::finishSlot(int64_t slot_index, ServeSummary &summary)
-{
-    SlotState &state = slots_[size_t(slot_index)];
-    state.stats.finishSeconds = nowSeconds();
-    state.stats.finalRow = state.nextInput;
-    state.cache.reset(); // blocks return to the slab now
-    state.nextInput = Tensor<Half>();
-    summary.requests.push_back(state.stats);
-    ++summary.requestsServed;
-}
-
-void
-ServeLoop::finalizeSummary(ServeSummary &summary, double start) const
-{
-    summary.seconds = nowSeconds() - start;
+    const ServeStats after = engine_.stats();
+    summary.requestsServed = int64_t(summary.requests.size());
+    summary.tokensGenerated =
+        after.tokensGenerated - before.tokensGenerated;
+    summary.decodeSteps = after.decodeSteps - before.decodeSteps;
+    summary.seconds = engine_.nowSeconds() - start;
     summary.tokensPerSecond =
         summary.seconds > 0.0
             ? double(summary.tokensGenerated) / summary.seconds
@@ -193,46 +101,6 @@ ServeLoop::finalizeSummary(ServeSummary &summary, double start) const
         latencies.push_back(stats.latencySeconds());
     summary.p50LatencySeconds = percentileSeconds(latencies, 0.50);
     summary.p95LatencySeconds = percentileSeconds(latencies, 0.95);
-}
-
-ServeSummary
-ServeLoop::run()
-{
-    prof::Scope scope(ctx_, "serve.run");
-    const double start = nowSeconds();
-    const int64_t dm = stack_.config.dModel;
-    ServeSummary summary;
-
-    while (true) {
-        scheduler_.admitFrom(queue_, &admitted_);
-        for (int64_t slot_index : admitted_)
-            prefillSlot(slot_index);
-
-        scheduler_.activeSlots(&active_);
-        if (active_.empty())
-            break;
-
-        gatherStepInputs(active_);
-        {
-            prof::Scope step(ctx_, "serve.step");
-            runDecodeStepInto(ctx_, stack_, stepInputs_, stepCaches_,
-                              stepWs_, stepOutputs_);
-        }
-        ++summary.decodeSteps;
-        summary.tokensGenerated += int64_t(active_.size());
-        for (size_t r = 0; r < active_.size(); ++r) {
-            SlotState &state = slots_[size_t(active_[r])];
-            std::copy(stepOutputs_.rowPtr(int64_t(r)),
-                      stepOutputs_.rowPtr(int64_t(r)) + dm,
-                      state.nextInput.rowPtr(0));
-        }
-
-        scheduler_.completeStep(&finished_);
-        for (int64_t slot_index : finished_)
-            finishSlot(slot_index, summary);
-    }
-
-    finalizeSummary(summary, start);
     return summary;
 }
 

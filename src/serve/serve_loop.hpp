@@ -1,53 +1,31 @@
 /**
  * @file
- * Synchronous continuous-batching serve driver.
+ * DEPRECATED synchronous serve driver — thin adapter over ServeEngine.
  *
- * ServeLoop ties the serving pieces together: producers submit()
- * requests into the bounded queue (rejected-with-reason under
- * backpressure), and run() drains it — admitting at decode-step
- * boundaries through the BatchScheduler, prefilling each admission
- * into a slab-backed KvCache, and stepping every active request
- * through runDecodeStep with the previous step's output row as the
- * next input (a fixed pseudo-sampling rule, so results are
- * deterministic and bit-identical for any thread count). Invalid
- * configuration is a hard startup error, never a silent fallback.
+ * ServeLoop predates the async engine: producers submit() and a
+ * single caller drives run() to completion. It is kept for one
+ * release as a migration shim (the PR-2 runAttention pattern) and
+ * will be removed; new code should use ServeEngine and consume
+ * ServeSession streams directly.
+ *
+ * The adapter preserves the old contract — submit() queues without
+ * serving, run() drains everything and returns an aggregate summary
+ * with per-request records — by holding the sessions the engine
+ * hands back and round-robin draining their token streams. The
+ * internals-leaking accessors (`queue()`, `slab()`) are gone;
+ * stats() returns the engine's read-only ServeStats snapshot.
  */
 
 #ifndef SOFTREC_SERVE_SERVE_LOOP_HPP
 #define SOFTREC_SERVE_SERVE_LOOP_HPP
 
-#include <chrono>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "common/exec_context.hpp"
-#include "model/decode.hpp"
-#include "serve/batch_scheduler.hpp"
-#include "serve/kv_cache.hpp"
-#include "serve/request_queue.hpp"
+#include "serve/serve_engine.hpp"
 
 namespace softrec {
-
-/** Serving engine limits (see fromEnv for the environment knobs). */
-struct ServeConfig
-{
-    int64_t maxBatchRows = 16;    //!< concurrent requests per step
-    int64_t tokenBudget = 1 << 16; //!< max total KV tokens in flight
-    int64_t queueCapacity = 64;   //!< bounded queue depth
-    int64_t kvBlockTokens = 64;   //!< cached rows per slab block
-
-    /**
-     * Read overrides from SOFTREC_SERVE_BATCH_ROWS,
-     * SOFTREC_SERVE_TOKEN_BUDGET and SOFTREC_SERVE_QUEUE_CAP, and
-     * validate SOFTREC_THREADS eagerly. Every malformed value is a
-     * hard startup error (fatal(), which throws std::runtime_error)
-     * naming the variable, the offending text, and the accepted
-     * range — a serving engine that silently fell back to defaults
-     * or serial execution would hide capacity regressions.
-     */
-    static ServeConfig fromEnv();
-};
 
 /** Per-request serving record. */
 struct RequestStats
@@ -55,8 +33,8 @@ struct RequestStats
     int64_t id = 0;
     int64_t promptTokens = 0;
     int64_t generatedTokens = 0;
-    double arrivalSeconds = 0.0; //!< producer stamp (nowSeconds clock)
-    double finishSeconds = 0.0;  //!< eviction time
+    double arrivalSeconds = 0.0; //!< submit stamp (nowSeconds clock)
+    double finishSeconds = 0.0;  //!< stream-terminal time
     //! Last generated token embedding, [1, dModel]; tests use it to
     //! prove batched serving is bit-identical to serial serving.
     Tensor<Half> finalRow;
@@ -76,7 +54,10 @@ struct ServeSummary
     std::vector<RequestStats> requests; //!< finish order
 };
 
-/** Synchronous serving driver (one driver thread owns run()). */
+/**
+ * Deprecated synchronous driver (single owner thread calls submit()
+ * and run(); the engine's serving thread does the decoding).
+ */
 class ServeLoop
 {
   public:
@@ -87,77 +68,38 @@ class ServeLoop
     ServeLoop &operator=(const ServeLoop &) = delete;
 
     /**
-     * Validate and enqueue one request. On top of the queue's own
-     * checks this rejects prompts whose width does not match the
-     * stack and requests whose finishing KV footprint exceeds the
-     * token budget (they could never be admitted). Thread-safe.
+     * Validate and enqueue one request through the engine. The
+     * engine's serving thread does not start until the first run()
+     * call, so everything submitted before run() is admitted as one
+     * deterministic FIFO trace.
      */
-    AdmitResult submit(ServeRequest request);
+    AdmissionDecision submit(ServeRequest request);
 
     /** Seconds since construction (the arrival/finish clock). */
-    double nowSeconds() const;
+    double nowSeconds() const { return engine_.nowSeconds(); }
 
     /**
-     * Drain the queue: admit, prefill, and batch-decode until no
-     * request is queued or in flight. Returns the aggregate summary;
+     * Drain every pending session: starts the engine on first call,
+     * consumes all streams, and returns the aggregate summary;
      * per-request latency is measured on the nowSeconds clock.
      */
     ServeSummary run();
 
-    const RequestQueue &queue() const { return queue_; }
-    const KvSlab &slab() const { return slab_; }
+    /** Read-only snapshot (replaces the old queue()/slab() leaks). */
+    ServeStats stats() const { return engine_.stats(); }
 
   private:
-    struct SlotState
+    struct Pending
     {
-        std::unique_ptr<KvCache> cache;
-        Tensor<Half> nextInput; //!< [1, dModel] pending step input
-        //! Request identity snapshot (the scheduler slot resets on
-        //! eviction before stats are emitted).
+        ServeSession session;
         RequestStats stats;
+        bool done = false;
     };
 
-    void prefillSlot(int64_t slot_index);
-    //! Compose the active rows' pending inputs into stepInputs_ and
-    //! their caches into stepCaches_ (capacity-reusing resizes; off
-    //! run()'s steady-state alloc-free path by design).
-    void gatherStepInputs(const std::vector<int64_t> &active);
-    //! Emit a finished slot's stats and release its per-request
-    //! state (the per-request RequestStats append amortizes to one
-    //! per request, not one per step).
-    void finishSlot(int64_t slot_index, ServeSummary &summary);
-    //! Wall-time totals and latency percentiles, computed once after
-    //! the drain loop exits.
-    void finalizeSummary(ServeSummary &summary, double start) const;
-
-    //! Copied, not referenced: callers may pass a temporary context,
-    //! and run() must outlive the constructor expression.
-    ExecContext ctx_;
-    const DecoderStack &stack_;
-    ServeConfig config_;
-    RequestQueue queue_;
-    BatchScheduler scheduler_;
-    KvSlab slab_;
-    std::vector<SlotState> slots_;
-    std::chrono::steady_clock::time_point epoch_;
-    //! Step-lifetime buffers reused across every decode step of a
-    //! drain: scheduler index scratch, the composed input/output
-    //! batches, and the decode workspace. After the first steps at
-    //! the high-water batch shape, run()'s loop allocates nothing.
-    std::vector<int64_t> admitted_;
-    std::vector<int64_t> active_;
-    std::vector<int64_t> finished_;
-    std::vector<KvCache *> stepCaches_;
-    Tensor<Half> stepInputs_;
-    Tensor<Half> stepOutputs_;
-    DecodeStepWorkspace stepWs_;
+    ServeEngine engine_;
+    std::vector<Pending> pending_;
+    bool started_ = false;
 };
-
-/**
- * Sorted-sample percentile (nearest-rank on a copy; q in [0, 1]).
- * Exposed for the serve bench and tests.
- */
-double percentileSeconds(std::vector<double> samples, double q);
 
 } // namespace softrec
 

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Bounded SPSC token channel implementation.
+ */
+
+#include "serve/token_stream.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace softrec {
+
+TokenStream::TokenStream(int64_t capacity, int64_t row_width)
+    : capacity_(capacity), rowWidth_(row_width)
+{
+    SOFTREC_ASSERT(capacity > 0, "stream capacity must be positive, got %lld",
+                   (long long)capacity);
+    SOFTREC_ASSERT(row_width > 0, "stream row width must be positive, got %lld",
+                   (long long)row_width);
+    ring_.resize(size_t(capacity_ * rowWidth_));
+}
+
+bool
+TokenStream::push(const Half *row)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ < capacity_ || consumerClosed_; });
+    if (consumerClosed_)
+        return false;
+    SOFTREC_ASSERT(!terminalLocked(), "push after finish/cancel");
+    const int64_t slot = (head_ + count_) % capacity_;
+    std::memcpy(ring_.data() + slot * rowWidth_, row,
+                size_t(rowWidth_) * sizeof(Half));
+    ++count_;
+    cv_.notify_all();
+    return true;
+}
+
+void
+TokenStream::finish(double at)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (terminalLocked())
+        return;
+    status_ = StreamStatus::Finished;
+    finishSeconds_ = at;
+    cv_.notify_all();
+}
+
+void
+TokenStream::cancel(std::string why, double at)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (terminalLocked())
+        return;
+    status_ = StreamStatus::Cancelled;
+    cancelReason_ = std::move(why);
+    finishSeconds_ = at;
+    cv_.notify_all();
+}
+
+void
+TokenStream::popLocked(Tensor<Half> &row)
+{
+    row.resize({1, rowWidth_});
+    std::memcpy(row.data(), ring_.data() + head_ * rowWidth_,
+                size_t(rowWidth_) * sizeof(Half));
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    ++delivered_;
+}
+
+bool
+TokenStream::next(Tensor<Half> &row)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ > 0 || terminalLocked(); });
+    if (count_ == 0)
+        return false;
+    popLocked(row);
+    cv_.notify_all();
+    return true;
+}
+
+TokenStream::TryNext
+TokenStream::tryNext(Tensor<Half> &row)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ > 0) {
+        popLocked(row);
+        cv_.notify_all();
+        return TryNext::Token;
+    }
+    return terminalLocked() ? TryNext::End : TryNext::Pending;
+}
+
+void
+TokenStream::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (consumerClosed_)
+        return;
+    consumerClosed_ = true;
+    // Buffered tokens will never be read; drop them so the producer
+    // observing push() == false sees a consistent "nothing pending".
+    count_ = 0;
+    head_ = 0;
+    cv_.notify_all();
+}
+
+StreamStatus
+TokenStream::status() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return status_;
+}
+
+std::string
+TokenStream::cancelReason() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancelReason_;
+}
+
+int64_t
+TokenStream::tokensDelivered() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return delivered_;
+}
+
+double
+TokenStream::finishSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return finishSeconds_;
+}
+
+} // namespace softrec

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Per-request token channel between the serving thread and one
+ * consumer.
+ *
+ * A TokenStream is a bounded single-producer/single-consumer ring of
+ * generated token rows ([1, rowWidth] fp16 embeddings). The serving
+ * thread pushes one row per decode step; the consumer pulls with a
+ * blocking next() or a non-blocking tryNext(). The ring storage is
+ * allocated once at construction, so steady-state streaming moves
+ * bytes without touching the allocator on the producer side.
+ *
+ * Lifecycle: the stream ends in exactly one of two terminal states —
+ * Finished (the request generated every requested token) or
+ * Cancelled (the engine terminated it, e.g. the consumer abandoned
+ * the session or the engine shut down), with a reason string. A
+ * consumer that destroys its ServeSession closes the consumer side;
+ * the next push() then returns false and the engine reclaims the
+ * request's KV and tenant budget instead of stalling behind a client
+ * that went away.
+ */
+
+#ifndef SOFTREC_SERVE_TOKEN_STREAM_HPP
+#define SOFTREC_SERVE_TOKEN_STREAM_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fp16/half.hpp"
+#include "tensor/tensor.hpp"
+
+namespace softrec {
+
+/** Where a stream is in its lifecycle. */
+enum class StreamStatus
+{
+    Streaming, //!< producer may still push tokens
+    Finished,  //!< all requested tokens were generated
+    Cancelled, //!< terminated early; cancelReason() says why
+};
+
+/** Bounded SPSC channel of generated token rows. */
+class TokenStream
+{
+  public:
+    /** Ring of `capacity` rows of `row_width` halfs each. */
+    TokenStream(int64_t capacity, int64_t row_width);
+
+    TokenStream(const TokenStream &) = delete;
+    TokenStream &operator=(const TokenStream &) = delete;
+
+    // -- producer side (serving thread) ----------------------------
+
+    /**
+     * Copy one token row into the ring. Blocks while the ring is
+     * full; returns false (dropping the row) once the consumer has
+     * closed — the producer's signal to cancel the request.
+     */
+    bool push(const Half *row);
+
+    /** Terminal: every requested token was pushed. `at` stamps
+     *  finishSeconds (the engine's nowSeconds clock). */
+    void finish(double at);
+
+    /** Terminal: the request will produce no more tokens. */
+    void cancel(std::string why, double at);
+
+    // -- consumer side ---------------------------------------------
+
+    /**
+     * Pop the next token into `row` (resized to [1, rowWidth],
+     * capacity-reusing). Blocks until a token arrives; returns false
+     * once the stream is terminal *and* drained — check status() to
+     * distinguish Finished from Cancelled.
+     */
+    bool next(Tensor<Half> &row);
+
+    /** Non-blocking next() outcome. */
+    enum class TryNext
+    {
+        Token,   //!< a token was popped into `row`
+        Pending, //!< no token buffered yet, stream still live
+        End,     //!< terminal and drained; see status()
+    };
+
+    TryNext tryNext(Tensor<Half> &row);
+
+    /**
+     * Abandon the stream: buffered and future tokens are discarded
+     * and the next producer push() returns false. Idempotent;
+     * ServeSession's destructor calls this.
+     */
+    void close();
+
+    // -- observers (either side) -----------------------------------
+
+    StreamStatus status() const;
+    /** Why the stream was cancelled (empty otherwise). */
+    std::string cancelReason() const;
+    /** Tokens the consumer has popped so far. */
+    int64_t tokensDelivered() const;
+    /** Engine-clock stamp of finish()/cancel(); 0 while streaming. */
+    double finishSeconds() const;
+    int64_t rowWidth() const { return rowWidth_; }
+
+  private:
+    bool terminalLocked() const
+    {
+        return status_ != StreamStatus::Streaming;
+    }
+    void popLocked(Tensor<Half> &row);
+
+    const int64_t capacity_;
+    const int64_t rowWidth_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Half> ring_; //!< capacity_ * rowWidth_, fixed size
+    int64_t head_ = 0;       //!< ring index of the oldest token
+    int64_t count_ = 0;      //!< buffered tokens
+    int64_t delivered_ = 0;
+    StreamStatus status_ = StreamStatus::Streaming;
+    bool consumerClosed_ = false;
+    std::string cancelReason_;
+    double finishSeconds_ = 0.0;
+};
+
+/**
+ * Producer-facing handle to one in-flight request: the request id,
+ * its tenant, and the consumer end of its TokenStream. Move-only;
+ * destroying a live session closes the stream, which tells the
+ * engine to cancel the request and reclaim its resources.
+ */
+class ServeSession
+{
+  public:
+    ServeSession() = default;
+    ServeSession(int64_t id, int64_t tenant_id,
+                 std::shared_ptr<TokenStream> stream)
+        : id_(id), tenantId_(tenant_id), stream_(std::move(stream))
+    {
+    }
+
+    ServeSession(ServeSession &&) = default;
+    ServeSession &operator=(ServeSession &&other)
+    {
+        if (this != &other) {
+            if (stream_ != nullptr)
+                stream_->close();
+            id_ = other.id_;
+            tenantId_ = other.tenantId_;
+            stream_ = std::move(other.stream_);
+        }
+        return *this;
+    }
+    ServeSession(const ServeSession &) = delete;
+    ServeSession &operator=(const ServeSession &) = delete;
+
+    ~ServeSession()
+    {
+        if (stream_ != nullptr)
+            stream_->close();
+    }
+
+    /** False for default-constructed / rejected-submit sessions. */
+    bool valid() const { return stream_ != nullptr; }
+    int64_t id() const { return id_; }
+    int64_t tenantId() const { return tenantId_; }
+    TokenStream &stream() { return *stream_; }
+    const TokenStream &stream() const { return *stream_; }
+
+  private:
+    int64_t id_ = 0;
+    int64_t tenantId_ = 0;
+    std::shared_ptr<TokenStream> stream_;
+};
+
+} // namespace softrec
+
+#endif // SOFTREC_SERVE_TOKEN_STREAM_HPP

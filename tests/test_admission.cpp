@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Admission-control state-machine tests: exact hysteresis transition
+ * sequences (no flapping), the one-regime-step-per-update rule,
+ * per-regime decision policy with structured explainable rejections,
+ * and the per-tenant in-flight token ledger.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hpp"
+
+namespace softrec {
+namespace {
+
+AdmissionThresholds
+testThresholds()
+{
+    AdmissionThresholds thresholds;
+    thresholds.softEnterPct = 50;
+    thresholds.hardEnterPct = 80;
+    thresholds.hysteresisPct = 20;
+    thresholds.tenantTokenBudget = 100;
+    thresholds.softPromptCapTokens = 8;
+    return thresholds;
+}
+
+PressureSample
+kvPressure(double pct)
+{
+    PressureSample sample;
+    sample.kvOccupancyPct = pct;
+    return sample;
+}
+
+AdmissionCandidate
+candidate(int64_t tenant, int64_t prompt, int64_t generate)
+{
+    AdmissionCandidate c;
+    c.tenantId = tenant;
+    c.promptTokens = prompt;
+    c.footprintTokens = prompt + generate;
+    return c;
+}
+
+TEST(AdmissionController, SyntheticRampWalksOneExactModeSequence)
+{
+    // Enter thresholds: soft 50, hard 80; exits 20 lower (30 / 60).
+    // The ramp up and back down must produce exactly one
+    // normal→soft→hard→soft→normal sequence — four transitions, in
+    // order, and nothing else.
+    AdmissionController controller(testThresholds());
+    const double ramp[] = {10, 55, 85, 70, 55, 45, 25, 10};
+    const AdmissionMode expected[] = {
+        AdmissionMode::Normal,        // 10 < 50
+        AdmissionMode::SoftThrottled, // 55 >= 50
+        AdmissionMode::HardFailFast,  // 85 >= 80
+        AdmissionMode::HardFailFast,  // 70 > 60: hysteresis holds hard
+        AdmissionMode::SoftThrottled, // 55 <= 60
+        AdmissionMode::SoftThrottled, // 45 > 30: hysteresis holds soft
+        AdmissionMode::Normal,        // 25 <= 30
+        AdmissionMode::Normal,        // 10
+    };
+    std::vector<AdmissionMode> trace;
+    for (double pct : ramp) {
+        controller.updatePressure(kvPressure(pct));
+        trace.push_back(controller.mode());
+    }
+    ASSERT_EQ(trace.size(), 8u);
+    for (size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i], expected[i]) << "ramp step " << i;
+    EXPECT_EQ(controller.residency().transitions, 4);
+}
+
+TEST(AdmissionController, OscillationAroundEnterThresholdNeverFlaps)
+{
+    // 48/52/48/52... straddles the soft-enter threshold (50) but
+    // stays above the soft-exit threshold (30): one transition total,
+    // however long the oscillation runs.
+    AdmissionController controller(testThresholds());
+    for (int i = 0; i < 50; ++i)
+        controller.updatePressure(
+            kvPressure(i % 2 == 0 ? 52.0 : 48.0));
+    EXPECT_EQ(controller.mode(), AdmissionMode::SoftThrottled);
+    EXPECT_EQ(controller.residency().transitions, 1);
+    // And around the hard threshold from above: 78/82 after entering
+    // hard keeps holding hard (exit is 60).
+    for (int i = 0; i < 50; ++i)
+        controller.updatePressure(
+            kvPressure(i % 2 == 0 ? 82.0 : 78.0));
+    EXPECT_EQ(controller.mode(), AdmissionMode::HardFailFast);
+    EXPECT_EQ(controller.residency().transitions, 2);
+}
+
+TEST(AdmissionController, MovesOneRegimePerUpdate)
+{
+    // A pressure spike straight to 95 must pass through soft before
+    // hard: mode observers between step boundaries never see a skip.
+    AdmissionController controller(testThresholds());
+    EXPECT_TRUE(controller.updatePressure(kvPressure(95.0)));
+    EXPECT_EQ(controller.mode(), AdmissionMode::SoftThrottled);
+    EXPECT_TRUE(controller.updatePressure(kvPressure(95.0)));
+    EXPECT_EQ(controller.mode(), AdmissionMode::HardFailFast);
+    // Collapse to 0 likewise steps down one regime at a time.
+    EXPECT_TRUE(controller.updatePressure(kvPressure(0.0)));
+    EXPECT_EQ(controller.mode(), AdmissionMode::SoftThrottled);
+    EXPECT_TRUE(controller.updatePressure(kvPressure(0.0)));
+    EXPECT_EQ(controller.mode(), AdmissionMode::Normal);
+}
+
+TEST(AdmissionController, NormalModeEnforcesTenantBudget)
+{
+    AdmissionController controller(testThresholds());
+    // Budget 100: 60 fits, another 60 for the same tenant does not.
+    EXPECT_TRUE(controller.admitReserve(candidate(7, 40, 20)).accepted);
+    EXPECT_EQ(controller.tenantTokens(7), 60);
+
+    const AdmissionDecision over =
+        controller.admitReserve(candidate(7, 40, 20));
+    EXPECT_FALSE(over.accepted);
+    EXPECT_EQ(over.mode, AdmissionMode::Normal);
+    EXPECT_EQ(over.metric, "tenant_inflight_tokens");
+    EXPECT_EQ(over.value, 120.0);
+    EXPECT_EQ(over.threshold, 100.0);
+    EXPECT_NE(over.reason.find("tenant 7"), std::string::npos);
+
+    // Another tenant is unaffected.
+    EXPECT_TRUE(controller.admitReserve(candidate(8, 40, 20)).accepted);
+
+    // Releasing the reservation reopens the budget.
+    controller.release(7, 60);
+    EXPECT_EQ(controller.tenantTokens(7), 0);
+    EXPECT_TRUE(controller.admitReserve(candidate(7, 40, 20)).accepted);
+}
+
+TEST(AdmissionController, SoftModeCapsPromptsAndHalvesBudgets)
+{
+    AdmissionController controller(testThresholds());
+    controller.updatePressure(kvPressure(55.0)); // -> soft
+    ASSERT_EQ(controller.mode(), AdmissionMode::SoftThrottled);
+
+    // Prompt cap 8: a 9-token prompt is rejected with the metric.
+    const AdmissionDecision long_prompt =
+        controller.admitReserve(candidate(1, 9, 1));
+    EXPECT_FALSE(long_prompt.accepted);
+    EXPECT_EQ(long_prompt.mode, AdmissionMode::SoftThrottled);
+    EXPECT_EQ(long_prompt.metric, "prompt_tokens");
+    EXPECT_EQ(long_prompt.value, 9.0);
+    EXPECT_EQ(long_prompt.threshold, 8.0);
+
+    // Budget halves to 50 while throttled: 40 fits, 40 more does not
+    // — only clearly-under-budget tenants get in.
+    EXPECT_TRUE(controller.admitReserve(candidate(1, 8, 32)).accepted);
+    const AdmissionDecision throttled =
+        controller.admitReserve(candidate(1, 8, 32));
+    EXPECT_FALSE(throttled.accepted);
+    EXPECT_EQ(throttled.metric, "tenant_inflight_tokens");
+    EXPECT_EQ(throttled.threshold, 50.0);
+    EXPECT_NE(throttled.reason.find("soft"), std::string::npos);
+
+    // Back in normal mode the same tenant fits again (full budget).
+    controller.updatePressure(kvPressure(10.0));
+    ASSERT_EQ(controller.mode(), AdmissionMode::Normal);
+    EXPECT_TRUE(controller.admitReserve(candidate(1, 8, 32)).accepted);
+}
+
+TEST(AdmissionController, HardModeRejectsEverythingNamingTheTrigger)
+{
+    AdmissionController controller(testThresholds());
+    // Queue depth, the hotter metric here, trips the regime; the
+    // rejection must name it, not just say "mode is hard".
+    PressureSample sample;
+    sample.kvOccupancyPct = 40.0;
+    sample.queueDepthPct = 85.0;
+    controller.updatePressure(sample);
+    controller.updatePressure(sample);
+    ASSERT_EQ(controller.mode(), AdmissionMode::HardFailFast);
+
+    const AdmissionDecision decision =
+        controller.admitReserve(candidate(1, 1, 1));
+    EXPECT_FALSE(decision.accepted);
+    EXPECT_EQ(decision.mode, AdmissionMode::HardFailFast);
+    EXPECT_EQ(decision.metric, "queue_depth_pct");
+    EXPECT_EQ(decision.value, 85.0);
+    EXPECT_EQ(decision.threshold, 80.0);
+    EXPECT_NE(decision.reason.find("hard"), std::string::npos);
+    EXPECT_EQ(controller.tenantTokens(1), 0); // nothing reserved
+}
+
+TEST(AdmissionController, PressureTieGoesToKvOccupancy)
+{
+    AdmissionController controller(testThresholds());
+    PressureSample sample;
+    sample.kvOccupancyPct = 85.0;
+    sample.queueDepthPct = 85.0;
+    controller.updatePressure(sample);
+    controller.updatePressure(sample);
+    const AdmissionDecision decision =
+        controller.admitReserve(candidate(1, 1, 1));
+    EXPECT_EQ(decision.metric, "kv_occupancy_pct");
+}
+
+TEST(AdmissionController, ResidencyCountsUpdatesPerMode)
+{
+    AdmissionController controller(testThresholds());
+    controller.updatePressure(kvPressure(10.0)); // normal
+    controller.updatePressure(kvPressure(55.0)); // soft
+    controller.updatePressure(kvPressure(55.0)); // soft
+    controller.updatePressure(kvPressure(85.0)); // hard
+    const AdmissionController::Residency residency =
+        controller.residency();
+    EXPECT_EQ(residency.updatesInMode[size_t(AdmissionMode::Normal)],
+              1);
+    EXPECT_EQ(
+        residency.updatesInMode[size_t(AdmissionMode::SoftThrottled)],
+        2);
+    EXPECT_EQ(
+        residency.updatesInMode[size_t(AdmissionMode::HardFailFast)],
+        1);
+    EXPECT_EQ(residency.transitions, 2);
+}
+
+TEST(AdmissionController, ConcurrentReservesNeverOvershootTheBudget)
+{
+    // 8 threads race 25-token reservations against a 100-token
+    // budget: exactly 4 can win, whatever the interleaving, because
+    // decide+reserve is atomic. Run under tsan in CI.
+    AdmissionController controller(testThresholds());
+    std::vector<std::thread> producers;
+    std::vector<int> wins(8, 0);
+    for (int t = 0; t < 8; ++t) {
+        producers.emplace_back([&controller, &wins, t] {
+            if (controller.admitReserve(candidate(3, 20, 5)).accepted)
+                wins[size_t(t)] = 1;
+        });
+    }
+    for (std::thread &producer : producers)
+        producer.join();
+    int total = 0;
+    for (int win : wins)
+        total += win;
+    EXPECT_EQ(total, 4);
+    EXPECT_EQ(controller.tenantTokens(3), 100);
+}
+
+TEST(AdmissionDecision, OkCarriesModeAndNoReason)
+{
+    const AdmissionDecision ok =
+        AdmissionDecision::ok(AdmissionMode::SoftThrottled);
+    EXPECT_TRUE(ok.accepted);
+    EXPECT_EQ(ok.mode, AdmissionMode::SoftThrottled);
+    EXPECT_TRUE(ok.reason.empty());
+    EXPECT_TRUE(ok.metric.empty());
+}
+
+TEST(AdmissionMode, NamesAreStable)
+{
+    EXPECT_STREQ(admissionModeName(AdmissionMode::Normal), "normal");
+    EXPECT_STREQ(admissionModeName(AdmissionMode::SoftThrottled),
+                 "soft");
+    EXPECT_STREQ(admissionModeName(AdmissionMode::HardFailFast),
+                 "hard");
+}
+
+} // namespace
+} // namespace softrec

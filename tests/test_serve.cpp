@@ -162,7 +162,8 @@ TEST(BatchScheduler, AdmitsFifoIntoLowestSlots)
         ASSERT_TRUE(queue.push(makeRequest(rng, id, 4, 2)).accepted);
 
     BatchScheduler scheduler(SchedulerConfig{4, 1024});
-    const std::vector<int64_t> admitted = scheduler.admitFrom(queue);
+    std::vector<int64_t> admitted;
+    scheduler.admitFrom(queue, &admitted);
     ASSERT_EQ(admitted.size(), 3u);
     for (int64_t s = 0; s < 3; ++s) {
         EXPECT_EQ(admitted[size_t(s)], s);
@@ -182,18 +183,23 @@ TEST(BatchScheduler, HonorsTokenBudgetAndParksTheHead)
         ASSERT_TRUE(queue.push(makeRequest(rng, id, 6, 2)).accepted);
 
     BatchScheduler scheduler(SchedulerConfig{4, 20});
-    EXPECT_EQ(scheduler.admitFrom(queue).size(), 2u);
+    std::vector<int64_t> admitted;
+    std::vector<int64_t> evicted;
+    scheduler.admitFrom(queue, &admitted);
+    EXPECT_EQ(admitted.size(), 2u);
     EXPECT_FALSE(scheduler.idle()); // head parked, two active
+    EXPECT_EQ(scheduler.reservedTokens(), 16);
 
     // No room while both run; the parked head must not be lost.
-    EXPECT_TRUE(scheduler.admitFrom(queue).empty());
+    scheduler.admitFrom(queue, &admitted);
+    EXPECT_TRUE(admitted.empty());
 
     // Both active requests finish after two steps; the parked head
     // is admitted on the next boundary, preserving FIFO order.
-    scheduler.completeStep();
-    const std::vector<int64_t> evicted = scheduler.completeStep();
+    scheduler.completeStep(&evicted);
+    scheduler.completeStep(&evicted);
     EXPECT_EQ(evicted.size(), 2u);
-    const std::vector<int64_t> admitted = scheduler.admitFrom(queue);
+    scheduler.admitFrom(queue, &admitted);
     ASSERT_EQ(admitted.size(), 1u);
     EXPECT_EQ(scheduler.slot(admitted[0]).request.id, 2);
 }
@@ -207,13 +213,16 @@ TEST(BatchScheduler, ContinuousAdmissionAfterEviction)
     ASSERT_TRUE(queue.push(makeRequest(rng, 2, 2, 1)).accepted);
 
     BatchScheduler scheduler(SchedulerConfig{2, 1024});
-    EXPECT_EQ(scheduler.admitFrom(queue).size(), 2u);
+    std::vector<int64_t> admitted;
+    std::vector<int64_t> evicted;
+    scheduler.admitFrom(queue, &admitted);
+    EXPECT_EQ(admitted.size(), 2u);
     // Step 1 finishes request 0; its slot frees for request 2 while
     // request 1 keeps running — continuous batching, no drain barrier.
-    const std::vector<int64_t> evicted = scheduler.completeStep();
+    scheduler.completeStep(&evicted);
     ASSERT_EQ(evicted.size(), 1u);
     EXPECT_EQ(evicted[0], 0);
-    const std::vector<int64_t> admitted = scheduler.admitFrom(queue);
+    scheduler.admitFrom(queue, &admitted);
     ASSERT_EQ(admitted.size(), 1u);
     EXPECT_EQ(admitted[0], 0); // lowest free slot reused
     EXPECT_EQ(scheduler.slot(0).request.id, 2);
@@ -229,6 +238,9 @@ TEST(BatchScheduler, DeterministicUnderAFixedArrivalTrace)
         RequestQueue queue(16);
         BatchScheduler scheduler(SchedulerConfig{3, 64});
         std::vector<std::pair<int64_t, int64_t>> admissions;
+        std::vector<int64_t> admitted;
+        std::vector<int64_t> active;
+        std::vector<int64_t> evicted;
         int64_t next_id = 0;
         for (int64_t step = 0; step < 24; ++step) {
             if (step % 2 == 0 && next_id < 10) {
@@ -239,11 +251,13 @@ TEST(BatchScheduler, DeterministicUnderAFixedArrivalTrace)
                         .accepted);
                 ++next_id;
             }
-            for (int64_t slot : scheduler.admitFrom(queue))
+            scheduler.admitFrom(queue, &admitted);
+            for (int64_t slot : admitted)
                 admissions.emplace_back(
                     slot, scheduler.slot(slot).request.id);
-            if (!scheduler.activeSlots().empty())
-                scheduler.completeStep();
+            scheduler.activeSlots(&active);
+            if (!active.empty())
+                scheduler.completeStep(&evicted);
         }
         return admissions;
     };
@@ -343,6 +357,48 @@ TEST(ServeConfig, InvalidThreadsIsAStartupErrorNotSerialFallback)
 {
     ScopedEnv threads("SOFTREC_THREADS", "sixteen");
     EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+}
+
+TEST(ServeConfig, ModeAndTenantKnobsApply)
+{
+    ScopedEnv threads("SOFTREC_THREADS", nullptr);
+    ScopedEnv soft("SOFTREC_SERVE_MODE_SOFT_PCT", "40");
+    ScopedEnv hard("SOFTREC_SERVE_MODE_HARD_PCT", "80");
+    ScopedEnv hyst("SOFTREC_SERVE_MODE_HYSTERESIS_PCT", "15");
+    ScopedEnv tenant("SOFTREC_SERVE_TENANT_BUDGET", "4096");
+    ScopedEnv prompt("SOFTREC_SERVE_SOFT_PROMPT_CAP", "128");
+    ScopedEnv stream("SOFTREC_SERVE_STREAM_CAP", "7");
+    const ServeConfig config = ServeConfig::fromEnv();
+    EXPECT_EQ(config.admission.softEnterPct, 40);
+    EXPECT_EQ(config.admission.hardEnterPct, 80);
+    EXPECT_EQ(config.admission.hysteresisPct, 15);
+    EXPECT_EQ(config.admission.tenantTokenBudget, 4096);
+    EXPECT_EQ(config.admission.softPromptCapTokens, 128);
+    EXPECT_EQ(config.streamCapacity, 7);
+}
+
+TEST(ServeConfig, BadModeKnobsAreHardErrorsNotFallbacks)
+{
+    ScopedEnv threads("SOFTREC_THREADS", nullptr);
+    {
+        // Percentages must stay in [1, 100].
+        ScopedEnv soft("SOFTREC_SERVE_MODE_SOFT_PCT", "150");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+    {
+        ScopedEnv hyst("SOFTREC_SERVE_MODE_HYSTERESIS_PCT", "0");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+    {
+        ScopedEnv tenant("SOFTREC_SERVE_TENANT_BUDGET", "many");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+    {
+        // Crossed thresholds would make soft mode unreachable.
+        ScopedEnv soft("SOFTREC_SERVE_MODE_SOFT_PCT", "90");
+        ScopedEnv hard("SOFTREC_SERVE_MODE_HARD_PCT", "50");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
 }
 
 // --- ServeLoop --------------------------------------------------------
@@ -446,9 +502,12 @@ TEST(ServeLoop, SlabDrainsBackToZeroAfterRun)
             loop.submit(makeRequest(rng, id, 4, 2)).accepted);
     const ServeSummary summary = loop.run();
     EXPECT_EQ(summary.requestsServed, 4);
-    EXPECT_EQ(loop.slab().blocksInUse(), 0);
-    EXPECT_GT(loop.slab().blocksReserved(), 0);
-    EXPECT_EQ(loop.queue().size(), 0);
+    const ServeStats stats = loop.stats();
+    EXPECT_EQ(stats.kvBlocksInUse, 0);
+    EXPECT_GT(stats.kvBlocksReserved, 0);
+    EXPECT_EQ(stats.queueDepth, 0);
+    EXPECT_EQ(stats.activeRows, 0);
+    EXPECT_EQ(stats.reservedKvTokens, 0);
 }
 
 } // namespace

@@ -3,15 +3,15 @@
 void
 runDecodeStepInto(Ctx &ctx)
 {
-  auto kv = std::make_unique<KvCache>();
+  auto ws = std::make_unique<Workspace>();
   // softrec-lint: allow(hot-path-alloc)
-  auto once = std::make_unique<KvCache>();
-  ctx.use(kv.get(), once.get());
+  auto once = std::make_unique<Workspace>();
+  ctx.use(ws.get(), once.get());
 }
 
 void
 setupOnce(Ctx &ctx)
 {
-  auto kv = std::make_unique<KvCache>();
-  ctx.use(kv.get());
+  auto ws = std::make_unique<Workspace>();
+  ctx.use(ws.get());
 }

@@ -1,0 +1,6 @@
+void
+noteOccupancy(const KvCache &cache, KvSlab *slab)
+{
+  (void)cache;
+  (void)slab;
+}

@@ -1,0 +1,11 @@
+#include <memory>
+
+void
+buildShadowServingPath()
+{
+  RequestQueue queue(8);
+  auto slab = std::make_unique<KvSlab>(64, 64);
+  auto cache = new KvCache(*slab);
+  (void)queue;
+  (void)cache;
+}

@@ -1,0 +1,8 @@
+void
+ownTheInternals()
+{
+  RequestQueue queue(4);
+  KvSlab slab(16, 8);
+  (void)queue;
+  (void)slab;
+}

@@ -11,11 +11,14 @@ import re
 
 from registry import register
 
-# The pool implementation owns raw threads; everything else goes
-# through ExecContext/parallelFor.
+# The pool implementation owns raw threads; the serve engine owns the
+# one background serving thread (the sole external submitter into the
+# pool); everything else goes through ExecContext/parallelFor.
 THREAD_ALLOWED_FILES = {
     "src/common/exec_context.cpp",
     "src/common/exec_context.hpp",
+    "src/serve/serve_engine.cpp",
+    "src/serve/serve_engine.hpp",
 }
 
 THREAD_RE = re.compile(

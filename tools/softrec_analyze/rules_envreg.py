@@ -14,7 +14,7 @@ from registry import register
 
 # The config modules: the only files allowed to call getenv().
 ENV_ALLOWED_FILES = {
-    "src/serve/serve_loop.cpp",    # ServeConfig::fromEnv
+    "src/serve/serve_config.cpp",  # ServeConfig::fromEnv
     "src/common/exec_context.cpp",  # SOFTREC_THREADS latch
     "src/common/bench_report.cpp",  # SOFTREC_BENCH_DIR routing
     "src/fp16/half.cpp",           # SOFTREC_SIMD backend select

@@ -18,14 +18,14 @@ KERNEL_DIRS = ("src/kernels/",)
 # Functions on the per-token decode path: their whole bodies must be
 # allocation-free (setup that genuinely runs once per step is
 # annotated allow() at the site, with the reason). The compat
-# wrapper runDecodeStep and the gather/finish helpers around
-# ServeLoop::run are deliberately NOT here: they are the documented
-# amortized-allocation boundary (workspace construction, batch
-# recomposition) that keeps these bodies clean.
+# wrapper runDecodeStep and the prefill/finish helpers around
+# ServeEngine::serveStep are deliberately NOT here: they are the
+# documented amortized-allocation boundary (workspace construction,
+# batch recomposition) that keeps these bodies clean.
 HOT_FUNCTIONS = {
-    "decodeAttendRun",     # src/kernels/decode_attention.cpp
-    "runDecodeStepInto",   # src/model/decode.cpp
-    "ServeLoop::run",      # src/serve/serve_loop.cpp
+    "decodeAttendRun",          # src/kernels/decode_attention.cpp
+    "runDecodeStepInto",        # src/model/decode.cpp
+    "ServeEngine::serveStep",   # src/serve/serve_engine.cpp
 }
 
 # Allocation constructs: operator new, C allocators, smart-pointer
@@ -58,7 +58,7 @@ def _hot_function_lines(src):
     "no new/malloc/container growth (a) inside loop bodies or "
     "parallelFor lambdas in src/kernels/, or (b) anywhere in the "
     "per-token decode functions (decodeAttendRun, runDecodeStepInto, "
-    "ServeLoop::run). Stage into pre-sized buffers, reuse a "
+    "ServeEngine::serveStep). Stage into pre-sized buffers, reuse a "
     "workspace (DecodeAttendWorkspace / DecodeStepWorkspace), or "
     "hoist the allocation out of the steady state; per-chunk staging "
     "that is deliberately amortized lives in the baseline with its "

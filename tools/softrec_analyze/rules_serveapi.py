@@ -1,0 +1,48 @@
+"""Serve-API boundary rule.
+
+The async serve engine's guarantees — per-tenant budget accounting,
+regime-gated admission, slab-bounded KV occupancy, tsan-clean
+single-submitter decode — all hang on src/serve/ being the only owner
+of the serving internals. A RequestQueue, KvSlab, or KvCache
+constructed anywhere else is a second admission/occupancy authority
+the engine cannot see: its tokens never hit the pressure sample, its
+requests bypass the admission regimes, and its slab competes with the
+engine's for memory the budget arithmetic assumes it owns.
+"""
+
+import re
+
+from registry import register
+
+SERVE_DIR = "src/serve/"
+
+# Construction/ownership forms: a named declaration of one of the
+# serving internals (value, brace- or paren-initialized, or assigned)
+# and the factory spellings. Reference and pointer *uses* — taking a
+# `const KvCache &` parameter, holding a `KvCache *` the engine handed
+# out — deliberately stay silent: observing the internals is fine,
+# owning them is not.
+CONSTRUCT_RE = re.compile(
+    r"\b(?:RequestQueue|KvSlab|KvCache)\s+[A-Za-z_]\w*\s*[;({=]"
+    r"|\bstd::make_(?:unique|shared)\s*<\s*"
+    r"(?:RequestQueue|KvSlab|KvCache)\b"
+    r"|\bnew\s+(?:RequestQueue|KvSlab|KvCache)\b")
+
+
+@register(
+    "serve-api", "error",
+    "serving internal (RequestQueue/KvSlab/KvCache) owned outside "
+    "src/serve/",
+    "constructing a RequestQueue, KvSlab, or KvCache outside "
+    "src/serve/ creates serving state the engine cannot account for: "
+    "its KV tokens are invisible to the pressure sample that drives "
+    "the admission regimes, and its requests bypass the per-tenant "
+    "budget ledger. Go through ServeEngine::submit / ServeSession "
+    "(or ServeLoop while it lasts); reference/pointer uses of the "
+    "types remain fine.")
+def check_serve_api(src, ctx):
+    if src.rel_path.startswith(SERVE_DIR):
+        return
+    for lineno, code in enumerate(src.code_lines, start=1):
+        if CONSTRUCT_RE.search(code):
+            yield lineno, None
