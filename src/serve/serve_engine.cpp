@@ -128,12 +128,27 @@ ServeEngine::submit(ServeRequest request)
     auto stream = std::make_shared<TokenStream>(config_.streamCapacity,
                                                 stack_.config.dModel);
     request.stream = stream;
+    registerStream(stream);
     const int64_t id = request.id;
     const int64_t tenant = request.tenantId;
 
+    // Count the submit before the push: once the request is in the
+    // queue the serving thread may finish it at any moment, and a
+    // completion must never observe completed_ > submitted_ (waitIdle
+    // would wake early or, worse, miss its notify and hang).
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++submitted_;
+    }
     AdmissionDecision pushed = queue_.push(std::move(request));
     if (!pushed.accepted) {
         controller_.release(tenant, footprint);
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            --submitted_;
+            if (completed_ == submitted_)
+                idleCv_.notify_all();
+        }
         // The queue is regime-agnostic; stamp the regime the decision
         // was actually taken under.
         pushed.mode = reserve.mode;
@@ -141,9 +156,13 @@ ServeEngine::submit(ServeRequest request)
         return result;
     }
 
+    // The pending-work flag is written under wakeMutex_, so the
+    // serving thread either sees it in its wait predicate or is
+    // already blocked when the notify fires — the wakeup cannot fall
+    // between predicate evaluation and the block and get lost.
     {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++submitted_;
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        workPending_ = true;
     }
     wakeCv_.notify_one();
     result.decision = AdmissionDecision::ok(reserve.mode);
@@ -167,6 +186,19 @@ ServeEngine::shutdown()
         stopRequested_ = true;
     }
     wakeCv_.notify_all();
+    // Wake any push() blocked on a full ring before joining: a
+    // consumer that stopped draining without dropping its session
+    // must not pin the serving thread (and this join) forever.
+    // Consumers still draining keep receiving tokens and finish.
+    {
+        std::lock_guard<std::mutex> lock(streamsMutex_);
+        abortingPushes_ = true;
+        for (const std::weak_ptr<TokenStream> &weak : liveStreams_) {
+            if (std::shared_ptr<TokenStream> stream = weak.lock())
+                stream->abortPush();
+        }
+        liveStreams_.clear();
+    }
     if (thread_.joinable())
         thread_.join();
     // Only reachable with queued items when the engine never started.
@@ -198,10 +230,15 @@ ServeEngine::threadMain()
     while (true) {
         {
             std::unique_lock<std::mutex> lock(wakeMutex_);
+            // workPending_ (under wakeMutex_) is the lost-wakeup-free
+            // submit signal; the queue/scheduler reads are extra
+            // triggers so a step that left work behind re-runs
+            // without waiting for another submit.
             wakeCv_.wait(lock, [this] {
-                return stopRequested_ || queue_.size() > 0 ||
-                       !scheduler_.idle();
+                return stopRequested_ || workPending_ ||
+                       queue_.size() > 0 || !scheduler_.idle();
             });
+            workPending_ = false;
         }
         serveStep();
         {
@@ -324,12 +361,16 @@ ServeEngine::completeAndFinish()
     // its generation; the close only means nobody reads the result.
     for (int64_t slot_index : finished_)
         finishSlot(slot_index);
+    const char *why = shuttingDown_.load(std::memory_order_acquire)
+                          ? "engine shut down while the stream was "
+                            "stalled"
+                          : "consumer closed the stream";
     for (int64_t slot_index : cancelled_) {
         if (std::find(finished_.begin(), finished_.end(),
                       slot_index) != finished_.end())
             continue;
         scheduler_.releaseSlot(slot_index);
-        cancelSlot(slot_index, "consumer closed the stream");
+        cancelSlot(slot_index, why);
     }
 }
 
@@ -385,6 +426,28 @@ ServeEngine::bumpCompleted()
 {
     std::lock_guard<std::mutex> lock(statsMutex_);
     ++completed_;
+}
+
+void
+ServeEngine::registerStream(const std::shared_ptr<TokenStream> &stream)
+{
+    std::lock_guard<std::mutex> lock(streamsMutex_);
+    if (abortingPushes_) {
+        // Raced past the shuttingDown_ gate in submit(): make sure
+        // this stream can never block the serving thread either.
+        stream->abortPush();
+        return;
+    }
+    // Entries expire once both the batch slot and the consumer drop
+    // the stream; pruning here keeps the registry sized to in-flight
+    // requests rather than everything ever submitted.
+    liveStreams_.erase(
+        std::remove_if(liveStreams_.begin(), liveStreams_.end(),
+                       [](const std::weak_ptr<TokenStream> &weak) {
+                           return weak.expired();
+                       }),
+        liveStreams_.end());
+    liveStreams_.push_back(stream);
 }
 
 void

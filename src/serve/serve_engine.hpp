@@ -130,8 +130,10 @@ class ServeEngine
     /**
      * Stop accepting, drain every already-accepted request, join the
      * serving thread, and cancel anything left queued (only possible
-     * when start() was never called). Idempotent; the destructor
-     * calls it.
+     * when start() was never called). A request whose consumer is
+     * draining still streams to completion; one stalled on a full
+     * ring is cancelled rather than allowed to block the join
+     * forever. Idempotent; the destructor calls it.
      */
     void shutdown();
 
@@ -173,6 +175,7 @@ class ServeEngine
     void cancelSlot(int64_t slot_index, const char *why);
     void publishStats();
     void bumpCompleted();
+    void registerStream(const std::shared_ptr<TokenStream> &stream);
     void drainQueueCancelling(const char *why);
 
     //! Copied, not referenced: callers may pass a temporary context.
@@ -192,8 +195,15 @@ class ServeEngine
     std::mutex wakeMutex_;
     std::condition_variable wakeCv_;
     bool stopRequested_ = false; //!< under wakeMutex_
+    bool workPending_ = false;   //!< under wakeMutex_; submit signal
     bool started_ = false;       //!< owner thread only
     std::thread thread_;
+
+    //! Streams the engine may be pushing into; shutdown() aborts any
+    //! push blocked on a full ring before joining the serving thread.
+    std::mutex streamsMutex_;
+    std::vector<std::weak_ptr<TokenStream>> liveStreams_;
+    bool abortingPushes_ = false; //!< under streamsMutex_
 
     //! Mirror + idle accounting; see ServeStats docs.
     mutable std::mutex statsMutex_;

@@ -5,6 +5,7 @@
 
 #include "serve/serve_loop.hpp"
 
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -79,8 +80,10 @@ ServeLoop::run()
                 progressed = true;
             }
         }
+        // Tokens arrive at decode-step cadence (milliseconds), so an
+        // empty sweep sleeps instead of yield-spinning a core.
         if (!progressed)
-            std::this_thread::yield();
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
     pending_.clear();
     engine_.waitIdle(); // let the step counters settle

@@ -26,8 +26,13 @@ bool
 TokenStream::push(const Half *row)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return count_ < capacity_ || consumerClosed_; });
-    if (consumerClosed_)
+    cv_.wait(lock, [this] {
+        return count_ < capacity_ || consumerClosed_ || pushAborted_;
+    });
+    // An aborted push only fails when it cannot make progress: a
+    // consumer still draining during engine shutdown keeps receiving
+    // tokens, while one stalled on a full ring stops blocking join().
+    if (consumerClosed_ || count_ >= capacity_)
         return false;
     SOFTREC_ASSERT(!terminalLocked(), "push after finish/cancel");
     const int64_t slot = (head_ + count_) % capacity_;
@@ -94,6 +99,16 @@ TokenStream::tryNext(Tensor<Half> &row)
         return TryNext::Token;
     }
     return terminalLocked() ? TryNext::End : TryNext::Pending;
+}
+
+void
+TokenStream::abortPush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pushAborted_)
+        return;
+    pushAborted_ = true;
+    cv_.notify_all();
 }
 
 void

@@ -69,6 +69,16 @@ class TokenStream
     /** Terminal: the request will produce no more tokens. */
     void cancel(std::string why, double at);
 
+    /**
+     * Engine-shutdown hook: wake a push() blocked on a full ring and
+     * make it fail instead of waiting for the consumer. A push that
+     * still has ring space keeps succeeding, so consumers that are
+     * draining finish their streams during shutdown while stalled
+     * ones stop blocking the serving thread. Idempotent; callable
+     * from any thread.
+     */
+    void abortPush();
+
     // -- consumer side ---------------------------------------------
 
     /**
@@ -124,6 +134,7 @@ class TokenStream
     int64_t delivered_ = 0;
     StreamStatus status_ = StreamStatus::Streaming;
     bool consumerClosed_ = false;
+    bool pushAborted_ = false;
     std::string cancelReason_;
     double finishSeconds_ = 0.0;
 };

@@ -146,6 +146,34 @@ TEST(TokenStream, CloseMakesPushFailAndUnblocksTheProducer)
     EXPECT_FALSE(stream.push(row.data())); // stays closed
 }
 
+TEST(TokenStream, AbortPushFailsOnlyWhenTheRingIsFull)
+{
+    TokenStream stream(1, kDm);
+    std::vector<Half> row(static_cast<size_t>(kDm));
+    stream.abortPush();
+    // Space in the ring: pushes keep succeeding after an abort, so a
+    // consumer that is draining still finishes during shutdown.
+    ASSERT_TRUE(stream.push(row.data()));
+    // Full ring after an abort: fail instead of blocking forever.
+    EXPECT_FALSE(stream.push(row.data()));
+    Tensor<Half> out;
+    ASSERT_EQ(stream.tryNext(out), TokenStream::TryNext::Token);
+    ASSERT_TRUE(stream.push(row.data()));
+}
+
+TEST(TokenStream, AbortPushWakesABlockedProducer)
+{
+    TokenStream stream(1, kDm);
+    std::vector<Half> row(static_cast<size_t>(kDm));
+    ASSERT_TRUE(stream.push(row.data())); // ring now full
+    std::thread producer([&stream, &row] {
+        // Blocks on the full ring until abortPush(), then fails.
+        EXPECT_FALSE(stream.push(row.data()));
+    });
+    stream.abortPush();
+    producer.join();
+}
+
 TEST(ServeSession, DroppingTheHandleClosesTheStream)
 {
     auto stream = std::make_shared<TokenStream>(4, kDm);
@@ -316,6 +344,36 @@ TEST(ServeEngine, AbandonedSessionIsCancelledAndReclaimed)
     while (again.session.stream().next(row)) {
     }
     engine.waitIdle();
+}
+
+TEST(ServeEngine, ShutdownDoesNotHangOnAStalledConsumer)
+{
+    const DecoderStack stack = testStack();
+    ServeConfig config = testConfig();
+    config.streamCapacity = 2; // engine outruns the consumer quickly
+    ServeEngine engine(ExecContext(), stack, config);
+    engine.start();
+
+    Rng rng(43);
+    SubmitResult result = engine.submit(
+        makeRequest(rng, 4, /*generate_tokens=*/200));
+    ASSERT_TRUE(result.decision.accepted);
+    // Read one token, then stop draining WITHOUT dropping the
+    // session: the serving thread ends up blocked pushing into the
+    // full ring, which shutdown() must interrupt rather than hang in
+    // join().
+    Tensor<Half> row;
+    ASSERT_TRUE(result.session.stream().next(row));
+    engine.shutdown();
+
+    EXPECT_EQ(result.session.stream().status(),
+              StreamStatus::Cancelled);
+    EXPECT_NE(result.session.stream().cancelReason().find("shut down"),
+              std::string::npos);
+    const ServeStats stats = engine.stats();
+    EXPECT_EQ(stats.requestsCancelled, 1);
+    EXPECT_EQ(stats.requestsServed, 0);
+    EXPECT_EQ(stats.kvBlocksInUse, 0);
 }
 
 TEST(ServeEngine, RejectsImpossibleAndMalformedRequestsWithReasons)

@@ -15,3 +15,16 @@ guardedLock(std::mutex &mu, int *v)
   std::lock_guard<std::mutex> guard(mu);
   return *v;
 }
+
+#include <memory>
+
+int
+weakPromotion(std::weak_ptr<int> &weak)
+{
+  // weak_ptr::lock() is a promotion, not a mutex acquisition: the
+  // result is consumed, which a void mutex lock() never is.
+  if (std::shared_ptr<int> strong = weak.lock())
+    return *strong;
+  auto held = weak.lock();
+  return held ? *held : 0;
+}

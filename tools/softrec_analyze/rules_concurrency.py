@@ -74,8 +74,19 @@ def check_exec_discipline(src, ctx):
     "std::unique_lock.")
 def check_lock_discipline(src, ctx):
     for lineno, code in enumerate(src.code_lines, start=1):
-        if MANUAL_LOCK_RE.search(code):
-            yield lineno, None
+        for m in MANUAL_LOCK_RE.finditer(code):
+            # std::mutex lock()/unlock() return void, so a consumed
+            # result means this is some other lock() — most commonly
+            # weak_ptr::lock() promotion (`if (auto p = w.lock())`).
+            prefix = code[: m.start()]
+            suffix = code[m.end() :].lstrip()
+            assigned = re.search(r"(?<![=!<>])=(?!=)", prefix)
+            consumed = (assigned or "return" in prefix or
+                        suffix.startswith((")", ".", "->", "?", "&&",
+                                           "||")))
+            if not consumed:
+                yield lineno, None
+                break
 
 
 def _region_locals(src, first, last):
