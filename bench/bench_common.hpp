@@ -58,19 +58,23 @@ medianSeconds(int warmup, int reps, Fn &&body)
  * Measured-bench sequence length: `fallback` (the paper's headline
  * point) unless SOFTREC_BENCH_SEQLEN overrides it, so CI smoke runs
  * and slow containers can shrink the workload without recompiling.
+ * Invalid values hard-error (the ServeConfig::fromEnv policy) — a CI
+ * smoke run must never quietly benchmark the wrong workload.
  */
 inline int64_t
 benchSeqLenFromEnv(int64_t fallback)
 {
     const char *env = std::getenv("SOFTREC_BENCH_SEQLEN");
-    if (env == nullptr)
+    if (env == nullptr || *env == '\0')
         return fallback;
     char *end = nullptr;
     const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed >= 64)
-        return parsed;
-    warn("SOFTREC_BENCH_SEQLEN='%s' ignored (need int >= 64)", env);
-    return fallback;
+    if (end == env || *end != '\0' || parsed < 64) {
+        fatal("SOFTREC_BENCH_SEQLEN='%s' is invalid: expected an "
+              "integer >= 64; unset it to use the default (%lld)",
+              env, (long long)fallback);
+    }
+    return parsed;
 }
 
 /** Baseline / SD / SDF results for one (model, GPU, L, batch). */

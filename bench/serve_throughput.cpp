@@ -1,17 +1,22 @@
 /**
  * @file
  * Continuous-batching serving throughput benchmark: a fixed arrival
- * trace of prompt-heavy requests is driven through ServeLoop at batch
- * limits {1, 4, 16} and the engine reports tokens/s plus p50/p95
+ * trace of prompt-heavy requests is driven through ServeEngine at
+ * batch limits {1, 4, 16} and the bench reports tokens/s plus p50/p95
  * request latency per arm, alongside the profiler's per-kernel rows.
+ * A fourth arm repeats the batch-4 trace with the streaming attention
+ * backend (SOFTREC_ATTENTION=streaming equivalent) for a prefill
+ * recomposed-vs-streaming A/B on the same workload.
  * Writes BENCH_serve_throughput.json (schema softrec-bench-v1).
  *
  * Headline point: prompts of L = 4096 tokens (the paper's evaluation
  * length); SOFTREC_BENCH_SEQLEN shrinks it for CI smoke runs.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -22,8 +27,9 @@
 #include "common/rng.hpp"
 #include "fp16/half.hpp"
 #include "kernels/kernel_common.hpp"
+#include "kernels/streaming_attention.hpp"
 #include "model/decode.hpp"
-#include "serve/serve_loop.hpp"
+#include "serve/serve_engine.hpp"
 #include "tensor/tensor.hpp"
 
 namespace softrec {
@@ -41,8 +47,23 @@ randomPrompt(Rng &rng, int64_t tokens, int64_t d_model)
     return prompt;
 }
 
-/** One arm: drain kRequests through a batch-row limit. */
-ServeSummary
+/** What one drained arm reports. */
+struct ArmSummary
+{
+    int64_t requestsServed = 0;
+    int64_t tokensGenerated = 0;
+    int64_t decodeSteps = 0;
+    double tokensPerSecond = 0.0;
+    double p50LatencySeconds = 0.0;
+    double p95LatencySeconds = 0.0;
+};
+
+/**
+ * One arm: drain kRequests through a batch-row limit. Round-robin
+ * non-blocking drain — a blocking per-stream drain deadlocks on rings
+ * shallower than generateTokens.
+ */
+ArmSummary
 runArm(const ExecContext &ctx, const DecoderStack &stack,
        int64_t batch_rows, int64_t prompt_tokens)
 {
@@ -51,21 +72,77 @@ runArm(const ExecContext &ctx, const DecoderStack &stack,
     // Roomy budget: this bench measures batching, not budget parking.
     config.tokenBudget =
         kRequests * (prompt_tokens + kGenerateTokens);
-    ServeLoop loop(ctx, stack, config);
+    ServeEngine engine(ctx, stack, config);
 
+    struct Pending
+    {
+        ServeSession session;
+        double arrivalSeconds = 0.0;
+        double finishSeconds = 0.0;
+        bool done = false;
+    };
+    std::vector<Pending> pending;
     Rng rng(11); // same prompts in every arm
     for (int64_t r = 0; r < kRequests; ++r) {
         ServeRequest request;
-        request.id = r;
+        request.id = r + 1;
         request.prompt =
             randomPrompt(rng, prompt_tokens, stack.config.dModel);
         request.generateTokens = kGenerateTokens;
-        request.arrivalSeconds = loop.nowSeconds();
-        const AdmitResult admit = loop.submit(std::move(request));
-        SOFTREC_ASSERT(admit.accepted, "bench submit rejected: %s",
-                       admit.reason.c_str());
+        Pending p;
+        p.arrivalSeconds = engine.nowSeconds();
+        SubmitResult result = engine.submit(std::move(request));
+        SOFTREC_ASSERT(result.decision.accepted,
+                       "bench submit rejected: %s",
+                       result.decision.reason.c_str());
+        p.session = std::move(result.session);
+        pending.push_back(std::move(p));
     }
-    return loop.run();
+
+    const double start = engine.nowSeconds();
+    engine.start();
+    size_t remaining = pending.size();
+    Tensor<Half> row;
+    while (remaining > 0) {
+        bool progressed = false;
+        for (Pending &p : pending) {
+            if (p.done)
+                continue;
+            TokenStream &stream = p.session.stream();
+            TokenStream::TryNext outcome = stream.tryNext(row);
+            while (outcome == TokenStream::TryNext::Token) {
+                progressed = true;
+                outcome = stream.tryNext(row);
+            }
+            if (outcome == TokenStream::TryNext::End) {
+                p.finishSeconds = stream.finishSeconds();
+                p.done = true;
+                --remaining;
+                progressed = true;
+            }
+        }
+        if (!progressed)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+    }
+    engine.waitIdle(); // let the step counters settle
+
+    ArmSummary summary;
+    const ServeStats stats = engine.stats();
+    summary.requestsServed = stats.requestsServed;
+    summary.tokensGenerated = stats.tokensGenerated;
+    summary.decodeSteps = stats.decodeSteps;
+    const double seconds = engine.nowSeconds() - start;
+    summary.tokensPerSecond =
+        seconds > 0.0 ? double(summary.tokensGenerated) / seconds
+                      : 0.0;
+    std::vector<double> latencies;
+    latencies.reserve(pending.size());
+    for (const Pending &p : pending)
+        latencies.push_back(p.finishSeconds - p.arrivalSeconds);
+    summary.p50LatencySeconds = percentileSeconds(latencies, 0.50);
+    summary.p95LatencySeconds = percentileSeconds(latencies, 0.95);
+    return summary;
 }
 
 } // namespace
@@ -82,6 +159,9 @@ main()
     const DecoderStack stack =
         DecoderStack::random(d_model, /*num_heads=*/4, /*d_ff=*/128,
                              /*num_layers=*/2, weights_rng);
+    // Same weights, streaming attention backend: the A/B arm.
+    DecoderStack streaming_stack = stack;
+    streaming_stack.config.attention = AttentionBackend::Streaming;
 
     BenchReport report("serve_throughput");
     report.setConfig("prompt_tokens", prompt_tokens);
@@ -90,28 +170,37 @@ main()
     report.setConfig("d_model", d_model);
     report.setConfig("num_layers", int64_t(2));
 
-    for (const int64_t batch_rows : {int64_t(1), int64_t(4),
-                                     int64_t(16)}) {
+    struct Arm
+    {
+        const char *name;
+        const DecoderStack *stack;
+        int64_t batchRows;
+    };
+    const Arm arms[] = {
+        {"b1", &stack, 1},
+        {"b4", &stack, 4},
+        {"b16", &stack, 16},
+        {"b4_streaming", &streaming_stack, 4},
+    };
+    for (const Arm &arm : arms) {
         prof::Profiler profiler;
         ExecContext ctx = ExecContext::fromEnv();
         ctx.profiler = &profiler;
-        if (batch_rows == 1)
+        if (arm.batchRows == 1)
             report.setConfig("threads", int64_t(ctx.threads()));
 
-        const ServeSummary summary =
-            runArm(ctx, stack, batch_rows, prompt_tokens);
+        const ArmSummary summary =
+            runArm(ctx, *arm.stack, arm.batchRows, prompt_tokens);
         SOFTREC_ASSERT(summary.requestsServed == kRequests,
-                       "arm b%lld served %lld of %lld requests",
-                       (long long)batch_rows,
+                       "arm %s served %lld of %lld requests",
+                       arm.name,
                        (long long)summary.requestsServed,
                        (long long)kRequests);
 
-        const std::string arm =
-            strprintf("b%lld", (long long)batch_rows);
         for (const auto &[scope_name, totals] :
              profiler.snapshot()) {
             BenchKernelRow row;
-            row.name = arm + "/" + scope_name;
+            row.name = std::string(arm.name) + "/" + scope_name;
             row.ms = totals.seconds * 1e3;
             row.bytesRead = totals.bytesRead;
             row.bytesWritten = totals.bytesWritten;
@@ -119,16 +208,17 @@ main()
             row.threads = ctx.threads();
             report.addKernel(row);
         }
-        report.setDerived(arm + "_tokens_per_s",
+        const std::string prefix = arm.name;
+        report.setDerived(prefix + "_tokens_per_s",
                           summary.tokensPerSecond);
-        report.setDerived(arm + "_p50_ms",
+        report.setDerived(prefix + "_p50_ms",
                           summary.p50LatencySeconds * 1e3);
-        report.setDerived(arm + "_p95_ms",
+        report.setDerived(prefix + "_p95_ms",
                           summary.p95LatencySeconds * 1e3);
-        report.setDerived(arm + "_decode_steps",
+        report.setDerived(prefix + "_decode_steps",
                           double(summary.decodeSteps));
-        inform("b%lld: %.1f tok/s, p50 %.1f ms, p95 %.1f ms "
-               "(%lld steps)", (long long)batch_rows,
+        inform("%s: %.1f tok/s, p50 %.1f ms, p95 %.1f ms "
+               "(%lld steps)", arm.name,
                summary.tokensPerSecond,
                summary.p50LatencySeconds * 1e3,
                summary.p95LatencySeconds * 1e3,

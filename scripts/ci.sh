@@ -7,9 +7,11 @@
 #      self-test, then the tree gate — zero unbaselined findings)
 #   3. clang-tidy             (skipped if clang-tidy is absent), then
 #      cppcheck               (skipped if cppcheck is absent)
-#   4. release build + tests  (-DSOFTREC_WERROR=ON), run three times:
-#      serial, SOFTREC_THREADS=4 to exercise the thread pool, then
-#      SOFTREC_SIMD=off to pin the scalar conversion fallback
+#   4. release build + tests  (-DSOFTREC_WERROR=ON), run four times:
+#      serial, SOFTREC_THREADS=4 to exercise the thread pool,
+#      SOFTREC_SIMD=off to pin the scalar conversion fallback, then
+#      SOFTREC_ATTENTION=streaming to serve/decode through the
+#      single-pass streaming attention backend
 #   5. checked build + tests  (-DSOFTREC_CHECKED_BUILD=ON, WERROR)
 #   6. asan-ubsan build + tests (sanitizers + checked mode, WERROR),
 #      plus a serve smoke: the serve_throughput bench runs end to end
@@ -18,12 +20,15 @@
 #      (profiling enabled: test_profiler exercises the counter merge;
 #      test_serve exercises queue/pool shutdown ordering;
 #      test_admission races concurrent reserves; test_serve_engine
-#      drives the async engine's producer/consumer threads)
-#   8. bench smoke: micro_kernels, micro_simd, serve_throughput, and
-#      the serve_load admission-regime trace at a CI-sized sequence
-#      length; SOFTREC_BENCH_DIR routes every report to the repo
-#      root, each expected BENCH_*.json must exist there, and all
-#      must pass tools/check_bench_json.py
+#      drives the async engine's producer/consumer threads;
+#      test_streaming_attention runs the tiled kernel's strips)
+#   8. bench smoke: micro_kernels, micro_simd, micro_streaming,
+#      serve_throughput, and the serve_load admission-regime trace at
+#      a CI-sized sequence length; SOFTREC_BENCH_DIR routes every
+#      report to the repo root, each expected BENCH_*.json must exist
+#      there, and all must pass tools/check_bench_json.py; plus
+#      negative checks that malformed SOFTREC_BENCH_SEQLEN and
+#      SOFTREC_ATTENTION values hard-error instead of falling back
 #
 # Every stage must pass; the script stops at the first failure.
 # A toolchain without clang still runs stages 2 and 4-6, which are the
@@ -51,10 +56,6 @@ python3 tools/softrec_analyze --self-test
 
 step "softrec_analyze over src/ (zero unbaselined findings)"
 python3 tools/softrec_analyze --root "${ROOT}"
-
-step "softrec_lint compat shim"
-python3 tools/softrec_lint.py --self-test >/dev/null
-echo "softrec_lint shim: OK"
 
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
@@ -88,6 +89,10 @@ step "release tests with SOFTREC_SIMD=off (scalar conversion fallback)"
 SOFTREC_SIMD=off \
     ctest --test-dir build/release --output-on-failure -j "${JOBS}"
 
+step "release tests with SOFTREC_ATTENTION=streaming (online-softmax backend)"
+SOFTREC_ATTENTION=streaming \
+    ctest --test-dir build/release --output-on-failure -j "${JOBS}"
+
 step "checked build (WERROR) + tests"
 cmake --preset checked -DSOFTREC_WERROR=ON >/dev/null
 cmake --build build/checked -j "${JOBS}"
@@ -113,10 +118,11 @@ cmake --preset tsan -DSOFTREC_WERROR=ON >/dev/null
 cmake --build build/tsan -j "${JOBS}" --target \
     test_exec_context test_parallel_determinism \
     test_attention_exec test_functional_layer test_profiler \
-    test_serve test_admission test_serve_engine
+    test_serve test_admission test_serve_engine \
+    test_streaming_attention
 SOFTREC_THREADS=4 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build/tsan --output-on-failure -j "${JOBS}" \
-    -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer|test_profiler|test_serve|test_admission|test_serve_engine'
+    -R 'test_exec_context|test_parallel_determinism|test_attention_exec|test_functional_layer|test_profiler|test_serve|test_admission|test_serve_engine|test_streaming_attention'
 
 step "serve-load smoke: admission regimes under a live trace"
 cmake --build build/release -j "${JOBS}" --target serve_load
@@ -126,7 +132,7 @@ cmake --build build/release -j "${JOBS}" --target serve_load
 
 step "bench smoke: BENCH JSON schema gate (reports at repo root)"
 cmake --build build/release -j "${JOBS}" --target micro_kernels \
-    micro_simd serve_throughput
+    micro_simd micro_streaming serve_throughput
 ( cd build/release/bench &&
   SOFTREC_BENCH_DIR="${ROOT}" \
   SOFTREC_BENCH_SEQLEN=512 SOFTREC_THREADS=4 ./micro_kernels \
@@ -138,7 +144,12 @@ cmake --build build/release -j "${JOBS}" --target micro_kernels \
   SOFTREC_BENCH_DIR="${ROOT}" \
   SOFTREC_BENCH_SEQLEN=128 SOFTREC_THREADS=4 ./serve_throughput \
       >/dev/null )
+( cd build/release/bench &&
+  SOFTREC_BENCH_DIR="${ROOT}" \
+  SOFTREC_BENCH_SEQLEN=256 SOFTREC_THREADS=4 ./micro_streaming \
+      >/dev/null )
 for report in BENCH_micro_kernels.json BENCH_micro_simd.json \
+              BENCH_micro_streaming.json \
               BENCH_serve_throughput.json BENCH_serve_load.json; do
     if [ ! -f "${ROOT}/${report}" ]; then
         echo "ci: expected bench report ${report} missing at repo root" >&2
@@ -148,7 +159,28 @@ done
 python3 tools/check_bench_json.py \
     "${ROOT}/BENCH_micro_kernels.json" \
     "${ROOT}/BENCH_micro_simd.json" \
+    "${ROOT}/BENCH_micro_streaming.json" \
     "${ROOT}/BENCH_serve_throughput.json" \
     "${ROOT}/BENCH_serve_load.json"
+
+step "negative: malformed env knobs must hard-error, not fall back"
+if SOFTREC_BENCH_SEQLEN=lots ./build/release/bench/micro_simd \
+    >/dev/null 2>&1; then
+    echo "ci: SOFTREC_BENCH_SEQLEN=lots did not fail" >&2
+    exit 1
+fi
+echo "SOFTREC_BENCH_SEQLEN=lots: rejected (OK)"
+if SOFTREC_BENCH_SEQLEN=32 ./build/release/bench/micro_simd \
+    >/dev/null 2>&1; then
+    echo "ci: SOFTREC_BENCH_SEQLEN=32 (below floor) did not fail" >&2
+    exit 1
+fi
+echo "SOFTREC_BENCH_SEQLEN=32: rejected (OK)"
+if SOFTREC_ATTENTION=flash SOFTREC_BENCH_SEQLEN=64 \
+    ./build/release/bench/serve_throughput >/dev/null 2>&1; then
+    echo "ci: SOFTREC_ATTENTION=flash did not fail" >&2
+    exit 1
+fi
+echo "SOFTREC_ATTENTION=flash: rejected (OK)"
 
 printf '\n=== ci: all gates passed ===\n'

@@ -15,6 +15,7 @@
 #include "kernels/bsr_gemm.hpp"
 #include "kernels/bsr_softmax.hpp"
 #include "kernels/softmax_kernels.hpp"
+#include "kernels/streaming_attention.hpp"
 
 namespace softrec {
 
@@ -217,6 +218,26 @@ Tensor<Half>
 runAttention(const ExecContext &ctx, const SdaConfig &config,
              const AttentionInputs &inputs, Strategy strategy)
 {
+    if (config.backend == AttentionBackend::Streaming) {
+        if (config.sparse()) {
+            fatal("SOFTREC_ATTENTION=streaming supports dense "
+                  "attention only; block-sparse layouts run the "
+                  "recomposed backend");
+        }
+        // Time-only summary scope, like the strategies below; the
+        // kernel records its own traffic under "sda.stream".
+        prof::Scope scope(ctx, "attention.streaming");
+        StreamingAttentionDesc desc;
+        desc.seqLen = config.seqLen;
+        desc.kvLen = config.keyLen();
+        desc.dHead = config.dHead;
+        desc.causalMask = config.causalMask;
+        desc.scale = config.scale();
+        Tensor<Half> out(Shape({config.seqLen, config.dHead}));
+        streamingAttentionRun(ctx, desc, inputs.q, inputs.k, inputs.v,
+                              out);
+        return out;
+    }
     // Time-only summary scope; the kernels inside record their own
     // time and traffic under their individual names.
     prof::Scope scope(ctx, attentionScopeName(strategy));

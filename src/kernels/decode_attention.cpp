@@ -29,6 +29,8 @@
 #include <limits>
 #include <vector>
 
+#include <optional>
+
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "common/profiler.hpp"
@@ -55,10 +57,22 @@ decodeAttendRun(const ExecContext &ctx, const DecodeAttendDesc &desc,
     constexpr float kNegInf = -std::numeric_limits<float>::infinity();
 
     prof::Scope scope(ctx, "decode.attend");
+    // The fp16 score-row staging below (score store -> softmax read
+    // -> probability store -> P.V read) is the same four crossings
+    // the batch path attributes to its softmax.* scopes, so it gets
+    // the same byte-only attribution here; without it the decode /
+    // prefill traffic ratios are skewed in decode's favour.
+    std::optional<prof::Scope> row_scope;
     if (scope.active()) {
         scope.addRead(uint64_t(dh) * kFp16Bytes +            // q
                       uint64_t(2 * context * dh) * kFp16Bytes); // K, V
         scope.addWrite(uint64_t(dh) * kFp16Bytes);
+        // softrec-lint: allow(hot-path-alloc) — profiling-only
+        // branch; a disabled profiler never reaches this emplace.
+        row_scope.emplace(ctx, "softmax.row.decode",
+                          prof::Scope::Kind::BytesOnly);
+        row_scope->addWrite(uint64_t(2 * context) * kFp16Bytes);
+        row_scope->addRead(uint64_t(2 * context) * kFp16Bytes);
     }
 
     DecodeAttendWorkspace local;

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Streaming-attention implementation.
+ *
+ * Bit-identity contract between the two entry points: both fold key
+ * tiles of kStreamKeyTile positions in ascending order, and for each
+ * tile run the *same* update sequence (onlineTileUpdate below):
+ *
+ *  - scores: fp32 accumulation in ascending d per element, then the
+ *    conditional scale multiply — the per-element order of the packed
+ *    GEMM micro-kernel and of decodeAttendRun's score loop;
+ *  - tile max, m_new = max(m, tile_max); a tile whose running max is
+ *    still -inf is skipped (guards exp(-inf - -inf));
+ *  - rescale = exp(m - m_new) applied to d and (when != 1) to the
+ *    accumulator, then e_j = exp(s_j - m_new) accumulated j-ascending
+ *    into d and j-outer / d-inner into the accumulator;
+ *  - epilogue: one reciprocal inv = 1/d multiplied into the fp32
+ *    accumulator (division-free inner loop), then the fp16 store.
+ *
+ * A causally masked prefill row stops its tile sweep at the diagonal,
+ * which is exactly the ragged final tile a decode step of the same
+ * context sees — so streaming prefill row i and streaming decode at
+ * context i+1 produce identical bits, and incremental decode through
+ * decodeAttendStreamRun is bit-identical to full-prefix streaming
+ * recompute (tests/test_streaming_attention.cpp).
+ */
+
+#include "kernels/streaming_attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "common/profiler.hpp"
+#include "kernels/kernel_common.hpp"
+
+namespace softrec {
+
+const char *
+attentionBackendName(AttentionBackend backend)
+{
+    switch (backend) {
+      case AttentionBackend::Recomposed:
+        return "recomposed";
+      case AttentionBackend::Streaming:
+        return "streaming";
+    }
+    return "?";
+}
+
+AttentionBackend
+attentionBackendFromEnv()
+{
+    const char *env = std::getenv("SOFTREC_ATTENTION");
+    if (env == nullptr || *env == '\0')
+        return AttentionBackend::Recomposed;
+    if (std::strcmp(env, "recomposed") == 0)
+        return AttentionBackend::Recomposed;
+    if (std::strcmp(env, "streaming") == 0)
+        return AttentionBackend::Streaming;
+    fatal("SOFTREC_ATTENTION='%s' is invalid: expected 'recomposed' "
+          "or 'streaming'; unset it to use the default (recomposed)",
+          env);
+}
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+/**
+ * Fold one w-wide tile of scaled scores into a row's running
+ * (m, d, acc) state. `v_row(j)` returns the fp32 V row of tile
+ * position j. Both kernels call exactly this, which is what makes
+ * their outputs bit-identical for the same (q, K, V, context).
+ */
+template <typename VRowFn>
+inline void
+onlineTileUpdate(float *SOFTREC_RESTRICT s, int64_t w, int64_t dh,
+                 float &m, float &d, float *SOFTREC_RESTRICT acc,
+                 VRowFn &&v_row)
+{
+    float tile_max = kNegInf;
+    for (int64_t j = 0; j < w; ++j)
+        tile_max = std::max(tile_max, s[j]);
+    const float m_new = std::max(m, tile_max);
+    if (m_new == kNegInf)
+        return; // every score so far is -inf; nothing to accumulate
+    // softrec-lint: allow(raw-exp) — this IS a safe softmax: both
+    // exponents are <= 0 by construction (m, s[j] <= m_new).
+    const float rescale = std::exp(m - m_new); // 1.0 when m == m_new
+    float tile_sum = 0.0f;
+    for (int64_t j = 0; j < w; ++j) {
+        // softrec-lint: allow(raw-exp) — see above.
+        const float e = std::exp(s[j] - m_new);
+        s[j] = e;
+        tile_sum += e;
+    }
+    d = d * rescale + tile_sum;
+    if (rescale != 1.0f) {
+        for (int64_t dd = 0; dd < dh; ++dd)
+            acc[dd] *= rescale;
+    }
+    for (int64_t j = 0; j < w; ++j) {
+        const float p = s[j];
+        const float *vr = v_row(j);
+        for (int64_t dd = 0; dd < dh; ++dd)
+            acc[dd] += p * vr[dd];
+    }
+    m = m_new;
+}
+
+/**
+ * Normalize and store one finished row: the single division of the
+ * whole row, folded into the epilogue as a reciprocal multiply. A row
+ * whose every score was -inf (m still -inf, d == 0) stores zeros,
+ * matching decodeAttendRun's fully-masked behaviour.
+ */
+inline void
+storeRow(float *SOFTREC_RESTRICT acc, int64_t dh, float m, float d,
+         Half *out)
+{
+    SOFTREC_CHECK(d > 0.0f || m == kNegInf,
+                  "streaming attention normalizer d = %f must be "
+                  "positive for a row with any finite score",
+                  double(d));
+    if (d > 0.0f) {
+        const float inv = 1.0f / d;
+        for (int64_t dd = 0; dd < dh; ++dd)
+            acc[dd] *= inv;
+    } else {
+        for (int64_t dd = 0; dd < dh; ++dd)
+            acc[dd] = 0.0f;
+    }
+    floatToHalf(acc, out, dh);
+}
+
+/**
+ * Score one key tile for a strip of query rows: s[i, j] += q_i . k_j
+ * over the packed fp32 panel, with gemm.cpp's 4-row register blocking.
+ * Accumulation is d-ascending per element, so blocking is invisible
+ * in the result bits (each element is an independent dot product).
+ */
+void
+scoreTile(const float *SOFTREC_RESTRICT q_rows,
+          const float *SOFTREC_RESTRICT panel,
+          float *SOFTREC_RESTRICT s, int64_t rows, int64_t dh)
+{
+    constexpr int64_t ldn = kStreamKeyTile;
+    std::fill(s, s + rows * ldn, 0.0f);
+    int64_t i = 0;
+    for (; i + 4 <= rows; i += 4) {
+        const float *a0 = q_rows + (i + 0) * dh;
+        const float *a1 = q_rows + (i + 1) * dh;
+        const float *a2 = q_rows + (i + 2) * dh;
+        const float *a3 = q_rows + (i + 3) * dh;
+        float *c0 = s + (i + 0) * ldn;
+        float *c1 = s + (i + 1) * ldn;
+        float *c2 = s + (i + 2) * ldn;
+        float *c3 = s + (i + 3) * ldn;
+        for (int64_t kk = 0; kk < dh; ++kk) {
+            const float *b = panel + kk * ldn;
+            const float v0 = a0[kk], v1 = a1[kk];
+            const float v2 = a2[kk], v3 = a3[kk];
+            for (int64_t j = 0; j < ldn; ++j) {
+                c0[j] += v0 * b[j];
+                c1[j] += v1 * b[j];
+                c2[j] += v2 * b[j];
+                c3[j] += v3 * b[j];
+            }
+        }
+    }
+    for (; i < rows; ++i) {
+        const float *ar = q_rows + i * dh;
+        float *cr = s + i * ldn;
+        for (int64_t kk = 0; kk < dh; ++kk) {
+            const float *b = panel + kk * ldn;
+            const float v = ar[kk];
+            for (int64_t j = 0; j < ldn; ++j)
+                cr[j] += v * b[j];
+        }
+    }
+}
+
+/** Query strip height (rows per parallelFor chunk). */
+constexpr int64_t kStreamQueryTile = 64;
+
+} // namespace
+
+void
+streamingAttentionRun(const ExecContext &ctx,
+                      const StreamingAttentionDesc &desc,
+                      const Tensor<Half> &q, const Tensor<Half> &k,
+                      const Tensor<Half> &v, Tensor<Half> &out)
+{
+    const int64_t L = desc.seqLen;
+    const int64_t kv = desc.kvLen;
+    const int64_t dh = desc.dHead;
+    SOFTREC_ASSERT(L > 0 && kv > 0 && dh > 0,
+                   "streaming attention has an empty problem");
+    SOFTREC_ASSERT(q.shape() == Shape({L, dh}) &&
+                   k.shape() == Shape({kv, dh}) &&
+                   v.shape() == Shape({kv, dh}) &&
+                   out.shape() == Shape({L, dh}),
+                   "streaming attention operand shapes inconsistent "
+                   "with the descriptor");
+    // Unique-operand traffic: K and V are packed (read) once up front
+    // on the submitting thread; per-strip q reads and output writes
+    // are credited by whichever thread runs the strip. There is no
+    // score-matrix term — that absence is the measured win.
+    prof::Scope scope(ctx, "sda.stream");
+    if (scope.active())
+        scope.addRead(uint64_t(2 * kv * dh) * kFp16Bytes); // K, V
+
+    // Pack K once into one fp32 panel per key tile, laid out
+    // [dHead][kStreamKeyTile] (the gemm.cpp transposeB scatter), so
+    // scoreTile streams it contiguously; ragged tail columns are
+    // zero-padded and never consumed. V is converted once into fp32
+    // rows shared read-only by every strip.
+    const int64_t tiles = ceilDiv(kv, kStreamKeyTile);
+    std::vector<float> kpack(size_t(tiles) * size_t(dh) *
+                             size_t(kStreamKeyTile), 0.0f);
+    std::vector<float> krow(size_t(dh), 0.0f);
+    for (int64_t j = 0; j < kv; ++j) {
+        halfToFloat(k.rowPtr(j), krow.data(), dh);
+        float *panel = &kpack[size_t((j / kStreamKeyTile) * dh *
+                                     kStreamKeyTile)];
+        const int64_t jj = j % kStreamKeyTile;
+        for (int64_t kk = 0; kk < dh; ++kk)
+            panel[kk * kStreamKeyTile + jj] = krow[kk];
+    }
+    std::vector<float> vpack(size_t(kv) * size_t(dh));
+    for (int64_t j = 0; j < kv; ++j)
+        halfToFloat(v.rowPtr(j), &vpack[size_t(j * dh)], dh);
+
+    // Parallel over query strips: every row's (m, d, acc) evolution is
+    // row-local, so strip boundaries are invisible in the result bits
+    // and the output is bit-identical for any thread count.
+    const int64_t strips = ceilDiv(L, kStreamQueryTile);
+    parallelFor(ctx, 0, strips, 1, [&](int64_t s0, int64_t s1) {
+        std::vector<float> qf(size_t(kStreamQueryTile) * size_t(dh));
+        std::vector<float> sbuf(size_t(kStreamQueryTile) *
+                                size_t(kStreamKeyTile));
+        std::vector<float> accbuf(size_t(kStreamQueryTile) *
+                                  size_t(dh));
+        std::vector<float> mbuf(size_t(kStreamQueryTile), kNegInf);
+        std::vector<float> dbuf(size_t(kStreamQueryTile), 0.0f);
+        for (int64_t strip = s0; strip < s1; ++strip) {
+            const int64_t r0 = strip * kStreamQueryTile;
+            const int64_t rh = std::min(kStreamQueryTile, L - r0);
+            if (scope.active()) {
+                scope.addRead(uint64_t(rh * dh) * kFp16Bytes);
+                scope.addWrite(uint64_t(rh * dh) * kFp16Bytes);
+            }
+            for (int64_t i = 0; i < rh; ++i)
+                halfToFloat(q.rowPtr(r0 + i), &qf[size_t(i * dh)], dh);
+            std::fill(accbuf.begin(), accbuf.end(), 0.0f);
+            std::fill(mbuf.begin(), mbuf.end(), kNegInf);
+            std::fill(dbuf.begin(), dbuf.end(), 0.0f);
+
+            // The strip's tile sweep stops at its last row's context;
+            // each row additionally clamps its own consumption to the
+            // diagonal, which is exactly the ragged-tile shape a
+            // decode step of the same context sees.
+            const int64_t strip_kv =
+                desc.causalMask ? std::min(kv, r0 + rh) : kv;
+            for (int64_t t0 = 0; t0 < strip_kv; t0 += kStreamKeyTile) {
+                const int64_t w_full =
+                    std::min(kStreamKeyTile, kv - t0);
+                scoreTile(qf.data(),
+                          &kpack[size_t((t0 / kStreamKeyTile) * dh *
+                                        kStreamKeyTile)],
+                          sbuf.data(), rh, dh);
+                if (desc.scale != 1.0) {
+                    for (int64_t i = 0; i < rh; ++i) {
+                        float *sr = &sbuf[size_t(i * kStreamKeyTile)];
+                        for (int64_t j = 0; j < w_full; ++j)
+                            sr[j] *= float(desc.scale);
+                    }
+                }
+                for (int64_t i = 0; i < rh; ++i) {
+                    const int64_t valid = desc.causalMask
+                        ? std::min(r0 + i + 1, kv)
+                        : kv;
+                    if (t0 >= valid)
+                        continue;
+                    const int64_t w =
+                        std::min(w_full, valid - t0);
+                    const float *vtile = &vpack[size_t(t0 * dh)];
+                    onlineTileUpdate(
+                        &sbuf[size_t(i * kStreamKeyTile)], w, dh,
+                        mbuf[size_t(i)], dbuf[size_t(i)],
+                        &accbuf[size_t(i * dh)],
+                        [vtile, dh](int64_t j) {
+                            return vtile + j * dh;
+                        });
+                }
+            }
+            for (int64_t i = 0; i < rh; ++i)
+                storeRow(&accbuf[size_t(i * dh)], dh, mbuf[size_t(i)],
+                         dbuf[size_t(i)], out.rowPtr(r0 + i));
+        }
+    });
+}
+
+void
+decodeAttendStreamRun(const ExecContext &ctx,
+                      const DecodeAttendDesc &desc, const Half *q_row,
+                      const KvRowsView &k, const KvRowsView &v,
+                      Half *out, DecodeAttendWorkspace *ws)
+{
+    const int64_t dh = desc.dHead;
+    const int64_t context = k.rows;
+    SOFTREC_ASSERT(dh > 0 && context > 0 && v.rows == context,
+                   "decode attention needs matching K/V contexts "
+                   "(k=%lld, v=%lld)", (long long)context,
+                   (long long)v.rows);
+    SOFTREC_ASSERT(desc.headOffset >= 0 &&
+                   desc.headOffset + dh <= k.rowWidth &&
+                   k.rowWidth == v.rowWidth,
+                   "head slice outside the cached row");
+
+    // q/K/V/out only: the streaming kernel has no score-row staging
+    // traffic, which is exactly its advantage over decodeAttendRun's
+    // softmax.row.decode crossings.
+    prof::Scope scope(ctx, "decode.attend.stream");
+    if (scope.active()) {
+        scope.addRead(uint64_t(dh) * kFp16Bytes +               // q
+                      uint64_t(2 * context * dh) * kFp16Bytes); // K, V
+        scope.addWrite(uint64_t(dh) * kFp16Bytes);
+    }
+
+    DecodeAttendWorkspace local;
+    DecodeAttendWorkspace &w = ws != nullptr ? *ws : local;
+    // The score "row" is one kStreamKeyTile-wide tile, never the full
+    // context; rowH stays untouched (no fp16 staging round-trip).
+    w.prepare(dh, kStreamKeyTile);
+    std::vector<float> &qf = w.qf;
+    std::vector<float> &lane = w.lane;
+    std::vector<float> &tile = w.row;
+    std::vector<float> &acc = w.acc;
+    halfToFloat(q_row, qf.data(), dh);
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    float m = kNegInf;
+    float d = 0.0f;
+
+    for (int64_t t0 = 0; t0 < context; t0 += kStreamKeyTile) {
+        const int64_t tw = std::min(kStreamKeyTile, context - t0);
+        // Scores for this tile: the same d-ascending fp32 dot and
+        // conditional scale as decodeAttendRun, reading cached K rows
+        // in place.
+        for (int64_t j = 0; j < tw; ++j) {
+            halfToFloat(k.row(t0 + j) + desc.headOffset, lane.data(),
+                        dh);
+            float s = 0.0f;
+            for (int64_t kk = 0; kk < dh; ++kk)
+                s += qf[size_t(kk)] * lane[size_t(kk)];
+            tile[size_t(j)] = s;
+        }
+        if (desc.scale != 1.0) {
+            for (int64_t j = 0; j < tw; ++j)
+                tile[size_t(j)] *= float(desc.scale);
+        }
+        onlineTileUpdate(tile.data(), tw, dh, m, d, acc.data(),
+                         [&](int64_t j) {
+                             halfToFloat(v.row(t0 + j) +
+                                             desc.headOffset,
+                                         lane.data(), dh);
+                             return lane.data();
+                         });
+    }
+    storeRow(acc.data(), dh, m, d, out);
+}
+
+} // namespace softrec

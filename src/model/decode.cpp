@@ -15,6 +15,7 @@
 #include "kernels/gemm.hpp"
 #include "kernels/kernel_common.hpp"
 #include "kernels/softmax_kernels.hpp"
+#include "kernels/streaming_attention.hpp"
 
 namespace softrec {
 
@@ -140,7 +141,8 @@ checkFunctionalStack(const DecoderStack &stack)
     SOFTREC_ASSERT(stack.config.layout == nullptr &&
                    stack.config.strategy == Strategy::Baseline,
                    "the decode bit-identity contract covers dense "
-                   "Baseline attention only");
+                   "Baseline-strategy attention only (recomposed or "
+                   "streaming backend)");
     SOFTREC_ASSERT(!stack.layers.empty(),
                    "decoder stack has no layers");
     SOFTREC_ASSERT(stack.config.dModel % stack.config.numHeads == 0,
@@ -159,6 +161,7 @@ DecoderStack::random(int64_t d_model, int64_t num_heads, int64_t d_ff,
     stack.config.numHeads = num_heads;
     stack.config.dFf = d_ff;
     stack.config.causalMask = true;
+    stack.config.attention = attentionBackendFromEnv();
     stack.layers.reserve(size_t(num_layers));
     for (int64_t l = 0; l < num_layers; ++l)
         stack.layers.push_back(
@@ -241,6 +244,8 @@ runDecodeStepInto(const ExecContext &ctx, const DecoderStack &stack,
     DecodeAttendDesc attend;
     attend.dHead = dh;
     attend.scale = 1.0 / std::sqrt(double(dh));
+    const bool streaming =
+        stack.config.attention == AttentionBackend::Streaming;
 
     ws.prepare(stack, rows);
     std::copy(inputs.data(), inputs.data() + inputs.numel(),
@@ -275,12 +280,25 @@ runDecodeStepInto(const ExecContext &ctx, const DecoderStack &stack,
                 DecodeAttendDesc head = attend;
                 head.headOffset = h * dh;
                 const KvCache &cache = *caches[size_t(r)];
-                decodeAttendRun(ctx, head,
-                                ws.q.rowPtr(r) + h * dh,
-                                cache.kView(int64_t(l)),
-                                cache.vView(int64_t(l)),
-                                ws.attention.rowPtr(r) + h * dh,
-                                &attend_ws);
+                // Backend dispatch: the streaming variant is
+                // bit-identical to streaming-prefill rows, so the
+                // KV-equivalence contract holds per backend.
+                if (streaming) {
+                    decodeAttendStreamRun(ctx, head,
+                                          ws.q.rowPtr(r) + h * dh,
+                                          cache.kView(int64_t(l)),
+                                          cache.vView(int64_t(l)),
+                                          ws.attention.rowPtr(r) +
+                                              h * dh,
+                                          &attend_ws);
+                } else {
+                    decodeAttendRun(ctx, head,
+                                    ws.q.rowPtr(r) + h * dh,
+                                    cache.kView(int64_t(l)),
+                                    cache.vView(int64_t(l)),
+                                    ws.attention.rowPtr(r) + h * dh,
+                                    &attend_ws);
+                }
             }
         });
 
@@ -300,17 +318,6 @@ runDecodeStepInto(const ExecContext &ctx, const DecoderStack &stack,
     // Hand the result storage to the caller and keep its old buffer
     // as next step's scratch — no copy, no allocation.
     std::swap(outputs, ws.x);
-}
-
-Tensor<Half>
-runDecodeStep(const ExecContext &ctx, const DecoderStack &stack,
-              const Tensor<Half> &inputs,
-              const std::vector<KvCache *> &caches)
-{
-    DecodeStepWorkspace ws;
-    Tensor<Half> outputs;
-    runDecodeStepInto(ctx, stack, inputs, caches, ws, outputs);
-    return outputs;
 }
 
 } // namespace softrec

@@ -14,7 +14,7 @@
  *
  * Two decode paths live here: the GPU cost-model simulation
  * (buildDecodeStep/runGeneration) and the *functional* KV-cached path
- * (DecoderStack/runPrefill/runDecodeStep) that actually computes
+ * (DecoderStack/runPrefill/runDecodeStepInto) that actually computes
  * tokens on the CPU for the serving engine, bit-identical to
  * recomputing the full prefix through runEncoderLayer at every step.
  */
@@ -83,16 +83,21 @@ DecodeResult runGeneration(const GpuSpec &spec,
  * A functional decoder-only model: a causal FunctionalLayerConfig
  * plus one EncoderLayerWeights per layer, executed for real on the
  * CPU. The serving engine runs these; the bit-identity contract
- * (incremental decode == full-prefix recompute at every step)
- * requires dense Baseline attention, which runPrefill/runDecodeStep
- * assert.
+ * (incremental decode == full-prefix recompute at every step) holds
+ * per attention backend and requires dense Baseline-strategy
+ * attention, which runPrefill/runDecodeStepInto assert.
  */
 struct DecoderStack
 {
     FunctionalLayerConfig config;
     std::vector<EncoderLayerWeights> layers;
 
-    /** Randomly initialized stack with a causal dense config. */
+    /**
+     * Randomly initialized stack with a causal dense config. The
+     * attention backend is seeded from SOFTREC_ATTENTION
+     * (hard-erroring on invalid values), so serving stacks follow the
+     * environment knob without per-call-site plumbing.
+     */
     static DecoderStack random(int64_t d_model, int64_t num_heads,
                                int64_t d_ff, int64_t num_layers,
                                Rng &rng);
@@ -163,17 +168,6 @@ void runDecodeStepInto(const ExecContext &ctx,
                        const Tensor<Half> &inputs,
                        const std::vector<KvCache *> &caches,
                        DecodeStepWorkspace &ws, Tensor<Half> &outputs);
-
-/**
- * Convenience wrapper over runDecodeStepInto with a call-lifetime
- * workspace: same results, but pays the workspace allocations every
- * call. Tests and one-shot callers use this; a serving loop should
- * hold a DecodeStepWorkspace and call runDecodeStepInto.
- */
-Tensor<Half> runDecodeStep(const ExecContext &ctx,
-                           const DecoderStack &stack,
-                           const Tensor<Half> &inputs,
-                           const std::vector<KvCache *> &caches);
 
 } // namespace softrec
 

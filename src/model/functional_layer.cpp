@@ -149,6 +149,7 @@ runEncoderLayer(const ExecContext &ctx,
     sda.layout = config.layout;
     sda.subVector = config.subVector;
     sda.attnTiling = config.attnTiling;
+    sda.backend = config.attention;
 
     // Heads are independent problems writing disjoint column bands of
     // the concatenated output, so they parallelize at grain 1; the

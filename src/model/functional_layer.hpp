@@ -52,6 +52,12 @@ struct FunctionalLayerConfig
      */
     const BsrLayout *layout = nullptr;
     Strategy strategy = Strategy::Baseline;
+    /**
+     * Attention backend: Recomposed runs `strategy`; Streaming runs
+     * the single-pass online-softmax kernel (dense only). The serving
+     * stack (DecoderStack::random) seeds this from SOFTREC_ATTENTION.
+     */
+    AttentionBackend attention = AttentionBackend::Recomposed;
     int64_t subVector = 16;
     GemmTiling attnTiling{16, 16, 16, 256, 128};
 

@@ -86,12 +86,6 @@ struct AdmissionDecision
     static AdmissionDecision rejected(std::string why);
 };
 
-/**
- * Transitional alias for the pre-engine name; migrate to
- * AdmissionDecision. Removed next release.
- */
-using AdmitResult = AdmissionDecision;
-
 /** Thresholds and budgets the controller enforces (all validated). */
 struct AdmissionThresholds
 {

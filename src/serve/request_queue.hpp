@@ -36,9 +36,8 @@ struct ServeRequest
     Tensor<Half> prompt;         //!< [promptTokens, dModel] fp16
     int64_t generateTokens = 0;  //!< decode steps to run after prefill
     double arrivalSeconds = 0.0; //!< producer timestamp (latency base)
-    //! Consumer channel the serving thread streams tokens into; null
-    //! for the deprecated synchronous ServeLoop path (the adapter
-    //! attaches one on submit).
+    //! Consumer channel the serving thread streams tokens into;
+    //! ServeEngine::submit attaches it before enqueueing.
     std::shared_ptr<TokenStream> stream;
 };
 

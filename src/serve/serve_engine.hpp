@@ -2,8 +2,8 @@
  * @file
  * Async streaming serve engine.
  *
- * ServeEngine replaces the caller-driven synchronous ServeLoop with a
- * front-end that owns a background serving thread: producers submit()
+ * ServeEngine is a front-end that owns a background serving thread:
+ * producers submit()
  * from any thread and immediately get back a structured
  * AdmissionDecision plus (on accept) a ServeSession whose TokenStream
  * delivers generated tokens as decode steps complete — admission

@@ -27,7 +27,7 @@ class BsrMatrix
     // callers because the deduced (auto) return type must be known at
     // the point of use. Self deduces as [const] BsrMatrix, so the
     // return type picks up constness without the const_cast-through-
-    // this idiom (UB-adjacent and flagged by softrec_lint's
+    // this idiom (UB-adjacent and flagged by softrec_analyze's
     // const-cast rule).
     template <typename Self>
     static auto &

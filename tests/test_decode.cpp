@@ -35,6 +35,18 @@ randomPrompt(Rng &rng, int64_t tokens)
     return prompt;
 }
 
+/** One decode step with a call-lifetime workspace (test-only). */
+Tensor<Half>
+decodeStep(const ExecContext &ctx, const DecoderStack &stack,
+           const Tensor<Half> &inputs,
+           const std::vector<KvCache *> &caches)
+{
+    DecodeStepWorkspace ws;
+    Tensor<Half> outputs;
+    runDecodeStepInto(ctx, stack, inputs, caches, ws, outputs);
+    return outputs;
+}
+
 /** Full forward pass of the stack over `seq` (no cache). */
 Tensor<Half>
 fullForward(const ExecContext &ctx, const DecoderStack &stack,
@@ -103,7 +115,7 @@ checkIncrementalMatchesRecompute(const ExecContext &ctx)
     for (int64_t t = 0; t < kSteps; ++t) {
         seq = appendRow(seq, input, 0);
         const Tensor<Half> decode_out =
-            runDecodeStep(ctx, stack, input, {&cache});
+            decodeStep(ctx, stack, input, {&cache});
         EXPECT_EQ(cache.context(), kPrompt + t + 1);
 
         const Tensor<Half> full = fullForward(ctx, stack, seq);
@@ -171,7 +183,7 @@ TEST(KvEquivalence, SameBitsAcrossThreadCountsAndBackends)
             for (int64_t j = 0; j < kDm; ++j)
                 input.at(0, j) = out.at(kPrompt - 1, j);
             for (int64_t t = 0; t < kSteps; ++t) {
-                input = runDecodeStep(ctx, stack, input, {&cache});
+                input = decodeStep(ctx, stack, input, {&cache});
                 for (int64_t j = 0; j < kDm; ++j)
                     bits.push_back(input.at(0, j).bits());
             }

@@ -3,12 +3,13 @@
  * Tests of the continuous-batching serving engine: queue backpressure
  * (reject-with-reason, FIFO, thread safety), scheduler determinism
  * and token-budget enforcement, slab block recycling, strict serve
- * configuration, and the batched-equals-serial bit-identity of the
- * full ServeLoop.
+ * configuration, and the batched-equals-serial bit-identity of a
+ * full submit-then-drain trace through ServeEngine.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <thread>
@@ -18,7 +19,7 @@
 #include "serve/batch_scheduler.hpp"
 #include "serve/kv_cache.hpp"
 #include "serve/request_queue.hpp"
-#include "serve/serve_loop.hpp"
+#include "serve/serve_engine.hpp"
 
 namespace softrec {
 namespace {
@@ -82,7 +83,7 @@ TEST(RequestQueue, RejectsWhenFullWithReason)
     RequestQueue queue(2);
     EXPECT_TRUE(queue.push(makeRequest(rng, 0, 3, 2)).accepted);
     EXPECT_TRUE(queue.push(makeRequest(rng, 1, 3, 2)).accepted);
-    const AdmitResult full = queue.push(makeRequest(rng, 2, 3, 2));
+    const AdmissionDecision full = queue.push(makeRequest(rng, 2, 3, 2));
     EXPECT_FALSE(full.accepted);
     EXPECT_NE(full.reason.find("queue full"), std::string::npos);
     EXPECT_NE(full.reason.find("capacity 2"), std::string::npos);
@@ -97,13 +98,13 @@ TEST(RequestQueue, RejectsInvalidRequestsWithReason)
 
     ServeRequest empty_prompt = makeRequest(rng, 0, 3, 2);
     empty_prompt.prompt = Tensor<Half>();
-    const AdmitResult bad_prompt = queue.push(std::move(empty_prompt));
+    const AdmissionDecision bad_prompt = queue.push(std::move(empty_prompt));
     EXPECT_FALSE(bad_prompt.accepted);
     EXPECT_NE(bad_prompt.reason.find("prompt"), std::string::npos);
 
     ServeRequest no_tokens = makeRequest(rng, 1, 3, 2);
     no_tokens.generateTokens = 0;
-    const AdmitResult bad_tokens = queue.push(std::move(no_tokens));
+    const AdmissionDecision bad_tokens = queue.push(std::move(no_tokens));
     EXPECT_FALSE(bad_tokens.accepted);
     EXPECT_NE(bad_tokens.reason.find("generateTokens"),
               std::string::npos);
@@ -135,7 +136,7 @@ TEST(RequestQueue, ConcurrentProducersNeverBlockOrDrop)
         producers.emplace_back([&queue, p] {
             Rng rng(100 + p);
             for (int i = 0; i < 16; ++i) {
-                const AdmitResult result =
+                const AdmissionDecision result =
                     queue.push(makeRequest(rng, p * 16 + i, 2, 1));
                 if (!result.accepted) {
                     EXPECT_FALSE(result.reason.empty());
@@ -401,7 +402,7 @@ TEST(ServeConfig, BadModeKnobsAreHardErrorsNotFallbacks)
     }
 }
 
-// --- ServeLoop --------------------------------------------------------
+// --- ServeEngine drain traces -----------------------------------------
 
 DecoderStack
 testStack(uint64_t seed = 19)
@@ -411,28 +412,126 @@ testStack(uint64_t seed = 19)
                                 /*num_layers=*/2, rng);
 }
 
-/** Submit the same 5-request trace and drain it. */
-ServeSummary
+/** One drained request: submit order, latency clock, last token. */
+struct DrainedRequest
+{
+    int64_t id = 0; //!< trace position, not the engine-assigned id
+    double arrivalSeconds = 0.0;
+    double finishSeconds = 0.0;
+    Tensor<Half> finalRow;
+    double latencySeconds() const
+    {
+        return finishSeconds - arrivalSeconds;
+    }
+};
+
+/** Aggregate results of one submit-then-drain trace. */
+struct DrainSummary
+{
+    int64_t requestsServed = 0;
+    int64_t tokensGenerated = 0;
+    int64_t decodeSteps = 0;
+    double tokensPerSecond = 0.0;
+    double p50LatencySeconds = 0.0;
+    double p95LatencySeconds = 0.0;
+    std::vector<DrainedRequest> requests;
+};
+
+/**
+ * Drain every pending session with a round-robin non-blocking sweep.
+ * A blocking per-stream drain would deadlock on rings shallower than
+ * generateTokens (engine blocked pushing stream k while we wait on
+ * stream j), so each sweep takes whatever every stream has buffered.
+ */
+struct PendingSession
+{
+    ServeSession session;
+    DrainedRequest record;
+    bool done = false;
+};
+
+void
+drainRoundRobin(std::vector<PendingSession> &pending)
+{
+    size_t remaining = pending.size();
+    Tensor<Half> row;
+    while (remaining > 0) {
+        bool progressed = false;
+        for (PendingSession &p : pending) {
+            if (p.done)
+                continue;
+            TokenStream &stream = p.session.stream();
+            TokenStream::TryNext outcome = stream.tryNext(row);
+            while (outcome == TokenStream::TryNext::Token) {
+                p.record.finalRow = row;
+                progressed = true;
+                outcome = stream.tryNext(row);
+            }
+            if (outcome == TokenStream::TryNext::End) {
+                EXPECT_EQ(stream.status(), StreamStatus::Finished);
+                p.record.finishSeconds = stream.finishSeconds();
+                p.done = true;
+                --remaining;
+                progressed = true;
+            }
+        }
+        // Tokens arrive at decode-step cadence; sleep, don't spin.
+        if (!progressed)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+    }
+}
+
+/** Submit the same 5-request trace and drain it through the engine. */
+DrainSummary
 drainTrace(const DecoderStack &stack, int64_t batch_rows)
 {
     ServeConfig config;
     config.maxBatchRows = batch_rows;
     config.tokenBudget = 1024;
     config.kvBlockTokens = 4;
-    ServeLoop loop(ExecContext(), stack, config);
+    ServeEngine engine(ExecContext(), stack, config);
     Rng rng(21); // identical prompts in every run
+    std::vector<PendingSession> pending;
     for (int64_t id = 0; id < 5; ++id) {
-        const AdmitResult admit = loop.submit(
+        PendingSession p;
+        p.record.id = id;
+        p.record.arrivalSeconds = engine.nowSeconds();
+        SubmitResult result = engine.submit(
             makeRequest(rng, id, 3 + id % 3, 2 + id % 2));
-        EXPECT_TRUE(admit.accepted) << admit.reason;
+        EXPECT_TRUE(result.decision.accepted) << result.decision.reason;
+        p.session = std::move(result.session);
+        pending.push_back(std::move(p));
     }
-    return loop.run();
+
+    const double start = engine.nowSeconds();
+    engine.start();
+    drainRoundRobin(pending);
+    engine.waitIdle(); // let the step counters settle
+
+    DrainSummary summary;
+    const ServeStats stats = engine.stats();
+    summary.requestsServed = stats.requestsServed;
+    summary.tokensGenerated = stats.tokensGenerated;
+    summary.decodeSteps = stats.decodeSteps;
+    const double seconds = engine.nowSeconds() - start;
+    summary.tokensPerSecond =
+        seconds > 0.0 ? double(summary.tokensGenerated) / seconds : 0.0;
+    std::vector<double> latencies;
+    latencies.reserve(pending.size());
+    for (PendingSession &p : pending) {
+        latencies.push_back(p.record.latencySeconds());
+        summary.requests.push_back(std::move(p.record));
+    }
+    summary.p50LatencySeconds = percentileSeconds(latencies, 0.50);
+    summary.p95LatencySeconds = percentileSeconds(latencies, 0.95);
+    return summary;
 }
 
-TEST(ServeLoop, DrainsEveryRequestAndReportsThroughput)
+TEST(ServeEngineDrain, DrainsEveryRequestAndReportsThroughput)
 {
     const DecoderStack stack = testStack();
-    const ServeSummary summary = drainTrace(stack, 4);
+    const DrainSummary summary = drainTrace(stack, 4);
     EXPECT_EQ(summary.requestsServed, 5);
     // Σ generateTokens for ids 0..4: 2+3+2+3+2.
     EXPECT_EQ(summary.tokensGenerated, 12);
@@ -440,21 +539,21 @@ TEST(ServeLoop, DrainsEveryRequestAndReportsThroughput)
     EXPECT_GT(summary.tokensPerSecond, 0.0);
     EXPECT_GE(summary.p95LatencySeconds, summary.p50LatencySeconds);
     ASSERT_EQ(summary.requests.size(), 5u);
-    for (const RequestStats &stats : summary.requests) {
+    for (const DrainedRequest &stats : summary.requests) {
         EXPECT_GE(stats.latencySeconds(), 0.0);
         EXPECT_EQ(stats.finalRow.shape(), Shape({1, kDm}));
     }
 }
 
-TEST(ServeLoop, BatchedServingIsBitIdenticalToSerial)
+TEST(ServeEngineDrain, BatchedServingIsBitIdenticalToSerial)
 {
     // The same trace served one-at-a-time and continuously batched
     // must generate identical final rows: batching is a scheduling
     // decision, never a numerics decision.
     const DecoderStack stack = testStack();
-    auto rows_by_id = [](const ServeSummary &summary) {
+    auto rows_by_id = [](const DrainSummary &summary) {
         std::map<int64_t, std::vector<uint16_t>> rows;
-        for (const RequestStats &stats : summary.requests) {
+        for (const DrainedRequest &stats : summary.requests) {
             std::vector<uint16_t> bits;
             for (int64_t j = 0; j < kDm; ++j)
                 bits.push_back(stats.finalRow.at(0, j).bits());
@@ -468,41 +567,53 @@ TEST(ServeLoop, BatchedServingIsBitIdenticalToSerial)
     EXPECT_EQ(serial, batched);
 }
 
-TEST(ServeLoop, SubmitRejectsImpossibleRequests)
+TEST(ServeEngineDrain, SubmitRejectsImpossibleRequests)
 {
     const DecoderStack stack = testStack();
     ServeConfig config;
     config.tokenBudget = 16;
-    ServeLoop loop(ExecContext(), stack, config);
+    ServeEngine engine(ExecContext(), stack, config);
     Rng rng(31);
 
-    const AdmitResult too_big =
-        loop.submit(makeRequest(rng, 0, 14, 4));
-    EXPECT_FALSE(too_big.accepted);
-    EXPECT_NE(too_big.reason.find("token budget"), std::string::npos);
+    const SubmitResult too_big =
+        engine.submit(makeRequest(rng, 0, 14, 4));
+    EXPECT_FALSE(too_big.decision.accepted);
+    EXPECT_NE(too_big.decision.reason.find("token budget"),
+              std::string::npos);
 
     ServeRequest wrong_width = makeRequest(rng, 1, 3, 1);
     wrong_width.prompt = randomPrompt(rng, 3, kDm * 2);
-    const AdmitResult mismatched = loop.submit(std::move(wrong_width));
-    EXPECT_FALSE(mismatched.accepted);
-    EXPECT_NE(mismatched.reason.find("dModel"), std::string::npos);
+    const SubmitResult mismatched =
+        engine.submit(std::move(wrong_width));
+    EXPECT_FALSE(mismatched.decision.accepted);
+    EXPECT_NE(mismatched.decision.reason.find("dModel"),
+              std::string::npos);
 }
 
-TEST(ServeLoop, SlabDrainsBackToZeroAfterRun)
+TEST(ServeEngineDrain, SlabDrainsBackToZeroAfterRun)
 {
     const DecoderStack stack = testStack();
     ServeConfig config;
     config.maxBatchRows = 3;
     config.tokenBudget = 1024;
     config.kvBlockTokens = 2;
-    ServeLoop loop(ExecContext(), stack, config);
+    ServeEngine engine(ExecContext(), stack, config);
     Rng rng(37);
-    for (int64_t id = 0; id < 4; ++id)
-        ASSERT_TRUE(
-            loop.submit(makeRequest(rng, id, 4, 2)).accepted);
-    const ServeSummary summary = loop.run();
-    EXPECT_EQ(summary.requestsServed, 4);
-    const ServeStats stats = loop.stats();
+    std::vector<PendingSession> pending;
+    for (int64_t id = 0; id < 4; ++id) {
+        PendingSession p;
+        SubmitResult result =
+            engine.submit(makeRequest(rng, id, 4, 2));
+        ASSERT_TRUE(result.decision.accepted)
+            << result.decision.reason;
+        p.session = std::move(result.session);
+        pending.push_back(std::move(p));
+    }
+    engine.start();
+    drainRoundRobin(pending);
+    engine.waitIdle();
+    const ServeStats stats = engine.stats();
+    EXPECT_EQ(stats.requestsServed, 4);
     EXPECT_EQ(stats.kvBlocksInUse, 0);
     EXPECT_GT(stats.kvBlocksReserved, 0);
     EXPECT_EQ(stats.queueDepth, 0);

@@ -11,3 +11,13 @@ stageRows(int64_t rows, int64_t cols, float *out)
     out[r] = scratch[0] + top[0];
   }
 }
+
+void
+streamStrips(Ctx &ctx, int64_t strips, int64_t dh, float *out)
+{
+  parallelFor(ctx, 0, strips, 1, [&](int64_t s0, int64_t s1) {
+    std::vector<float> acc(size_t(dh), 0.0f);
+    for (int64_t s = s0; s < s1; ++s)
+      out[s] = acc[0];
+  });
+}

@@ -32,3 +32,10 @@ notAKernelHelper(int64_t n)
 {
   compute(n);
 }
+
+void
+streamingStyleRun(ExecContext &ctx, int64_t n)
+{
+  prof::Scope scope(ctx, "decode.attend.stream", n);
+  compute(n);
+}

@@ -17,8 +17,8 @@ KERNEL_DIRS = ("src/kernels/",)
 
 # Functions on the per-token decode path: their whole bodies must be
 # allocation-free (setup that genuinely runs once per step is
-# annotated allow() at the site, with the reason). The compat
-# wrapper runDecodeStep and the prefill/finish helpers around
+# annotated allow() at the site, with the reason). The prefill and
+# finish helpers around
 # ServeEngine::serveStep are deliberately NOT here: they are the
 # documented amortized-allocation boundary (workspace construction,
 # batch recomposition) that keeps these bodies clean.

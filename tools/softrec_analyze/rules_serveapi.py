@@ -37,9 +37,8 @@ CONSTRUCT_RE = re.compile(
     "src/serve/ creates serving state the engine cannot account for: "
     "its KV tokens are invisible to the pressure sample that drives "
     "the admission regimes, and its requests bypass the per-tenant "
-    "budget ledger. Go through ServeEngine::submit / ServeSession "
-    "(or ServeLoop while it lasts); reference/pointer uses of the "
-    "types remain fine.")
+    "budget ledger. Go through ServeEngine::submit / ServeSession; "
+    "reference/pointer uses of the types remain fine.")
 def check_serve_api(src, ctx):
     if src.rel_path.startswith(SERVE_DIR):
         return
