@@ -19,7 +19,11 @@
  * stream recording per-token latencies (first token measured from
  * submit, the rest as inter-token deltas). Per arm the report carries
  * goodput (delivered tokens/s), reject rate, p50/p95/p99 token
- * latency, and the admission controller's mode residency.
+ * latency, the admission controller's mode residency, and the KV
+ * occupancy picture (blocks in use / reserved, actual bytes
+ * reserved, storage format) so capacity wins show up in the
+ * trajectory, not just tokens/s. Arms honour SOFTREC_SERVE_KV_DTYPE,
+ * so the same trace can be replayed on the int8 cache.
  *
  * Writes BENCH_serve_load.json (schema softrec-bench-v1); gated in CI
  * by tools/check_bench_json.py.
@@ -224,6 +228,16 @@ reportArm(BenchReport &report, const std::string &arm,
             AdmissionMode::HardFailFast)]));
     report.setDerived(arm + "_mode_transitions",
                       double(residency.transitions));
+    report.setDerived(arm + "_kv_blocks_in_use",
+                      double(result.stats.kvBlocksInUse));
+    report.setDerived(arm + "_kv_blocks_reserved",
+                      double(result.stats.kvBlocksReserved));
+    report.setDerived(arm + "_kv_bytes_reserved",
+                      double(result.stats.kvBytesReserved));
+    report.setDerived(arm + "_kv_token_capacity",
+                      double(result.stats.tokenBudget));
+    report.setConfig(arm + "_kv_dtype",
+                     kvDtypeName(result.stats.kvDtype));
     inform("%s: %.0f tok/s goodput, %.0f%% rejected "
            "(%lld/%lld), token p50 %.2f ms p99 %.2f ms, "
            "residency n/s/h = %lld/%lld/%lld",
@@ -262,7 +276,7 @@ main()
 
     // Arm "normal": gentle Poisson under roomy thresholds.
     {
-        ServeConfig config;
+        ServeConfig config = ServeConfig::fromEnv();
         config.maxBatchRows = 4;
         config.tokenBudget = 4096;
         config.queueCapacity = 64;
@@ -284,7 +298,7 @@ main()
     // so every step boundary holds the engine soft-throttled and the
     // 16-token prompts bounce off the throttled cap of 8.
     {
-        ServeConfig config;
+        ServeConfig config = ServeConfig::fromEnv();
         config.maxBatchRows = 4;
         config.tokenBudget = 4096;
         config.queueCapacity = 64;
@@ -305,7 +319,7 @@ main()
     // Arm "hard": heavy bursts against thresholds pinned to 1%/2% —
     // the regime ramps to hard-fail-fast and sheds the backlog.
     {
-        ServeConfig config;
+        ServeConfig config = ServeConfig::fromEnv();
         config.maxBatchRows = 2;
         config.tokenBudget = 256;
         config.queueCapacity = 16;

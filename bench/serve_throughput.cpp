@@ -6,7 +6,10 @@
  * request latency per arm, alongside the profiler's per-kernel rows.
  * A fourth arm repeats the batch-4 trace with the streaming attention
  * backend (SOFTREC_ATTENTION=streaming equivalent) for a prefill
- * recomposed-vs-streaming A/B on the same workload.
+ * recomposed-vs-streaming A/B on the same workload, and a fifth
+ * repeats it with the int8 KV cache for a capacity A/B: same
+ * fp16-denominated token budget (= same slab byte budget), so the
+ * reported KV token capacity must come out >= 1.8x the f16 arm's.
  * Writes BENCH_serve_throughput.json (schema softrec-bench-v1).
  *
  * Headline point: prompts of L = 4096 tokens (the paper's evaluation
@@ -56,6 +59,8 @@ struct ArmSummary
     double tokensPerSecond = 0.0;
     double p50LatencySeconds = 0.0;
     double p95LatencySeconds = 0.0;
+    int64_t kvTokenCapacity = 0; //!< effective scheduler budget
+    int64_t kvBytesReserved = 0;
 };
 
 /**
@@ -65,13 +70,20 @@ struct ArmSummary
  */
 ArmSummary
 runArm(const ExecContext &ctx, const DecoderStack &stack,
-       int64_t batch_rows, int64_t prompt_tokens)
+       int64_t batch_rows, int64_t prompt_tokens, KvDtype kv_dtype)
 {
-    ServeConfig config;
+    // fromEnv so a malformed SOFTREC_SERVE_KV_DTYPE (or any serve
+    // knob) hard-errors here too — CI's negative check runs this
+    // binary. The arm then pins its own dtype: the f16/int8 A/B is
+    // the bench's, not the environment's.
+    ServeConfig config = ServeConfig::fromEnv();
     config.maxBatchRows = batch_rows;
     // Roomy budget: this bench measures batching, not budget parking.
+    // Denominated in fp16 tokens, so both A/B arms describe the same
+    // slab byte budget and the int8 arm's *capacity* is the win.
     config.tokenBudget =
         kRequests * (prompt_tokens + kGenerateTokens);
+    config.kvDtype = kv_dtype;
     ServeEngine engine(ctx, stack, config);
 
     struct Pending
@@ -132,6 +144,8 @@ runArm(const ExecContext &ctx, const DecoderStack &stack,
     summary.requestsServed = stats.requestsServed;
     summary.tokensGenerated = stats.tokensGenerated;
     summary.decodeSteps = stats.decodeSteps;
+    summary.kvTokenCapacity = stats.tokenBudget;
+    summary.kvBytesReserved = stats.kvBytesReserved;
     const double seconds = engine.nowSeconds() - start;
     summary.tokensPerSecond =
         seconds > 0.0 ? double(summary.tokensGenerated) / seconds
@@ -175,13 +189,17 @@ main()
         const char *name;
         const DecoderStack *stack;
         int64_t batchRows;
+        KvDtype kvDtype;
     };
     const Arm arms[] = {
-        {"b1", &stack, 1},
-        {"b4", &stack, 4},
-        {"b16", &stack, 16},
-        {"b4_streaming", &streaming_stack, 4},
+        {"b1", &stack, 1, KvDtype::F16},
+        {"b4", &stack, 4, KvDtype::F16},
+        {"b16", &stack, 16, KvDtype::F16},
+        {"b4_streaming", &streaming_stack, 4, KvDtype::F16},
+        {"b4_int8", &stack, 4, KvDtype::I8},
     };
+    int64_t f16_capacity = 0;
+    int64_t int8_capacity = 0;
     for (const Arm &arm : arms) {
         prof::Profiler profiler;
         ExecContext ctx = ExecContext::fromEnv();
@@ -189,8 +207,8 @@ main()
         if (arm.batchRows == 1)
             report.setConfig("threads", int64_t(ctx.threads()));
 
-        const ArmSummary summary =
-            runArm(ctx, *arm.stack, arm.batchRows, prompt_tokens);
+        const ArmSummary summary = runArm(
+            ctx, *arm.stack, arm.batchRows, prompt_tokens, arm.kvDtype);
         SOFTREC_ASSERT(summary.requestsServed == kRequests,
                        "arm %s served %lld of %lld requests",
                        arm.name,
@@ -217,13 +235,36 @@ main()
                           summary.p95LatencySeconds * 1e3);
         report.setDerived(prefix + "_decode_steps",
                           double(summary.decodeSteps));
+        report.setDerived(prefix + "_kv_token_capacity",
+                          double(summary.kvTokenCapacity));
+        report.setDerived(prefix + "_kv_bytes_reserved",
+                          double(summary.kvBytesReserved));
+        report.setConfig(prefix + "_kv_dtype",
+                         kvDtypeName(arm.kvDtype));
+        if (std::string(arm.name) == "b4")
+            f16_capacity = summary.kvTokenCapacity;
+        if (std::string(arm.name) == "b4_int8")
+            int8_capacity = summary.kvTokenCapacity;
         inform("%s: %.1f tok/s, p50 %.1f ms, p95 %.1f ms "
-               "(%lld steps)", arm.name,
+               "(%lld steps, %lld KV tokens, %s)", arm.name,
                summary.tokensPerSecond,
                summary.p50LatencySeconds * 1e3,
                summary.p95LatencySeconds * 1e3,
-               (long long)summary.decodeSteps);
+               (long long)summary.decodeSteps,
+               (long long)summary.kvTokenCapacity,
+               kvDtypeName(arm.kvDtype));
     }
+
+    // The capacity acceptance bar: same trace, same slab byte budget,
+    // int8 must admit >= 1.8x the concurrent KV tokens.
+    const double capacity_ratio =
+        double(int8_capacity) / double(f16_capacity);
+    report.setDerived("int8_kv_capacity_ratio", capacity_ratio);
+    SOFTREC_ASSERT(capacity_ratio >= 1.8,
+                   "int8 KV capacity ratio %.3f below the 1.8x bar "
+                   "(f16 %lld vs int8 %lld tokens)", capacity_ratio,
+                   (long long)f16_capacity, (long long)int8_capacity);
+    inform("int8 KV capacity ratio: %.2fx", capacity_ratio);
 
     const std::string path = report.defaultPath();
     if (!report.writeFile(path))

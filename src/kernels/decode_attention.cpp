@@ -64,8 +64,9 @@ decodeAttendRun(const ExecContext &ctx, const DecodeAttendDesc &desc,
     // prefill traffic ratios are skewed in decode's favour.
     std::optional<prof::Scope> row_scope;
     if (scope.active()) {
-        scope.addRead(uint64_t(dh) * kFp16Bytes +            // q
-                      uint64_t(2 * context * dh) * kFp16Bytes); // K, V
+        scope.addRead(uint64_t(dh) * kFp16Bytes +              // q
+                      uint64_t(2 * context * dh) *
+                          uint64_t(k.elemBytes()));            // K, V
         scope.addWrite(uint64_t(dh) * kFp16Bytes);
         // softrec-lint: allow(hot-path-alloc) — profiling-only
         // branch; a disabled profiler never reaches this emplace.
@@ -86,7 +87,7 @@ decodeAttendRun(const ExecContext &ctx, const DecodeAttendDesc &desc,
 
     // Scores: q . K^T with the scale epilogue, stored through fp16.
     for (int64_t pos = 0; pos < context; ++pos) {
-        halfToFloat(k.row(pos) + desc.headOffset, lane.data(), dh);
+        k.loadRow(pos, desc.headOffset, dh, lane.data());
         float acc = 0.0f;
         for (int64_t d = 0; d < dh; ++d)
             acc += qf[size_t(d)] * lane[size_t(d)];
@@ -122,7 +123,7 @@ decodeAttendRun(const ExecContext &ctx, const DecodeAttendDesc &desc,
     std::vector<float> &acc = w.acc;
     std::fill(acc.begin(), acc.end(), 0.0f);
     for (int64_t pos = 0; pos < context; ++pos) {
-        halfToFloat(v.row(pos) + desc.headOffset, lane.data(), dh);
+        v.loadRow(pos, desc.headOffset, dh, lane.data());
         const float p = row[size_t(pos)];
         for (int64_t d = 0; d < dh; ++d)
             acc[size_t(d)] += p * lane[size_t(d)];

@@ -19,6 +19,7 @@
 #ifndef SOFTREC_KERNELS_DECODE_ATTENTION_HPP
 #define SOFTREC_KERNELS_DECODE_ATTENTION_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -28,24 +29,104 @@
 namespace softrec {
 
 /**
+ * KV-cache storage element format. F16 is the bit-exact reference
+ * (rows are stored exactly as the projection kernels produced them);
+ * I8 stores each block as int8 with one per-block fp32 scale/zero
+ * header, halving KV bytes so the serve engine admits ~2x the tokens
+ * at a fixed slab byte budget.
+ */
+enum class KvDtype
+{
+    F16,
+    I8,
+};
+
+/**
+ * Per-block quantization header of an I8 block. Symmetric scheme:
+ * scale = blockAmax / 127, zero stays 0.0 (kept in the header so the
+ * dequant expression `(q - zero) * scale` matches the conventional
+ * affine form and an asymmetric format can slot in later). A freshly
+ * opened all-zero block has scale == 0 and dequantizes to zeros.
+ */
+struct KvBlockQuant
+{
+    float scale = 0.0f;
+    float zero = 0.0f;
+};
+
+/**
+ * Bytes reserved for the I8 header at the front of a block — padded
+ * past sizeof(KvBlockQuant) so the int8 payload starts 16-aligned.
+ */
+constexpr int64_t kKvBlockQuantBytes = 16;
+
+/**
  * Read-only view of cached rows stored in fixed-size slab blocks
  * (serve/kv_cache.hpp produces these). Row `pos` lives in block
  * `pos / blockTokens` at row offset `pos % blockTokens`; every row is
- * `rowWidth` halfs (the model width, all heads concatenated).
+ * `rowWidth` elements (the model width, all heads concatenated) of
+ * the view's storage format. Kernels read rows through loadRow(),
+ * which dequantizes into caller-owned fp32 lane buffers — the decode
+ * hot path stays allocation-free in every format.
  */
 struct KvRowsView
 {
-    const Half *const *blocks = nullptr; //!< block base pointers
-    int64_t blockTokens = 0;             //!< rows per block
-    int64_t rowWidth = 0;                //!< halfs per row (dModel)
-    int64_t rows = 0;                    //!< valid rows (context C)
+    const std::byte *const *blocks = nullptr; //!< block base pointers
+    int64_t blockTokens = 0;          //!< rows per block
+    int64_t rowWidth = 0;             //!< elements per row (dModel)
+    int64_t rows = 0;                 //!< valid rows (context C)
+    KvDtype dtype = KvDtype::F16;     //!< storage element format
 
-    /** Pointer to cached row `pos` (all heads). */
+    /** Stored bytes per element (profiler traffic attribution). */
+    int64_t
+    elemBytes() const
+    {
+        return dtype == KvDtype::F16 ? 2 : 1;
+    }
+
+    /** Pointer to cached row `pos` (all heads). F16 views only. */
     const Half *
     row(int64_t pos) const
     {
-        return blocks[pos / blockTokens] +
+        return reinterpret_cast<const Half *>(
+                   blocks[pos / blockTokens]) +
                (pos % blockTokens) * rowWidth;
+    }
+
+    /** Quantization header of row `pos`'s block. I8 views only. */
+    const KvBlockQuant &
+    blockQuant(int64_t pos) const
+    {
+        return *reinterpret_cast<const KvBlockQuant *>(
+            blocks[pos / blockTokens]);
+    }
+
+    /** Pointer to quantized row `pos` (all heads). I8 views only. */
+    const int8_t *
+    rowI8(int64_t pos) const
+    {
+        return reinterpret_cast<const int8_t *>(
+                   blocks[pos / blockTokens] + kKvBlockQuantBytes) +
+               (pos % blockTokens) * rowWidth;
+    }
+
+    /**
+     * Read `n` fp32 elements of row `pos` starting at column `col`
+     * into `dst`. F16 rows go through the batch conversion substrate
+     * (bit-identical to the pre-quantization read path); I8 rows
+     * dequantize with their block's scale/zero header.
+     */
+    void
+    loadRow(int64_t pos, int64_t col, int64_t n, float *dst) const
+    {
+        if (dtype == KvDtype::F16) {
+            halfToFloat(row(pos) + col, dst, n);
+            return;
+        }
+        const KvBlockQuant &q = blockQuant(pos);
+        const int8_t *src = rowI8(pos) + col;
+        for (int64_t i = 0; i < n; ++i)
+            dst[i] = (float(src[i]) - q.zero) * q.scale;
     }
 };
 

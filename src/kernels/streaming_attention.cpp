@@ -330,7 +330,8 @@ decodeAttendStreamRun(const ExecContext &ctx,
     prof::Scope scope(ctx, "decode.attend.stream");
     if (scope.active()) {
         scope.addRead(uint64_t(dh) * kFp16Bytes +               // q
-                      uint64_t(2 * context * dh) * kFp16Bytes); // K, V
+                      uint64_t(2 * context * dh) *
+                          uint64_t(k.elemBytes()));             // K, V
         scope.addWrite(uint64_t(dh) * kFp16Bytes);
     }
 
@@ -354,8 +355,7 @@ decodeAttendStreamRun(const ExecContext &ctx,
         // conditional scale as decodeAttendRun, reading cached K rows
         // in place.
         for (int64_t j = 0; j < tw; ++j) {
-            halfToFloat(k.row(t0 + j) + desc.headOffset, lane.data(),
-                        dh);
+            k.loadRow(t0 + j, desc.headOffset, dh, lane.data());
             float s = 0.0f;
             for (int64_t kk = 0; kk < dh; ++kk)
                 s += qf[size_t(kk)] * lane[size_t(kk)];
@@ -367,9 +367,8 @@ decodeAttendStreamRun(const ExecContext &ctx,
         }
         onlineTileUpdate(tile.data(), tw, dh, m, d, acc.data(),
                          [&](int64_t j) {
-                             halfToFloat(v.row(t0 + j) +
-                                             desc.headOffset,
-                                         lane.data(), dh);
+                             v.loadRow(t0 + j, desc.headOffset, dh,
+                                       lane.data());
                              return lane.data();
                          });
     }

@@ -5,16 +5,65 @@
 
 #include "serve/kv_cache.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
+#include "common/check.hpp"
 #include "common/logging.hpp"
 
 namespace softrec {
 
+namespace {
+
+constexpr int64_t kKvBlockAlign = 16;
+
+/**
+ * Symmetric-clamp quantization of one fp32 row with a fixed scale.
+ * nearbyint (round-to-nearest-even under the default mode) keeps the
+ * result deterministic across backends; the clamp to [-127, 127]
+ * keeps the code symmetric so -amax and +amax round-trip with the
+ * same error bound. scale == 0 means the block is all zeros so far.
+ */
+void
+quantizeRow(const float *src, int64_t n, float scale, int8_t *dst)
+{
+    if (scale == 0.0f) {
+        std::memset(dst, 0, size_t(n));
+        return;
+    }
+    const float inv = 1.0f / scale;
+    for (int64_t j = 0; j < n; ++j) {
+        float q = std::nearbyint(src[j] * inv);
+        q = std::min(127.0f, std::max(-127.0f, q));
+        dst[j] = int8_t(q);
+    }
+}
+
+} // namespace
+
+int64_t
+kvBlockBytes(KvDtype dtype, int64_t block_tokens, int64_t row_width)
+{
+    const int64_t elems = block_tokens * row_width;
+    const int64_t raw = dtype == KvDtype::F16
+                            ? elems * int64_t(sizeof(Half))
+                            : kKvBlockQuantBytes + elems;
+    return (raw + kKvBlockAlign - 1) / kKvBlockAlign * kKvBlockAlign;
+}
+
+const char *
+kvDtypeName(KvDtype dtype)
+{
+    return dtype == KvDtype::F16 ? "f16" : "int8";
+}
+
 KvSlab::KvSlab(int64_t block_tokens, int64_t row_width,
-               int64_t blocks_per_chunk)
+               int64_t blocks_per_chunk, KvDtype dtype)
     : blockTokens_(block_tokens), rowWidth_(row_width),
-      blocksPerChunk_(blocks_per_chunk)
+      blocksPerChunk_(blocks_per_chunk), dtype_(dtype),
+      blockBytes_(kvBlockBytes(dtype, block_tokens, row_width))
 {
     SOFTREC_ASSERT(block_tokens > 0 && row_width > 0 &&
                    blocks_per_chunk > 0,
@@ -23,68 +72,146 @@ KvSlab::KvSlab(int64_t block_tokens, int64_t row_width,
                    (long long)row_width, (long long)blocks_per_chunk);
 }
 
-Half *
+std::byte *
 KvSlab::acquire()
 {
     if (freeList_.empty()) {
-        const size_t block_elems = size_t(blockTokens_ * rowWidth_);
-        auto chunk = std::make_unique<Half[]>(
-            block_elems * size_t(blocksPerChunk_));
+        auto chunk = std::make_unique<std::byte[]>(
+            size_t(blockBytes_) * size_t(blocksPerChunk_));
         for (int64_t b = blocksPerChunk_ - 1; b >= 0; --b)
-            freeList_.push_back(chunk.get() + size_t(b) * block_elems);
+            freeList_.push_back(chunk.get() +
+                                size_t(b) * size_t(blockBytes_));
         chunks_.push_back(std::move(chunk));
         blocksReserved_ += blocksPerChunk_;
     }
-    Half *block = freeList_.back();
+    std::byte *block = freeList_.back();
     freeList_.pop_back();
     ++blocksInUse_;
     return block;
 }
 
 void
-KvSlab::release(Half *block)
+KvSlab::release(std::byte *block)
 {
     SOFTREC_ASSERT(block != nullptr && blocksInUse_ > 0,
                    "release without a matching acquire");
+    if (kCheckedBuild)
+        poison(block);
     freeList_.push_back(block);
     --blocksInUse_;
+}
+
+void
+KvSlab::poison(std::byte *block)
+{
+    if (dtype_ == KvDtype::F16) {
+        // 0x7e7e is an fp16 NaN, so any stale read of a recycled
+        // block NaN-floods the attention row and trips the decode
+        // kernels' softmax-normalizer SOFTREC_CHECK.
+        std::memset(block, 0x7e, size_t(blockBytes_));
+        return;
+    }
+    KvBlockQuant q;
+    q.scale = std::numeric_limits<float>::quiet_NaN();
+    q.zero = 0.0f;
+    std::memcpy(block, &q, sizeof(q));
+    std::memset(block + kKvBlockQuantBytes, 0x80,
+                size_t(blockBytes_ - kKvBlockQuantBytes));
 }
 
 int64_t
 KvSlab::bytesReserved() const
 {
-    return blocksReserved_ * blockTokens_ * rowWidth_ *
-           int64_t(sizeof(Half));
+    return blocksReserved_ * blockBytes_;
 }
 
 KvCache::KvCache(KvSlab &slab, int64_t num_layers)
     : slab_(slab), layers_(size_t(num_layers))
 {
     SOFTREC_ASSERT(num_layers > 0, "KvCache needs at least one layer");
+    if (slab_.dtype() == KvDtype::I8)
+        scratch_.resize(size_t(slab_.rowWidth()));
 }
 
 KvCache::~KvCache()
 {
     for (LayerRows &layer : layers_) {
-        for (Half *block : layer.kBlocks)
+        for (std::byte *block : layer.k.blocks)
             slab_.release(block);
-        for (Half *block : layer.vBlocks)
+        for (std::byte *block : layer.v.blocks)
             slab_.release(block);
     }
 }
 
-Half *
-KvCache::writableRow(std::vector<Half *> &blocks, int64_t pos)
+std::byte *
+KvCache::blockFor(BlockRun &run, int64_t pos)
 {
-    const int64_t block_tokens = slab_.blockTokens();
-    const int64_t block_index = pos / block_tokens;
-    if (block_index == int64_t(blocks.size()))
-        blocks.push_back(slab_.acquire());
-    SOFTREC_ASSERT(block_index < int64_t(blocks.size()),
+    const int64_t block_index = pos / slab_.blockTokens();
+    if (block_index == int64_t(run.blocks.size())) {
+        std::byte *block = slab_.acquire();
+        if (slab_.dtype() == KvDtype::I8) {
+            // Recycled blocks carry stale (or poisoned) headers;
+            // every open block starts as an empty all-zero group.
+            const KvBlockQuant fresh;
+            std::memcpy(block, &fresh, sizeof(fresh));
+            run.openAmax = 0.0f;
+        }
+        run.blocks.push_back(block);
+    }
+    SOFTREC_ASSERT(block_index < int64_t(run.blocks.size()),
                    "non-monotonic KV append at row %lld",
                    (long long)pos);
-    return blocks[size_t(block_index)] +
-           (pos % block_tokens) * slab_.rowWidth();
+    return run.blocks[size_t(block_index)];
+}
+
+void
+KvCache::appendF16(BlockRun &run, int64_t pos, const Half *row)
+{
+    const int64_t in_block = pos % slab_.blockTokens();
+    std::byte *block = blockFor(run, pos);
+    std::memcpy(block + size_t(in_block * slab_.rowWidth()) *
+                            sizeof(Half),
+                row, size_t(slab_.rowWidth()) * sizeof(Half));
+}
+
+void
+KvCache::appendI8(BlockRun &run, int64_t pos, const Half *row)
+{
+    const int64_t rw = slab_.rowWidth();
+    const int64_t in_block = pos % slab_.blockTokens();
+    std::byte *block = blockFor(run, pos);
+    if (run.open.empty())
+        run.open.resize(size_t(slab_.blockTokens() * rw));
+
+    // Stage the exact fp16 row: rescales always requantize from these
+    // copies, so a row's error is bounded by the *final* block scale
+    // (<= scale / 2 per element) and never compounds through an
+    // earlier, narrower scale.
+    Half *staged = run.open.data() + size_t(in_block * rw);
+    std::memcpy(staged, row, size_t(rw) * sizeof(Half));
+
+    halfToFloat(row, scratch_.data(), rw);
+    float amax = 0.0f;
+    for (int64_t j = 0; j < rw; ++j)
+        amax = std::max(amax, std::fabs(scratch_[j]));
+
+    auto *header = reinterpret_cast<KvBlockQuant *>(block);
+    auto *payload =
+        reinterpret_cast<int8_t *>(block + kKvBlockQuantBytes);
+    if (amax > run.openAmax) {
+        run.openAmax = amax;
+        header->scale = amax / 127.0f;
+        header->zero = 0.0f;
+        for (int64_t r = 0; r <= in_block; ++r) {
+            halfToFloat(run.open.data() + size_t(r * rw),
+                        scratch_.data(), rw);
+            quantizeRow(scratch_.data(), rw, header->scale,
+                        payload + r * rw);
+        }
+    } else {
+        quantizeRow(scratch_.data(), rw, header->scale,
+                    payload + in_block * rw);
+    }
 }
 
 void
@@ -93,9 +220,13 @@ KvCache::appendRow(int64_t layer, const Half *k_row, const Half *v_row)
     SOFTREC_ASSERT(layer >= 0 && layer < int64_t(layers_.size()),
                    "layer %lld out of range", (long long)layer);
     LayerRows &rows = layers_[size_t(layer)];
-    const size_t row_bytes = size_t(slab_.rowWidth()) * sizeof(Half);
-    std::memcpy(writableRow(rows.kBlocks, rows.rows), k_row, row_bytes);
-    std::memcpy(writableRow(rows.vBlocks, rows.rows), v_row, row_bytes);
+    if (slab_.dtype() == KvDtype::F16) {
+        appendF16(rows.k, rows.rows, k_row);
+        appendF16(rows.v, rows.rows, v_row);
+    } else {
+        appendI8(rows.k, rows.rows, k_row);
+        appendI8(rows.v, rows.rows, v_row);
+    }
     ++rows.rows;
 }
 
@@ -112,13 +243,15 @@ KvCache::context() const
 }
 
 KvRowsView
-KvCache::view(const std::vector<Half *> &blocks, int64_t rows) const
+KvCache::view(const std::vector<std::byte *> &blocks,
+              int64_t rows) const
 {
     KvRowsView out;
     out.blocks = blocks.data();
     out.blockTokens = slab_.blockTokens();
     out.rowWidth = slab_.rowWidth();
     out.rows = rows;
+    out.dtype = slab_.dtype();
     return out;
 }
 
@@ -128,7 +261,7 @@ KvCache::kView(int64_t layer) const
     SOFTREC_ASSERT(layer >= 0 && layer < int64_t(layers_.size()),
                    "layer %lld out of range", (long long)layer);
     const LayerRows &rows = layers_[size_t(layer)];
-    return view(rows.kBlocks, rows.rows);
+    return view(rows.k.blocks, rows.rows);
 }
 
 KvRowsView
@@ -137,7 +270,7 @@ KvCache::vView(int64_t layer) const
     SOFTREC_ASSERT(layer >= 0 && layer < int64_t(layers_.size()),
                    "layer %lld out of range", (long long)layer);
     const LayerRows &rows = layers_[size_t(layer)];
-    return view(rows.vBlocks, rows.rows);
+    return view(rows.v.blocks, rows.rows);
 }
 
 } // namespace softrec

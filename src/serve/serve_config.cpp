@@ -6,6 +6,7 @@
 #include "serve/serve_config.hpp"
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/exec_context.hpp"
@@ -37,6 +38,20 @@ serveEnvInt(const char *var, int64_t fallback, int64_t max)
 
 } // namespace
 
+KvDtype
+kvDtypeFromEnv()
+{
+    const char *text = std::getenv("SOFTREC_SERVE_KV_DTYPE");
+    if (text == nullptr || *text == '\0')
+        return KvDtype::F16;
+    if (std::strcmp(text, "f16") == 0)
+        return KvDtype::F16;
+    if (std::strcmp(text, "int8") == 0)
+        return KvDtype::I8;
+    fatal("SOFTREC_SERVE_KV_DTYPE='%s' is invalid: expected 'f16' or "
+          "'int8'; unset it to use the default (f16)", text);
+}
+
 ServeConfig
 ServeConfig::fromEnv()
 {
@@ -50,6 +65,7 @@ ServeConfig::fromEnv()
                                        config.queueCapacity, 1 << 20);
     config.streamCapacity = serveEnvInt("SOFTREC_SERVE_STREAM_CAP",
                                         config.streamCapacity, 1 << 20);
+    config.kvDtype = kvDtypeFromEnv();
     config.admission.softEnterPct =
         serveEnvInt("SOFTREC_SERVE_MODE_SOFT_PCT",
                     config.admission.softEnterPct, 100);

@@ -14,9 +14,17 @@
 
 #include <cstdint>
 
+#include "kernels/decode_attention.hpp"
 #include "serve/admission.hpp"
 
 namespace softrec {
+
+/**
+ * Parse SOFTREC_SERVE_KV_DTYPE: unset/empty means the fp16 reference,
+ * "f16"/"int8" select a format, anything else is a hard startup
+ * error (like every other serve knob).
+ */
+KvDtype kvDtypeFromEnv();
 
 /** Serving engine limits (see fromEnv for the environment knobs). */
 struct ServeConfig
@@ -25,6 +33,11 @@ struct ServeConfig
     int64_t tokenBudget = 1 << 16; //!< max total KV tokens in flight
     int64_t queueCapacity = 64;    //!< bounded queue depth
     int64_t kvBlockTokens = 64;    //!< cached rows per slab block
+    //! KV-cache storage format. tokenBudget is denominated in *fp16*
+    //! tokens: a compressed format admits proportionally more tokens
+    //! at the same slab byte budget (ServeEngine rebases the
+    //! scheduler's effective budget on actual per-format block bytes).
+    KvDtype kvDtype = KvDtype::F16;
     //! Per-request TokenStream ring depth (tokens buffered before the
     //! serving thread blocks on a slow consumer).
     int64_t streamCapacity = 64;
@@ -46,6 +59,9 @@ struct ServeConfig
      *   SOFTREC_SERVE_MODE_HYSTERESIS_PCT admission.hysteresisPct
      *   SOFTREC_SERVE_TENANT_BUDGET       admission.tenantTokenBudget
      *   SOFTREC_SERVE_SOFT_PROMPT_CAP     admission.softPromptCapTokens
+     *
+     * plus SOFTREC_SERVE_KV_DTYPE (f16|int8) -> kvDtype via
+     * kvDtypeFromEnv().
      *
      * Cross-field rule: the soft threshold must stay strictly below
      * the hard threshold (also a hard error, since a crossed pair

@@ -15,6 +15,26 @@
 
 namespace softrec {
 
+namespace {
+
+/**
+ * Rebase the configured (fp16-denominated) token budget on actual
+ * per-format block bytes: the same slab byte budget holds
+ * proportionally more tokens in a compressed format. Exactly
+ * config.tokenBudget for F16 (identical numerator and denominator).
+ */
+int64_t
+effectiveKvTokenBudget(const ServeConfig &config, int64_t row_width)
+{
+    const int64_t f16_bytes =
+        kvBlockBytes(KvDtype::F16, config.kvBlockTokens, row_width);
+    const int64_t fmt_bytes =
+        kvBlockBytes(config.kvDtype, config.kvBlockTokens, row_width);
+    return config.tokenBudget * f16_bytes / fmt_bytes;
+}
+
+} // namespace
+
 double
 percentileSeconds(std::vector<double> samples, double q)
 {
@@ -32,10 +52,13 @@ ServeEngine::ServeEngine(const ExecContext &ctx,
                          const DecoderStack &stack,
                          const ServeConfig &config)
     : ctx_(ctx), stack_(stack), config_(config),
+      kvTokenBudget_(
+          effectiveKvTokenBudget(config, stack.config.dModel)),
       controller_(config.admission), queue_(config.queueCapacity),
       scheduler_(SchedulerConfig{config.maxBatchRows,
-                                 config.tokenBudget}),
-      slab_(config.kvBlockTokens, stack.config.dModel),
+                                 kvTokenBudget_}),
+      slab_(config.kvBlockTokens, stack.config.dModel, 64,
+            config.kvDtype),
       slots_(size_t(config.maxBatchRows)),
       epoch_(std::chrono::steady_clock::now())
 {
@@ -44,7 +67,8 @@ ServeEngine::ServeEngine(const ExecContext &ctx,
     SOFTREC_ASSERT(config.streamCapacity > 0,
                    "streamCapacity must be positive");
     mirror_.queueCapacity = config.queueCapacity;
-    mirror_.tokenBudget = config.tokenBudget;
+    mirror_.tokenBudget = kvTokenBudget_;
+    mirror_.kvDtype = config.kvDtype;
 }
 
 ServeEngine::~ServeEngine()
@@ -100,13 +124,13 @@ ServeEngine::submit(ServeRequest request)
 
     const int64_t prompt_tokens = request.prompt.shape().dim(0);
     const int64_t footprint = prompt_tokens + request.generateTokens;
-    if (footprint > config_.tokenBudget) {
+    if (footprint > kvTokenBudget_) {
         result.decision = AdmissionDecision::rejected(
             controller_.mode(), "request_kv_tokens", double(footprint),
-            double(config_.tokenBudget),
+            double(kvTokenBudget_),
             "request needs " + std::to_string(footprint) +
                 " KV tokens but the token budget is " +
-                std::to_string(config_.tokenBudget) +
+                std::to_string(kvTokenBudget_) +
                 "; it could never be scheduled");
         return result;
     }
@@ -218,7 +242,7 @@ ServeEngine::stats() const
     out.queueCapacity = queue_.capacity();
     out.queueAccepted = queue_.accepted();
     out.queueRejected = queue_.rejected();
-    out.tokenBudget = config_.tokenBudget;
+    out.tokenBudget = kvTokenBudget_;
     out.mode = controller_.mode();
     out.residency = controller_.residency();
     return out;
@@ -272,7 +296,7 @@ ServeEngine::samplePressure()
 {
     lastSample_.kvOccupancyPct = 100.0 *
                                  double(scheduler_.reservedTokens()) /
-                                 double(config_.tokenBudget);
+                                 double(kvTokenBudget_);
     lastSample_.queueDepthPct = 100.0 * double(queue_.size()) /
                                 double(config_.queueCapacity);
     if (controller_.updatePressure(lastSample_))
@@ -409,6 +433,7 @@ ServeEngine::publishStats()
     mirror_.reservedKvTokens = scheduler_.reservedTokens();
     mirror_.kvBlocksInUse = slab_.blocksInUse();
     mirror_.kvBlocksReserved = slab_.blocksReserved();
+    mirror_.kvBytesReserved = slab_.bytesReserved();
     mirror_.kvOccupancyPct = lastSample_.kvOccupancyPct;
     mirror_.queueDepthPct = lastSample_.queueDepthPct;
     mirror_.requestsServed = requestsServed_;

@@ -73,6 +73,8 @@ struct ServeStats
     int64_t tokenBudget = 0;
     int64_t kvBlocksInUse = 0;     //!< slab blocks held by live caches
     int64_t kvBlocksReserved = 0;  //!< slab high-water reservation
+    int64_t kvBytesReserved = 0;   //!< actual per-format slab bytes
+    KvDtype kvDtype = KvDtype::F16; //!< KV storage format
     double kvOccupancyPct = 0.0;   //!< last step-boundary pressure
     double queueDepthPct = 0.0;    //!< last step-boundary pressure
     AdmissionMode mode = AdmissionMode::Normal;
@@ -182,6 +184,12 @@ class ServeEngine
     ExecContext ctx_;
     const DecoderStack &stack_;
     const ServeConfig config_;
+    //! Scheduler/admission budget in *stored* tokens: the configured
+    //! fp16-denominated tokenBudget rebased on actual per-format block
+    //! bytes, so a compressed KV format admits proportionally more
+    //! tokens at the same slab byte budget (exactly tokenBudget for
+    //! F16).
+    const int64_t kvTokenBudget_;
     AdmissionController controller_;
     RequestQueue queue_;
     BatchScheduler scheduler_;

@@ -2,9 +2,15 @@
  * @file
  * Tests of the continuous-batching serving engine: queue backpressure
  * (reject-with-reason, FIFO, thread safety), scheduler determinism
- * and token-budget enforcement, slab block recycling, strict serve
- * configuration, and the batched-equals-serial bit-identity of a
- * full submit-then-drain trace through ServeEngine.
+ * and token-budget enforcement, strict serve configuration, and the
+ * batched-equals-serial bit-identity of a full submit-then-drain
+ * trace through ServeEngine. (KvSlab/KvCache have their own suite in
+ * test_kv_cache.cpp.)
+ *
+ * The drain traces honour SOFTREC_SERVE_KV_DTYPE so CI's int8 ctest
+ * run exercises serving end to end on the quantized cache — the
+ * bit-identity claims hold in any format because a request's KV
+ * content never depends on batch composition.
  */
 
 #include <gtest/gtest.h>
@@ -268,61 +274,6 @@ TEST(BatchScheduler, DeterministicUnderAFixedArrivalTrace)
     EXPECT_EQ(first.size(), 10u); // every request admitted once
 }
 
-// --- KvSlab / KvCache -------------------------------------------------
-
-TEST(KvSlab, RecyclesBlocksAcrossCaches)
-{
-    KvSlab slab(/*block_tokens=*/2, kDm, /*blocks_per_chunk=*/4);
-    std::vector<Half> row(static_cast<size_t>(kDm));
-
-    {
-        KvCache cache(slab, /*num_layers=*/2);
-        for (int t = 0; t < 3; ++t)
-            for (int64_t layer = 0; layer < 2; ++layer)
-                cache.appendRow(layer, row.data(), row.data());
-        // 3 tokens / 2 per block = 2 blocks, x 2 layers x K and V.
-        EXPECT_EQ(slab.blocksInUse(), 8);
-        EXPECT_EQ(cache.context(), 3);
-    }
-    // Cache destruction returns every block without shrinking the
-    // reservation — steady-state serving never re-mallocs.
-    EXPECT_EQ(slab.blocksInUse(), 0);
-    const int64_t reserved = slab.blocksReserved();
-    EXPECT_GE(reserved, 8);
-
-    KvCache reuse(slab, /*num_layers=*/2);
-    for (int t = 0; t < 3; ++t)
-        for (int64_t layer = 0; layer < 2; ++layer)
-            reuse.appendRow(layer, row.data(), row.data());
-    EXPECT_EQ(slab.blocksReserved(), reserved);
-    EXPECT_GT(slab.bytesReserved(), 0);
-}
-
-TEST(KvCache, ViewsAddressRowsAcrossBlockBoundaries)
-{
-    KvSlab slab(/*block_tokens=*/2, kDm);
-    KvCache cache(slab, /*num_layers=*/1);
-    std::vector<Half> k_row(static_cast<size_t>(kDm));
-    std::vector<Half> v_row(static_cast<size_t>(kDm));
-    for (int t = 0; t < 5; ++t) {
-        for (int64_t j = 0; j < kDm; ++j) {
-            k_row[size_t(j)] = Half(float(t * 100 + j));
-            v_row[size_t(j)] = Half(float(-(t * 100 + j)));
-        }
-        cache.appendRow(0, k_row.data(), v_row.data());
-    }
-    const KvRowsView k = cache.kView(0);
-    const KvRowsView v = cache.vView(0);
-    ASSERT_EQ(k.rows, 5);
-    for (int t = 0; t < 5; ++t)
-        for (int64_t j = 0; j < kDm; ++j) {
-            EXPECT_EQ(k.row(t)[j].bits(),
-                      Half(float(t * 100 + j)).bits());
-            EXPECT_EQ(v.row(t)[j].bits(),
-                      Half(float(-(t * 100 + j))).bits());
-        }
-}
-
 // --- ServeConfig ------------------------------------------------------
 
 TEST(ServeConfig, EnvOverridesApply)
@@ -398,6 +349,28 @@ TEST(ServeConfig, BadModeKnobsAreHardErrorsNotFallbacks)
         // Crossed thresholds would make soft mode unreachable.
         ScopedEnv soft("SOFTREC_SERVE_MODE_SOFT_PCT", "90");
         ScopedEnv hard("SOFTREC_SERVE_MODE_HARD_PCT", "50");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+}
+
+TEST(ServeConfig, KvDtypeKnobParsesStrictly)
+{
+    ScopedEnv threads("SOFTREC_THREADS", nullptr);
+    {
+        ScopedEnv dtype("SOFTREC_SERVE_KV_DTYPE", nullptr);
+        EXPECT_EQ(ServeConfig::fromEnv().kvDtype, KvDtype::F16);
+    }
+    {
+        ScopedEnv dtype("SOFTREC_SERVE_KV_DTYPE", "f16");
+        EXPECT_EQ(ServeConfig::fromEnv().kvDtype, KvDtype::F16);
+    }
+    {
+        ScopedEnv dtype("SOFTREC_SERVE_KV_DTYPE", "int8");
+        EXPECT_EQ(ServeConfig::fromEnv().kvDtype, KvDtype::I8);
+    }
+    {
+        // No silent fallback for typos in a capacity-doubling knob.
+        ScopedEnv dtype("SOFTREC_SERVE_KV_DTYPE", "fp4");
         EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
     }
 }
@@ -490,6 +463,7 @@ drainTrace(const DecoderStack &stack, int64_t batch_rows)
     config.maxBatchRows = batch_rows;
     config.tokenBudget = 1024;
     config.kvBlockTokens = 4;
+    config.kvDtype = kvDtypeFromEnv(); // CI runs this suite with int8
     ServeEngine engine(ExecContext(), stack, config);
     Rng rng(21); // identical prompts in every run
     std::vector<PendingSession> pending;
@@ -572,6 +546,9 @@ TEST(ServeEngineDrain, SubmitRejectsImpossibleRequests)
     const DecoderStack stack = testStack();
     ServeConfig config;
     config.tokenBudget = 16;
+    // Pinned: the rejection below asserts against the f16-denominated
+    // budget; an int8 environment would rebase it upward.
+    config.kvDtype = KvDtype::F16;
     ServeEngine engine(ExecContext(), stack, config);
     Rng rng(31);
 
@@ -597,6 +574,7 @@ TEST(ServeEngineDrain, SlabDrainsBackToZeroAfterRun)
     config.maxBatchRows = 3;
     config.tokenBudget = 1024;
     config.kvBlockTokens = 2;
+    config.kvDtype = kvDtypeFromEnv();
     ServeEngine engine(ExecContext(), stack, config);
     Rng rng(37);
     std::vector<PendingSession> pending;

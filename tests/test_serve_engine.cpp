@@ -61,6 +61,10 @@ testConfig(int64_t batch_rows = 4)
     config.queueCapacity = 64;
     config.kvBlockTokens = 4;
     config.streamCapacity = 64;
+    // Honour SOFTREC_SERVE_KV_DTYPE so CI's int8 ctest run drives the
+    // full engine (streaming, cancellation, tenancy) on the quantized
+    // cache. Tests that assert exact budget thresholds pin F16.
+    config.kvDtype = kvDtypeFromEnv();
     return config;
 }
 
@@ -381,6 +385,9 @@ TEST(ServeEngine, RejectsImpossibleAndMalformedRequestsWithReasons)
     const DecoderStack stack = testStack();
     ServeConfig config = testConfig();
     config.tokenBudget = 16;
+    // Pinned: value/threshold below assert the f16-denominated budget
+    // verbatim; int8 would rebase 16 tokens to ~31 and admit this.
+    config.kvDtype = KvDtype::F16;
     ServeEngine engine(ExecContext(), stack, config);
     Rng rng(37);
 

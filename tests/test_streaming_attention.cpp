@@ -217,11 +217,11 @@ TEST(StreamingAttention, LongRaggedCrossAttentionWithinTolerance)
 /** Single-block KV view over a [rows, width] tensor. */
 struct TensorKvView
 {
-    const Half *block;
+    const std::byte *block;
     KvRowsView view;
 
     TensorKvView(const Tensor<Half> &t, int64_t rows)
-        : block(t.data())
+        : block(reinterpret_cast<const std::byte *>(t.data()))
     {
         view.blocks = &block;
         view.blockTokens = t.shape().dim(0);

@@ -5,5 +5,8 @@ readKnobs()
 {
   const char *good = std::getenv("SOFTREC_GOOD");
   const char *bad = std::getenv("SOFTREC_BAD");
-  return bad != nullptr ? bad : good;
+  const char *dtype = std::getenv("SOFTREC_SERVE_KV_DTYPE");
+  if (bad != nullptr)
+    return bad;
+  return dtype != nullptr ? dtype : good;
 }
