@@ -7,12 +7,14 @@
 #      self-test, then the tree gate — zero unbaselined findings)
 #   3. clang-tidy             (skipped if clang-tidy is absent), then
 #      cppcheck               (skipped if cppcheck is absent)
-#   4. release build + tests  (-DSOFTREC_WERROR=ON), run five times:
+#   4. release build + tests  (-DSOFTREC_WERROR=ON), run six times:
 #      serial, SOFTREC_THREADS=4 to exercise the thread pool,
 #      SOFTREC_SIMD=off to pin the scalar conversion fallback,
 #      SOFTREC_ATTENTION=streaming to serve/decode through the
-#      single-pass streaming attention backend, then
-#      SOFTREC_SERVE_KV_DTYPE=int8 to serve on the quantized KV cache
+#      single-pass streaming attention backend,
+#      SOFTREC_SERVE_KV_DTYPE=int8 to serve on the quantized KV
+#      cache, then SOFTREC_SERVE_PREFILL_CHUNK=3 to serve through
+#      the chunked-prefill path
 #   5. checked build + tests  (-DSOFTREC_CHECKED_BUILD=ON, WERROR)
 #   6. asan-ubsan build + tests (sanitizers + checked mode, WERROR),
 #      plus a serve smoke: the serve_throughput bench runs end to end
@@ -29,9 +31,13 @@
 #      report to the repo root, each expected BENCH_*.json must exist
 #      there, and all must pass tools/check_bench_json.py (the
 #      serve_throughput smoke includes the int8-vs-f16 KV capacity A/B
-#      arm and asserts its >= 1.8x ratio); plus negative checks that
-#      malformed SOFTREC_BENCH_SEQLEN, SOFTREC_ATTENTION, and
-#      SOFTREC_SERVE_KV_DTYPE values hard-error instead of falling back
+#      arm and asserts its >= 1.8x ratio; the serve_load smoke includes
+#      the head-of-line arm — 4k-token prompts arriving mid-decode —
+#      and asserts chunked prefill's >= 3x active-stream p95 win); plus
+#      negative checks that malformed SOFTREC_BENCH_SEQLEN,
+#      SOFTREC_ATTENTION, SOFTREC_SERVE_KV_DTYPE, and
+#      SOFTREC_SERVE_PREFILL_CHUNK values hard-error instead of
+#      falling back
 #
 # Every stage must pass; the script stops at the first failure.
 # A toolchain without clang still runs stages 2 and 4-6, which are the
@@ -98,6 +104,10 @@ SOFTREC_ATTENTION=streaming \
 
 step "release tests with SOFTREC_SERVE_KV_DTYPE=int8 (quantized KV cache)"
 SOFTREC_SERVE_KV_DTYPE=int8 \
+    ctest --test-dir build/release --output-on-failure -j "${JOBS}"
+
+step "release tests with SOFTREC_SERVE_PREFILL_CHUNK=3 (chunked prefill)"
+SOFTREC_SERVE_PREFILL_CHUNK=3 \
     ctest --test-dir build/release --output-on-failure -j "${JOBS}"
 
 step "checked build (WERROR) + tests"
@@ -195,5 +205,11 @@ if SOFTREC_SERVE_KV_DTYPE=fp4 SOFTREC_BENCH_SEQLEN=64 \
     exit 1
 fi
 echo "SOFTREC_SERVE_KV_DTYPE=fp4: rejected (OK)"
+if SOFTREC_SERVE_PREFILL_CHUNK=weasel SOFTREC_BENCH_SEQLEN=64 \
+    ./build/release/bench/serve_throughput >/dev/null 2>&1; then
+    echo "ci: SOFTREC_SERVE_PREFILL_CHUNK=weasel did not fail" >&2
+    exit 1
+fi
+echo "SOFTREC_SERVE_PREFILL_CHUNK=weasel: rejected (OK)"
 
 printf '\n=== ci: all gates passed ===\n'

@@ -197,6 +197,139 @@ runPrefill(const ExecContext &ctx, const DecoderStack &stack,
 }
 
 void
+PrefillState::prepare(const DecoderStack &stack,
+                      int64_t prompt_tokens)
+{
+    SOFTREC_ASSERT(prompt_tokens >= 1,
+                   "prefill needs at least one prompt row");
+    const size_t num_layers = stack.layers.size();
+    const Shape staged({prompt_tokens, stack.config.dModel});
+    promptTokens = prompt_tokens;
+    rowsDone = 0;
+    k.resize(num_layers);
+    v.resize(num_layers);
+    kBlock.resize(num_layers);
+    vBlock.resize(num_layers);
+    for (size_t l = 0; l < num_layers; ++l) {
+        k[l].resize(staged);
+        v[l].resize(staged);
+        kBlock[l] = reinterpret_cast<const std::byte *>(k[l].data());
+        vBlock[l] = reinterpret_cast<const std::byte *>(v[l].data());
+    }
+}
+
+void
+runPrefill(const ExecContext &ctx, const DecoderStack &stack,
+           const Tensor<Half> &prompt, int64_t rows, KvCache &cache,
+           PrefillState &state, DecodeStepWorkspace &ws,
+           Tensor<Half> &outputs)
+{
+    checkFunctionalStack(stack);
+    const int64_t dm = stack.config.dModel;
+    const int64_t heads = stack.config.numHeads;
+    const int64_t dh = stack.config.dHead();
+    SOFTREC_ASSERT(prompt.shape().rank() == 2 &&
+                       prompt.shape().dim(0) == state.promptTokens &&
+                       prompt.shape().dim(1) == dm,
+                   "prompt must be [promptTokens, dModel] and match "
+                   "the prepared state");
+    SOFTREC_ASSERT(rows >= 1 &&
+                       state.rowsDone + rows <= state.promptTokens,
+                   "chunk of %lld rows does not fit: %lld of %lld "
+                   "prompt rows done",
+                   (long long)rows, (long long)state.rowsDone,
+                   (long long)state.promptTokens);
+    SOFTREC_ASSERT(cache.numLayers() == int64_t(stack.layers.size()) &&
+                       cache.context() == state.rowsDone,
+                   "cache context (%lld) must equal the rows already "
+                   "prefilled (%lld)",
+                   (long long)cache.context(),
+                   (long long)state.rowsDone);
+
+    prof::Scope scope(ctx, "decode.prefill");
+    DecodeAttendDesc attend;
+    attend.dHead = dh;
+    attend.scale = 1.0 / std::sqrt(double(dh));
+    const bool streaming =
+        stack.config.attention == AttentionBackend::Streaming;
+    const int64_t c0 = state.rowsDone;
+
+    ws.prepare(stack, rows);
+    std::copy(prompt.rowPtr(c0), prompt.rowPtr(c0) + rows * dm,
+              ws.x.data());
+    Tensor<Half> &x = ws.x;
+    for (size_t l = 0; l < stack.layers.size(); ++l) {
+        const EncoderLayerWeights &w = stack.layers[l];
+
+        projectRowsInto(ctx, "fc.q", x, w.wq, w.bq, false, ws.q);
+        projectRowsInto(ctx, "fc.k", x, w.wk, w.bk, false, ws.k);
+        projectRowsInto(ctx, "fc.v", x, w.wv, w.bv, false, ws.v);
+        // Stage the exact fp16 rows for this chunk's attention reads
+        // and append the same rows to the cache, row-ascending — the
+        // order the one-shot prefill appends in, so a quantized
+        // cache makes identical per-block decisions.
+        std::copy(ws.k.data(), ws.k.data() + rows * dm,
+                  state.k[l].rowPtr(c0));
+        std::copy(ws.v.data(), ws.v.data() + rows * dm,
+                  state.v[l].rowPtr(c0));
+        for (int64_t r = 0; r < rows; ++r)
+            cache.appendRow(int64_t(l), ws.k.rowPtr(r),
+                            ws.v.rowPtr(r));
+
+        // (row, head) attention problems are independent, exactly as
+        // in runDecodeStepInto; each row attends causally over the
+        // exact staged prefix [0, c0 + r].
+        parallelFor(ctx, 0, rows * heads, 1,
+                    [&](int64_t i0, int64_t i1) {
+            DecodeAttendWorkspace &attend_ws =
+                ws.attend[size_t(currentThreadSlot())];
+            for (int64_t i = i0; i < i1; ++i) {
+                const int64_t r = i / heads;
+                const int64_t h = i % heads;
+                DecodeAttendDesc head = attend;
+                head.headOffset = h * dh;
+                const int64_t context = c0 + r + 1;
+                const KvRowsView k_view = contiguousKvView(
+                    &state.kBlock[l], state.promptTokens, dm,
+                    context);
+                const KvRowsView v_view = contiguousKvView(
+                    &state.vBlock[l], state.promptTokens, dm,
+                    context);
+                if (streaming) {
+                    decodeAttendStreamRun(ctx, head,
+                                          ws.q.rowPtr(r) + h * dh,
+                                          k_view, v_view,
+                                          ws.attention.rowPtr(r) +
+                                              h * dh,
+                                          &attend_ws);
+                } else {
+                    decodeAttendRun(ctx, head,
+                                    ws.q.rowPtr(r) + h * dh, k_view,
+                                    v_view,
+                                    ws.attention.rowPtr(r) + h * dh,
+                                    &attend_ws);
+                }
+            }
+        });
+
+        projectRowsInto(ctx, "fc.out", ws.attention, w.wo, w.bo,
+                        false, ws.projected);
+        residualAddRun(ctx, x, ws.projected, ws.postAttn);
+        layerNormRun(ctx, ws.postAttn, w.gamma1, w.beta1, ws.hidden);
+
+        projectRowsInto(ctx, "ff.1", ws.hidden, w.w1, w.b1,
+                        /*gelu=*/true, ws.ff1);
+        projectRowsInto(ctx, "ff.2", ws.ff1, w.w2, w.b2, false,
+                        ws.ff2);
+        residualAddRun(ctx, ws.hidden, ws.ff2, ws.postAttn);
+        layerNormRun(ctx, ws.postAttn, w.gamma2, w.beta2, ws.out);
+        std::swap(ws.x, ws.out);
+    }
+    state.rowsDone += rows;
+    std::swap(outputs, ws.x);
+}
+
+void
 DecodeStepWorkspace::prepare(const DecoderStack &stack, int64_t rows)
 {
     const int64_t dm = stack.config.dModel;

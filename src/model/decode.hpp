@@ -117,6 +117,41 @@ Tensor<Half> runPrefill(const ExecContext &ctx,
                         const Tensor<Half> &prompt, KvCache &cache);
 
 /**
+ * Resumable-prefill progress for one request: how many prompt rows
+ * have been processed, plus per-layer staging of the *exact* fp16
+ * K/V rows produced so far.
+ *
+ * The staging exists for bit-identity: unchunked prefill attends
+ * over the projection outputs directly, before the KV cache stores
+ * them — so on a quantized cache a chunk must not read earlier rows
+ * back through the cache (that would fold the quantization error of
+ * its own prompt into the prefill math). Chunked prefill therefore
+ * attends over this exact staging and *also* appends every row to
+ * the cache in the same per-layer order as the unchunked path,
+ * which keeps the cache contents (including per-block quantization
+ * decisions) identical too.
+ */
+struct PrefillState
+{
+    int64_t promptTokens = 0; //!< total prompt rows
+    int64_t rowsDone = 0;     //!< rows already processed
+    //! Exact fp16 K/V rows per layer, [promptTokens, dModel].
+    std::vector<Tensor<Half>> k, v;
+    //! Stable single-pseudo-block base pointers into k/v for the
+    //! contiguousKvView reads (one cell per layer).
+    std::vector<const std::byte *> kBlock, vBlock;
+
+    /** Size the staging for a prompt and reset progress to row 0. */
+    void prepare(const DecoderStack &stack, int64_t prompt_tokens);
+    /** True once every prompt row has been processed. */
+    bool
+    done() const
+    {
+        return rowsDone == promptTokens;
+    }
+};
+
+/**
  * Step-lifetime buffers for runDecodeStepInto: every intermediate a
  * decode step produces (projections, attention output, residual and
  * LayerNorm results) plus one DecodeAttendWorkspace per worker slot.
@@ -142,6 +177,32 @@ struct DecodeStepWorkspace
     /** Size every buffer for an R-row step of `stack`. */
     void prepare(const DecoderStack &stack, int64_t rows);
 };
+
+/**
+ * Process the next `rows` prompt rows of a resumable prefill:
+ * rows [state.rowsDone, state.rowsDone + rows) run through the
+ * stack, their K/V land in `state`'s exact staging and in `cache`,
+ * and `outputs` receives the stack output for exactly those rows
+ * ([rows, dModel], via buffer swap). After the final chunk the last
+ * output row is the first decode input, exactly as with the
+ * one-shot overload.
+ *
+ * Bit-identity with the one-shot runPrefill, for every chunk split:
+ * the projections are row-independent batched GEMMs; each row's
+ * attention runs the decode kernel of the configured backend over
+ * the exact staged prefix, which PR 8 pinned bit-identical to the
+ * batch prefill row at the same position; and the post-attention
+ * stages are row-local. Cache appends happen row-ascending per
+ * layer, the same order as the one-shot path, so the stored blocks
+ * (and their quantization headers) match bit for bit as well.
+ *
+ * @param rows chunk size; 1 <= rows <= promptTokens - rowsDone
+ * @param ws   step buffers reused across chunks and decode steps
+ */
+void runPrefill(const ExecContext &ctx, const DecoderStack &stack,
+                const Tensor<Half> &prompt, int64_t rows,
+                KvCache &cache, PrefillState &state,
+                DecodeStepWorkspace &ws, Tensor<Half> &outputs);
 
 /**
  * One decode step for a batch of R independent requests: row r of

@@ -13,11 +13,16 @@ namespace softrec {
 
 namespace {
 
-/** KV tokens a slot will hold when its request finishes. */
+/**
+ * KV tokens a slot will hold when its request finishes. A constant
+ * per request (prompt + generation), independent of how much of the
+ * prompt has landed: admission reserves this much up front, so a
+ * slot mid-prefill already holds its full claim on the budget.
+ */
 int64_t
 finishingTokens(const BatchSlot &slot)
 {
-    return slot.context + slot.remaining;
+    return slot.promptTokens + slot.request.generateTokens;
 }
 
 } // namespace
@@ -73,7 +78,12 @@ BatchScheduler::admitFrom(RequestQueue &queue,
             if (slot.active)
                 continue;
             slot.active = true;
-            slot.context = request->prompt.shape().dim(0);
+            // KV is charged as prefill chunks land, so the slot
+            // starts with no context; the caller advances it with
+            // notePrefillProgress as rows go through the stack.
+            slot.context = 0;
+            slot.promptTokens = request->prompt.shape().dim(0);
+            slot.prefillDone = 0;
             slot.remaining = request->generateTokens;
             slot.request = std::move(*request);
             admitted.push_back(s);
@@ -83,13 +93,32 @@ BatchScheduler::admitFrom(RequestQueue &queue,
 }
 
 void
+BatchScheduler::notePrefillProgress(int64_t index, int64_t rows)
+{
+    SOFTREC_ASSERT(index >= 0 && index < int64_t(slots_.size()) &&
+                       slots_[size_t(index)].active,
+                   "notePrefillProgress(%lld) must name an active "
+                   "slot",
+                   (long long)index);
+    BatchSlot &slot = slots_[size_t(index)];
+    SOFTREC_ASSERT(rows >= 1 &&
+                       slot.prefillDone + rows <= slot.promptTokens,
+                   "prefill progress of %lld rows does not fit: "
+                   "%lld of %lld prompt rows done",
+                   (long long)rows, (long long)slot.prefillDone,
+                   (long long)slot.promptTokens);
+    slot.prefillDone += rows;
+    slot.context += rows;
+}
+
+void
 BatchScheduler::completeStep(std::vector<int64_t> *evicted_out)
 {
     std::vector<int64_t> &evicted = *evicted_out;
     evicted.clear();
     for (int64_t s = 0; s < int64_t(slots_.size()); ++s) {
         BatchSlot &slot = slots_[size_t(s)];
-        if (!slot.active)
+        if (!slot.active || slot.prefilling())
             continue;
         ++slot.context;
         --slot.remaining;
@@ -116,7 +145,7 @@ BatchScheduler::activeSlots(std::vector<int64_t> *active_out) const
     std::vector<int64_t> &active = *active_out;
     active.clear();
     for (int64_t s = 0; s < int64_t(slots_.size()); ++s)
-        if (slots_[size_t(s)].active)
+        if (slots_[size_t(s)].active && !slots_[size_t(s)].prefilling())
             active.push_back(s);
 }
 
@@ -126,6 +155,15 @@ BatchScheduler::activeRows() const
     int64_t rows = 0;
     for (const BatchSlot &slot : slots_)
         rows += slot.active ? 1 : 0;
+    return rows;
+}
+
+int64_t
+BatchScheduler::prefillingRows() const
+{
+    int64_t rows = 0;
+    for (const BatchSlot &slot : slots_)
+        rows += slot.prefilling() ? 1 : 0;
     return rows;
 }
 

@@ -41,8 +41,23 @@ struct BatchSlot
 {
     bool active = false;
     ServeRequest request;
-    int64_t context = 0;   //!< cached tokens so far (prompt + decoded)
-    int64_t remaining = 0; //!< decode steps left
+    //! Cached tokens charged so far: prefill rows that have landed
+    //! plus decoded tokens. Starts at 0 on admission and reaches
+    //! promptTokens only once prefill completes — the *budget* is
+    //! reserved at the finishing footprint up front (see admitFrom),
+    //! but KV is charged as chunks land.
+    int64_t context = 0;
+    int64_t remaining = 0;    //!< decode steps left
+    int64_t promptTokens = 0; //!< prompt rows of the request
+    int64_t prefillDone = 0;  //!< prompt rows already prefilled
+
+    /** True until every prompt row has been prefilled; a prefilling
+     *  slot holds its reservation but takes no decode steps. */
+    bool
+    prefilling() const
+    {
+        return active && prefillDone < promptTokens;
+    }
 };
 
 /** Deterministic continuous-batching slot manager. */
@@ -70,11 +85,21 @@ class BatchScheduler
                    std::vector<int64_t> *admitted);
 
     /**
-     * Account one completed decode step: every active slot gains one
-     * context token and loses one remaining step. Slots that reach
-     * remaining == 0 are evicted; their indices land in the
-     * caller-owned vector (cleared first, ascending slot order) so
-     * the caller can release per-request state.
+     * Charge `rows` prefilled prompt rows to a slot: its context
+     * (current KV footprint) grows by the chunk that just landed.
+     * The budget was already reserved at admission, so this never
+     * re-checks it. The slot becomes decode-eligible once every
+     * prompt row is charged.
+     */
+    void notePrefillProgress(int64_t index, int64_t rows);
+
+    /**
+     * Account one completed decode step: every decode-eligible slot
+     * gains one context token and loses one remaining step (slots
+     * still prefilling are untouched — they took no step). Slots
+     * that reach remaining == 0 are evicted; their indices land in
+     * the caller-owned vector (cleared first, ascending slot order)
+     * so the caller can release per-request state.
      */
     void completeStep(std::vector<int64_t> *evicted);
 
@@ -85,7 +110,12 @@ class BatchScheduler
      */
     void releaseSlot(int64_t index);
 
-    /** Active slot indices in ascending order (cleared first). */
+    /**
+     * Decode-eligible slot indices in ascending order (cleared
+     * first): active slots whose prefill has fully landed. Slots
+     * mid-prefill are excluded — they join the batch at the step
+     * boundary after their last chunk.
+     */
     void activeSlots(std::vector<int64_t> *active) const;
 
     const BatchSlot &
@@ -95,6 +125,8 @@ class BatchScheduler
     }
 
     int64_t activeRows() const;
+    /** Occupied slots still mid-prefill (not yet decode-eligible). */
+    int64_t prefillingRows() const;
     /** Σ context over active slots (current KV footprint in tokens). */
     int64_t activeTokens() const;
     /**

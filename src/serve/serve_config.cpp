@@ -52,6 +52,14 @@ kvDtypeFromEnv()
           "'int8'; unset it to use the default (f16)", text);
 }
 
+int64_t
+prefillChunkTokensFromEnv()
+{
+    // serveEnvInt accepts [1, max] or unset: an explicit 0 (or any
+    // garbage) is fatal, and only *unset* selects unchunked prefill.
+    return serveEnvInt("SOFTREC_SERVE_PREFILL_CHUNK", 0, 1 << 20);
+}
+
 ServeConfig
 ServeConfig::fromEnv()
 {
@@ -66,6 +74,7 @@ ServeConfig::fromEnv()
     config.streamCapacity = serveEnvInt("SOFTREC_SERVE_STREAM_CAP",
                                         config.streamCapacity, 1 << 20);
     config.kvDtype = kvDtypeFromEnv();
+    config.prefillChunkTokens = prefillChunkTokensFromEnv();
     config.admission.softEnterPct =
         serveEnvInt("SOFTREC_SERVE_MODE_SOFT_PCT",
                     config.admission.softEnterPct, 100);
@@ -99,6 +108,33 @@ ServeConfig::fromEnv()
               "(a silent serial fallback would mask a capacity "
               "regression)", why.c_str());
     return config;
+}
+
+void
+ServeConfig::validate() const
+{
+    // The pressure sampler divides by tokenBudget and queueCapacity
+    // at every step boundary; proving both >= 1 here is what makes
+    // those divisions guard-free.
+    SOFTREC_ASSERT(maxBatchRows >= 1,
+                   "maxBatchRows must be >= 1 (got %lld)",
+                   (long long)maxBatchRows);
+    SOFTREC_ASSERT(tokenBudget >= 1,
+                   "tokenBudget must be >= 1 (got %lld)",
+                   (long long)tokenBudget);
+    SOFTREC_ASSERT(queueCapacity >= 1,
+                   "queueCapacity must be >= 1 (got %lld)",
+                   (long long)queueCapacity);
+    SOFTREC_ASSERT(kvBlockTokens >= 1,
+                   "kvBlockTokens must be >= 1 (got %lld)",
+                   (long long)kvBlockTokens);
+    SOFTREC_ASSERT(streamCapacity >= 1,
+                   "streamCapacity must be >= 1 (got %lld)",
+                   (long long)streamCapacity);
+    SOFTREC_ASSERT(prefillChunkTokens >= 0,
+                   "prefillChunkTokens must be >= 0, 0 = unchunked "
+                   "(got %lld)",
+                   (long long)prefillChunkTokens);
 }
 
 } // namespace softrec

@@ -26,6 +26,16 @@ namespace softrec {
  */
 KvDtype kvDtypeFromEnv();
 
+/**
+ * Parse SOFTREC_SERVE_PREFILL_CHUNK: unset/empty means 0 (prefill
+ * runs in one shot at admission), otherwise a strict positive
+ * integer — the engine then processes at most that many prompt rows
+ * per serve step and interleaves them with decode, so a long
+ * arriving prompt cannot stall active streams. Garbage (including
+ * an explicit 0) is a hard startup error like every serve knob.
+ */
+int64_t prefillChunkTokensFromEnv();
+
 /** Serving engine limits (see fromEnv for the environment knobs). */
 struct ServeConfig
 {
@@ -41,6 +51,12 @@ struct ServeConfig
     //! Per-request TokenStream ring depth (tokens buffered before the
     //! serving thread blocks on a slow consumer).
     int64_t streamCapacity = 64;
+    //! Prompt rows processed per serve step during prefill. 0 runs
+    //! prefill unchunked at admission (the pre-chunking behaviour);
+    //! a positive value bounds how long an arriving prompt can
+    //! displace active decode streams to one chunk per step, at
+    //! bit-identical outputs (see runPrefill's resumable overload).
+    int64_t prefillChunkTokens = 0;
     //! Mode thresholds and per-tenant budgets for the admission
     //! controller (see admission.hpp for the regime semantics).
     AdmissionThresholds admission;
@@ -61,13 +77,26 @@ struct ServeConfig
      *   SOFTREC_SERVE_SOFT_PROMPT_CAP     admission.softPromptCapTokens
      *
      * plus SOFTREC_SERVE_KV_DTYPE (f16|int8) -> kvDtype via
-     * kvDtypeFromEnv().
+     * kvDtypeFromEnv() and SOFTREC_SERVE_PREFILL_CHUNK ->
+     * prefillChunkTokens via prefillChunkTokensFromEnv().
      *
      * Cross-field rule: the soft threshold must stay strictly below
      * the hard threshold (also a hard error, since a crossed pair
      * would make the state machine unreachable-by-construction).
      */
     static ServeConfig fromEnv();
+
+    /**
+     * Hard-error (panic) unless every limit is usable: the engine
+     * divides by tokenBudget and queueCapacity at every pressure
+     * sample and sizes storage from the others, so all of
+     * maxBatchRows, tokenBudget, queueCapacity, kvBlockTokens, and
+     * streamCapacity must be >= 1, and prefillChunkTokens >= 0
+     * (0 = unchunked). ServeEngine validates at construction so a
+     * zeroed config is a startup error, not a divide-by-zero at the
+     * first step boundary.
+     */
+    void validate() const;
 };
 
 } // namespace softrec

@@ -38,8 +38,11 @@ effectiveKvTokenBudget(const ServeConfig &config, int64_t row_width)
 double
 percentileSeconds(std::vector<double> samples, double q)
 {
-    if (samples.empty())
-        return 0.0;
+    SOFTREC_ASSERT(!samples.empty(),
+                   "percentile of an empty sample set (guard the "
+                   "call and emit a sentinel instead)");
+    SOFTREC_ASSERT(q >= 0.0 && q <= 1.0,
+                   "percentile q=%g outside [0, 1]", q);
     std::sort(samples.begin(), samples.end());
     const double rank = q * double(samples.size() - 1);
     const size_t lo = size_t(std::floor(rank));
@@ -62,10 +65,10 @@ ServeEngine::ServeEngine(const ExecContext &ctx,
       slots_(size_t(config.maxBatchRows)),
       epoch_(std::chrono::steady_clock::now())
 {
-    SOFTREC_ASSERT(config.kvBlockTokens > 0,
-                   "kvBlockTokens must be positive");
-    SOFTREC_ASSERT(config.streamCapacity > 0,
-                   "streamCapacity must be positive");
+    // Startup-time proof that every limit the engine divides by or
+    // sizes storage with is usable — samplePressure's divisions by
+    // kvTokenBudget_ and queueCapacity rely on it.
+    config.validate();
     mirror_.queueCapacity = config.queueCapacity;
     mirror_.tokenBudget = kvTokenBudget_;
     mirror_.kvDtype = config.kvDtype;
@@ -294,6 +297,9 @@ ServeEngine::serveStep()
 void
 ServeEngine::samplePressure()
 {
+    // Divisions are guard-free by construction: ServeConfig::validate
+    // proved tokenBudget and queueCapacity >= 1 at startup (and the
+    // effective budget only rebases tokenBudget upward).
     lastSample_.kvOccupancyPct = 100.0 *
                                  double(scheduler_.reservedTokens()) /
                                  double(kvTokenBudget_);
@@ -309,6 +315,7 @@ ServeEngine::admitAndPrefill()
     scheduler_.admitFrom(queue_, &admitted_);
     for (int64_t slot_index : admitted_)
         prefillSlot(slot_index);
+    advancePrefills();
     // Slot membership settles before the inputs are composed, so the
     // batch a step runs is exactly the batch the scheduler reports.
     scheduler_.activeSlots(&active_);
@@ -324,19 +331,67 @@ ServeEngine::prefillSlot(int64_t slot_index)
     SlotState &state = slots_[size_t(slot_index)];
     state.cache = std::make_unique<KvCache>(
         slab_, int64_t(stack_.layers.size()));
-    const Tensor<Half> out =
-        runPrefill(ctx_, stack_, slot.request.prompt, *state.cache);
     state.stream = slot.request.stream;
     state.tenantId = slot.request.tenantId;
-    state.footprintTokens = slot.request.prompt.shape().dim(0) +
+    const int64_t prompt_tokens = slot.request.prompt.shape().dim(0);
+    state.footprintTokens = prompt_tokens +
                             slot.request.generateTokens;
+    state.nextInput = Tensor<Half>(Shape({1, stack_.config.dModel}));
+    if (config_.prefillChunkTokens == 0) {
+        // Unchunked: the whole prompt runs here, at admission, on
+        // the one-shot batch path.
+        const Tensor<Half> out = runPrefill(
+            ctx_, stack_, slot.request.prompt, *state.cache);
+        scheduler_.notePrefillProgress(slot_index, prompt_tokens);
+        seedNextInput(state, out);
+        return;
+    }
+    // Chunked: register for advancePrefills, which feeds the prompt
+    // in at most prefillChunkTokens rows per serve step.
+    state.prefill = std::make_unique<PrefillState>();
+    state.prefill->prepare(stack_, prompt_tokens);
+    prefilling_.push_back(slot_index);
+}
+
+void
+ServeEngine::advancePrefills()
+{
+    if (prefilling_.empty())
+        return;
+    prof::Scope scope(ctx_, "serve.prefill");
+    size_t keep = 0;
+    for (size_t i = 0; i < prefilling_.size(); ++i) {
+        const int64_t slot_index = prefilling_[i];
+        SlotState &state = slots_[size_t(slot_index)];
+        PrefillState &prefill = *state.prefill;
+        const int64_t rows =
+            std::min(config_.prefillChunkTokens,
+                     prefill.promptTokens - prefill.rowsDone);
+        runPrefill(ctx_, stack_,
+                   scheduler_.slot(slot_index).request.prompt, rows,
+                   *state.cache, prefill, stepWs_, prefillOut_);
+        // The budget was reserved at admission; this charges the KV
+        // rows that just landed.
+        scheduler_.notePrefillProgress(slot_index, rows);
+        if (!prefill.done()) {
+            prefilling_[keep++] = slot_index;
+            continue;
+        }
+        seedNextInput(state, prefillOut_);
+        state.prefill.reset(); // staging frees once the prompt landed
+    }
+    prefilling_.resize(keep);
+}
+
+void
+ServeEngine::seedNextInput(SlotState &state, const Tensor<Half> &out)
+{
     // Pseudo-sampling: the prompt's last output row is the first
     // decode input (no vocabulary head in this model).
     const int64_t dm = stack_.config.dModel;
-    state.nextInput = Tensor<Half>(Shape({1, dm}));
     const int64_t last = out.shape().dim(0) - 1;
-    for (int64_t j = 0; j < dm; ++j)
-        state.nextInput.at(0, j) = out.at(last, j);
+    std::copy(out.rowPtr(last), out.rowPtr(last) + dm,
+              state.nextInput.rowPtr(0));
 }
 
 void
@@ -430,6 +485,7 @@ ServeEngine::publishStats()
 {
     std::lock_guard<std::mutex> lock(statsMutex_);
     mirror_.activeRows = scheduler_.activeRows();
+    mirror_.prefillingRows = scheduler_.prefillingRows();
     mirror_.reservedKvTokens = scheduler_.reservedTokens();
     mirror_.kvBlocksInUse = slab_.blocksInUse();
     mirror_.kvBlocksReserved = slab_.blocksReserved();

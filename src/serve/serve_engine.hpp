@@ -69,6 +69,7 @@ struct ServeStats
     int64_t queueAccepted = 0;
     int64_t queueRejected = 0;
     int64_t activeRows = 0;        //!< batch rows in flight
+    int64_t prefillingRows = 0;    //!< rows still streaming prefill in
     int64_t reservedKvTokens = 0;  //!< committed finishing footprints
     int64_t tokenBudget = 0;
     int64_t kvBlocksInUse = 0;     //!< slab blocks held by live caches
@@ -158,6 +159,9 @@ class ServeEngine
         std::shared_ptr<TokenStream> stream;
         int64_t tenantId = 0;
         int64_t footprintTokens = 0; //!< tenant-ledger reservation
+        //! Resumable-prefill progress; non-null only while the slot
+        //! is streaming its prompt in chunk by chunk.
+        std::unique_ptr<PrefillState> prefill;
     };
 
     void threadMain();
@@ -166,8 +170,21 @@ class ServeEngine
     //! steady-state allocation lives in the helpers, not here.
     void serveStep();
     void samplePressure();
+    //! Admission plus prefill progress for the step: newly admitted
+    //! slots begin prefill (one-shot when chunking is off), every
+    //! slot mid-prefill advances by one chunk, then the
+    //! decode-eligible batch is composed.
     void admitAndPrefill();
+    //! Set up a freshly admitted slot and start its prefill: with
+    //! chunking off the whole prompt runs here; otherwise the slot
+    //! joins prefilling_ and advancePrefills feeds it chunk by chunk.
     void prefillSlot(int64_t slot_index);
+    //! One chunk for every slot mid-prefill (admission order), so an
+    //! arriving long prompt displaces active decode streams by at
+    //! most one chunk per step and per prefilling request.
+    void advancePrefills();
+    //! Seed the first decode input from the prompt's last output row.
+    void seedNextInput(SlotState &state, const Tensor<Half> &out);
     void gatherStepInputs();
     //! Copy each active row's output into its slot and stream it;
     //! rows whose consumer closed land in cancelled_.
@@ -229,18 +246,30 @@ class ServeEngine
     int64_t tokensGenerated_ = 0;
     int64_t decodeSteps_ = 0;
     std::vector<int64_t> admitted_;
+    //! Slots mid-prefill, in admission order (served one chunk per
+    //! step each until their prompt has fully landed).
+    std::vector<int64_t> prefilling_;
     std::vector<int64_t> active_;
     std::vector<int64_t> finished_;
     std::vector<int64_t> cancelled_;
     std::vector<KvCache *> stepCaches_;
     Tensor<Half> stepInputs_;
     Tensor<Half> stepOutputs_;
+    //! Chunk output scratch for advancePrefills (swap-consumed and
+    //! reused across chunks; only the final chunk's last row is
+    //! read, as the first decode input).
+    Tensor<Half> prefillOut_;
     DecodeStepWorkspace stepWs_;
 };
 
 /**
- * Sorted-sample percentile (linear interpolation on a copy; q in
- * [0, 1]). Exposed for the serve benches and tests.
+ * Sorted-sample percentile (linear interpolation on a copy).
+ * Hard-errors (panic) on an empty sample set or q outside [0, 1]:
+ * a percentile of nothing is not 0, and silently returning one made
+ * an all-rejected bench arm look infinitely fast. Callers whose
+ * sample sets can legitimately be empty must guard and emit an
+ * explicit sentinel instead. Exposed for the serve benches and
+ * tests.
  */
 double percentileSeconds(std::vector<double> samples, double q);
 

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <map>
@@ -175,8 +176,20 @@ TEST(BatchScheduler, AdmitsFifoIntoLowestSlots)
     for (int64_t s = 0; s < 3; ++s) {
         EXPECT_EQ(admitted[size_t(s)], s);
         EXPECT_EQ(scheduler.slot(s).request.id, s);
-        EXPECT_EQ(scheduler.slot(s).context, 4);
+        // Admission reserves the footprint but charges nothing: KV
+        // lands with prefill progress, not at admission.
+        EXPECT_EQ(scheduler.slot(s).context, 0);
+        EXPECT_EQ(scheduler.slot(s).promptTokens, 4);
+        EXPECT_TRUE(scheduler.slot(s).prefilling());
         EXPECT_EQ(scheduler.slot(s).remaining, 2);
+    }
+    EXPECT_EQ(scheduler.activeTokens(), 0);
+    EXPECT_EQ(scheduler.reservedTokens(), 18);
+    for (int64_t s = 0; s < 3; ++s)
+        scheduler.notePrefillProgress(s, 4);
+    for (int64_t s = 0; s < 3; ++s) {
+        EXPECT_EQ(scheduler.slot(s).context, 4);
+        EXPECT_FALSE(scheduler.slot(s).prefilling());
     }
     EXPECT_EQ(scheduler.activeTokens(), 12);
 }
@@ -196,6 +209,8 @@ TEST(BatchScheduler, HonorsTokenBudgetAndParksTheHead)
     EXPECT_EQ(admitted.size(), 2u);
     EXPECT_FALSE(scheduler.idle()); // head parked, two active
     EXPECT_EQ(scheduler.reservedTokens(), 16);
+    for (int64_t slot : admitted)
+        scheduler.notePrefillProgress(slot, 6);
 
     // No room while both run; the parked head must not be lost.
     scheduler.admitFrom(queue, &admitted);
@@ -224,6 +239,8 @@ TEST(BatchScheduler, ContinuousAdmissionAfterEviction)
     std::vector<int64_t> evicted;
     scheduler.admitFrom(queue, &admitted);
     EXPECT_EQ(admitted.size(), 2u);
+    for (int64_t slot : admitted)
+        scheduler.notePrefillProgress(slot, 2);
     // Step 1 finishes request 0; its slot frees for request 2 while
     // request 1 keeps running — continuous batching, no drain barrier.
     scheduler.completeStep(&evicted);
@@ -259,9 +276,12 @@ TEST(BatchScheduler, DeterministicUnderAFixedArrivalTrace)
                 ++next_id;
             }
             scheduler.admitFrom(queue, &admitted);
-            for (int64_t slot : admitted)
+            for (int64_t slot : admitted) {
                 admissions.emplace_back(
                     slot, scheduler.slot(slot).request.id);
+                scheduler.notePrefillProgress(
+                    slot, scheduler.slot(slot).promptTokens);
+            }
             scheduler.activeSlots(&active);
             if (!active.empty())
                 scheduler.completeStep(&evicted);
@@ -272,6 +292,86 @@ TEST(BatchScheduler, DeterministicUnderAFixedArrivalTrace)
     const auto second = replay();
     EXPECT_EQ(first, second);
     EXPECT_EQ(first.size(), 10u); // every request admitted once
+}
+
+TEST(BatchScheduler, PrefillProgressChargesKvAsChunksLand)
+{
+    Rng rng(8);
+    RequestQueue queue(8);
+    ASSERT_TRUE(queue.push(makeRequest(rng, 0, 32, 4)).accepted);
+    BatchScheduler scheduler(SchedulerConfig{2, 1024});
+    std::vector<int64_t> admitted;
+    std::vector<int64_t> active;
+    std::vector<int64_t> evicted;
+    scheduler.admitFrom(queue, &admitted);
+    ASSERT_EQ(admitted.size(), 1u);
+    const int64_t s = admitted[0];
+    // The full finishing footprint is reserved at admission; the
+    // current KV charge follows the chunks as they land.
+    EXPECT_EQ(scheduler.reservedTokens(), 36);
+    EXPECT_EQ(scheduler.activeTokens(), 0);
+    EXPECT_TRUE(scheduler.slot(s).prefilling());
+    EXPECT_EQ(scheduler.prefillingRows(), 1);
+    scheduler.activeSlots(&active);
+    EXPECT_TRUE(active.empty()); // not decode-eligible yet
+    // A decode boundary must not advance a slot that took no step.
+    scheduler.completeStep(&evicted);
+    EXPECT_TRUE(evicted.empty());
+    EXPECT_EQ(scheduler.slot(s).remaining, 4);
+    EXPECT_EQ(scheduler.slot(s).context, 0);
+    scheduler.notePrefillProgress(s, 8);
+    EXPECT_EQ(scheduler.activeTokens(), 8);
+    EXPECT_EQ(scheduler.reservedTokens(), 36); // unchanged
+    scheduler.notePrefillProgress(s, 24);
+    EXPECT_FALSE(scheduler.slot(s).prefilling());
+    EXPECT_EQ(scheduler.prefillingRows(), 0);
+    scheduler.activeSlots(&active);
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0], s);
+}
+
+TEST(BatchScheduler, MidDecodeArrivalNeverStallsActiveSlots)
+{
+    // A long prompt arriving mid-decode streams in chunk by chunk;
+    // the already-active slot must stay decode-eligible and advance
+    // by exactly one token at every step boundary — delayed by at
+    // most the single chunk that runs before each step, never parked
+    // behind the whole prompt.
+    Rng rng(9);
+    RequestQueue queue(8);
+    ASSERT_TRUE(queue.push(makeRequest(rng, 0, 2, 8)).accepted);
+    BatchScheduler scheduler(SchedulerConfig{2, 4096});
+    std::vector<int64_t> admitted;
+    std::vector<int64_t> active;
+    std::vector<int64_t> evicted;
+    scheduler.admitFrom(queue, &admitted);
+    ASSERT_EQ(admitted.size(), 1u);
+    const int64_t a = admitted[0];
+    scheduler.notePrefillProgress(a, 2);
+    scheduler.completeStep(&evicted);
+    scheduler.completeStep(&evicted); // A is two tokens into decode
+    // A 32-token prompt arrives; chunk size 8 -> four boundaries.
+    ASSERT_TRUE(queue.push(makeRequest(rng, 1, 32, 2)).accepted);
+    scheduler.admitFrom(queue, &admitted);
+    ASSERT_EQ(admitted.size(), 1u);
+    const int64_t b = admitted[0];
+    for (int64_t chunk = 0; chunk < 4; ++chunk) {
+        scheduler.notePrefillProgress(b, 8);
+        scheduler.activeSlots(&active);
+        ASSERT_TRUE(std::find(active.begin(), active.end(), a) !=
+                    active.end());
+        if (chunk < 3) {
+            EXPECT_TRUE(std::find(active.begin(), active.end(), b) ==
+                        active.end());
+        }
+        const int64_t before = scheduler.slot(a).remaining;
+        scheduler.completeStep(&evicted);
+        EXPECT_EQ(scheduler.slot(a).remaining, before - 1);
+    }
+    // B joins the batch exactly at the boundary after its last chunk.
+    scheduler.activeSlots(&active);
+    EXPECT_TRUE(std::find(active.begin(), active.end(), b) !=
+                active.end());
 }
 
 // --- ServeConfig ------------------------------------------------------
@@ -375,6 +475,73 @@ TEST(ServeConfig, KvDtypeKnobParsesStrictly)
     }
 }
 
+TEST(ServeConfig, PrefillChunkKnobParsesStrictly)
+{
+    ScopedEnv threads("SOFTREC_THREADS", nullptr);
+    {
+        ScopedEnv chunk("SOFTREC_SERVE_PREFILL_CHUNK", nullptr);
+        EXPECT_EQ(ServeConfig::fromEnv().prefillChunkTokens, 0);
+    }
+    {
+        ScopedEnv chunk("SOFTREC_SERVE_PREFILL_CHUNK", "7");
+        EXPECT_EQ(ServeConfig::fromEnv().prefillChunkTokens, 7);
+    }
+    {
+        // Garbage must stop the server, not silently run unchunked.
+        ScopedEnv chunk("SOFTREC_SERVE_PREFILL_CHUNK", "weasel");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+    {
+        // An explicit 0 is also rejected: only *unset* selects the
+        // unchunked path, so a deployment can't half-spell the knob.
+        ScopedEnv chunk("SOFTREC_SERVE_PREFILL_CHUNK", "0");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+    {
+        ScopedEnv chunk("SOFTREC_SERVE_PREFILL_CHUNK", "-4");
+        EXPECT_THROW(ServeConfig::fromEnv(), std::runtime_error);
+    }
+}
+
+TEST(ServeConfig, ValidateRejectsUnusableLimits)
+{
+    // samplePressure divides by tokenBudget and queueCapacity every
+    // step boundary: a zeroed config must be a startup error (panic
+    // from validate), never a divide-by-zero later.
+    ServeConfig config;
+    config.validate(); // defaults are usable
+    {
+        ServeConfig bad = config;
+        bad.tokenBudget = 0;
+        EXPECT_THROW(bad.validate(), std::logic_error);
+    }
+    {
+        ServeConfig bad = config;
+        bad.queueCapacity = 0;
+        EXPECT_THROW(bad.validate(), std::logic_error);
+    }
+    {
+        ServeConfig bad = config;
+        bad.maxBatchRows = 0;
+        EXPECT_THROW(bad.validate(), std::logic_error);
+    }
+    {
+        ServeConfig bad = config;
+        bad.kvBlockTokens = 0;
+        EXPECT_THROW(bad.validate(), std::logic_error);
+    }
+    {
+        ServeConfig bad = config;
+        bad.streamCapacity = 0;
+        EXPECT_THROW(bad.validate(), std::logic_error);
+    }
+    {
+        ServeConfig bad = config;
+        bad.prefillChunkTokens = -1;
+        EXPECT_THROW(bad.validate(), std::logic_error);
+    }
+}
+
 // --- ServeEngine drain traces -----------------------------------------
 
 DecoderStack
@@ -464,6 +631,9 @@ drainTrace(const DecoderStack &stack, int64_t batch_rows)
     config.tokenBudget = 1024;
     config.kvBlockTokens = 4;
     config.kvDtype = kvDtypeFromEnv(); // CI runs this suite with int8
+    // CI also replays the suite with a small chunk so serving runs
+    // end to end through chunked prefill.
+    config.prefillChunkTokens = prefillChunkTokensFromEnv();
     ServeEngine engine(ExecContext(), stack, config);
     Rng rng(21); // identical prompts in every run
     std::vector<PendingSession> pending;
@@ -575,6 +745,7 @@ TEST(ServeEngineDrain, SlabDrainsBackToZeroAfterRun)
     config.tokenBudget = 1024;
     config.kvBlockTokens = 2;
     config.kvDtype = kvDtypeFromEnv();
+    config.prefillChunkTokens = prefillChunkTokensFromEnv();
     ServeEngine engine(ExecContext(), stack, config);
     Rng rng(37);
     std::vector<PendingSession> pending;
@@ -597,6 +768,32 @@ TEST(ServeEngineDrain, SlabDrainsBackToZeroAfterRun)
     EXPECT_EQ(stats.queueDepth, 0);
     EXPECT_EQ(stats.activeRows, 0);
     EXPECT_EQ(stats.reservedKvTokens, 0);
+}
+
+TEST(ServeEngineDrain, ZeroedConfigIsAStartupError)
+{
+    // The engine proves the pressure-sample divisors at construction
+    // (ServeConfig::validate): a zeroed limit must never reach the
+    // first step boundary.
+    const DecoderStack stack = testStack();
+    {
+        ServeConfig config;
+        config.tokenBudget = 0;
+        EXPECT_THROW(ServeEngine(ExecContext(), stack, config),
+                     std::logic_error);
+    }
+    {
+        ServeConfig config;
+        config.queueCapacity = 0;
+        EXPECT_THROW(ServeEngine(ExecContext(), stack, config),
+                     std::logic_error);
+    }
+    {
+        ServeConfig config;
+        config.prefillChunkTokens = -2;
+        EXPECT_THROW(ServeEngine(ExecContext(), stack, config),
+                     std::logic_error);
+    }
 }
 
 } // namespace

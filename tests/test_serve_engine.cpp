@@ -65,6 +65,10 @@ testConfig(int64_t batch_rows = 4)
     // full engine (streaming, cancellation, tenancy) on the quantized
     // cache. Tests that assert exact budget thresholds pin F16.
     config.kvDtype = kvDtypeFromEnv();
+    // Honour SOFTREC_SERVE_PREFILL_CHUNK the same way: CI replays
+    // this suite with a small chunk so every engine behaviour runs
+    // on the interleaved-prefill path too.
+    config.prefillChunkTokens = prefillChunkTokensFromEnv();
     return config;
 }
 
@@ -271,6 +275,73 @@ TEST(ServeEngine, BatchCompositionNeverChangesTheTokens)
     const auto batched = serve(4);
     ASSERT_EQ(serial.size(), 5u);
     EXPECT_EQ(serial, batched);
+}
+
+TEST(ServeEngine, ChunkedPrefillNeverChangesTheTokens)
+{
+    // Interleaving prefill with decode is also only a scheduling
+    // decision: the same requests served unchunked and with a chunk
+    // smaller than every prompt must stream bit-identical final rows
+    // and the same completion accounting. Prompts are long enough
+    // that each one spans several chunks.
+    const DecoderStack stack = testStack();
+    auto serve = [&stack](int64_t chunk_tokens) {
+        ServeConfig config = testConfig();
+        config.prefillChunkTokens = chunk_tokens;
+        ServeEngine engine(ExecContext(), stack, config);
+        engine.start();
+        Rng rng(47);
+        std::vector<ServeSession> sessions;
+        for (int64_t i = 0; i < 5; ++i) {
+            SubmitResult result = engine.submit(
+                makeRequest(rng, 9 + i % 5, 2 + i % 2));
+            EXPECT_TRUE(result.decision.accepted)
+                << result.decision.reason;
+            sessions.push_back(std::move(result.session));
+        }
+        std::map<int64_t, std::vector<uint16_t>> final_rows;
+        Tensor<Half> row;
+        for (ServeSession &session : sessions) {
+            while (session.stream().next(row)) {
+            }
+            EXPECT_EQ(session.stream().status(),
+                      StreamStatus::Finished);
+            std::vector<uint16_t> bits;
+            for (int64_t j = 0; j < kDm; ++j)
+                bits.push_back(row.at(0, j).bits());
+            final_rows[session.id()] = bits;
+        }
+        engine.waitIdle();
+        const ServeStats stats = engine.stats();
+        EXPECT_EQ(stats.requestsServed, 5);
+        EXPECT_EQ(stats.prefillingRows, 0); // all prefills retired
+        EXPECT_EQ(stats.kvBlocksInUse, 0);
+        return final_rows;
+    };
+    const auto unchunked = serve(0);
+    const auto chunked = serve(3);
+    ASSERT_EQ(unchunked.size(), 5u);
+    EXPECT_EQ(unchunked, chunked);
+}
+
+TEST(Percentile, InterpolatesBetweenSortedSamples)
+{
+    const std::vector<double> samples{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentileSeconds(samples, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSeconds(samples, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(percentileSeconds(samples, 1.0), 4.0);
+    // A single sample is every percentile of itself.
+    EXPECT_DOUBLE_EQ(percentileSeconds({5.0}, 0.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentileSeconds({5.0}, 0.95), 5.0);
+}
+
+TEST(Percentile, EmptySamplesAndBadQuantilesAreHardErrors)
+{
+    // A percentile of nothing is meaningless; returning 0.0 here once
+    // let empty benchmark arms report perfect latency.
+    EXPECT_THROW(percentileSeconds({}, 0.5), std::logic_error);
+    EXPECT_THROW(percentileSeconds({1.0}, -0.01), std::logic_error);
+    EXPECT_THROW(percentileSeconds({1.0}, 1.01), std::logic_error);
 }
 
 TEST(ServeEngine, TenantBudgetIsEnforcedAcrossInFlightRequests)

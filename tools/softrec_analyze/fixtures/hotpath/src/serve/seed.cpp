@@ -1,0 +1,26 @@
+#include <algorithm>
+#include <cstdint>
+
+void
+seedNextInput(const Tensor &out, int64_t last, int64_t dm, Tensor &in)
+{
+  for (int64_t j = 0; j < dm; ++j)
+    in.at(0, j) = out.at(last, j);
+  // Bulk form: the whole row in one checked move stays silent.
+  std::copy(out.rowPtr(last), out.rowPtr(last) + dm, in.rowPtr(0));
+}
+
+void
+scanSlots(Ctx &ctx, int64_t slots, Tensor &in)
+{
+  parallelFor(ctx, 0, slots, 1, [&](int64_t s0, int64_t s1) {
+    for (int64_t s = s0; s < s1; ++s)
+      in.at(s, 0) = Half(0.0f);
+  });
+  // Outside any loop: a one-off checked access is fine.
+  in.at(0, 0) = Half(1.0f);
+  for (int64_t s = 0; s < slots; ++s) {
+    // softrec-lint: allow(serve-elementwise-at)
+    in.at(s, 0) = Half(2.0f);
+  }
+}

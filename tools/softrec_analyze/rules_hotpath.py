@@ -75,3 +75,29 @@ def check_hot_path_alloc(src, ctx):
                              src.in_pfor[lineno]))
         if hot and ALLOC_RE.search(code):
             yield lineno, None
+
+
+SERVE_DIRS = ("src/serve/",)
+
+# A checked element accessor inside a loop body: each call re-derives
+# the row pointer and re-checks bounds, turning what should be one
+# std::copy/rowPtr into width * (bounds check + index arithmetic).
+# ServeEngine::prefillSlot shipped exactly this copy loop once.
+AT_IN_LOOP_RE = re.compile(r"\.at\s*\(")
+
+
+@register(
+    "serve-elementwise-at", "error",
+    "per-element .at() loop on the serving path",
+    "calling .at() inside a loop or parallelFor body in src/serve/ "
+    "re-checks bounds and re-derives the row pointer once per "
+    "element; bulk moves belong on rowPtr()/data() with std::copy "
+    "(or loadRow for KV views), which check once per row. Hoist the "
+    "accessor out of the loop or switch to the bulk form.")
+def check_serve_elementwise_at(src, ctx):
+    if not src.rel_path.startswith(SERVE_DIRS):
+        return
+    for lineno, code in enumerate(src.code_lines, start=1):
+        if (src.in_loop[lineno] or src.in_pfor[lineno]) and \
+                AT_IN_LOOP_RE.search(code):
+            yield lineno, None
